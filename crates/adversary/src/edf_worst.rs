@@ -1,0 +1,55 @@
+//! Observation 3.2 tightness — two-choice EDF with independent copies is no
+//! better than `2`-competitive.
+//!
+//! Per interval of `d` rounds, `2d` identical requests `(S0|S1)` arrive at
+//! once. Both resources run EDF over the request *copies* in the same
+//! (deadline, id) order, so each round both pick the same request: one
+//! serves it, the other wastes its slot on the duplicate. Independent-copy
+//! EDF serves `d` of `2d`; OPT serves all. The sibling-cancelling variant
+//! (`EDF-cancel`) skips the duplicates and serves everything — the measured
+//! gap between the two is reported by the harness as an ablation.
+
+use crate::Scenario;
+use reqsched_model::{Instance, Round, TraceBuilder};
+
+/// Build the EDF worst case for deadline `d ≥ 1` over `intervals`
+/// repetitions.
+pub fn scenario(d: u32, intervals: u32) -> Scenario {
+    assert!(d >= 1 && intervals >= 1);
+    let mut b = TraceBuilder::new(d);
+    for j in 0..intervals as u64 {
+        let t = Round(j * d as u64);
+        for _ in 0..2 * d {
+            b.push(t, 0u32, 1u32);
+        }
+    }
+    let total = (2 * d * intervals) as usize;
+    Scenario {
+        name: format!("edf-worst(d={d}, intervals={intervals})"),
+        instance: Instance::new(2, d, b.build()),
+        opt_hint: Some(total),
+        predicted_ratio: 2.0,
+        expected_alg: Some((d * intervals) as usize),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_opt;
+
+    #[test]
+    fn counts_and_opt() {
+        for d in [1u32, 3, 6] {
+            let s = scenario(d, 2);
+            assert_eq!(s.instance.total_requests(), (4 * d) as usize);
+            check_opt(&s);
+        }
+    }
+
+    #[test]
+    fn closed_form_is_two() {
+        let s = scenario(4, 5);
+        assert_eq!(s.closed_form_ratio(), Some(2.0));
+    }
+}

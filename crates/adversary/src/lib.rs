@@ -1,0 +1,78 @@
+//! # reqsched-adversary
+//!
+//! Executable adversarial constructions: one generator per lower-bound
+//! theorem of *Berenbrink, Riedel & Scheideler, SPAA 1999*. Each generator
+//! produces the paper's input sequence (with tie-breaking [`Hint`]s that
+//! select the pessimal member of the targeted strategy class) plus the
+//! closed-form optimum and the competitive ratio the construction converges
+//! to; the `table1` harness and the integration tests replay them against
+//! the strategies and compare the measured ratio to the paper's bound.
+//!
+//! | Module | Theorem | Target | Bound approached |
+//! |---|---|---|---|
+//! | [`thm21`] | 2.1 | `A_fix` | `2 − 1/d` |
+//! | [`thm22`] | 2.2 | `A_current` | `e/(e−1)` as `ℓ, d → ∞` |
+//! | [`thm23`] | 2.3 | `A_fix_balance` | `3d/(2d+2)` |
+//! | [`thm24`] | 2.4 | `A_eager` (and all at `d = 2`) | `4/3` |
+//! | [`thm25`] | 2.5 | `A_balance` | `(5d+2)/(4d+1)` |
+//! | [`thm26`] | 2.6 | *every* online algorithm (adaptive) | `45/41` |
+//! | [`thm37`] | 3.7 | `A_local_fix` | `2` |
+//! | [`edf_worst`] | Obs. 3.2 | two-choice EDF | `2` |
+//!
+//! [`Hint`]: reqsched_model::Hint
+
+pub mod edf_worst;
+pub mod thm21;
+pub mod thm22;
+pub mod thm23;
+pub mod thm24;
+pub mod thm25;
+pub mod thm26;
+pub mod thm37;
+
+use reqsched_model::Instance;
+
+/// A fixed (oblivious) adversarial scenario.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Short identifier, e.g. `"thm2.1(d=8, phases=20)"`.
+    pub name: String,
+    /// The generated instance (trace includes tie-break hints).
+    pub instance: Instance,
+    /// Closed-form optimum, when the construction admits one. The offline
+    /// solver must reproduce this exactly (checked in tests).
+    pub opt_hint: Option<usize>,
+    /// The competitive ratio this construction forces in the limit of
+    /// infinitely many phases (the paper's bound for this `d`).
+    pub predicted_ratio: f64,
+    /// The number of requests the targeted pessimal strategy member is
+    /// expected to serve, when the construction admits a closed form.
+    pub expected_alg: Option<usize>,
+}
+
+impl Scenario {
+    /// The ratio implied by the closed forms, if both are present.
+    pub fn closed_form_ratio(&self) -> Option<f64> {
+        match (self.opt_hint, self.expected_alg) {
+            (Some(opt), Some(alg)) if alg > 0 => Some(opt as f64 / alg as f64),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    /// Check a scenario's `opt_hint` against the exact offline solver.
+    pub fn check_opt(s: &Scenario) {
+        if let Some(opt) = s.opt_hint {
+            let exact = reqsched_offline::optimal_count(&s.instance);
+            assert_eq!(
+                exact, opt,
+                "{}: closed-form OPT {} != Hopcroft-Karp {}",
+                s.name, opt, exact
+            );
+        }
+    }
+}

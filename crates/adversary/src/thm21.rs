@@ -1,0 +1,103 @@
+//! Theorem 2.1 — `A_fix` is at least `(2 − 1/d)`-competitive.
+//!
+//! Four resources. An initial `block(2,d)` saturates the shared pair
+//! `(S1, S2)`. Every phase then plays the same two-step trap:
+//!
+//! 1. In the last round of the current block's occupancy, `2(d−1)` requests
+//!    arrive in two groups: `R1 = (S0|S1)` and `R2 = (S3|S2)`. The hinted
+//!    `A_fix` member parks them on the *shared* resources' future slots
+//!    (`S1` resp. `S2`) even though the private resources `S0`/`S3` are
+//!    free — a choice the `A_fix` rules allow, since either way all new
+//!    requests are scheduled.
+//! 2. One round later a fresh `block(2,d)` on `(S1, S2)` arrives. Only its
+//!    last-round pair of slots is still free, so `A_fix` — which may never
+//!    reschedule — serves 2 of its `2d` requests; those two services keep
+//!    the pair busy into the next phase, closing the loop.
+//!
+//! Per phase the adversary injects `4d − 2` requests, the trapped `A_fix`
+//! serves `2d`, and the optimum serves everything:
+//! `ratio → (4d−2)/2d = 2 − 1/d`.
+
+use crate::Scenario;
+use reqsched_model::{Hint, Instance, ResourceId, Round, TraceBuilder};
+
+/// Build the Theorem 2.1 scenario for deadline `d ≥ 2` over `phases ≥ 1`
+/// repetitions.
+pub fn scenario(d: u32, phases: u32) -> Scenario {
+    assert!(d >= 2, "theorem 2.1 needs d >= 2");
+    assert!(phases >= 1);
+    let mut b = TraceBuilder::new(d);
+    let (s0, s1, s2, s3) = (ResourceId(0), ResourceId(1), ResourceId(2), ResourceId(3));
+
+    // Initial block saturating (S1, S2) for rounds 0 .. d-1.
+    b.block2(Round(0), s1, s2, 0);
+
+    // Phase p (1-based) starts in round p*d - 1: the shared pair is busy for
+    // exactly one more round.
+    for p in 1..=phases as u64 {
+        let t = p * d as u64 - 1;
+        for _ in 0..d - 1 {
+            b.push_hinted(Round(t), s0, s1, Hint::with(s1, 0)); // R1 parks on S1
+        }
+        for _ in 0..d - 1 {
+            b.push_hinted(Round(t), s3, s2, Hint::with(s2, 0)); // R2 parks on S2
+        }
+        // The fresh block on the shared pair, one round later.
+        b.block2(Round(t + 1), s1, s2, p as u32);
+    }
+
+    let total = 2 * d as usize + phases as usize * (4 * d as usize - 2);
+    let expected_alg = 2 * d as usize + phases as usize * 2 * d as usize;
+    Scenario {
+        name: format!("thm2.1(d={d}, phases={phases})"),
+        instance: Instance::new(4, d, b.build()),
+        opt_hint: Some(total),
+        predicted_ratio: 2.0 - 1.0 / d as f64,
+        expected_alg: Some(expected_alg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_opt;
+
+    #[test]
+    fn counts_and_opt() {
+        for d in [2u32, 3, 5, 8] {
+            let s = scenario(d, 3);
+            assert_eq!(
+                s.instance.total_requests(),
+                2 * d as usize + 3 * (4 * d as usize - 2)
+            );
+            check_opt(&s);
+        }
+    }
+
+    #[test]
+    fn predicted_ratio_matches_closed_form_in_the_limit() {
+        let d = 6u32;
+        // With many phases the initial block's contribution washes out.
+        let s = scenario(d, 100);
+        let cf = s.closed_form_ratio().unwrap();
+        assert!((cf - s.predicted_ratio).abs() < 0.01, "{cf}");
+    }
+
+    #[test]
+    fn hints_point_at_shared_resources() {
+        let s = scenario(4, 1);
+        let hinted: Vec<_> = s
+            .instance
+            .trace
+            .requests()
+            .iter()
+            .filter(|r| r.hint.prefer.is_some())
+            .collect();
+        assert_eq!(hinted.len(), 2 * 3); // 2(d-1) per phase
+        for r in hinted {
+            let p = r.hint.prefer.unwrap();
+            assert!(p == ResourceId(1) || p == ResourceId(2));
+            assert!(r.alternatives.contains(p));
+        }
+    }
+}

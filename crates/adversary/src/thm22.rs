@@ -1,0 +1,173 @@
+//! Theorem 2.2 — `A_current` is at least `e/(e−1) ≈ 1.58`-competitive as
+//! `d → ∞`.
+//!
+//! `ℓ` resources, `d` divisible by `1..ℓ-1` (the paper takes `d = ℓ!`; we
+//! use `lcm(1..ℓ-1)·scale` for compactness). Every phase of `d` rounds
+//! injects `ℓ` groups of `d` requests at once. Group `R_i` (`i < ℓ`) spreads
+//! its first alternatives evenly over `S_0 .. S_{ℓ-i-1}` and points every
+//! second alternative at `S_{ℓ-i}`; `R_ℓ` repeats `R_{ℓ-1}`.
+//!
+//! The optimum serves group `R_i` entirely on the common second alternative
+//! `S_{ℓ-i}` (and `R_ℓ` on `S_0`) — everything fits. The myopic
+//! `A_current`, which only ever matches the current round's `ℓ` slots, can
+//! be steered (priority hints: lower group index first) to burn *all*
+//! resources on `R_1` first, then `R_2` (which no longer reaches the now
+//! idle `S_{ℓ-1}`), and so on — group `R_i` drains at rate `ℓ−i+1` per
+//! round, so only the first `k` groups with `Σ_{i≤k} d/(ℓ−i+1) ≤ d` finish
+//! before the phase's deadlines strike. As `ℓ → ∞` the served fraction
+//! tends to `1 − 1/e`.
+
+use crate::Scenario;
+use reqsched_model::{Hint, Instance, ResourceId, Round, TraceBuilder};
+
+/// Least common multiple of `1..=k`.
+fn lcm_upto(k: u32) -> u32 {
+    fn gcd(a: u64, b: u64) -> u64 {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    let mut l: u64 = 1;
+    for i in 1..=k as u64 {
+        l = l / gcd(l, i) * i;
+    }
+    u32::try_from(l).expect("lcm overflow")
+}
+
+/// The deadline this construction uses for `ℓ` resources:
+/// `lcm(1..=ℓ-1) * scale`.
+pub fn deadline_for(l: u32, scale: u32) -> u32 {
+    lcm_upto(l - 1) * scale
+}
+
+/// Expected number of requests the pessimal `A_current` member serves per
+/// phase, by exact simulation of the idealized draining process.
+///
+/// Group `i` (1-based, `i < ℓ`) is adjacent to `ℓ−i+1` resources; groups are
+/// drained in index order at full adjacency rate until the phase's `d`
+/// rounds run out.
+pub fn expected_alg_per_phase(l: u32, d: u32) -> usize {
+    let mut rounds_left = d as f64;
+    let mut served = 0.0;
+    for i in 1..=l {
+        let rate = if i < l { (l - i + 1) as f64 } else { 1.0 };
+        // Group l shares S_1's… its drain overlaps group l-1; the paper
+        // treats R_l like R_{l-1}: they jointly drain at the same rate
+        // window. We model groups 1..l-1 sequentially and give R_l whatever
+        // rounds remain at rate 1 per resource pair — conservative; tests
+        // compare against measurement with tolerance.
+        let need = d as f64 / rate;
+        if rounds_left <= 0.0 {
+            break;
+        }
+        let used = need.min(rounds_left);
+        served += used * rate;
+        rounds_left -= used;
+        let _ = i;
+    }
+    served.round() as usize
+}
+
+/// Build the Theorem 2.2 scenario: `ℓ` resources, deadline
+/// `lcm(1..ℓ-1)·scale`, `phases` repetitions.
+pub fn scenario(l: u32, scale: u32, phases: u32) -> Scenario {
+    assert!(l >= 3, "theorem 2.2 needs at least 3 resources");
+    assert!(scale >= 1 && phases >= 1);
+    let d = deadline_for(l, scale);
+    let mut b = TraceBuilder::new(d);
+
+    for p in 0..phases as u64 {
+        let t = Round(p * d as u64);
+        for i in 1..=l {
+            // Group R_i: first alternatives evenly over S_0..S_{l-i-1},
+            // second alternative S_{l-i}; R_l duplicates R_{l-1}.
+            let (spread, second) = if i < l {
+                (l - i, ResourceId(l - i))
+            } else {
+                (1, ResourceId(1))
+            };
+            let per = d / spread;
+            debug_assert_eq!(per * spread, d, "d must be divisible by {spread}");
+            for first in 0..spread {
+                for _ in 0..per {
+                    b.push_hinted(t, first, second.0, Hint::priority(i));
+                }
+            }
+        }
+    }
+
+    let total = (phases * l * d) as usize;
+    Scenario {
+        name: format!("thm2.2(l={l}, d={d}, phases={phases})"),
+        instance: Instance::new(l, d, b.build()),
+        opt_hint: Some(total),
+        predicted_ratio: std::f64::consts::E / (std::f64::consts::E - 1.0),
+        expected_alg: Some(phases as usize * expected_alg_per_phase(l, d)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_opt;
+
+    #[test]
+    fn lcm_values() {
+        assert_eq!(lcm_upto(1), 1);
+        assert_eq!(lcm_upto(4), 12);
+        assert_eq!(lcm_upto(5), 60);
+        assert_eq!(deadline_for(5, 1), 12);
+    }
+
+    #[test]
+    fn counts_and_opt() {
+        for l in [3u32, 4, 5] {
+            let s = scenario(l, 1, 2);
+            let d = deadline_for(l, 1);
+            assert_eq!(s.instance.total_requests(), (2 * l * d) as usize);
+            check_opt(&s);
+        }
+    }
+
+    #[test]
+    fn groups_have_correct_structure() {
+        let l = 4;
+        let s = scenario(l, 1, 1);
+        let d = deadline_for(l, 1);
+        // Group 1 (priority 1): spread over S0..S2, second alt S3.
+        let g1: Vec<_> = s
+            .instance
+            .trace
+            .requests()
+            .iter()
+            .filter(|r| r.hint.priority == 1)
+            .collect();
+        assert_eq!(g1.len(), d as usize);
+        for r in &g1 {
+            assert_eq!(r.alternatives.as_slice()[1], ResourceId(3));
+            assert!(r.alternatives.as_slice()[0].0 < 3);
+        }
+        // Last group duplicates R_{l-1}: alternatives {S0, S1}.
+        let gl: Vec<_> = s
+            .instance
+            .trace
+            .requests()
+            .iter()
+            .filter(|r| r.hint.priority == l)
+            .collect();
+        assert_eq!(gl.len(), d as usize);
+        for r in &gl {
+            assert_eq!(r.alternatives.as_slice(), &[ResourceId(0), ResourceId(1)]);
+        }
+    }
+
+    #[test]
+    fn drain_model_is_sane() {
+        // l=3, d=2: group1 drains at rate 3 (2/3 rounds), group2 at rate 2
+        // (1 round), group3 at rate 1 with the remaining 1/3 rounds.
+        let served = expected_alg_per_phase(3, 6);
+        assert!((12..=18).contains(&served), "served = {served}");
+    }
+}

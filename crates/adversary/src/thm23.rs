@@ -1,0 +1,114 @@
+//! Theorem 2.3 — `A_fix_balance` is at least `3d/(2d+2)`-competitive
+//! (`d` even, ≥ 6 resources).
+//!
+//! Six resources in three pairs. A `block(2,d)` saturates pair 0. Each phase
+//! starts when the currently blocked pair has `d/2` rounds of occupancy
+//! left; the adversary injects `R1`, `R2` (`d/2` requests each) whose
+//! alternatives straddle the blocked pair and the next pair. The *balancing
+//! rule itself* — serve as early as possible — forces them onto the free
+//! next pair (no hints needed!); one round later a `block(2,d)` on that next
+//! pair arrives, and the no-rescheduling rule strands all but `d+2` of its
+//! `2d` requests. Pairs rotate round-robin.
+//!
+//! Per steady-state phase: injected `3d`, `A_fix_balance` serves `2d+2`,
+//! OPT serves all ⇒ ratio `→ 3d/(2d+2)`.
+
+use crate::Scenario;
+use reqsched_model::{Hint, Instance, ResourceId, Round, TraceBuilder};
+
+/// Resource pair `k` (`k ∈ 0..3`): `(S_{2k}, S_{2k+1})`.
+fn pair(k: u32) -> (ResourceId, ResourceId) {
+    (ResourceId(2 * k), ResourceId(2 * k + 1))
+}
+
+/// Build the Theorem 2.3 scenario for even `d ≥ 2` over `phases`
+/// repetitions.
+pub fn scenario(d: u32, phases: u32) -> Scenario {
+    assert!(d >= 2 && d.is_multiple_of(2), "theorem 2.3 needs even d >= 2");
+    assert!(phases >= 1);
+    let mut b = TraceBuilder::new(d);
+    let half = (d / 2) as u64;
+
+    // Initial block on pair 0 (rounds 0 .. d-1).
+    let (a0, a1) = pair(0);
+    b.block2(Round(0), a0, a1, 0);
+
+    // Phase p (0-based) starts at round d/2 + p*(d/2 + 1); blocked pair is
+    // p mod 3, parking pair is (p+1) mod 3.
+    for p in 0..phases {
+        let t = half + p as u64 * (half + 1);
+        let (b0, b1) = pair(p % 3); // blocked: d/2 rounds of occupancy left
+        let (q0, q1) = pair((p + 1) % 3); // free: F forces the requests here
+        for _ in 0..d / 2 {
+            b.push_hinted(Round(t), b0, q0, Hint::priority(0)); // R1
+        }
+        for _ in 0..d / 2 {
+            b.push_hinted(Round(t), b1, q1, Hint::priority(0)); // R2
+        }
+        // One round later: block on the parking pair.
+        b.block2(Round(t + 1), q0, q1, p + 1);
+    }
+
+    let total = 2 * d as usize + phases as usize * 3 * d as usize;
+    let expected_alg =
+        2 * d as usize + phases as usize * (2 * d as usize + 2);
+    Scenario {
+        name: format!("thm2.3(d={d}, phases={phases})"),
+        instance: Instance::new(6, d, b.build()),
+        opt_hint: Some(total),
+        predicted_ratio: 3.0 * d as f64 / (2.0 * d as f64 + 2.0),
+        expected_alg: Some(expected_alg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_opt;
+
+    #[test]
+    fn counts_and_opt() {
+        for d in [2u32, 4, 6, 10] {
+            let s = scenario(d, 4);
+            assert_eq!(
+                s.instance.total_requests(),
+                2 * d as usize + 4 * 3 * d as usize
+            );
+            check_opt(&s);
+        }
+    }
+
+    #[test]
+    fn rotation_covers_all_three_pairs() {
+        let s = scenario(4, 3);
+        // Blocks with tags 1..=3 target pairs 1, 2, 0.
+        for (tag, expect) in [(1u32, 1u32), (2, 2), (3, 0)] {
+            let reqs: Vec<_> = s
+                .instance
+                .trace
+                .requests()
+                .iter()
+                .filter(|r| r.tag == tag && r.hint.priority == u32::MAX)
+                .collect();
+            assert_eq!(reqs.len(), 8, "block(2,4) has 2d requests");
+            let (p0, p1) = pair(expect);
+            for r in reqs {
+                assert!(r.alternatives.contains(p0) && r.alternatives.contains(p1));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_d_rejected() {
+        let _ = scenario(3, 1);
+    }
+
+    #[test]
+    fn closed_form_converges_to_bound() {
+        let d = 8;
+        let s = scenario(d, 200);
+        let cf = s.closed_form_ratio().unwrap();
+        assert!((cf - s.predicted_ratio).abs() < 0.01, "{cf}");
+    }
+}

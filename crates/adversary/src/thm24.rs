@@ -1,0 +1,119 @@
+//! Theorem 2.4 — `A_eager` is at least `4/3`-competitive for every `d ≥ 2`;
+//! at `d = 2` the same input also forces `4/3` on `A_current`,
+//! `A_fix_balance` and `A_balance`.
+//!
+//! Four resources in a *middle* pair `M` and an *outer* pair `O`, swapping
+//! roles every phase. At a phase start the outer pair is still blocked for
+//! `d/2` rounds (by the previous phase's block). The adversary injects
+//! `R1 = d/2 × (O₀|M₀)`, `R2 = d/2 × (M₁|O₁)` and `R3 = d × (M₀|M₁)`.
+//! `A_eager`'s serve-now rule together with the hints burns the middle
+//! pair's first `d/2` rounds on `R1`, `R2` (instead of on the inflexible
+//! `R3`, which OPT serves there); `R3` parks on the middle pair's remaining
+//! `d/2` rounds. The `block(2,d)` on `M` arriving `d/2` rounds later then
+//! finds only `d` free slots: the strategy serves `3d` of the phase's `4d`
+//! requests while OPT serves all ⇒ ratio `→ 4/3`.
+
+use crate::Scenario;
+use reqsched_model::{Hint, Instance, ResourceId, Round, TraceBuilder};
+
+/// Build the Theorem 2.4 scenario for even `d ≥ 2` over `phases`
+/// repetitions.
+pub fn scenario(d: u32, phases: u32) -> Scenario {
+    assert!(d >= 2 && d.is_multiple_of(2), "theorem 2.4 needs even d >= 2");
+    assert!(phases >= 1);
+    let mut b = TraceBuilder::new(d);
+    let half = (d / 2) as u64;
+    let inner = (ResourceId(1), ResourceId(2));
+    let outer = (ResourceId(0), ResourceId(3));
+
+    // Initial block on the outer pair (= phase 1's blocked pair), rounds
+    // 0 .. d-1; phase 1 starts at d/2 so the pair has d/2 rounds left.
+    b.block2(Round(0), outer.0, outer.1, 0);
+
+    for p in 0..phases {
+        let t = half + p as u64 * d as u64;
+        // Odd phases (p even here): M = inner, O = outer; then swap.
+        let (m, o) = if p % 2 == 0 {
+            (inner, outer)
+        } else {
+            (outer, inner)
+        };
+        for _ in 0..d / 2 {
+            // R1: (O0 | M0), steered onto M0 and served before R3.
+            b.push_hinted(Round(t), o.0, m.0, Hint::with(m.0, 0));
+        }
+        for _ in 0..d / 2 {
+            // R2: (M1 | O1), steered onto M1.
+            b.push_hinted(Round(t), m.1, o.1, Hint::with(m.1, 0));
+        }
+        for _ in 0..d {
+            // R3: the inflexible middle-pair requests, considered last.
+            b.push_hinted(Round(t), m.0, m.1, Hint::priority(1));
+        }
+        // After d/2 rounds: the block on the middle pair.
+        b.block2(Round(t + half), m.0, m.1, p + 1);
+    }
+
+    let total = 2 * d as usize + phases as usize * 4 * d as usize;
+    let expected_alg = 2 * d as usize + phases as usize * 3 * d as usize;
+    Scenario {
+        name: format!("thm2.4(d={d}, phases={phases})"),
+        instance: Instance::new(4, d, b.build()),
+        opt_hint: Some(total),
+        predicted_ratio: 4.0 / 3.0,
+        expected_alg: Some(expected_alg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_opt;
+
+    #[test]
+    fn counts_and_opt() {
+        for d in [2u32, 4, 8] {
+            let s = scenario(d, 3);
+            assert_eq!(
+                s.instance.total_requests(),
+                2 * d as usize + 3 * 4 * d as usize
+            );
+            check_opt(&s);
+        }
+    }
+
+    #[test]
+    fn phases_alternate_pairs() {
+        let s = scenario(2, 2);
+        // Block tag 1 (phase 0) on inner pair (S1,S2); tag 2 on outer.
+        let block1: Vec<_> = s
+            .instance
+            .trace
+            .requests()
+            .iter()
+            .filter(|r| r.tag == 1)
+            .collect();
+        for r in &block1 {
+            assert!(r.alternatives.contains(ResourceId(1)));
+            assert!(r.alternatives.contains(ResourceId(2)));
+        }
+        let block2: Vec<_> = s
+            .instance
+            .trace
+            .requests()
+            .iter()
+            .filter(|r| r.tag == 2)
+            .collect();
+        for r in &block2 {
+            assert!(r.alternatives.contains(ResourceId(0)));
+            assert!(r.alternatives.contains(ResourceId(3)));
+        }
+    }
+
+    #[test]
+    fn closed_form_converges_to_four_thirds() {
+        let s = scenario(6, 300);
+        let cf = s.closed_form_ratio().unwrap();
+        assert!((cf - 4.0 / 3.0).abs() < 0.005, "{cf}");
+    }
+}

@@ -1,0 +1,267 @@
+//! Theorem 2.6 — **every** deterministic online algorithm is at least
+//! `45/41 ≈ 1.098`-competitive (10 resources, `3 | d`).
+//!
+//! This is the paper's only *adaptive* adversary, so it is implemented as a
+//! [`RequestSource`] rather than a fixed trace. Ten resources form five
+//! pairs; three pairs are "blocked", two are "open", and the roles rotate:
+//!
+//! * Round 0: a `block(6,d)` saturates the three blocked pairs.
+//! * Phase 1 (starts `d/3` rounds before the blocks expire): `4d` *coloured*
+//!   requests in three groups; first alternatives spread evenly over the 4
+//!   open resources, second alternatives over one blocked pair per colour.
+//!   Only `4d/3` of them fit before the blocks expire, so at least
+//!   `⌈8d/9⌉` requests of some colour are still unserved …
+//! * Phase 2: … and the adversary — having **observed** the per-colour
+//!   service counts — saturates exactly that colour's pair (together with
+//!   the open pairs) with a `block(6,d)`, dooming those requests. Roles are
+//!   renamed and the game repeats.
+//!
+//! OPT serves everything (`10d` per interval); any online algorithm misses
+//! at least `⌈8d/9⌉`, forcing `ratio ≥ 10d/(10d − 8d/9) = 45/41`.
+
+use reqsched_model::{
+    Alternatives, Hint, Request, RequestId, RequestSource, Round, StateView,
+};
+
+/// Number of resources the construction uses.
+pub const N_RESOURCES: u32 = 10;
+
+/// The bound this adversary forces on every online algorithm.
+pub const PREDICTED_RATIO: f64 = 45.0 / 41.0;
+
+/// The adaptive adversary of Theorem 2.6.
+pub struct Thm26Adversary {
+    d: u32,
+    intervals: u32,
+    /// Pair indices 0..5; first three are currently blocked, last two open.
+    blocked: [u32; 3],
+    open: [u32; 2],
+    next_id: u32,
+    emitted_blocks: u32,
+    total_emitted: usize,
+}
+
+impl Thm26Adversary {
+    /// Create the adversary for deadline `d` (divisible by 3) and the given
+    /// number of intervals.
+    pub fn new(d: u32, intervals: u32) -> Thm26Adversary {
+        assert!(d >= 3 && d.is_multiple_of(3), "theorem 2.6 needs 3 | d");
+        assert!(intervals >= 1);
+        Thm26Adversary {
+            d,
+            intervals,
+            blocked: [0, 1, 2],
+            open: [3, 4],
+            next_id: 0,
+            emitted_blocks: 0,
+            total_emitted: 0,
+        }
+    }
+
+    /// Total number of requests this source will emit.
+    pub fn total_requests(&self) -> usize {
+        // Initial block + per interval: 4d coloured + 6d block.
+        (6 * self.d + self.intervals * 10 * self.d) as usize
+    }
+
+    /// Colour tag for interval `j`, colour `c`.
+    fn colour_tag(interval: u32, c: u32) -> u32 {
+        interval * 3 + c
+    }
+
+    fn fresh(&mut self, round: Round, alts: Alternatives, tag: u32) -> Request {
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.total_emitted += 1;
+        Request {
+            id,
+            arrival: round,
+            alternatives: alts,
+            deadline: self.d,
+            tag,
+            hint: Hint::default(),
+        }
+    }
+
+    /// `block(6, d)` over the six resources of the given three pairs.
+    fn block6(&mut self, round: Round, pairs: [u32; 3], tag: u32) -> Vec<Request> {
+        let mut rs = Vec::with_capacity(6);
+        for p in pairs {
+            rs.push(2 * p);
+            rs.push(2 * p + 1);
+        }
+        let mut out = Vec::with_capacity(6 * self.d as usize);
+        for i in 0..6 {
+            let a = reqsched_model::ResourceId(rs[i]);
+            let b = reqsched_model::ResourceId(rs[(i + 1) % 6]);
+            for _ in 0..self.d {
+                out.push(self.fresh(round, Alternatives::two(a, b), tag));
+            }
+        }
+        out
+    }
+}
+
+impl RequestSource for Thm26Adversary {
+    fn arrivals(&mut self, round: Round, view: &dyn StateView) -> Vec<Request> {
+        let d = self.d as u64;
+        let t = round.get();
+        if t == 0 {
+            // Initial block over the blocked pairs.
+            let pairs = self.blocked;
+            return self.block6(round, pairs, u32::MAX);
+        }
+        // Interval j: phase 1 at 2d/3 + j*d, phase 2 at d + j*d.
+        let interval_of_p1 =
+            (t >= 2 * d / 3 && (t - 2 * d / 3).is_multiple_of(d)).then(|| (t - 2 * d / 3) / d);
+        let interval_of_p2 = (t >= d && (t - d).is_multiple_of(d)).then(|| (t - d) / d);
+
+        if let Some(j) = interval_of_p1 {
+            if (j as u32) < self.intervals {
+                // 4d coloured requests: 4d/3 per colour.
+                let open_res: Vec<u32> =
+                    self.open.iter().flat_map(|&p| [2 * p, 2 * p + 1]).collect();
+                let mut out = Vec::with_capacity(4 * self.d as usize);
+                let per_colour = 4 * self.d / 3;
+                for c in 0..3u32 {
+                    let pair = self.blocked[c as usize];
+                    let tag = Self::colour_tag(j as u32, c);
+                    for q in 0..per_colour {
+                        let first =
+                            reqsched_model::ResourceId(open_res[(q % 4) as usize]);
+                        let second = reqsched_model::ResourceId(2 * pair + q % 2);
+                        out.push(self.fresh(
+                            round,
+                            Alternatives::two(first, second),
+                            tag,
+                        ));
+                    }
+                }
+                return out;
+            }
+        }
+        if let Some(j) = interval_of_p2 {
+            if (j as u32) < self.intervals {
+                // Adaptivity: find the colour with the most unserved requests.
+                let mut worst_c = 0u32;
+                let mut worst_unserved = 0usize;
+                for c in 0..3u32 {
+                    let tag = Self::colour_tag(j as u32, c);
+                    let unserved = view
+                        .injected_with_tag(tag)
+                        .saturating_sub(view.served_with_tag(tag));
+                    if unserved > worst_unserved {
+                        worst_unserved = unserved;
+                        worst_c = c;
+                    }
+                }
+                let doomed_pair = self.blocked[worst_c as usize];
+                let new_blocked = [self.open[0], self.open[1], doomed_pair];
+                let survivors: Vec<u32> = self
+                    .blocked
+                    .iter()
+                    .copied()
+                    .filter(|&p| p != doomed_pair)
+                    .collect();
+                self.emitted_blocks += 1;
+                let out = self.block6(round, new_blocked, u32::MAX - 1 - j as u32);
+                self.blocked = new_blocked;
+                self.open = [survivors[0], survivors[1]];
+                return out;
+            }
+        }
+        Vec::new()
+    }
+
+    fn exhausted(&self, round: Round) -> bool {
+        // Last emission: phase 2 of the final interval at round
+        // d + (intervals-1)*d = intervals*d.
+        round.get() > (self.intervals as u64) * (self.d as u64)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "thm2.6 adaptive adversary (d={}, intervals={})",
+            self.d, self.intervals
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct NullView;
+    impl StateView for NullView {
+        fn is_served(&self, _id: RequestId) -> bool {
+            false
+        }
+        fn served_with_tag(&self, _tag: u32) -> usize {
+            0
+        }
+        fn injected_with_tag(&self, tag: u32) -> usize {
+            // Pretend every colour has its full complement injected.
+            if tag < 1000 {
+                4
+            } else {
+                0
+            }
+        }
+        fn round(&self) -> Round {
+            Round::ZERO
+        }
+    }
+
+    #[test]
+    fn emission_schedule() {
+        let d = 6u32;
+        let mut adv = Thm26Adversary::new(d, 2);
+        let mut total = 0;
+        let mut round = Round::ZERO;
+        while !adv.exhausted(round) {
+            let batch = adv.arrivals(round, &NullView);
+            match round.get() {
+                0 => assert_eq!(batch.len(), 6 * d as usize),
+                4 | 10 => assert_eq!(batch.len(), 4 * d as usize), // 2d/3 + j*d
+                6 | 12 => assert_eq!(batch.len(), 6 * d as usize), // d + j*d
+                _ => assert!(batch.is_empty(), "unexpected batch at {round:?}"),
+            }
+            total += batch.len();
+            round = round.next();
+        }
+        assert_eq!(total, adv.total_requests());
+    }
+
+    #[test]
+    fn ids_are_consecutive() {
+        let mut adv = Thm26Adversary::new(3, 1);
+        let mut expected = 0u32;
+        for t in 0..=4u64 {
+            for r in adv.arrivals(Round(t), &NullView) {
+                assert_eq!(r.id, RequestId(expected));
+                expected += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn roles_rotate_after_each_block() {
+        let mut adv = Thm26Adversary::new(3, 3);
+        let before = adv.blocked;
+        // Drive to the first phase-2 round (d = 3 -> round 3).
+        for t in 0..=3u64 {
+            adv.arrivals(Round(t), &NullView);
+        }
+        assert_ne!(adv.blocked, before);
+        // The doomed pair (colour 0 under NullView ties) moved into blocked.
+        assert!(adv.blocked.contains(&before[0]));
+        // Old open pairs are now blocked.
+        assert!(adv.blocked.contains(&3) && adv.blocked.contains(&4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_d_not_divisible_by_three() {
+        let _ = Thm26Adversary::new(4, 1);
+    }
+}

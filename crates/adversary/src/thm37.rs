@@ -1,0 +1,79 @@
+//! Theorem 3.7 — `A_local_fix` is exactly `2`-competitive (lower-bound
+//! input).
+//!
+//! Four resources, intervals of `d` rounds, requests only in the first round
+//! of each interval:
+//!
+//! * `R1 = d × (S0, S1)` — first alternative `S0`;
+//! * `R2 = d × (S2, S3)` — first alternative `S2`;
+//! * `R3 = 2d × (S0, S2)` — first alternative `S0`.
+//!
+//! In communication round 1, `S0` receives `3d` messages but — with the
+//! model's bandwidth cap of `d` per communication round and LDF admission
+//! breaking ties towards earlier injected requests — accepts exactly `R1`,
+//! filling its `d` slots. `S2` accepts `R2`. In communication round 2 all of
+//! `R3` knocks on `S2`, which is already full. `A_local_fix` serves `2d` of
+//! the `4d` requests; OPT serves all (`R1 → S1`, `R2 → S3`, `R3` split over
+//! `S0` and `S2`).
+
+use crate::Scenario;
+use reqsched_model::{Instance, Round, TraceBuilder};
+
+/// Build the Theorem 3.7 scenario for deadline `d ≥ 1` over `intervals`
+/// repetitions.
+pub fn scenario(d: u32, intervals: u32) -> Scenario {
+    assert!(d >= 1 && intervals >= 1);
+    let mut b = TraceBuilder::new(d);
+    for j in 0..intervals as u64 {
+        let t = Round(j * d as u64);
+        for _ in 0..d {
+            b.push(t, 0u32, 1u32); // R1, first alternative S0
+        }
+        for _ in 0..d {
+            b.push(t, 2u32, 3u32); // R2, first alternative S2
+        }
+        for _ in 0..2 * d {
+            b.push(t, 0u32, 2u32); // R3, first alternative S0
+        }
+    }
+    let total = (4 * d * intervals) as usize;
+    Scenario {
+        name: format!("thm3.7(d={d}, intervals={intervals})"),
+        instance: Instance::new(4, d, b.build()),
+        opt_hint: Some(total),
+        predicted_ratio: 2.0,
+        expected_alg: Some((2 * d * intervals) as usize),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_opt;
+
+    #[test]
+    fn counts_and_opt() {
+        for d in [1u32, 2, 4, 7] {
+            let s = scenario(d, 3);
+            assert_eq!(s.instance.total_requests(), (12 * d) as usize);
+            check_opt(&s);
+        }
+    }
+
+    #[test]
+    fn first_alternatives_point_at_contested_resources() {
+        let s = scenario(2, 1);
+        let reqs = s.instance.trace.requests();
+        // R1 block: ids 0..d first-alt S0; R3: last 2d first-alt S0.
+        assert_eq!(reqs[0].alternatives.first().0, 0);
+        assert_eq!(reqs[2].alternatives.first().0, 2);
+        assert_eq!(reqs[4].alternatives.first().0, 0);
+        assert_eq!(reqs[4].alternatives.as_slice()[1].0, 2);
+    }
+
+    #[test]
+    fn closed_form_is_two() {
+        let s = scenario(5, 10);
+        assert_eq!(s.closed_form_ratio(), Some(2.0));
+    }
+}

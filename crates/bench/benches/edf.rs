@@ -1,0 +1,57 @@
+//! EDF benchmarks: the heap-based strategies' throughput (they do no
+//! matching, so they set the baseline cost floor) and the ablation between
+//! independent copies and sibling cancellation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use reqsched_core::{build_strategy, StrategyKind, TieBreak};
+use reqsched_sim::run_fixed;
+use reqsched_workloads::{single_alternative, uniform_two_choice};
+
+fn bench_edf_single(c: &mut Criterion) {
+    let mut g = c.benchmark_group("edf_single");
+    for n in [8u32, 64, 512] {
+        let inst = single_alternative(n, 4, n, 200, 3);
+        g.throughput(Throughput::Elements(inst.total_requests() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| {
+                let mut s = build_strategy(
+                    StrategyKind::EdfSingle,
+                    inst.n_resources,
+                    inst.d,
+                    TieBreak::FirstFit,
+                );
+                run_fixed(s.as_mut(), inst).served
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_edf_two_choice_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("edf_two_choice");
+    let inst = uniform_two_choice(32, 4, 48, 200, 5);
+    g.throughput(Throughput::Elements(inst.total_requests() as u64));
+    for cancel in [false, true] {
+        g.bench_with_input(
+            BenchmarkId::new("cancel", cancel),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let mut s = build_strategy(
+                        StrategyKind::Edf {
+                            cancel_sibling: cancel,
+                        },
+                        inst.n_resources,
+                        inst.d,
+                        TieBreak::FirstFit,
+                    );
+                    run_fixed(s.as_mut(), inst).served
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_edf_single, bench_edf_two_choice_ablation);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Local-strategy benchmarks: simulation throughput of the message-passing
+//! protocols and the cost gap between the 2-round and the 9-round protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use reqsched_sim::{run_fixed, AnyStrategy};
+use reqsched_workloads::{flash_crowd, uniform_two_choice};
+
+fn bench_local_uniform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("local_uniform");
+    g.sample_size(20);
+    for n in [8u32, 32, 128] {
+        let inst = uniform_two_choice(n, 4, n, 100, 17);
+        g.throughput(Throughput::Elements(inst.total_requests() as u64));
+        for strat in [AnyStrategy::LocalFix, AnyStrategy::LocalEager] {
+            g.bench_with_input(
+                BenchmarkId::new(strat.name(), n),
+                &inst,
+                |b, inst| {
+                    b.iter(|| {
+                        let mut s = strat.build(inst.n_resources, inst.d);
+                        run_fixed(s.as_mut(), inst).served
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_local_flash_crowd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("local_flash_crowd");
+    g.sample_size(20);
+    let inst = flash_crowd(16, 4, 6, 40, 30, 20, 120, 23);
+    g.throughput(Throughput::Elements(inst.total_requests() as u64));
+    for strat in [AnyStrategy::LocalFix, AnyStrategy::LocalEager] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(strat.name()),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let mut s = strat.build(inst.n_resources, inst.d);
+                    run_fixed(s.as_mut(), inst).served
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_local_uniform, bench_local_flash_crowd);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! One benchmark per Table-1 row: generate each theorem's adversarial input
+//! and replay it against the pessimal member of the targeted strategy
+//! (generation + simulation + exact OPT). These are the workloads the
+//! `table1` harness runs; benching them tracks the end-to-end cost of the
+//! reproduction itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reqsched_adversary::{edf_worst, thm21, thm22, thm23, thm24, thm25, thm37};
+use reqsched_core::{build_strategy, StrategyKind, TieBreak};
+use reqsched_sim::{run_fixed, AnyStrategy};
+
+fn bench_lower_bounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_rows");
+    g.sample_size(15);
+
+    g.bench_function("thm2.1/A_fix", |b| {
+        b.iter(|| {
+            let s = thm21::scenario(8, 10);
+            let mut alg = build_strategy(StrategyKind::AFix, 4, 8, TieBreak::HintGuided);
+            run_fixed(alg.as_mut(), &s.instance).ratio()
+        })
+    });
+
+    g.bench_function("thm2.2/A_current", |b| {
+        b.iter(|| {
+            let s = thm22::scenario(5, 1, 3);
+            let d = s.instance.d;
+            let mut alg = build_strategy(StrategyKind::ACurrent, 5, d, TieBreak::HintGuided);
+            run_fixed(alg.as_mut(), &s.instance).ratio()
+        })
+    });
+
+    g.bench_function("thm2.3/A_fix_balance", |b| {
+        b.iter(|| {
+            let s = thm23::scenario(8, 10);
+            let mut alg =
+                build_strategy(StrategyKind::AFixBalance, 6, 8, TieBreak::HintGuided);
+            run_fixed(alg.as_mut(), &s.instance).ratio()
+        })
+    });
+
+    g.bench_function("thm2.4/A_eager", |b| {
+        b.iter(|| {
+            let s = thm24::scenario(8, 10);
+            let mut alg = build_strategy(StrategyKind::AEager, 4, 8, TieBreak::HintGuided);
+            run_fixed(alg.as_mut(), &s.instance).ratio()
+        })
+    });
+
+    g.bench_function("thm2.5/A_balance", |b| {
+        b.iter(|| {
+            let s = thm25::scenario(3, 4, 6);
+            let inst = &s.instance;
+            let mut alg = build_strategy(
+                StrategyKind::ABalance,
+                inst.n_resources,
+                inst.d,
+                TieBreak::HintGuided,
+            );
+            run_fixed(alg.as_mut(), inst).ratio()
+        })
+    });
+
+    g.bench_function("thm3.7/A_local_fix", |b| {
+        b.iter(|| {
+            let s = thm37::scenario(8, 8);
+            let mut alg = AnyStrategy::LocalFix.build(4, 8);
+            run_fixed(alg.as_mut(), &s.instance).ratio()
+        })
+    });
+
+    g.bench_function("obs3.2/EDF", |b| {
+        b.iter(|| {
+            let s = edf_worst::scenario(8, 8);
+            let mut alg = build_strategy(
+                StrategyKind::Edf {
+                    cancel_sibling: false,
+                },
+                2,
+                8,
+                TieBreak::FirstFit,
+            );
+            run_fixed(alg.as_mut(), &s.instance).ratio()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_lower_bounds);
+criterion_main!(benches);

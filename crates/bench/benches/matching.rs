@@ -1,0 +1,77 @@
+//! Microbenchmarks of the matching engine: Hopcroft–Karp and Kuhn on random
+//! bipartite graphs of growing size, plus the lexicographic saturation pass
+//! (the inner loop of `A_balance`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::Rng;
+use rand::SeedableRng;
+use reqsched_matching::{
+    hopcroft_karp, kuhn_in_order, saturate_levels, BipartiteGraph, Matching,
+};
+
+fn random_graph(nl: u32, nr: u32, degree: usize, seed: u64) -> BipartiteGraph {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut b = BipartiteGraph::builder(nr);
+    let mut adj = Vec::with_capacity(degree);
+    for _ in 0..nl {
+        adj.clear();
+        for _ in 0..degree {
+            adj.push(rng.gen_range(0..nr));
+        }
+        adj.sort_unstable();
+        adj.dedup();
+        b.add_left(&adj);
+    }
+    b.finish()
+}
+
+fn bench_hopcroft_karp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hopcroft_karp");
+    for size in [100u32, 1_000, 10_000] {
+        let graph = random_graph(size, size, 4, 42);
+        g.throughput(Throughput::Elements(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &graph, |b, graph| {
+            b.iter(|| hopcroft_karp(graph).size())
+        });
+    }
+    g.finish();
+}
+
+fn bench_kuhn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kuhn_in_order");
+    for size in [100u32, 1_000, 10_000] {
+        let graph = random_graph(size, size, 4, 43);
+        let order: Vec<u32> = (0..size).collect();
+        g.throughput(Throughput::Elements(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &graph, |b, graph| {
+            b.iter(|| {
+                let mut m = Matching::empty(graph.n_left(), graph.n_right());
+                kuhn_in_order(graph, &mut m, &order)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_saturation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("saturate_levels");
+    for (nl, levels) in [(500u32, 4u32), (2_000, 8), (2_000, 16)] {
+        let graph = random_graph(nl, nl, 4, 44);
+        let level: Vec<u32> = (0..nl).map(|r| r % levels).collect();
+        let base = hopcroft_karp(&graph);
+        g.bench_with_input(
+            BenchmarkId::new("lex", format!("n={nl},levels={levels}")),
+            &graph,
+            |b, graph| {
+                b.iter(|| {
+                    let mut m = base.clone();
+                    saturate_levels(graph, &mut m, &level)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hopcroft_karp, bench_kuhn, bench_saturation);
+criterion_main!(benches);

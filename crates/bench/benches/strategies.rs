@@ -1,0 +1,61 @@
+//! Macro-benchmarks: full simulation throughput of every global strategy on
+//! a uniform two-choice workload, swept over the number of resources and the
+//! deadline (how expensive is each strategy's per-round matching work?).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use reqsched_core::{StrategyKind, TieBreak};
+use reqsched_sim::run_fixed;
+use reqsched_workloads::uniform_two_choice;
+
+fn bench_strategies_by_n(c: &mut Criterion) {
+    let mut g = c.benchmark_group("strategy_round_throughput_by_n");
+    g.sample_size(20);
+    for n in [8u32, 32, 128] {
+        let inst = uniform_two_choice(n, 4, n, 100, 7);
+        g.throughput(Throughput::Elements(inst.total_requests() as u64));
+        for kind in StrategyKind::GLOBAL {
+            g.bench_with_input(
+                BenchmarkId::new(kind.name(), n),
+                &inst,
+                |b, inst| {
+                    b.iter(|| {
+                        let mut s = reqsched_core::build_strategy(
+                            kind,
+                            inst.n_resources,
+                            inst.d,
+                            TieBreak::FirstFit,
+                        );
+                        run_fixed(s.as_mut(), inst).served
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_strategies_by_d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("strategy_round_throughput_by_d");
+    g.sample_size(20);
+    for d in [2u32, 8, 16] {
+        let inst = uniform_two_choice(16, d, 16, 100, 11);
+        g.throughput(Throughput::Elements(inst.total_requests() as u64));
+        for kind in [StrategyKind::AFix, StrategyKind::AEager, StrategyKind::ABalance] {
+            g.bench_with_input(BenchmarkId::new(kind.name(), d), &inst, |b, inst| {
+                b.iter(|| {
+                    let mut s = reqsched_core::build_strategy(
+                        kind,
+                        inst.n_resources,
+                        inst.d,
+                        TieBreak::FirstFit,
+                    );
+                    run_fixed(s.as_mut(), inst).served
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies_by_n, bench_strategies_by_d);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Sweep scaling: how the Rayon-parallel harness scales with the number of
+//! independent (strategy × instance) jobs, and the cost of the exact offline
+//! optimum that every job computes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use reqsched_core::{StrategyKind, TieBreak};
+use reqsched_offline::optimal_count;
+use reqsched_sim::{par_run, Job};
+use reqsched_workloads::uniform_two_choice;
+use std::sync::Arc;
+
+fn bench_par_run_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("par_run_scaling");
+    g.sample_size(10);
+    let inst = Arc::new(uniform_two_choice(12, 4, 16, 80, 31));
+    for njobs in [4usize, 16, 64] {
+        let jobs: Vec<Job> = (0..njobs)
+            .map(|i| {
+                let kind = StrategyKind::GLOBAL[i % StrategyKind::GLOBAL.len()];
+                Job::new(
+                    format!("j{i}"),
+                    Arc::clone(&inst),
+                    kind,
+                    TieBreak::Random(i as u64),
+                )
+            })
+            .collect();
+        g.throughput(Throughput::Elements(njobs as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(njobs), &jobs, |b, jobs| {
+            b.iter(|| par_run(jobs).len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_offline_opt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("offline_optimum");
+    for rounds in [50u64, 200, 800] {
+        let inst = uniform_two_choice(16, 4, 24, rounds, 37);
+        g.throughput(Throughput::Elements(inst.total_requests() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(rounds),
+            &inst,
+            |b, inst| b.iter(|| optimal_count(inst)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_par_run_scaling, bench_offline_opt);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Ablations of the design choices DESIGN.md calls out: what each rule or
+//! mechanism is worth, measured as competitive ratios on the same inputs.
+//!
+//! * **Serve-now rule** (`A_eager` vs the `A_lazy_max` ablation): drop rule 1
+//!   and keep only "maximum matching, keep scheduled" — procrastination
+//!   wastes current slots forever.
+//! * **Sibling cancellation** (independent-copy `EDF` vs `EDF-cancel`): the
+//!   engineering fix that defuses Observation 3.2's worst case.
+//! * **Hint-guided vs natural members**: the same adversarial input against
+//!   the pessimal and the first-fit member of each class — how much of each
+//!   lower bound is *existential* (member choice) rather than forced.
+//! * **Rival exchange** (`A_local_eager` vs `A_local_fix`): what phase 2+3's
+//!   seven extra communication rounds buy.
+//!
+//! Usage: `cargo run --release -p reqsched-bench --bin ablations [phases]`
+
+use reqsched_adversary::{edf_worst, thm21, thm24, thm37};
+use reqsched_core::{StrategyKind, TieBreak};
+use reqsched_sim::{par_run, AnyStrategy, Job};
+use reqsched_stats::Table;
+use std::sync::Arc;
+
+fn main() {
+    let phases: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10);
+    let d = 6;
+
+    let thm24_inst = Arc::new(thm24::scenario(d, phases).instance);
+    let thm21_inst = Arc::new(thm21::scenario(d, phases).instance);
+    let edf_inst = Arc::new(edf_worst::scenario(d, phases).instance);
+    let thm37_inst = Arc::new(thm37::scenario(d, phases).instance);
+    let flash = Arc::new(reqsched_workloads::flash_crowd(
+        6, d, 3, 14, 12, 10, 60, 4,
+    ));
+
+    let jobs = vec![
+        // Serve-now rule.
+        Job::new("thm2.4", Arc::clone(&thm24_inst), StrategyKind::AEager, TieBreak::FirstFit),
+        Job::new("thm2.4", Arc::clone(&thm24_inst), StrategyKind::LazyMax, TieBreak::LatestFit),
+        Job::new("flash", Arc::clone(&flash), StrategyKind::AEager, TieBreak::FirstFit),
+        Job::new("flash", Arc::clone(&flash), StrategyKind::LazyMax, TieBreak::LatestFit),
+        // Sibling cancellation.
+        Job::new(
+            "edf-worst",
+            Arc::clone(&edf_inst),
+            StrategyKind::Edf {
+                cancel_sibling: false,
+            },
+            TieBreak::FirstFit,
+        ),
+        Job::new(
+            "edf-worst",
+            Arc::clone(&edf_inst),
+            StrategyKind::Edf {
+                cancel_sibling: true,
+            },
+            TieBreak::FirstFit,
+        ),
+        // Member choice: pessimal vs natural on thm2.1.
+        Job::new("thm2.1", Arc::clone(&thm21_inst), StrategyKind::AFix, TieBreak::HintGuided),
+        Job::new("thm2.1", Arc::clone(&thm21_inst), StrategyKind::AFix, TieBreak::FirstFit),
+        Job::new("thm2.1", Arc::clone(&thm21_inst), StrategyKind::AFix, TieBreak::Random(1)),
+        // Rival exchange.
+        Job::any("thm3.7", Arc::clone(&thm37_inst), AnyStrategy::LocalFix),
+        Job::any("thm3.7", Arc::clone(&thm37_inst), AnyStrategy::LocalEager),
+    ];
+    let records = par_run(&jobs);
+
+    let mut table = Table::new(&["input", "strategy", "tie-break", "served", "opt", "ratio"]);
+    for r in &records {
+        table.row(&[
+            r.label.clone(),
+            r.stats.strategy.clone(),
+            r.tie.clone(),
+            r.stats.served.to_string(),
+            r.stats.opt.to_string(),
+            format!("{:.4}", r.ratio),
+        ]);
+    }
+    println!("Ablations (d = {d}, phases = {phases})\n");
+    print!("{}", table.render());
+    println!();
+    println!("Readings: removing the serve-now rule costs on both adversarial");
+    println!("and bursty inputs; sibling cancellation collapses EDF's factor-2");
+    println!("input to ratio 1; the hint-guided member realizes the lower");
+    println!("bound while natural members of the same class often dodge it;");
+    println!("the rival-exchange phases erase A_local_fix's factor 2.");
+}

@@ -1,0 +1,46 @@
+//! Derived figure F-2: communication cost of the local strategies.
+//!
+//! For `A_local_fix` and `A_local_eager` across workloads, print the
+//! maximum and mean communication rounds per scheduling round (the paper's
+//! claims: 2 and ≤ 9), message volume, and the achieved ratio.
+//!
+//! Usage: `cargo run --release -p reqsched-bench --bin local_comm`
+
+use reqsched_bench::{local_comm_profile, validation_battery};
+use reqsched_sim::AnyStrategy;
+use reqsched_stats::{Summary, Table};
+
+fn main() {
+    let mut table = Table::new(&[
+        "strategy",
+        "workload",
+        "d",
+        "comm rounds/round (mean)",
+        "comm rounds/round (max)",
+        "messages/round (mean)",
+        "ratio",
+    ]);
+    for d in [2u32, 4, 8] {
+        for (name, inst) in validation_battery(d, 4242) {
+            for strat in [AnyStrategy::LocalFix, AnyStrategy::LocalEager] {
+                let (profile, ratio) = local_comm_profile(strat, &inst);
+                let crs: Vec<f64> = profile.iter().map(|&(c, _)| c as f64).collect();
+                let msgs: Vec<f64> = profile.iter().map(|&(_, m)| m as f64).collect();
+                let cr_sum = Summary::of(&crs);
+                let msg_sum = Summary::of(&msgs);
+                table.row(&[
+                    strat.name(),
+                    name.clone(),
+                    d.to_string(),
+                    format!("{:.2}", cr_sum.mean),
+                    format!("{:.0}", cr_sum.max),
+                    format!("{:.1}", msg_sum.mean),
+                    format!("{ratio:.4}"),
+                ]);
+            }
+        }
+    }
+    println!("Local strategies: communication cost per scheduling round");
+    println!("(paper: A_local_fix = 2 comm rounds, A_local_eager ≤ 9)\n");
+    print!("{}", table.render());
+}

@@ -1,0 +1,41 @@
+//! Derived figure F-1: measured competitive ratio versus deadline `d` for
+//! every global strategy on its own adversarial generator — Table 1 as
+//! curves. Emits CSV (columns: strategy, d, measured ratio, paper LB,
+//! paper UB).
+//!
+//! Usage: `cargo run --release -p reqsched-bench --bin ratio_curves [phases]`
+
+use reqsched_bench::ratio_curve;
+use reqsched_core::StrategyKind;
+use reqsched_stats::render_csv;
+
+fn main() {
+    let phases: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(12);
+    let ds: Vec<u32> = (2..=16).collect();
+    let mut rows: Vec<Vec<String>> = vec![vec![
+        "strategy".into(),
+        "d".into(),
+        "measured".into(),
+        "paper_lb".into(),
+        "paper_ub".into(),
+    ]];
+    for kind in StrategyKind::GLOBAL {
+        for (d, ratio) in ratio_curve(kind, &ds, phases) {
+            rows.push(vec![
+                kind.name().to_string(),
+                d.to_string(),
+                format!("{ratio:.5}"),
+                kind.lower_bound(d)
+                    .map(|v| format!("{v:.5}"))
+                    .unwrap_or_default(),
+                kind.upper_bound(d)
+                    .map(|v| format!("{v:.5}"))
+                    .unwrap_or_default(),
+            ]);
+        }
+    }
+    print!("{}", render_csv(&rows));
+}

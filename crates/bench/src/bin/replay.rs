@@ -1,0 +1,124 @@
+//! Replay an archived instance (JSON, as produced by serializing
+//! [`Instance`](reqsched_model::Instance)) against any strategy and print
+//! the run statistics plus an ASCII schedule timeline.
+//!
+//! ```text
+//! cargo run --release -p reqsched-bench --bin replay -- <instance.json> \
+//!     [strategy] [tie]
+//! # strategy ∈ {edf, edf-cancel, a_fix, a_current, a_fix_balance, a_eager,
+//! #             a_balance, a_lazy_max, local_fix, local_eager}   (default a_balance)
+//! # tie      ∈ {first-fit, latest-fit, hint, random:<seed>}      (default first-fit)
+//! ```
+//!
+//! With no arguments, a demo instance (Theorem 2.1, d = 4) is generated,
+//! archived to a temp file, re-loaded and replayed — a self-contained
+//! round-trip demonstration.
+
+use reqsched_core::{StrategyKind, TieBreak};
+use reqsched_model::Instance;
+use reqsched_sim::{run_fixed, AnyStrategy};
+use reqsched_stats::render_timeline;
+
+fn parse_strategy(name: &str, tie: TieBreak) -> Option<AnyStrategy> {
+    let kind = match name {
+        "edf" => StrategyKind::Edf {
+            cancel_sibling: false,
+        },
+        "edf-cancel" => StrategyKind::Edf {
+            cancel_sibling: true,
+        },
+        "edf-1" => StrategyKind::EdfSingle,
+        "a_fix" => StrategyKind::AFix,
+        "a_current" => StrategyKind::ACurrent,
+        "a_fix_balance" => StrategyKind::AFixBalance,
+        "a_eager" => StrategyKind::AEager,
+        "a_balance" => StrategyKind::ABalance,
+        "a_lazy_max" => StrategyKind::LazyMax,
+        "local_fix" => return Some(AnyStrategy::LocalFix),
+        "local_eager" => return Some(AnyStrategy::LocalEager),
+        _ => return None,
+    };
+    Some(AnyStrategy::Global(kind, tie))
+}
+
+fn parse_tie(s: &str) -> TieBreak {
+    match s {
+        "first-fit" => TieBreak::FirstFit,
+        "latest-fit" => TieBreak::LatestFit,
+        "hint" => TieBreak::HintGuided,
+        other => match other.strip_prefix("random:") {
+            Some(seed) => TieBreak::Random(seed.parse().unwrap_or(0)),
+            None => {
+                eprintln!("unknown tie-break {other:?}; using first-fit");
+                TieBreak::FirstFit
+            }
+        },
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fail = |msg: String| -> ! {
+        eprintln!("error: {msg}");
+        std::process::exit(2);
+    };
+    let inst: Instance = match args.first() {
+        Some(path) => {
+            let json = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+            serde_json::from_str(&json)
+                .unwrap_or_else(|e| fail(format!("{path} is not an instance: {e}")))
+        }
+        None => {
+            // Self-contained demo: archive + reload Theorem 2.1's trap.
+            let inst = reqsched_adversary::thm21::scenario(4, 2).instance;
+            let path = std::env::temp_dir().join("reqsched-demo-instance.json");
+            std::fs::write(&path, serde_json::to_string_pretty(&inst).unwrap())
+                .expect("write demo instance");
+            println!("archived demo instance to {}", path.display());
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap()
+        }
+    };
+
+    let tie = parse_tie(args.get(2).map(String::as_str).unwrap_or("first-fit"));
+    let strat_name = args.get(1).map(String::as_str).unwrap_or("a_balance");
+    let strat = parse_strategy(strat_name, tie).unwrap_or_else(|| {
+        fail(format!(
+            "unknown strategy {strat_name:?} (try: edf, edf-cancel, edf-1, a_fix, \
+             a_current, a_fix_balance, a_eager, a_balance, a_lazy_max, local_fix, \
+             local_eager)"
+        ))
+    });
+
+    let mut s = strat.build(inst.n_resources, inst.d);
+    let stats = run_fixed(s.as_mut(), &inst);
+
+    println!(
+        "\n{} on n={}, d={}, {} requests",
+        stats.strategy, inst.n_resources, inst.d, stats.injected
+    );
+    println!(
+        "served {} / OPT {}  (ratio {:.4}), {} expired",
+        stats.served,
+        stats.opt,
+        stats.ratio(),
+        stats.expired
+    );
+    if stats.comm_rounds > 0 {
+        println!(
+            "communication: {} rounds, {} messages",
+            stats.comm_rounds, stats.messages
+        );
+    }
+    let tags: Vec<u32> = inst.trace.requests().iter().map(|r| r.tag).collect();
+    let horizon = inst.trace.service_horizon().get();
+    if horizon <= 200 && inst.n_resources <= 32 {
+        println!("\n{}", render_timeline(
+            inst.n_resources,
+            horizon,
+            &stats.assignment,
+            &tags,
+            true,
+        ));
+    }
+}

@@ -1,0 +1,62 @@
+//! Regenerate the paper's **Table 1**: for every strategy and several
+//! deadlines, print the paper's lower/upper bounds next to the ratios we
+//! measure by replaying each theorem's adversarial construction against the
+//! pessimal strategy member, and the worst ratio observed across the
+//! upper-bound validation battery.
+//!
+//! Usage: `cargo run --release -p reqsched-bench --bin table1 [phases] [--csv]`
+
+use reqsched_bench::{extra_rows, table1_rows};
+use reqsched_stats::Table;
+
+fn fmt_opt(x: Option<f64>) -> String {
+    x.map(|v| format!("{v:.4}")).unwrap_or_else(|| "—".into())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let phases: u32 = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(12);
+    let csv = args.iter().any(|a| a == "--csv");
+
+    let mut table = Table::new(&[
+        "strategy",
+        "d",
+        "paper LB",
+        "measured LB",
+        "paper UB",
+        "worst observed",
+        "LB generator",
+    ]);
+    for r in table1_rows(phases).into_iter().chain(extra_rows(phases)) {
+        let ub_ok = r.paper_ub.is_none_or(|ub| r.measured_worst <= ub + 1e-9);
+        table.row(&[
+            r.strategy.clone(),
+            r.d.to_string(),
+            fmt_opt(r.paper_lb),
+            format!("{:.4}", r.measured_lb),
+            fmt_opt(r.paper_ub),
+            format!(
+                "{:.4}{}",
+                r.measured_worst,
+                if ub_ok { "" } else { "  ** ABOVE UB **" }
+            ),
+            r.generator.clone(),
+        ]);
+    }
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        println!("Table 1 reproduction (phases = {phases})");
+        println!(
+            "measured LB: pessimal (hint-guided) member on its theorem's input;"
+        );
+        println!(
+            "worst observed: max ratio across the upper-bound validation battery\n"
+        );
+        print!("{}", table.render());
+    }
+}

@@ -1,0 +1,374 @@
+//! # reqsched-bench
+//!
+//! The experiment harness that regenerates the paper's evaluation artifacts:
+//!
+//! * **Table 1** (the paper's only table) — [`table1_rows`] replays every
+//!   lower-bound construction against the hint-guided (pessimal) member of
+//!   its target strategy and validates every upper bound against a workload
+//!   battery; the `table1` binary renders the comparison.
+//! * **Figure F-1** (derived) — [`ratio_curve`] produces measured
+//!   ratio-vs-`d` series per strategy (`ratio_curves` binary).
+//! * **Figure F-2** (derived) — [`local_comm_profile`] measures
+//!   communication rounds and messages per scheduling round for the local
+//!   strategies (`local_comm` binary).
+//!
+//! Criterion micro/macro benchmarks live in `benches/`.
+
+use rayon::prelude::*;
+use reqsched_adversary::{edf_worst, thm21, thm22, thm23, thm24, thm25, thm26, thm37};
+use reqsched_core::{StrategyKind, TieBreak};
+use reqsched_model::{Instance, Round};
+use reqsched_sim::{par_run, run_fixed, run_source, AnyStrategy, Job};
+use std::sync::Arc;
+
+/// One rendered row of the Table-1 reproduction.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Strategy name (paper notation).
+    pub strategy: String,
+    /// Deadline parameter of the measurement.
+    pub d: u32,
+    /// The paper's lower bound for this `d`, if stated.
+    pub paper_lb: Option<f64>,
+    /// Measured ratio of the pessimal member on its adversarial input.
+    pub measured_lb: f64,
+    /// The paper's upper bound for this `d`.
+    pub paper_ub: Option<f64>,
+    /// Worst measured ratio across the validation battery (must be ≤ UB).
+    pub measured_worst: f64,
+    /// Name of the generator that produced `measured_lb`.
+    pub generator: String,
+}
+
+/// The deadline values the Table-1 harness measures at.
+pub const TABLE1_DS: [u32; 4] = [2, 4, 6, 8];
+
+fn lb_scenario(kind: StrategyKind, d: u32, phases: u32) -> (Instance, String) {
+    match kind {
+        StrategyKind::AFix => {
+            let s = thm21::scenario(d, phases);
+            (s.instance, "thm2.1".into())
+        }
+        StrategyKind::ACurrent => {
+            // Theorem 2.2 fixes d = lcm(1..l-1)·scale; pick the largest l
+            // (≤ 6) admissible for the requested d, falling back to the
+            // shared d=2 trap (Theorem 2.4) when none is.
+            let l = if d == 2 {
+                // Paper's Table-1 row for d = 2 (4/3) comes from Thm 2.4.
+                0
+            } else {
+                (3..=6u32)
+                    .rev()
+                    .find(|&l| d.is_multiple_of(thm22::deadline_for(l, 1)))
+                    .unwrap_or(0)
+            };
+            if l >= 3 {
+                let scale = d / thm22::deadline_for(l, 1);
+                let s = thm22::scenario(l, scale, phases.min(4));
+                (s.instance, format!("thm2.2(l={l})"))
+            } else {
+                let s = thm24::scenario(d & !1, phases);
+                (s.instance, "thm2.4".into())
+            }
+        }
+        StrategyKind::AFixBalance => {
+            if d == 2 {
+                // Theorem 2.3's bound degenerates to 1 at d = 2; the paper's
+                // 4/3 row comes from the shared Theorem 2.4 construction.
+                let s = thm24::scenario(2, phases);
+                (s.instance, "thm2.4(d=2)".into())
+            } else {
+                let s = thm23::scenario(d & !1, phases);
+                (s.instance, "thm2.3".into())
+            }
+        }
+        StrategyKind::AEager => {
+            let s = thm24::scenario(d & !1, phases);
+            (s.instance, "thm2.4".into())
+        }
+        StrategyKind::ABalance => {
+            if d == 2 {
+                let s = thm24::scenario(2, phases);
+                (s.instance, "thm2.4(d=2)".into())
+            } else {
+                // d = 3x - 1: pick the closest admissible x. Many groups
+                // amortize the shared S'/S'' maintenance traffic (the
+                // paper's n -> infinity).
+                let x = (d + 1).div_ceil(3).max(1);
+                let s = thm25::scenario(x, 16, phases.min(8));
+                (s.instance, format!("thm2.5(x={x})"))
+            }
+        }
+        _ => unreachable!("only the global Table-1 strategies have LB rows"),
+    }
+}
+
+/// The validation battery for upper bounds at deadline `d`.
+pub fn validation_battery(d: u32, seed: u64) -> Vec<(String, Arc<Instance>)> {
+    let mut out: Vec<(String, Arc<Instance>)> = Vec::new();
+    if d >= 2 && d.is_multiple_of(2) {
+        out.push(("thm2.1".into(), Arc::new(thm21::scenario(d, 6).instance)));
+        out.push(("thm2.3".into(), Arc::new(thm23::scenario(d, 6).instance)));
+        out.push(("thm2.4".into(), Arc::new(thm24::scenario(d, 6).instance)));
+    }
+    out.push(("thm3.7".into(), Arc::new(thm37::scenario(d, 4).instance)));
+    out.push((
+        "uniform".into(),
+        Arc::new(reqsched_workloads::uniform_two_choice(6, d, 8, 60, seed)),
+    ));
+    out.push((
+        "zipf".into(),
+        Arc::new(reqsched_workloads::zipf_replicated(
+            8,
+            d,
+            40,
+            1.1,
+            9,
+            60,
+            seed + 1,
+        )),
+    ));
+    out.push((
+        "flash".into(),
+        Arc::new(reqsched_workloads::flash_crowd(
+            6,
+            d,
+            3,
+            12,
+            10,
+            8,
+            50,
+            seed + 2,
+        )),
+    ));
+    out
+}
+
+/// Compute the Table-1 reproduction rows (in parallel across strategies and
+/// deadlines).
+pub fn table1_rows(phases: u32) -> Vec<Table1Row> {
+    let mut work: Vec<(StrategyKind, u32)> = Vec::new();
+    for kind in StrategyKind::GLOBAL {
+        for &d in &TABLE1_DS {
+            work.push((kind, d));
+        }
+    }
+    work.par_iter()
+        .map(|&(kind, d)| {
+            // Lower bound: pessimal member on its adversarial input.
+            let (inst, generator) = lb_scenario(kind, d, phases);
+            let mut strategy =
+                reqsched_core::build_strategy(kind, inst.n_resources, inst.d, TieBreak::HintGuided);
+            let stats = run_fixed(strategy.as_mut(), &inst);
+            let measured_lb = stats.ratio();
+            // Upper bound validation: worst ratio across the battery under
+            // the natural member.
+            let jobs: Vec<Job> = validation_battery(d, 77)
+                .into_iter()
+                .flat_map(|(name, i)| {
+                    [TieBreak::FirstFit, TieBreak::HintGuided].map(|tie| {
+                        Job::new(format!("{name}/{}", tie.label()), Arc::clone(&i), kind, tie)
+                    })
+                })
+                .collect();
+            let measured_worst = par_run(&jobs)
+                .iter()
+                .map(|r| r.ratio)
+                .fold(1.0f64, f64::max);
+            Table1Row {
+                strategy: kind.name().to_string(),
+                d,
+                paper_lb: kind.lower_bound(d),
+                measured_lb,
+                paper_ub: kind.upper_bound(d),
+                measured_worst,
+                generator,
+            }
+        })
+        .collect()
+}
+
+/// Extra (non-Table-1) reproduction rows: EDF observations, the universal
+/// bound and the local strategies.
+pub fn extra_rows(phases: u32) -> Vec<Table1Row> {
+    let mut rows = Vec::new();
+
+    // Observation 3.2: EDF with independent copies.
+    let s = edf_worst::scenario(4, phases);
+    let mut edf = reqsched_core::build_strategy(
+        StrategyKind::Edf {
+            cancel_sibling: false,
+        },
+        2,
+        4,
+        TieBreak::FirstFit,
+    );
+    let stats = run_fixed(edf.as_mut(), &s.instance);
+    rows.push(Table1Row {
+        strategy: "EDF".into(),
+        d: 4,
+        paper_lb: Some(2.0),
+        measured_lb: stats.ratio(),
+        paper_ub: Some(2.0),
+        measured_worst: stats.ratio(),
+        generator: "edf-worst".into(),
+    });
+
+    // Theorem 3.7: A_local_fix.
+    let s = thm37::scenario(4, phases);
+    let mut lf = AnyStrategy::LocalFix.build(4, 4);
+    let stats = run_fixed(lf.as_mut(), &s.instance);
+    rows.push(Table1Row {
+        strategy: "A_local_fix".into(),
+        d: 4,
+        paper_lb: Some(2.0),
+        measured_lb: stats.ratio(),
+        paper_ub: Some(2.0),
+        measured_worst: stats.ratio(),
+        generator: "thm3.7".into(),
+    });
+
+    // Theorem 3.8: A_local_eager (UB 5/3; worst measured over the battery).
+    let worst = validation_battery(4, 177)
+        .into_iter()
+        .map(|(_, inst)| {
+            let mut le = AnyStrategy::LocalEager.build(inst.n_resources, inst.d);
+            run_fixed(le.as_mut(), &inst).ratio()
+        })
+        .fold(1.0f64, f64::max);
+    rows.push(Table1Row {
+        strategy: "A_local_eager".into(),
+        d: 4,
+        paper_lb: None,
+        measured_lb: worst,
+        paper_ub: Some(5.0 / 3.0),
+        measured_worst: worst,
+        generator: "battery".into(),
+    });
+
+    // Theorem 2.6: universal bound, measured on A_balance (any strategy
+    // qualifies — the bound is universal).
+    let d = 9;
+    let mut adv = thm26::Thm26Adversary::new(d, 6);
+    let mut s = AnyStrategy::Global(StrategyKind::ABalance, TieBreak::FirstFit)
+        .build(thm26::N_RESOURCES, d);
+    let (mut stats, trace) = run_source(s.as_mut(), &mut adv, thm26::N_RESOURCES, d);
+    let inst = Instance::new(thm26::N_RESOURCES, d, trace);
+    stats.opt = reqsched_offline::optimal_count(&inst);
+    rows.push(Table1Row {
+        strategy: "any online (A)".into(),
+        d,
+        paper_lb: Some(45.0 / 41.0),
+        measured_lb: stats.ratio(),
+        paper_ub: None,
+        measured_worst: stats.ratio(),
+        generator: "thm2.6 (adaptive)".into(),
+    });
+
+    rows
+}
+
+/// Measured ratio-vs-`d` series for one strategy on its own adversarial
+/// generator (the derived "figure" F-1).
+pub fn ratio_curve(kind: StrategyKind, ds: &[u32], phases: u32) -> Vec<(u32, f64)> {
+    ds.par_iter()
+        .map(|&d| {
+            let (inst, _) = lb_scenario(kind, d.max(2), phases);
+            let mut s = reqsched_core::build_strategy(
+                kind,
+                inst.n_resources,
+                inst.d,
+                TieBreak::HintGuided,
+            );
+            let stats = run_fixed(s.as_mut(), &inst);
+            (d, stats.ratio())
+        })
+        .collect()
+}
+
+/// Communication profile of a local strategy on an instance: per scheduling
+/// round `(comm_rounds, messages)` deltas, plus the final ratio.
+pub fn local_comm_profile(
+    strat: AnyStrategy,
+    inst: &Instance,
+) -> (Vec<(u64, u64)>, f64) {
+    let mut s = strat.build(inst.n_resources, inst.d);
+    let mut profile = Vec::new();
+    let (mut last_cr, mut last_msg) = (0u64, 0u64);
+    for t in 0..inst.horizon().get() {
+        s.on_round(Round(t), inst.trace.arrivals_at(Round(t)));
+        profile.push((
+            s.comm_rounds_total() - last_cr,
+            s.messages_total() - last_msg,
+        ));
+        last_cr = s.comm_rounds_total();
+        last_msg = s.messages_total();
+    }
+    let mut s2 = strat.build(inst.n_resources, inst.d);
+    let stats = run_fixed(s2.as_mut(), inst);
+    (profile, stats.ratio())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_cover_all_strategies_and_ds() {
+        let rows = table1_rows(4);
+        assert_eq!(rows.len(), StrategyKind::GLOBAL.len() * TABLE1_DS.len());
+        for r in &rows {
+            assert!(r.measured_lb >= 1.0);
+            if let Some(ub) = r.paper_ub {
+                assert!(
+                    r.measured_worst <= ub + 1e-9,
+                    "{} d={}: {} > {}",
+                    r.strategy,
+                    r.d,
+                    r.measured_worst,
+                    ub
+                );
+                assert!(
+                    r.measured_lb <= ub + 1e-9,
+                    "{} d={}: LB run {} above UB {}",
+                    r.strategy,
+                    r.d,
+                    r.measured_lb,
+                    ub
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extra_rows_match_paper_values() {
+        let rows = extra_rows(6);
+        let edf = rows.iter().find(|r| r.strategy == "EDF").unwrap();
+        assert!((edf.measured_lb - 2.0).abs() < 1e-9);
+        let lf = rows.iter().find(|r| r.strategy == "A_local_fix").unwrap();
+        assert!((lf.measured_lb - 2.0).abs() < 1e-9);
+        let le = rows.iter().find(|r| r.strategy == "A_local_eager").unwrap();
+        assert!(le.measured_lb <= 5.0 / 3.0 + 1e-9);
+        let any = rows.iter().find(|r| r.strategy.starts_with("any")).unwrap();
+        assert!(any.measured_lb >= 45.0 / 41.0 * 0.97);
+    }
+
+    #[test]
+    fn ratio_curves_shape() {
+        let curve = ratio_curve(StrategyKind::AFix, &[2, 4, 8], 6);
+        assert_eq!(curve.len(), 3);
+        // 2 - 1/d increases with d.
+        assert!(curve[0].1 < curve[2].1);
+    }
+
+    #[test]
+    fn local_profile_bounds() {
+        let inst = reqsched_workloads::uniform_two_choice(5, 3, 6, 25, 3);
+        let (profile, ratio) = local_comm_profile(AnyStrategy::LocalEager, &inst);
+        assert_eq!(profile.len(), inst.horizon().get() as usize);
+        assert!(profile.iter().all(|&(cr, _)| cr <= 9));
+        assert!(ratio <= 5.0 / 3.0 + 1e-9);
+        let (profile, _) = local_comm_profile(AnyStrategy::LocalFix, &inst);
+        assert!(profile.iter().all(|&(cr, _)| cr <= 2));
+    }
+}

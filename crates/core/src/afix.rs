@@ -1,0 +1,162 @@
+//! `A_fix`: schedule new arrivals maximally, never reschedule.
+//!
+//! Paper rule (§1.3): *"For every round t, choose any maximal matching in
+//! `G_t` with the property that 1) every request already matched to some time
+//! slot stays matched to **that slot**, and 2) a maximum number of requests
+//! generated at `t` is scheduled."* Competitive ratio exactly `2 − 1/d`
+//! (Theorems 2.1 and 3.3).
+//!
+//! Because assignments are permanent and slots are only ever consumed, a
+//! request that cannot be matched on arrival can never be matched later (its
+//! feasible slots all lie within `t .. t+d-1`, all present in `G_t` at
+//! arrival); `A_fix` therefore drops failed arrivals immediately.
+
+use crate::schedule::{ScheduleState, Service};
+use crate::tiebreak::TieBreak;
+use crate::window::WindowGraph;
+use crate::OnlineScheduler;
+use reqsched_matching::kuhn_in_order;
+use reqsched_model::{Request, RequestId, Round};
+
+/// The `A_fix` strategy. See module docs.
+pub struct AFix {
+    state: ScheduleState,
+    tie: TieBreak,
+}
+
+impl AFix {
+    /// Create an `A_fix` scheduler for `n` resources and deadline `d`.
+    pub fn new(n: u32, d: u32, tie: TieBreak) -> AFix {
+        AFix {
+            state: ScheduleState::new(n, d),
+            tie,
+        }
+    }
+
+    /// Read-only view of the internal schedule window (observability: used
+    /// by compliance tests that verify the strategy's defining rule against
+    /// brute-force enumeration, and handy for instrumentation).
+    pub fn schedule(&self) -> &crate::schedule::ScheduleState {
+        &self.state
+    }
+
+}
+
+impl OnlineScheduler for AFix {
+    fn name(&self) -> &str {
+        "A_fix"
+    }
+
+    fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
+        assert_eq!(round, self.state.front(), "rounds must be consecutive");
+        for req in arrivals {
+            self.state.insert(req);
+        }
+        let mut new_ids: Vec<RequestId> = arrivals.iter().map(|r| r.id).collect();
+        new_ids.sort_unstable();
+
+        if !new_ids.is_empty() {
+            // Maximum matching of the new requests into the free slots, in
+            // tie-break order; old assignments are untouchable (their slots
+            // are simply absent from the graph).
+            let (wg, mut m) = WindowGraph::build(
+                &self.state,
+                new_ids.clone(),
+                self.state.d(),
+                false,
+                &self.tie,
+            );
+            let order =
+                wg.left_order(&self.state, 0..wg.graph.n_left(), &self.tie);
+            kuhn_in_order(&wg.graph, &mut m, &order);
+            if self.tie.is_hint_guided() {
+                wg.priority_position_pass(&self.state, &mut m);
+            }
+            // Unmatched arrivals are permanently failed under A_fix.
+            let failed: Vec<RequestId> = m
+                .free_lefts()
+                .map(|l| wg.lefts[l as usize])
+                .collect();
+            wg.apply(&mut self.state, &m);
+            for id in failed {
+                self.state.drop_request(id);
+            }
+        }
+        self.state.finish_round().served
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reqsched_model::{Instance, TraceBuilder};
+
+    fn run(strategy: &mut dyn OnlineScheduler, inst: &Instance) -> usize {
+        let mut served = 0;
+        let horizon = inst.horizon().get();
+        for t in 0..horizon {
+            let s = strategy.on_round(Round(t), inst.trace.arrivals_at(Round(t)));
+            served += s.len();
+        }
+        served
+    }
+
+    #[test]
+    fn serves_everything_when_capacity_suffices() {
+        let mut b = TraceBuilder::new(2);
+        b.push(0u64, 0u32, 1u32);
+        b.push(0u64, 0u32, 1u32);
+        b.push(0u64, 2u32, 3u32);
+        let inst = Instance::new(4, 2, b.build());
+        let mut a = AFix::new(4, 2, TieBreak::FirstFit);
+        assert_eq!(run(&mut a, &inst), 3);
+    }
+
+    #[test]
+    fn block_saturates_resources() {
+        // block(2, d) on 2 resources: exactly 2d requests served over d rounds.
+        let d = 3;
+        let mut b = TraceBuilder::new(d);
+        b.block2(0u64, 0u32, 1u32, 0);
+        let inst = Instance::new(2, d, b.build());
+        let mut a = AFix::new(2, d, TieBreak::FirstFit);
+        assert_eq!(run(&mut a, &inst), 2 * d as usize);
+    }
+
+    #[test]
+    fn overload_drops_excess() {
+        // 3d requests on two resources: only 2d can be served by anyone.
+        let d = 2;
+        let mut b = TraceBuilder::new(d);
+        b.block2(0u64, 0u32, 1u32, 0);
+        b.push_group(0u64, 0u32, 1u32, d, 1, Default::default());
+        let inst = Instance::new(2, d, b.build());
+        let mut a = AFix::new(2, d, TieBreak::FirstFit);
+        assert_eq!(run(&mut a, &inst), 2 * d as usize);
+    }
+
+    #[test]
+    fn no_rescheduling_hurts_when_hinted_adversarially() {
+        // Miniature of Theorem 2.1's trap at d=2. S1, S2 start busy (an
+        // initial block), so the hinted requests are *parked* on future
+        // slots of S1/S2 instead of being served immediately; a second
+        // block then arrives at the shared resources and partially starves.
+        use reqsched_model::Hint;
+        let d = 2u32;
+        let mut b = TraceBuilder::new(d);
+        b.block2(0u64, 1u32, 2u32, 0); // S1, S2 busy rounds 0..=1
+        // Round 1: R1 (S0|S1) hinted to S1, R2 (S3|S2) hinted to S2; both
+        // park at round-2 slots of the blocked pair.
+        b.push_hinted(1u64, 0u32, 1u32, Hint::prefer(reqsched_model::ResourceId(1)));
+        b.push_hinted(1u64, 3u32, 2u32, Hint::prefer(reqsched_model::ResourceId(2)));
+        // Round 2: second block(2, d) on (S1, S2): only 2 of its 4 fit now.
+        b.block2(2u64, 1u32, 2u32, 0);
+        let inst = Instance::new(4, d, b.build());
+        let mut a = AFix::new(4, d, TieBreak::HintGuided);
+        let served = run(&mut a, &inst);
+        // OPT = 10 (R1 -> S0, R2 -> S3, both blocks on S1/S2); trapped A_fix
+        // serves 4 + 2 + 2 = 8.
+        assert_eq!(served, 8);
+        assert_eq!(inst.total_requests(), 10);
+    }
+}

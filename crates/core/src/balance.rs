@@ -1,0 +1,149 @@
+//! `A_balance`: maximum matching over the whole known subgraph, maximizing
+//! the balancing function `F`; rescheduling allowed.
+//!
+//! Paper rule (§1.3): *"For every round t, choose any maximum matching in
+//! `G_t` with the property that 1) the function
+//! `F = Σ_{j=0}^{d-1} X_{t+j} (n+1)^{d-j}` is maximized and 2) all
+//! previously scheduled requests remain scheduled (but are allowed to be
+//! moved to other time slots)."* Bounds: LB `(5d+2)/(4d+1)` for `d = 3x−1`
+//! (Thm 2.5), UB `4/3` for `d = 2` and `6(d−1)/(4d−3)` for `d > 2`
+//! (Thm 3.6) — the best upper bound in the paper.
+//!
+//! `F` is a lexicographic objective on per-round matched-slot counts
+//! `(X_t, X_{t+1}, …)` (because `X ≤ n < n+1`), realized by the staged
+//! alternating-path exchange in
+//! [`saturate_levels`](reqsched_matching::saturate_levels) with level =
+//! round offset. Note `F`'s leading term is the current round, so
+//! `A_balance` serves at least as eagerly as `A_eager` and additionally
+//! fills the near future as early (= as balanced) as possible.
+
+use crate::eager::AEager;
+use crate::schedule::{ScheduleState, Service};
+use crate::tiebreak::TieBreak;
+use crate::OnlineScheduler;
+use reqsched_model::{Request, Round};
+
+/// The `A_balance` strategy. See module docs.
+pub struct ABalance {
+    state: ScheduleState,
+    tie: TieBreak,
+}
+
+impl ABalance {
+    /// Create an `A_balance` scheduler for `n` resources and deadline `d`.
+    pub fn new(n: u32, d: u32, tie: TieBreak) -> ABalance {
+        ABalance {
+            state: ScheduleState::new(n, d),
+            tie,
+        }
+    }
+
+    /// Read-only view of the internal schedule window (observability: used
+    /// by compliance tests that verify the strategy's defining rule against
+    /// brute-force enumeration, and handy for instrumentation).
+    pub fn schedule(&self) -> &crate::schedule::ScheduleState {
+        &self.state
+    }
+
+}
+
+impl OnlineScheduler for ABalance {
+    fn name(&self) -> &str {
+        "A_balance"
+    }
+
+    fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
+        AEager::round_body(&mut self.state, &self.tie, round, arrivals, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reqsched_model::{Instance, ResourceId, TraceBuilder};
+
+    fn run_log(
+        strategy: &mut dyn OnlineScheduler,
+        inst: &Instance,
+    ) -> Vec<(u64, Service)> {
+        let mut log = Vec::new();
+        for t in 0..inst.horizon().get() {
+            for s in strategy.on_round(Round(t), inst.trace.arrivals_at(Round(t))) {
+                log.push((t, s));
+            }
+        }
+        log
+    }
+
+    #[test]
+    fn fills_earliest_rounds_first() {
+        // 4 requests (S0|S1), d = 3: F demands rounds 0 and 1 full before
+        // touching round 2.
+        let mut b = TraceBuilder::new(3);
+        for _ in 0..4 {
+            b.push(0u64, 0u32, 1u32);
+        }
+        let inst = Instance::new(2, 3, b.build());
+        let mut a = ABalance::new(2, 3, TieBreak::FirstFit);
+        let log = run_log(&mut a, &inst);
+        assert_eq!(log.len(), 4);
+        let rounds: Vec<u64> = log.iter().map(|(t, _)| *t).collect();
+        assert_eq!(rounds, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn balances_per_resource_within_a_round() {
+        // Two independent pairs: (S0|S1) x2 and (S2|S3) x2, d = 2.
+        // All four must be served in round 0 across four distinct resources.
+        let mut b = TraceBuilder::new(2);
+        b.push(0u64, 0u32, 1u32);
+        b.push(0u64, 0u32, 1u32);
+        b.push(0u64, 2u32, 3u32);
+        b.push(0u64, 2u32, 3u32);
+        let inst = Instance::new(4, 2, b.build());
+        let mut a = ABalance::new(4, 2, TieBreak::FirstFit);
+        let log = run_log(&mut a, &inst);
+        assert!(log.iter().all(|(t, _)| *t == 0));
+        let mut res: Vec<ResourceId> = log.iter().map(|(_, s)| s.resource).collect();
+        res.sort();
+        assert_eq!(
+            res,
+            vec![ResourceId(0), ResourceId(1), ResourceId(2), ResourceId(3)]
+        );
+    }
+
+    #[test]
+    fn reschedules_like_eager() {
+        // Same trap as in the eager tests: must reschedule to serve all.
+        use reqsched_model::Hint;
+        let d = 3u32;
+        let mut b = TraceBuilder::new(d);
+        b.block2(0u64, 1u32, 2u32, 0);
+        b.push_hinted(2u64, 0u32, 1u32, Hint::prefer(ResourceId(1)));
+        b.push_hinted(2u64, 3u32, 2u32, Hint::prefer(ResourceId(2)));
+        b.block2(3u64, 1u32, 2u32, 0);
+        let inst = Instance::new(4, d, b.build());
+        let mut a = ABalance::new(4, d, TieBreak::HintGuided);
+        assert_eq!(run_log(&mut a, &inst).len(), inst.total_requests());
+    }
+
+    #[test]
+    fn no_rule_prefers_loaded_second_alternatives() {
+        // Theorem 2.5's exploited blind spot: requests whose second
+        // alternative is a permanently blocked resource are NOT preferred
+        // over requests with two open alternatives — with equal hints, the
+        // id-ordered member serves the flexible request first.
+        let mut b = TraceBuilder::new(2);
+        // S2 blocked by a block(2,2) with S3.
+        b.block2(0u64, 2u32, 3u32, 9);
+        // q (id after block): flexible (S0|S1); r: constrained (S0|S2).
+        b.push(0u64, 0u32, 1u32);
+        b.push(0u64, 0u32, 2u32);
+        let inst = Instance::new(4, 2, b.build());
+        let mut a = ABalance::new(4, 2, TieBreak::FirstFit);
+        let log = run_log(&mut a, &inst);
+        // Everything can be served here (q -> S1, r -> S0, block -> S2,S3);
+        // max matching + F finds it regardless of the blind spot.
+        assert_eq!(log.len(), inst.total_requests());
+    }
+}

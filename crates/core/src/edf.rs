@@ -1,0 +1,285 @@
+//! Earliest-Deadline-First strategies (Observations 3.1 and 3.2).
+//!
+//! * [`EdfSingle`] — each resource independently serves its queued requests
+//!   in order of increasing deadline. For single-alternative requests this
+//!   is **1-competitive** (Observation 3.1), even with heterogeneous
+//!   deadlines.
+//! * [`EdfTwoChoice`] — every request places one *copy* in the EDF queue of
+//!   each of its `c` alternatives, and the copies are handled independently;
+//!   a request is fulfilled when its first copy is served, and any further
+//!   copy served afterwards wastes the slot. `c`-competitive (Observation
+//!   3.2 for `c = 2`, tight). `cancel_sibling = true` gives the natural
+//!   engineering refinement that drops the remaining copies once a request
+//!   is fulfilled — still 2-competitive in the worst case (Theorem 3.7's
+//!   input defeats it too) but much better on benign inputs.
+//!
+//! EDF is fully *local*: each resource only looks at its own queue.
+
+use crate::schedule::Service;
+use crate::OnlineScheduler;
+use reqsched_model::{Request, RequestId, ResourceId, Round};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// Min-heap entry: earliest expiry first, ties by request id (FIFO-ish).
+type Entry = Reverse<(Round, RequestId)>;
+
+/// Per-resource EDF queues over request *copies*.
+struct EdfQueues {
+    queues: Vec<BinaryHeap<Entry>>,
+}
+
+impl EdfQueues {
+    fn new(n: u32) -> EdfQueues {
+        EdfQueues {
+            queues: (0..n).map(|_| BinaryHeap::new()).collect(),
+        }
+    }
+
+    fn push(&mut self, resource: ResourceId, expiry: Round, id: RequestId) {
+        self.queues[resource.index()].push(Reverse((expiry, id)));
+    }
+}
+
+/// EDF for single-alternative requests (Observation 3.1). See module docs.
+pub struct EdfSingle {
+    queues: EdfQueues,
+}
+
+impl EdfSingle {
+    /// Create an EDF scheduler for `n` resources.
+    pub fn new(n: u32) -> EdfSingle {
+        EdfSingle {
+            queues: EdfQueues::new(n),
+        }
+    }
+}
+
+impl OnlineScheduler for EdfSingle {
+    fn name(&self) -> &str {
+        "EDF-1"
+    }
+
+    fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
+        for req in arrivals {
+            assert_eq!(
+                req.alternatives.len(),
+                1,
+                "EdfSingle requires single-alternative requests"
+            );
+            self.queues
+                .push(req.alternatives.first(), req.expiry(), req.id);
+        }
+        let mut served = Vec::new();
+        for (i, q) in self.queues.queues.iter_mut().enumerate() {
+            while let Some(&Reverse((expiry, id))) = q.peek() {
+                q.pop();
+                if expiry < round {
+                    continue; // expired in the queue
+                }
+                served.push(Service {
+                    resource: ResourceId(i as u32),
+                    request: id,
+                });
+                break;
+            }
+        }
+        served
+    }
+}
+
+/// EDF with one independent copy per alternative (Observation 3.2).
+/// See module docs.
+pub struct EdfTwoChoice {
+    queues: EdfQueues,
+    served: HashSet<RequestId>,
+    cancel_sibling: bool,
+    wasted_slots: u64,
+}
+
+impl EdfTwoChoice {
+    /// Create an EDF scheduler for `n` resources.
+    ///
+    /// With `cancel_sibling = false` the copies are fully independent, as in
+    /// the paper's analysis: a resource serving the copy of an
+    /// already-fulfilled request wastes its slot. With `true`, fulfilled
+    /// requests' remaining copies are skipped.
+    pub fn new(n: u32, cancel_sibling: bool) -> EdfTwoChoice {
+        EdfTwoChoice {
+            queues: EdfQueues::new(n),
+            served: HashSet::new(),
+            cancel_sibling,
+            wasted_slots: 0,
+        }
+    }
+
+    /// Slots burnt on duplicate copies so far (independent-copy mode only).
+    pub fn wasted_slots(&self) -> u64 {
+        self.wasted_slots
+    }
+}
+
+impl OnlineScheduler for EdfTwoChoice {
+    fn name(&self) -> &str {
+        if self.cancel_sibling {
+            "EDF-cancel"
+        } else {
+            "EDF"
+        }
+    }
+
+    fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
+        for req in arrivals {
+            for &alt in req.alternatives.as_slice() {
+                self.queues.push(alt, req.expiry(), req.id);
+            }
+        }
+        let mut out = Vec::new();
+        for (i, q) in self.queues.queues.iter_mut().enumerate() {
+            while let Some(&Reverse((expiry, id))) = q.peek() {
+                if expiry < round {
+                    q.pop();
+                    continue;
+                }
+                if self.served.contains(&id) {
+                    q.pop();
+                    if self.cancel_sibling {
+                        continue; // skip the dead copy, try the next
+                    }
+                    // Independent copies: the slot is burnt on a duplicate.
+                    self.wasted_slots += 1;
+                    break;
+                }
+                q.pop();
+                self.served.insert(id);
+                out.push(Service {
+                    resource: ResourceId(i as u32),
+                    request: id,
+                });
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reqsched_model::{Instance, TraceBuilder};
+
+    fn run(strategy: &mut dyn OnlineScheduler, inst: &Instance) -> usize {
+        (0..inst.horizon().get())
+            .map(|t| {
+                strategy
+                    .on_round(Round(t), inst.trace.arrivals_at(Round(t)))
+                    .len()
+            })
+            .sum()
+    }
+
+    #[test]
+    fn edf_single_serves_in_deadline_order() {
+        let mut b = TraceBuilder::new(3);
+        // Tight-deadline request arrives with a loose one; tight goes first.
+        b.push_full(
+            Round(0),
+            reqsched_model::Alternatives::one(ResourceId(0)),
+            3,
+            0,
+            Default::default(),
+        );
+        b.push_full(
+            Round(0),
+            reqsched_model::Alternatives::one(ResourceId(0)),
+            1,
+            1,
+            Default::default(),
+        );
+        let inst = Instance::new(1, 3, b.build());
+        let mut a = EdfSingle::new(1);
+        let first = a.on_round(Round(0), inst.trace.arrivals_at(Round(0)));
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].request, RequestId(1), "tight deadline first");
+        let second = a.on_round(Round(1), &[]);
+        assert_eq!(second[0].request, RequestId(0));
+    }
+
+    #[test]
+    fn edf_single_serves_all_feasible() {
+        // d requests with deadline d on one resource: all served.
+        let d = 4u32;
+        let mut b = TraceBuilder::new(d);
+        for _ in 0..d {
+            b.push_full(
+                Round(0),
+                reqsched_model::Alternatives::one(ResourceId(0)),
+                d,
+                0,
+                Default::default(),
+            );
+        }
+        let inst = Instance::new(1, d, b.build());
+        let mut a = EdfSingle::new(1);
+        assert_eq!(run(&mut a, &inst), d as usize);
+    }
+
+    #[test]
+    fn two_choice_duplicate_copy_wastes_slot() {
+        // One request (S0|S1), d = 1: both copies are head-of-queue in round
+        // 0; one resource serves it, the other wastes the round.
+        let mut b = TraceBuilder::new(1);
+        b.push(0u64, 0u32, 1u32);
+        let inst = Instance::new(2, 1, b.build());
+        let mut a = EdfTwoChoice::new(2, false);
+        let served = run(&mut a, &inst);
+        assert_eq!(served, 1);
+        assert_eq!(a.wasted_slots(), 1);
+    }
+
+    #[test]
+    fn cancel_sibling_reclaims_the_slot() {
+        // Same as above plus a second request queued at S1 behind the copy:
+        // with cancellation the dead copy is skipped and q1 is served.
+        let mut b = TraceBuilder::new(1);
+        b.push(0u64, 0u32, 1u32); // q0: copies at S0, S1
+        b.push(0u64, 1u32, 2u32); // q1: copies at S1, S2
+        let inst = Instance::new(3, 1, b.build());
+
+        let mut cancel = EdfTwoChoice::new(3, true);
+        assert_eq!(run(&mut cancel, &inst), 2);
+        assert_eq!(cancel.wasted_slots(), 0);
+    }
+
+    #[test]
+    fn expired_copies_are_skipped() {
+        let mut b = TraceBuilder::new(2);
+        b.push(0u64, 0u32, 1u32);
+        let inst = Instance::new(2, 2, b.build());
+        let mut a = EdfTwoChoice::new(2, false);
+        // Round 0 serves it at S0; round 5 (long after expiry) serves nothing.
+        let s0 = a.on_round(Round(0), inst.trace.arrivals_at(Round(0)));
+        assert_eq!(s0.len(), 1);
+        let s1 = a.on_round(Round(1), &[]);
+        // The sibling copy is still within deadline in round 1 -> wasted.
+        assert!(s1.is_empty());
+        assert_eq!(a.wasted_slots(), 1);
+        let s2 = a.on_round(Round(2), &[]);
+        assert!(s2.is_empty());
+    }
+
+    #[test]
+    fn two_choice_spreads_load() {
+        // 2d requests (S0|S1), d rounds of deadline: EDF serves 2 per round
+        // (one per resource), fulfilling all 2d distinct requests only if
+        // copies do not collide; with independent copies some waste can
+        // occur, but with cancel_sibling all 2d are served.
+        let d = 3u32;
+        let mut b = TraceBuilder::new(d);
+        b.block2(0u64, 0u32, 1u32, 0);
+        let inst = Instance::new(2, d, b.build());
+        let mut a = EdfTwoChoice::new(2, true);
+        assert_eq!(run(&mut a, &inst), 2 * d as usize);
+    }
+}

@@ -1,0 +1,228 @@
+//! Uniform construction of strategies, for sweeps and harnesses.
+
+use crate::{
+    ABalance, ACurrent, AEager, AFix, AFixBalance, EdfSingle, EdfTwoChoice,
+    OnlineScheduler, TieBreak,
+};
+
+/// Identifies one of the paper's strategies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Per-resource EDF for single-alternative requests (Obs. 3.1).
+    EdfSingle,
+    /// Two-choice EDF with independent copies (Obs. 3.2); `cancel_sibling`
+    /// skips copies of already-fulfilled requests.
+    Edf {
+        /// Skip copies of already-fulfilled requests instead of wasting the
+        /// slot.
+        cancel_sibling: bool,
+    },
+    /// `A_fix` (ratio exactly `2 − 1/d`).
+    AFix,
+    /// `A_current` (LB `e/(e−1)`, UB `2 − 1/d`).
+    ACurrent,
+    /// `A_fix_balance` (LB `3d/(2d+2)`, UB `2 − 2/d` for `d > 3`).
+    AFixBalance,
+    /// `A_eager` (LB `4/3`, UB `(3d−2)/(2d−1)`).
+    AEager,
+    /// `A_balance` (LB `(5d+2)/(4d+1)`, UB `6(d−1)/(4d−3)`).
+    ABalance,
+    /// **Ablation, not in the paper**: `A_eager` without the serve-now rule
+    /// (maximum matching only). No bounds are claimed; the ablation bench
+    /// measures what rule 1 is worth.
+    LazyMax,
+}
+
+impl StrategyKind {
+    /// All matching-based global strategies (the five of Table 1).
+    pub const GLOBAL: [StrategyKind; 5] = [
+        StrategyKind::AFix,
+        StrategyKind::ACurrent,
+        StrategyKind::AFixBalance,
+        StrategyKind::AEager,
+        StrategyKind::ABalance,
+    ];
+
+    /// The strategy's display name (matches the paper's notation).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategyKind::EdfSingle => "EDF-1",
+            StrategyKind::Edf {
+                cancel_sibling: false,
+            } => "EDF",
+            StrategyKind::Edf {
+                cancel_sibling: true,
+            } => "EDF-cancel",
+            StrategyKind::AFix => "A_fix",
+            StrategyKind::ACurrent => "A_current",
+            StrategyKind::AFixBalance => "A_fix_balance",
+            StrategyKind::AEager => "A_eager",
+            StrategyKind::ABalance => "A_balance",
+            StrategyKind::LazyMax => "A_lazy_max",
+        }
+    }
+
+    /// The paper's proven upper bound on the competitive ratio for deadline
+    /// `d` (Table 1; `None` where the paper proves none for this `d`).
+    pub fn upper_bound(&self, d: u32) -> Option<f64> {
+        if d <= 1 && !matches!(self, StrategyKind::Edf { .. }) {
+            // Degenerate d = 1: requests never span rounds, every
+            // matching-based strategy computes a per-round maximum matching
+            // and OPT decomposes per round — ratio 1. (EDF's duplicate
+            // copies can still waste slots, so its bound stays.)
+            return Some(1.0);
+        }
+        let d = d as f64;
+        match self {
+            StrategyKind::EdfSingle => Some(1.0),
+            StrategyKind::Edf { .. } => Some(2.0),
+            StrategyKind::AFix | StrategyKind::ACurrent => Some(2.0 - 1.0 / d),
+            StrategyKind::AFixBalance => Some(match d as u32 {
+                0 | 1 => 1.0,
+                2 => 4.0 / 3.0,
+                3 => 7.0 / 5.0,
+                _ => 2.0 - 2.0 / d,
+            }),
+            StrategyKind::AEager => Some(if d as u32 == 2 {
+                4.0 / 3.0
+            } else {
+                (3.0 * d - 2.0) / (2.0 * d - 1.0)
+            }),
+            StrategyKind::ABalance => Some(if d as u32 == 2 {
+                4.0 / 3.0
+            } else {
+                6.0 * (d - 1.0) / (4.0 * d - 3.0)
+            }),
+            // Ablation: no bound is claimed in the paper.
+            StrategyKind::LazyMax => None,
+        }
+    }
+
+    /// The paper's proven lower bound on the competitive ratio for deadline
+    /// `d` (Table 1), where stated for this `d`.
+    pub fn lower_bound(&self, d: u32) -> Option<f64> {
+        let df = d as f64;
+        match self {
+            StrategyKind::EdfSingle => Some(1.0),
+            StrategyKind::Edf { .. } => Some(2.0),
+            StrategyKind::AFix => Some(2.0 - 1.0 / df),
+            StrategyKind::ACurrent => match d {
+                2 => Some(4.0 / 3.0),
+                // e/(e-1) holds in the limit d -> infinity.
+                _ => None,
+            },
+            StrategyKind::AFixBalance => Some(if d == 2 {
+                4.0 / 3.0
+            } else {
+                3.0 * df / (2.0 * df + 2.0)
+            }),
+            StrategyKind::AEager => Some(4.0 / 3.0),
+            StrategyKind::ABalance => {
+                if d == 2 {
+                    Some(4.0 / 3.0)
+                } else if d % 3 == 2 {
+                    // d = 3x - 1
+                    Some((5.0 * df + 2.0) / (4.0 * df + 1.0))
+                } else {
+                    None
+                }
+            }
+            StrategyKind::LazyMax => None,
+        }
+    }
+}
+
+/// Construct a boxed strategy instance.
+pub fn build_strategy(
+    kind: StrategyKind,
+    n: u32,
+    d: u32,
+    tie: TieBreak,
+) -> Box<dyn OnlineScheduler> {
+    match kind {
+        StrategyKind::EdfSingle => Box::new(EdfSingle::new(n)),
+        StrategyKind::Edf { cancel_sibling } => {
+            Box::new(EdfTwoChoice::new(n, cancel_sibling))
+        }
+        StrategyKind::AFix => Box::new(AFix::new(n, d, tie)),
+        StrategyKind::ACurrent => Box::new(ACurrent::new(n, d, tie)),
+        StrategyKind::AFixBalance => Box::new(AFixBalance::new(n, d, tie)),
+        StrategyKind::AEager => Box::new(AEager::new(n, d, tie)),
+        StrategyKind::ABalance => Box::new(ABalance::new(n, d, tie)),
+        StrategyKind::LazyMax => Box::new(crate::ALazyMax::new(n, d, tie)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_notation() {
+        assert_eq!(StrategyKind::AFix.name(), "A_fix");
+        assert_eq!(StrategyKind::ABalance.name(), "A_balance");
+        assert_eq!(
+            StrategyKind::Edf {
+                cancel_sibling: false
+            }
+            .name(),
+            "EDF"
+        );
+    }
+
+    #[test]
+    fn table1_bounds_spot_checks() {
+        // A_fix at d=4: 2 - 1/4 = 1.75, tight.
+        assert_eq!(StrategyKind::AFix.upper_bound(4), Some(1.75));
+        assert_eq!(StrategyKind::AFix.lower_bound(4), Some(1.75));
+        // A_eager d=2: both 4/3.
+        assert_eq!(StrategyKind::AEager.upper_bound(2), Some(4.0 / 3.0));
+        assert_eq!(StrategyKind::AEager.lower_bound(2), Some(4.0 / 3.0));
+        // A_fix_balance d=3: UB 7/5.
+        assert_eq!(StrategyKind::AFixBalance.upper_bound(3), Some(1.4));
+        // A_balance d=5 (= 3*2-1): LB 27/21.
+        let lb = StrategyKind::ABalance.lower_bound(5).unwrap();
+        assert!((lb - 27.0 / 21.0).abs() < 1e-12);
+        // A_balance d=4: no stated LB.
+        assert_eq!(StrategyKind::ABalance.lower_bound(4), None);
+    }
+
+    #[test]
+    fn lower_bounds_never_exceed_upper_bounds() {
+        for kind in StrategyKind::GLOBAL {
+            for d in 2..40 {
+                if let (Some(lb), Some(ub)) =
+                    (kind.lower_bound(d), kind.upper_bound(d))
+                {
+                    assert!(
+                        lb <= ub + 1e-12,
+                        "{} d={d}: lb {lb} > ub {ub}",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn factory_builds_every_kind() {
+        let kinds = [
+            StrategyKind::EdfSingle,
+            StrategyKind::Edf {
+                cancel_sibling: true,
+            },
+            StrategyKind::Edf {
+                cancel_sibling: false,
+            },
+            StrategyKind::AFix,
+            StrategyKind::ACurrent,
+            StrategyKind::AFixBalance,
+            StrategyKind::AEager,
+            StrategyKind::ABalance,
+        ];
+        for k in kinds {
+            let s = build_strategy(k, 4, 3, TieBreak::FirstFit);
+            assert_eq!(s.name(), k.name());
+        }
+    }
+}

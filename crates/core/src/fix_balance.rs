@@ -1,0 +1,154 @@
+//! `A_fix_balance`: like `A_fix`, but new arrivals are placed balanced.
+//!
+//! Paper rule (§1.3): among the maximal matchings that keep old assignments
+//! fixed and schedule a maximum number of new requests, choose one maximizing
+//! `F = Σ_{j=0}^{d-1} X_{t+j} · (n+1)^{d-j}` where `X_{t+j}` counts matched
+//! slots of round `t+j`. Since `X ≤ n`, maximizing `F` is the lexicographic
+//! maximization of `(X_t, X_{t+1}, …)` — requests are served as early as
+//! possible, which spreads them across resources ("as balanced as
+//! possible"). Bounds: LB `3d/(2d+2)` (Thm 2.3), UB `4/3 | 7/5 | 2−2/d`
+//! (Thm 3.4).
+
+use crate::schedule::{ScheduleState, Service};
+use crate::tiebreak::TieBreak;
+use crate::window::WindowGraph;
+use crate::OnlineScheduler;
+use reqsched_matching::{kuhn_in_order, saturate_levels};
+use reqsched_model::{Request, RequestId, Round};
+
+/// The `A_fix_balance` strategy. See module docs.
+pub struct AFixBalance {
+    state: ScheduleState,
+    tie: TieBreak,
+}
+
+impl AFixBalance {
+    /// Create an `A_fix_balance` scheduler for `n` resources, deadline `d`.
+    pub fn new(n: u32, d: u32, tie: TieBreak) -> AFixBalance {
+        AFixBalance {
+            state: ScheduleState::new(n, d),
+            tie,
+        }
+    }
+
+    /// Read-only view of the internal schedule window (observability: used
+    /// by compliance tests that verify the strategy's defining rule against
+    /// brute-force enumeration, and handy for instrumentation).
+    pub fn schedule(&self) -> &crate::schedule::ScheduleState {
+        &self.state
+    }
+
+}
+
+impl OnlineScheduler for AFixBalance {
+    fn name(&self) -> &str {
+        "A_fix_balance"
+    }
+
+    fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
+        assert_eq!(round, self.state.front(), "rounds must be consecutive");
+        for req in arrivals {
+            self.state.insert(req);
+        }
+        let mut new_ids: Vec<RequestId> = arrivals.iter().map(|r| r.id).collect();
+        new_ids.sort_unstable();
+
+        if !new_ids.is_empty() {
+            let (wg, mut m) = WindowGraph::build(
+                &self.state,
+                new_ids,
+                self.state.d(),
+                false,
+                &self.tie,
+            );
+            // 1) Maximum number of new requests scheduled…
+            let order =
+                wg.left_order(&self.state, 0..wg.graph.n_left(), &self.tie);
+            kuhn_in_order(&wg.graph, &mut m, &order);
+            // 2) …then F-maximal = lexicographically earliest-round-heavy.
+            // Old assignments are fixed constants of F, so optimizing the
+            // new requests' slot coverage per round is exactly optimizing F.
+            let levels = wg.levels_by_round();
+            saturate_levels(&wg.graph, &mut m, &levels);
+            if self.tie.is_hint_guided() {
+                wg.priority_position_pass(&self.state, &mut m);
+            }
+            let failed: Vec<RequestId> =
+                m.free_lefts().map(|l| wg.lefts[l as usize]).collect();
+            wg.apply(&mut self.state, &m);
+            for id in failed {
+                self.state.drop_request(id);
+            }
+        }
+        self.state.finish_round().served
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reqsched_model::{Instance, ResourceId, TraceBuilder};
+
+    fn run_with_log(
+        strategy: &mut dyn OnlineScheduler,
+        inst: &Instance,
+    ) -> Vec<(u64, Service)> {
+        let mut log = Vec::new();
+        for t in 0..inst.horizon().get() {
+            for s in strategy.on_round(Round(t), inst.trace.arrivals_at(Round(t))) {
+                log.push((t, s));
+            }
+        }
+        log
+    }
+
+    #[test]
+    fn balances_across_resources() {
+        // 2 requests (S0|S1), d = 2. Unbalanced members could stack both on
+        // S0 (rounds 0 and 1); F forces one per resource in round 0.
+        let mut b = TraceBuilder::new(2);
+        b.push(0u64, 0u32, 1u32);
+        b.push(0u64, 0u32, 1u32);
+        let inst = Instance::new(2, 2, b.build());
+        let mut a = AFixBalance::new(2, 2, TieBreak::FirstFit);
+        let log = run_with_log(&mut a, &inst);
+        assert_eq!(log.len(), 2);
+        assert!(log.iter().all(|(t, _)| *t == 0), "both served in round 0");
+        let mut resources: Vec<ResourceId> =
+            log.iter().map(|(_, s)| s.resource).collect();
+        resources.sort();
+        assert_eq!(resources, vec![ResourceId(0), ResourceId(1)]);
+    }
+
+    #[test]
+    fn prefers_free_resource_over_blocked_one() {
+        // Theorem 2.3's crux: S0 blocked now; a new request (S0|S1) goes to
+        // S1 immediately rather than waiting for S0 (earliest-round rule).
+        let d = 4;
+        let mut b = TraceBuilder::new(d);
+        b.block2(0u64, 0u32, 2u32, 0); // block S0 (and S2) for d rounds
+        b.push(1u64, 0u32, 1u32); // new request (S0|S1)
+        let inst = Instance::new(3, d, b.build());
+        let mut a = AFixBalance::new(3, d, TieBreak::FirstFit);
+        let log = run_with_log(&mut a, &inst);
+        let new_req = log
+            .iter()
+            .find(|(_, s)| s.request == reqsched_model::RequestId(2 * d))
+            .expect("new request served");
+        assert_eq!(new_req.0, 1, "served immediately in its arrival round");
+        assert_eq!(new_req.1.resource, ResourceId(1));
+    }
+
+    #[test]
+    fn schedules_maximum_number_of_new_requests() {
+        // 3 requests, 1 resource pair, d = 1: exactly 2 served; the third
+        // is dropped (cannot be scheduled later under no-rescheduling).
+        let mut b = TraceBuilder::new(1);
+        for _ in 0..3 {
+            b.push(0u64, 0u32, 1u32);
+        }
+        let inst = Instance::new(2, 1, b.build());
+        let mut a = AFixBalance::new(2, 1, TieBreak::FirstFit);
+        assert_eq!(run_with_log(&mut a, &inst).len(), 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! `A_lazy_max` — an **ablation**, not a paper strategy: `A_eager` with its
+//! rule 1 ("serve a maximum possible number of requests *now*") removed.
+//!
+//! Each round it still maintains a maximum matching of `G_t` and keeps every
+//! previously scheduled request scheduled, but makes no attempt to pull
+//! service into the current round; under the `LatestFit` tie-break it even
+//! actively procrastinates. Comparing it against `A_eager` isolates the
+//! value of the serve-now rule: a lazy maximum matching lets current slots
+//! idle, and the capacity wasted that way is gone forever once the window
+//! slides — which is exactly what Theorem 2.4's phases punish.
+
+use crate::schedule::{ScheduleState, Service};
+use crate::tiebreak::TieBreak;
+use crate::window::WindowGraph;
+use crate::OnlineScheduler;
+use reqsched_matching::kuhn_in_order;
+use reqsched_model::{Request, RequestId, Round};
+
+/// The `A_lazy_max` ablation strategy. See module docs.
+pub struct ALazyMax {
+    state: ScheduleState,
+    tie: TieBreak,
+}
+
+impl ALazyMax {
+    /// Create an `A_lazy_max` scheduler; `TieBreak::LatestFit` gives the
+    /// fully procrastinating member.
+    pub fn new(n: u32, d: u32, tie: TieBreak) -> ALazyMax {
+        ALazyMax {
+            state: ScheduleState::new(n, d),
+            tie,
+        }
+    }
+
+    /// Read-only view of the internal schedule window.
+    pub fn schedule(&self) -> &ScheduleState {
+        &self.state
+    }
+}
+
+impl OnlineScheduler for ALazyMax {
+    fn name(&self) -> &str {
+        "A_lazy_max"
+    }
+
+    fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
+        assert_eq!(round, self.state.front(), "rounds must be consecutive");
+        for req in arrivals {
+            self.state.insert(req);
+        }
+        let lefts: Vec<RequestId> =
+            self.state.live_iter().map(|l| l.req.id).collect();
+        if !lefts.is_empty() {
+            let (wg, mut m) =
+                WindowGraph::build(&self.state, lefts, self.state.d(), true, &self.tie);
+            let unmatched: Vec<u32> =
+                (0..wg.graph.n_left()).filter(|&l| m.left_free(l)).collect();
+            let order = wg.left_order(&self.state, unmatched.into_iter(), &self.tie);
+            kuhn_in_order(&wg.graph, &mut m, &order);
+            debug_assert!(m.is_maximum(&wg.graph));
+            // No saturation: whatever slots the augmentation picked stand.
+            wg.apply(&mut self.state, &m);
+        }
+        self.state.finish_round().served
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eager::AEager;
+    use reqsched_model::{Instance, TraceBuilder};
+
+    fn run(s: &mut dyn OnlineScheduler, inst: &Instance) -> usize {
+        (0..inst.horizon().get())
+            .map(|t| s.on_round(Round(t), inst.trace.arrivals_at(Round(t))).len())
+            .sum()
+    }
+
+    #[test]
+    fn procrastination_wastes_capacity() {
+        // Round 0: one request (S0|S1), d = 2; round 1: 4 deadline-2
+        // requests on the pair. Lazy parks the early request at round 1,
+        // leaving round 0 fully idle; eager serves it immediately. Capacity
+        // rounds 0..2 = 6 slots for 5 requests: eager serves all 5, lazy
+        // cannot.
+        let mut b = TraceBuilder::new(2);
+        b.push(0u64, 0u32, 1u32);
+        for _ in 0..4 {
+            b.push(1u64, 0u32, 1u32);
+        }
+        let inst = Instance::new(2, 2, b.build());
+
+        let mut eager = AEager::new(2, 2, TieBreak::FirstFit);
+        assert_eq!(run(&mut eager, &inst), 5);
+
+        let mut lazy = ALazyMax::new(2, 2, TieBreak::LatestFit);
+        let lazy_served = run(&mut lazy, &inst);
+        assert!(lazy_served < 5, "lazy should lose a request: {lazy_served}");
+    }
+
+    #[test]
+    fn still_maintains_maximum_matchings() {
+        // Despite procrastination, nothing feasible-by-matching is dropped
+        // when no later conflicts arise.
+        let mut b = TraceBuilder::new(3);
+        for _ in 0..6 {
+            b.push(0u64, 0u32, 1u32);
+        }
+        let inst = Instance::new(2, 3, b.build());
+        let mut lazy = ALazyMax::new(2, 3, TieBreak::LatestFit);
+        assert_eq!(run(&mut lazy, &inst), 6);
+    }
+}

@@ -1,0 +1,77 @@
+//! # reqsched-core
+//!
+//! The paper's primary contribution as executable code: the **global online
+//! scheduling strategies** of *Berenbrink, Riedel & Scheideler, SPAA 1999*.
+//!
+//! Every strategy maintains, round by round, a matching between the live
+//! requests and the time slots of the scheduling window `t .. t+d-1`:
+//!
+//! | Strategy | Defining rule (paper §1.3) |
+//! |---|---|
+//! | [`EdfSingle`] | per-resource Earliest-Deadline-First; 1-competitive for single-alternative requests (Obs. 3.1) |
+//! | [`EdfTwoChoice`] | independent EDF copies at both alternatives; 2-competitive (Obs. 3.2) |
+//! | [`AFix`] | maximal matching, max #new requests scheduled, **no rescheduling** (ratio `2−1/d`, tight) |
+//! | [`ACurrent`] | fresh maximum matching on the *current round's* slots only (LB `e/(e−1)`, UB `2−1/d`) |
+//! | [`AFixBalance`] | like `A_fix` but lexicographically balanced via `F = Σ X_{t+j}(n+1)^{d-j}` |
+//! | [`AEager`] | maximum matching on `G_t`, max #served *now*, rescheduling allowed (UB `(3d−2)/(2d−1)`) |
+//! | [`ABalance`] | maximum matching on `G_t` maximizing `F`, rescheduling allowed (UB `6(d−1)/(4d−3)`) |
+//!
+//! Each paper strategy is a *class* ("choose **any** maximal/maximum matching
+//! such that …"); the [`TieBreak`] policy selects the member: `FirstFit` is a
+//! natural deterministic member, `HintGuided` follows the adversary's
+//! [`Hint`](reqsched_model::Hint)s (realizing the pessimal member the lower
+//! bound proofs posit), `Random` samples members reproducibly.
+
+mod acurrent;
+mod afix;
+mod balance;
+mod eager;
+mod edf;
+mod factory;
+mod fix_balance;
+mod lazy;
+mod schedule;
+mod tiebreak;
+mod window;
+
+pub use acurrent::ACurrent;
+pub use afix::AFix;
+pub use balance::ABalance;
+pub use eager::AEager;
+pub use edf::{EdfSingle, EdfTwoChoice};
+pub use factory::{build_strategy, StrategyKind};
+pub use fix_balance::AFixBalance;
+pub use lazy::ALazyMax;
+pub use schedule::{RoundOutcome, ScheduleState, Service};
+pub use tiebreak::TieBreak;
+pub use window::WindowGraph;
+
+use reqsched_model::{Request, Round};
+
+/// A global online scheduling strategy, driven one round at a time.
+///
+/// The driver calls [`OnlineScheduler::on_round`] for consecutive rounds
+/// starting at 0, passing that round's arrivals; the strategy returns the
+/// services it performs **in that round** (at most one per resource). All
+/// bookkeeping about served/expired requests is re-derived and validated by
+/// the simulation driver.
+pub trait OnlineScheduler {
+    /// Human-readable strategy name (e.g. `"A_eager"`).
+    fn name(&self) -> &str;
+
+    /// Process round `round`: ingest `arrivals`, update the internal
+    /// schedule according to the strategy's rule, and return the services
+    /// performed this round.
+    fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service>;
+
+    /// Total communication rounds used so far (0 for global strategies,
+    /// which the model grants free global knowledge).
+    fn comm_rounds_total(&self) -> u64 {
+        0
+    }
+
+    /// Total point-to-point messages sent so far (local strategies only).
+    fn messages_total(&self) -> u64 {
+        0
+    }
+}

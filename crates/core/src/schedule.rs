@@ -1,0 +1,429 @@
+//! The schedule window: per-resource slot assignments over `t .. t+d-1`.
+
+use reqsched_model::{Request, RequestId, ResourceId, Round, NO_REQUEST};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// One service performed: `resource` executes `request` in the round the
+/// enclosing [`crate::OnlineScheduler::on_round`] call belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Service {
+    /// The executing resource.
+    pub resource: ResourceId,
+    /// The request served.
+    pub request: RequestId,
+}
+
+/// What happened when a round was finished.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoundOutcome {
+    /// Services performed this round (at most one per resource).
+    pub served: Vec<Service>,
+    /// Requests whose deadline expired unserved at the end of this round.
+    pub expired: Vec<RequestId>,
+}
+
+/// A live request tracked by the schedule window.
+#[derive(Clone, Debug)]
+pub struct LiveReq {
+    /// The request (including hints).
+    pub req: Request,
+    /// Current tentative assignment, if any.
+    pub assigned: Option<(ResourceId, Round)>,
+}
+
+/// The mutable scheduling window shared by all matching-based strategies.
+///
+/// Holds, for the rounds `front .. front+d-1`, which request every resource
+/// slot is tentatively assigned, plus the set of live (arrived, unserved,
+/// unexpired) requests. Strategies differ only in *how* they update the
+/// assignment; the window enforces the physical constraints (one request per
+/// slot, assignments within the request's feasible set).
+#[derive(Clone, Debug)]
+pub struct ScheduleState {
+    n: u32,
+    d: u32,
+    front: Round,
+    /// `rows[j][i]` = occupant of resource `i` in round `front + j`.
+    rows: VecDeque<Vec<RequestId>>,
+    /// Live requests keyed by id (deterministic iteration order).
+    live: BTreeMap<RequestId, LiveReq>,
+}
+
+impl ScheduleState {
+    /// Create an empty window for `n` resources and deadline parameter `d`.
+    pub fn new(n: u32, d: u32) -> ScheduleState {
+        assert!(n >= 1 && d >= 1);
+        let rows = (0..d)
+            .map(|_| vec![NO_REQUEST; n as usize])
+            .collect::<VecDeque<_>>();
+        ScheduleState {
+            n,
+            d,
+            front: Round::ZERO,
+            rows,
+            live: BTreeMap::new(),
+        }
+    }
+
+    /// Number of resources.
+    #[inline]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Deadline parameter (window depth).
+    #[inline]
+    pub fn d(&self) -> u32 {
+        self.d
+    }
+
+    /// The current round (= first row of the window).
+    #[inline]
+    pub fn front(&self) -> Round {
+        self.front
+    }
+
+    /// Insert a newly arrived request into the live set (unassigned).
+    ///
+    /// # Panics
+    /// Panics if the request's arrival is not the current round or its
+    /// deadline exceeds the window depth.
+    pub fn insert(&mut self, req: &Request) {
+        assert_eq!(req.arrival, self.front, "arrival must be the current round");
+        assert!(req.deadline <= self.d, "deadline exceeds window depth");
+        let prev = self.live.insert(
+            req.id,
+            LiveReq {
+                req: req.clone(),
+                assigned: None,
+            },
+        );
+        assert!(prev.is_none(), "duplicate request id {:?}", req.id);
+    }
+
+    /// The live request with the given id, if present.
+    pub fn live(&self, id: RequestId) -> Option<&LiveReq> {
+        self.live.get(&id)
+    }
+
+    /// Iterate over all live requests in id order.
+    pub fn live_iter(&self) -> impl Iterator<Item = &LiveReq> {
+        self.live.values()
+    }
+
+    /// Ids of live requests currently without an assignment, in id order.
+    pub fn unassigned(&self) -> Vec<RequestId> {
+        self.live
+            .values()
+            .filter(|l| l.assigned.is_none())
+            .map(|l| l.req.id)
+            .collect()
+    }
+
+    /// Number of live requests.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Occupant of `resource` in `round`, if the slot is within the window
+    /// and assigned.
+    pub fn occupant(&self, resource: ResourceId, round: Round) -> Option<RequestId> {
+        let j = self.row_index(round)?;
+        let occ = self.rows[j][resource.index()];
+        (occ != NO_REQUEST).then_some(occ)
+    }
+
+    /// Whether the slot `(resource, round)` is inside the window and free.
+    pub fn slot_free(&self, resource: ResourceId, round: Round) -> bool {
+        match self.row_index(round) {
+            Some(j) => self.rows[j][resource.index()] == NO_REQUEST,
+            None => false,
+        }
+    }
+
+    fn row_index(&self, round: Round) -> Option<usize> {
+        if round < self.front {
+            return None;
+        }
+        let j = (round - self.front) as usize;
+        (j < self.d as usize).then_some(j)
+    }
+
+    /// Assign live request `id` to slot `(resource, round)`.
+    ///
+    /// # Panics
+    /// Panics if the request is not live, already assigned, the slot is
+    /// occupied or outside the window, or the assignment is infeasible
+    /// (wrong resource / outside the request's deadline window).
+    pub fn assign(&mut self, id: RequestId, resource: ResourceId, round: Round) {
+        let j = self
+            .row_index(round)
+            .unwrap_or_else(|| panic!("slot {resource:?}@{round:?} outside window"));
+        let entry = self
+            .live
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("{id:?} is not live"));
+        assert!(entry.assigned.is_none(), "{id:?} already assigned");
+        assert!(
+            entry.req.can_be_served(resource, round),
+            "infeasible assignment {id:?} -> {resource:?}@{round:?}"
+        );
+        let slot = &mut self.rows[j][resource.index()];
+        assert_eq!(*slot, NO_REQUEST, "slot {resource:?}@{round:?} occupied");
+        *slot = id;
+        entry.assigned = Some((resource, round));
+    }
+
+    /// Remove the assignment of live request `id` (no-op if unassigned).
+    pub fn unassign(&mut self, id: RequestId) {
+        if let Some(entry) = self.live.get_mut(&id) {
+            if let Some((resource, round)) = entry.assigned.take() {
+                let j = self.row_index(round).expect("assignment inside window");
+                debug_assert_eq!(self.rows[j][resource.index()], id);
+                self.rows[j][resource.index()] = NO_REQUEST;
+            }
+        }
+    }
+
+    /// Clear every assignment (used by strategies that rebuild the matching
+    /// from scratch each round).
+    pub fn clear_assignments(&mut self) {
+        for row in &mut self.rows {
+            row.fill(NO_REQUEST);
+        }
+        for entry in self.live.values_mut() {
+            entry.assigned = None;
+        }
+    }
+
+    /// Serve the current row, advance the window by one round, and expire
+    /// requests whose deadline has now passed.
+    ///
+    /// Returns the services performed in the (just finished) current round
+    /// and the requests that expired unserved at its end.
+    pub fn finish_round(&mut self) -> RoundOutcome {
+        // 1. Serve the occupants of the current row.
+        let row = self.rows.pop_front().expect("window is never empty");
+        let mut served = Vec::new();
+        for (i, occ) in row.into_iter().enumerate() {
+            if occ != NO_REQUEST {
+                let removed = self.live.remove(&occ);
+                debug_assert!(removed.is_some());
+                served.push(Service {
+                    resource: ResourceId(i as u32),
+                    request: occ,
+                });
+            }
+        }
+        // 2. Advance the window.
+        self.rows.push_back(vec![NO_REQUEST; self.n as usize]);
+        self.front = self.front.next();
+        // 3. Expire requests whose last usable round has passed.
+        let expired_ids: Vec<RequestId> = self
+            .live
+            .values()
+            .filter(|l| l.req.expiry() < self.front)
+            .map(|l| l.req.id)
+            .collect();
+        let mut expired = Vec::with_capacity(expired_ids.len());
+        for id in expired_ids {
+            let entry = self.live.remove(&id).expect("listed as live");
+            debug_assert!(
+                entry.assigned.is_none(),
+                "{id:?} expired while assigned to a future slot — strategies \
+                 must never assign outside the request window"
+            );
+            expired.push(id);
+        }
+        RoundOutcome { served, expired }
+    }
+
+    /// Drop a live request without serving it (e.g. `A_fix` discards
+    /// requests that failed at arrival, as they can never be scheduled
+    /// later under its no-rescheduling rule). Returns whether it was live.
+    pub fn drop_request(&mut self, id: RequestId) -> bool {
+        if let Some(entry) = self.live.get(&id) {
+            assert!(
+                entry.assigned.is_none(),
+                "cannot drop an assigned request"
+            );
+            self.live.remove(&id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Debug validation: both sides of the assignment tables agree.
+    pub fn check_consistency(&self) -> bool {
+        for (j, row) in self.rows.iter().enumerate() {
+            for (i, &occ) in row.iter().enumerate() {
+                if occ == NO_REQUEST {
+                    continue;
+                }
+                match self.live.get(&occ) {
+                    Some(l) => {
+                        if l.assigned != Some((ResourceId(i as u32), self.front + j as u64)) {
+                            return false;
+                        }
+                    }
+                    None => return false,
+                }
+            }
+        }
+        for l in self.live.values() {
+            if let Some((res, round)) = l.assigned {
+                match self.row_index(round) {
+                    Some(j) => {
+                        if self.rows[j][res.index()] != l.req.id {
+                            return false;
+                        }
+                    }
+                    None => return false,
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reqsched_model::{Alternatives, Hint};
+
+    fn req(id: u32, arrival: u64, d: u32, a: u32, b: u32) -> Request {
+        Request {
+            id: RequestId(id),
+            arrival: Round(arrival),
+            alternatives: Alternatives::two(ResourceId(a), ResourceId(b)),
+            deadline: d,
+            tag: 0,
+            hint: Hint::default(),
+        }
+    }
+
+    #[test]
+    fn insert_assign_serve() {
+        let mut st = ScheduleState::new(2, 2);
+        let r = req(0, 0, 2, 0, 1);
+        st.insert(&r);
+        assert_eq!(st.unassigned(), vec![RequestId(0)]);
+        st.assign(RequestId(0), ResourceId(1), Round(0));
+        assert!(st.check_consistency());
+        assert_eq!(st.occupant(ResourceId(1), Round(0)), Some(RequestId(0)));
+        let out = st.finish_round();
+        assert_eq!(out.served.len(), 1);
+        assert_eq!(out.served[0].resource, ResourceId(1));
+        assert!(out.expired.is_empty());
+        assert_eq!(st.live_count(), 0);
+        assert_eq!(st.front(), Round(1));
+    }
+
+    fn req1(id: u32, arrival: u64, d: u32, only: u32) -> Request {
+        Request {
+            id: RequestId(id),
+            arrival: Round(arrival),
+            alternatives: Alternatives::one(ResourceId(only)),
+            deadline: d,
+            tag: 0,
+            hint: Hint::default(),
+        }
+    }
+
+    #[test]
+    fn future_assignment_survives_round() {
+        let mut st = ScheduleState::new(1, 3);
+        let r = req1(0, 0, 3, 0);
+        st.insert(&r);
+        st.assign(RequestId(0), ResourceId(0), Round(2));
+        let out = st.finish_round();
+        assert!(out.served.is_empty());
+        assert!(out.expired.is_empty());
+        assert!(st.check_consistency());
+        assert_eq!(st.occupant(ResourceId(0), Round(2)), Some(RequestId(0)));
+        st.finish_round();
+        let out = st.finish_round(); // round 2 -> served now
+        assert_eq!(out.served.len(), 1);
+    }
+
+    #[test]
+    fn expiry_reported_once_window_passes() {
+        let mut st = ScheduleState::new(1, 2);
+        let r = req1(0, 0, 1, 0);
+        st.insert(&r);
+        // Deadline 1: usable only in round 0; never assigned.
+        let out = st.finish_round();
+        assert_eq!(out.expired, vec![RequestId(0)]);
+        assert_eq!(st.live_count(), 0);
+    }
+
+    #[test]
+    fn unassign_frees_slot() {
+        let mut st = ScheduleState::new(2, 2);
+        let r = req(0, 0, 2, 0, 1);
+        st.insert(&r);
+        st.assign(RequestId(0), ResourceId(0), Round(1));
+        assert!(!st.slot_free(ResourceId(0), Round(1)));
+        st.unassign(RequestId(0));
+        assert!(st.slot_free(ResourceId(0), Round(1)));
+        assert_eq!(st.unassigned(), vec![RequestId(0)]);
+        assert!(st.check_consistency());
+    }
+
+    #[test]
+    fn clear_assignments_resets_everything() {
+        let mut st = ScheduleState::new(2, 2);
+        st.insert(&req(0, 0, 2, 0, 1));
+        st.insert(&req(1, 0, 2, 0, 1));
+        st.assign(RequestId(0), ResourceId(0), Round(0));
+        st.assign(RequestId(1), ResourceId(1), Round(1));
+        st.clear_assignments();
+        assert_eq!(st.unassigned().len(), 2);
+        assert!(st.slot_free(ResourceId(0), Round(0)));
+        assert!(st.check_consistency());
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_assignment_panics() {
+        let mut st = ScheduleState::new(2, 2);
+        st.insert(&req(0, 0, 2, 0, 1));
+        st.insert(&req(1, 0, 2, 0, 1));
+        st.assign(RequestId(0), ResourceId(0), Round(0));
+        st.assign(RequestId(1), ResourceId(0), Round(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn infeasible_resource_panics() {
+        let mut st = ScheduleState::new(3, 2);
+        st.insert(&req(0, 0, 2, 0, 1));
+        st.assign(RequestId(0), ResourceId(2), Round(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn assignment_outside_deadline_panics() {
+        let mut st = ScheduleState::new(2, 3);
+        st.insert(&req(0, 0, 1, 0, 1)); // only round 0 usable
+        st.assign(RequestId(0), ResourceId(0), Round(1));
+    }
+
+    #[test]
+    fn drop_request_removes_unassigned() {
+        let mut st = ScheduleState::new(2, 2);
+        st.insert(&req(0, 0, 2, 0, 1));
+        assert!(st.drop_request(RequestId(0)));
+        assert!(!st.drop_request(RequestId(0)));
+        assert_eq!(st.live_count(), 0);
+    }
+
+    #[test]
+    fn slot_free_outside_window() {
+        let st = ScheduleState::new(1, 2);
+        assert!(!st.slot_free(ResourceId(0), Round(5)));
+        assert!(st.slot_free(ResourceId(0), Round(1)));
+    }
+}

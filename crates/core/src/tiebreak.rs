@@ -1,0 +1,142 @@
+//! Tie-breaking policies: which member of a strategy *class* runs.
+//!
+//! The paper defines each strategy by constraints on the matching ("any
+//! maximal matching such that …") and proves lower bounds existentially:
+//! *"the strategy can be implemented in a way that the adversary forces …"*.
+//! A [`TieBreak`] selects the implementation:
+//!
+//! * [`TieBreak::FirstFit`] — a natural deterministic member: requests are
+//!   considered in id order, slots earliest-round-first.
+//! * [`TieBreak::HintGuided`] — follows the [`Hint`]s embedded in the trace
+//!   by an adversarial generator, realizing exactly the pessimal member the
+//!   lower-bound proofs posit.
+//! * [`TieBreak::Random`] — samples a member reproducibly from a seed, used
+//!   to measure how *typical* members behave on the adversarial inputs.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use reqsched_model::{Hint, RequestId, Round};
+
+/// Tie-breaking policy (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TieBreak {
+    /// Request-id order, earliest-slot-first.
+    FirstFit,
+    /// Request-id order, **latest**-slot-first — the procrastinating member
+    /// (used by the `A_lazy_max` ablation and to widen member sampling).
+    LatestFit,
+    /// Follow the generator's per-request hints.
+    HintGuided,
+    /// Reproducibly random member; the `u64` is the seed.
+    Random(u64),
+}
+
+impl TieBreak {
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            TieBreak::FirstFit => "first-fit".into(),
+            TieBreak::LatestFit => "latest-fit".into(),
+            TieBreak::HintGuided => "hint-guided".into(),
+            TieBreak::Random(s) => format!("random({s})"),
+        }
+    }
+
+    /// Order left vertices (request, hint) pairs for augmentation.
+    ///
+    /// Returns indices into `entries`. `FirstFit` keeps id order,
+    /// `HintGuided` sorts by `(priority, id)`, `Random` shuffles with a
+    /// per-round seed.
+    pub fn order_lefts(&self, entries: &[(RequestId, Hint)], round: Round) -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..entries.len() as u32).collect();
+        match self {
+            TieBreak::FirstFit | TieBreak::LatestFit => {
+                idx.sort_by_key(|&i| entries[i as usize].0);
+            }
+            TieBreak::HintGuided => {
+                idx.sort_by_key(|&i| {
+                    let (id, hint) = entries[i as usize];
+                    (hint.priority, id)
+                });
+            }
+            TieBreak::Random(seed) => {
+                let mut rng = self.rng(round, 0x5EED_1E57);
+                let _ = seed;
+                idx.shuffle(&mut rng);
+            }
+        }
+        idx
+    }
+
+    /// Per-round RNG for slot-order shuffling (`Random` only).
+    pub fn rng(&self, round: Round, salt: u64) -> ChaCha8Rng {
+        let seed = match self {
+            TieBreak::Random(s) => *s,
+            _ => 0,
+        };
+        ChaCha8Rng::seed_from_u64(
+            seed ^ round.get().wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt,
+        )
+    }
+
+    /// Whether slot candidates should be hint-reordered.
+    pub fn is_hint_guided(&self) -> bool {
+        matches!(self, TieBreak::HintGuided)
+    }
+
+    /// Whether slot candidates should be shuffled.
+    pub fn is_random(&self) -> bool {
+        matches!(self, TieBreak::Random(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries() -> Vec<(RequestId, Hint)> {
+        vec![
+            (RequestId(0), Hint::priority(5)),
+            (RequestId(1), Hint::priority(1)),
+            (RequestId(2), Hint::default()),
+        ]
+    }
+
+    #[test]
+    fn first_fit_keeps_id_order() {
+        let order = TieBreak::FirstFit.order_lefts(&entries(), Round(0));
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn hint_guided_sorts_by_priority() {
+        let order = TieBreak::HintGuided.order_lefts(&entries(), Round(0));
+        assert_eq!(order, vec![1, 0, 2]); // priorities 1, 5, MAX
+    }
+
+    #[test]
+    fn random_is_reproducible_and_round_dependent() {
+        let e = entries();
+        let a = TieBreak::Random(7).order_lefts(&e, Round(3));
+        let b = TieBreak::Random(7).order_lefts(&e, Round(3));
+        assert_eq!(a, b);
+        // Different rounds eventually differ (not guaranteed per round, but
+        // over several rounds at least one permutation must differ).
+        let mut differs = false;
+        for r in 0..20 {
+            if TieBreak::Random(7).order_lefts(&e, Round(r)) != a {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(TieBreak::FirstFit.label(), "first-fit");
+        assert_eq!(TieBreak::HintGuided.label(), "hint-guided");
+        assert_eq!(TieBreak::Random(3).label(), "random(3)");
+    }
+}

@@ -1,0 +1,380 @@
+//! Building the per-round bipartite graph `G_t` (or a sub-window of it)
+//! from the schedule state, and writing a computed matching back.
+
+use crate::schedule::ScheduleState;
+use crate::tiebreak::TieBreak;
+use rand::seq::SliceRandom;
+use reqsched_matching::{BipartiteGraph, Matching};
+use reqsched_model::{RequestId, ResourceId, Round};
+
+/// The known subgraph the strategies match on.
+///
+/// Left vertices are the participating live requests (`lefts[i]` is the id of
+/// left vertex `i`); right vertices are the window slots, indexed
+/// `j * n + resource` for round offset `j ∈ 0..rows`. Adjacency order encodes
+/// the tie-break's slot preference, which the augmenting-path searches in
+/// `reqsched-matching` follow.
+pub struct WindowGraph {
+    /// The bipartite graph (adjacency order = slot preference).
+    pub graph: BipartiteGraph,
+    /// Left-vertex index → request id.
+    pub lefts: Vec<RequestId>,
+    n: u32,
+    rows: u32,
+    front: Round,
+}
+
+impl WindowGraph {
+    /// Build the graph over the given participating requests.
+    ///
+    /// * `rows` — how many window rows to include: 1 for `A_current`
+    ///   (current-round slots only), `d` for everything else.
+    /// * `include_occupied` — if true, edges to slots currently occupied by
+    ///   *participating* requests are included (rescheduling strategies);
+    ///   otherwise only free slots are edges (`A_fix` family). Slots held by
+    ///   non-participants are never edges.
+    ///
+    /// Returns the graph plus the initial matching induced by the current
+    /// assignments of the participating requests.
+    pub fn build(
+        state: &ScheduleState,
+        lefts: Vec<RequestId>,
+        rows: u32,
+        include_occupied: bool,
+        tie: &TieBreak,
+    ) -> (WindowGraph, Matching) {
+        let n = state.n();
+        let front = state.front();
+        let n_right = rows * n;
+
+        // Membership mask so `include_occupied` can check participation.
+        let participating = |id: RequestId| lefts.binary_search(&id).is_ok();
+        debug_assert!(lefts.windows(2).all(|w| w[0] < w[1]), "lefts must be sorted");
+
+        let mut builder = BipartiteGraph::builder(n_right);
+        let mut init = Vec::new();
+        let mut scratch: Vec<(u64, u32, u32)> = Vec::new(); // (round, alt pos, right idx)
+
+        for (li, &id) in lefts.iter().enumerate() {
+            let live = state.live(id).expect("participant must be live");
+            let req = &live.req;
+            scratch.clear();
+            let lo = req.arrival.get().max(front.get());
+            let hi = req.expiry().get().min(front.get() + rows as u64 - 1);
+            for round in lo..=hi {
+                let j = (round - front.get()) as u32;
+                for (pos, &res) in req.alternatives.as_slice().iter().enumerate() {
+                    let slot_round = Round(round);
+                    let usable = if state.slot_free(res, slot_round) {
+                        true
+                    } else if include_occupied {
+                        match state.occupant(res, slot_round) {
+                            Some(occ) => participating(occ),
+                            None => false,
+                        }
+                    } else {
+                        false
+                    };
+                    if usable {
+                        scratch.push((round, pos as u32, j * n + res.0));
+                    }
+                }
+            }
+            order_slots(&mut scratch, req.hint.prefer, req.alternatives.as_slice(), tie, front);
+            let adj: Vec<u32> = scratch.iter().map(|&(_, _, r)| r).collect();
+            builder.add_left(&adj);
+            if let Some((res, round)) = live.assigned {
+                let j = (round - front) as u32;
+                init.push((li as u32, j * n + res.0));
+            }
+        }
+
+        let graph = builder.finish();
+        let mut matching = Matching::empty(graph.n_left(), graph.n_right());
+        for (l, r) in init {
+            debug_assert!(graph.has_edge(l, r), "assigned slot must be an edge");
+            matching.set(l, r);
+        }
+        (
+            WindowGraph {
+                graph,
+                lefts,
+                n,
+                rows,
+                front,
+            },
+            matching,
+        )
+    }
+
+    /// Decode a right-vertex index into `(resource, round)`.
+    pub fn slot(&self, right: u32) -> (ResourceId, Round) {
+        let j = right / self.n;
+        let i = right % self.n;
+        debug_assert!(j < self.rows);
+        (ResourceId(i), self.front + j as u64)
+    }
+
+    /// Right-vertex levels for lexicographic balancing: level = round offset
+    /// (`A_balance`'s `F`: earlier rounds are higher priority).
+    pub fn levels_by_round(&self) -> Vec<u32> {
+        (0..self.rows * self.n).map(|r| r / self.n).collect()
+    }
+
+    /// Right-vertex levels for `A_eager`: current round = 0, all later = 1.
+    pub fn levels_current_first(&self) -> Vec<u32> {
+        (0..self.rows * self.n)
+            .map(|r| u32::from(r / self.n != 0))
+            .collect()
+    }
+
+    /// Tie-break-ordered left-vertex order for augmentation, over an
+    /// arbitrary subset of left indices.
+    pub fn left_order(
+        &self,
+        state: &ScheduleState,
+        subset: impl Iterator<Item = u32>,
+        tie: &TieBreak,
+    ) -> Vec<u32> {
+        let subset: Vec<u32> = subset.collect();
+        let entries: Vec<_> = subset
+            .iter()
+            .map(|&li| {
+                let id = self.lefts[li as usize];
+                let hint = state.live(id).expect("live").req.hint;
+                (id, hint)
+            })
+            .collect();
+        tie.order_lefts(&entries, self.front)
+            .into_iter()
+            .map(|i| subset[i as usize])
+            .collect()
+    }
+
+    /// Tie-break pass: permute matched occupants so that higher-priority
+    /// (numerically lower [`Hint::priority`](reqsched_model::Hint)) requests
+    /// sit on *earlier* slots wherever a feasible pairwise swap exists.
+    ///
+    /// The paper's strategies leave open which of several equally good
+    /// matchings to use; its lower-bound proofs pick members that serve the
+    /// adversary's designated requests first. A swap never changes the
+    /// matching's cardinality or the set of covered slots (so every strategy
+    /// rule — maximality, maximum cardinality, the balance function `F`,
+    /// current-round coverage — is preserved); it only reorders occupants,
+    /// which is exactly the freedom tie-breaking may use.
+    pub fn priority_position_pass(&self, state: &ScheduleState, m: &mut Matching) {
+        let prio: Vec<u32> = self
+            .lefts
+            .iter()
+            .map(|&id| state.live(id).expect("live").req.hint.priority)
+            .collect();
+        // Bounded bubble pass: each swap strictly decreases the sum of
+        // slot-rank × priority, so a fixpoint is reached; cap defensively.
+        for _ in 0..self.lefts.len().max(4) {
+            let mut pairs: Vec<(u32, u32)> = m.pairs().collect();
+            pairs.sort_by_key(|&(_, r)| r);
+            let mut changed = false;
+            for i in 0..pairs.len() {
+                for j in i + 1..pairs.len() {
+                    let (a, ra) = pairs[i];
+                    let (b, rb) = pairs[j];
+                    if prio[b as usize] < prio[a as usize]
+                        && self.graph.has_edge(b, ra)
+                        && self.graph.has_edge(a, rb)
+                    {
+                        m.unset_left(a);
+                        m.unset_left(b);
+                        m.set(a, rb);
+                        m.set(b, ra);
+                        pairs[i] = (b, ra);
+                        pairs[j] = (a, rb);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Write `matching` back into the schedule: every participating request
+    /// is unassigned, then re-assigned per its matched slot (requests left
+    /// unmatched stay unassigned).
+    pub fn apply(&self, state: &mut ScheduleState, matching: &Matching) {
+        for &id in &self.lefts {
+            state.unassign(id);
+        }
+        for (l, r) in matching.pairs() {
+            let (res, round) = self.slot(r);
+            state.assign(self.lefts[l as usize], res, round);
+        }
+        debug_assert!(state.check_consistency());
+    }
+}
+
+/// Order slot candidates per tie-break (see [`TieBreak`] docs).
+fn order_slots(
+    scratch: &mut [(u64, u32, u32)],
+    prefer: Option<ResourceId>,
+    alts: &[ResourceId],
+    tie: &TieBreak,
+    front: Round,
+) {
+    match tie {
+        TieBreak::FirstFit => {
+            scratch.sort_by_key(|&(round, pos, _)| (round, pos));
+        }
+        TieBreak::LatestFit => {
+            scratch.sort_by_key(|&(round, pos, _)| (std::cmp::Reverse(round), pos));
+        }
+        TieBreak::HintGuided => match prefer {
+            Some(p) => {
+                let ppos = alts.iter().position(|&a| a == p);
+                scratch.sort_by_key(|&(round, pos, _)| {
+                    let preferred = Some(pos as usize) == ppos;
+                    (!preferred, round, pos)
+                });
+            }
+            None => scratch.sort_by_key(|&(round, pos, _)| (round, pos)),
+        },
+        TieBreak::Random(_) => {
+            let mut rng = tie.rng(front, 0xAD7A_CE0C);
+            scratch.shuffle(&mut rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reqsched_model::{Alternatives, Hint, Request};
+
+    fn insert(state: &mut ScheduleState, id: u32, a: u32, b: u32, hint: Hint) {
+        state.insert(&Request {
+            id: RequestId(id),
+            arrival: state.front(),
+            alternatives: Alternatives::two(ResourceId(a), ResourceId(b)),
+            deadline: state.d(),
+            tag: 0,
+            hint,
+        });
+    }
+
+    #[test]
+    fn graph_covers_feasible_free_slots() {
+        let mut st = ScheduleState::new(2, 2);
+        insert(&mut st, 0, 0, 1, Hint::default());
+        let (wg, m) = WindowGraph::build(&st, vec![RequestId(0)], 2, false, &TieBreak::FirstFit);
+        assert_eq!(wg.graph.n_left(), 1);
+        assert_eq!(wg.graph.n_right(), 4);
+        // Feasible: both resources, both rounds = 4 edges.
+        assert_eq!(wg.graph.n_edges(), 4);
+        assert_eq!(m.size(), 0);
+        // FirstFit order: round 0 alt0, round 0 alt1, round 1 alt0, round 1 alt1.
+        assert_eq!(wg.graph.neighbors(0), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn occupied_slots_excluded_without_flag() {
+        let mut st = ScheduleState::new(2, 2);
+        insert(&mut st, 0, 0, 1, Hint::default());
+        st.assign(RequestId(0), ResourceId(0), Round(0));
+        insert(&mut st, 1, 0, 1, Hint::default());
+        let (wg, _) =
+            WindowGraph::build(&st, vec![RequestId(1)], 2, false, &TieBreak::FirstFit);
+        // Slot (S0, t0) occupied by non-participant r0 -> excluded.
+        assert_eq!(wg.graph.neighbors(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn occupied_slots_included_for_participants() {
+        let mut st = ScheduleState::new(2, 2);
+        insert(&mut st, 0, 0, 1, Hint::default());
+        st.assign(RequestId(0), ResourceId(0), Round(0));
+        insert(&mut st, 1, 0, 1, Hint::default());
+        let (wg, m) = WindowGraph::build(
+            &st,
+            vec![RequestId(0), RequestId(1)],
+            2,
+            true,
+            &TieBreak::FirstFit,
+        );
+        assert_eq!(wg.graph.neighbors(1), &[0, 1, 2, 3]);
+        // Initial matching carries r0's assignment.
+        assert_eq!(m.size(), 1);
+        assert_eq!(m.left_mate(0), Some(0));
+    }
+
+    #[test]
+    fn hint_prefers_resource_over_earliness() {
+        let mut st = ScheduleState::new(2, 2);
+        insert(&mut st, 0, 0, 1, Hint::prefer(ResourceId(1)));
+        let (wg, _) =
+            WindowGraph::build(&st, vec![RequestId(0)], 2, false, &TieBreak::HintGuided);
+        // S1's slots (indices 1, 3) come before S0's (0, 2).
+        assert_eq!(wg.graph.neighbors(0), &[1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn single_row_restriction() {
+        let mut st = ScheduleState::new(2, 3);
+        insert(&mut st, 0, 0, 1, Hint::default());
+        let (wg, _) = WindowGraph::build(&st, vec![RequestId(0)], 1, false, &TieBreak::FirstFit);
+        assert_eq!(wg.graph.n_right(), 2);
+        assert_eq!(wg.graph.neighbors(0), &[0, 1]);
+    }
+
+    #[test]
+    fn apply_rewrites_assignments() {
+        let mut st = ScheduleState::new(2, 2);
+        insert(&mut st, 0, 0, 1, Hint::default());
+        insert(&mut st, 1, 0, 1, Hint::default());
+        let (wg, mut m) = WindowGraph::build(
+            &st,
+            vec![RequestId(0), RequestId(1)],
+            2,
+            true,
+            &TieBreak::FirstFit,
+        );
+        reqsched_matching::kuhn_in_order(&wg.graph, &mut m, &[0, 1]);
+        assert_eq!(m.size(), 2);
+        wg.apply(&mut st, &m);
+        assert_eq!(st.unassigned().len(), 0);
+        assert!(st.check_consistency());
+    }
+
+    #[test]
+    fn levels_shapes() {
+        let mut st = ScheduleState::new(2, 3);
+        insert(&mut st, 0, 0, 1, Hint::default());
+        let (wg, _) = WindowGraph::build(&st, vec![RequestId(0)], 3, false, &TieBreak::FirstFit);
+        assert_eq!(wg.levels_by_round(), vec![0, 0, 1, 1, 2, 2]);
+        assert_eq!(wg.levels_current_first(), vec![0, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn slot_decoding_roundtrip() {
+        let mut st = ScheduleState::new(3, 2);
+        insert(&mut st, 0, 0, 1, Hint::default());
+        let (wg, _) = WindowGraph::build(&st, vec![RequestId(0)], 2, false, &TieBreak::FirstFit);
+        assert_eq!(wg.slot(0), (ResourceId(0), Round(0)));
+        assert_eq!(wg.slot(4), (ResourceId(1), Round(1)));
+    }
+
+    #[test]
+    fn window_respects_request_expiry() {
+        let mut st = ScheduleState::new(2, 3);
+        // Deadline 1: only the current round is feasible.
+        st.insert(&Request {
+            id: RequestId(0),
+            arrival: Round(0),
+            alternatives: Alternatives::two(ResourceId(0), ResourceId(1)),
+            deadline: 1,
+            tag: 0,
+            hint: Hint::default(),
+        });
+        let (wg, _) = WindowGraph::build(&st, vec![RequestId(0)], 3, false, &TieBreak::FirstFit);
+        assert_eq!(wg.graph.neighbors(0), &[0, 1]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Rule-compliance oracles: verify, round by round and against brute-force
+//! enumeration, that each strategy's output satisfies its *defining rule*
+//! from the paper (§1.3) — not just that it produces feasible schedules.
+//!
+//! * `A_fix` / `A_fix_balance`: the number of newly scheduled requests each
+//!   round equals the maximum matching of (new requests × free slots).
+//! * `A_current`: the number served each round equals the maximum matching
+//!   of (live requests × current-round slots).
+//! * `A_eager`: the number served each round equals the best achievable
+//!   current-round coverage over all maximum matchings of `G_t`.
+//! * `A_balance`: the entire per-round occupancy vector after the round
+//!   equals the lexicographically optimal `F` vector over all maximum
+//!   matchings of `G_t`.
+//!
+//! All oracles are exponential-time (`reqsched_matching::brute`), so the
+//! instances are tiny — but they enumerate *every* matching, leaving no
+//! hiding place.
+
+use proptest::prelude::*;
+use reqsched_core::{
+    ABalance, ACurrent, AEager, AFix, AFixBalance, OnlineScheduler, ScheduleState,
+    TieBreak, WindowGraph,
+};
+use reqsched_matching::brute;
+use reqsched_model::{Instance, RequestId, ResourceId, Round};
+use reqsched_workloads::uniform_two_choice;
+
+/// Tiny random instances so brute-force enumeration stays feasible.
+fn tiny_instance() -> impl Strategy<Value = Instance> {
+    (2u32..4, 1u32..4, 1u32..4, 3u64..8, 0u64..1_000_000).prop_map(
+        |(n, d, per_round, rounds, seed)| {
+            uniform_two_choice(n, d, per_round, rounds, seed)
+        },
+    )
+}
+
+/// Best lexicographic coverage over max matchings of G_t, built from a
+/// snapshot of the strategy state plus this round's arrivals.
+fn oracle_lex(
+    snapshot: &ScheduleState,
+    inst: &Instance,
+    t: Round,
+    rows: u32,
+    include_occupied: bool,
+    only_new: bool,
+    by_round: bool,
+) -> Vec<usize> {
+    let mut st = snapshot.clone();
+    for req in inst.trace.arrivals_at(t) {
+        st.insert(req);
+    }
+    let lefts: Vec<RequestId> = if only_new {
+        inst.trace.arrivals_at(t).iter().map(|r| r.id).collect()
+    } else {
+        st.live_iter().map(|l| l.req.id).collect()
+    };
+    if lefts.is_empty() {
+        return vec![0; rows as usize];
+    }
+    let (wg, _) =
+        WindowGraph::build(&st, lefts, rows, include_occupied, &TieBreak::FirstFit);
+    let levels = if by_round {
+        wg.levels_by_round()
+    } else {
+        wg.levels_current_first()
+    };
+    let mut cov = brute::best_lex_coverage(&wg.graph, &levels);
+    cov.resize(rows as usize, 0);
+    cov
+}
+
+/// Max matching size of (new requests × free slots) — the A_fix rule.
+fn oracle_new_max(snapshot: &ScheduleState, inst: &Instance, t: Round) -> usize {
+    let mut st = snapshot.clone();
+    for req in inst.trace.arrivals_at(t) {
+        st.insert(req);
+    }
+    let lefts: Vec<RequestId> = inst.trace.arrivals_at(t).iter().map(|r| r.id).collect();
+    if lefts.is_empty() {
+        return 0;
+    }
+    let (wg, _) = WindowGraph::build(&st, lefts, st.d(), false, &TieBreak::FirstFit);
+    brute::max_matching_size(&wg.graph)
+}
+
+/// Count the occupancy of the strategy's window per row offset.
+fn occupancy(state: &ScheduleState, n: u32, d: u32) -> Vec<usize> {
+    (0..d as u64)
+        .map(|j| {
+            (0..n)
+                .filter(|&i| {
+                    state
+                        .occupant(ResourceId(i), state.front() + j)
+                        .is_some()
+                })
+                .count()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn afix_schedules_max_new_each_round(inst in tiny_instance()) {
+        let (n, d) = (inst.n_resources, inst.d);
+        let mut a = AFix::new(n, d, TieBreak::FirstFit);
+        for t in 0..inst.horizon().get() {
+            let snap = a.schedule().clone();
+            let expected = oracle_new_max(&snap, &inst, Round(t));
+            let served = a.on_round(Round(t), inst.trace.arrivals_at(Round(t)));
+            // Newly scheduled = served now with arrival t + assigned later.
+            let arrivals: Vec<RequestId> =
+                inst.trace.arrivals_at(Round(t)).iter().map(|r| r.id).collect();
+            let served_new = served
+                .iter()
+                .filter(|s| arrivals.contains(&s.request))
+                .count();
+            let assigned_new = arrivals
+                .iter()
+                .filter(|&&id| a.schedule().live(id).is_some_and(|l| l.assigned.is_some()))
+                .count();
+            prop_assert_eq!(
+                served_new + assigned_new,
+                expected,
+                "round {}: A_fix must schedule a maximum number of new requests",
+                t
+            );
+        }
+    }
+
+    #[test]
+    fn afix_balance_schedules_max_new_each_round(inst in tiny_instance()) {
+        let (n, d) = (inst.n_resources, inst.d);
+        let mut a = AFixBalance::new(n, d, TieBreak::FirstFit);
+        for t in 0..inst.horizon().get() {
+            let snap = a.schedule().clone();
+            let expected = oracle_new_max(&snap, &inst, Round(t));
+            let served = a.on_round(Round(t), inst.trace.arrivals_at(Round(t)));
+            let arrivals: Vec<RequestId> =
+                inst.trace.arrivals_at(Round(t)).iter().map(|r| r.id).collect();
+            let scheduled_new = served
+                .iter()
+                .filter(|s| arrivals.contains(&s.request))
+                .count()
+                + arrivals
+                    .iter()
+                    .filter(|&&id| {
+                        a.schedule().live(id).is_some_and(|l| l.assigned.is_some())
+                    })
+                    .count();
+            prop_assert_eq!(scheduled_new, expected);
+        }
+    }
+
+    #[test]
+    fn acurrent_serves_maximum_of_current_row(inst in tiny_instance()) {
+        let (n, d) = (inst.n_resources, inst.d);
+        let mut a = ACurrent::new(n, d, TieBreak::FirstFit);
+        for t in 0..inst.horizon().get() {
+            let snap = a.schedule().clone();
+            let expected =
+                oracle_lex(&snap, &inst, Round(t), 1, false, false, false)[0];
+            let served = a
+                .on_round(Round(t), inst.trace.arrivals_at(Round(t)))
+                .len();
+            prop_assert_eq!(
+                served, expected,
+                "round {}: A_current must serve a maximum current matching", t
+            );
+        }
+    }
+
+    #[test]
+    fn aeager_serves_best_possible_now(inst in tiny_instance()) {
+        let (n, d) = (inst.n_resources, inst.d);
+        let mut a = AEager::new(n, d, TieBreak::FirstFit);
+        for t in 0..inst.horizon().get() {
+            let snap = a.schedule().clone();
+            let expected =
+                oracle_lex(&snap, &inst, Round(t), d, true, false, false)[0];
+            let served = a
+                .on_round(Round(t), inst.trace.arrivals_at(Round(t)))
+                .len();
+            prop_assert_eq!(
+                served, expected,
+                "round {}: A_eager must serve the max-current coverage of a \
+                 maximum matching of G_t", t
+            );
+        }
+    }
+
+    #[test]
+    fn abalance_realizes_the_lexicographic_f_vector(inst in tiny_instance()) {
+        let (n, d) = (inst.n_resources, inst.d);
+        let mut a = ABalance::new(n, d, TieBreak::FirstFit);
+        for t in 0..inst.horizon().get() {
+            let snap = a.schedule().clone();
+            let expected = oracle_lex(&snap, &inst, Round(t), d, true, false, true);
+            let served = a
+                .on_round(Round(t), inst.trace.arrivals_at(Round(t)))
+                .len();
+            // Observed F vector: services now + post-round window occupancy
+            // (rows t+1 .. t+d-1 of the round-t matching).
+            let mut observed = vec![served];
+            let occ = occupancy(a.schedule(), n, d);
+            observed.extend(occ.iter().take(d as usize - 1));
+            prop_assert_eq!(
+                observed, expected,
+                "round {}: A_balance must realize the lexicographically \
+                 optimal per-round coverage vector", t
+            );
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! The synchronous communication substrate: bandwidth-capped message
+//! exchange with LDF admission.
+
+use reqsched_core::ScheduleState;
+use reqsched_model::{RequestId, ResourceId, Round};
+
+/// One message from a request (client) to a resource.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Destination resource.
+    pub to: ResourceId,
+    /// Sending request.
+    pub from: RequestId,
+    /// The sender's deadline expiry — the admission key for the LDF rule.
+    pub ldf_key: Round,
+    /// High-priority tag (guaranteed delivery; `A_local_eager` hands out at
+    /// most one per resource per scheduling round).
+    pub high_priority: bool,
+    /// Protocol payload.
+    pub payload: M,
+}
+
+/// Result of one communication round.
+#[derive(Clone, Debug)]
+pub struct ExchangeOutcome<M> {
+    /// Messages delivered, per resource, in admission (LDF) order.
+    pub per_resource: Vec<Vec<Envelope<M>>>,
+    /// Messages that exceeded the bandwidth cap; their senders have been
+    /// notified of the failure.
+    pub bounced: Vec<Envelope<M>>,
+}
+
+impl<M> ExchangeOutcome<M> {
+    /// Total number of delivered messages.
+    pub fn delivered_count(&self) -> usize {
+        self.per_resource.iter().map(Vec::len).sum()
+    }
+}
+
+/// The message fabric: delivers batches of envelopes subject to the model's
+/// per-resource bandwidth cap, counting communication rounds and messages.
+///
+/// Delivery can run serially or on a crossbeam-scoped worker pool
+/// ([`CommFabric::new_threaded`]): each worker performs the admission
+/// (sort + cap) of a disjoint shard of resources, mirroring how the model's
+/// resources decide admission independently and locally. Both modes produce
+/// bit-identical outcomes (equivalence is property-tested), so threading is
+/// purely a throughput knob for large simulations.
+#[derive(Clone, Debug)]
+pub struct CommFabric {
+    n: u32,
+    cap: usize,
+    comm_rounds: u64,
+    messages: u64,
+    workers: usize,
+}
+
+impl CommFabric {
+    /// A fabric for `n` resources with a bandwidth cap of `cap` messages
+    /// per resource per communication round (the paper uses `cap = d`).
+    pub fn new(n: u32, cap: usize) -> CommFabric {
+        assert!(cap >= 1);
+        CommFabric {
+            n,
+            cap,
+            comm_rounds: 0,
+            messages: 0,
+            workers: 1,
+        }
+    }
+
+    /// Like [`CommFabric::new`], but admission runs on `workers` scoped
+    /// threads (resources are sharded across workers).
+    pub fn new_threaded(n: u32, cap: usize, workers: usize) -> CommFabric {
+        assert!(workers >= 1);
+        CommFabric {
+            workers,
+            ..CommFabric::new(n, cap)
+        }
+    }
+
+    /// Communication rounds used so far (empty exchanges are free: no
+    /// messages, no round).
+    pub fn comm_rounds(&self) -> u64 {
+        self.comm_rounds
+    }
+
+    /// Total messages sent so far (requests → resources; the model's
+    /// response messages ride the same exchange and are not double-counted).
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Perform one communication round: deliver up to `cap` messages per
+    /// resource. High-priority envelopes are admitted first, then LDF order
+    /// (latest expiry first, ties towards earlier request ids).
+    pub fn exchange<M: Send>(&mut self, msgs: Vec<Envelope<M>>) -> ExchangeOutcome<M> {
+        let mut per_resource: Vec<Vec<Envelope<M>>> =
+            (0..self.n).map(|_| Vec::new()).collect();
+        if msgs.is_empty() {
+            return ExchangeOutcome {
+                per_resource,
+                bounced: Vec::new(),
+            };
+        }
+        self.comm_rounds += 1;
+        self.messages += msgs.len() as u64;
+        for env in msgs {
+            per_resource[env.to.index()].push(env);
+        }
+        let bounced = if self.workers <= 1 || per_resource.len() < 2 {
+            let mut bounced = Vec::new();
+            for inbox in &mut per_resource {
+                Self::admit(inbox, self.cap, &mut bounced);
+            }
+            bounced
+        } else {
+            self.admit_threaded(&mut per_resource)
+        };
+        ExchangeOutcome {
+            per_resource,
+            bounced,
+        }
+    }
+
+    /// Per-resource admission: priority tag first, then latest deadline
+    /// first, ties by request id; everything past the cap bounces.
+    fn admit<M>(inbox: &mut Vec<Envelope<M>>, cap: usize, bounced: &mut Vec<Envelope<M>>) {
+        inbox.sort_by(|a, b| {
+            b.high_priority
+                .cmp(&a.high_priority)
+                .then(b.ldf_key.cmp(&a.ldf_key))
+                .then(a.from.cmp(&b.from))
+        });
+        while inbox.len() > cap {
+            bounced.push(inbox.pop().expect("nonempty"));
+        }
+    }
+
+    /// Shard the per-resource admission across crossbeam-scoped workers.
+    /// Each resource's inbox is processed by exactly one worker, exactly as
+    /// in serial mode, so outcomes are identical; bounced messages are
+    /// gathered per shard and concatenated in resource order to keep
+    /// determinism.
+    fn admit_threaded<M: Send>(
+        &self,
+        per_resource: &mut [Vec<Envelope<M>>],
+    ) -> Vec<Envelope<M>> {
+        let cap = self.cap;
+        let shards: Vec<(usize, &mut [Vec<Envelope<M>>])> = {
+            let workers = self.workers.min(per_resource.len());
+            let chunk = per_resource.len().div_ceil(workers);
+            per_resource.chunks_mut(chunk).enumerate().collect()
+        };
+        let results = parking_lot::Mutex::new(Vec::new());
+        crossbeam::scope(|scope| {
+            for (shard_idx, shard) in shards {
+                let results = &results;
+                scope.spawn(move |_| {
+                    let mut bounced = Vec::new();
+                    for inbox in shard.iter_mut() {
+                        Self::admit(inbox, cap, &mut bounced);
+                    }
+                    results.lock().push((shard_idx, bounced));
+                });
+            }
+        })
+        .expect("fabric worker panicked");
+        let mut results = results.into_inner();
+        results.sort_by_key(|&(idx, _)| idx);
+        results.into_iter().flat_map(|(_, b)| b).collect()
+    }
+}
+
+/// Greedy per-resource acceptance used by both local strategies: process
+/// requests in the delivered (LDF) order and assign each to the **latest**
+/// free feasible slot of `res`. For windows sharing their left endpoint —
+/// the situation every probe round is in — this mirrored-EDF greedy accepts
+/// a maximum-cardinality subset, which is what the paper's "maximal
+/// selection … according to the LDF rule" requires.
+///
+/// Returns `(accepted, rejected)` request ids in processing order.
+pub fn accept_latest_fit(
+    state: &mut ScheduleState,
+    res: ResourceId,
+    delivered: &[(RequestId, Round)],
+) -> (Vec<RequestId>, Vec<RequestId>) {
+    let mut accepted = Vec::new();
+    let mut rejected = Vec::new();
+    let front = state.front().get();
+    let last_window = front + state.d() as u64 - 1;
+    for &(id, expiry) in delivered {
+        let hi = expiry.get().min(last_window);
+        let mut placed = false;
+        let mut r = hi;
+        loop {
+            if state.slot_free(res, Round(r)) {
+                state.assign(id, res, Round(r));
+                accepted.push(id);
+                placed = true;
+                break;
+            }
+            if r == front {
+                break;
+            }
+            r -= 1;
+        }
+        if !placed {
+            rejected.push(id);
+        }
+    }
+    (accepted, rejected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(to: u32, from: u32, expiry: u64) -> Envelope<()> {
+        Envelope {
+            to: ResourceId(to),
+            from: RequestId(from),
+            ldf_key: Round(expiry),
+            high_priority: false,
+            payload: (),
+        }
+    }
+
+    #[test]
+    fn empty_exchange_is_free() {
+        let mut f = CommFabric::new(2, 3);
+        let out = f.exchange::<()>(vec![]);
+        assert_eq!(f.comm_rounds(), 0);
+        assert_eq!(out.delivered_count(), 0);
+    }
+
+    #[test]
+    fn cap_bounces_lowest_rank() {
+        let mut f = CommFabric::new(1, 2);
+        let out = f.exchange(vec![env(0, 0, 5), env(0, 1, 9), env(0, 2, 5)]);
+        assert_eq!(f.comm_rounds(), 1);
+        assert_eq!(f.messages(), 3);
+        // LDF: expiry 9 first, then expiry 5 with lower id (0); id 2 bounced.
+        let inbox = &out.per_resource[0];
+        assert_eq!(inbox.len(), 2);
+        assert_eq!(inbox[0].from, RequestId(1));
+        assert_eq!(inbox[1].from, RequestId(0));
+        assert_eq!(out.bounced.len(), 1);
+        assert_eq!(out.bounced[0].from, RequestId(2));
+    }
+
+    #[test]
+    fn priority_tag_beats_ldf() {
+        let mut f = CommFabric::new(1, 1);
+        let mut hi = env(0, 5, 1);
+        hi.high_priority = true;
+        let out = f.exchange(vec![env(0, 0, 99), hi]);
+        assert_eq!(out.per_resource[0][0].from, RequestId(5));
+        assert_eq!(out.bounced[0].from, RequestId(0));
+    }
+
+    #[test]
+    fn accept_latest_fit_maximizes_mixed_deadlines() {
+        use reqsched_model::{Alternatives, Hint, Request};
+        let mut st = ScheduleState::new(1, 2);
+        for (id, dl) in [(0u32, 2u32), (1, 1)] {
+            st.insert(&Request {
+                id: RequestId(id),
+                arrival: Round(0),
+                alternatives: Alternatives::one(ResourceId(0)),
+                deadline: dl,
+                tag: 0,
+                hint: Hint::default(),
+            });
+        }
+        // LDF order: id 0 (expiry 1) before id 1 (expiry 0).
+        let delivered = vec![(RequestId(0), Round(1)), (RequestId(1), Round(0))];
+        let (acc, rej) = accept_latest_fit(&mut st, ResourceId(0), &delivered);
+        assert_eq!(acc.len(), 2, "latest-fit must save the tight request");
+        assert!(rej.is_empty());
+        assert_eq!(st.occupant(ResourceId(0), Round(0)), Some(RequestId(1)));
+        assert_eq!(st.occupant(ResourceId(0), Round(1)), Some(RequestId(0)));
+    }
+
+    #[test]
+    fn threaded_equals_serial() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        for case in 0..40 {
+            let n = rng.gen_range(1..12u32);
+            let cap = rng.gen_range(1..5usize);
+            let msgs: Vec<Envelope<u32>> = (0..rng.gen_range(0..60u32))
+                .map(|i| Envelope {
+                    to: ResourceId(rng.gen_range(0..n)),
+                    from: RequestId(i),
+                    ldf_key: Round(rng.gen_range(0..6u64)),
+                    high_priority: rng.gen_bool(0.1),
+                    payload: i,
+                })
+                .collect();
+            let mut serial = CommFabric::new(n, cap);
+            let mut threaded = CommFabric::new_threaded(n, cap, 4);
+            let a = serial.exchange(msgs.clone());
+            let b = threaded.exchange(msgs);
+            assert_eq!(a.per_resource, b.per_resource, "case {case}");
+            assert_eq!(a.bounced, b.bounced, "case {case}");
+            assert_eq!(serial.comm_rounds(), threaded.comm_rounds());
+            assert_eq!(serial.messages(), threaded.messages());
+        }
+    }
+
+    #[test]
+    fn accept_rejects_when_full() {
+        use reqsched_model::{Alternatives, Hint, Request};
+        let mut st = ScheduleState::new(1, 1);
+        for id in 0..2u32 {
+            st.insert(&Request {
+                id: RequestId(id),
+                arrival: Round(0),
+                alternatives: Alternatives::one(ResourceId(0)),
+                deadline: 1,
+                tag: 0,
+                hint: Hint::default(),
+            });
+        }
+        let delivered = vec![(RequestId(0), Round(0)), (RequestId(1), Round(0))];
+        let (acc, rej) = accept_latest_fit(&mut st, ResourceId(0), &delivered);
+        assert_eq!(acc, vec![RequestId(0)]);
+        assert_eq!(rej, vec![RequestId(1)]);
+    }
+}

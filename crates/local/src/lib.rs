@@ -1,0 +1,38 @@
+//! # reqsched-local
+//!
+//! The paper's **local (distributed) strategies** over a faithful synchronous
+//! message-passing substrate (paper §1.3 "Local Strategies" and §3.2).
+//!
+//! In the local model, requests know nothing about each other; scheduling
+//! decisions emerge from *communication rounds* in which requests exchange
+//! fixed-size messages with resources. The model's constraints, all enforced
+//! by [`CommFabric`]:
+//!
+//! * per communication round, at most `d` messages **reach** a resource;
+//! * excess messages are admitted by the **LDF** (latest deadline first)
+//!   rule and the spurned senders are notified of the failure;
+//! * one high-priority tag per resource bypasses contention (used by
+//!   `A_local_eager`'s phase 3, which hands out at most one tag per
+//!   resource per round).
+//!
+//! Strategies:
+//!
+//! * [`ALocalFix`] — the local `A_fix` variant: new requests probe their
+//!   first alternative, failures probe their second; **2 communication
+//!   rounds**, competitive ratio exactly 2 (Theorem 3.7).
+//! * [`ALocalEager`] — three phases (probe-all, pull-forward,
+//!   rival-exchange) in **at most 9 communication rounds**, competitive
+//!   ratio at most 5/3 (Theorem 3.8).
+//!
+//! The substrate is simulated deterministically in-process; "locality" is
+//! enforced structurally — every decision a resource takes depends only on
+//! the messages delivered to it and its own slot table, and every decision a
+//! request takes depends only on the responses it received.
+
+mod fabric;
+mod local_eager;
+mod local_fix;
+
+pub use fabric::{CommFabric, Envelope, ExchangeOutcome};
+pub use local_eager::ALocalEager;
+pub use local_fix::ALocalFix;

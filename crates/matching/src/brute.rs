@@ -1,0 +1,108 @@
+//! Exponential-time exact solvers, used only to cross-validate the fast
+//! algorithms on small graphs (unit and property tests).
+
+use crate::graph::BipartiteGraph;
+
+/// Size of a maximum matching, by exhaustive backtracking over left
+/// vertices. Only sensible for tiny graphs (≲ 20 left vertices).
+pub fn max_matching_size(g: &BipartiteGraph) -> usize {
+    let mut used = vec![false; g.n_right() as usize];
+    recurse_size(g, 0, &mut used)
+}
+
+fn recurse_size(g: &BipartiteGraph, l: u32, used: &mut [bool]) -> usize {
+    if l == g.n_left() {
+        return 0;
+    }
+    // Option 1: leave l unmatched.
+    let mut best = recurse_size(g, l + 1, used);
+    // Option 2: match l to each free neighbour.
+    for &r in g.neighbors(l) {
+        if !used[r as usize] {
+            used[r as usize] = true;
+            best = best.max(1 + recurse_size(g, l + 1, used));
+            used[r as usize] = false;
+        }
+    }
+    best
+}
+
+/// Lexicographically best per-level right-coverage vector achievable by any
+/// **maximum** matching of `g` (level 0 counts first). Exhaustive.
+pub fn best_lex_coverage(g: &BipartiteGraph, level: &[u32]) -> Vec<usize> {
+    let max_size = max_matching_size(g);
+    let n_levels = level.iter().copied().max().map_or(0, |v| v as usize + 1);
+    let mut best: Option<Vec<usize>> = None;
+    let mut used = vec![false; g.n_right() as usize];
+    let mut counts = vec![0usize; n_levels];
+    enumerate(g, 0, 0, max_size, level, &mut used, &mut counts, &mut best);
+    best.unwrap_or(counts)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate(
+    g: &BipartiteGraph,
+    l: u32,
+    size: usize,
+    target: usize,
+    level: &[u32],
+    used: &mut [bool],
+    counts: &mut Vec<usize>,
+    best: &mut Option<Vec<usize>>,
+) {
+    if l == g.n_left() {
+        if size == target {
+            match best {
+                None => *best = Some(counts.clone()),
+                Some(b) => {
+                    if counts.as_slice() > b.as_slice() {
+                        *best = Some(counts.clone());
+                    }
+                }
+            }
+        }
+        return;
+    }
+    enumerate(g, l + 1, size, target, level, used, counts, best);
+    for &r in g.neighbors(l) {
+        if !used[r as usize] {
+            used[r as usize] = true;
+            counts[level[r as usize] as usize] += 1;
+            enumerate(g, l + 1, size + 1, target, level, used, counts, best);
+            counts[level[r as usize] as usize] -= 1;
+            used[r as usize] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brute_on_trivial_graphs() {
+        let g = BipartiteGraph::from_adjacency(2, &[vec![0, 1], vec![0]]);
+        assert_eq!(max_matching_size(&g), 2);
+        let g2 = BipartiteGraph::from_adjacency(1, &[vec![0], vec![0], vec![0]]);
+        assert_eq!(max_matching_size(&g2), 1);
+        let g3 = BipartiteGraph::from_adjacency(2, &[vec![], vec![]]);
+        assert_eq!(max_matching_size(&g3), 0);
+    }
+
+    #[test]
+    fn lex_coverage_prefers_level_zero() {
+        // One request, two slots; can cover either; must pick level 0.
+        let g = BipartiteGraph::from_adjacency(2, &[vec![0, 1]]);
+        assert_eq!(best_lex_coverage(&g, &[1, 0]), vec![1, 0]);
+    }
+
+    #[test]
+    fn lex_coverage_requires_maximum_cardinality() {
+        // Covering the level-0 slot alone would strand a request; maximum
+        // cardinality is enforced first, so counts are over max matchings.
+        // l0: {r0}, l1: {r0, r1}; levels [0, 1]: only max matching is
+        // l0->r0, l1->r1 => [1, 1].
+        let g = BipartiteGraph::from_adjacency(2, &[vec![0], vec![0, 1]]);
+        assert_eq!(best_lex_coverage(&g, &[0, 1]), vec![1, 1]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Compact CSR bipartite graphs with caller-controlled adjacency order.
+
+/// A bipartite graph in compressed-sparse-row form.
+///
+/// Left vertices (requests) are `0 .. n_left`, right vertices (time slots)
+/// are `0 .. n_right`. Adjacency is stored left-to-right only, in the order
+/// the caller supplied it — that order is significant: the augmenting-path
+/// searches in this crate try neighbours in adjacency order, which is how
+/// strategies realize resource-preference tie-breaking.
+///
+/// Indices are `u32` to keep the per-round working set small (per the
+/// performance guide); a round's graph has at most `n·d` right vertices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BipartiteGraph {
+    n_right: u32,
+    /// `offsets[l] .. offsets[l+1]` indexes `adjacency` for left vertex `l`.
+    offsets: Vec<u32>,
+    adjacency: Vec<u32>,
+}
+
+impl BipartiteGraph {
+    /// Build from per-left-vertex adjacency lists (order preserved).
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if an edge references a right vertex
+    /// `>= n_right`.
+    pub fn from_adjacency(n_right: u32, lists: &[Vec<u32>]) -> BipartiteGraph {
+        let mut b = GraphBuilder::new(n_right);
+        for list in lists {
+            b.add_left(list);
+        }
+        b.finish()
+    }
+
+    /// Start an incremental builder (avoids the intermediate `Vec<Vec<_>>`).
+    pub fn builder(n_right: u32) -> GraphBuilder {
+        GraphBuilder::new(n_right)
+    }
+
+    /// Number of left vertices.
+    #[inline]
+    pub fn n_left(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of right vertices.
+    #[inline]
+    pub fn n_right(&self) -> u32 {
+        self.n_right
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Neighbours of left vertex `l`, in insertion order.
+    #[inline]
+    pub fn neighbors(&self, l: u32) -> &[u32] {
+        let lo = self.offsets[l as usize] as usize;
+        let hi = self.offsets[l as usize + 1] as usize;
+        &self.adjacency[lo..hi]
+    }
+
+    /// Whether the edge `(l, r)` exists.
+    pub fn has_edge(&self, l: u32, r: u32) -> bool {
+        self.neighbors(l).contains(&r)
+    }
+
+    /// Right-to-left adjacency, built on demand (used by the symmetric
+    /// difference decomposition and the saturation search).
+    pub fn reverse_adjacency(&self) -> Vec<Vec<u32>> {
+        let mut rev = vec![Vec::new(); self.n_right as usize];
+        for l in 0..self.n_left() {
+            for &r in self.neighbors(l) {
+                rev[r as usize].push(l);
+            }
+        }
+        rev
+    }
+}
+
+/// Incremental builder for [`BipartiteGraph`].
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n_right: u32,
+    offsets: Vec<u32>,
+    adjacency: Vec<u32>,
+}
+
+impl GraphBuilder {
+    fn new(n_right: u32) -> GraphBuilder {
+        GraphBuilder {
+            n_right,
+            offsets: vec![0],
+            adjacency: Vec::new(),
+        }
+    }
+
+    /// Append a left vertex with the given neighbours (order preserved).
+    /// Returns the new vertex's index.
+    pub fn add_left(&mut self, neighbors: &[u32]) -> u32 {
+        for &r in neighbors {
+            debug_assert!(r < self.n_right, "right vertex {r} out of range");
+            self.adjacency.push(r);
+        }
+        self.offsets.push(self.adjacency.len() as u32);
+        (self.offsets.len() - 2) as u32
+    }
+
+    /// Finish building.
+    pub fn finish(self) -> BipartiteGraph {
+        BipartiteGraph {
+            n_right: self.n_right,
+            offsets: self.offsets,
+            adjacency: self.adjacency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_queries() {
+        let g = BipartiteGraph::from_adjacency(3, &[vec![0, 2], vec![], vec![1]]);
+        assert_eq!(g.n_left(), 3);
+        assert_eq!(g.n_right(), 3);
+        assert_eq!(g.n_edges(), 3);
+        assert_eq!(g.neighbors(0), &[0, 2]);
+        assert_eq!(g.neighbors(1), &[] as &[u32]);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn adjacency_order_is_preserved() {
+        let g = BipartiteGraph::from_adjacency(4, &[vec![3, 1, 0]]);
+        assert_eq!(g.neighbors(0), &[3, 1, 0]);
+    }
+
+    #[test]
+    fn reverse_adjacency() {
+        let g = BipartiteGraph::from_adjacency(2, &[vec![0, 1], vec![1]]);
+        let rev = g.reverse_adjacency();
+        assert_eq!(rev[0], vec![0]);
+        assert_eq!(rev[1], vec![0, 1]);
+    }
+
+    #[test]
+    fn incremental_builder_indices() {
+        let mut b = BipartiteGraph::builder(5);
+        assert_eq!(b.add_left(&[0]), 0);
+        assert_eq!(b.add_left(&[1, 2]), 1);
+        let g = b.finish();
+        assert_eq!(g.n_left(), 2);
+        assert_eq!(g.neighbors(1), &[1, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::from_adjacency(0, &[]);
+        assert_eq!(g.n_left(), 0);
+        assert_eq!(g.n_right(), 0);
+        assert_eq!(g.n_edges(), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Kuhn-style single-source augmentation with caller-controlled order.
+//!
+//! Strategies use this in two ways:
+//!
+//! * **Which requests get scheduled.** Matchable left-vertex subsets form a
+//!   transversal matroid, so augmenting left vertices greedily in priority
+//!   order yields the priority-lexicographically best matched set among all
+//!   maximum matchings. This is how hint-guided strategy members decide which
+//!   requests to serve when not all fit (e.g. the group ordering the
+//!   adversary of Theorem 2.2 forces on `A_current`).
+//! * **Which slot a request lands on.** The DFS tries neighbours in
+//!   adjacency order, so a graph built with the preferred resource's slots
+//!   first steers the assignment without affecting cardinality.
+
+use crate::graph::BipartiteGraph;
+use crate::matching::Matching;
+
+/// Try to enlarge `m` by one via an augmenting path starting at the free
+/// left vertex `start`. Returns `true` if the matching grew.
+///
+/// Matched left vertices are never unmatched (they may change mates), so a
+/// sequence of `kuhn_augment` calls preserves every earlier success — the
+/// property the `A_eager`/`A_balance` rule "all previously scheduled requests
+/// remain scheduled" relies on.
+pub fn kuhn_augment(g: &BipartiteGraph, m: &mut Matching, start: u32) -> bool {
+    debug_assert!(m.left_free(start), "kuhn_augment needs a free left vertex");
+    let mut visited_r = vec![false; g.n_right() as usize];
+    try_grow(g, m, start, &mut visited_r)
+}
+
+fn try_grow(g: &BipartiteGraph, m: &mut Matching, l: u32, visited_r: &mut [bool]) -> bool {
+    for &r in g.neighbors(l) {
+        if visited_r[r as usize] {
+            continue;
+        }
+        visited_r[r as usize] = true;
+        match m.right_mate(r) {
+            None => {
+                m.set(l, r);
+                return true;
+            }
+            Some(l2) => {
+                if try_grow(g, m, l2, visited_r) {
+                    m.set(l, r);
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Augment every listed free left vertex, in the given order; returns how
+/// many succeeded. Vertices already matched are skipped.
+///
+/// Running this over all left vertices produces a maximum matching (Kuhn's
+/// algorithm); running it in priority order additionally fixes *which*
+/// left vertices are matched (matroid greedy).
+pub fn kuhn_in_order(g: &BipartiteGraph, m: &mut Matching, order: &[u32]) -> usize {
+    let mut grown = 0;
+    for &l in order {
+        if m.left_free(l) && kuhn_augment(g, m, l) {
+            grown += 1;
+        }
+    }
+    grown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hopcroft_karp;
+
+    #[test]
+    fn augments_through_occupied_slots() {
+        // l0 -> {r0}, l1 -> {r0, r1}: matching l1->r0 first forces a reroute.
+        let g = BipartiteGraph::from_adjacency(2, &[vec![0], vec![0, 1]]);
+        let mut m = Matching::empty(2, 2);
+        m.set(1, 0);
+        assert!(kuhn_augment(&g, &mut m, 0));
+        assert_eq!(m.size(), 2);
+        assert_eq!(m.left_mate(0), Some(0));
+        assert_eq!(m.left_mate(1), Some(1));
+    }
+
+    #[test]
+    fn fails_when_no_augmenting_path() {
+        let g = BipartiteGraph::from_adjacency(1, &[vec![0], vec![0]]);
+        let mut m = Matching::empty(2, 1);
+        m.set(0, 0);
+        assert!(!kuhn_augment(&g, &mut m, 1));
+        assert_eq!(m.size(), 1);
+        assert_eq!(m.left_mate(0), Some(0)); // untouched on failure
+    }
+
+    #[test]
+    fn priority_order_decides_who_is_matched() {
+        // Two requests compete for one slot; the earlier in `order` wins.
+        let g = BipartiteGraph::from_adjacency(1, &[vec![0], vec![0]]);
+        let mut m = Matching::empty(2, 1);
+        assert_eq!(kuhn_in_order(&g, &mut m, &[1, 0]), 1);
+        assert_eq!(m.left_mate(1), Some(0));
+        assert!(m.left_free(0));
+    }
+
+    #[test]
+    fn adjacency_order_decides_slot_choice() {
+        let g = BipartiteGraph::from_adjacency(2, &[vec![1, 0]]);
+        let mut m = Matching::empty(1, 2);
+        assert!(kuhn_augment(&g, &mut m, 0));
+        assert_eq!(m.left_mate(0), Some(1)); // first listed neighbour
+    }
+
+    #[test]
+    fn full_order_reaches_maximum() {
+        // A graph where greedy strands a vertex but Kuhn does not.
+        let g = BipartiteGraph::from_adjacency(
+            3,
+            &[vec![0, 1], vec![0], vec![1, 2]],
+        );
+        let mut m = Matching::empty(3, 3);
+        let grown = kuhn_in_order(&g, &mut m, &[0, 1, 2]);
+        assert_eq!(grown, 3);
+        assert_eq!(m.size(), hopcroft_karp(&g).size());
+        assert!(m.is_maximum(&g));
+    }
+
+    #[test]
+    fn preserves_previously_matched_lefts() {
+        let g = BipartiteGraph::from_adjacency(
+            3,
+            &[vec![0], vec![0, 1], vec![1, 2]],
+        );
+        let mut m = Matching::empty(3, 3);
+        m.set(1, 0);
+        m.set(2, 1);
+        // Augmenting l0 must reroute l1 (and possibly l2) but keep them matched.
+        assert!(kuhn_augment(&g, &mut m, 0));
+        assert_eq!(m.size(), 3);
+        assert!(!m.left_free(1));
+        assert!(!m.left_free(2));
+    }
+}

@@ -1,0 +1,92 @@
+//! # reqsched-matching
+//!
+//! The bipartite-matching engine under every scheduling strategy in this
+//! workspace. In the paper's model, a schedule *is* a matching in the
+//! bipartite graph `G = (R ∪ S, E)` of requests `R` versus resource time
+//! slots `S`; an optimal offline schedule is a maximum-cardinality matching,
+//! and the online strategies differ in which matching of the currently known
+//! subgraph `G_t` they maintain.
+//!
+//! Provided algorithms:
+//!
+//! * [`greedy_maximal`] — any maximal matching, built greedily in a caller
+//!   supplied left-vertex order (tie-break control).
+//! * [`kuhn_augment`] / [`kuhn_in_order`] — single-source augmenting-path
+//!   search in caller-controlled adjacency order; processing left vertices
+//!   in priority order yields the lexicographically best matchable set over
+//!   the transversal matroid (how strategies decide *which* requests get
+//!   scheduled when not all can be).
+//! * [`hopcroft_karp`] — maximum-cardinality matching in `O(E √V)`, used for
+//!   the offline optimum.
+//! * [`saturate_levels`] — keep cardinality and every matched left vertex
+//!   matched, but rearrange right endpoints to lexicographically maximize
+//!   coverage of right-vertex priority levels. This implements the paper's
+//!   balancing function `F = Σ_j X_{t+j} (n+1)^{d-j}` (a lexicographic
+//!   objective on per-round slot counts) and `A_eager`'s "maximum number of
+//!   requests scheduled in the current round" rule.
+//! * [`symmetric_difference`] — decompose `M₁ ⊕ M₂` into alternating paths
+//!   and cycles and classify augmenting paths by *order* (number of request
+//!   vertices), the paper's main proof tool; tests use it to check structural
+//!   lemmas like "no augmenting path of order ≤ 2 survives `A_eager`".
+//! * [`brute`] — exponential-time exact solvers for cross-validation in
+//!   tests.
+
+mod diff;
+mod graph;
+mod hopcroft_karp;
+mod kuhn;
+mod matching;
+mod saturate;
+
+pub mod brute;
+
+pub use diff::{symmetric_difference, AltComponent, DiffReport};
+pub use graph::BipartiteGraph;
+pub use hopcroft_karp::hopcroft_karp;
+pub use kuhn::{kuhn_augment, kuhn_in_order};
+pub use matching::Matching;
+pub use saturate::{coverage_by_level, saturate_levels};
+
+/// Greedily build a maximal matching, scanning left vertices in `order` and
+/// taking each one's first free neighbour (in adjacency order).
+///
+/// The result is maximal (no free left vertex has a free neighbour) but not
+/// necessarily maximum. `order` must be a permutation of `0..g.n_left()`.
+pub fn greedy_maximal(g: &BipartiteGraph, order: &[u32]) -> Matching {
+    debug_assert_eq!(order.len(), g.n_left() as usize);
+    let mut m = Matching::empty(g.n_left(), g.n_right());
+    for &l in order {
+        for &r in g.neighbors(l) {
+            if m.right_mate(r).is_none() {
+                m.set(l, r);
+                break;
+            }
+        }
+    }
+    debug_assert!(m.is_maximal(g));
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_is_maximal_but_maybe_not_maximum() {
+        // Classic 2x2 trap: l0 -> {r0, r1}, l1 -> {r0}.
+        let g = BipartiteGraph::from_adjacency(2, &[vec![0, 1], vec![0]]);
+        let m = greedy_maximal(&g, &[0, 1]);
+        assert!(m.is_maximal(&g));
+        assert_eq!(m.size(), 1); // greedy trap
+        let opt = hopcroft_karp(&g);
+        assert_eq!(opt.size(), 2); // the maximum avoids it
+    }
+
+    #[test]
+    fn greedy_respects_order() {
+        let g = BipartiteGraph::from_adjacency(1, &[vec![0], vec![0]]);
+        let m = greedy_maximal(&g, &[1, 0]);
+        assert_eq!(m.left_mate(1), Some(0));
+        assert_eq!(m.left_mate(0), None);
+    }
+}

@@ -1,0 +1,265 @@
+//! The matching data structure shared by all algorithms in this crate.
+
+use crate::graph::BipartiteGraph;
+
+const NONE: u32 = u32::MAX;
+
+/// A matching in a [`BipartiteGraph`], stored as mate arrays for both sides.
+///
+/// `u32::MAX` is the internal "free" sentinel; the public API speaks
+/// `Option<u32>`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Matching {
+    l2r: Vec<u32>,
+    r2l: Vec<u32>,
+    size: u32,
+}
+
+impl Matching {
+    /// The empty matching on `n_left` × `n_right` vertices.
+    pub fn empty(n_left: u32, n_right: u32) -> Matching {
+        Matching {
+            l2r: vec![NONE; n_left as usize],
+            r2l: vec![NONE; n_right as usize],
+            size: 0,
+        }
+    }
+
+    /// Number of matched pairs.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size as usize
+    }
+
+    /// Number of left vertices.
+    #[inline]
+    pub fn n_left(&self) -> u32 {
+        self.l2r.len() as u32
+    }
+
+    /// Number of right vertices.
+    #[inline]
+    pub fn n_right(&self) -> u32 {
+        self.r2l.len() as u32
+    }
+
+    /// Mate of left vertex `l`, if matched.
+    #[inline]
+    pub fn left_mate(&self, l: u32) -> Option<u32> {
+        let r = self.l2r[l as usize];
+        (r != NONE).then_some(r)
+    }
+
+    /// Mate of right vertex `r`, if matched.
+    #[inline]
+    pub fn right_mate(&self, r: u32) -> Option<u32> {
+        let l = self.r2l[r as usize];
+        (l != NONE).then_some(l)
+    }
+
+    /// Whether left vertex `l` is free.
+    #[inline]
+    pub fn left_free(&self, l: u32) -> bool {
+        self.l2r[l as usize] == NONE
+    }
+
+    /// Whether right vertex `r` is free.
+    #[inline]
+    pub fn right_free(&self, r: u32) -> bool {
+        self.r2l[r as usize] == NONE
+    }
+
+    /// Match `l` with `r`, unmatching any previous mates of either.
+    pub fn set(&mut self, l: u32, r: u32) {
+        self.unset_left(l);
+        self.unset_right(r);
+        self.l2r[l as usize] = r;
+        self.r2l[r as usize] = l;
+        self.size += 1;
+    }
+
+    /// Remove the matched edge at left vertex `l`, if any.
+    pub fn unset_left(&mut self, l: u32) {
+        let r = self.l2r[l as usize];
+        if r != NONE {
+            self.l2r[l as usize] = NONE;
+            self.r2l[r as usize] = NONE;
+            self.size -= 1;
+        }
+    }
+
+    /// Remove the matched edge at right vertex `r`, if any.
+    pub fn unset_right(&mut self, r: u32) {
+        let l = self.r2l[r as usize];
+        if l != NONE {
+            self.r2l[r as usize] = NONE;
+            self.l2r[l as usize] = NONE;
+            self.size -= 1;
+        }
+    }
+
+    /// Iterate over matched `(left, right)` pairs in left-vertex order.
+    pub fn pairs(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.l2r
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r != NONE)
+            .map(|(l, &r)| (l as u32, r))
+    }
+
+    /// All currently free left vertices.
+    pub fn free_lefts(&self) -> impl Iterator<Item = u32> + '_ {
+        self.l2r
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r == NONE)
+            .map(|(l, _)| l as u32)
+    }
+
+    /// All currently free right vertices.
+    pub fn free_rights(&self) -> impl Iterator<Item = u32> + '_ {
+        self.r2l
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == NONE)
+            .map(|(r, _)| r as u32)
+    }
+
+    /// Check internal consistency and that every matched edge exists in `g`.
+    pub fn is_valid(&self, g: &BipartiteGraph) -> bool {
+        if self.l2r.len() != g.n_left() as usize || self.r2l.len() != g.n_right() as usize {
+            return false;
+        }
+        let mut count = 0u32;
+        for (l, &r) in self.l2r.iter().enumerate() {
+            if r == NONE {
+                continue;
+            }
+            count += 1;
+            if self.r2l[r as usize] != l as u32 || !g.has_edge(l as u32, r) {
+                return false;
+            }
+        }
+        let back = self.r2l.iter().filter(|&&l| l != NONE).count() as u32;
+        count == self.size && back == self.size
+    }
+
+    /// Whether the matching is maximal in `g` (no free left vertex has a
+    /// free neighbour — the defining rule of the `A_fix` family).
+    pub fn is_maximal(&self, g: &BipartiteGraph) -> bool {
+        for l in self.free_lefts() {
+            for &r in g.neighbors(l) {
+                if self.right_free(r) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether the matching is maximum in `g` (no augmenting path exists).
+    pub fn is_maximum(&self, g: &BipartiteGraph) -> bool {
+        // BFS over alternating levels from all free left vertices.
+        let mut visited_l = vec![false; g.n_left() as usize];
+        let mut visited_r = vec![false; g.n_right() as usize];
+        let mut queue: Vec<u32> = self.free_lefts().collect();
+        for &l in &queue {
+            visited_l[l as usize] = true;
+        }
+        while let Some(l) = queue.pop() {
+            for &r in g.neighbors(l) {
+                if visited_r[r as usize] {
+                    continue;
+                }
+                visited_r[r as usize] = true;
+                match self.right_mate(r) {
+                    None => return false, // augmenting path found
+                    Some(l2) => {
+                        if !visited_l[l2 as usize] {
+                            visited_l[l2 as usize] = true;
+                            queue.push(l2);
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_unset_size() {
+        let mut m = Matching::empty(3, 3);
+        assert_eq!(m.size(), 0);
+        m.set(0, 1);
+        m.set(1, 2);
+        assert_eq!(m.size(), 2);
+        assert_eq!(m.left_mate(0), Some(1));
+        assert_eq!(m.right_mate(2), Some(1));
+        m.unset_left(0);
+        assert_eq!(m.size(), 1);
+        assert!(m.left_free(0));
+        assert!(m.right_free(1));
+        m.unset_right(2);
+        assert_eq!(m.size(), 0);
+    }
+
+    #[test]
+    fn set_displaces_previous_mates() {
+        let mut m = Matching::empty(2, 2);
+        m.set(0, 0);
+        m.set(1, 1);
+        // Rematch l0 with r1: displaces both old edges' partners.
+        m.set(0, 1);
+        assert_eq!(m.size(), 1);
+        assert_eq!(m.left_mate(0), Some(1));
+        assert!(m.left_free(1));
+        assert!(m.right_free(0));
+    }
+
+    #[test]
+    fn pairs_and_free_iterators() {
+        let mut m = Matching::empty(3, 4);
+        m.set(2, 3);
+        m.set(0, 1);
+        assert_eq!(m.pairs().collect::<Vec<_>>(), vec![(0, 1), (2, 3)]);
+        assert_eq!(m.free_lefts().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(m.free_rights().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn validity_checks_edges_exist() {
+        let g = BipartiteGraph::from_adjacency(2, &[vec![0], vec![1]]);
+        let mut m = Matching::empty(2, 2);
+        m.set(0, 0);
+        assert!(m.is_valid(&g));
+        let mut bad = Matching::empty(2, 2);
+        bad.set(0, 1); // edge (0,1) not in g
+        assert!(!bad.is_valid(&g));
+    }
+
+    #[test]
+    fn maximal_and_maximum_distinction() {
+        let g = BipartiteGraph::from_adjacency(2, &[vec![0, 1], vec![0]]);
+        let mut m = Matching::empty(2, 2);
+        m.set(0, 0); // l1's only neighbour taken -> maximal but not maximum
+        assert!(m.is_maximal(&g));
+        assert!(!m.is_maximum(&g));
+        let mut m2 = Matching::empty(2, 2);
+        m2.set(0, 1);
+        m2.set(1, 0);
+        assert!(m2.is_maximum(&g));
+    }
+
+    #[test]
+    fn empty_matching_is_maximum_on_edgeless_graph() {
+        let g = BipartiteGraph::from_adjacency(3, &[vec![], vec![]]);
+        let m = Matching::empty(2, 3);
+        assert!(m.is_maximal(&g));
+        assert!(m.is_maximum(&g));
+    }
+}

@@ -1,0 +1,249 @@
+//! Lexicographic right-vertex saturation by priority level.
+//!
+//! Given a matching, rearrange which right vertices (time slots) are covered
+//! — without changing cardinality and without unmatching any matched left
+//! vertex — so that the vector of per-level coverage counts is
+//! lexicographically maximum (level 0 first).
+//!
+//! This is exactly the paper's balancing function
+//! `F = Σ_{j=0}^{d-1} X_{t+j} · (n+1)^{d-j}`: since `X ≤ n`, maximizing `F`
+//! equals lexicographically maximizing `(X_t, X_{t+1}, …)`; assigning slot
+//! round-offsets as levels implements `A_balance`/`A_fix_balance`. With two
+//! levels ("current round" = 0, everything else = 1) it implements
+//! `A_eager`'s rule "a maximum possible number of requests is scheduled at
+//! round t".
+//!
+//! The exchange argument: covered right-vertex sets of matchings that keep a
+//! fixed left-vertex set matched form (a slice of) a transversal matroid, so
+//! repeatedly applying the improving exchange — an alternating path from a
+//! free level-`ℓ` slot that ends by freeing a strictly-lower-priority slot —
+//! reaches the lexicographic optimum level by level. Tests cross-validate
+//! against brute-force enumeration.
+
+use crate::graph::BipartiteGraph;
+use crate::matching::Matching;
+
+/// Coverage counts per level: `out[lvl]` = number of matched right vertices
+/// whose level is `lvl`. `level.len()` must equal `g.n_right()`.
+pub fn coverage_by_level(m: &Matching, level: &[u32]) -> Vec<usize> {
+    let max_level = level.iter().copied().max().map_or(0, |v| v as usize + 1);
+    let mut counts = vec![0usize; max_level];
+    for (_, r) in m.pairs() {
+        counts[level[r as usize] as usize] += 1;
+    }
+    counts
+}
+
+/// Lexicographically maximize per-level coverage (level 0 first).
+///
+/// Preserves cardinality and keeps every matched left vertex matched; it may
+/// also *grow* the matching if an augmenting path is discovered en route
+/// (callers normally pass an already-maximum matching). Returns the final
+/// coverage counts.
+pub fn saturate_levels(g: &BipartiteGraph, m: &mut Matching, level: &[u32]) -> Vec<usize> {
+    assert_eq!(level.len(), g.n_right() as usize);
+    let rev = g.reverse_adjacency();
+
+    let mut levels: Vec<u32> = level.to_vec();
+    levels.sort_unstable();
+    levels.dedup();
+
+    for &lvl in &levels {
+        // Repeat improving exchanges until none exists for this level.
+        while improve_level(g, m, level, lvl, &rev) {}
+    }
+    coverage_by_level(m, level)
+}
+
+/// One improving exchange for `lvl`: find an alternating path starting at a
+/// free right vertex of level `lvl` (entered via a non-matching edge) and
+/// ending either at a free left vertex (augmentation) or by freeing a right
+/// vertex of level `> lvl`. Returns whether an improvement was applied.
+fn improve_level(
+    g: &BipartiteGraph,
+    m: &mut Matching,
+    level: &[u32],
+    lvl: u32,
+    rev: &[Vec<u32>],
+) -> bool {
+    let nl = g.n_left() as usize;
+    let nr = g.n_right() as usize;
+
+    // parent_l[l] = right vertex we came from (via a non-matching edge).
+    let mut parent_l = vec![u32::MAX; nl];
+    // parent_r[r] = left vertex we came from (via the matched edge).
+    let mut parent_r = vec![u32::MAX; nr];
+    let mut visited_l = vec![false; nl];
+    let mut visited_r = vec![false; nr];
+
+    let mut queue: Vec<u32> = Vec::new(); // queue of right vertices to expand
+    for r in 0..nr as u32 {
+        if level[r as usize] == lvl && m.right_free(r) {
+            visited_r[r as usize] = true;
+            queue.push(r);
+        }
+    }
+
+    let mut head = 0;
+    while head < queue.len() {
+        let r = queue[head];
+        head += 1;
+        for &l in &rev[r as usize] {
+            if visited_l[l as usize] {
+                continue;
+            }
+            visited_l[l as usize] = true;
+            parent_l[l as usize] = r;
+            match m.left_mate(l) {
+                None => {
+                    // Augmenting path: match l back along the parents.
+                    apply_flip(m, l, &parent_l, &parent_r, None);
+                    return true;
+                }
+                Some(r2) => {
+                    if visited_r[r2 as usize] {
+                        continue;
+                    }
+                    visited_r[r2 as usize] = true;
+                    parent_r[r2 as usize] = l;
+                    if level[r2 as usize] > lvl {
+                        // Improving exchange: free r2, flip back along parents.
+                        apply_flip(m, l, &parent_l, &parent_r, Some(r2));
+                        return true;
+                    }
+                    queue.push(r2);
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Flip the alternating path ending at left vertex `end_l`.
+///
+/// If `freed` is `Some(r2)` we first cut the matched edge `(end_l, r2)`;
+/// then, walking parents towards the start, each left vertex is re-matched
+/// to the right vertex it was discovered from.
+fn apply_flip(
+    m: &mut Matching,
+    end_l: u32,
+    parent_l: &[u32],
+    parent_r: &[u32],
+    freed: Option<u32>,
+) {
+    if let Some(r2) = freed {
+        debug_assert_eq!(m.left_mate(end_l), Some(r2));
+        m.unset_right(r2);
+    }
+    let mut l = end_l;
+    loop {
+        let r = parent_l[l as usize];
+        debug_assert_ne!(r, u32::MAX);
+        // `r` may currently be matched to the *previous* left on the path;
+        // it was entered free (start) or via its matched edge which we are
+        // about to re-point.
+        m.set(l, r);
+        let prev_l = parent_r[r as usize];
+        if prev_l == u32::MAX {
+            break; // reached the free starting right vertex
+        }
+        l = prev_l;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use crate::hopcroft_karp;
+
+    /// Saturating with the trivial single level must not change coverage.
+    #[test]
+    fn single_level_noop_on_maximum_matching() {
+        let g = BipartiteGraph::from_adjacency(3, &[vec![0, 1], vec![1, 2]]);
+        let mut m = hopcroft_karp(&g);
+        let before = m.size();
+        let cov = saturate_levels(&g, &mut m, &[0, 0, 0]);
+        assert_eq!(m.size(), before);
+        assert_eq!(cov, vec![before]);
+    }
+
+    #[test]
+    fn moves_coverage_to_high_priority_slot() {
+        // One request adjacent to both slots; matched on the low-priority
+        // one; saturation must move it.
+        let g = BipartiteGraph::from_adjacency(2, &[vec![1, 0]]);
+        let mut m = Matching::empty(1, 2);
+        m.set(0, 1);
+        let cov = saturate_levels(&g, &mut m, &[0, 1]);
+        assert_eq!(cov, vec![1, 0]);
+        assert_eq!(m.left_mate(0), Some(0));
+    }
+
+    #[test]
+    fn exchange_through_chain() {
+        // r0 (level 0) free; l0 matched r1; l1 matched r2; edges allow a
+        // 2-step exchange freeing r2 (level 1): l0: {r0, r1}, l1: {r1, r2}.
+        let g = BipartiteGraph::from_adjacency(3, &[vec![0, 1], vec![1, 2]]);
+        let mut m = Matching::empty(2, 3);
+        m.set(0, 1);
+        m.set(1, 2);
+        let cov = saturate_levels(&g, &mut m, &[0, 0, 1]);
+        assert_eq!(cov, vec![2, 0]);
+        assert_eq!(m.size(), 2);
+        // All lefts still matched.
+        assert!(!m.left_free(0));
+        assert!(!m.left_free(1));
+        // Slots 0 and 1 covered, slot 2 free.
+        assert!(m.right_free(2));
+    }
+
+    #[test]
+    fn never_sacrifices_higher_level_for_lower() {
+        // Two requests, three slots with levels [0, 1, 1]:
+        // l0: {r0}, l1: {r0, r1}. Best: l0->r0, l1->r1 => cov [1,1].
+        let g = BipartiteGraph::from_adjacency(3, &[vec![0], vec![0, 1]]);
+        let mut m = Matching::empty(2, 3);
+        m.set(1, 0); // wrong occupant of the level-0 slot
+        m.set(0, 0); // displaces l1! rebuild properly:
+        let mut m = Matching::empty(2, 3);
+        m.set(1, 0);
+        crate::kuhn_augment(&g, &mut m, 0);
+        let cov = saturate_levels(&g, &mut m, &[0, 1, 1]);
+        assert_eq!(cov, vec![1, 1]);
+    }
+
+    #[test]
+    fn picks_up_augmenting_paths() {
+        // Matching not maximum: saturation's BFS finds the free left vertex.
+        let g = BipartiteGraph::from_adjacency(2, &[vec![0, 1]]);
+        let mut m = Matching::empty(1, 2);
+        let cov = saturate_levels(&g, &mut m, &[0, 1]);
+        assert_eq!(m.size(), 1);
+        assert_eq!(cov, vec![1, 0]);
+    }
+
+    #[test]
+    fn lexicographic_against_brute_force_battery() {
+        let cases: Vec<(u32, Vec<Vec<u32>>, Vec<u32>)> = vec![
+            (3, vec![vec![0, 1], vec![1, 2], vec![2]], vec![0, 1, 2]),
+            (4, vec![vec![0, 2], vec![1, 2], vec![2, 3]], vec![0, 0, 1, 1]),
+            (4, vec![vec![3], vec![2, 3], vec![1, 2], vec![0, 1]], vec![0, 1, 0, 1]),
+            (
+                5,
+                vec![vec![0, 4], vec![1, 4], vec![2, 3], vec![3, 4], vec![0, 1]],
+                vec![0, 0, 1, 1, 2],
+            ),
+            (2, vec![vec![0, 1], vec![0, 1], vec![0]], vec![1, 0]),
+        ];
+        for (nr, lists, levels) in cases {
+            let g = BipartiteGraph::from_adjacency(nr, &lists);
+            let mut m = hopcroft_karp(&g);
+            let cov = saturate_levels(&g, &mut m, &levels);
+            let best = brute::best_lex_coverage(&g, &levels);
+            assert_eq!(cov, best, "graph {lists:?} levels {levels:?}");
+            assert!(m.is_valid(&g));
+            assert_eq!(m.size(), hopcroft_karp(&g).size());
+        }
+    }
+}

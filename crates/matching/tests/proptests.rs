@@ -1,0 +1,110 @@
+//! Property-based cross-validation of the matching engine against the
+//! exponential-time exact solvers on small random graphs.
+
+use proptest::prelude::*;
+use reqsched_matching::{
+    brute, greedy_maximal, hopcroft_karp, kuhn_in_order, saturate_levels,
+    symmetric_difference, BipartiteGraph, Matching,
+};
+
+/// A small random bipartite graph: up to 7 left and 7 right vertices.
+fn small_graph() -> impl Strategy<Value = BipartiteGraph> {
+    (1u32..=7, 1u32..=7).prop_flat_map(|(nl, nr)| {
+        proptest::collection::vec(
+            proptest::collection::vec(0..nr, 0..=nr as usize),
+            nl as usize,
+        )
+        .prop_map(move |mut lists| {
+            for l in &mut lists {
+                l.sort_unstable();
+                l.dedup();
+            }
+            BipartiteGraph::from_adjacency(nr, &lists)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn hopcroft_karp_is_maximum(g in small_graph()) {
+        let m = hopcroft_karp(&g);
+        prop_assert!(m.is_valid(&g));
+        prop_assert!(m.is_maximum(&g));
+        prop_assert_eq!(m.size(), brute::max_matching_size(&g));
+    }
+
+    #[test]
+    fn kuhn_full_order_reaches_maximum(g in small_graph()) {
+        let order: Vec<u32> = (0..g.n_left()).collect();
+        let mut m = Matching::empty(g.n_left(), g.n_right());
+        kuhn_in_order(&g, &mut m, &order);
+        prop_assert!(m.is_valid(&g));
+        prop_assert_eq!(m.size(), brute::max_matching_size(&g));
+    }
+
+    #[test]
+    fn greedy_is_maximal_and_at_least_half(g in small_graph()) {
+        let order: Vec<u32> = (0..g.n_left()).collect();
+        let m = greedy_maximal(&g, &order);
+        prop_assert!(m.is_valid(&g));
+        prop_assert!(m.is_maximal(&g));
+        // Classic fact: any maximal matching is a 2-approximation.
+        prop_assert!(2 * m.size() >= brute::max_matching_size(&g));
+    }
+
+    #[test]
+    fn saturation_is_lexicographically_optimal(
+        g in small_graph(),
+        seed in 0u32..4,
+    ) {
+        let n_levels = 1 + (seed % 3);
+        let levels: Vec<u32> =
+            (0..g.n_right()).map(|r| (r + seed) % n_levels).collect();
+        let mut m = hopcroft_karp(&g);
+        let size_before = m.size();
+        let cov = saturate_levels(&g, &mut m, &levels);
+        prop_assert!(m.is_valid(&g));
+        prop_assert_eq!(m.size(), size_before, "cardinality preserved");
+        let best = brute::best_lex_coverage(&g, &levels);
+        prop_assert_eq!(cov, best);
+    }
+
+    #[test]
+    fn saturation_keeps_matched_lefts_matched(g in small_graph()) {
+        let mut m = hopcroft_karp(&g);
+        let matched_before: Vec<u32> =
+            (0..g.n_left()).filter(|&l| !m.left_free(l)).collect();
+        let levels: Vec<u32> = (0..g.n_right()).map(|r| r % 2).collect();
+        saturate_levels(&g, &mut m, &levels);
+        for l in matched_before {
+            prop_assert!(!m.left_free(l), "left {} was unmatched", l);
+        }
+    }
+
+    #[test]
+    fn diff_gap_identity(g in small_graph(), order_seed in 0u32..6) {
+        // Any (possibly suboptimal) greedy matching vs the maximum: the
+        // number of augmenting paths equals the cardinality gap.
+        let mut order: Vec<u32> = (0..g.n_left()).collect();
+        let len = order.len().max(1);
+        order.rotate_left((order_seed as usize) % len);
+        let m1 = greedy_maximal(&g, &order);
+        let m2 = hopcroft_karp(&g);
+        let report = symmetric_difference(&m1, &m2);
+        prop_assert_eq!(report.n_augmenting(), m2.size() - m1.size());
+        // Maximal matchings never leave order-1 augmenting paths.
+        if let Some(min) = report.min_order() {
+            prop_assert!(min >= 2);
+        }
+    }
+
+    #[test]
+    fn flipping_one_augmenting_path_grows_matching(g in small_graph()) {
+        // If greedy is suboptimal, kuhn can augment exactly gap times.
+        let order: Vec<u32> = (0..g.n_left()).collect();
+        let mut m = greedy_maximal(&g, &order);
+        let before = m.size();
+        let grown = kuhn_in_order(&g, &mut m, &order);
+        prop_assert_eq!(before + grown, brute::max_matching_size(&g));
+    }
+}

@@ -1,0 +1,204 @@
+//! Strongly-typed identifiers for resources, requests and rounds.
+//!
+//! Following the HPC guide's advice we keep these small (`u32` indices where
+//! possible) so the hot per-round data structures stay compact.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a resource (a disk of the distributed data server).
+///
+/// Resources are numbered `0 .. n`. The paper writes them `S_1 .. S_n`; we use
+/// zero-based indices throughout and only shift in display output.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ResourceId(pub u32);
+
+impl ResourceId {
+    /// The index as a `usize`, for direct vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl From<u32> for ResourceId {
+    fn from(v: u32) -> Self {
+        ResourceId(v)
+    }
+}
+
+/// Identifier of a request.
+///
+/// Requests are numbered consecutively in trace order: primarily by arrival
+/// round, secondarily by the order the adversary lists them within a round
+/// (the paper's "request identifier").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RequestId(pub u32);
+
+impl RequestId {
+    /// The index as a `usize`, for direct vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Sentinel used in dense per-slot tables for "no request scheduled here".
+pub const NO_REQUEST: RequestId = RequestId(u32::MAX);
+
+impl fmt::Debug for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == NO_REQUEST {
+            write!(f, "r·")
+        } else {
+            write!(f, "r{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u32> for RequestId {
+    fn from(v: u32) -> Self {
+        RequestId(v)
+    }
+}
+
+/// A (zero-based) round number of the synchronized system.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Round(pub u64);
+
+impl Round {
+    /// Round zero, the first round of every trace.
+    pub const ZERO: Round = Round(0);
+
+    /// The round number as a `u64`.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The next round.
+    #[inline]
+    pub fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+
+    /// Saturating subtraction of a number of rounds.
+    #[inline]
+    pub fn saturating_sub(self, delta: u64) -> Round {
+        Round(self.0.saturating_sub(delta))
+    }
+
+    /// Offset of `self` from `earlier`, panicking if `earlier > self`.
+    #[inline]
+    pub fn offset_from(self, earlier: Round) -> u64 {
+        debug_assert!(earlier.0 <= self.0, "offset_from: {earlier:?} > {self:?}");
+        self.0 - earlier.0
+    }
+}
+
+impl fmt::Debug for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::ops::Add<u64> for Round {
+    type Output = Round;
+    #[inline]
+    fn add(self, rhs: u64) -> Round {
+        Round(self.0 + rhs)
+    }
+}
+
+impl std::ops::AddAssign<u64> for Round {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl std::ops::Sub<Round> for Round {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: Round) -> u64 {
+        self.offset_from(rhs)
+    }
+}
+
+impl From<u64> for Round {
+    fn from(v: u64) -> Self {
+        Round(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_id_roundtrips() {
+        let r = ResourceId(7);
+        assert_eq!(r.index(), 7);
+        assert_eq!(format!("{r}"), "S7");
+        assert_eq!(ResourceId::from(7u32), r);
+    }
+
+    #[test]
+    fn request_id_sentinel_is_distinct() {
+        assert_ne!(RequestId(0), NO_REQUEST);
+        assert_eq!(format!("{:?}", NO_REQUEST), "r·");
+        assert_eq!(format!("{:?}", RequestId(3)), "r3");
+    }
+
+    #[test]
+    fn round_arithmetic() {
+        let t = Round(10);
+        assert_eq!(t + 5, Round(15));
+        assert_eq!(t.next(), Round(11));
+        assert_eq!((t + 5) - t, 5);
+        assert_eq!(t.saturating_sub(20), Round(0));
+        assert_eq!(Round::ZERO.get(), 0);
+    }
+
+    #[test]
+    fn round_ordering() {
+        assert!(Round(3) < Round(4));
+        let mut v = vec![Round(4), Round(1), Round(3)];
+        v.sort();
+        assert_eq!(v, vec![Round(1), Round(3), Round(4)]);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)] // the check is a debug_assert, absent in release
+    fn offset_from_panics_on_underflow_in_debug() {
+        // offset_from debug-asserts; `-` uses it.
+        let _ = Round(1) - Round(2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Problem instances: a resource count, a deadline parameter and a trace.
+
+use crate::ids::{ResourceId, Round};
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// A complete problem instance.
+///
+/// `d` is the instance-wide deadline parameter of the paper. Individual
+/// requests may carry smaller or larger deadlines (the paper's observations
+/// about EDF explicitly allow heterogeneous deadlines); `d` is used by
+/// strategies to size their scheduling window, so it must be an upper bound
+/// on every request's deadline.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instance {
+    /// Number of resources `n`; resources are `S_0 .. S_{n-1}`.
+    pub n_resources: u32,
+    /// The deadline parameter `d` (maximum over request deadlines).
+    pub d: u32,
+    /// The adversary's request sequence.
+    pub trace: Trace,
+}
+
+impl Instance {
+    /// Create an instance, validating that the trace fits.
+    ///
+    /// # Panics
+    /// Panics if a request references a resource `>= n_resources`, if a
+    /// request's deadline exceeds `d`, or if `d == 0`.
+    pub fn new(n_resources: u32, d: u32, trace: Trace) -> Instance {
+        assert!(d >= 1, "deadline parameter d must be at least 1");
+        for r in trace.requests() {
+            assert!(
+                r.deadline <= d,
+                "request {:?} has deadline {} > instance d = {}",
+                r.id,
+                r.deadline,
+                d
+            );
+            for s in r.alternatives.as_slice() {
+                assert!(
+                    s.0 < n_resources,
+                    "request {:?} references {:?} but n = {}",
+                    r.id,
+                    s,
+                    n_resources
+                );
+            }
+        }
+        Instance {
+            n_resources,
+            d,
+            trace,
+        }
+    }
+
+    /// Iterator over all resource ids of the instance.
+    pub fn resources(&self) -> impl Iterator<Item = ResourceId> {
+        (0..self.n_resources).map(ResourceId)
+    }
+
+    /// Number of rounds a simulation must run to give every request a chance:
+    /// one past the last expiry.
+    pub fn horizon(&self) -> Round {
+        self.trace.service_horizon().next()
+    }
+
+    /// Total number of requests injected.
+    pub fn total_requests(&self) -> usize {
+        self.trace.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    #[test]
+    fn valid_instance() {
+        let mut b = TraceBuilder::new(2);
+        b.push(0u64, 0u32, 1u32);
+        let inst = Instance::new(4, 2, b.build());
+        assert_eq!(inst.resources().count(), 4);
+        assert_eq!(inst.total_requests(), 1);
+        assert_eq!(inst.horizon(), Round(2)); // expiry round 1, horizon 2
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range_resource() {
+        let mut b = TraceBuilder::new(2);
+        b.push(0u64, 0u32, 7u32);
+        let _ = Instance::new(4, 2, b.build());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_deadline_above_d() {
+        let mut b = TraceBuilder::new(5);
+        b.push(0u64, 0u32, 1u32);
+        let _ = Instance::new(4, 2, b.build());
+    }
+
+    #[test]
+    fn empty_instance_horizon() {
+        let inst = Instance::new(2, 3, Trace::empty());
+        assert_eq!(inst.horizon(), Round(1));
+    }
+}

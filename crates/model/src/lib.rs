@@ -1,0 +1,33 @@
+//! # reqsched-model
+//!
+//! Core vocabulary for the online request-scheduling problem of
+//! *Berenbrink, Riedel & Scheideler, "Simple Competitive Request Scheduling
+//! Strategies", SPAA 1999*.
+//!
+//! The model: `n` resources work in synchronized rounds. Every round an
+//! adversary injects a set of requests; each request names (usually two)
+//! alternative resources and carries a deadline `d` — a request arriving in
+//! round `t` must be served during rounds `t ..= t+d-1` or it is lost. Every
+//! resource serves at most one request per round. The objective is to maximize
+//! the number of requests served before their deadlines expire.
+//!
+//! This crate defines the identifiers ([`ResourceId`], [`RequestId`],
+//! [`Round`]), the [`Request`] type, adversary input sequences ([`Trace`],
+//! built with [`TraceBuilder`]), problem [`Instance`]s, the paper's
+//! `block(a,d)` input primitive ([`TraceBuilder::block`]), tie-breaking
+//! [`Hint`]s (which select the *pessimal member* of a strategy class, as the
+//! paper's existential lower bounds require), and the [`RequestSource`]
+//! abstraction that lets adaptive adversaries (Theorem 2.6) generate input in
+//! reaction to the online algorithm's observable behaviour.
+
+mod ids;
+mod instance;
+mod request;
+mod source;
+mod trace;
+
+pub use ids::{RequestId, ResourceId, Round, NO_REQUEST};
+pub use instance::Instance;
+pub use request::{Alternatives, Hint, Request};
+pub use source::{RequestSource, StateView, TraceSource};
+pub use trace::{ArrivalBatch, Trace, TraceBuilder};

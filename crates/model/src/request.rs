@@ -1,0 +1,293 @@
+//! Requests, their alternative resources and tie-breaking hints.
+
+use crate::ids::{RequestId, ResourceId, Round};
+use serde::{Deserialize, Serialize};
+
+/// The alternative resources a request may be served by.
+///
+/// The paper's core model gives every request exactly **two distinct**
+/// alternatives (the two replicas of the requested data item). Observation
+/// 3.1 covers the single-alternative case and the text remarks that EDF is
+/// `c`-competitive for `c` alternatives, so we support all three shapes. The
+/// one- and two-alternative cases are stored inline (no heap allocation on
+/// the hot path, per the performance guide); the general case is boxed.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Alternatives {
+    /// A single admissible resource (Observation 3.1 setting).
+    One([ResourceId; 1]),
+    /// The standard two-choice setting of the paper.
+    Two([ResourceId; 2]),
+    /// `c >= 3` alternatives (the EDF `c`-competitiveness remark).
+    Many(Box<[ResourceId]>),
+}
+
+impl Alternatives {
+    /// Build from an arbitrary list of alternatives.
+    ///
+    /// # Panics
+    /// Panics if the list is empty or contains duplicate resources (the paper
+    /// requires the alternatives of a request to be distinct).
+    pub fn new(alts: &[ResourceId]) -> Self {
+        assert!(!alts.is_empty(), "a request needs at least one alternative");
+        for (i, a) in alts.iter().enumerate() {
+            for b in &alts[i + 1..] {
+                assert_ne!(a, b, "alternative resources must be distinct");
+            }
+        }
+        match alts {
+            [a] => Alternatives::One([*a]),
+            [a, b] => Alternatives::Two([*a, *b]),
+            many => Alternatives::Many(many.to_vec().into_boxed_slice()),
+        }
+    }
+
+    /// Convenience constructor for the standard two-choice case.
+    ///
+    /// The order is significant for *local* strategies: `first` is the
+    /// resource contacted in the first communication round.
+    pub fn two(first: ResourceId, second: ResourceId) -> Self {
+        assert_ne!(first, second, "alternative resources must be distinct");
+        Alternatives::Two([first, second])
+    }
+
+    /// Convenience constructor for the single-alternative case.
+    pub fn one(only: ResourceId) -> Self {
+        Alternatives::One([only])
+    }
+
+    /// All alternatives, in trace order (first alternative first).
+    #[inline]
+    pub fn as_slice(&self) -> &[ResourceId] {
+        match self {
+            Alternatives::One(a) => a,
+            Alternatives::Two(a) => a,
+            Alternatives::Many(a) => a,
+        }
+    }
+
+    /// Number of alternatives.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// `true` iff there are no alternatives (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `r` is one of the alternatives.
+    #[inline]
+    pub fn contains(&self, r: ResourceId) -> bool {
+        self.as_slice().contains(&r)
+    }
+
+    /// The first alternative (the one contacted first by local strategies).
+    #[inline]
+    pub fn first(&self) -> ResourceId {
+        self.as_slice()[0]
+    }
+
+    /// For a two-choice request, the alternative that is *not* `r`.
+    ///
+    /// # Panics
+    /// Panics if the request does not have exactly two alternatives or if `r`
+    /// is not one of them.
+    #[inline]
+    pub fn other(&self, r: ResourceId) -> ResourceId {
+        match self {
+            Alternatives::Two([a, b]) => {
+                if *a == r {
+                    *b
+                } else if *b == r {
+                    *a
+                } else {
+                    panic!("{r:?} is not an alternative of this request")
+                }
+            }
+            _ => panic!("`other` requires exactly two alternatives"),
+        }
+    }
+}
+
+/// Tie-breaking hints attached to a request by an input generator.
+///
+/// Every strategy in the paper is a *class* of algorithms ("choose **any**
+/// maximal/maximum matching such that …"), and the lower bounds are
+/// existential: *"the strategy can be implemented in a way that the adversary
+/// forces …"*. Hints are how a generator selects that pessimal class member:
+/// a hint-guided tie-breaker prefers scheduling high-`priority` (numerically
+/// low) requests first and prefers the `prefer`red resource when several
+/// assignments are otherwise equally good. Hints never override a strategy's
+/// defining rules — they only resolve the freedom the rules leave open.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Hint {
+    /// Resource this request should be steered towards when the strategy's
+    /// rules leave the choice open.
+    pub prefer: Option<ResourceId>,
+    /// Scheduling priority; lower values are considered first by hint-guided
+    /// tie-breakers. Defaults to `u32::MAX` (= "no opinion", fall back to
+    /// request order).
+    pub priority: u32,
+}
+
+impl Default for Hint {
+    fn default() -> Self {
+        Hint {
+            prefer: None,
+            priority: u32::MAX,
+        }
+    }
+}
+
+impl Hint {
+    /// A hint that only steers towards a resource.
+    pub fn prefer(r: ResourceId) -> Self {
+        Hint {
+            prefer: Some(r),
+            priority: u32::MAX,
+        }
+    }
+
+    /// A hint that only sets a scheduling priority (lower = earlier).
+    pub fn priority(p: u32) -> Self {
+        Hint {
+            prefer: None,
+            priority: p,
+        }
+    }
+
+    /// A hint with both a preferred resource and a priority.
+    pub fn with(r: ResourceId, p: u32) -> Self {
+        Hint {
+            prefer: Some(r),
+            priority: p,
+        }
+    }
+}
+
+/// A real-time request.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Request {
+    /// Identifier; equals this request's index in its [`crate::Trace`].
+    pub id: RequestId,
+    /// Round the request arrives (is revealed to the online algorithm).
+    pub arrival: Round,
+    /// Admissible resources.
+    pub alternatives: Alternatives,
+    /// Relative deadline: the request may be served in rounds
+    /// `arrival ..= arrival + deadline - 1`. Must be at least 1.
+    pub deadline: u32,
+    /// Free-form label used by generators (e.g. the colour groups of
+    /// Theorem 2.6 or the `R_i` group index of the other constructions).
+    pub tag: u32,
+    /// Tie-breaking hint selecting the pessimal strategy-class member.
+    pub hint: Hint,
+}
+
+impl Request {
+    /// Last round (inclusive) in which the request may still be served.
+    #[inline]
+    pub fn expiry(&self) -> Round {
+        debug_assert!(self.deadline >= 1);
+        self.arrival + (self.deadline as u64 - 1)
+    }
+
+    /// Whether the request may be served in `round`.
+    #[inline]
+    pub fn window_contains(&self, round: Round) -> bool {
+        round >= self.arrival && round <= self.expiry()
+    }
+
+    /// Whether serving this request on `resource` in `round` is feasible.
+    #[inline]
+    pub fn can_be_served(&self, resource: ResourceId, round: Round) -> bool {
+        self.window_contains(round) && self.alternatives.contains(resource)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(arrival: u64, deadline: u32) -> Request {
+        Request {
+            id: RequestId(0),
+            arrival: Round(arrival),
+            alternatives: Alternatives::two(ResourceId(0), ResourceId(1)),
+            deadline,
+            tag: 0,
+            hint: Hint::default(),
+        }
+    }
+
+    #[test]
+    fn expiry_is_inclusive_last_round() {
+        let r = req(5, 3);
+        assert_eq!(r.expiry(), Round(7));
+        assert!(r.window_contains(Round(5)));
+        assert!(r.window_contains(Round(7)));
+        assert!(!r.window_contains(Round(8)));
+        assert!(!r.window_contains(Round(4)));
+    }
+
+    #[test]
+    fn deadline_one_means_immediate() {
+        let r = req(5, 1);
+        assert_eq!(r.expiry(), Round(5));
+        assert!(r.window_contains(Round(5)));
+        assert!(!r.window_contains(Round(6)));
+    }
+
+    #[test]
+    fn can_be_served_checks_alternatives_and_window() {
+        let r = req(0, 2);
+        assert!(r.can_be_served(ResourceId(0), Round(0)));
+        assert!(r.can_be_served(ResourceId(1), Round(1)));
+        assert!(!r.can_be_served(ResourceId(2), Round(0)));
+        assert!(!r.can_be_served(ResourceId(0), Round(2)));
+    }
+
+    #[test]
+    fn alternatives_shapes() {
+        let one = Alternatives::one(ResourceId(3));
+        assert_eq!(one.as_slice(), &[ResourceId(3)]);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.first(), ResourceId(3));
+
+        let two = Alternatives::two(ResourceId(1), ResourceId(2));
+        assert_eq!(two.len(), 2);
+        assert_eq!(two.other(ResourceId(1)), ResourceId(2));
+        assert_eq!(two.other(ResourceId(2)), ResourceId(1));
+
+        let many = Alternatives::new(&[ResourceId(0), ResourceId(1), ResourceId(2)]);
+        assert_eq!(many.len(), 3);
+        assert!(many.contains(ResourceId(2)));
+        assert!(!many.contains(ResourceId(9)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_alternatives_rejected() {
+        let _ = Alternatives::two(ResourceId(1), ResourceId(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn other_panics_for_non_alternative() {
+        let two = Alternatives::two(ResourceId(1), ResourceId(2));
+        let _ = two.other(ResourceId(5));
+    }
+
+    #[test]
+    fn hint_defaults_and_constructors() {
+        let h = Hint::default();
+        assert_eq!(h.prefer, None);
+        assert_eq!(h.priority, u32::MAX);
+        assert_eq!(Hint::prefer(ResourceId(2)).prefer, Some(ResourceId(2)));
+        assert_eq!(Hint::priority(3).priority, 3);
+        let w = Hint::with(ResourceId(1), 9);
+        assert_eq!((w.prefer, w.priority), (Some(ResourceId(1)), 9));
+    }
+}

@@ -1,0 +1,119 @@
+//! Request sources: fixed traces and adaptive adversaries.
+//!
+//! The constructions of Theorems 2.1–2.5 are *oblivious* — the whole request
+//! sequence is fixed in advance, so a [`Trace`] suffices. Theorem 2.6's
+//! universal lower bound, however, uses an **adaptive** adversary: in every
+//! phase it observes which colour group the online algorithm served least and
+//! blocks exactly that group. [`RequestSource`] is the common abstraction the
+//! simulation driver consumes; [`TraceSource`] replays a fixed trace, and the
+//! adversary crate provides adaptive implementations.
+
+use crate::ids::{RequestId, Round};
+use crate::request::Request;
+use crate::trace::Trace;
+
+/// What an adaptive adversary may observe about the online algorithm.
+///
+/// The paper's adversary is deterministic and reacts only to *services
+/// actually performed* (a request is "fulfilled" once a resource has executed
+/// it), so the view deliberately exposes nothing about the algorithm's
+/// internal tentative schedule.
+pub trait StateView {
+    /// Whether the request has already been served (fulfilled).
+    fn is_served(&self, id: RequestId) -> bool;
+
+    /// Number of requests with the given tag that have been served so far.
+    fn served_with_tag(&self, tag: u32) -> usize;
+
+    /// Number of requests with the given tag injected so far.
+    fn injected_with_tag(&self, tag: u32) -> usize;
+
+    /// The current round.
+    fn round(&self) -> Round;
+}
+
+/// A source of arrivals, driven one round at a time by the simulator.
+pub trait RequestSource {
+    /// The arrivals of `round`. Request ids must be assigned consecutively
+    /// across the whole run (the simulator checks this). `view` lets adaptive
+    /// adversaries react to the algorithm's observable behaviour.
+    fn arrivals(&mut self, round: Round, view: &dyn StateView) -> Vec<Request>;
+
+    /// `true` once the source will never produce arrivals again; the
+    /// simulator drains remaining deadlines and stops.
+    fn exhausted(&self, round: Round) -> bool;
+
+    /// A short human-readable description (for reports).
+    fn describe(&self) -> String {
+        "request source".to_string()
+    }
+}
+
+/// Replays a fixed [`Trace`].
+#[derive(Clone, Debug)]
+pub struct TraceSource {
+    trace: Trace,
+}
+
+impl TraceSource {
+    /// Wrap a trace.
+    pub fn new(trace: Trace) -> TraceSource {
+        TraceSource { trace }
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+impl RequestSource for TraceSource {
+    fn arrivals(&mut self, round: Round, _view: &dyn StateView) -> Vec<Request> {
+        self.trace.arrivals_at(round).to_vec()
+    }
+
+    fn exhausted(&self, round: Round) -> bool {
+        round > self.trace.arrival_horizon()
+    }
+
+    fn describe(&self) -> String {
+        format!("fixed trace ({} requests)", self.trace.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    struct NullView;
+    impl StateView for NullView {
+        fn is_served(&self, _id: RequestId) -> bool {
+            false
+        }
+        fn served_with_tag(&self, _tag: u32) -> usize {
+            0
+        }
+        fn injected_with_tag(&self, _tag: u32) -> usize {
+            0
+        }
+        fn round(&self) -> Round {
+            Round::ZERO
+        }
+    }
+
+    #[test]
+    fn trace_source_replays_rounds() {
+        let mut b = TraceBuilder::new(2);
+        b.push(0u64, 0u32, 1u32);
+        b.push(2u64, 1u32, 2u32);
+        b.push(2u64, 0u32, 2u32);
+        let mut src = TraceSource::new(b.build());
+        assert_eq!(src.arrivals(Round(0), &NullView).len(), 1);
+        assert_eq!(src.arrivals(Round(1), &NullView).len(), 0);
+        assert_eq!(src.arrivals(Round(2), &NullView).len(), 2);
+        assert!(!src.exhausted(Round(2)));
+        assert!(src.exhausted(Round(3)));
+        assert!(src.describe().contains("3 requests"));
+    }
+}

@@ -1,0 +1,519 @@
+//! Adversary input sequences and their builder, including the paper's
+//! `block(a, d)` primitive.
+
+use crate::ids::{RequestId, ResourceId, Round};
+use crate::request::{Alternatives, Hint, Request};
+use serde::{Deserialize, Serialize};
+
+/// A fixed sequence of request arrivals — the adversary's input `σ`.
+///
+/// Requests are stored sorted by arrival round (primary) and injection order
+/// within the round (secondary); a request's [`RequestId`] equals its index
+/// in [`Trace::requests`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    requests: Vec<Request>,
+    /// Start offsets into `requests` per round `0 ..= horizon`; has length
+    /// `horizon + 2` so `offsets[r] .. offsets[r+1]` is round `r`'s batch.
+    offsets: Vec<u32>,
+    /// Last round in which any request arrives (0 if the trace is empty).
+    horizon: Round,
+}
+
+/// The batch of requests arriving in one round.
+#[derive(Clone, Copy, Debug)]
+pub struct ArrivalBatch<'a> {
+    /// The round these requests arrive in.
+    pub round: Round,
+    /// The requests, in injection order.
+    pub requests: &'a [Request],
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn empty() -> Trace {
+        Trace {
+            requests: Vec::new(),
+            offsets: vec![0, 0],
+            horizon: Round::ZERO,
+        }
+    }
+
+    /// All requests, ordered by `(arrival, injection order)`; index = id.
+    #[inline]
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Number of requests in the trace.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the trace has no requests.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The request with the given id.
+    #[inline]
+    pub fn get(&self, id: RequestId) -> &Request {
+        &self.requests[id.index()]
+    }
+
+    /// Last round in which any request arrives.
+    #[inline]
+    pub fn arrival_horizon(&self) -> Round {
+        self.horizon
+    }
+
+    /// Last round in which any request may still be served
+    /// (max over requests of their expiry), or round 0 for an empty trace.
+    pub fn service_horizon(&self) -> Round {
+        self.requests
+            .iter()
+            .map(Request::expiry)
+            .max()
+            .unwrap_or(Round::ZERO)
+    }
+
+    /// The arrivals of `round` (empty slice past the horizon).
+    pub fn arrivals_at(&self, round: Round) -> &[Request] {
+        let r = round.get() as usize;
+        if r + 1 >= self.offsets.len() {
+            return &[];
+        }
+        let lo = self.offsets[r] as usize;
+        let hi = self.offsets[r + 1] as usize;
+        &self.requests[lo..hi]
+    }
+
+    /// Iterate over the non-empty arrival batches in round order.
+    pub fn batches(&self) -> impl Iterator<Item = ArrivalBatch<'_>> + '_ {
+        (0..self.offsets.len() - 1).filter_map(move |r| {
+            let lo = self.offsets[r] as usize;
+            let hi = self.offsets[r + 1] as usize;
+            (lo != hi).then(|| ArrivalBatch {
+                round: Round(r as u64),
+                requests: &self.requests[lo..hi],
+            })
+        })
+    }
+
+    /// Largest resource index referenced plus one (a lower bound on the
+    /// number of resources an [`crate::Instance`] needs).
+    pub fn min_resources(&self) -> u32 {
+        self.requests
+            .iter()
+            .flat_map(|r| r.alternatives.as_slice())
+            .map(|s| s.0 + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Append another trace shifted `shift` rounds into the future.
+    ///
+    /// Request ids are renumbered to stay equal to trace indices.
+    pub fn concat_shifted(&self, other: &Trace, shift: u64) -> Trace {
+        let mut b = TraceBuilder::new(1);
+        for req in &self.requests {
+            b.push_full(
+                req.arrival,
+                req.alternatives.clone(),
+                req.deadline,
+                req.tag,
+                req.hint,
+            );
+        }
+        for req in &other.requests {
+            b.push_full(
+                req.arrival + shift,
+                req.alternatives.clone(),
+                req.deadline,
+                req.tag,
+                req.hint,
+            );
+        }
+        b.build()
+    }
+}
+
+/// Builder for [`Trace`]s, used by every generator in the workspace.
+///
+/// The builder carries a *default deadline* `d` so the common case (all
+/// requests share the instance deadline, as in the paper's core model) stays
+/// terse, while per-request deadlines remain possible (the paper notes its
+/// EDF observations hold for heterogeneous deadlines too).
+#[derive(Clone, Debug)]
+pub struct TraceBuilder {
+    default_deadline: u32,
+    /// (arrival, seq) keyed requests; sorted stably at build time.
+    pending: Vec<Request>,
+}
+
+impl TraceBuilder {
+    /// Create a builder whose requests default to deadline `d`.
+    ///
+    /// # Panics
+    /// Panics if `d == 0` (a request must have at least one usable round).
+    pub fn new(default_deadline: u32) -> TraceBuilder {
+        assert!(default_deadline >= 1, "deadline must be at least 1");
+        TraceBuilder {
+            default_deadline,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The default deadline `d` of this builder.
+    pub fn default_deadline(&self) -> u32 {
+        self.default_deadline
+    }
+
+    /// Number of requests added so far.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no requests have been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Add a two-choice request arriving at `round` with alternatives
+    /// `(first, second)` and the default deadline. Returns its id.
+    pub fn push(
+        &mut self,
+        round: impl Into<Round>,
+        first: impl Into<ResourceId>,
+        second: impl Into<ResourceId>,
+    ) -> RequestId {
+        self.push_full(
+            round.into(),
+            Alternatives::two(first.into(), second.into()),
+            self.default_deadline,
+            0,
+            Hint::default(),
+        )
+    }
+
+    /// Add a two-choice request with a hint.
+    pub fn push_hinted(
+        &mut self,
+        round: impl Into<Round>,
+        first: impl Into<ResourceId>,
+        second: impl Into<ResourceId>,
+        hint: Hint,
+    ) -> RequestId {
+        self.push_full(
+            round.into(),
+            Alternatives::two(first.into(), second.into()),
+            self.default_deadline,
+            0,
+            hint,
+        )
+    }
+
+    /// Add a single-alternative request (Observation 3.1 setting).
+    pub fn push_single(
+        &mut self,
+        round: impl Into<Round>,
+        only: impl Into<ResourceId>,
+    ) -> RequestId {
+        self.push_full(
+            round.into(),
+            Alternatives::one(only.into()),
+            self.default_deadline,
+            0,
+            Hint::default(),
+        )
+    }
+
+    /// Add a request with every field spelled out. Returns its id
+    /// (valid only if no requests with *earlier* sort position are added
+    /// afterwards; generators that interleave rounds should use the id
+    /// returned by `build` order instead).
+    pub fn push_full(
+        &mut self,
+        arrival: Round,
+        alternatives: Alternatives,
+        deadline: u32,
+        tag: u32,
+        hint: Hint,
+    ) -> RequestId {
+        assert!(deadline >= 1, "deadline must be at least 1");
+        let id = RequestId(self.pending.len() as u32);
+        self.pending.push(Request {
+            id,
+            arrival,
+            alternatives,
+            deadline,
+            tag,
+            hint,
+        });
+        id
+    }
+
+    /// The paper's `block(a, d)` primitive: `a * d` requests, all arriving in
+    /// `round`, in `a` groups of `d`; group `i` is directed to
+    /// `resources[i]` and `resources[(i+1) mod a]`.
+    ///
+    /// A `block(2, d)` (the "frequently used structure") is `2d` requests
+    /// that can each be served by both of two resources; it saturates both
+    /// for the next `d` rounds. `block(1, d)` per Theorem 2.5 is expressed by
+    /// passing two resources and using [`TraceBuilder::block2`] with `d`
+    /// requests — see [`TraceBuilder::block1`].
+    ///
+    /// Requests are tagged with `tag`. Uses the builder's default deadline as
+    /// the block depth `d`.
+    ///
+    /// # Panics
+    /// Panics if fewer than 2 resources are given (with `a = 1` the paper
+    /// uses the special `block(1, d)` form instead).
+    pub fn block(&mut self, round: impl Into<Round>, resources: &[ResourceId], tag: u32) {
+        assert!(
+            resources.len() >= 2,
+            "block(a, d) needs a >= 2 resources; use block1 for the degenerate form"
+        );
+        let round = round.into();
+        let a = resources.len();
+        let d = self.default_deadline;
+        for i in 0..a {
+            let first = resources[i];
+            let second = resources[(i + 1) % a];
+            for _ in 0..d {
+                self.push_full(
+                    round,
+                    Alternatives::two(first, second),
+                    d,
+                    tag,
+                    Hint::default(),
+                );
+            }
+        }
+    }
+
+    /// `block(2, d)` on two resources: `2d` requests each admissible at both.
+    pub fn block2(
+        &mut self,
+        round: impl Into<Round>,
+        a: impl Into<ResourceId>,
+        b: impl Into<ResourceId>,
+        tag: u32,
+    ) {
+        let (a, b) = (a.into(), b.into());
+        self.block(round, &[a, b], tag);
+    }
+
+    /// Theorem 2.5's `block(1, d)`: `d` requests directed to the permanently
+    /// blocked resource `s_prime` and one target resource.
+    pub fn block1(
+        &mut self,
+        round: impl Into<Round>,
+        target: impl Into<ResourceId>,
+        s_prime: impl Into<ResourceId>,
+        tag: u32,
+    ) {
+        let round = round.into();
+        let (target, s_prime) = (target.into(), s_prime.into());
+        let d = self.default_deadline;
+        for _ in 0..d {
+            // Directed "to S' and to one other resource": first alternative
+            // is the target so hint-free local strategies hit it first.
+            self.push_full(
+                round,
+                Alternatives::two(target, s_prime),
+                d,
+                tag,
+                Hint::default(),
+            );
+        }
+    }
+
+    /// Add `count` identical two-choice requests.
+    pub fn push_group(
+        &mut self,
+        round: impl Into<Round>,
+        first: impl Into<ResourceId>,
+        second: impl Into<ResourceId>,
+        count: u32,
+        tag: u32,
+        hint: Hint,
+    ) {
+        let round = round.into();
+        let (first, second) = (first.into(), second.into());
+        for _ in 0..count {
+            self.push_full(
+                round,
+                Alternatives::two(first, second),
+                self.default_deadline,
+                tag,
+                hint,
+            );
+        }
+    }
+
+    /// Finish the trace: stable-sort by arrival and renumber ids.
+    pub fn build(mut self) -> Trace {
+        self.pending.sort_by_key(|r| r.arrival);
+        for (i, r) in self.pending.iter_mut().enumerate() {
+            r.id = RequestId(i as u32);
+        }
+        let horizon = self
+            .pending
+            .last()
+            .map(|r| r.arrival)
+            .unwrap_or(Round::ZERO);
+        let nrounds = horizon.get() as usize + 1;
+        let mut offsets = vec![0u32; nrounds + 1];
+        for r in &self.pending {
+            offsets[r.arrival.get() as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        Trace {
+            requests: self.pending,
+            offsets,
+            horizon,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::empty();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.arrivals_at(Round(0)), &[]);
+        assert_eq!(t.arrivals_at(Round(99)), &[]);
+        assert_eq!(t.min_resources(), 0);
+        assert_eq!(t.service_horizon(), Round(0));
+        assert_eq!(t.batches().count(), 0);
+    }
+
+    #[test]
+    fn builder_sorts_by_round_and_renumbers() {
+        let mut b = TraceBuilder::new(2);
+        b.push(Round(3), 0u32, 1u32);
+        b.push(Round(1), 2u32, 3u32);
+        b.push(Round(1), 0u32, 2u32);
+        let t = b.build();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.requests()[0].arrival, Round(1));
+        assert_eq!(t.requests()[0].id, RequestId(0));
+        assert_eq!(t.requests()[2].arrival, Round(3));
+        assert_eq!(t.requests()[2].id, RequestId(2));
+        // Stable within a round: (2,3) was pushed before (0,2).
+        assert_eq!(
+            t.requests()[0].alternatives,
+            Alternatives::two(ResourceId(2), ResourceId(3))
+        );
+        assert_eq!(t.arrival_horizon(), Round(3));
+        assert_eq!(t.service_horizon(), Round(4)); // d=2 -> 3+1
+    }
+
+    #[test]
+    fn arrivals_at_and_batches_agree() {
+        let mut b = TraceBuilder::new(1);
+        b.push(0u64, 0u32, 1u32);
+        b.push(2u64, 0u32, 1u32);
+        b.push(2u64, 1u32, 2u32);
+        let t = b.build();
+        assert_eq!(t.arrivals_at(Round(0)).len(), 1);
+        assert_eq!(t.arrivals_at(Round(1)).len(), 0);
+        assert_eq!(t.arrivals_at(Round(2)).len(), 2);
+        let batches: Vec<_> = t.batches().collect();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].round, Round(0));
+        assert_eq!(batches[1].round, Round(2));
+        assert_eq!(batches[1].requests.len(), 2);
+    }
+
+    #[test]
+    fn block_structure_matches_paper() {
+        // block(3, d): 3d requests, group i -> (S_i, S_{(i+1) mod 3}).
+        let d = 4;
+        let mut b = TraceBuilder::new(d);
+        let rs = [ResourceId(0), ResourceId(1), ResourceId(2)];
+        b.block(Round(5), &rs, 7);
+        let t = b.build();
+        assert_eq!(t.len(), 3 * d as usize);
+        for (i, chunk) in t.requests().chunks(d as usize).enumerate() {
+            for r in chunk {
+                assert_eq!(r.arrival, Round(5));
+                assert_eq!(r.tag, 7);
+                assert_eq!(
+                    r.alternatives,
+                    Alternatives::two(rs[i], rs[(i + 1) % 3])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block2_saturates_two_resources() {
+        let d = 3;
+        let mut b = TraceBuilder::new(d);
+        b.block2(Round(0), 4u32, 5u32, 0);
+        let t = b.build();
+        assert_eq!(t.len(), 2 * d as usize);
+        // All requests admissible at both resources.
+        for r in t.requests() {
+            assert!(r.alternatives.contains(ResourceId(4)));
+            assert!(r.alternatives.contains(ResourceId(5)));
+        }
+        assert_eq!(t.min_resources(), 6);
+    }
+
+    #[test]
+    fn block1_targets_one_resource_plus_blocked() {
+        let d = 5;
+        let mut b = TraceBuilder::new(d);
+        b.block1(Round(2), 1u32, 9u32, 3);
+        let t = b.build();
+        assert_eq!(t.len(), d as usize);
+        for r in t.requests() {
+            assert_eq!(r.alternatives.first(), ResourceId(1));
+            assert!(r.alternatives.contains(ResourceId(9)));
+            assert_eq!(r.tag, 3);
+        }
+    }
+
+    #[test]
+    fn concat_shifted_renumbers_and_shifts() {
+        let mut b1 = TraceBuilder::new(2);
+        b1.push(0u64, 0u32, 1u32);
+        let t1 = b1.build();
+        let mut b2 = TraceBuilder::new(2);
+        b2.push(1u64, 2u32, 3u32);
+        let t2 = b2.build();
+        let t = t1.concat_shifted(&t2, 10);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.requests()[1].arrival, Round(11));
+        assert_eq!(t.requests()[1].id, RequestId(1));
+        assert_eq!(t.arrival_horizon(), Round(11));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_deadline_rejected() {
+        let _ = TraceBuilder::new(0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut b = TraceBuilder::new(3);
+        b.push_hinted(0u64, 0u32, 1u32, Hint::with(ResourceId(1), 5));
+        b.block2(1u64, 2u32, 3u32, 9);
+        let t = b.build();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based checks on the model layer: builder invariants, feasibility
+//! predicates and serde round-trips for arbitrary traces.
+
+use proptest::prelude::*;
+use reqsched_model::{Alternatives, Hint, Instance, Round, Trace, TraceBuilder};
+
+#[derive(Clone, Debug)]
+struct Spec {
+    round: u64,
+    a: u32,
+    b: u32,
+    deadline: u32,
+    tag: u32,
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (0u64..20, 0u32..6, 0u32..5, 1u32..5, 0u32..4).prop_map(
+        |(round, a, boff, deadline, tag)| Spec {
+            round,
+            a,
+            b: (a + 1 + boff) % 7,
+            deadline,
+            tag,
+        },
+    )
+}
+
+fn build(specs: &[Spec]) -> Trace {
+    let mut b = TraceBuilder::new(8);
+    for s in specs {
+        let (x, y) = if s.a == s.b { (s.a, s.a + 1) } else { (s.a, s.b) };
+        b.push_full(
+            Round(s.round),
+            Alternatives::two(x.into(), y.into()),
+            s.deadline,
+            s.tag,
+            Hint::default(),
+        );
+    }
+    b.build()
+}
+
+proptest! {
+    #[test]
+    fn trace_is_sorted_and_ids_are_indices(specs in proptest::collection::vec(spec(), 0..40)) {
+        let t = build(&specs);
+        prop_assert_eq!(t.len(), specs.len());
+        for (i, r) in t.requests().iter().enumerate() {
+            prop_assert_eq!(r.id.index(), i);
+            if i > 0 {
+                prop_assert!(t.requests()[i - 1].arrival <= r.arrival);
+            }
+        }
+    }
+
+    #[test]
+    fn batches_partition_the_trace(specs in proptest::collection::vec(spec(), 0..40)) {
+        let t = build(&specs);
+        let total: usize = t.batches().map(|b| b.requests.len()).sum();
+        prop_assert_eq!(total, t.len());
+        // arrivals_at agrees with batches.
+        for batch in t.batches() {
+            prop_assert_eq!(t.arrivals_at(batch.round), batch.requests);
+        }
+    }
+
+    #[test]
+    fn window_predicates_are_consistent(specs in proptest::collection::vec(spec(), 1..30)) {
+        let t = build(&specs);
+        for r in t.requests() {
+            prop_assert!(r.window_contains(r.arrival));
+            prop_assert!(r.window_contains(r.expiry()));
+            prop_assert!(!r.window_contains(r.expiry() + 1));
+            prop_assert_eq!(
+                r.expiry() - r.arrival,
+                (r.deadline - 1) as u64
+            );
+            for &alt in r.alternatives.as_slice() {
+                prop_assert!(r.can_be_served(alt, r.arrival));
+            }
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip(specs in proptest::collection::vec(spec(), 0..30)) {
+        let t = build(&specs);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&t, &back);
+        if !t.is_empty() {
+            let inst = Instance::new(t.min_resources().max(1), 8, t);
+            let json = serde_json::to_string(&inst).unwrap();
+            let back: Instance = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(inst, back);
+        }
+    }
+
+    #[test]
+    fn instance_horizon_covers_every_expiry(specs in proptest::collection::vec(spec(), 1..30)) {
+        let t = build(&specs);
+        let inst = Instance::new(t.min_resources().max(1), 8, t);
+        let h = inst.horizon();
+        for r in inst.trace.requests() {
+            prop_assert!(r.expiry() < h);
+        }
+    }
+
+    #[test]
+    fn concat_shift_preserves_counts(
+        a in proptest::collection::vec(spec(), 0..15),
+        b in proptest::collection::vec(spec(), 0..15),
+        shift in 0u64..50,
+    ) {
+        let ta = build(&a);
+        let tb = build(&b);
+        let t = ta.concat_shifted(&tb, shift);
+        prop_assert_eq!(t.len(), ta.len() + tb.len());
+    }
+}

@@ -1,0 +1,261 @@
+//! The overload analysis from the paper's upper-bound proofs (Theorems
+//! 3.3/3.4), made executable.
+//!
+//! For an algorithm's outcome, consider any round `t` in which injected
+//! requests failed. The paper builds the set `S_t` of **overloaded
+//! resources**: start with every alternative of the failed `t`-requests,
+//! then keep adding resources that are alternatives of `t`-requests
+//! *scheduled at resources already in the set*, until the set is closed.
+//! Every execution of a `t`-request at a resource of `S_t` is an
+//! **overloaded execution**; resource slots `t .. t+d-1` of an overloaded
+//! resource form an **overloaded group**, and maximal unions of consecutive
+//! groups on one resource are **overloaded intervals**.
+//!
+//! Two facts the proofs hinge on are checkable per run (and are checked in
+//! tests):
+//!
+//! * for a strategy that keeps its matching maximal, the *last* slot
+//!   `(i, t+d-1)` of every overloaded group is occupied by a request
+//!   injected at `t` (otherwise a failed request would still fit);
+//! * at most `(d-1)·|S_t|` of the `t`-requests failed, because even an
+//!   optimal schedule fits at most `d·|S_t|` of them into the closure.
+
+use crate::OfflineSolution;
+use reqsched_model::{Instance, RequestId, ResourceId, Round};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// Result of the overload analysis of one algorithm outcome.
+#[derive(Clone, Debug, Default)]
+pub struct OverloadReport {
+    /// For every arrival round with at least one failed request: the closed
+    /// overloaded resource set `S_t` and the failed `t`-requests.
+    pub per_round: Vec<RoundOverload>,
+    /// Total number of overloaded executions across the run.
+    pub overloaded_executions: usize,
+    /// Maximal overloaded intervals `(resource, first_round, last_round)`.
+    pub intervals: Vec<(ResourceId, Round, Round)>,
+}
+
+/// Overload closure for one arrival round.
+#[derive(Clone, Debug)]
+pub struct RoundOverload {
+    /// The arrival round `t`.
+    pub round: Round,
+    /// The failed requests injected at `t`.
+    pub failed: Vec<RequestId>,
+    /// The closed overloaded resource set `S_t`.
+    pub resources: Vec<ResourceId>,
+}
+
+impl OverloadReport {
+    /// Whether any overload occurred at all.
+    pub fn is_empty(&self) -> bool {
+        self.per_round.is_empty()
+    }
+
+    /// Total failed requests counted by the analysis.
+    pub fn total_failed(&self) -> usize {
+        self.per_round.iter().map(|r| r.failed.len()).sum()
+    }
+}
+
+/// Run the overload analysis on an algorithm outcome.
+///
+/// `outcome.assignment[id]` must hold the slot that served request `id`
+/// (`None` = failed), as produced by the simulation engine or an offline
+/// schedule.
+pub fn overload_analysis(inst: &Instance, outcome: &OfflineSolution) -> OverloadReport {
+    debug_assert!(outcome.check(inst).is_ok());
+    let d = inst.d as u64;
+
+    // Group requests by arrival round.
+    let mut by_round: BTreeMap<Round, Vec<RequestId>> = BTreeMap::new();
+    for req in inst.trace.requests() {
+        by_round.entry(req.arrival).or_default().push(req.id);
+    }
+
+    let mut per_round = Vec::new();
+    let mut overloaded_executions = 0usize;
+    // Per resource: overloaded rounds (union of groups).
+    let mut overloaded_slots: BTreeMap<ResourceId, BTreeSet<u64>> = BTreeMap::new();
+
+    for (&t, ids) in &by_round {
+        let failed: Vec<RequestId> = ids
+            .iter()
+            .copied()
+            .filter(|id| !outcome.is_served(*id))
+            .collect();
+        if failed.is_empty() {
+            continue;
+        }
+        // Closure computation.
+        let mut set: BTreeSet<ResourceId> = BTreeSet::new();
+        for &id in &failed {
+            set.extend(inst.trace.get(id).alternatives.as_slice().iter().copied());
+        }
+        loop {
+            let mut grew = false;
+            for &id in ids.iter() {
+                let Some((res, _)) = outcome.assignment[id.index()] else {
+                    continue;
+                };
+                if set.contains(&res) {
+                    for &alt in inst.trace.get(id).alternatives.as_slice() {
+                        if set.insert(alt) {
+                            grew = true;
+                        }
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        // Count overloaded executions and record groups.
+        for &id in ids.iter() {
+            if let Some((res, _)) = outcome.assignment[id.index()] {
+                if set.contains(&res) {
+                    overloaded_executions += 1;
+                }
+            }
+        }
+        for &res in &set {
+            let slots = overloaded_slots.entry(res).or_default();
+            for round in t.get()..t.get() + d {
+                slots.insert(round);
+            }
+        }
+        per_round.push(RoundOverload {
+            round: t,
+            failed,
+            resources: set.into_iter().collect(),
+        });
+    }
+
+    // Maximal consecutive runs per resource.
+    let mut intervals = Vec::new();
+    for (res, slots) in overloaded_slots {
+        let mut iter = slots.into_iter();
+        if let Some(first) = iter.next() {
+            let (mut start, mut prev) = (first, first);
+            for round in iter {
+                if round == prev + 1 {
+                    prev = round;
+                } else {
+                    intervals.push((res, Round(start), Round(prev)));
+                    start = round;
+                    prev = round;
+                }
+            }
+            intervals.push((res, Round(start), Round(prev)));
+        }
+    }
+
+    OverloadReport {
+        per_round,
+        overloaded_executions,
+        intervals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reqsched_model::TraceBuilder;
+
+    /// 3 requests on one pair with d = 1: one fails; both resources
+    /// overloaded, interval = round 0 only.
+    #[test]
+    fn simple_overload_closure() {
+        let mut b = TraceBuilder::new(1);
+        for _ in 0..3 {
+            b.push(0u64, 0u32, 1u32);
+        }
+        let inst = Instance::new(2, 1, b.build());
+        let outcome = OfflineSolution {
+            assignment: vec![
+                Some((ResourceId(0), Round(0))),
+                Some((ResourceId(1), Round(0))),
+                None,
+            ],
+        };
+        let report = overload_analysis(&inst, &outcome);
+        assert_eq!(report.total_failed(), 1);
+        assert_eq!(
+            report.per_round[0].resources,
+            vec![ResourceId(0), ResourceId(1)]
+        );
+        assert_eq!(report.overloaded_executions, 2);
+        assert_eq!(
+            report.intervals,
+            vec![
+                (ResourceId(0), Round(0), Round(0)),
+                (ResourceId(1), Round(0), Round(0))
+            ]
+        );
+    }
+
+    /// The closure must follow scheduled requests' other alternatives:
+    /// failed request points at S0; a t-request scheduled at S0 has the
+    /// other alternative S1, which joins the set.
+    #[test]
+    fn closure_propagates_through_scheduled_requests() {
+        let mut b = TraceBuilder::new(1);
+        b.push(0u64, 0u32, 1u32); // scheduled at S0, alt S1
+        b.push(0u64, 0u32, 2u32); // failed, alts {S0, S2}
+        b.push(0u64, 1u32, 3u32); // scheduled at S1, alt S3
+        let inst = Instance::new(4, 1, b.build());
+        let outcome = OfflineSolution {
+            assignment: vec![
+                Some((ResourceId(0), Round(0))),
+                None,
+                Some((ResourceId(1), Round(0))),
+            ],
+        };
+        let report = overload_analysis(&inst, &outcome);
+        // Closure: {S0, S2} from the failed request, then S1 via request 0
+        // (scheduled at S0), then S3 via request 2 (scheduled at S1).
+        assert_eq!(
+            report.per_round[0].resources,
+            vec![ResourceId(0), ResourceId(1), ResourceId(2), ResourceId(3)]
+        );
+    }
+
+    #[test]
+    fn lossless_outcome_has_empty_report() {
+        let mut b = TraceBuilder::new(2);
+        b.push(0u64, 0u32, 1u32);
+        let inst = Instance::new(2, 2, b.build());
+        let outcome = OfflineSolution {
+            assignment: vec![Some((ResourceId(0), Round(0)))],
+        };
+        let report = overload_analysis(&inst, &outcome);
+        assert!(report.is_empty());
+        assert_eq!(report.overloaded_executions, 0);
+        assert!(report.intervals.is_empty());
+    }
+
+    #[test]
+    fn groups_merge_into_intervals() {
+        // Failures in rounds 0 and 2 with d = 3 on the same pair: groups
+        // [0..2] and [2..4] merge into one interval [0..4].
+        let mut b = TraceBuilder::new(3);
+        for _ in 0..7 {
+            b.push(0u64, 0u32, 1u32);
+        }
+        for _ in 0..7 {
+            b.push(2u64, 0u32, 1u32);
+        }
+        let inst = Instance::new(2, 3, b.build());
+        let sol = crate::optimal_schedule(&inst);
+        // OPT serves 2/round over rounds 0..=4 = 10 of 14: failures in both
+        // arrival rounds.
+        let report = overload_analysis(&inst, &sol);
+        assert_eq!(report.total_failed(), 4);
+        assert_eq!(report.intervals.len(), 2); // one per resource
+        for &(_, start, end) in &report.intervals {
+            assert_eq!((start, end), (Round(0), Round(4)));
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! # reqsched-offline
+//!
+//! Offline optimal schedules — the benchmark every competitive ratio in this
+//! workspace is measured against.
+//!
+//! An optimal offline schedule for an [`Instance`] is a maximum-cardinality
+//! matching in the full bipartite graph of requests × time slots
+//! (paper §1.2); we compute it exactly with Hopcroft–Karp over the horizon
+//! graph ([`optimal_schedule`]). The crate also provides:
+//!
+//! * [`OfflineSolution`] — a feasibility-checkable assignment of requests to
+//!   `(resource, round)` slots, with verification ([`OfflineSolution::check`])
+//!   used by tests and the simulation driver;
+//! * [`greedy_normalize`] — the paper's proof device from Observation 3.1:
+//!   transform a solution so every request is served as early as possible
+//!   without changing the number of served requests;
+//! * [`optimal_count`] — just the optimum value.
+
+pub mod analysis;
+
+use reqsched_matching::{hopcroft_karp, BipartiteGraph};
+use reqsched_model::{Instance, RequestId, ResourceId, Round};
+
+/// An offline schedule: per-request slot assignment (`None` = unserved).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OfflineSolution {
+    /// `assignment[id]` is the slot serving request `id`, if any.
+    pub assignment: Vec<Option<(ResourceId, Round)>>,
+}
+
+impl OfflineSolution {
+    /// Number of requests served.
+    pub fn served_count(&self) -> usize {
+        self.assignment.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// Whether request `id` is served.
+    pub fn is_served(&self, id: RequestId) -> bool {
+        self.assignment
+            .get(id.index())
+            .is_some_and(Option::is_some)
+    }
+
+    /// Validate feasibility against the instance: every assignment uses an
+    /// admissible resource inside the request's deadline window, and no two
+    /// requests share a `(resource, round)` slot.
+    pub fn check(&self, inst: &Instance) -> Result<(), String> {
+        if self.assignment.len() != inst.trace.len() {
+            return Err(format!(
+                "assignment covers {} requests, trace has {}",
+                self.assignment.len(),
+                inst.trace.len()
+            ));
+        }
+        let mut used = std::collections::HashSet::new();
+        for (i, slot) in self.assignment.iter().enumerate() {
+            let Some((res, round)) = slot else { continue };
+            let req = inst.trace.get(RequestId(i as u32));
+            if !req.can_be_served(*res, *round) {
+                return Err(format!(
+                    "request {:?} infeasibly assigned to {:?}@{:?}",
+                    req.id, res, round
+                ));
+            }
+            if !used.insert((*res, *round)) {
+                return Err(format!("slot {res:?}@{round:?} double-booked"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Build the full horizon graph of an instance (paper §1.2's
+/// `G = (R ∪ S, E)` restricted to rounds up to the service horizon).
+///
+/// Left vertex `i` = request `i`; right vertex `round * n + resource`.
+/// Adjacency is ordered earliest-round-first (irrelevant for the optimum's
+/// value, convenient for deterministic output).
+pub fn horizon_graph(inst: &Instance) -> BipartiteGraph {
+    let n = inst.n_resources;
+    let horizon = inst.trace.service_horizon().get() + 1; // rounds 0..horizon
+    let n_right = (horizon * n as u64) as u32;
+    let mut builder = BipartiteGraph::builder(n_right);
+    let mut adj = Vec::new();
+    for req in inst.trace.requests() {
+        adj.clear();
+        for round in req.arrival.get()..=req.expiry().get() {
+            for &res in req.alternatives.as_slice() {
+                adj.push((round * n as u64) as u32 + res.0);
+            }
+        }
+        builder.add_left(&adj);
+    }
+    builder.finish()
+}
+
+/// Convert a solution into a matching on [`horizon_graph`]'s vertex
+/// numbering (for symmetric-difference analyses against other schedules).
+pub fn solution_matching(
+    inst: &Instance,
+    sol: &OfflineSolution,
+) -> reqsched_matching::Matching {
+    let n = inst.n_resources;
+    let horizon = inst.trace.service_horizon().get() + 1;
+    let mut m = reqsched_matching::Matching::empty(
+        inst.trace.len() as u32,
+        (horizon * n as u64) as u32,
+    );
+    for (i, slot) in sol.assignment.iter().enumerate() {
+        if let Some((res, round)) = slot {
+            m.set(i as u32, (round.get() * n as u64) as u32 + res.0);
+        }
+    }
+    m
+}
+
+/// Compute an optimal offline schedule (maximum matching on the horizon
+/// graph).
+pub fn optimal_schedule(inst: &Instance) -> OfflineSolution {
+    let n = inst.n_resources;
+    let g = horizon_graph(inst);
+    let m = hopcroft_karp(&g);
+    let assignment = (0..inst.trace.len() as u32)
+        .map(|l| {
+            m.left_mate(l).map(|r| {
+                let round = r / n;
+                let res = r % n;
+                (ResourceId(res), Round(round as u64))
+            })
+        })
+        .collect();
+    let sol = OfflineSolution { assignment };
+    debug_assert!(sol.check(inst).is_ok());
+    sol
+}
+
+/// The optimum number of servable requests (`perf_OPT(σ)`).
+pub fn optimal_count(inst: &Instance) -> usize {
+    hopcroft_karp(&horizon_graph(inst)).size()
+}
+
+/// Normalize a solution into "greedy" form (Observation 3.1's proof device):
+/// repeatedly move each served request to the earliest feasible free slot,
+/// until a fixpoint. Cardinality is unchanged; afterwards no served request
+/// could be served strictly earlier on any of its admissible resources given
+/// the other assignments.
+pub fn greedy_normalize(inst: &Instance, sol: &OfflineSolution) -> OfflineSolution {
+    let mut out = sol.clone();
+    let n = inst.n_resources as u64;
+    let horizon = inst.trace.service_horizon().get() + 1;
+    let mut occupied = vec![false; (horizon * n) as usize];
+    let slot_idx =
+        |res: ResourceId, round: Round| (round.get() * n + res.0 as u64) as usize;
+    for a in out.assignment.iter().flatten() {
+        occupied[slot_idx(a.0, a.1)] = true;
+    }
+    loop {
+        let mut changed = false;
+        for i in 0..out.assignment.len() {
+            let Some((res, round)) = out.assignment[i] else {
+                continue;
+            };
+            let req = inst.trace.get(RequestId(i as u32));
+            'search: for r in req.arrival.get()..round.get() {
+                for &alt in req.alternatives.as_slice() {
+                    let idx = slot_idx(alt, Round(r));
+                    if !occupied[idx] {
+                        occupied[slot_idx(res, round)] = false;
+                        occupied[idx] = true;
+                        out.assignment[i] = Some((alt, Round(r)));
+                        changed = true;
+                        break 'search;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    debug_assert!(out.check(inst).is_ok());
+    debug_assert_eq!(out.served_count(), sol.served_count());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reqsched_model::TraceBuilder;
+
+    #[test]
+    fn opt_serves_everything_when_possible() {
+        let mut b = TraceBuilder::new(2);
+        b.push(0u64, 0u32, 1u32);
+        b.push(0u64, 0u32, 1u32);
+        b.push(0u64, 2u32, 3u32);
+        let inst = Instance::new(4, 2, b.build());
+        let sol = optimal_schedule(&inst);
+        assert_eq!(sol.served_count(), 3);
+        sol.check(&inst).unwrap();
+    }
+
+    #[test]
+    fn opt_respects_capacity() {
+        // 3d requests on a two-resource pair: capacity is 2 per round over
+        // d rounds from round 0 (all arrive at once) -> OPT = 2d.
+        let d = 3;
+        let mut b = TraceBuilder::new(d);
+        b.block2(0u64, 0u32, 1u32, 0);
+        b.push_group(0u64, 0u32, 1u32, d, 1, Default::default());
+        let inst = Instance::new(2, d, b.build());
+        assert_eq!(optimal_count(&inst), 2 * d as usize);
+    }
+
+    #[test]
+    fn opt_uses_deadline_slack() {
+        // 4 requests, pair capacity 2/round, d = 2: all 4 fit.
+        let mut b = TraceBuilder::new(2);
+        for _ in 0..4 {
+            b.push(0u64, 0u32, 1u32);
+        }
+        let inst = Instance::new(2, 2, b.build());
+        assert_eq!(optimal_count(&inst), 4);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(3, 2, reqsched_model::Trace::empty());
+        assert_eq!(optimal_count(&inst), 0);
+        let sol = optimal_schedule(&inst);
+        assert_eq!(sol.served_count(), 0);
+        sol.check(&inst).unwrap();
+    }
+
+    #[test]
+    fn check_rejects_double_booking() {
+        let mut b = TraceBuilder::new(2);
+        b.push(0u64, 0u32, 1u32);
+        b.push(0u64, 0u32, 1u32);
+        let inst = Instance::new(2, 2, b.build());
+        let sol = OfflineSolution {
+            assignment: vec![
+                Some((ResourceId(0), Round(0))),
+                Some((ResourceId(0), Round(0))),
+            ],
+        };
+        assert!(sol.check(&inst).is_err());
+    }
+
+    #[test]
+    fn check_rejects_window_violation() {
+        let mut b = TraceBuilder::new(2);
+        b.push(0u64, 0u32, 1u32);
+        let inst = Instance::new(2, 2, b.build());
+        let sol = OfflineSolution {
+            assignment: vec![Some((ResourceId(0), Round(5)))],
+        };
+        assert!(sol.check(&inst).is_err());
+    }
+
+    #[test]
+    fn greedy_normalize_moves_service_earlier() {
+        let mut b = TraceBuilder::new(3);
+        b.push(0u64, 0u32, 1u32);
+        let inst = Instance::new(2, 3, b.build());
+        let lazy = OfflineSolution {
+            assignment: vec![Some((ResourceId(1), Round(2)))],
+        };
+        lazy.check(&inst).unwrap();
+        let greedy = greedy_normalize(&inst, &lazy);
+        assert_eq!(greedy.served_count(), 1);
+        let (res, round) = greedy.assignment[0].unwrap();
+        assert_eq!(round, Round(0));
+        assert_eq!(res, ResourceId(0), "earliest slot, first alternative");
+    }
+
+    #[test]
+    fn greedy_normalize_is_fixpoint_on_packed_solutions() {
+        let d = 2;
+        let mut b = TraceBuilder::new(d);
+        b.block2(0u64, 0u32, 1u32, 0);
+        let inst = Instance::new(2, d, b.build());
+        let opt = optimal_schedule(&inst);
+        let g1 = greedy_normalize(&inst, &opt);
+        let g2 = greedy_normalize(&inst, &g1);
+        assert_eq!(g1, g2);
+        assert_eq!(g1.served_count(), opt.served_count());
+    }
+}

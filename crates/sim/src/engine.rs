@@ -1,0 +1,356 @@
+//! Round-driving engine with full feasibility validation.
+
+use reqsched_core::OnlineScheduler;
+use reqsched_model::{
+    Instance, Request, RequestId, RequestSource, Round, StateView, Trace,
+    TraceBuilder, TraceSource,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Result of one simulated run.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct RunStats {
+    /// Strategy display name.
+    pub strategy: String,
+    /// Number of resources.
+    pub n: u32,
+    /// Deadline parameter.
+    pub d: u32,
+    /// Requests injected.
+    pub injected: usize,
+    /// Requests served before their deadlines.
+    pub served: usize,
+    /// Requests lost (deadline expired unserved).
+    pub expired: usize,
+    /// The exact offline optimum for the same input.
+    pub opt: usize,
+    /// Rounds simulated.
+    pub rounds: u64,
+    /// Communication rounds used (local strategies; 0 for global).
+    pub comm_rounds: u64,
+    /// Messages sent (local strategies; 0 for global).
+    pub messages: u64,
+    /// Services per round (index = round).
+    pub per_round_served: Vec<u32>,
+    /// Per-request service slot: `assignment[id] = Some((resource, round))`
+    /// iff the strategy served request `id` there. Lets analyses rebuild the
+    /// algorithm's matching on the horizon graph (e.g. the augmenting-path
+    /// order lemmas of the paper's upper-bound proofs).
+    pub assignment: Vec<Option<(u32, u64)>>,
+}
+
+impl RunStats {
+    /// Empirical competitive ratio `OPT / ALG` (`1.0` when both are zero).
+    pub fn ratio(&self) -> f64 {
+        if self.opt == 0 {
+            1.0
+        } else if self.served == 0 {
+            f64::INFINITY
+        } else {
+            self.opt as f64 / self.served as f64
+        }
+    }
+
+    /// Fraction of injected requests served.
+    pub fn goodput(&self) -> f64 {
+        if self.injected == 0 {
+            1.0
+        } else {
+            self.served as f64 / self.injected as f64
+        }
+    }
+}
+
+/// Engine-side observable state, handed to adaptive adversaries.
+struct EngineView {
+    round: Round,
+    served: Vec<bool>, // indexed by request id
+    served_by_tag: HashMap<u32, usize>,
+    injected_by_tag: HashMap<u32, usize>,
+}
+
+impl StateView for EngineView {
+    fn is_served(&self, id: RequestId) -> bool {
+        self.served.get(id.index()).copied().unwrap_or(false)
+    }
+    fn served_with_tag(&self, tag: u32) -> usize {
+        self.served_by_tag.get(&tag).copied().unwrap_or(0)
+    }
+    fn injected_with_tag(&self, tag: u32) -> usize {
+        self.injected_by_tag.get(&tag).copied().unwrap_or(0)
+    }
+    fn round(&self) -> Round {
+        self.round
+    }
+}
+
+/// Pending (injected, unserved, unexpired) request bookkeeping.
+struct Pending {
+    expiry: Round,
+    request: Request,
+}
+
+/// Run a strategy against a request source, validating every service.
+///
+/// Returns the statistics (without `opt`, computed afterwards over the
+/// materialized trace) and the trace of everything the source injected.
+///
+/// # Panics
+/// Panics if the strategy violates the model: serving an unknown, already
+/// served or expired request, using an inadmissible resource, or using a
+/// resource twice in one round. These are bugs in a strategy, not workload
+/// conditions, so the engine fails fast.
+pub fn run_source(
+    strategy: &mut dyn OnlineScheduler,
+    source: &mut dyn RequestSource,
+    n: u32,
+    d: u32,
+) -> (RunStats, Trace) {
+    let mut view = EngineView {
+        round: Round::ZERO,
+        served: Vec::new(),
+        served_by_tag: HashMap::new(),
+        injected_by_tag: HashMap::new(),
+    };
+    let mut pending: HashMap<RequestId, Pending> = HashMap::new();
+    let mut trace = TraceBuilder::new(d);
+    let mut next_id = 0u32;
+    let mut injected = 0usize;
+    let mut served = 0usize;
+    let mut expired = 0usize;
+    let mut per_round_served = Vec::new();
+    let mut assignment: Vec<Option<(u32, u64)>> = Vec::new();
+    let mut last_expiry = Round::ZERO;
+    let mut round = Round::ZERO;
+
+    loop {
+        view.round = round;
+        let arrivals = if source.exhausted(round) {
+            Vec::new()
+        } else {
+            source.arrivals(round, &view)
+        };
+        for req in &arrivals {
+            assert_eq!(
+                req.id,
+                RequestId(next_id),
+                "sources must number requests consecutively"
+            );
+            assert_eq!(req.arrival, round, "arrival round mismatch");
+            assert!(req.deadline <= d, "request deadline exceeds instance d");
+            next_id += 1;
+            injected += 1;
+            *view.injected_by_tag.entry(req.tag).or_insert(0) += 1;
+            view.served.push(false);
+            assignment.push(None);
+            last_expiry = last_expiry.max(req.expiry());
+            pending.insert(
+                req.id,
+                Pending {
+                    expiry: req.expiry(),
+                    request: req.clone(),
+                },
+            );
+            trace.push_full(
+                req.arrival,
+                req.alternatives.clone(),
+                req.deadline,
+                req.tag,
+                req.hint,
+            );
+        }
+
+        let services = strategy.on_round(round, &arrivals);
+
+        let mut resources_used = std::collections::HashSet::new();
+        for s in &services {
+            assert!(
+                resources_used.insert(s.resource),
+                "{:?} used twice in round {:?}",
+                s.resource,
+                round
+            );
+            assert!(s.resource.0 < n, "unknown resource {:?}", s.resource);
+            let p = pending.remove(&s.request).unwrap_or_else(|| {
+                panic!(
+                    "strategy served {:?} which is not pending (round {round:?})",
+                    s.request
+                )
+            });
+            assert!(
+                p.request.can_be_served(s.resource, round),
+                "infeasible service {:?} by {:?} at {:?}",
+                s.request,
+                s.resource,
+                round
+            );
+            view.served[s.request.index()] = true;
+            *view.served_by_tag.entry(p.request.tag).or_insert(0) += 1;
+            assignment[s.request.index()] = Some((s.resource.0, round.get()));
+            served += 1;
+        }
+        per_round_served.push(services.len() as u32);
+
+        // Expire pending requests whose last usable round was this one.
+        let dead: Vec<RequestId> = pending
+            .iter()
+            .filter(|(_, p)| p.expiry <= round)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in dead {
+            pending.remove(&id);
+            expired += 1;
+        }
+
+        round = round.next();
+        if source.exhausted(round) && pending.is_empty() {
+            break;
+        }
+        // Safety valve against runaway sources in tests.
+        assert!(
+            round.get() < 10_000_000,
+            "simulation exceeded 10M rounds — runaway source?"
+        );
+    }
+
+    let stats = RunStats {
+        strategy: strategy.name().to_string(),
+        n,
+        d,
+        injected,
+        served,
+        expired,
+        opt: 0,
+        rounds: round.get(),
+        comm_rounds: strategy.comm_rounds_total(),
+        messages: strategy.messages_total(),
+        per_round_served,
+        assignment,
+    };
+    (stats, trace.build())
+}
+
+/// Run a strategy over a fixed instance and fill in the exact optimum.
+pub fn run_fixed(strategy: &mut dyn OnlineScheduler, inst: &Instance) -> RunStats {
+    let mut source = TraceSource::new(inst.trace.clone());
+    let (mut stats, trace) = run_source(strategy, &mut source, inst.n_resources, inst.d);
+    debug_assert_eq!(trace.len(), inst.trace.len());
+    stats.opt = reqsched_offline::optimal_count(inst);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reqsched_core::{build_strategy, StrategyKind, TieBreak};
+    use reqsched_model::TraceBuilder;
+
+    fn tiny_instance() -> Instance {
+        let mut b = TraceBuilder::new(2);
+        b.push(0u64, 0u32, 1u32);
+        b.push(0u64, 0u32, 1u32);
+        b.push(1u64, 0u32, 1u32);
+        Instance::new(2, 2, b.build())
+    }
+
+    #[test]
+    fn run_fixed_counts_and_ratio() {
+        let inst = tiny_instance();
+        let mut s = build_strategy(StrategyKind::ABalance, 2, 2, TieBreak::FirstFit);
+        let stats = run_fixed(s.as_mut(), &inst);
+        assert_eq!(stats.injected, 3);
+        assert_eq!(stats.served, 3);
+        assert_eq!(stats.opt, 3);
+        assert_eq!(stats.expired, 0);
+        assert!((stats.ratio() - 1.0).abs() < 1e-12);
+        assert!((stats.goodput() - 1.0).abs() < 1e-12);
+        assert_eq!(stats.served,
+            stats.per_round_served.iter().map(|&x| x as usize).sum::<usize>());
+    }
+
+    #[test]
+    fn every_strategy_passes_validation_on_a_block() {
+        let d = 3;
+        let mut b = TraceBuilder::new(d);
+        b.block2(0u64, 0u32, 1u32, 0);
+        b.push(1u64, 1u32, 2u32);
+        let inst = Instance::new(3, d, b.build());
+        for kind in StrategyKind::GLOBAL {
+            let mut s = build_strategy(kind, 3, d, TieBreak::FirstFit);
+            let stats = run_fixed(s.as_mut(), &inst);
+            assert!(stats.served <= stats.opt);
+            assert_eq!(stats.served + stats.expired, stats.injected);
+        }
+    }
+
+    #[test]
+    fn edf_strategies_run_too() {
+        let inst = tiny_instance();
+        for kind in [
+            StrategyKind::Edf {
+                cancel_sibling: false,
+            },
+            StrategyKind::Edf {
+                cancel_sibling: true,
+            },
+        ] {
+            let mut s = build_strategy(kind, 2, 2, TieBreak::FirstFit);
+            let stats = run_fixed(s.as_mut(), &inst);
+            assert!(stats.served >= 2, "{}: {}", stats.strategy, stats.served);
+        }
+    }
+
+    #[test]
+    fn ratio_of_empty_run_is_one() {
+        let inst = Instance::new(2, 2, reqsched_model::Trace::empty());
+        let mut s = build_strategy(StrategyKind::AFix, 2, 2, TieBreak::FirstFit);
+        let stats = run_fixed(s.as_mut(), &inst);
+        assert_eq!(stats.injected, 0);
+        assert!((stats.ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_source_receives_view() {
+        use reqsched_model::{Alternatives, Hint, StateView};
+        /// Injects one request per round for 3 rounds; round 2's request tag
+        /// records how many tag-0 requests had been served when generated.
+        struct Probe {
+            emitted: u32,
+        }
+        impl RequestSource for Probe {
+            fn arrivals(&mut self, round: Round, view: &dyn StateView) -> Vec<Request> {
+                if round.get() >= 3 {
+                    return vec![];
+                }
+                let tag = if round.get() == 2 {
+                    100 + view.served_with_tag(0) as u32
+                } else {
+                    0
+                };
+                let id = RequestId(self.emitted);
+                self.emitted += 1;
+                vec![Request {
+                    id,
+                    arrival: round,
+                    alternatives: Alternatives::two(
+                        reqsched_model::ResourceId(0),
+                        reqsched_model::ResourceId(1),
+                    ),
+                    deadline: 1,
+                    tag,
+                    hint: Hint::default(),
+                }]
+            }
+            fn exhausted(&self, round: Round) -> bool {
+                round.get() >= 3
+            }
+        }
+        let mut s = build_strategy(StrategyKind::AEager, 2, 1, TieBreak::FirstFit);
+        let (stats, trace) = run_source(s.as_mut(), &mut Probe { emitted: 0 }, 2, 1);
+        assert_eq!(stats.injected, 3);
+        // Rounds 0 and 1 requests are served immediately (d=1, free pair),
+        // so the round-2 request's tag must be 102.
+        assert_eq!(trace.requests()[2].tag, 102);
+    }
+}

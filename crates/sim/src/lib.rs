@@ -1,0 +1,18 @@
+//! # reqsched-sim
+//!
+//! The simulation driver: runs any
+//! [`OnlineScheduler`](reqsched_core::OnlineScheduler) against any
+//! [`RequestSource`](reqsched_model::RequestSource) (fixed traces or adaptive
+//! adversaries), **validates every service against the model's physical
+//! rules** (one request per resource per round, admissible resource, within
+//! the deadline window, no double service), computes the empirical
+//! competitive ratio against the exact offline optimum, and fans parameter
+//! sweeps out across cores with Rayon.
+
+mod engine;
+mod strategy;
+mod sweep;
+
+pub use engine::{run_fixed, run_source, RunStats};
+pub use strategy::AnyStrategy;
+pub use sweep::{par_run, Job, RunRecord};

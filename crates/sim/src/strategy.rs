@@ -1,0 +1,67 @@
+//! Unified construction over global *and* local strategies.
+
+use reqsched_core::{build_strategy, OnlineScheduler, StrategyKind, TieBreak};
+use reqsched_local::{ALocalEager, ALocalFix};
+
+/// Any strategy of the paper, global or local.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnyStrategy {
+    /// One of the global strategies under a tie-break policy.
+    Global(StrategyKind, TieBreak),
+    /// `A_local_fix` (2 communication rounds, ratio exactly 2).
+    LocalFix,
+    /// `A_local_eager` (≤ 9 communication rounds, ratio ≤ 5/3).
+    LocalEager,
+}
+
+impl AnyStrategy {
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            AnyStrategy::Global(k, _) => k.name().to_string(),
+            AnyStrategy::LocalFix => "A_local_fix".to_string(),
+            AnyStrategy::LocalEager => "A_local_eager".to_string(),
+        }
+    }
+
+    /// Build an instance of this strategy.
+    pub fn build(&self, n: u32, d: u32) -> Box<dyn OnlineScheduler> {
+        match self {
+            AnyStrategy::Global(k, tie) => build_strategy(*k, n, d, *tie),
+            AnyStrategy::LocalFix => Box::new(ALocalFix::new(n, d)),
+            AnyStrategy::LocalEager => Box::new(ALocalEager::new(n, d)),
+        }
+    }
+
+    /// The paper's proven upper bound on the competitive ratio, if stated.
+    pub fn upper_bound(&self, d: u32) -> Option<f64> {
+        match self {
+            AnyStrategy::Global(k, _) => k.upper_bound(d),
+            AnyStrategy::LocalFix => Some(2.0),
+            AnyStrategy::LocalEager => Some(5.0 / 3.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_names() {
+        for s in [
+            AnyStrategy::Global(StrategyKind::AEager, TieBreak::FirstFit),
+            AnyStrategy::LocalFix,
+            AnyStrategy::LocalEager,
+        ] {
+            let built = s.build(4, 3);
+            assert_eq!(built.name(), s.name());
+        }
+    }
+
+    #[test]
+    fn local_bounds() {
+        assert_eq!(AnyStrategy::LocalFix.upper_bound(7), Some(2.0));
+        assert_eq!(AnyStrategy::LocalEager.upper_bound(7), Some(5.0 / 3.0));
+    }
+}

@@ -1,0 +1,148 @@
+//! Rayon-parallel parameter sweeps over (instance × strategy × tie-break)
+//! grids.
+
+use crate::engine::{run_fixed, RunStats};
+use crate::strategy::AnyStrategy;
+use rayon::prelude::*;
+use reqsched_core::{StrategyKind, TieBreak};
+use reqsched_model::Instance;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One sweep job: run `strategy` on `instance`.
+#[derive(Clone)]
+pub struct Job {
+    /// Free-form label propagated into the [`RunRecord`] (e.g. "thm2.1 d=8").
+    pub label: String,
+    /// The instance to run on (shared across jobs).
+    pub instance: Arc<Instance>,
+    /// Strategy to instantiate (global or local).
+    pub strategy: AnyStrategy,
+}
+
+impl Job {
+    /// Convenience constructor for global strategies.
+    pub fn new(
+        label: impl Into<String>,
+        instance: Arc<Instance>,
+        kind: StrategyKind,
+        tie: TieBreak,
+    ) -> Job {
+        Job {
+            label: label.into(),
+            instance,
+            strategy: AnyStrategy::Global(kind, tie),
+        }
+    }
+
+    /// Convenience constructor for any strategy.
+    pub fn any(
+        label: impl Into<String>,
+        instance: Arc<Instance>,
+        strategy: AnyStrategy,
+    ) -> Job {
+        Job {
+            label: label.into(),
+            instance,
+            strategy,
+        }
+    }
+}
+
+/// One sweep result row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// The job label.
+    pub label: String,
+    /// Tie-break label ("—" for local strategies, which have none).
+    pub tie: String,
+    /// Full run statistics (including the exact optimum).
+    pub stats: RunStats,
+    /// Convenience copy of `stats.ratio()`.
+    pub ratio: f64,
+}
+
+/// Run all jobs in parallel (Rayon work-stealing; each job is independent).
+///
+/// Results come back in job order regardless of execution order.
+pub fn par_run(jobs: &[Job]) -> Vec<RunRecord> {
+    jobs.par_iter()
+        .map(|job| {
+            let inst = &job.instance;
+            let mut strategy = job.strategy.build(inst.n_resources, inst.d);
+            let stats = run_fixed(strategy.as_mut(), inst);
+            let ratio = stats.ratio();
+            let tie = match job.strategy {
+                AnyStrategy::Global(_, tie) => tie.label(),
+                _ => "—".to_string(),
+            };
+            RunRecord {
+                label: job.label.clone(),
+                tie,
+                stats,
+                ratio,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reqsched_model::TraceBuilder;
+
+    fn inst() -> Arc<Instance> {
+        let mut b = TraceBuilder::new(2);
+        b.block2(0u64, 0u32, 1u32, 0);
+        b.push(0u64, 0u32, 1u32);
+        Arc::new(Instance::new(2, 2, b.build()))
+    }
+
+    #[test]
+    fn parallel_results_keep_job_order() {
+        let i = inst();
+        let jobs: Vec<Job> = StrategyKind::GLOBAL
+            .iter()
+            .map(|&k| Job::new(k.name(), Arc::clone(&i), k, TieBreak::FirstFit))
+            .collect();
+        let out = par_run(&jobs);
+        assert_eq!(out.len(), jobs.len());
+        for (job, rec) in jobs.iter().zip(&out) {
+            assert_eq!(job.label, rec.label);
+            assert_eq!(rec.stats.strategy, job.strategy.name());
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let i = inst();
+        let jobs: Vec<Job> = (0..8)
+            .map(|s| {
+                Job::new(
+                    format!("seed{s}"),
+                    Arc::clone(&i),
+                    StrategyKind::ABalance,
+                    TieBreak::Random(s),
+                )
+            })
+            .collect();
+        let a = par_run(&jobs);
+        let b = par_run(&jobs);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.stats, y.stats, "sweeps must be deterministic");
+        }
+    }
+
+    #[test]
+    fn records_expose_ratio() {
+        let i = inst();
+        let out = par_run(&[Job::new(
+            "one",
+            i,
+            StrategyKind::AEager,
+            TieBreak::FirstFit,
+        )]);
+        assert!(out[0].ratio >= 1.0);
+        assert_eq!(out[0].tie, "first-fit");
+    }
+}

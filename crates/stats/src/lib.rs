@@ -1,0 +1,13 @@
+//! # reqsched-stats
+//!
+//! Aggregation and rendering for the experiment harness: summary statistics
+//! with confidence intervals, ASCII tables (the `table1` binary's output
+//! format), and CSV export for the ratio-curve "figures".
+
+mod summary;
+mod table;
+mod timeline;
+
+pub use summary::Summary;
+pub use table::{render_csv, Table};
+pub use timeline::render_timeline;

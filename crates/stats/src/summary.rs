@@ -1,0 +1,117 @@
+//! Summary statistics over repeated measurements.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean / spread summary of a sample of `f64` measurements.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for n < 2).
+    pub sd: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Half-width of the normal-approximation 95% confidence interval for
+    /// the mean (`1.96 · sd / √n`; 0 for n < 2).
+    pub ci95: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns a degenerate all-NaN summary for an
+    /// empty slice (so harness code can render "n/a" rather than panic).
+    pub fn of(xs: &[f64]) -> Summary {
+        let n = xs.len();
+        if n == 0 {
+            return Summary {
+                n: 0,
+                mean: f64::NAN,
+                sd: f64::NAN,
+                min: f64::NAN,
+                max: f64::NAN,
+                ci95: f64::NAN,
+            };
+        }
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n >= 2 {
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let sd = var.sqrt();
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let ci95 = if n >= 2 {
+            1.96 * sd / (n as f64).sqrt()
+        } else {
+            0.0
+        };
+        Summary {
+            n,
+            mean,
+            sd,
+            min,
+            max,
+            ci95,
+        }
+    }
+
+    /// `"mean ± ci95"` with the given precision.
+    pub fn display(&self, precision: usize) -> String {
+        if self.n == 0 {
+            return "n/a".to_string();
+        }
+        format!("{:.p$} ± {:.p$}", self.mean, self.ci95, p = precision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.min - 1.0).abs() < 1e-12);
+        assert!((s.max - 4.0).abs() < 1e-12);
+        // sd of {1,2,3,4} = sqrt(5/3)
+        assert!((s.sd - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!(s.ci95 > 0.0);
+    }
+
+    #[test]
+    fn singleton_has_zero_spread() {
+        let s = Summary::of(&[7.5]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.sd, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.mean, 7.5);
+    }
+
+    #[test]
+    fn empty_is_nan_not_panic() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert!(s.mean.is_nan());
+        assert_eq!(s.display(3), "n/a");
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Summary::of(&[1.0, 1.0]);
+        assert_eq!(s.display(2), "1.00 ± 0.00");
+    }
+
+    #[test]
+    fn constant_sample() {
+        let s = Summary::of(&[3.0; 10]);
+        assert_eq!(s.sd, 0.0);
+        assert_eq!(s.min, 3.0);
+        assert_eq!(s.max, 3.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! ASCII schedule timelines: one row per resource, one column per round.
+
+/// Render a schedule as an ASCII grid.
+///
+/// `assignment[id] = Some((resource, round))` marks request `id` served
+/// there. Served slots show the request's *tag glyph* (tag mod 26 → 'a'..;
+/// pass all-zero tags for a uniform '#'-style view via `glyphs = false`),
+/// idle slots show '·'. Rounds `0 ..= horizon` are rendered.
+pub fn render_timeline(
+    n_resources: u32,
+    horizon: u64,
+    assignment: &[Option<(u32, u64)>],
+    tags: &[u32],
+    glyphs: bool,
+) -> String {
+    assert_eq!(assignment.len(), tags.len());
+    let cols = horizon as usize + 1;
+    let mut grid = vec![vec!['·'; cols]; n_resources as usize];
+    for (i, slot) in assignment.iter().enumerate() {
+        let Some((res, round)) = slot else { continue };
+        let c = if glyphs {
+            (b'a' + (tags[i] % 26) as u8) as char
+        } else {
+            '#'
+        };
+        if (*res as usize) < grid.len() && (*round as usize) < cols {
+            grid[*res as usize][*round as usize] = c;
+        }
+    }
+    let mut out = String::new();
+    // Round ruler (tens digit every 10 columns).
+    out.push_str("      ");
+    for t in 0..cols {
+        out.push(if t % 10 == 0 {
+            char::from_digit(((t / 10) % 10) as u32, 10).unwrap()
+        } else {
+            ' '
+        });
+    }
+    out.push('\n');
+    for (i, row) in grid.iter().enumerate() {
+        out.push_str(&format!("S{i:<4} "));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_grid_shape() {
+        let assignment = vec![Some((0u32, 0u64)), Some((1, 2)), None];
+        let tags = vec![0u32, 1, 2];
+        let s = render_timeline(2, 3, &assignment, &tags, true);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3); // ruler + 2 resources
+        assert!(lines[1].starts_with("S0"));
+        assert!(lines[1].contains('a'));
+        assert!(lines[2].contains('b'));
+        // Unserved request leaves no mark; idle slots are dots.
+        assert_eq!(lines[1].matches('·').count(), 3);
+    }
+
+    #[test]
+    fn uniform_glyphs() {
+        let assignment = vec![Some((0u32, 1u64))];
+        let s = render_timeline(1, 1, &assignment, &[5], false);
+        assert!(s.contains('#'));
+        assert!(!s.contains('f'));
+    }
+
+    #[test]
+    fn out_of_range_slots_are_ignored() {
+        let assignment = vec![Some((9u32, 99u64))];
+        let s = render_timeline(1, 1, &assignment, &[0], true);
+        assert!(!s.contains('a'));
+    }
+}

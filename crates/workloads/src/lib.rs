@@ -1,0 +1,370 @@
+//! # reqsched-workloads
+//!
+//! Randomized, reproducible workload generators for the data-server scenario
+//! motivating the paper (video-on-demand, tele-teaching, OLTP): data items
+//! are replicated on two disks, clients issue deadline-bound requests, and
+//! the replica placement plus popularity skew determine how contended the
+//! two-choice structure is.
+//!
+//! All generators are deterministic in their seed (ChaCha8), so sweeps are
+//! replayable across threads and machines.
+//!
+//! * [`uniform_two_choice`] — each request picks two distinct resources
+//!   uniformly; arrivals per round are fixed at `per_round` (the paper's
+//!   adversary chooses arrival counts, so a constant-rate stream is the
+//!   neutral baseline).
+//! * [`zipf_replicated`] — a catalog of items with Zipf(α) popularity, each
+//!   item replicated on two random disks at catalog creation (the
+//!   random-duplicated-allocation scheme of Korst '97 cited by the paper);
+//!   requests sample items by popularity.
+//! * [`flash_crowd`] — background uniform traffic plus a burst window in
+//!   which a single hot item (one fixed disk pair) absorbs most arrivals —
+//!   the "high correlation" the paper's introduction warns about.
+//! * [`single_alternative`] — every request names one uniformly random disk
+//!   (Observation 3.1's setting, where EDF is optimal).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use reqsched_model::{Alternatives, Hint, Instance, Round, TraceBuilder};
+
+/// Sample two distinct resources uniformly.
+fn two_distinct(rng: &mut ChaCha8Rng, n: u32) -> (u32, u32) {
+    debug_assert!(n >= 2);
+    let a = rng.gen_range(0..n);
+    let mut b = rng.gen_range(0..n - 1);
+    if b >= a {
+        b += 1;
+    }
+    (a, b)
+}
+
+/// Constant-rate uniform two-choice arrivals.
+///
+/// `per_round` requests arrive in each of `rounds` rounds; each names two
+/// distinct uniform resources and carries deadline `d`.
+pub fn uniform_two_choice(
+    n: u32,
+    d: u32,
+    per_round: u32,
+    rounds: u64,
+    seed: u64,
+) -> Instance {
+    assert!(n >= 2);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = TraceBuilder::new(d);
+    for t in 0..rounds {
+        for _ in 0..per_round {
+            let (x, y) = two_distinct(&mut rng, n);
+            b.push(Round(t), x, y);
+        }
+    }
+    Instance::new(n, d, b.build())
+}
+
+/// Zipf(α) item popularity over a replicated catalog.
+///
+/// `items` data items are each placed on two distinct uniform disks when the
+/// catalog is built; afterwards `per_round` requests per round sample items
+/// with probability ∝ `1/rank^alpha` and inherit the item's disk pair. The
+/// request's tag records the item index.
+pub fn zipf_replicated(
+    n: u32,
+    d: u32,
+    items: u32,
+    alpha: f64,
+    per_round: u32,
+    rounds: u64,
+    seed: u64,
+) -> Instance {
+    assert!(n >= 2 && items >= 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Catalog: item -> disk pair.
+    let catalog: Vec<(u32, u32)> = (0..items).map(|_| two_distinct(&mut rng, n)).collect();
+    // Zipf CDF.
+    let weights: Vec<f64> = (1..=items as u64)
+        .map(|r| 1.0 / (r as f64).powf(alpha))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(items as usize);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let sample_item = |rng: &mut ChaCha8Rng| -> usize {
+        let u: f64 = rng.gen();
+        cdf.partition_point(|&c| c < u).min(items as usize - 1)
+    };
+
+    let mut b = TraceBuilder::new(d);
+    for t in 0..rounds {
+        for _ in 0..per_round {
+            let item = sample_item(&mut rng);
+            let (x, y) = catalog[item];
+            b.push_full(
+                Round(t),
+                Alternatives::two(x.into(), y.into()),
+                d,
+                item as u32,
+                Hint::default(),
+            );
+        }
+    }
+    Instance::new(n, d, b.build())
+}
+
+/// Uniform background traffic plus a flash crowd on one item.
+///
+/// During rounds `[burst_start, burst_start + burst_len)`, an additional
+/// `burst_per_round` requests per round all target the hot item's fixed
+/// disk pair `(0, 1)` (tag 1); background requests (tag 0) are uniform at
+/// `base_per_round` throughout.
+#[allow(clippy::too_many_arguments)] // a workload spec reads best as named scalars
+pub fn flash_crowd(
+    n: u32,
+    d: u32,
+    base_per_round: u32,
+    burst_per_round: u32,
+    burst_start: u64,
+    burst_len: u64,
+    rounds: u64,
+    seed: u64,
+) -> Instance {
+    assert!(n >= 2);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = TraceBuilder::new(d);
+    for t in 0..rounds {
+        for _ in 0..base_per_round {
+            let (x, y) = two_distinct(&mut rng, n);
+            b.push_full(
+                Round(t),
+                Alternatives::two(x.into(), y.into()),
+                d,
+                0,
+                Hint::default(),
+            );
+        }
+        if t >= burst_start && t < burst_start + burst_len {
+            for _ in 0..burst_per_round {
+                b.push_full(
+                    Round(t),
+                    Alternatives::two(0u32.into(), 1u32.into()),
+                    d,
+                    1,
+                    Hint::default(),
+                );
+            }
+        }
+    }
+    Instance::new(n, d, b.build())
+}
+
+/// Uniform arrivals with `c ≥ 1` distinct alternatives per request (the
+/// paper's EDF remark: with `c` copies per data item EDF is
+/// `c`-competitive; the matching-based strategies handle any `c`).
+pub fn c_choice(
+    n: u32,
+    d: u32,
+    c: u32,
+    per_round: u32,
+    rounds: u64,
+    seed: u64,
+) -> Instance {
+    assert!(c >= 1 && n >= c, "need at least c distinct resources");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = TraceBuilder::new(d);
+    let mut pool: Vec<u32> = (0..n).collect();
+    for t in 0..rounds {
+        for _ in 0..per_round {
+            // Partial Fisher-Yates: first c entries become the alternatives.
+            for i in 0..c as usize {
+                let j = rng.gen_range(i..pool.len());
+                pool.swap(i, j);
+            }
+            let alts: Vec<reqsched_model::ResourceId> =
+                pool[..c as usize].iter().map(|&r| r.into()).collect();
+            b.push_full(
+                Round(t),
+                Alternatives::new(&alts),
+                d,
+                0,
+                Hint::default(),
+            );
+        }
+    }
+    Instance::new(n, d, b.build())
+}
+
+/// Two-choice arrivals with per-request deadlines drawn uniformly from
+/// `1..=d_max` (the paper notes its EDF observations and the general model
+/// tolerate heterogeneous deadlines).
+pub fn mixed_deadlines(
+    n: u32,
+    d_max: u32,
+    per_round: u32,
+    rounds: u64,
+    seed: u64,
+) -> Instance {
+    assert!(n >= 2 && d_max >= 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = TraceBuilder::new(d_max);
+    for t in 0..rounds {
+        for _ in 0..per_round {
+            let (x, y) = two_distinct(&mut rng, n);
+            let dl = rng.gen_range(1..=d_max);
+            b.push_full(
+                Round(t),
+                Alternatives::two(x.into(), y.into()),
+                dl,
+                dl,
+                Hint::default(),
+            );
+        }
+    }
+    Instance::new(n, d_max, b.build())
+}
+
+/// Single-alternative uniform arrivals (Observation 3.1's setting).
+pub fn single_alternative(
+    n: u32,
+    d: u32,
+    per_round: u32,
+    rounds: u64,
+    seed: u64,
+) -> Instance {
+    assert!(n >= 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = TraceBuilder::new(d);
+    for t in 0..rounds {
+        for _ in 0..per_round {
+            let only = rng.gen_range(0..n);
+            b.push_single(Round(t), only);
+        }
+    }
+    Instance::new(n, d, b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_reproducible_and_valid() {
+        let a = uniform_two_choice(8, 3, 5, 20, 42);
+        let b = uniform_two_choice(8, 3, 5, 20, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.total_requests(), 100);
+        let c = uniform_two_choice(8, 3, 5, 20, 43);
+        assert_ne!(a, c, "different seeds give different traces");
+        for r in a.trace.requests() {
+            let alts = r.alternatives.as_slice();
+            assert_eq!(alts.len(), 2);
+            assert_ne!(alts[0], alts[1]);
+            assert!(alts.iter().all(|s| s.0 < 8));
+        }
+    }
+
+    #[test]
+    fn zipf_skews_towards_low_ranks() {
+        let inst = zipf_replicated(8, 2, 50, 1.2, 10, 100, 7);
+        assert_eq!(inst.total_requests(), 1000);
+        // Item 0 (rank 1) must be requested far more often than item 49.
+        let count = |item: u32| {
+            inst.trace
+                .requests()
+                .iter()
+                .filter(|r| r.tag == item)
+                .count()
+        };
+        assert!(count(0) > 5 * count(49).max(1), "{} vs {}", count(0), count(49));
+        // All requests of one item share the same pair.
+        let first: Vec<_> = inst
+            .trace
+            .requests()
+            .iter()
+            .filter(|r| r.tag == 0)
+            .map(|r| r.alternatives.clone())
+            .collect();
+        assert!(first.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform_ish() {
+        let inst = zipf_replicated(4, 2, 10, 0.0, 20, 50, 3);
+        let counts: Vec<usize> = (0..10)
+            .map(|i| {
+                inst.trace
+                    .requests()
+                    .iter()
+                    .filter(|r| r.tag == i)
+                    .count()
+            })
+            .collect();
+        let (min, max) = (
+            counts.iter().min().copied().unwrap(),
+            counts.iter().max().copied().unwrap(),
+        );
+        assert!(max < 3 * min.max(1), "α=0 should be roughly even: {counts:?}");
+    }
+
+    #[test]
+    fn flash_crowd_bursts_on_hot_pair() {
+        let inst = flash_crowd(6, 2, 2, 10, 5, 3, 15, 9);
+        let burst: Vec<_> = inst
+            .trace
+            .requests()
+            .iter()
+            .filter(|r| r.tag == 1)
+            .collect();
+        assert_eq!(burst.len(), 30);
+        for r in &burst {
+            assert!(r.arrival.get() >= 5 && r.arrival.get() < 8);
+            assert!(r.alternatives.contains(0u32.into()));
+            assert!(r.alternatives.contains(1u32.into()));
+        }
+        assert_eq!(inst.total_requests(), 2 * 15 + 30);
+    }
+
+    #[test]
+    fn c_choice_gives_distinct_alternatives() {
+        for c in [1u32, 2, 3, 4] {
+            let inst = c_choice(6, 3, c, 4, 10, 5);
+            assert_eq!(inst.total_requests(), 40);
+            for r in inst.trace.requests() {
+                assert_eq!(r.alternatives.len(), c as usize);
+                let mut alts: Vec<_> = r.alternatives.as_slice().to_vec();
+                alts.sort();
+                alts.dedup();
+                assert_eq!(alts.len(), c as usize, "alternatives must be distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn c_choice_is_reproducible() {
+        assert_eq!(c_choice(5, 2, 3, 3, 8, 9), c_choice(5, 2, 3, 3, 8, 9));
+    }
+
+    #[test]
+    fn mixed_deadlines_stay_within_dmax() {
+        let inst = mixed_deadlines(5, 4, 6, 15, 13);
+        assert_eq!(inst.total_requests(), 90);
+        let mut seen = std::collections::HashSet::new();
+        for r in inst.trace.requests() {
+            assert!(r.deadline >= 1 && r.deadline <= 4);
+            assert_eq!(r.tag, r.deadline);
+            seen.insert(r.deadline);
+        }
+        assert!(seen.len() >= 3, "deadlines should actually vary: {seen:?}");
+    }
+
+    #[test]
+    fn single_alternative_requests_have_one_choice() {
+        let inst = single_alternative(5, 4, 3, 10, 11);
+        assert_eq!(inst.total_requests(), 30);
+        for r in inst.trace.requests() {
+            assert_eq!(r.alternatives.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Local versus global: what the restriction to a constant number of
+//! communication rounds costs.
+//!
+//! Runs `A_local_fix` (2 communication rounds), `A_local_eager` (≤ 9) and
+//! the global `A_balance` on the Theorem 3.7 trap and on random traffic,
+//! reporting served counts, ratios and communication expenditure.
+//!
+//! ```text
+//! cargo run --release --example local_vs_global
+//! ```
+
+use reqsched::adversary::thm37;
+use reqsched::core::{StrategyKind, TieBreak};
+use reqsched::model::Instance;
+use reqsched::sim::{run_fixed, AnyStrategy};
+use reqsched::workloads;
+
+fn report(label: &str, inst: &Instance) {
+    println!(
+        "\n== {label}: n={}, d={}, {} requests ==",
+        inst.n_resources,
+        inst.d,
+        inst.total_requests()
+    );
+    println!(
+        "{:<14} {:>7} {:>8} {:>12} {:>12}",
+        "strategy", "served", "ratio", "comm rounds", "messages"
+    );
+    for strat in [
+        AnyStrategy::LocalFix,
+        AnyStrategy::LocalEager,
+        AnyStrategy::Global(StrategyKind::ABalance, TieBreak::FirstFit),
+    ] {
+        let mut s = strat.build(inst.n_resources, inst.d);
+        let stats = run_fixed(s.as_mut(), inst);
+        println!(
+            "{:<14} {:>7} {:>8.4} {:>12} {:>12}",
+            stats.strategy,
+            stats.served,
+            stats.ratio(),
+            stats.comm_rounds,
+            stats.messages
+        );
+    }
+}
+
+fn main() {
+    let trap = thm37::scenario(6, 8);
+    report("Theorem 3.7 trap", &trap.instance);
+
+    let uniform = workloads::uniform_two_choice(10, 4, 14, 200, 5);
+    report("uniform two-choice", &uniform);
+
+    let crowd = workloads::flash_crowd(10, 4, 6, 24, 60, 30, 200, 6);
+    report("flash crowd", &crowd);
+
+    println!();
+    println!("A_local_fix pays ratio 2 on its trap with minimal messaging;");
+    println!("A_local_eager's rival-exchange recovers most of the gap at a");
+    println!("constant-factor communication cost; the global strategy shows");
+    println!("what unlimited information is worth.");
+}

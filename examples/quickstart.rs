@@ -1,0 +1,57 @@
+//! Quickstart: build a small workload, run two strategies, compare against
+//! the exact offline optimum.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use reqsched::core::{build_strategy, StrategyKind, TieBreak};
+use reqsched::model::{Instance, TraceBuilder};
+use reqsched::offline::optimal_count;
+use reqsched::sim::run_fixed;
+
+fn main() {
+    // A data server with 4 disks; every request must be served within
+    // d = 3 rounds and names the two disks holding its item's replicas.
+    let n = 4;
+    let d = 3;
+
+    // A hot item: 2d identical requests for the replica pair (S0, S1) —
+    // the paper's block(2, d) — plus background traffic on (S2, S3).
+    let mut b = TraceBuilder::new(d);
+    b.block2(0u64, 0u32, 1u32, 0);
+    b.push(0u64, 2u32, 3u32);
+    b.push(1u64, 2u32, 3u32);
+    let inst = Instance::new(n, d, b.build());
+
+    println!(
+        "instance: n = {}, d = {}, {} requests, OPT = {}",
+        inst.n_resources,
+        inst.d,
+        inst.total_requests(),
+        optimal_count(&inst)
+    );
+
+    for kind in [
+        StrategyKind::Edf {
+            cancel_sibling: false,
+        },
+        StrategyKind::ABalance,
+    ] {
+        let mut strategy = build_strategy(kind, n, d, TieBreak::FirstFit);
+        let stats = run_fixed(strategy.as_mut(), &inst);
+        println!(
+            "{:<10} served {:>2}/{:<2}  expired {}  ratio {:.3}",
+            stats.strategy,
+            stats.served,
+            stats.injected,
+            stats.expired,
+            stats.ratio()
+        );
+    }
+
+    println!();
+    println!("Independent-copy EDF burns one disk per round on a duplicate");
+    println!("copy of the hot item (Observation 3.2's factor 2); the");
+    println!("matching-based A_balance serves every request.");
+}

@@ -1,0 +1,57 @@
+//! # reqsched
+//!
+//! A complete, executable reproduction of **“Simple Competitive Request
+//! Scheduling Strategies”** (Petra Berenbrink, Marco Riedel, Christian
+//! Scheideler — SPAA 1999): online scheduling of real-time requests in
+//! distributed data servers, where every request names two alternative
+//! resources (the two replicas of its data item) and must be served within
+//! `d` rounds of arrival.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`model`] — requests, traces, instances, the `block(a,d)` primitive;
+//! * [`matching`] — the bipartite matching engine (Hopcroft–Karp, Kuhn
+//!   augmentation, lexicographic slot saturation, alternating-path
+//!   analysis);
+//! * [`core`] — the global strategies: EDF, `A_fix`, `A_current`,
+//!   `A_fix_balance`, `A_eager`, `A_balance`;
+//! * [`local`] — the distributed strategies `A_local_fix` (2 communication
+//!   rounds) and `A_local_eager` (≤ 9) over a faithful synchronous
+//!   message-passing substrate;
+//! * [`offline`] — exact offline optima (the competitive-ratio baseline);
+//! * [`adversary`] — one executable lower-bound construction per theorem;
+//! * [`workloads`] — randomized data-server workloads (two-choice arrivals,
+//!   Zipf replica popularity, flash crowds);
+//! * [`sim`] — the validating simulation driver and Rayon-parallel sweeps;
+//! * [`stats`] — aggregation and table/CSV rendering.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use reqsched::model::{Instance, TraceBuilder};
+//! use reqsched::core::{build_strategy, StrategyKind, TieBreak};
+//! use reqsched::sim::run_fixed;
+//!
+//! // Four requests, two resources, deadline 2.
+//! let mut b = TraceBuilder::new(2);
+//! for _ in 0..4 {
+//!     b.push(0u64, 0u32, 1u32);
+//! }
+//! let inst = Instance::new(2, 2, b.build());
+//!
+//! let mut strategy = build_strategy(StrategyKind::ABalance, 2, 2, TieBreak::FirstFit);
+//! let stats = run_fixed(strategy.as_mut(), &inst);
+//! assert_eq!(stats.served, 4);
+//! assert_eq!(stats.opt, 4);
+//! assert!((stats.ratio() - 1.0).abs() < 1e-9);
+//! ```
+
+pub use reqsched_adversary as adversary;
+pub use reqsched_core as core;
+pub use reqsched_local as local;
+pub use reqsched_matching as matching;
+pub use reqsched_model as model;
+pub use reqsched_offline as offline;
+pub use reqsched_sim as sim;
+pub use reqsched_stats as stats;
+pub use reqsched_workloads as workloads;

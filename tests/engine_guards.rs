@@ -1,0 +1,159 @@
+//! The simulation engine is the model's referee: it must reject physically
+//! impossible behaviour from (buggy) strategies rather than mis-account it.
+
+use reqsched::core::{OnlineScheduler, Service};
+use reqsched::model::{Instance, Request, RequestId, ResourceId, Round, TraceBuilder};
+use reqsched::sim::run_fixed;
+
+/// A strategy that misbehaves in a configurable way.
+struct Rogue {
+    mode: RogueMode,
+    seen: Vec<Request>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum RogueMode {
+    DoubleServeResource,
+    ServeUnknownRequest,
+    ServeTwice,
+    WrongResource,
+    ServeExpired,
+}
+
+impl OnlineScheduler for Rogue {
+    fn name(&self) -> &str {
+        "rogue"
+    }
+    fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
+        self.seen.extend(arrivals.iter().cloned());
+        match self.mode {
+            RogueMode::DoubleServeResource => {
+                if self.seen.len() >= 2 && round.get() == 0 {
+                    vec![
+                        Service {
+                            resource: ResourceId(0),
+                            request: self.seen[0].id,
+                        },
+                        Service {
+                            resource: ResourceId(0),
+                            request: self.seen[1].id,
+                        },
+                    ]
+                } else {
+                    vec![]
+                }
+            }
+            RogueMode::ServeUnknownRequest => vec![Service {
+                resource: ResourceId(0),
+                request: RequestId(999),
+            }],
+            RogueMode::ServeTwice => {
+                // Serve the same request in rounds 0 and 1.
+                if round.get() <= 1 && !self.seen.is_empty() {
+                    vec![Service {
+                        resource: ResourceId(0),
+                        request: self.seen[0].id,
+                    }]
+                } else {
+                    vec![]
+                }
+            }
+            RogueMode::WrongResource => {
+                if !self.seen.is_empty() && round.get() == 0 {
+                    vec![Service {
+                        resource: ResourceId(3), // not an alternative
+                        request: self.seen[0].id,
+                    }]
+                } else {
+                    vec![]
+                }
+            }
+            RogueMode::ServeExpired => {
+                // Serve the deadline-1 request one round after it expired
+                // (the deadline-2 request keeps the simulation alive).
+                if round.get() == 1 && !self.seen.is_empty() {
+                    vec![Service {
+                        resource: ResourceId(0),
+                        request: self.seen[0].id,
+                    }]
+                } else {
+                    vec![]
+                }
+            }
+        }
+    }
+}
+
+fn inst() -> Instance {
+    let mut b = TraceBuilder::new(2);
+    // First request has deadline 1 (expires after round 0); the second has
+    // deadline 2 and keeps the simulation alive through round 1.
+    b.push_full(
+        Round(0),
+        reqsched::model::Alternatives::two(ResourceId(0), ResourceId(1)),
+        1,
+        0,
+        Default::default(),
+    );
+    b.push(0u64, 0u32, 1u32);
+    Instance::new(4, 2, b.build())
+}
+
+fn run_rogue(mode: RogueMode) {
+    let instance = inst();
+    let mut rogue = Rogue {
+        mode,
+        seen: Vec::new(),
+    };
+    let _ = run_fixed(&mut rogue, &instance);
+}
+
+#[test]
+#[should_panic(expected = "used twice")]
+fn engine_rejects_double_resource_use() {
+    run_rogue(RogueMode::DoubleServeResource);
+}
+
+#[test]
+#[should_panic(expected = "not pending")]
+fn engine_rejects_unknown_request() {
+    run_rogue(RogueMode::ServeUnknownRequest);
+}
+
+#[test]
+#[should_panic(expected = "not pending")]
+fn engine_rejects_double_service() {
+    run_rogue(RogueMode::ServeTwice);
+}
+
+#[test]
+#[should_panic(expected = "infeasible service")]
+fn engine_rejects_wrong_resource() {
+    run_rogue(RogueMode::WrongResource);
+}
+
+#[test]
+#[should_panic(expected = "not pending")]
+fn engine_rejects_expired_service() {
+    // Expired requests are dropped from the pending table, so the late
+    // service surfaces as "not pending".
+    run_rogue(RogueMode::ServeExpired);
+}
+
+#[test]
+fn honest_idle_strategy_is_accepted() {
+    struct Idle;
+    impl OnlineScheduler for Idle {
+        fn name(&self) -> &str {
+            "idle"
+        }
+        fn on_round(&mut self, _round: Round, _arrivals: &[Request]) -> Vec<Service> {
+            vec![]
+        }
+    }
+    let instance = inst();
+    let stats = run_fixed(&mut Idle, &instance);
+    assert_eq!(stats.served, 0);
+    assert_eq!(stats.expired, 2);
+    assert!(stats.ratio().is_infinite());
+}

@@ -1,0 +1,121 @@
+//! End-to-end reproduction of the local-strategy results (§3.2):
+//! Theorem 3.7 (`A_local_fix` is exactly 2-competitive in 2 communication
+//! rounds) and Theorem 3.8 (`A_local_eager` is ≤ 5/3-competitive in ≤ 9).
+
+use reqsched::adversary::{thm21, thm24, thm37};
+use reqsched::model::{Instance, Round};
+use reqsched::sim::{run_fixed, AnyStrategy};
+use reqsched::workloads;
+
+#[test]
+fn thm37_local_fix_is_exactly_two_competitive() {
+    for d in [2u32, 4, 6] {
+        let s = thm37::scenario(d, 8);
+        let mut a = AnyStrategy::LocalFix.build(4, d);
+        let stats = run_fixed(a.as_mut(), &s.instance);
+        assert_eq!(stats.opt, s.opt_hint.unwrap());
+        assert_eq!(
+            stats.served,
+            s.expected_alg.unwrap(),
+            "d={d}: A_local_fix must serve exactly 2d per interval"
+        );
+        assert!((stats.ratio() - 2.0).abs() < 1e-9, "d={d}");
+    }
+}
+
+#[test]
+fn local_fix_uses_at_most_two_comm_rounds_per_round() {
+    let inst = workloads::uniform_two_choice(6, 3, 8, 40, 7);
+    let mut a = AnyStrategy::LocalFix.build(6, 3);
+    let mut last = 0u64;
+    for t in 0..inst.horizon().get() {
+        a.on_round(Round(t), inst.trace.arrivals_at(Round(t)));
+        assert!(a.comm_rounds_total() - last <= 2, "round {t}");
+        last = a.comm_rounds_total();
+    }
+}
+
+#[test]
+fn local_eager_stays_within_nine_comm_rounds() {
+    for (label, inst) in [
+        (
+            "thm3.7",
+            thm37::scenario(4, 6).instance,
+        ),
+        (
+            "uniform",
+            workloads::uniform_two_choice(6, 4, 10, 40, 11),
+        ),
+        (
+            "flash",
+            workloads::flash_crowd(6, 4, 3, 14, 8, 6, 40, 12),
+        ),
+    ] {
+        let mut a = AnyStrategy::LocalEager.build(inst.n_resources, inst.d);
+        let mut last = 0u64;
+        for t in 0..inst.horizon().get() {
+            a.on_round(Round(t), inst.trace.arrivals_at(Round(t)));
+            let used = a.comm_rounds_total() - last;
+            assert!(used <= 9, "{label}: round {t} used {used} comm rounds");
+            last = a.comm_rounds_total();
+        }
+    }
+}
+
+#[test]
+fn local_eager_beats_local_fix_on_its_killer() {
+    for d in [2u32, 4, 8] {
+        let s = thm37::scenario(d, 6);
+        let mut fix = AnyStrategy::LocalFix.build(4, d);
+        let fix_stats = run_fixed(fix.as_mut(), &s.instance);
+        let mut eager = AnyStrategy::LocalEager.build(4, d);
+        let eager_stats = run_fixed(eager.as_mut(), &s.instance);
+        assert!(
+            eager_stats.served > fix_stats.served,
+            "d={d}: eager {} vs fix {}",
+            eager_stats.served,
+            fix_stats.served
+        );
+        assert!(
+            eager_stats.ratio() <= 5.0 / 3.0 + 1e-9,
+            "d={d}: eager ratio {}",
+            eager_stats.ratio()
+        );
+    }
+}
+
+#[test]
+fn local_eager_five_thirds_holds_on_global_adversaries() {
+    for inst in [
+        thm21::scenario(4, 8).instance,
+        thm24::scenario(4, 8).instance,
+    ] {
+        let mut a = AnyStrategy::LocalEager.build(inst.n_resources, inst.d);
+        let stats = run_fixed(a.as_mut(), &inst);
+        assert!(
+            stats.ratio() <= 5.0 / 3.0 + 1e-9,
+            "ratio {} on {} requests",
+            stats.ratio(),
+            inst.total_requests()
+        );
+    }
+}
+
+#[test]
+fn local_hierarchy_on_random_load() {
+    // On an overloaded random workload the hierarchy local_fix ≤ local_eager
+    // ≤ global A_balance should hold in served counts (ties allowed).
+    let inst: Instance = workloads::uniform_two_choice(5, 3, 9, 60, 21);
+    let serve = |s: AnyStrategy| {
+        let mut a = s.build(inst.n_resources, inst.d);
+        run_fixed(a.as_mut(), &inst).served
+    };
+    let fix = serve(AnyStrategy::LocalFix);
+    let eager = serve(AnyStrategy::LocalEager);
+    let global = serve(AnyStrategy::Global(
+        reqsched::core::StrategyKind::ABalance,
+        reqsched::core::TieBreak::FirstFit,
+    ));
+    assert!(fix <= eager, "fix {fix} > eager {eager}");
+    assert!(eager <= global, "eager {eager} > global {global}");
+}

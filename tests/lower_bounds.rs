@@ -1,0 +1,172 @@
+//! End-to-end reproduction of the paper's lower-bound theorems: replay each
+//! adversarial construction against the hint-guided (pessimal) member of the
+//! targeted strategy and compare the measured competitive ratio to the
+//! paper's bound.
+
+use reqsched::adversary::{edf_worst, thm21, thm22, thm23, thm24, thm25};
+use reqsched::core::{build_strategy, StrategyKind, TieBreak};
+use reqsched::sim::run_fixed;
+
+fn measure(kind: StrategyKind, scenario: &reqsched::adversary::Scenario) -> reqsched::sim::RunStats {
+    let inst = &scenario.instance;
+    let mut s = build_strategy(kind, inst.n_resources, inst.d, TieBreak::HintGuided);
+    run_fixed(s.as_mut(), inst)
+}
+
+#[test]
+fn thm21_afix_hits_2_minus_1_over_d() {
+    for d in [2u32, 3, 4, 8] {
+        let s = thm21::scenario(d, 12);
+        let stats = measure(StrategyKind::AFix, &s);
+        assert_eq!(stats.opt, s.opt_hint.unwrap(), "d={d}");
+        assert_eq!(
+            stats.served,
+            s.expected_alg.unwrap(),
+            "d={d}: trapped A_fix must serve exactly the closed form"
+        );
+        let predicted = s.closed_form_ratio().unwrap();
+        assert!(
+            (stats.ratio() - predicted).abs() < 1e-9,
+            "d={d}: measured {} vs {predicted}",
+            stats.ratio()
+        );
+        // With 12 phases the measured ratio is within 5% of 2 - 1/d.
+        assert!((stats.ratio() - s.predicted_ratio).abs() / s.predicted_ratio < 0.05);
+    }
+}
+
+#[test]
+fn thm22_acurrent_approaches_e_over_e_minus_1() {
+    // Ratio grows towards e/(e-1) ≈ 1.582 with l.
+    let mut last = 1.0;
+    for l in [3u32, 4, 5, 6] {
+        let s = thm22::scenario(l, 1, 2);
+        let stats = measure(StrategyKind::ACurrent, &s);
+        let r = stats.ratio();
+        assert_eq!(stats.opt, s.opt_hint.unwrap());
+        assert!(
+            r > last - 0.02,
+            "l={l}: ratio {r} should not drop (last {last})"
+        );
+        assert!(r < 1.60, "l={l}: ratio {r} exceeds the limit bound");
+        last = r;
+    }
+    // At l = 6 the harmonic structure should already exceed 1.4.
+    assert!(last > 1.40, "l=6 ratio only {last}");
+}
+
+#[test]
+fn thm23_afix_balance_hits_3d_over_2d_plus_2() {
+    for d in [4u32, 6, 10] {
+        let s = thm23::scenario(d, 12);
+        let stats = measure(StrategyKind::AFixBalance, &s);
+        assert_eq!(stats.opt, s.opt_hint.unwrap(), "d={d}");
+        assert_eq!(
+            stats.served,
+            s.expected_alg.unwrap(),
+            "d={d}: A_fix_balance must serve exactly the closed form"
+        );
+        assert!(
+            (stats.ratio() - s.predicted_ratio).abs() / s.predicted_ratio < 0.05,
+            "d={d}: measured {} vs predicted {}",
+            stats.ratio(),
+            s.predicted_ratio
+        );
+    }
+}
+
+#[test]
+fn thm24_aeager_hits_4_thirds() {
+    for d in [2u32, 4, 6] {
+        let s = thm24::scenario(d, 12);
+        let stats = measure(StrategyKind::AEager, &s);
+        assert_eq!(stats.opt, s.opt_hint.unwrap(), "d={d}");
+        assert_eq!(stats.served, s.expected_alg.unwrap(), "d={d}");
+        assert!(
+            (stats.ratio() - 4.0 / 3.0).abs() < 0.03,
+            "d={d}: measured {}",
+            stats.ratio()
+        );
+    }
+}
+
+#[test]
+fn thm24_at_d2_traps_the_whole_family() {
+    let s = thm24::scenario(2, 20);
+    for kind in [
+        StrategyKind::ACurrent,
+        StrategyKind::AFixBalance,
+        StrategyKind::ABalance,
+        StrategyKind::AEager,
+    ] {
+        let stats = measure(kind, &s);
+        assert!(
+            stats.ratio() > 4.0 / 3.0 - 0.03,
+            "{}: measured {} < 4/3",
+            kind.name(),
+            stats.ratio()
+        );
+        // No strategy may exceed its proven upper bound at d = 2 (all 4/3
+        // except A_fix's 1.5).
+        let ub = kind.upper_bound(2).unwrap();
+        assert!(
+            stats.ratio() <= ub + 1e-9,
+            "{}: measured {} above UB {}",
+            kind.name(),
+            stats.ratio(),
+            ub
+        );
+    }
+}
+
+#[test]
+fn thm25_abalance_hits_5d2_over_4d1() {
+    for x in [2u32, 3] {
+        let s = thm25::scenario(x, 6, 8);
+        let stats = measure(StrategyKind::ABalance, &s);
+        assert_eq!(stats.opt, s.opt_hint.unwrap(), "x={x}");
+        assert_eq!(
+            stats.served,
+            s.expected_alg.unwrap(),
+            "x={x}: A_balance must serve exactly the closed form"
+        );
+        // The measured ratio is diluted by maintenance traffic; compare to
+        // the closed form rather than the asymptotic bound, but check the
+        // asymptotic bound is approached from below within 10%.
+        let cf = s.closed_form_ratio().unwrap();
+        assert!((stats.ratio() - cf).abs() < 1e-9, "x={x}");
+        assert!(
+            s.predicted_ratio - cf < 0.12,
+            "x={x}: dilution too strong ({cf} vs {})",
+            s.predicted_ratio
+        );
+    }
+}
+
+#[test]
+fn edf_worst_case_is_exactly_two() {
+    let s = edf_worst::scenario(4, 6);
+    let mut edf = build_strategy(
+        StrategyKind::Edf {
+            cancel_sibling: false,
+        },
+        2,
+        4,
+        TieBreak::FirstFit,
+    );
+    let stats = run_fixed(edf.as_mut(), &s.instance);
+    assert_eq!(stats.served, s.expected_alg.unwrap());
+    assert!((stats.ratio() - 2.0).abs() < 1e-9);
+
+    // Ablation: sibling cancellation defuses this input entirely.
+    let mut cancel = build_strategy(
+        StrategyKind::Edf {
+            cancel_sibling: true,
+        },
+        2,
+        4,
+        TieBreak::FirstFit,
+    );
+    let stats = run_fixed(cancel.as_mut(), &s.instance);
+    assert!((stats.ratio() - 1.0).abs() < 1e-9);
+}

@@ -1,0 +1,67 @@
+//! Serde persistence of the public artifacts: instances (so experiments can
+//! be archived and replayed) and run records (so sweep results can be
+//! post-processed outside Rust).
+
+use reqsched::adversary::thm21;
+use reqsched::core::{StrategyKind, TieBreak};
+use reqsched::model::Instance;
+use reqsched::sim::{par_run, run_fixed, Job, RunStats};
+use std::sync::Arc;
+
+#[test]
+fn instance_roundtrips_through_json() {
+    let inst = thm21::scenario(4, 3).instance;
+    let json = serde_json::to_string(&inst).unwrap();
+    let back: Instance = serde_json::from_str(&json).unwrap();
+    assert_eq!(inst, back);
+    // And the replayed instance produces the same run.
+    let mut a = reqsched::core::build_strategy(
+        StrategyKind::AFix,
+        inst.n_resources,
+        inst.d,
+        TieBreak::HintGuided,
+    );
+    let mut b = reqsched::core::build_strategy(
+        StrategyKind::AFix,
+        back.n_resources,
+        back.d,
+        TieBreak::HintGuided,
+    );
+    assert_eq!(run_fixed(a.as_mut(), &inst), run_fixed(b.as_mut(), &back));
+}
+
+#[test]
+fn run_stats_roundtrip_preserves_everything() {
+    let inst = reqsched::workloads::uniform_two_choice(4, 2, 5, 15, 3);
+    let mut s = reqsched::core::build_strategy(
+        StrategyKind::ABalance,
+        4,
+        2,
+        TieBreak::FirstFit,
+    );
+    let stats = run_fixed(s.as_mut(), &inst);
+    let json = serde_json::to_string(&stats).unwrap();
+    let back: RunStats = serde_json::from_str(&json).unwrap();
+    assert_eq!(stats, back);
+    assert_eq!(stats.ratio(), back.ratio());
+}
+
+#[test]
+fn sweep_records_serialize_as_json_lines() {
+    let inst = Arc::new(reqsched::workloads::uniform_two_choice(4, 2, 5, 10, 9));
+    let jobs: Vec<Job> = StrategyKind::GLOBAL
+        .iter()
+        .map(|&k| Job::new(k.name(), Arc::clone(&inst), k, TieBreak::FirstFit))
+        .collect();
+    let records = par_run(&jobs);
+    let jsonl: Vec<String> = records
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap())
+        .collect();
+    assert_eq!(jsonl.len(), 5);
+    for (line, rec) in jsonl.iter().zip(&records) {
+        let v: serde_json::Value = serde_json::from_str(line).unwrap();
+        assert_eq!(v["label"], rec.label.as_str());
+        assert_eq!(v["stats"]["served"], rec.stats.served);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based end-to-end invariants: on arbitrary random instances,
+//! every strategy obeys the model's accounting identities, never beats the
+//! exact optimum, and stays within its proven competitive bound.
+
+use proptest::prelude::*;
+use reqsched::core::{StrategyKind, TieBreak};
+use reqsched::model::Instance;
+use reqsched::sim::{run_fixed, AnyStrategy};
+use reqsched::workloads;
+
+fn random_instance() -> impl Strategy<Value = Instance> {
+    (2u32..7, 1u32..5, 1u32..8, 5u64..25, 0u64..1_000_000).prop_map(
+        |(n, d, per_round, rounds, seed)| {
+            workloads::uniform_two_choice(n, d, per_round, rounds, seed)
+        },
+    )
+}
+
+fn all_strategies() -> Vec<AnyStrategy> {
+    let mut v: Vec<AnyStrategy> = StrategyKind::GLOBAL
+        .iter()
+        .flat_map(|&k| {
+            [
+                AnyStrategy::Global(k, TieBreak::FirstFit),
+                AnyStrategy::Global(k, TieBreak::HintGuided),
+                AnyStrategy::Global(k, TieBreak::Random(3)),
+            ]
+        })
+        .collect();
+    v.push(AnyStrategy::Global(
+        StrategyKind::Edf {
+            cancel_sibling: false,
+        },
+        TieBreak::FirstFit,
+    ));
+    v.push(AnyStrategy::Global(
+        StrategyKind::Edf {
+            cancel_sibling: true,
+        },
+        TieBreak::FirstFit,
+    ));
+    v.push(AnyStrategy::LocalFix);
+    v.push(AnyStrategy::LocalEager);
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn accounting_identities_hold(inst in random_instance()) {
+        for strat in all_strategies() {
+            let mut s = strat.build(inst.n_resources, inst.d);
+            let stats = run_fixed(s.as_mut(), &inst);
+            prop_assert_eq!(stats.injected, inst.total_requests());
+            prop_assert_eq!(
+                stats.served + stats.expired,
+                stats.injected,
+                "{}: served+expired != injected", strat.name()
+            );
+            prop_assert!(stats.served <= stats.opt,
+                "{}: beat the optimum?!", strat.name());
+            prop_assert_eq!(
+                stats.per_round_served.iter().map(|&x| x as usize).sum::<usize>(),
+                stats.served
+            );
+            prop_assert_eq!(
+                stats.assignment.iter().filter(|a| a.is_some()).count(),
+                stats.served
+            );
+            if let Some(ub) = strat.upper_bound(inst.d) {
+                prop_assert!(
+                    stats.ratio() <= ub + 1e-9,
+                    "{}: ratio {} > bound {}", strat.name(), stats.ratio(), ub
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_of_every_strategy(inst in random_instance()) {
+        for strat in all_strategies() {
+            let mut s1 = strat.build(inst.n_resources, inst.d);
+            let a = run_fixed(s1.as_mut(), &inst);
+            let mut s2 = strat.build(inst.n_resources, inst.d);
+            let b = run_fixed(s2.as_mut(), &inst);
+            prop_assert_eq!(a, b, "{} must be deterministic", strat.name());
+        }
+    }
+
+    #[test]
+    fn rescheduling_strategies_dominate_afix(inst in random_instance()) {
+        // A_eager computes a maximum matching of G_t each round; on any
+        // input it serves at least as much as the maximal-only A_fix under
+        // the same tie-break... not a theorem pointwise, but the optimum
+        // never does worse, and no strategy may serve more than OPT.
+        let mut afix = AnyStrategy::Global(StrategyKind::AFix, TieBreak::FirstFit)
+            .build(inst.n_resources, inst.d);
+        let fix_stats = run_fixed(afix.as_mut(), &inst);
+        // A maximal matching is a 2-approximation of the maximum:
+        prop_assert!(2 * fix_stats.served >= fix_stats.opt);
+    }
+
+    #[test]
+    fn zipf_and_flash_crowd_also_validate(
+        seed in 0u64..100_000,
+        d in 1u32..5,
+    ) {
+        let insts = [
+            workloads::zipf_replicated(6, d, 20, 1.0, 6, 20, seed),
+            workloads::flash_crowd(6, d, 2, 8, 5, 5, 20, seed),
+        ];
+        for inst in insts {
+            for strat in [
+                AnyStrategy::Global(StrategyKind::ABalance, TieBreak::FirstFit),
+                AnyStrategy::LocalEager,
+            ] {
+                let mut s = strat.build(inst.n_resources, inst.d);
+                let stats = run_fixed(s.as_mut(), &inst);
+                prop_assert!(stats.served <= stats.opt);
+                let ub = strat.upper_bound(inst.d).unwrap();
+                prop_assert!(stats.ratio() <= ub + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! The paper's structural lemmas about augmenting paths — the machinery of
+//! every upper-bound proof — verified on the implementations.
+//!
+//! For a strategy's final schedule `M_alg` and the exact optimum `M_opt` on
+//! the same horizon graph, the components of `M_alg ⊕ M_opt` are alternating
+//! paths/cycles, and the *order* of an augmenting path is its number of
+//! request vertices (paper §1.2):
+//!
+//! * maximal-matching strategies (`A_fix` family, `A_local_fix`) leave no
+//!   augmenting path of order 1 (Theorems 3.3/3.4/3.7);
+//! * `A_eager`/`A_balance` leave none of order ≤ 2 (Theorems 3.5/3.6);
+//! * the number of augmenting paths equals `OPT − ALG` (matching theory).
+
+use reqsched::matching::symmetric_difference;
+use reqsched::model::Instance;
+use reqsched::offline::{
+    optimal_schedule, solution_matching, OfflineSolution,
+};
+use reqsched::sim::{run_fixed, AnyStrategy, RunStats};
+use reqsched::core::{StrategyKind, TieBreak};
+use reqsched::workloads;
+use reqsched::adversary::{thm21, thm23, thm24, thm37};
+
+fn alg_matching(inst: &Instance, stats: &RunStats) -> reqsched::matching::Matching {
+    let sol = OfflineSolution {
+        assignment: stats
+            .assignment
+            .iter()
+            .map(|a| a.map(|(res, round)| (res.into(), round.into())))
+            .collect(),
+    };
+    sol.check(inst).expect("algorithm schedule must be feasible");
+    solution_matching(inst, &sol)
+}
+
+fn min_aug_order(inst: &Instance, strat: AnyStrategy) -> (Option<usize>, usize, usize) {
+    let mut s = strat.build(inst.n_resources, inst.d);
+    let stats = run_fixed(s.as_mut(), inst);
+    let m_alg = alg_matching(inst, &stats);
+    let m_opt = solution_matching(inst, &optimal_schedule(inst));
+    let report = symmetric_difference(&m_alg, &m_opt);
+    assert_eq!(
+        report.n_augmenting(),
+        stats.opt - stats.served,
+        "{}: augmenting paths must equal the cardinality gap",
+        strat.name()
+    );
+    (report.min_order(), stats.served, stats.opt)
+}
+
+fn battery() -> Vec<Instance> {
+    vec![
+        thm21::scenario(4, 4).instance,
+        thm23::scenario(4, 4).instance,
+        thm24::scenario(4, 4).instance,
+        thm37::scenario(3, 4).instance,
+        workloads::uniform_two_choice(5, 3, 8, 40, 5),
+        workloads::flash_crowd(6, 4, 3, 10, 8, 6, 40, 6),
+        workloads::zipf_replicated(6, 3, 30, 1.3, 8, 40, 7),
+    ]
+}
+
+#[test]
+fn maximal_family_leaves_no_order_one_paths() {
+    for inst in battery() {
+        for strat in [
+            AnyStrategy::Global(StrategyKind::AFix, TieBreak::HintGuided),
+            AnyStrategy::Global(StrategyKind::AFix, TieBreak::FirstFit),
+            AnyStrategy::Global(StrategyKind::AFixBalance, TieBreak::FirstFit),
+            AnyStrategy::Global(StrategyKind::ACurrent, TieBreak::FirstFit),
+            AnyStrategy::LocalFix,
+        ] {
+            let (min, served, opt) = min_aug_order(&inst, strat);
+            if let Some(min) = min {
+                assert!(
+                    min >= 2,
+                    "{}: augmenting path of order {min} ({served}/{opt})",
+                    strat.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn eager_family_leaves_no_order_two_paths() {
+    for inst in battery() {
+        for strat in [
+            AnyStrategy::Global(StrategyKind::AEager, TieBreak::FirstFit),
+            AnyStrategy::Global(StrategyKind::AEager, TieBreak::HintGuided),
+            AnyStrategy::Global(StrategyKind::ABalance, TieBreak::FirstFit),
+            AnyStrategy::Global(StrategyKind::ABalance, TieBreak::HintGuided),
+        ] {
+            let (min, served, opt) = min_aug_order(&inst, strat);
+            if let Some(min) = min {
+                assert!(
+                    min >= 3,
+                    "{}: augmenting path of order {min} ({served}/{opt})",
+                    strat.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn optimal_schedule_has_no_augmenting_paths_against_itself() {
+    let inst = workloads::uniform_two_choice(4, 2, 6, 20, 9);
+    let opt = solution_matching(&inst, &optimal_schedule(&inst));
+    let report = symmetric_difference(&opt, &opt);
+    assert_eq!(report.n_augmenting(), 0);
+    assert!(report.components.is_empty());
+}
+
+#[test]
+fn cardinality_gap_identity_under_overload() {
+    // Heavy overload: gaps are large; the identity must still hold exactly
+    // (it is asserted inside min_aug_order).
+    let inst = workloads::uniform_two_choice(3, 2, 12, 30, 13);
+    for strat in [
+        AnyStrategy::Global(StrategyKind::AFix, TieBreak::FirstFit),
+        AnyStrategy::Global(StrategyKind::ABalance, TieBreak::FirstFit),
+        AnyStrategy::LocalEager,
+    ] {
+        let (_, served, opt) = min_aug_order(&inst, strat);
+        assert!(served <= opt);
+        assert!(served * 2 >= opt, "even A_fix is 2-competitive here");
+    }
+}

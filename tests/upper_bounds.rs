@@ -1,0 +1,138 @@
+//! Validation of the paper's upper bounds (Theorems 3.3–3.6, Observations
+//! 3.1/3.2): on every input we can throw at them — the adversarial traces
+//! built for *other* strategies, random two-choice arrivals, Zipf-skewed
+//! replica traffic, flash crowds — no strategy's measured competitive ratio
+//! may exceed its proven bound.
+
+use reqsched::adversary::{thm21, thm23, thm24, thm37};
+use reqsched::core::{StrategyKind, TieBreak};
+use reqsched::model::Instance;
+use reqsched::sim::{par_run, AnyStrategy, Job};
+use reqsched::workloads;
+use std::sync::Arc;
+
+fn battery(d: u32, seed: u64) -> Vec<(String, Arc<Instance>)> {
+    let mut out: Vec<(String, Arc<Instance>)> = Vec::new();
+    if d >= 2 && d.is_multiple_of(2) {
+        out.push(("thm2.1".into(), Arc::new(thm21::scenario(d, 6).instance)));
+        out.push(("thm2.3".into(), Arc::new(thm23::scenario(d, 6).instance)));
+        out.push(("thm2.4".into(), Arc::new(thm24::scenario(d, 6).instance)));
+    }
+    out.push(("thm3.7".into(), Arc::new(thm37::scenario(d, 4).instance)));
+    out.push((
+        "uniform".into(),
+        Arc::new(workloads::uniform_two_choice(6, d, 7, 60, seed)),
+    ));
+    out.push((
+        "zipf".into(),
+        Arc::new(workloads::zipf_replicated(8, d, 40, 1.1, 9, 60, seed + 1)),
+    ));
+    out.push((
+        "flash".into(),
+        Arc::new(workloads::flash_crowd(6, d, 3, 12, 10, 8, 50, seed + 2)),
+    ));
+    out
+}
+
+#[test]
+fn no_global_strategy_exceeds_its_upper_bound() {
+    let mut jobs = Vec::new();
+    for d in [2u32, 3, 4, 6] {
+        for (name, inst) in battery(d, 42 + d as u64) {
+            for kind in StrategyKind::GLOBAL {
+                for tie in [
+                    TieBreak::FirstFit,
+                    TieBreak::HintGuided,
+                    TieBreak::Random(7),
+                ] {
+                    jobs.push(Job::new(
+                        format!("{name} d={d} {} {}", kind.name(), tie.label()),
+                        Arc::clone(&inst),
+                        kind,
+                        tie,
+                    ));
+                }
+            }
+        }
+    }
+    let records = par_run(&jobs);
+    for (job, rec) in jobs.iter().zip(&records) {
+        let AnyStrategy::Global(kind, _) = job.strategy else {
+            unreachable!()
+        };
+        let ub = kind.upper_bound(job.instance.d).unwrap();
+        assert!(
+            rec.ratio <= ub + 1e-9,
+            "{}: measured ratio {} exceeds proven upper bound {}",
+            job.label,
+            rec.ratio,
+            ub
+        );
+    }
+}
+
+#[test]
+fn local_strategies_respect_their_bounds() {
+    let mut jobs = Vec::new();
+    for d in [2u32, 4, 5] {
+        for (name, inst) in battery(d, 1234 + d as u64) {
+            for strat in [AnyStrategy::LocalFix, AnyStrategy::LocalEager] {
+                jobs.push(Job::any(
+                    format!("{name} d={d} {}", strat.name()),
+                    Arc::clone(&inst),
+                    strat,
+                ));
+            }
+        }
+    }
+    let records = par_run(&jobs);
+    for (job, rec) in jobs.iter().zip(&records) {
+        let ub = job.strategy.upper_bound(job.instance.d).unwrap();
+        assert!(
+            rec.ratio <= ub + 1e-9,
+            "{}: measured ratio {} exceeds proven upper bound {}",
+            job.label,
+            rec.ratio,
+            ub
+        );
+    }
+}
+
+#[test]
+fn edf_two_choice_never_worse_than_twice_opt() {
+    for d in [1u32, 3, 5] {
+        for (name, inst) in battery(d, 99 + d as u64) {
+            for cancel in [false, true] {
+                let mut s = reqsched::core::build_strategy(
+                    StrategyKind::Edf {
+                        cancel_sibling: cancel,
+                    },
+                    inst.n_resources,
+                    inst.d,
+                    TieBreak::FirstFit,
+                );
+                let stats = reqsched::sim::run_fixed(s.as_mut(), &inst);
+                assert!(
+                    stats.ratio() <= 2.0 + 1e-9,
+                    "{name} d={d} cancel={cancel}: ratio {}",
+                    stats.ratio()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn better_strategies_dominate_on_adversarial_inputs() {
+    // Table 1's qualitative ordering: on the A_fix killer, strategies that
+    // may reschedule strictly beat A_fix.
+    let inst = Arc::new(thm21::scenario(6, 10).instance);
+    let run = |kind: StrategyKind| {
+        par_run(&[Job::new("x", Arc::clone(&inst), kind, TieBreak::HintGuided)])[0].ratio
+    };
+    let afix = run(StrategyKind::AFix);
+    let aeager = run(StrategyKind::AEager);
+    let abalance = run(StrategyKind::ABalance);
+    assert!(aeager < afix, "A_eager {aeager} vs A_fix {afix}");
+    assert!(abalance < afix, "A_balance {abalance} vs A_fix {afix}");
+}

@@ -1,0 +1,229 @@
+//! Hot-path macro-benchmark: proves the zero-redundancy claims of the
+//! scheduling fast path and records them in `BENCH_PR1.json` at the
+//! workspace root.
+//!
+//! Three measurements:
+//!
+//! 1. **Horizon solves** — a Table-1-style sweep (every global strategy ×
+//!    two tie-breaks over the shared validation battery) run the old way
+//!    (one exact-OPT solve per job, via [`run_fixed`]) vs. through a shared
+//!    [`OptCache`]. The acceptance bar is ≥ 5× fewer Hopcroft–Karp horizon
+//!    solves; solves are counted exactly with
+//!    [`reqsched_offline::horizon_solve_count`].
+//! 2. **Time per round** — the full strategy round loop (`on_round` with
+//!    window build, Kuhn augmentation, saturation) on a sustained uniform
+//!    workload, measured per scheduling round.
+//! 3. **Steady-state allocations** — heap allocations per round in the same
+//!    loop after warm-up, counted by a global counting allocator. The
+//!    recycled scratch path should allocate (amortised) ~zero per round.
+//!
+//! Runs under `cargo bench -p reqsched-bench --bench hot_path`. Set
+//! `HOT_PATH_QUICK=1` for the smoke-test configuration (fewer deadlines,
+//! shorter workload).
+
+use criterion::black_box;
+use reqsched_bench::{validation_battery, TABLE1_DS};
+use reqsched_core::{StrategyKind, TieBreak};
+use reqsched_model::{Instance, Round};
+use reqsched_sim::{run_fixed, run_fixed_cached, Job, OptCache};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// System allocator wrapped with an allocation counter.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// The Table-1-style job grid: global strategies × ties × battery(d).
+fn sweep_jobs(ds: &[u32]) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for &kind in StrategyKind::GLOBAL.iter() {
+        for &d in ds {
+            for (name, inst) in validation_battery(d, 77) {
+                for tie in [TieBreak::FirstFit, TieBreak::HintGuided] {
+                    jobs.push(Job::new(
+                        format!("{}/{name}/d{d}/{}", kind.name(), tie.label()),
+                        std::sync::Arc::clone(&inst),
+                        kind,
+                        tie,
+                    ));
+                }
+            }
+        }
+    }
+    jobs
+}
+
+struct SweepResult {
+    jobs: usize,
+    solves_fresh: u64,
+    solves_cached: u64,
+    time_fresh_ms: f64,
+    time_cached_ms: f64,
+}
+
+/// Measurement 1: horizon solves and wall time, per-job OPT vs shared cache.
+fn measure_sweep(ds: &[u32]) -> SweepResult {
+    let jobs = sweep_jobs(ds);
+
+    let before = reqsched_offline::horizon_solve_count();
+    let t0 = Instant::now();
+    for job in &jobs {
+        let mut s = job.strategy.build(job.instance.n_resources, job.instance.d);
+        black_box(run_fixed(s.as_mut(), &job.instance));
+    }
+    let time_fresh_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let solves_fresh = reqsched_offline::horizon_solve_count() - before;
+
+    let cache = OptCache::new();
+    let before = reqsched_offline::horizon_solve_count();
+    let t0 = Instant::now();
+    for job in &jobs {
+        let mut s = job.strategy.build(job.instance.n_resources, job.instance.d);
+        black_box(run_fixed_cached(s.as_mut(), &job.instance, &cache));
+    }
+    let time_cached_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let solves_cached = reqsched_offline::horizon_solve_count() - before;
+    assert_eq!(
+        solves_cached,
+        cache.misses() as u64,
+        "every cached-path solve must be a cache miss"
+    );
+
+    SweepResult {
+        jobs: jobs.len(),
+        solves_fresh,
+        solves_cached,
+        time_fresh_ms,
+        time_cached_ms,
+    }
+}
+
+struct RoundLoop {
+    rounds: u64,
+    ns_per_round: f64,
+    allocs_per_round: f64,
+}
+
+/// Measurements 2 & 3: ns/round and steady-state allocations/round of the
+/// strategy round loop on a sustained workload.
+fn measure_round_loop(kind: StrategyKind, inst: &Instance, warmup: u64) -> RoundLoop {
+    let mut s = reqsched_core::build_strategy(kind, inst.n_resources, inst.d, TieBreak::HintGuided);
+    let horizon = inst.horizon().get();
+    assert!(horizon > warmup, "workload too short for warm-up");
+    for t in 0..warmup {
+        black_box(s.on_round(Round(t), inst.trace.arrivals_at(Round(t))));
+    }
+    let a0 = allocations();
+    let t0 = Instant::now();
+    for t in warmup..horizon {
+        black_box(s.on_round(Round(t), inst.trace.arrivals_at(Round(t))));
+    }
+    let elapsed = t0.elapsed();
+    let allocs = allocations() - a0;
+    let rounds = horizon - warmup;
+    RoundLoop {
+        rounds,
+        ns_per_round: elapsed.as_nanos() as f64 / rounds as f64,
+        allocs_per_round: allocs as f64 / rounds as f64,
+    }
+}
+
+fn main() {
+    let quick = std::env::var("HOT_PATH_QUICK").is_ok_and(|v| v == "1");
+    let ds: &[u32] = if quick { &TABLE1_DS[..2] } else { &TABLE1_DS };
+    let (rounds, rate) = if quick { (200u64, 6u32) } else { (2_000, 6) };
+
+    let sweep = measure_sweep(ds);
+    let solve_reduction = sweep.solves_fresh as f64 / sweep.solves_cached.max(1) as f64;
+    println!(
+        "sweep: {} jobs, {} -> {} horizon solves ({solve_reduction:.1}x fewer), {:.1} ms -> {:.1} ms",
+        sweep.jobs, sweep.solves_fresh, sweep.solves_cached, sweep.time_fresh_ms, sweep.time_cached_ms,
+    );
+    assert!(
+        solve_reduction >= 5.0,
+        "acceptance: expected >= 5x fewer horizon solves, got {solve_reduction:.1}x"
+    );
+
+    let inst = reqsched_workloads::uniform_two_choice(16, 8, rate, rounds, 2024);
+    let mut loops = Vec::new();
+    for kind in StrategyKind::GLOBAL {
+        let r = measure_round_loop(kind, &inst, rounds / 10);
+        println!(
+            "round loop {:<14} {:>9.0} ns/round  {:>7.3} allocs/round  ({} rounds)",
+            kind.name(),
+            r.ns_per_round,
+            r.allocs_per_round,
+            r.rounds,
+        );
+        loops.push((kind.name().to_string(), r));
+    }
+
+    // Hand-formatted JSON: the serde stack is not needed for a flat report.
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"hot_path\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"sweep\": {\n");
+    out.push_str(&format!("    \"jobs\": {},\n", sweep.jobs));
+    out.push_str(&format!(
+        "    \"horizon_solves_fresh\": {},\n",
+        sweep.solves_fresh
+    ));
+    out.push_str(&format!(
+        "    \"horizon_solves_cached\": {},\n",
+        sweep.solves_cached
+    ));
+    out.push_str(&format!(
+        "    \"solve_reduction\": {solve_reduction:.2},\n"
+    ));
+    out.push_str(&format!(
+        "    \"time_fresh_ms\": {:.2},\n",
+        sweep.time_fresh_ms
+    ));
+    out.push_str(&format!(
+        "    \"time_cached_ms\": {:.2}\n",
+        sweep.time_cached_ms
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"round_loop\": {\n");
+    out.push_str(&format!(
+        "    \"workload\": \"uniform_two_choice(n=16, d=8, rate={rate}, rounds={rounds})\",\n"
+    ));
+    out.push_str("    \"strategies\": {\n");
+    for (i, (name, r)) in loops.iter().enumerate() {
+        let sep = if i + 1 == loops.len() { "" } else { "," };
+        out.push_str(&format!(
+            "      \"{name}\": {{ \"ns_per_round\": {:.0}, \"allocs_per_round\": {:.3}, \"rounds\": {} }}{sep}\n",
+            r.ns_per_round, r.allocs_per_round, r.rounds,
+        ));
+    }
+    out.push_str("    }\n  }\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR1.json");
+    std::fs::write(path, out).expect("write BENCH_PR1.json");
+    println!("wrote {path}");
+}

@@ -11,15 +11,16 @@
 
 use crate::schedule::{ScheduleState, Service};
 use crate::tiebreak::TieBreak;
-use crate::window::WindowGraph;
+use crate::window::{WindowGraph, WindowScratch};
 use crate::OnlineScheduler;
-use reqsched_matching::kuhn_in_order;
-use reqsched_model::{Request, RequestId, Round};
+use reqsched_matching::kuhn_in_order_with;
+use reqsched_model::{Request, Round};
 
 /// The `A_current` strategy. See module docs.
 pub struct ACurrent {
     state: ScheduleState,
     tie: TieBreak,
+    scratch: WindowScratch,
 }
 
 impl ACurrent {
@@ -28,6 +29,7 @@ impl ACurrent {
         ACurrent {
             state: ScheduleState::new(n, d),
             tie,
+            scratch: WindowScratch::new(),
         }
     }
 
@@ -53,16 +55,25 @@ impl OnlineScheduler for ACurrent {
         // All live requests compete for the n current-round slots. No
         // assignments persist across rounds (matched requests are served
         // immediately), so the matching starts empty every round.
-        let lefts: Vec<RequestId> =
-            self.state.live_iter().map(|l| l.req.id).collect();
+        let mut lefts = self.scratch.take_lefts();
+        lefts.extend(self.state.live_iter().map(|l| l.req.id));
         if !lefts.is_empty() {
-            let (wg, mut m) =
-                WindowGraph::build(&self.state, lefts, 1, false, &self.tie);
+            let (wg, mut m) = WindowGraph::build_with(
+                &self.state,
+                lefts,
+                1,
+                false,
+                &self.tie,
+                &mut self.scratch,
+            );
             let order =
                 wg.left_order(&self.state, 0..wg.graph.n_left(), &self.tie);
-            kuhn_in_order(&wg.graph, &mut m, &order);
+            kuhn_in_order_with(&wg.graph, &mut m, &order, &mut self.scratch.ws);
             debug_assert!(m.is_maximum(&wg.graph));
             wg.apply(&mut self.state, &m);
+            self.scratch.recycle(wg, m);
+        } else {
+            self.scratch.return_lefts(lefts);
         }
         self.state.finish_round().served
     }

@@ -13,15 +13,16 @@
 
 use crate::schedule::{ScheduleState, Service};
 use crate::tiebreak::TieBreak;
-use crate::window::WindowGraph;
+use crate::window::{WindowGraph, WindowScratch};
 use crate::OnlineScheduler;
-use reqsched_matching::kuhn_in_order;
+use reqsched_matching::kuhn_in_order_with;
 use reqsched_model::{Request, RequestId, Round};
 
 /// The `A_fix` strategy. See module docs.
 pub struct AFix {
     state: ScheduleState,
     tie: TieBreak,
+    scratch: WindowScratch,
 }
 
 impl AFix {
@@ -30,6 +31,7 @@ impl AFix {
         AFix {
             state: ScheduleState::new(n, d),
             tie,
+            scratch: WindowScratch::new(),
         }
     }
 
@@ -52,23 +54,25 @@ impl OnlineScheduler for AFix {
         for req in arrivals {
             self.state.insert(req);
         }
-        let mut new_ids: Vec<RequestId> = arrivals.iter().map(|r| r.id).collect();
+        let mut new_ids = self.scratch.take_lefts();
+        new_ids.extend(arrivals.iter().map(|r| r.id));
         new_ids.sort_unstable();
 
         if !new_ids.is_empty() {
             // Maximum matching of the new requests into the free slots, in
             // tie-break order; old assignments are untouchable (their slots
             // are simply absent from the graph).
-            let (wg, mut m) = WindowGraph::build(
+            let (wg, mut m) = WindowGraph::build_with(
                 &self.state,
-                new_ids.clone(),
+                new_ids,
                 self.state.d(),
                 false,
                 &self.tie,
+                &mut self.scratch,
             );
             let order =
                 wg.left_order(&self.state, 0..wg.graph.n_left(), &self.tie);
-            kuhn_in_order(&wg.graph, &mut m, &order);
+            kuhn_in_order_with(&wg.graph, &mut m, &order, &mut self.scratch.ws);
             if self.tie.is_hint_guided() {
                 wg.priority_position_pass(&self.state, &mut m);
             }
@@ -81,6 +85,9 @@ impl OnlineScheduler for AFix {
             for id in failed {
                 self.state.drop_request(id);
             }
+            self.scratch.recycle(wg, m);
+        } else {
+            self.scratch.return_lefts(new_ids);
         }
         self.state.finish_round().served
     }

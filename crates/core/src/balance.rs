@@ -20,6 +20,7 @@
 use crate::eager::AEager;
 use crate::schedule::{ScheduleState, Service};
 use crate::tiebreak::TieBreak;
+use crate::window::WindowScratch;
 use crate::OnlineScheduler;
 use reqsched_model::{Request, Round};
 
@@ -27,6 +28,7 @@ use reqsched_model::{Request, Round};
 pub struct ABalance {
     state: ScheduleState,
     tie: TieBreak,
+    scratch: WindowScratch,
 }
 
 impl ABalance {
@@ -35,6 +37,7 @@ impl ABalance {
         ABalance {
             state: ScheduleState::new(n, d),
             tie,
+            scratch: WindowScratch::new(),
         }
     }
 
@@ -53,7 +56,14 @@ impl OnlineScheduler for ABalance {
     }
 
     fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
-        AEager::round_body(&mut self.state, &self.tie, round, arrivals, true)
+        AEager::round_body(
+            &mut self.state,
+            &self.tie,
+            &mut self.scratch,
+            round,
+            arrivals,
+            true,
+        )
     }
 }
 

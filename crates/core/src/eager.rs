@@ -18,15 +18,16 @@
 
 use crate::schedule::{ScheduleState, Service};
 use crate::tiebreak::TieBreak;
-use crate::window::WindowGraph;
+use crate::window::{WindowGraph, WindowScratch};
 use crate::OnlineScheduler;
-use reqsched_matching::{kuhn_in_order, saturate_levels};
-use reqsched_model::{Request, RequestId, Round};
+use reqsched_matching::{kuhn_in_order_with, saturate_levels_with};
+use reqsched_model::{Request, Round};
 
 /// The `A_eager` strategy. See module docs.
 pub struct AEager {
     state: ScheduleState,
     tie: TieBreak,
+    scratch: WindowScratch,
 }
 
 impl AEager {
@@ -35,6 +36,7 @@ impl AEager {
         AEager {
             state: ScheduleState::new(n, d),
             tie,
+            scratch: WindowScratch::new(),
         }
     }
 
@@ -51,6 +53,7 @@ impl AEager {
     pub(crate) fn round_body(
         state: &mut ScheduleState,
         tie: &TieBreak,
+        scratch: &mut WindowScratch,
         round: Round,
         arrivals: &[Request],
         levels_by_round: bool,
@@ -59,10 +62,11 @@ impl AEager {
         for req in arrivals {
             state.insert(req);
         }
-        let lefts: Vec<RequestId> = state.live_iter().map(|l| l.req.id).collect();
+        let mut lefts = scratch.take_lefts();
+        lefts.extend(state.live_iter().map(|l| l.req.id));
         if !lefts.is_empty() {
             let (wg, mut m) =
-                WindowGraph::build(state, lefts, state.d(), true, tie);
+                WindowGraph::build_with(state, lefts, state.d(), true, tie, scratch);
             // Rule 2 first: the initial matching is the carried schedule;
             // augmentation keeps all of it matched while reaching a maximum
             // matching of G_t. Unmatched lefts (new arrivals and previously
@@ -70,20 +74,28 @@ impl AEager {
             let unmatched: Vec<u32> =
                 (0..wg.graph.n_left()).filter(|&l| m.left_free(l)).collect();
             let order = wg.left_order(state, unmatched.into_iter(), tie);
-            kuhn_in_order(&wg.graph, &mut m, &order);
+            kuhn_in_order_with(&wg.graph, &mut m, &order, &mut scratch.ws);
             debug_assert!(m.is_maximum(&wg.graph));
             // Rule 1: maximize service *now* (or the full lexicographic F
             // for A_balance) without losing cardinality or matched requests.
-            let levels = if levels_by_round {
-                wg.levels_by_round()
+            if levels_by_round {
+                wg.write_levels_by_round(&mut scratch.levels);
             } else {
-                wg.levels_current_first()
-            };
-            saturate_levels(&wg.graph, &mut m, &levels);
+                wg.write_levels_current_first(&mut scratch.levels);
+            }
+            saturate_levels_with(&wg.graph, &mut m, &scratch.levels, &mut scratch.ws);
             if tie.is_hint_guided() {
-                wg.priority_position_pass(state, &mut m);
+                wg.priority_position_pass_with(
+                    state,
+                    &mut m,
+                    &mut scratch.prio,
+                    &mut scratch.pairs,
+                );
             }
             wg.apply(state, &m);
+            scratch.recycle(wg, m);
+        } else {
+            scratch.return_lefts(lefts);
         }
         state.finish_round().served
     }
@@ -95,7 +107,14 @@ impl OnlineScheduler for AEager {
     }
 
     fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
-        AEager::round_body(&mut self.state, &self.tie, round, arrivals, false)
+        AEager::round_body(
+            &mut self.state,
+            &self.tie,
+            &mut self.scratch,
+            round,
+            arrivals,
+            false,
+        )
     }
 }
 

@@ -11,15 +11,16 @@
 
 use crate::schedule::{ScheduleState, Service};
 use crate::tiebreak::TieBreak;
-use crate::window::WindowGraph;
+use crate::window::{WindowGraph, WindowScratch};
 use crate::OnlineScheduler;
-use reqsched_matching::{kuhn_in_order, saturate_levels};
+use reqsched_matching::{kuhn_in_order_with, saturate_levels_with};
 use reqsched_model::{Request, RequestId, Round};
 
 /// The `A_fix_balance` strategy. See module docs.
 pub struct AFixBalance {
     state: ScheduleState,
     tie: TieBreak,
+    scratch: WindowScratch,
 }
 
 impl AFixBalance {
@@ -28,6 +29,7 @@ impl AFixBalance {
         AFixBalance {
             state: ScheduleState::new(n, d),
             tie,
+            scratch: WindowScratch::new(),
         }
     }
 
@@ -50,26 +52,28 @@ impl OnlineScheduler for AFixBalance {
         for req in arrivals {
             self.state.insert(req);
         }
-        let mut new_ids: Vec<RequestId> = arrivals.iter().map(|r| r.id).collect();
+        let mut new_ids = self.scratch.take_lefts();
+        new_ids.extend(arrivals.iter().map(|r| r.id));
         new_ids.sort_unstable();
 
         if !new_ids.is_empty() {
-            let (wg, mut m) = WindowGraph::build(
+            let (wg, mut m) = WindowGraph::build_with(
                 &self.state,
                 new_ids,
                 self.state.d(),
                 false,
                 &self.tie,
+                &mut self.scratch,
             );
             // 1) Maximum number of new requests scheduled…
             let order =
                 wg.left_order(&self.state, 0..wg.graph.n_left(), &self.tie);
-            kuhn_in_order(&wg.graph, &mut m, &order);
+            kuhn_in_order_with(&wg.graph, &mut m, &order, &mut self.scratch.ws);
             // 2) …then F-maximal = lexicographically earliest-round-heavy.
             // Old assignments are fixed constants of F, so optimizing the
             // new requests' slot coverage per round is exactly optimizing F.
-            let levels = wg.levels_by_round();
-            saturate_levels(&wg.graph, &mut m, &levels);
+            wg.write_levels_by_round(&mut self.scratch.levels);
+            saturate_levels_with(&wg.graph, &mut m, &self.scratch.levels, &mut self.scratch.ws);
             if self.tie.is_hint_guided() {
                 wg.priority_position_pass(&self.state, &mut m);
             }
@@ -79,6 +83,9 @@ impl OnlineScheduler for AFixBalance {
             for id in failed {
                 self.state.drop_request(id);
             }
+            self.scratch.recycle(wg, m);
+        } else {
+            self.scratch.return_lefts(new_ids);
         }
         self.state.finish_round().served
     }

@@ -11,15 +11,16 @@
 
 use crate::schedule::{ScheduleState, Service};
 use crate::tiebreak::TieBreak;
-use crate::window::WindowGraph;
+use crate::window::{WindowGraph, WindowScratch};
 use crate::OnlineScheduler;
-use reqsched_matching::kuhn_in_order;
-use reqsched_model::{Request, RequestId, Round};
+use reqsched_matching::kuhn_in_order_with;
+use reqsched_model::{Request, Round};
 
 /// The `A_lazy_max` ablation strategy. See module docs.
 pub struct ALazyMax {
     state: ScheduleState,
     tie: TieBreak,
+    scratch: WindowScratch,
 }
 
 impl ALazyMax {
@@ -29,6 +30,7 @@ impl ALazyMax {
         ALazyMax {
             state: ScheduleState::new(n, d),
             tie,
+            scratch: WindowScratch::new(),
         }
     }
 
@@ -48,18 +50,27 @@ impl OnlineScheduler for ALazyMax {
         for req in arrivals {
             self.state.insert(req);
         }
-        let lefts: Vec<RequestId> =
-            self.state.live_iter().map(|l| l.req.id).collect();
+        let mut lefts = self.scratch.take_lefts();
+        lefts.extend(self.state.live_iter().map(|l| l.req.id));
         if !lefts.is_empty() {
-            let (wg, mut m) =
-                WindowGraph::build(&self.state, lefts, self.state.d(), true, &self.tie);
+            let (wg, mut m) = WindowGraph::build_with(
+                &self.state,
+                lefts,
+                self.state.d(),
+                true,
+                &self.tie,
+                &mut self.scratch,
+            );
             let unmatched: Vec<u32> =
                 (0..wg.graph.n_left()).filter(|&l| m.left_free(l)).collect();
             let order = wg.left_order(&self.state, unmatched.into_iter(), &self.tie);
-            kuhn_in_order(&wg.graph, &mut m, &order);
+            kuhn_in_order_with(&wg.graph, &mut m, &order, &mut self.scratch.ws);
             debug_assert!(m.is_maximum(&wg.graph));
             // No saturation: whatever slots the augmentation picked stand.
             wg.apply(&mut self.state, &m);
+            self.scratch.recycle(wg, m);
+        } else {
+            self.scratch.return_lefts(lefts);
         }
         self.state.finish_round().served
     }

@@ -44,7 +44,7 @@ pub use fix_balance::AFixBalance;
 pub use lazy::ALazyMax;
 pub use schedule::{RoundOutcome, ScheduleState, Service};
 pub use tiebreak::TieBreak;
-pub use window::WindowGraph;
+pub use window::{WindowGraph, WindowScratch};
 
 use reqsched_model::{Request, Round};
 

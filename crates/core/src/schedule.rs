@@ -203,39 +203,41 @@ impl ScheduleState {
     /// Returns the services performed in the (just finished) current round
     /// and the requests that expired unserved at its end.
     pub fn finish_round(&mut self) -> RoundOutcome {
-        // 1. Serve the occupants of the current row.
-        let row = self.rows.pop_front().expect("window is never empty");
+        // 1. Serve the occupants of the current row, clearing it in place so
+        //    it can be recycled as the window's new back row (no per-round
+        //    row allocation).
+        let mut row = self.rows.pop_front().expect("window is never empty");
         let mut served = Vec::new();
-        for (i, occ) in row.into_iter().enumerate() {
-            if occ != NO_REQUEST {
-                let removed = self.live.remove(&occ);
+        for (i, occ) in row.iter_mut().enumerate() {
+            let id = std::mem::replace(occ, NO_REQUEST);
+            if id != NO_REQUEST {
+                let removed = self.live.remove(&id);
                 debug_assert!(removed.is_some());
                 served.push(Service {
                     resource: ResourceId(i as u32),
-                    request: occ,
+                    request: id,
                 });
             }
         }
-        // 2. Advance the window.
-        self.rows.push_back(vec![NO_REQUEST; self.n as usize]);
+        // 2. Advance the window, reusing the served row.
+        self.rows.push_back(row);
         self.front = self.front.next();
         // 3. Expire requests whose last usable round has passed.
-        let expired_ids: Vec<RequestId> = self
-            .live
-            .values()
-            .filter(|l| l.req.expiry() < self.front)
-            .map(|l| l.req.id)
-            .collect();
-        let mut expired = Vec::with_capacity(expired_ids.len());
-        for id in expired_ids {
-            let entry = self.live.remove(&id).expect("listed as live");
-            debug_assert!(
-                entry.assigned.is_none(),
-                "{id:?} expired while assigned to a future slot — strategies \
-                 must never assign outside the request window"
-            );
-            expired.push(id);
-        }
+        let mut expired = Vec::new();
+        let front = self.front;
+        self.live.retain(|&id, entry| {
+            if entry.req.expiry() < front {
+                debug_assert!(
+                    entry.assigned.is_none(),
+                    "{id:?} expired while assigned to a future slot — strategies \
+                     must never assign outside the request window"
+                );
+                expired.push(id);
+                false
+            } else {
+                true
+            }
+        });
         RoundOutcome { served, expired }
     }
 

@@ -4,8 +4,86 @@
 use crate::schedule::ScheduleState;
 use crate::tiebreak::TieBreak;
 use rand::seq::SliceRandom;
-use reqsched_matching::{BipartiteGraph, Matching};
+use reqsched_matching::{BipartiteGraph, GraphBuilder, Matching, MatchingWorkspace};
 use reqsched_model::{RequestId, ResourceId, Round};
+
+/// Densest participation-mask span we are willing to pay for, as a multiple
+/// of the participant count (plus slack for tiny sets). Sparser id ranges
+/// fall back to binary search.
+const MASK_DENSITY: usize = 4;
+const MASK_SLACK: usize = 1024;
+
+/// Reusable per-strategy working memory for the round loop.
+///
+/// [`WindowGraph::build_with`] and the strategies' matching calls draw all
+/// of their buffers from here: the CSR graph builder, the slot-candidate
+/// scratch, the participation bitmask, the recycled [`Matching`], the
+/// right-vertex level buffer and the [`MatchingWorkspace`] for the
+/// augmenting-path searches. Buffers grow to the largest round seen and are
+/// then reused, so a steady-state round performs (almost) no heap
+/// allocation. Handing the graph and matching back via
+/// [`WindowScratch::recycle`] at the end of a round completes the loop.
+#[derive(Debug, Default)]
+pub struct WindowScratch {
+    /// CSR builder whose buffers shuttle in/out of the round's graph.
+    builder: GraphBuilder,
+    /// Slot candidates of one left vertex: `(round, alt pos, right idx)`.
+    slots: Vec<(u64, u32, u32)>,
+    /// Adjacency staging for one left vertex.
+    adj: Vec<u32>,
+    /// Initial matched pairs `(left, right)` from carried assignments.
+    init: Vec<(u32, u32)>,
+    /// Participation bitmask over the id span `mask_base ..`.
+    mask: Vec<bool>,
+    mask_base: u32,
+    /// Recycled matching buffer.
+    matching: Matching,
+    /// Recycled left-vertex id buffer (returned through `recycle`).
+    lefts_pool: Vec<RequestId>,
+    /// Right-vertex priority levels for the saturation pass.
+    pub(crate) levels: Vec<u32>,
+    /// Left-vertex priorities for the hint-guided position pass.
+    pub(crate) prio: Vec<u32>,
+    /// Matched pairs sorted by right vertex, for the position pass.
+    pub(crate) pairs: Vec<(u32, u32)>,
+    /// Scratch for the matching algorithms (`*_with` variants).
+    pub(crate) ws: MatchingWorkspace,
+}
+
+impl WindowScratch {
+    /// A scratch with no capacity yet; buffers grow on first use.
+    pub fn new() -> WindowScratch {
+        WindowScratch::default()
+    }
+
+    /// Borrow the matching-algorithm workspace (for callers outside this
+    /// crate that drive the `*_with` matching routines themselves).
+    pub fn matching_workspace(&mut self) -> &mut MatchingWorkspace {
+        &mut self.ws
+    }
+
+    /// An empty, capacity-retaining `Vec` for the round's participant ids.
+    /// Pair with [`WindowScratch::recycle`] (which recovers the buffer from
+    /// the consumed [`WindowGraph`]) or [`WindowScratch::return_lefts`].
+    pub fn take_lefts(&mut self) -> Vec<RequestId> {
+        let mut v = std::mem::take(&mut self.lefts_pool);
+        v.clear();
+        v
+    }
+
+    /// Hand back a lefts buffer unused (the no-participants round).
+    pub fn return_lefts(&mut self, lefts: Vec<RequestId>) {
+        self.lefts_pool = lefts;
+    }
+
+    /// Recycle a finished round's graph, participant list and matching so
+    /// the next round reuses their allocations.
+    pub fn recycle(&mut self, wg: WindowGraph, m: Matching) {
+        self.builder.reclaim(wg.graph, 0);
+        self.lefts_pool = wg.lefts;
+        self.matching = m;
+    }
+}
 
 /// The known subgraph the strategies match on.
 ///
@@ -43,22 +121,69 @@ impl WindowGraph {
         include_occupied: bool,
         tie: &TieBreak,
     ) -> (WindowGraph, Matching) {
+        WindowGraph::build_with(
+            state,
+            lefts,
+            rows,
+            include_occupied,
+            tie,
+            &mut WindowScratch::new(),
+        )
+    }
+
+    /// [`WindowGraph::build`] drawing every buffer from `scratch` instead of
+    /// allocating: the graph's CSR arrays come out of the scratch builder,
+    /// the matching reuses the recycled buffer, and participation is tested
+    /// against a dense bitmask over the participant id span (falling back to
+    /// binary search when the span is sparse). Hand the graph and matching
+    /// back via [`WindowScratch::recycle`] once the round is applied.
+    pub fn build_with(
+        state: &ScheduleState,
+        lefts: Vec<RequestId>,
+        rows: u32,
+        include_occupied: bool,
+        tie: &TieBreak,
+        scratch: &mut WindowScratch,
+    ) -> (WindowGraph, Matching) {
         let n = state.n();
         let front = state.front();
         let n_right = rows * n;
 
-        // Membership mask so `include_occupied` can check participation.
-        let participating = |id: RequestId| lefts.binary_search(&id).is_ok();
         debug_assert!(lefts.windows(2).all(|w| w[0] < w[1]), "lefts must be sorted");
+        // Membership mask so `include_occupied` can check participation.
+        // Participant ids are typically a dense range (arrival order), so a
+        // bitmask over the span beats a per-edge binary search.
+        let use_mask = include_occupied
+            && !lefts.is_empty()
+            && (lefts[lefts.len() - 1].0 - lefts[0].0) as usize
+                <= MASK_DENSITY * lefts.len() + MASK_SLACK;
+        if use_mask {
+            scratch.mask_base = lefts[0].0;
+            let span = (lefts[lefts.len() - 1].0 - lefts[0].0) as usize + 1;
+            scratch.mask.clear();
+            scratch.mask.resize(span, false);
+            for &id in &lefts {
+                scratch.mask[(id.0 - scratch.mask_base) as usize] = true;
+            }
+        }
+        let mask = &scratch.mask;
+        let mask_base = scratch.mask_base;
+        let participating = |id: RequestId| {
+            if use_mask {
+                id.0 >= mask_base && ((id.0 - mask_base) as usize) < mask.len()
+                    && mask[(id.0 - mask_base) as usize]
+            } else {
+                lefts.binary_search(&id).is_ok()
+            }
+        };
 
-        let mut builder = BipartiteGraph::builder(n_right);
-        let mut init = Vec::new();
-        let mut scratch: Vec<(u64, u32, u32)> = Vec::new(); // (round, alt pos, right idx)
+        scratch.builder.reset(n_right);
+        scratch.init.clear();
 
         for (li, &id) in lefts.iter().enumerate() {
             let live = state.live(id).expect("participant must be live");
             let req = &live.req;
-            scratch.clear();
+            scratch.slots.clear();
             let lo = req.arrival.get().max(front.get());
             let hi = req.expiry().get().min(front.get() + rows as u64 - 1);
             for round in lo..=hi {
@@ -76,22 +201,24 @@ impl WindowGraph {
                         false
                     };
                     if usable {
-                        scratch.push((round, pos as u32, j * n + res.0));
+                        scratch.slots.push((round, pos as u32, j * n + res.0));
                     }
                 }
             }
-            order_slots(&mut scratch, req.hint.prefer, req.alternatives.as_slice(), tie, front);
-            let adj: Vec<u32> = scratch.iter().map(|&(_, _, r)| r).collect();
-            builder.add_left(&adj);
+            order_slots(&mut scratch.slots, req.hint.prefer, req.alternatives.as_slice(), tie, front);
+            scratch.adj.clear();
+            scratch.adj.extend(scratch.slots.iter().map(|&(_, _, r)| r));
+            scratch.builder.add_left(&scratch.adj);
             if let Some((res, round)) = live.assigned {
                 let j = (round - front) as u32;
-                init.push((li as u32, j * n + res.0));
+                scratch.init.push((li as u32, j * n + res.0));
             }
         }
 
-        let graph = builder.finish();
-        let mut matching = Matching::empty(graph.n_left(), graph.n_right());
-        for (l, r) in init {
+        let graph = scratch.builder.take_graph();
+        let mut matching = std::mem::replace(&mut scratch.matching, Matching::empty(0, 0));
+        matching.reset(graph.n_left(), graph.n_right());
+        for &(l, r) in &scratch.init {
             debug_assert!(graph.has_edge(l, r), "assigned slot must be an edge");
             matching.set(l, r);
         }
@@ -118,14 +245,28 @@ impl WindowGraph {
     /// Right-vertex levels for lexicographic balancing: level = round offset
     /// (`A_balance`'s `F`: earlier rounds are higher priority).
     pub fn levels_by_round(&self) -> Vec<u32> {
-        (0..self.rows * self.n).map(|r| r / self.n).collect()
+        let mut out = Vec::new();
+        self.write_levels_by_round(&mut out);
+        out
+    }
+
+    /// [`WindowGraph::levels_by_round`] into a caller-owned buffer.
+    pub fn write_levels_by_round(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend((0..self.rows * self.n).map(|r| r / self.n));
     }
 
     /// Right-vertex levels for `A_eager`: current round = 0, all later = 1.
     pub fn levels_current_first(&self) -> Vec<u32> {
-        (0..self.rows * self.n)
-            .map(|r| u32::from(r / self.n != 0))
-            .collect()
+        let mut out = Vec::new();
+        self.write_levels_current_first(&mut out);
+        out
+    }
+
+    /// [`WindowGraph::levels_current_first`] into a caller-owned buffer.
+    pub fn write_levels_current_first(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend((0..self.rows * self.n).map(|r| u32::from(r / self.n != 0)));
     }
 
     /// Tie-break-ordered left-vertex order for augmentation, over an
@@ -163,16 +304,33 @@ impl WindowGraph {
     /// current-round coverage — is preserved); it only reorders occupants,
     /// which is exactly the freedom tie-breaking may use.
     pub fn priority_position_pass(&self, state: &ScheduleState, m: &mut Matching) {
-        let prio: Vec<u32> = self
-            .lefts
-            .iter()
-            .map(|&id| state.live(id).expect("live").req.hint.priority)
-            .collect();
+        self.priority_position_pass_with(state, m, &mut Vec::new(), &mut Vec::new());
+    }
+
+    /// [`WindowGraph::priority_position_pass`] with caller-owned buffers
+    /// (recycled via [`WindowScratch`] in the round loop).
+    pub fn priority_position_pass_with(
+        &self,
+        state: &ScheduleState,
+        m: &mut Matching,
+        prio: &mut Vec<u32>,
+        pairs: &mut Vec<(u32, u32)>,
+    ) {
+        prio.clear();
+        prio.extend(
+            self.lefts
+                .iter()
+                .map(|&id| state.live(id).expect("live").req.hint.priority),
+        );
         // Bounded bubble pass: each swap strictly decreases the sum of
         // slot-rank × priority, so a fixpoint is reached; cap defensively.
+        // A swap exchanges the occupants of two positions, never the
+        // positions themselves, so the right-vertex-sorted `pairs` built
+        // here stays valid across iterations.
+        pairs.clear();
+        pairs.extend(m.pairs());
+        pairs.sort_by_key(|&(_, r)| r);
         for _ in 0..self.lefts.len().max(4) {
-            let mut pairs: Vec<(u32, u32)> = m.pairs().collect();
-            pairs.sort_by_key(|&(_, r)| r);
             let mut changed = false;
             for i in 0..pairs.len() {
                 for j in i + 1..pairs.len() {
@@ -360,6 +518,111 @@ mod tests {
         let (wg, _) = WindowGraph::build(&st, vec![RequestId(0)], 2, false, &TieBreak::FirstFit);
         assert_eq!(wg.slot(0), (ResourceId(0), Round(0)));
         assert_eq!(wg.slot(4), (ResourceId(1), Round(1)));
+    }
+
+    /// The pre-hoist `priority_position_pass`: rebuilds the sorted pair
+    /// list on every outer iteration. Kept as a differential oracle for the
+    /// hoisted version.
+    fn priority_pass_reference(wg: &WindowGraph, state: &ScheduleState, m: &mut Matching) {
+        let prio: Vec<u32> = wg
+            .lefts
+            .iter()
+            .map(|&id| state.live(id).expect("live").req.hint.priority)
+            .collect();
+        for _ in 0..wg.lefts.len().max(4) {
+            let mut pairs: Vec<(u32, u32)> = m.pairs().collect();
+            pairs.sort_by_key(|&(_, r)| r);
+            let mut changed = false;
+            for i in 0..pairs.len() {
+                for j in i + 1..pairs.len() {
+                    let (a, ra) = pairs[i];
+                    let (b, rb) = pairs[j];
+                    if prio[b as usize] < prio[a as usize]
+                        && wg.graph.has_edge(b, ra)
+                        && wg.graph.has_edge(a, rb)
+                    {
+                        m.unset_left(a);
+                        m.unset_left(b);
+                        m.set(a, rb);
+                        m.set(b, ra);
+                        pairs[i] = (b, ra);
+                        pairs[j] = (a, rb);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn hoisted_priority_pass_matches_reference_fixpoint() {
+        // Several priority layouts over a 3-request window; the hoisted
+        // pass and the rebuild-every-iteration reference must agree exactly.
+        for prios in [[3u32, 2, 1], [1, 3, 2], [2, 1, 3], [1, 1, 1], [9, 1, 5]] {
+            let mut st = ScheduleState::new(2, 3);
+            for (i, &p) in prios.iter().enumerate() {
+                insert(&mut st, i as u32, 0, 1, Hint::priority(p));
+            }
+            let lefts: Vec<RequestId> = (0..3).map(RequestId).collect();
+            let (wg, mut m) =
+                WindowGraph::build(&st, lefts, 3, true, &TieBreak::HintGuided);
+            reqsched_matching::kuhn_in_order(&wg.graph, &mut m, &[0, 1, 2]);
+            let mut m_ref = m.clone();
+            wg.priority_position_pass(&st, &mut m);
+            priority_pass_reference(&wg, &st, &mut m_ref);
+            assert_eq!(m, m_ref, "prios {prios:?}");
+        }
+    }
+
+    #[test]
+    fn build_with_matches_build_and_recycles() {
+        let mut st = ScheduleState::new(3, 3);
+        insert(&mut st, 0, 0, 1, Hint::default());
+        insert(&mut st, 1, 1, 2, Hint::default());
+        st.assign(RequestId(0), ResourceId(0), Round(1));
+        insert(&mut st, 2, 0, 2, Hint::default());
+        let lefts: Vec<RequestId> = (0..3).map(RequestId).collect();
+        let (wg_fresh, m_fresh) =
+            WindowGraph::build(&st, lefts.clone(), 3, true, &TieBreak::FirstFit);
+        let mut scratch = WindowScratch::new();
+        for pass in 0..3 {
+            let mut ls = scratch.take_lefts();
+            ls.extend(lefts.iter().copied());
+            let (wg, m) =
+                WindowGraph::build_with(&st, ls, 3, true, &TieBreak::FirstFit, &mut scratch);
+            assert_eq!(wg.graph, wg_fresh.graph, "pass {pass}");
+            assert_eq!(wg.lefts, wg_fresh.lefts);
+            assert_eq!(m, m_fresh);
+            scratch.recycle(wg, m);
+        }
+    }
+
+    #[test]
+    fn build_with_mask_fallback_on_sparse_ids() {
+        // Ids far apart force the binary-search fallback; occupied-slot
+        // participation checks must still work.
+        let mut st = ScheduleState::new(2, 2);
+        insert(&mut st, 0, 0, 1, Hint::default());
+        st.assign(RequestId(0), ResourceId(0), Round(0));
+        insert(&mut st, 3_000_000, 0, 1, Hint::default());
+        let lefts = vec![RequestId(0), RequestId(3_000_000)];
+        let mut scratch = WindowScratch::new();
+        let (wg, m) = WindowGraph::build_with(
+            &st,
+            lefts.clone(),
+            2,
+            true,
+            &TieBreak::FirstFit,
+            &mut scratch,
+        );
+        let (wg_fresh, m_fresh) = WindowGraph::build(&st, lefts, 2, true, &TieBreak::FirstFit);
+        assert_eq!(wg.graph, wg_fresh.graph);
+        assert_eq!(m, m_fresh);
+        // The occupied slot of the participating r0 is an edge for both.
+        assert!(wg.graph.neighbors(1).contains(&0));
     }
 
     #[test]

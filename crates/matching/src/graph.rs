@@ -89,6 +89,14 @@ pub struct GraphBuilder {
     adjacency: Vec<u32>,
 }
 
+impl Default for GraphBuilder {
+    /// An empty builder for zero right vertices; [`GraphBuilder::reset`]
+    /// re-sizes it for real use.
+    fn default() -> GraphBuilder {
+        GraphBuilder::new(0)
+    }
+}
+
 impl GraphBuilder {
     fn new(n_right: u32) -> GraphBuilder {
         GraphBuilder {
@@ -116,6 +124,37 @@ impl GraphBuilder {
             offsets: self.offsets,
             adjacency: self.adjacency,
         }
+    }
+
+    /// Clear the builder for a new graph, keeping the allocated capacity.
+    pub fn reset(&mut self, n_right: u32) {
+        self.n_right = n_right;
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.adjacency.clear();
+    }
+
+    /// Finish building without consuming the builder: the returned graph
+    /// takes the accumulated edges, the builder keeps its capacity and is
+    /// ready for [`GraphBuilder::reset`]. Callers can hand the graph back
+    /// via [`GraphBuilder::reclaim`] to recycle its buffers.
+    pub fn take_graph(&mut self) -> BipartiteGraph {
+        let offsets = std::mem::replace(&mut self.offsets, vec![0]);
+        let adjacency = std::mem::take(&mut self.adjacency);
+        BipartiteGraph {
+            n_right: self.n_right,
+            offsets,
+            adjacency,
+        }
+    }
+
+    /// Recycle a no-longer-needed graph's buffers into this builder
+    /// (the inverse of [`GraphBuilder::take_graph`]); leaves the builder
+    /// reset for `n_right` right vertices.
+    pub fn reclaim(&mut self, g: BipartiteGraph, n_right: u32) {
+        self.offsets = g.offsets;
+        self.adjacency = g.adjacency;
+        self.reset(n_right);
     }
 }
 

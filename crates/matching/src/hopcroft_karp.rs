@@ -4,68 +4,48 @@
 //! optimum over the whole horizon graph (the denominator of every measured
 //! competitive ratio) and as the reference implementation the cheaper
 //! incremental algorithms are tested against.
+//!
+//! The DFS phase is iterative (explicit stack in the caller-supplied
+//! [`MatchingWorkspace`]); horizon graphs grow with the trace length, and
+//! the recursion the textbook formulation uses overflows the thread stack
+//! long before the algorithm becomes slow. [`hopcroft_karp_reference`]
+//! keeps the recursive formulation for differential testing.
 
 use crate::graph::BipartiteGraph;
 use crate::matching::Matching;
+use crate::workspace::MatchingWorkspace;
 
 const INF: u32 = u32::MAX;
-const NIL: u32 = u32::MAX;
 
 /// Compute a maximum-cardinality matching of `g`.
+///
+/// Convenience wrapper over [`hopcroft_karp_with`] with a throwaway
+/// workspace; hot loops should hold a [`MatchingWorkspace`] and call the
+/// `_with` variant to avoid per-call scratch allocation.
 pub fn hopcroft_karp(g: &BipartiteGraph) -> Matching {
+    hopcroft_karp_with(g, &mut MatchingWorkspace::new())
+}
+
+/// [`hopcroft_karp`] reusing the scratch buffers in `ws`.
+///
+/// Identical output to [`hopcroft_karp`] (and bit-identical to
+/// [`hopcroft_karp_reference`]): the iterative DFS visits neighbours in the
+/// same order and performs the same distance updates as the recursive one.
+pub fn hopcroft_karp_with(g: &BipartiteGraph, ws: &mut MatchingWorkspace) -> Matching {
     let nl = g.n_left() as usize;
     let mut m = Matching::empty(g.n_left(), g.n_right());
-
-    // Greedy warm start (cheap, typically covers most of the matching).
-    for l in 0..g.n_left() {
-        for &r in g.neighbors(l) {
-            if m.right_free(r) {
-                m.set(l, r);
-                break;
-            }
-        }
-    }
-
-    let mut dist = vec![INF; nl];
-    let mut queue = Vec::with_capacity(nl);
+    greedy_warm_start(g, &mut m);
+    ws.prepare_hk(nl);
 
     loop {
-        // BFS phase: layer free left vertices at distance 0.
-        queue.clear();
-        #[allow(clippy::needless_range_loop)] // l indexes both dist and the matching
-        for l in 0..nl {
-            if m.left_free(l as u32) {
-                dist[l] = 0;
-                queue.push(l as u32);
-            } else {
-                dist[l] = INF;
-            }
-        }
-        let mut found_free_right = false;
-        let mut head = 0;
-        while head < queue.len() {
-            let l = queue[head];
-            head += 1;
-            for &r in g.neighbors(l) {
-                match m.right_mate(r) {
-                    None => found_free_right = true,
-                    Some(l2) => {
-                        if dist[l2 as usize] == INF {
-                            dist[l2 as usize] = dist[l as usize] + 1;
-                            queue.push(l2);
-                        }
-                    }
-                }
-            }
-        }
-        if !found_free_right {
+        if !bfs_layers(g, &m, &mut ws.dist, &mut ws.queue) {
             break;
         }
-
         // DFS phase: vertex-disjoint shortest augmenting paths.
         let mut grown = false;
         for l in 0..nl {
-            if m.left_free(l as u32) && dfs(g, &mut m, &mut dist, l as u32) {
+            if m.left_free(l as u32) && dfs_iterative(g, &mut m, &mut ws.dist, &mut ws.stack, l as u32)
+            {
                 grown = true;
             }
         }
@@ -79,7 +59,138 @@ pub fn hopcroft_karp(g: &BipartiteGraph) -> Matching {
     m
 }
 
-fn dfs(g: &BipartiteGraph, m: &mut Matching, dist: &mut [u32], l: u32) -> bool {
+/// Greedy warm start (cheap, typically covers most of the matching).
+fn greedy_warm_start(g: &BipartiteGraph, m: &mut Matching) {
+    for l in 0..g.n_left() {
+        for &r in g.neighbors(l) {
+            if m.right_free(r) {
+                m.set(l, r);
+                break;
+            }
+        }
+    }
+}
+
+/// BFS phase: layer free left vertices at distance 0. Returns whether any
+/// free right vertex is reachable (i.e. an augmenting path may exist).
+fn bfs_layers(
+    g: &BipartiteGraph,
+    m: &Matching,
+    dist: &mut [u32],
+    queue: &mut Vec<u32>,
+) -> bool {
+    queue.clear();
+    #[allow(clippy::needless_range_loop)] // l indexes both dist and the matching
+    for l in 0..dist.len() {
+        if m.left_free(l as u32) {
+            dist[l] = 0;
+            queue.push(l as u32);
+        } else {
+            dist[l] = INF;
+        }
+    }
+    let mut found_free_right = false;
+    let mut head = 0;
+    while head < queue.len() {
+        let l = queue[head];
+        head += 1;
+        for &r in g.neighbors(l) {
+            match m.right_mate(r) {
+                None => found_free_right = true,
+                Some(l2) => {
+                    if dist[l2 as usize] == INF {
+                        dist[l2 as usize] = dist[l as usize] + 1;
+                        queue.push(l2);
+                    }
+                }
+            }
+        }
+    }
+    found_free_right
+}
+
+/// Iterative replacement for the recursive shortest-augmenting-path DFS.
+///
+/// Each stack frame is `(left vertex, next neighbour index)`. The traversal
+/// order, distance invalidations, and matching updates replicate the
+/// recursive version exactly — on success the path edges are committed
+/// deepest-first, exactly as the recursion unwinds in
+/// [`hopcroft_karp_reference`].
+fn dfs_iterative(
+    g: &BipartiteGraph,
+    m: &mut Matching,
+    dist: &mut [u32],
+    stack: &mut Vec<(u32, u32)>,
+    root: u32,
+) -> bool {
+    stack.clear();
+    stack.push((root, 0));
+    while let Some(&mut (l, ref mut cursor)) = stack.last_mut() {
+        let neighbors = g.neighbors(l);
+        if (*cursor as usize) < neighbors.len() {
+            let r = neighbors[*cursor as usize];
+            *cursor += 1;
+            match m.right_mate(r) {
+                None => {
+                    // Free right vertex: flip the whole path, deepest first.
+                    dist[l as usize] = INF;
+                    m.set(l, r);
+                    stack.pop();
+                    while let Some((pl, pcursor)) = stack.pop() {
+                        let pr = g.neighbors(pl)[pcursor as usize - 1];
+                        dist[pl as usize] = INF;
+                        m.set(pl, pr);
+                    }
+                    return true;
+                }
+                Some(l2) => {
+                    if dist[l2 as usize] == dist[l as usize].wrapping_add(1) {
+                        stack.push((l2, 0));
+                    }
+                }
+            }
+        } else {
+            // Exhausted: dead-end this vertex for the rest of the phase.
+            dist[l as usize] = INF;
+            stack.pop();
+        }
+    }
+    false
+}
+
+/// The textbook recursive formulation, kept verbatim as a differential
+/// oracle for [`hopcroft_karp_with`]. Not for production use: recursion
+/// depth equals augmenting-path length, which on adversarial horizon
+/// graphs is `Θ(n_left)` and overflows the stack.
+pub fn hopcroft_karp_reference(g: &BipartiteGraph) -> Matching {
+    let nl = g.n_left() as usize;
+    let mut m = Matching::empty(g.n_left(), g.n_right());
+    greedy_warm_start(g, &mut m);
+
+    let mut dist = vec![INF; nl];
+    let mut queue = Vec::with_capacity(nl);
+
+    loop {
+        if !bfs_layers(g, &m, &mut dist, &mut queue) {
+            break;
+        }
+        let mut grown = false;
+        for l in 0..nl {
+            if m.left_free(l as u32) && dfs_recursive(g, &mut m, &mut dist, l as u32) {
+                grown = true;
+            }
+        }
+        if !grown {
+            break;
+        }
+    }
+
+    debug_assert!(m.is_valid(g));
+    debug_assert!(m.is_maximum(g));
+    m
+}
+
+fn dfs_recursive(g: &BipartiteGraph, m: &mut Matching, dist: &mut [u32], l: u32) -> bool {
     for &r in g.neighbors(l) {
         let next = m.right_mate(r);
         match next {
@@ -90,7 +201,7 @@ fn dfs(g: &BipartiteGraph, m: &mut Matching, dist: &mut [u32], l: u32) -> bool {
             }
             Some(l2) => {
                 if dist[l2 as usize] == dist[l as usize].wrapping_add(1)
-                    && dfs(g, m, dist, l2)
+                    && dfs_recursive(g, m, dist, l2)
                 {
                     dist[l as usize] = INF;
                     m.set(l, r);
@@ -102,10 +213,6 @@ fn dfs(g: &BipartiteGraph, m: &mut Matching, dist: &mut [u32], l: u32) -> bool {
     dist[l as usize] = INF;
     false
 }
-
-// NIL currently unused but kept for readability of the algorithm's origin.
-#[allow(dead_code)]
-const _: u32 = NIL;
 
 #[cfg(test)]
 mod tests {
@@ -156,6 +263,54 @@ mod tests {
                 brute::max_matching_size(&g),
                 "mismatch on {lists:?}"
             );
+        }
+    }
+
+    #[test]
+    fn iterative_bit_identical_to_reference_battery() {
+        let cases: Vec<(u32, Vec<Vec<u32>>)> = vec![
+            (3, vec![vec![0, 1], vec![1, 2], vec![0, 2], vec![1]]),
+            (4, vec![vec![0], vec![0, 1], vec![1, 2], vec![2, 3], vec![3]]),
+            (2, vec![vec![0, 1], vec![0, 1], vec![0, 1]]),
+            (5, vec![vec![4], vec![3, 4], vec![2], vec![2, 3]]),
+            (6, vec![vec![5, 0], vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 5]]),
+        ];
+        let mut ws = MatchingWorkspace::new();
+        for (nr, lists) in cases {
+            let g = BipartiteGraph::from_adjacency(nr, &lists);
+            assert_eq!(
+                hopcroft_karp_with(&g, &mut ws),
+                hopcroft_karp_reference(&g),
+                "divergence on {lists:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn survives_long_augmenting_chain() {
+        // A path graph forcing one augmenting path through every vertex:
+        // l_i -> {r_i, r_i+1}, except the last which only sees r_n-1 taken
+        // greedily. Depth ~ n would overflow the recursive version's stack
+        // for large n; the iterative version must handle it.
+        let n: u32 = 200_000;
+        let mut b = BipartiteGraph::builder(n);
+        for i in 0..n - 1 {
+            b.add_left(&[i, i + 1]);
+        }
+        b.add_left(&[0]);
+        let g = b.finish();
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size(), n as usize);
+    }
+
+    #[test]
+    fn workspace_reuse_is_transparent() {
+        let g1 = BipartiteGraph::from_adjacency(2, &[vec![0, 1], vec![0]]);
+        let g2 = BipartiteGraph::from_adjacency(5, &[vec![4], vec![3, 4], vec![2], vec![2, 3]]);
+        let mut ws = MatchingWorkspace::new();
+        for _ in 0..3 {
+            assert_eq!(hopcroft_karp_with(&g1, &mut ws), hopcroft_karp(&g1));
+            assert_eq!(hopcroft_karp_with(&g2, &mut ws), hopcroft_karp(&g2));
         }
     }
 }

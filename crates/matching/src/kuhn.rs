@@ -8,12 +8,17 @@
 //!   maximum matchings. This is how hint-guided strategy members decide which
 //!   requests to serve when not all fit (e.g. the group ordering the
 //!   adversary of Theorem 2.2 forces on `A_current`).
-//! * **Which slot a request lands on.** The DFS tries neighbours in
+//! * **Which slot a request lands on.** The search tries neighbours in
 //!   adjacency order, so a graph built with the preferred resource's slots
 //!   first steers the assignment without affecting cardinality.
+//!
+//! The search is iterative (explicit stack in the workspace) to keep
+//! augmenting-path depth off the thread stack; the traversal order is
+//! identical to the recursive textbook version, so results are unchanged.
 
 use crate::graph::BipartiteGraph;
 use crate::matching::Matching;
+use crate::workspace::MatchingWorkspace;
 
 /// Try to enlarge `m` by one via an augmenting path starting at the free
 /// left vertex `start`. Returns `true` if the matching grew.
@@ -22,29 +27,60 @@ use crate::matching::Matching;
 /// sequence of `kuhn_augment` calls preserves every earlier success — the
 /// property the `A_eager`/`A_balance` rule "all previously scheduled requests
 /// remain scheduled" relies on.
+///
+/// Convenience wrapper over [`kuhn_augment_with`] with a throwaway
+/// workspace; hot loops should reuse a [`MatchingWorkspace`].
 pub fn kuhn_augment(g: &BipartiteGraph, m: &mut Matching, start: u32) -> bool {
-    debug_assert!(m.left_free(start), "kuhn_augment needs a free left vertex");
-    let mut visited_r = vec![false; g.n_right() as usize];
-    try_grow(g, m, start, &mut visited_r)
+    kuhn_augment_with(g, m, start, &mut MatchingWorkspace::new())
 }
 
-fn try_grow(g: &BipartiteGraph, m: &mut Matching, l: u32, visited_r: &mut [bool]) -> bool {
-    for &r in g.neighbors(l) {
-        if visited_r[r as usize] {
-            continue;
-        }
-        visited_r[r as usize] = true;
-        match m.right_mate(r) {
-            None => {
-                m.set(l, r);
-                return true;
+/// [`kuhn_augment`] reusing the scratch buffers in `ws`.
+pub fn kuhn_augment_with(
+    g: &BipartiteGraph,
+    m: &mut Matching,
+    start: u32,
+    ws: &mut MatchingWorkspace,
+) -> bool {
+    debug_assert!(m.left_free(start), "kuhn_augment needs a free left vertex");
+    ws.prepare_kuhn(g.n_right() as usize);
+    try_grow(g, m, start, &mut ws.visited_r, &mut ws.stack)
+}
+
+/// Iterative depth-first augmenting-path search. Frames are
+/// `(left vertex, next neighbour index)`; on success the path is committed
+/// deepest-first, exactly as the recursion it replaces unwound.
+fn try_grow(
+    g: &BipartiteGraph,
+    m: &mut Matching,
+    start: u32,
+    visited_r: &mut [bool],
+    stack: &mut Vec<(u32, u32)>,
+) -> bool {
+    stack.clear();
+    stack.push((start, 0));
+    while let Some(&mut (l, ref mut cursor)) = stack.last_mut() {
+        let neighbors = g.neighbors(l);
+        if (*cursor as usize) < neighbors.len() {
+            let r = neighbors[*cursor as usize];
+            *cursor += 1;
+            if visited_r[r as usize] {
+                continue;
             }
-            Some(l2) => {
-                if try_grow(g, m, l2, visited_r) {
+            visited_r[r as usize] = true;
+            match m.right_mate(r) {
+                None => {
                     m.set(l, r);
+                    stack.pop();
+                    while let Some((pl, pcursor)) = stack.pop() {
+                        let pr = g.neighbors(pl)[pcursor as usize - 1];
+                        m.set(pl, pr);
+                    }
                     return true;
                 }
+                Some(l2) => stack.push((l2, 0)),
             }
+        } else {
+            stack.pop();
         }
     }
     false
@@ -57,9 +93,19 @@ fn try_grow(g: &BipartiteGraph, m: &mut Matching, l: u32, visited_r: &mut [bool]
 /// algorithm); running it in priority order additionally fixes *which*
 /// left vertices are matched (matroid greedy).
 pub fn kuhn_in_order(g: &BipartiteGraph, m: &mut Matching, order: &[u32]) -> usize {
+    kuhn_in_order_with(g, m, order, &mut MatchingWorkspace::new())
+}
+
+/// [`kuhn_in_order`] reusing the scratch buffers in `ws`.
+pub fn kuhn_in_order_with(
+    g: &BipartiteGraph,
+    m: &mut Matching,
+    order: &[u32],
+    ws: &mut MatchingWorkspace,
+) -> usize {
     let mut grown = 0;
     for &l in order {
-        if m.left_free(l) && kuhn_augment(g, m, l) {
+        if m.left_free(l) && kuhn_augment_with(g, m, l, ws) {
             grown += 1;
         }
     }
@@ -139,5 +185,39 @@ mod tests {
         assert_eq!(m.size(), 3);
         assert!(!m.left_free(1));
         assert!(!m.left_free(2));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // Augmenting the tail vertex reroutes the entire pre-built chain in
+        // one search of depth ~n.
+        let n: u32 = 150_000;
+        let mut b = BipartiteGraph::builder(n);
+        for i in 0..n - 1 {
+            b.add_left(&[i, i + 1]);
+        }
+        b.add_left(&[0]);
+        let g = b.finish();
+        let mut m = Matching::empty(n, n);
+        for i in 0..n - 1 {
+            m.set(i, i);
+        }
+        let mut ws = MatchingWorkspace::new();
+        assert!(kuhn_augment_with(&g, &mut m, n - 1, &mut ws));
+        assert_eq!(m.size(), n as usize);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_calls() {
+        let g = BipartiteGraph::from_adjacency(
+            3,
+            &[vec![0, 1], vec![0], vec![1, 2], vec![2]],
+        );
+        let mut ws = MatchingWorkspace::new();
+        let mut m1 = Matching::empty(4, 3);
+        kuhn_in_order_with(&g, &mut m1, &[0, 1, 2, 3], &mut ws);
+        let mut m2 = Matching::empty(4, 3);
+        kuhn_in_order(&g, &mut m2, &[0, 1, 2, 3]);
+        assert_eq!(m1, m2);
     }
 }

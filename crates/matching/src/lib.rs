@@ -37,15 +37,17 @@ mod hopcroft_karp;
 mod kuhn;
 mod matching;
 mod saturate;
+mod workspace;
 
 pub mod brute;
 
 pub use diff::{symmetric_difference, AltComponent, DiffReport};
-pub use graph::BipartiteGraph;
-pub use hopcroft_karp::hopcroft_karp;
-pub use kuhn::{kuhn_augment, kuhn_in_order};
+pub use graph::{BipartiteGraph, GraphBuilder};
+pub use hopcroft_karp::{hopcroft_karp, hopcroft_karp_reference, hopcroft_karp_with};
+pub use kuhn::{kuhn_augment, kuhn_augment_with, kuhn_in_order, kuhn_in_order_with};
 pub use matching::Matching;
-pub use saturate::{coverage_by_level, saturate_levels};
+pub use saturate::{coverage_by_level, saturate_levels, saturate_levels_with};
+pub use workspace::MatchingWorkspace;
 
 /// Greedily build a maximal matching, scanning left vertices in `order` and
 /// taking each one's first free neighbour (in adjacency order).

@@ -15,6 +15,14 @@ pub struct Matching {
     size: u32,
 }
 
+impl Default for Matching {
+    /// The empty matching on a 0 × 0 vertex set ([`Matching::reset`]
+    /// re-sizes it for real use).
+    fn default() -> Matching {
+        Matching::empty(0, 0)
+    }
+}
+
 impl Matching {
     /// The empty matching on `n_left` × `n_right` vertices.
     pub fn empty(n_left: u32, n_right: u32) -> Matching {
@@ -23,6 +31,16 @@ impl Matching {
             r2l: vec![NONE; n_right as usize],
             size: 0,
         }
+    }
+
+    /// Reset to the empty matching on `n_left` × `n_right` vertices,
+    /// keeping the allocated capacity (for round-loop reuse).
+    pub fn reset(&mut self, n_left: u32, n_right: u32) {
+        self.l2r.clear();
+        self.l2r.resize(n_left as usize, NONE);
+        self.r2l.clear();
+        self.r2l.resize(n_right as usize, NONE);
+        self.size = 0;
     }
 
     /// Number of matched pairs.

@@ -22,6 +22,7 @@
 
 use crate::graph::BipartiteGraph;
 use crate::matching::Matching;
+use crate::workspace::MatchingWorkspace;
 
 /// Coverage counts per level: `out[lvl]` = number of matched right vertices
 /// whose level is `lvl`. `level.len()` must equal `g.n_right()`.
@@ -40,9 +41,23 @@ pub fn coverage_by_level(m: &Matching, level: &[u32]) -> Vec<usize> {
 /// also *grow* the matching if an augmenting path is discovered en route
 /// (callers normally pass an already-maximum matching). Returns the final
 /// coverage counts.
+///
+/// Convenience wrapper over [`saturate_levels_with`] with a throwaway
+/// workspace; hot loops should reuse a [`MatchingWorkspace`].
 pub fn saturate_levels(g: &BipartiteGraph, m: &mut Matching, level: &[u32]) -> Vec<usize> {
+    saturate_levels_with(g, m, level, &mut MatchingWorkspace::new())
+}
+
+/// [`saturate_levels`] reusing the scratch buffers in `ws` — the reverse
+/// adjacency (CSR, built once per call) and the per-exchange search state.
+pub fn saturate_levels_with(
+    g: &BipartiteGraph,
+    m: &mut Matching,
+    level: &[u32],
+    ws: &mut MatchingWorkspace,
+) -> Vec<usize> {
     assert_eq!(level.len(), g.n_right() as usize);
-    let rev = g.reverse_adjacency();
+    ws.build_reverse(g);
 
     let mut levels: Vec<u32> = level.to_vec();
     levels.sort_unstable();
@@ -50,7 +65,7 @@ pub fn saturate_levels(g: &BipartiteGraph, m: &mut Matching, level: &[u32]) -> V
 
     for &lvl in &levels {
         // Repeat improving exchanges until none exists for this level.
-        while improve_level(g, m, level, lvl, &rev) {}
+        while improve_level(g, m, level, lvl, ws) {}
     }
     coverage_by_level(m, level)
 }
@@ -64,54 +79,56 @@ fn improve_level(
     m: &mut Matching,
     level: &[u32],
     lvl: u32,
-    rev: &[Vec<u32>],
+    ws: &mut MatchingWorkspace,
 ) -> bool {
     let nl = g.n_left() as usize;
     let nr = g.n_right() as usize;
 
-    // parent_l[l] = right vertex we came from (via a non-matching edge).
-    let mut parent_l = vec![u32::MAX; nl];
+    // parent_l[l] = right vertex we came from (via a non-matching edge);
     // parent_r[r] = left vertex we came from (via the matched edge).
-    let mut parent_r = vec![u32::MAX; nr];
-    let mut visited_l = vec![false; nl];
-    let mut visited_r = vec![false; nr];
+    ws.prepare_saturate(nl, nr);
 
-    let mut queue: Vec<u32> = Vec::new(); // queue of right vertices to expand
+    // queue holds right vertices to expand.
     for r in 0..nr as u32 {
         if level[r as usize] == lvl && m.right_free(r) {
-            visited_r[r as usize] = true;
-            queue.push(r);
+            ws.visited_r[r as usize] = true;
+            ws.queue.push(r);
         }
     }
 
     let mut head = 0;
-    while head < queue.len() {
-        let r = queue[head];
+    while head < ws.queue.len() {
+        let r = ws.queue[head];
         head += 1;
-        for &l in &rev[r as usize] {
-            if visited_l[l as usize] {
+        let (lo, hi) = (
+            ws.rev_offsets[r as usize] as usize,
+            ws.rev_offsets[r as usize + 1] as usize,
+        );
+        for li in lo..hi {
+            let l = ws.rev_adjacency[li];
+            if ws.visited_l[l as usize] {
                 continue;
             }
-            visited_l[l as usize] = true;
-            parent_l[l as usize] = r;
+            ws.visited_l[l as usize] = true;
+            ws.parent_l[l as usize] = r;
             match m.left_mate(l) {
                 None => {
                     // Augmenting path: match l back along the parents.
-                    apply_flip(m, l, &parent_l, &parent_r, None);
+                    apply_flip(m, l, &ws.parent_l, &ws.parent_r, None);
                     return true;
                 }
                 Some(r2) => {
-                    if visited_r[r2 as usize] {
+                    if ws.visited_r[r2 as usize] {
                         continue;
                     }
-                    visited_r[r2 as usize] = true;
-                    parent_r[r2 as usize] = l;
+                    ws.visited_r[r2 as usize] = true;
+                    ws.parent_r[r2 as usize] = l;
                     if level[r2 as usize] > lvl {
                         // Improving exchange: free r2, flip back along parents.
-                        apply_flip(m, l, &parent_l, &parent_r, Some(r2));
+                        apply_flip(m, l, &ws.parent_l, &ws.parent_r, Some(r2));
                         return true;
                     }
-                    queue.push(r2);
+                    ws.queue.push(r2);
                 }
             }
         }

@@ -1,0 +1,151 @@
+//! Reusable scratch buffers for the matching algorithms.
+//!
+//! Every algorithm in this crate needs per-call working memory proportional
+//! to the graph: BFS layer distances and queues for Hopcroft–Karp, a DFS
+//! stack for augmenting-path search, visited masks for Kuhn, parent arrays
+//! and a CSR reverse adjacency for the saturation passes. The strategies
+//! call these routines once (or more) per simulated round, so allocating
+//! that memory fresh each call dominates the round loop on small windows.
+//!
+//! A [`MatchingWorkspace`] owns all of those buffers and hands them to the
+//! `*_with` variants ([`crate::hopcroft_karp_with`], [`crate::kuhn_augment_with`],
+//! [`crate::kuhn_in_order_with`], [`crate::saturate_levels_with`]). Buffers
+//! grow monotonically to the largest graph seen and are then reused, so a
+//! steady-state round loop performs no heap allocation inside the matching
+//! layer. The convenience wrappers without `_with` construct a fresh
+//! workspace per call and remain the simple entry points for tests and
+//! one-shot callers.
+
+use crate::graph::BipartiteGraph;
+
+/// Reusable working memory for the algorithms in this crate.
+///
+/// A workspace may be shared freely across graphs of different shapes; each
+/// `*_with` call resizes the buffers it needs. Reuse never changes results:
+/// every algorithm fully reinitializes the regions it reads.
+#[derive(Debug, Default)]
+pub struct MatchingWorkspace {
+    /// BFS layer distances, indexed by left vertex (Hopcroft–Karp).
+    pub(crate) dist: Vec<u32>,
+    /// BFS queue of left vertices (Hopcroft–Karp, saturation).
+    pub(crate) queue: Vec<u32>,
+    /// Explicit DFS stack of `(left vertex, neighbour cursor)` frames.
+    pub(crate) stack: Vec<(u32, u32)>,
+    /// Visited mask over right vertices (Kuhn, saturation).
+    pub(crate) visited_r: Vec<bool>,
+    /// Visited mask over left vertices (saturation).
+    pub(crate) visited_l: Vec<bool>,
+    /// `parent_l[l]` = right vertex `l` was discovered from (saturation).
+    pub(crate) parent_l: Vec<u32>,
+    /// `parent_r[r]` = left vertex `r` was discovered from (saturation).
+    pub(crate) parent_r: Vec<u32>,
+    /// CSR reverse adjacency: `rev_offsets[r]..rev_offsets[r+1]` indexes
+    /// `rev_adjacency` with the left neighbours of right vertex `r`.
+    pub(crate) rev_offsets: Vec<u32>,
+    pub(crate) rev_adjacency: Vec<u32>,
+}
+
+impl MatchingWorkspace {
+    /// A workspace with no capacity yet; buffers grow on first use.
+    pub fn new() -> MatchingWorkspace {
+        MatchingWorkspace::default()
+    }
+
+    /// Resize-and-fill helper: make `buf` exactly `n` long, every slot `val`.
+    fn refill<T: Copy>(buf: &mut Vec<T>, n: usize, val: T) {
+        buf.clear();
+        buf.resize(n, val);
+    }
+
+    /// Prepare the Hopcroft–Karp buffers for a graph with `nl` left vertices.
+    pub(crate) fn prepare_hk(&mut self, nl: usize) {
+        Self::refill(&mut self.dist, nl, u32::MAX);
+        self.queue.clear();
+        self.queue.reserve(nl.saturating_sub(self.queue.capacity()));
+        self.stack.clear();
+    }
+
+    /// Prepare the Kuhn visited mask for a graph with `nr` right vertices.
+    pub(crate) fn prepare_kuhn(&mut self, nr: usize) {
+        Self::refill(&mut self.visited_r, nr, false);
+        self.stack.clear();
+    }
+
+    /// Prepare the saturation search buffers.
+    pub(crate) fn prepare_saturate(&mut self, nl: usize, nr: usize) {
+        Self::refill(&mut self.visited_l, nl, false);
+        Self::refill(&mut self.visited_r, nr, false);
+        Self::refill(&mut self.parent_l, nl, u32::MAX);
+        Self::refill(&mut self.parent_r, nr, u32::MAX);
+        self.queue.clear();
+    }
+
+    /// Build the CSR reverse adjacency of `g` into the workspace buffers
+    /// (counting sort; no per-right-vertex `Vec`s).
+    pub(crate) fn build_reverse(&mut self, g: &BipartiteGraph) {
+        let nr = g.n_right() as usize;
+        Self::refill(&mut self.rev_offsets, nr + 1, 0);
+        for l in 0..g.n_left() {
+            for &r in g.neighbors(l) {
+                self.rev_offsets[r as usize + 1] += 1;
+            }
+        }
+        for r in 0..nr {
+            self.rev_offsets[r + 1] += self.rev_offsets[r];
+        }
+        Self::refill(&mut self.rev_adjacency, g.n_edges(), 0);
+        // Cursor pass reuses parent_r as the per-right write cursor.
+        Self::refill(&mut self.parent_r, nr, 0);
+        for l in 0..g.n_left() {
+            for &r in g.neighbors(l) {
+                let slot = self.rev_offsets[r as usize] + self.parent_r[r as usize];
+                self.rev_adjacency[slot as usize] = l;
+                self.parent_r[r as usize] += 1;
+            }
+        }
+    }
+
+    /// Left neighbours of right vertex `r` in the previously built reverse
+    /// adjacency (insertion order, matching `BipartiteGraph::reverse_adjacency`).
+    /// The saturation search indexes `rev_offsets`/`rev_adjacency` directly
+    /// to keep the borrow checker happy; this accessor serves the tests.
+    #[cfg(test)]
+    #[inline]
+    pub(crate) fn rev_neighbors(&self, r: u32) -> &[u32] {
+        let lo = self.rev_offsets[r as usize] as usize;
+        let hi = self.rev_offsets[r as usize + 1] as usize;
+        &self.rev_adjacency[lo..hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reverse_adjacency_matches_allocating_version() {
+        let g = BipartiteGraph::from_adjacency(
+            4,
+            &[vec![0, 3], vec![3, 1], vec![1, 2, 3], vec![]],
+        );
+        let mut ws = MatchingWorkspace::new();
+        ws.build_reverse(&g);
+        let expect = g.reverse_adjacency();
+        for r in 0..g.n_right() {
+            assert_eq!(ws.rev_neighbors(r), expect[r as usize].as_slice(), "r={r}");
+        }
+    }
+
+    #[test]
+    fn reverse_adjacency_reusable_across_graphs() {
+        let mut ws = MatchingWorkspace::new();
+        let g1 = BipartiteGraph::from_adjacency(2, &[vec![0, 1], vec![1]]);
+        ws.build_reverse(&g1);
+        let g2 = BipartiteGraph::from_adjacency(3, &[vec![2], vec![0]]);
+        ws.build_reverse(&g2);
+        let expect = g2.reverse_adjacency();
+        for r in 0..g2.n_right() {
+            assert_eq!(ws.rev_neighbors(r), expect[r as usize].as_slice());
+        }
+    }
+}

@@ -3,8 +3,9 @@
 
 use proptest::prelude::*;
 use reqsched_matching::{
-    brute, greedy_maximal, hopcroft_karp, kuhn_in_order, saturate_levels,
-    symmetric_difference, BipartiteGraph, Matching,
+    brute, greedy_maximal, hopcroft_karp, hopcroft_karp_with, kuhn_in_order,
+    kuhn_in_order_with, saturate_levels, saturate_levels_with, symmetric_difference,
+    BipartiteGraph, Matching, MatchingWorkspace,
 };
 
 /// A small random bipartite graph: up to 7 left and 7 right vertices.
@@ -95,6 +96,36 @@ proptest! {
         // Maximal matchings never leave order-1 augmenting paths.
         if let Some(min) = report.min_order() {
             prop_assert!(min >= 2);
+        }
+    }
+
+    #[test]
+    fn reused_workspace_is_bit_identical_to_fresh(
+        gs in proptest::collection::vec(small_graph(), 1..6),
+    ) {
+        // One workspace threaded through a sequence of solves of varying
+        // shapes must leave no trace between them: every HK / Kuhn /
+        // saturation result is bit-identical to a fresh-state solve.
+        let mut ws = MatchingWorkspace::new();
+        for g in &gs {
+            let m = hopcroft_karp_with(g, &mut ws);
+            prop_assert_eq!(&m, &hopcroft_karp(g), "hk drifted with reuse");
+
+            let order: Vec<u32> = (0..g.n_left()).collect();
+            let mut mk = Matching::empty(g.n_left(), g.n_right());
+            let grown = kuhn_in_order_with(g, &mut mk, &order, &mut ws);
+            let mut mk_fresh = Matching::empty(g.n_left(), g.n_right());
+            let grown_fresh = kuhn_in_order(g, &mut mk_fresh, &order);
+            prop_assert_eq!(grown, grown_fresh);
+            prop_assert_eq!(&mk, &mk_fresh, "kuhn drifted with reuse");
+
+            let levels: Vec<u32> = (0..g.n_right()).map(|r| r % 2).collect();
+            let mut ms = m.clone();
+            let cov = saturate_levels_with(g, &mut ms, &levels, &mut ws);
+            let mut ms_fresh = hopcroft_karp(g);
+            let cov_fresh = saturate_levels(g, &mut ms_fresh, &levels);
+            prop_assert_eq!(cov, cov_fresh);
+            prop_assert_eq!(&ms, &ms_fresh, "saturation drifted with reuse");
         }
     }
 

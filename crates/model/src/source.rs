@@ -50,15 +50,31 @@ pub trait RequestSource {
 }
 
 /// Replays a fixed [`Trace`].
+///
+/// Holds the trace as a [`Cow`](std::borrow::Cow), so simulation drivers can
+/// replay a shared instance without cloning the full request sequence per
+/// run ([`TraceSource::borrowed`]); owning construction via
+/// [`TraceSource::new`] is unchanged.
 #[derive(Clone, Debug)]
-pub struct TraceSource {
-    trace: Trace,
+pub struct TraceSource<'a> {
+    trace: std::borrow::Cow<'a, Trace>,
 }
 
-impl TraceSource {
-    /// Wrap a trace.
-    pub fn new(trace: Trace) -> TraceSource {
-        TraceSource { trace }
+impl TraceSource<'static> {
+    /// Wrap an owned trace.
+    pub fn new(trace: Trace) -> TraceSource<'static> {
+        TraceSource {
+            trace: std::borrow::Cow::Owned(trace),
+        }
+    }
+}
+
+impl<'a> TraceSource<'a> {
+    /// Replay a borrowed trace without cloning it.
+    pub fn borrowed(trace: &'a Trace) -> TraceSource<'a> {
+        TraceSource {
+            trace: std::borrow::Cow::Borrowed(trace),
+        }
     }
 
     /// The underlying trace.
@@ -67,7 +83,7 @@ impl TraceSource {
     }
 }
 
-impl RequestSource for TraceSource {
+impl RequestSource for TraceSource<'_> {
     fn arrivals(&mut self, round: Round, _view: &dyn StateView) -> Vec<Request> {
         self.trace.arrivals_at(round).to_vec()
     }
@@ -115,5 +131,22 @@ mod tests {
         assert!(!src.exhausted(Round(2)));
         assert!(src.exhausted(Round(3)));
         assert!(src.describe().contains("3 requests"));
+    }
+
+    #[test]
+    fn borrowed_source_matches_owned() {
+        let mut b = TraceBuilder::new(2);
+        b.push(0u64, 0u32, 1u32);
+        b.push(1u64, 1u32, 2u32);
+        let trace = b.build();
+        let mut owned = TraceSource::new(trace.clone());
+        let mut borrowed = TraceSource::borrowed(&trace);
+        for t in 0..3u64 {
+            assert_eq!(
+                owned.arrivals(Round(t), &NullView),
+                borrowed.arrivals(Round(t), &NullView)
+            );
+            assert_eq!(owned.exhausted(Round(t)), borrowed.exhausted(Round(t)));
+        }
     }
 }

@@ -20,6 +20,21 @@ pub mod analysis;
 
 use reqsched_matching::{hopcroft_karp, BipartiteGraph};
 use reqsched_model::{Instance, RequestId, ResourceId, Round};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of Hopcroft–Karp horizon-graph solves (see
+/// [`horizon_solve_count`]).
+static HORIZON_SOLVES: AtomicU64 = AtomicU64::new(0);
+
+/// How many full horizon-graph optimum computations
+/// ([`optimal_schedule`] / [`optimal_count`]) this process has performed.
+///
+/// The horizon solve is the most expensive step of a simulation sweep, so
+/// benches and regression tests use deltas of this counter to verify that
+/// OPT caching actually eliminates redundant solves.
+pub fn horizon_solve_count() -> u64 {
+    HORIZON_SOLVES.load(Ordering::Relaxed)
+}
 
 /// An offline schedule: per-request slot assignment (`None` = unserved).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -117,6 +132,7 @@ pub fn solution_matching(
 /// Compute an optimal offline schedule (maximum matching on the horizon
 /// graph).
 pub fn optimal_schedule(inst: &Instance) -> OfflineSolution {
+    HORIZON_SOLVES.fetch_add(1, Ordering::Relaxed);
     let n = inst.n_resources;
     let g = horizon_graph(inst);
     let m = hopcroft_karp(&g);
@@ -136,6 +152,7 @@ pub fn optimal_schedule(inst: &Instance) -> OfflineSolution {
 
 /// The optimum number of servable requests (`perf_OPT(σ)`).
 pub fn optimal_count(inst: &Instance) -> usize {
+    HORIZON_SOLVES.fetch_add(1, Ordering::Relaxed);
     hopcroft_karp(&horizon_graph(inst)).size()
 }
 

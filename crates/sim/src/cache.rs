@@ -1,0 +1,196 @@
+//! Memoized offline optima for simulation sweeps.
+//!
+//! Sweeps run many (instance × strategy × tie-break) jobs, and most jobs
+//! share instances — yet each [`crate::run_fixed`] call used to recompute
+//! the exact optimum with a full Hopcroft–Karp solve of the horizon graph,
+//! by far the most expensive step of a job. [`OptCache`] computes the
+//! optimum once per *distinct* instance and shares the value across jobs
+//! and threads.
+//!
+//! Lookup is two-tier:
+//!
+//! 1. **Pointer fast path** — jobs built with `Arc::clone` of the same
+//!    instance hit a lock-guarded `Arc::as_ptr` map without hashing any
+//!    request data.
+//! 2. **Content fallback** — separately allocated but equal instances (e.g.
+//!    a generator invoked with identical parameters per sweep row) are
+//!    deduplicated by a content fingerprint plus a full equality check.
+//!
+//! Each distinct instance maps to one `OnceLock` cell; concurrent Rayon
+//! workers that race on a cold cell block in `get_or_init`, so the horizon
+//! graph is solved exactly once per instance no matter the interleaving.
+//!
+//! The pointer map holds a strong `Arc` to every instance it has keyed,
+//! which guarantees the pointer keys stay valid: an address can only be
+//! reused after its allocation is freed, and the cache keeps every keyed
+//! instance alive for its own lifetime. (Holding the first-seen instance
+//! per content is *not* enough — a later content-equal `Arc` that was
+//! keyed by pointer and then dropped would leave its address free for a
+//! brand-new, different instance, which would then hit the stale cell.)
+
+use reqsched_model::Instance;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Shared cache of exact offline optima, keyed by instance identity with a
+/// content-equality fallback. See the module docs.
+#[derive(Debug, Default)]
+pub struct OptCache {
+    /// `Arc::as_ptr` fast path to the instance's cell. The stored `Arc`
+    /// pins the allocation so the address cannot be recycled for a
+    /// different instance while this cache lives.
+    by_ptr: Mutex<HashMap<usize, (Arc<Instance>, Arc<OnceLock<usize>>)>>,
+    /// Content fingerprint → (instance, cell) buckets; full `==` resolves
+    /// fingerprint collisions.
+    by_content: Mutex<HashMap<u64, Vec<(Arc<Instance>, Arc<OnceLock<usize>>)>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl OptCache {
+    /// An empty cache.
+    pub fn new() -> OptCache {
+        OptCache::default()
+    }
+
+    /// The exact offline optimum of `inst`, computing it on first sight
+    /// (of this pointer *or* any equal instance) and replaying it after.
+    pub fn opt_for(&self, inst: &Arc<Instance>) -> usize {
+        let key = Arc::as_ptr(inst) as usize;
+        let cached = self
+            .by_ptr
+            .lock()
+            .unwrap()
+            .get(&key)
+            .map(|(_, cell)| Arc::clone(cell));
+        let cell = match cached {
+            Some(cell) => cell,
+            None => {
+                let cell = self.content_cell(inst);
+                self.by_ptr
+                    .lock()
+                    .unwrap()
+                    .insert(key, (Arc::clone(inst), Arc::clone(&cell)));
+                cell
+            }
+        };
+        let mut solved_here = false;
+        let opt = *cell.get_or_init(|| {
+            solved_here = true;
+            reqsched_offline::optimal_count(inst)
+        });
+        if solved_here {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        opt
+    }
+
+    /// Find or create the cell for an instance not yet known by pointer.
+    fn content_cell(&self, inst: &Arc<Instance>) -> Arc<OnceLock<usize>> {
+        let fp = fingerprint(inst);
+        let mut by_content = self.by_content.lock().unwrap();
+        let bucket = by_content.entry(fp).or_default();
+        if let Some((_, cell)) = bucket.iter().find(|(known, _)| **known == **inst) {
+            return Arc::clone(cell);
+        }
+        let cell = Arc::new(OnceLock::new());
+        bucket.push((Arc::clone(inst), Arc::clone(&cell)));
+        cell
+    }
+
+    /// Lookups answered from an already-solved cell.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that performed the horizon solve (= solves this cache paid).
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct instances cached.
+    pub fn len(&self) -> usize {
+        self.by_content.lock().unwrap().values().map(Vec::len).sum()
+    }
+
+    /// Whether the cache has seen no instance yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Order-sensitive content fingerprint of an instance (not a full hash of
+/// every field — collisions are resolved by `==` in the bucket).
+fn fingerprint(inst: &Instance) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    inst.n_resources.hash(&mut h);
+    inst.d.hash(&mut h);
+    inst.trace.len().hash(&mut h);
+    for req in inst.trace.requests() {
+        req.arrival.get().hash(&mut h);
+        req.deadline.hash(&mut h);
+        req.tag.hash(&mut h);
+        req.hint.priority.hash(&mut h);
+        req.hint.prefer.map(|r| r.0).unwrap_or(u32::MAX).hash(&mut h);
+        for res in req.alternatives.as_slice() {
+            res.0.hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reqsched_model::TraceBuilder;
+
+    fn inst(extra: u32) -> Arc<Instance> {
+        let mut b = TraceBuilder::new(2);
+        b.block2(0u64, 0u32, 1u32, 0);
+        for _ in 0..extra {
+            b.push(0u64, 0u32, 1u32);
+        }
+        Arc::new(Instance::new(2, 2, b.build()))
+    }
+
+    #[test]
+    fn pointer_hits_skip_resolving() {
+        let cache = OptCache::new();
+        let i = inst(1);
+        let fresh = reqsched_offline::optimal_count(&i);
+        assert_eq!(cache.opt_for(&i), fresh);
+        assert_eq!(cache.opt_for(&Arc::clone(&i)), fresh);
+        assert_eq!(cache.opt_for(&i), fresh);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn equal_content_different_allocation_deduplicates() {
+        let cache = OptCache::new();
+        let a = inst(2);
+        let b = inst(2);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.opt_for(&a), cache.opt_for(&b));
+        assert_eq!(cache.misses(), 1, "one solve for two equal instances");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_instances_do_not_collide() {
+        let cache = OptCache::new();
+        let a = inst(0);
+        let b = inst(3);
+        let opt_a = cache.opt_for(&a);
+        let opt_b = cache.opt_for(&b);
+        assert_eq!(opt_a, reqsched_offline::optimal_count(&a));
+        assert_eq!(opt_b, reqsched_offline::optimal_count(&b));
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -123,6 +123,16 @@ pub fn run_source(
     let mut assignment: Vec<Option<(u32, u64)>> = Vec::new();
     let mut last_expiry = Round::ZERO;
     let mut round = Round::ZERO;
+    // Per-round duplicate-resource check: a reusable bitset instead of a
+    // fresh HashSet per round.
+    let mut resources_used = vec![false; n as usize];
+    // Expiry wheel: pending ids bucketed by `expiry % d`. A request expires
+    // at most `d - 1` rounds after arrival, so the bucket due at the end of
+    // round `t` holds exactly the ids with expiry `t` (plus stale entries
+    // for already-served requests, which are skipped). This replaces the
+    // O(|pending|)-per-round expiry scan.
+    let wheel_len = d.max(1) as usize;
+    let mut wheel: Vec<Vec<RequestId>> = (0..wheel_len).map(|_| Vec::new()).collect();
 
     loop {
         view.round = round;
@@ -145,6 +155,7 @@ pub fn run_source(
             view.served.push(false);
             assignment.push(None);
             last_expiry = last_expiry.max(req.expiry());
+            wheel[(req.expiry().get() % wheel_len as u64) as usize].push(req.id);
             pending.insert(
                 req.id,
                 Pending {
@@ -163,15 +174,14 @@ pub fn run_source(
 
         let services = strategy.on_round(round, &arrivals);
 
-        let mut resources_used = std::collections::HashSet::new();
         for s in &services {
+            assert!(s.resource.0 < n, "unknown resource {:?}", s.resource);
             assert!(
-                resources_used.insert(s.resource),
+                !std::mem::replace(&mut resources_used[s.resource.0 as usize], true),
                 "{:?} used twice in round {:?}",
                 s.resource,
                 round
             );
-            assert!(s.resource.0 < n, "unknown resource {:?}", s.resource);
             let p = pending.remove(&s.request).unwrap_or_else(|| {
                 panic!(
                     "strategy served {:?} which is not pending (round {round:?})",
@@ -191,17 +201,23 @@ pub fn run_source(
             served += 1;
         }
         per_round_served.push(services.len() as u32);
-
-        // Expire pending requests whose last usable round was this one.
-        let dead: Vec<RequestId> = pending
-            .iter()
-            .filter(|(_, p)| p.expiry <= round)
-            .map(|(&id, _)| id)
-            .collect();
-        for id in dead {
-            pending.remove(&id);
-            expired += 1;
+        for s in &services {
+            resources_used[s.resource.0 as usize] = false;
         }
+
+        // Expire pending requests whose last usable round was this one:
+        // exactly the (still-pending) occupants of this round's wheel
+        // bucket. The expiry guard skips nothing in practice (ids land in
+        // the bucket of their own expiry round) but keeps the drain safe.
+        let bucket = (round.get() % wheel_len as u64) as usize;
+        let mut due = std::mem::take(&mut wheel[bucket]);
+        for id in due.drain(..) {
+            if pending.get(&id).is_some_and(|p| p.expiry <= round) {
+                pending.remove(&id);
+                expired += 1;
+            }
+        }
+        wheel[bucket] = due; // keep the bucket's capacity for reuse
 
         round = round.next();
         if source.exhausted(round) && pending.is_empty() {
@@ -233,10 +249,30 @@ pub fn run_source(
 
 /// Run a strategy over a fixed instance and fill in the exact optimum.
 pub fn run_fixed(strategy: &mut dyn OnlineScheduler, inst: &Instance) -> RunStats {
-    let mut source = TraceSource::new(inst.trace.clone());
-    let (mut stats, trace) = run_source(strategy, &mut source, inst.n_resources, inst.d);
-    debug_assert_eq!(trace.len(), inst.trace.len());
+    let mut stats = run_fixed_without_opt(strategy, inst);
     stats.opt = reqsched_offline::optimal_count(inst);
+    stats
+}
+
+/// Run a strategy over a fixed instance, filling the optimum from `cache`
+/// so repeated runs on the same (or an equal) instance solve the horizon
+/// graph only once.
+pub fn run_fixed_cached(
+    strategy: &mut dyn OnlineScheduler,
+    inst: &std::sync::Arc<Instance>,
+    cache: &crate::OptCache,
+) -> RunStats {
+    let mut stats = run_fixed_without_opt(strategy, inst);
+    stats.opt = cache.opt_for(inst);
+    stats
+}
+
+/// The shared online part of [`run_fixed`] / [`run_fixed_cached`]: replay
+/// the instance's trace (borrowed, not cloned) and leave `opt` at 0.
+fn run_fixed_without_opt(strategy: &mut dyn OnlineScheduler, inst: &Instance) -> RunStats {
+    let mut source = TraceSource::borrowed(&inst.trace);
+    let (stats, trace) = run_source(strategy, &mut source, inst.n_resources, inst.d);
+    debug_assert_eq!(trace.len(), inst.trace.len());
     stats
 }
 

@@ -9,10 +9,12 @@
 //! competitive ratio against the exact offline optimum, and fans parameter
 //! sweeps out across cores with Rayon.
 
+mod cache;
 mod engine;
 mod strategy;
 mod sweep;
 
-pub use engine::{run_fixed, run_source, RunStats};
+pub use cache::OptCache;
+pub use engine::{run_fixed, run_fixed_cached, run_source, RunStats};
 pub use strategy::AnyStrategy;
-pub use sweep::{par_run, Job, RunRecord};
+pub use sweep::{par_run, par_run_with_cache, Job, RunRecord};

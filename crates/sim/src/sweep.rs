@@ -1,7 +1,8 @@
 //! Rayon-parallel parameter sweeps over (instance × strategy × tie-break)
 //! grids.
 
-use crate::engine::{run_fixed, RunStats};
+use crate::cache::OptCache;
+use crate::engine::{run_fixed_cached, RunStats};
 use crate::strategy::AnyStrategy;
 use rayon::prelude::*;
 use reqsched_core::{StrategyKind, TieBreak};
@@ -64,13 +65,23 @@ pub struct RunRecord {
 
 /// Run all jobs in parallel (Rayon work-stealing; each job is independent).
 ///
-/// Results come back in job order regardless of execution order.
+/// Results come back in job order regardless of execution order. The exact
+/// optimum is computed once per distinct instance via a per-call
+/// [`OptCache`]; pass a cache explicitly with [`par_run_with_cache`] to
+/// share optima across several sweep calls.
 pub fn par_run(jobs: &[Job]) -> Vec<RunRecord> {
+    par_run_with_cache(jobs, &OptCache::new())
+}
+
+/// [`par_run`] with a caller-supplied [`OptCache`], so sweeps that revisit
+/// the same instances (e.g. one battery per strategy kind) pay for each
+/// horizon solve once across all of them.
+pub fn par_run_with_cache(jobs: &[Job], cache: &OptCache) -> Vec<RunRecord> {
     jobs.par_iter()
         .map(|job| {
             let inst = &job.instance;
             let mut strategy = job.strategy.build(inst.n_resources, inst.d);
-            let stats = run_fixed(strategy.as_mut(), inst);
+            let stats = run_fixed_cached(strategy.as_mut(), inst, cache);
             let ratio = stats.ratio();
             let tie = match job.strategy {
                 AnyStrategy::Global(_, tie) => tie.label(),
@@ -131,6 +142,56 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.stats, y.stats, "sweeps must be deterministic");
         }
+    }
+
+    #[test]
+    fn cached_sweep_matches_uncached_and_dedupes_solves() {
+        let i = inst();
+        let jobs: Vec<Job> = StrategyKind::GLOBAL
+            .iter()
+            .map(|&k| Job::new(k.name(), Arc::clone(&i), k, TieBreak::FirstFit))
+            .collect();
+        let cache = OptCache::new();
+        let cached = par_run_with_cache(&jobs, &cache);
+        let fresh = par_run(&jobs);
+        for (x, y) in cached.iter().zip(&fresh) {
+            assert_eq!(x.stats, y.stats);
+        }
+        assert_eq!(cache.misses(), 1, "one shared instance -> one solve");
+        assert_eq!(cache.hits(), jobs.len() - 1);
+    }
+
+    #[test]
+    fn shared_cache_survives_concurrent_sweeps() {
+        let i = inst();
+        let jobs: Vec<Job> = (0..6)
+            .map(|s| {
+                Job::new(
+                    format!("seed{s}"),
+                    Arc::clone(&i),
+                    StrategyKind::ABalance,
+                    TieBreak::Random(s),
+                )
+            })
+            .collect();
+        let cache = OptCache::new();
+        let (a, b) = std::thread::scope(|s| {
+            let ha = s.spawn(|| par_run_with_cache(&jobs, &cache));
+            let hb = s.spawn(|| par_run_with_cache(&jobs, &cache));
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+        let serial = par_run(&jobs);
+        for (x, y) in a.iter().zip(&serial) {
+            assert_eq!(x.stats, y.stats);
+        }
+        for (x, y) in b.iter().zip(&serial) {
+            assert_eq!(x.stats, y.stats);
+        }
+        assert_eq!(
+            cache.misses(),
+            1,
+            "racing sweeps still solve each instance once"
+        );
     }
 
     #[test]

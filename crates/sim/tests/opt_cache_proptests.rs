@@ -1,0 +1,71 @@
+//! Property-based checks that the OPT cache is transparent: sweeps through
+//! a shared [`OptCache`] produce exactly the statistics of fresh,
+//! uncached runs, under any mix of shared/duplicated instances and
+//! concurrent callers.
+
+use proptest::prelude::*;
+use reqsched_core::{StrategyKind, TieBreak};
+use reqsched_model::Instance;
+use reqsched_sim::{par_run, par_run_with_cache, Job, OptCache};
+use std::sync::Arc;
+
+/// A small random instance drawn from the uniform two-choice generator.
+fn small_instance() -> impl Strategy<Value = Arc<Instance>> {
+    (2u32..=5, 2u32..=4, 1u32..=4, 5u64..=20, 0u64..1000).prop_map(
+        |(n, d, rate, rounds, seed)| {
+            Arc::new(reqsched_workloads::uniform_two_choice(
+                n, d, rate, rounds, seed,
+            ))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cached_opt_equals_fresh_opt(insts in proptest::collection::vec(small_instance(), 1..5)) {
+        let cache = OptCache::new();
+        for inst in &insts {
+            let fresh = reqsched_offline::optimal_count(inst);
+            prop_assert_eq!(cache.opt_for(inst), fresh);
+            // Second lookup replays the same value without resolving.
+            prop_assert_eq!(cache.opt_for(inst), fresh);
+            // A content-equal copy in a different allocation also replays.
+            let copy = Arc::new(Instance::clone(inst));
+            prop_assert_eq!(cache.opt_for(&copy), fresh);
+        }
+        prop_assert!(cache.misses() <= insts.len(), "at most one solve per distinct instance");
+    }
+
+    #[test]
+    fn concurrent_cached_sweeps_match_serial(
+        inst in small_instance(),
+        n_jobs in 2usize..6,
+    ) {
+        let jobs: Vec<Job> = (0..n_jobs)
+            .map(|s| {
+                Job::new(
+                    format!("job{s}"),
+                    Arc::clone(&inst),
+                    StrategyKind::GLOBAL[s % StrategyKind::GLOBAL.len()],
+                    TieBreak::Random(s as u64),
+                )
+            })
+            .collect();
+        let serial = par_run(&jobs);
+        let cache = OptCache::new();
+        let (a, b) = std::thread::scope(|scope| {
+            let ha = scope.spawn(|| par_run_with_cache(&jobs, &cache));
+            let hb = scope.spawn(|| par_run_with_cache(&jobs, &cache));
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+        for out in [&a, &b] {
+            prop_assert_eq!(out.len(), serial.len());
+            for (x, y) in out.iter().zip(&serial) {
+                prop_assert_eq!(&x.stats, &y.stats, "cache changed run statistics");
+            }
+        }
+        prop_assert_eq!(cache.misses(), 1, "one shared instance, one solve across racing sweeps");
+    }
+}

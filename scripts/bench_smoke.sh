@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Smoke-test the performance path end to end:
+#   1. release build of the whole workspace,
+#   2. the full test suite,
+#   3. a short Table-1 sweep (exercises the shared OPT cache),
+#   4. the hot-path bench in quick mode (regenerates BENCH_PR1.json and
+#      asserts the >= 5x horizon-solve reduction).
+#
+# Usage: scripts/bench_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== release build =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== short table1 sweep =="
+cargo run --release -p reqsched-bench --bin table1 -- 4
+
+echo "== hot-path bench (quick) =="
+HOT_PATH_QUICK=1 cargo bench -p reqsched-bench --bench hot_path
+
+echo "bench smoke OK"

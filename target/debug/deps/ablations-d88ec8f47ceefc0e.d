@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-d88ec8f47ceefc0e.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-d88ec8f47ceefc0e: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

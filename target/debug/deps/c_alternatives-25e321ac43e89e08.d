@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/c_alternatives-25e321ac43e89e08.d: tests/c_alternatives.rs
+
+/root/repo/target/debug/deps/c_alternatives-25e321ac43e89e08: tests/c_alternatives.rs
+
+tests/c_alternatives.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compliance-8b39e02db5af0c65.d: crates/core/tests/compliance.rs
+
+/root/repo/target/debug/deps/compliance-8b39e02db5af0c65: crates/core/tests/compliance.rs
+
+crates/core/tests/compliance.rs:

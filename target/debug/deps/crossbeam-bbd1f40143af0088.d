@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-bbd1f40143af0088.d: /tmp/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-bbd1f40143af0088.rlib: /tmp/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-bbd1f40143af0088.rmeta: /tmp/vendor/crossbeam/src/lib.rs
+
+/tmp/vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edf_optimality-1772eb62ea0d5a1f.d: tests/edf_optimality.rs
+
+/root/repo/target/debug/deps/edf_optimality-1772eb62ea0d5a1f: tests/edf_optimality.rs
+
+tests/edf_optimality.rs:

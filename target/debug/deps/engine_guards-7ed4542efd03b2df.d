@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_guards-7ed4542efd03b2df.d: tests/engine_guards.rs
+
+/root/repo/target/debug/deps/engine_guards-7ed4542efd03b2df: tests/engine_guards.rs
+
+tests/engine_guards.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/local_comm-a3e80c7d7a2c1464.d: crates/bench/src/bin/local_comm.rs
+
+/root/repo/target/debug/deps/local_comm-a3e80c7d7a2c1464: crates/bench/src/bin/local_comm.rs
+
+crates/bench/src/bin/local_comm.rs:

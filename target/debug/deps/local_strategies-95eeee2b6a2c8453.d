@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/local_strategies-95eeee2b6a2c8453.d: tests/local_strategies.rs
+
+/root/repo/target/debug/deps/local_strategies-95eeee2b6a2c8453: tests/local_strategies.rs
+
+tests/local_strategies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lower_bounds-6005136165400397.d: tests/lower_bounds.rs
+
+/root/repo/target/debug/deps/lower_bounds-6005136165400397: tests/lower_bounds.rs
+
+tests/lower_bounds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/opt_cache_proptests-78b6657207c0474d.d: crates/sim/tests/opt_cache_proptests.rs
+
+/root/repo/target/debug/deps/opt_cache_proptests-78b6657207c0474d: crates/sim/tests/opt_cache_proptests.rs
+
+crates/sim/tests/opt_cache_proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overload_analysis-11e4a4142572115c.d: tests/overload_analysis.rs
+
+/root/repo/target/debug/deps/overload_analysis-11e4a4142572115c: tests/overload_analysis.rs
+
+tests/overload_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persistence-e09a7432599f2ee7.d: tests/persistence.rs
+
+/root/repo/target/debug/deps/persistence-e09a7432599f2ee7: tests/persistence.rs
+
+tests/persistence.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-695dc448d83d60b2.d: /tmp/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-695dc448d83d60b2.rlib: /tmp/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-695dc448d83d60b2.rmeta: /tmp/vendor/proptest/src/lib.rs
+
+/tmp/vendor/proptest/src/lib.rs:

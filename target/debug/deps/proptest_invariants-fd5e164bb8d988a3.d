@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-fd5e164bb8d988a3.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-fd5e164bb8d988a3: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-320761a6d904069a.d: crates/model/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-320761a6d904069a: crates/model/tests/proptests.rs
+
+crates/model/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f0572e8a5f752c01.d: crates/matching/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f0572e8a5f752c01: crates/matching/tests/proptests.rs
+
+crates/matching/tests/proptests.rs:

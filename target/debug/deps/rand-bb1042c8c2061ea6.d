@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-bb1042c8c2061ea6.d: /tmp/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-bb1042c8c2061ea6.rlib: /tmp/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-bb1042c8c2061ea6.rmeta: /tmp/vendor/rand/src/lib.rs
+
+/tmp/vendor/rand/src/lib.rs:

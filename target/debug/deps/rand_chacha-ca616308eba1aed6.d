@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-ca616308eba1aed6.d: /tmp/vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-ca616308eba1aed6.rlib: /tmp/vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-ca616308eba1aed6.rmeta: /tmp/vendor/rand_chacha/src/lib.rs
+
+/tmp/vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ratio_curves-afc7029203b8455e.d: crates/bench/src/bin/ratio_curves.rs
+
+/root/repo/target/debug/deps/ratio_curves-afc7029203b8455e: crates/bench/src/bin/ratio_curves.rs
+
+crates/bench/src/bin/ratio_curves.rs:

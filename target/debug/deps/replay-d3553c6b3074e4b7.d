@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replay-d3553c6b3074e4b7.d: crates/bench/src/bin/replay.rs
+
+/root/repo/target/debug/deps/replay-d3553c6b3074e4b7: crates/bench/src/bin/replay.rs
+
+crates/bench/src/bin/replay.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/reqsched-c332c204a97e6d4e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libreqsched-c332c204a97e6d4e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libreqsched-c332c204a97e6d4e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reqsched-c5e13e72bbdb6da1.d: src/lib.rs
+
+/root/repo/target/debug/deps/reqsched-c5e13e72bbdb6da1: src/lib.rs
+
+src/lib.rs:

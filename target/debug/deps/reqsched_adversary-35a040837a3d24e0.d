@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/reqsched_adversary-35a040837a3d24e0.d: crates/adversary/src/lib.rs crates/adversary/src/edf_worst.rs crates/adversary/src/thm21.rs crates/adversary/src/thm22.rs crates/adversary/src/thm23.rs crates/adversary/src/thm24.rs crates/adversary/src/thm25.rs crates/adversary/src/thm26.rs crates/adversary/src/thm37.rs
+
+/root/repo/target/debug/deps/reqsched_adversary-35a040837a3d24e0: crates/adversary/src/lib.rs crates/adversary/src/edf_worst.rs crates/adversary/src/thm21.rs crates/adversary/src/thm22.rs crates/adversary/src/thm23.rs crates/adversary/src/thm24.rs crates/adversary/src/thm25.rs crates/adversary/src/thm26.rs crates/adversary/src/thm37.rs
+
+crates/adversary/src/lib.rs:
+crates/adversary/src/edf_worst.rs:
+crates/adversary/src/thm21.rs:
+crates/adversary/src/thm22.rs:
+crates/adversary/src/thm23.rs:
+crates/adversary/src/thm24.rs:
+crates/adversary/src/thm25.rs:
+crates/adversary/src/thm26.rs:
+crates/adversary/src/thm37.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/reqsched_bench-200d6c97e273a83b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libreqsched_bench-200d6c97e273a83b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libreqsched_bench-200d6c97e273a83b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reqsched_bench-e60bf6c157b5e8b6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/reqsched_bench-e60bf6c157b5e8b6: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/reqsched_core-dcc93904d3b8858e.d: crates/core/src/lib.rs crates/core/src/acurrent.rs crates/core/src/afix.rs crates/core/src/balance.rs crates/core/src/eager.rs crates/core/src/edf.rs crates/core/src/factory.rs crates/core/src/fix_balance.rs crates/core/src/lazy.rs crates/core/src/schedule.rs crates/core/src/tiebreak.rs crates/core/src/window.rs
+
+/root/repo/target/debug/deps/reqsched_core-dcc93904d3b8858e: crates/core/src/lib.rs crates/core/src/acurrent.rs crates/core/src/afix.rs crates/core/src/balance.rs crates/core/src/eager.rs crates/core/src/edf.rs crates/core/src/factory.rs crates/core/src/fix_balance.rs crates/core/src/lazy.rs crates/core/src/schedule.rs crates/core/src/tiebreak.rs crates/core/src/window.rs
+
+crates/core/src/lib.rs:
+crates/core/src/acurrent.rs:
+crates/core/src/afix.rs:
+crates/core/src/balance.rs:
+crates/core/src/eager.rs:
+crates/core/src/edf.rs:
+crates/core/src/factory.rs:
+crates/core/src/fix_balance.rs:
+crates/core/src/lazy.rs:
+crates/core/src/schedule.rs:
+crates/core/src/tiebreak.rs:
+crates/core/src/window.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/reqsched_local-129bf44c2a9e28c7.d: crates/local/src/lib.rs crates/local/src/fabric.rs crates/local/src/local_eager.rs crates/local/src/local_fix.rs
+
+/root/repo/target/debug/deps/libreqsched_local-129bf44c2a9e28c7.rlib: crates/local/src/lib.rs crates/local/src/fabric.rs crates/local/src/local_eager.rs crates/local/src/local_fix.rs
+
+/root/repo/target/debug/deps/libreqsched_local-129bf44c2a9e28c7.rmeta: crates/local/src/lib.rs crates/local/src/fabric.rs crates/local/src/local_eager.rs crates/local/src/local_fix.rs
+
+crates/local/src/lib.rs:
+crates/local/src/fabric.rs:
+crates/local/src/local_eager.rs:
+crates/local/src/local_fix.rs:

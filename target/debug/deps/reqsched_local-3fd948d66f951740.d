@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/reqsched_local-3fd948d66f951740.d: crates/local/src/lib.rs crates/local/src/fabric.rs crates/local/src/local_eager.rs crates/local/src/local_fix.rs
+
+/root/repo/target/debug/deps/reqsched_local-3fd948d66f951740: crates/local/src/lib.rs crates/local/src/fabric.rs crates/local/src/local_eager.rs crates/local/src/local_fix.rs
+
+crates/local/src/lib.rs:
+crates/local/src/fabric.rs:
+crates/local/src/local_eager.rs:
+crates/local/src/local_fix.rs:

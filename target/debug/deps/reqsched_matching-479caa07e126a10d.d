@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/reqsched_matching-479caa07e126a10d.d: crates/matching/src/lib.rs crates/matching/src/diff.rs crates/matching/src/graph.rs crates/matching/src/hopcroft_karp.rs crates/matching/src/kuhn.rs crates/matching/src/matching.rs crates/matching/src/saturate.rs crates/matching/src/workspace.rs crates/matching/src/brute.rs
+
+/root/repo/target/debug/deps/reqsched_matching-479caa07e126a10d: crates/matching/src/lib.rs crates/matching/src/diff.rs crates/matching/src/graph.rs crates/matching/src/hopcroft_karp.rs crates/matching/src/kuhn.rs crates/matching/src/matching.rs crates/matching/src/saturate.rs crates/matching/src/workspace.rs crates/matching/src/brute.rs
+
+crates/matching/src/lib.rs:
+crates/matching/src/diff.rs:
+crates/matching/src/graph.rs:
+crates/matching/src/hopcroft_karp.rs:
+crates/matching/src/kuhn.rs:
+crates/matching/src/matching.rs:
+crates/matching/src/saturate.rs:
+crates/matching/src/workspace.rs:
+crates/matching/src/brute.rs:

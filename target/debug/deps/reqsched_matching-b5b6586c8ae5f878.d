@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/reqsched_matching-b5b6586c8ae5f878.d: crates/matching/src/lib.rs crates/matching/src/diff.rs crates/matching/src/graph.rs crates/matching/src/hopcroft_karp.rs crates/matching/src/kuhn.rs crates/matching/src/matching.rs crates/matching/src/saturate.rs crates/matching/src/workspace.rs crates/matching/src/brute.rs
+
+/root/repo/target/debug/deps/libreqsched_matching-b5b6586c8ae5f878.rlib: crates/matching/src/lib.rs crates/matching/src/diff.rs crates/matching/src/graph.rs crates/matching/src/hopcroft_karp.rs crates/matching/src/kuhn.rs crates/matching/src/matching.rs crates/matching/src/saturate.rs crates/matching/src/workspace.rs crates/matching/src/brute.rs
+
+/root/repo/target/debug/deps/libreqsched_matching-b5b6586c8ae5f878.rmeta: crates/matching/src/lib.rs crates/matching/src/diff.rs crates/matching/src/graph.rs crates/matching/src/hopcroft_karp.rs crates/matching/src/kuhn.rs crates/matching/src/matching.rs crates/matching/src/saturate.rs crates/matching/src/workspace.rs crates/matching/src/brute.rs
+
+crates/matching/src/lib.rs:
+crates/matching/src/diff.rs:
+crates/matching/src/graph.rs:
+crates/matching/src/hopcroft_karp.rs:
+crates/matching/src/kuhn.rs:
+crates/matching/src/matching.rs:
+crates/matching/src/saturate.rs:
+crates/matching/src/workspace.rs:
+crates/matching/src/brute.rs:

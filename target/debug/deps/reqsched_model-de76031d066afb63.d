@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/reqsched_model-de76031d066afb63.d: crates/model/src/lib.rs crates/model/src/ids.rs crates/model/src/instance.rs crates/model/src/request.rs crates/model/src/source.rs crates/model/src/trace.rs
+
+/root/repo/target/debug/deps/libreqsched_model-de76031d066afb63.rlib: crates/model/src/lib.rs crates/model/src/ids.rs crates/model/src/instance.rs crates/model/src/request.rs crates/model/src/source.rs crates/model/src/trace.rs
+
+/root/repo/target/debug/deps/libreqsched_model-de76031d066afb63.rmeta: crates/model/src/lib.rs crates/model/src/ids.rs crates/model/src/instance.rs crates/model/src/request.rs crates/model/src/source.rs crates/model/src/trace.rs
+
+crates/model/src/lib.rs:
+crates/model/src/ids.rs:
+crates/model/src/instance.rs:
+crates/model/src/request.rs:
+crates/model/src/source.rs:
+crates/model/src/trace.rs:

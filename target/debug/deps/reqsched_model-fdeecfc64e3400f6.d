@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/reqsched_model-fdeecfc64e3400f6.d: crates/model/src/lib.rs crates/model/src/ids.rs crates/model/src/instance.rs crates/model/src/request.rs crates/model/src/source.rs crates/model/src/trace.rs
+
+/root/repo/target/debug/deps/reqsched_model-fdeecfc64e3400f6: crates/model/src/lib.rs crates/model/src/ids.rs crates/model/src/instance.rs crates/model/src/request.rs crates/model/src/source.rs crates/model/src/trace.rs
+
+crates/model/src/lib.rs:
+crates/model/src/ids.rs:
+crates/model/src/instance.rs:
+crates/model/src/request.rs:
+crates/model/src/source.rs:
+crates/model/src/trace.rs:

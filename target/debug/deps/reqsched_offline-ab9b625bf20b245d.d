@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/reqsched_offline-ab9b625bf20b245d.d: crates/offline/src/lib.rs crates/offline/src/analysis.rs
+
+/root/repo/target/debug/deps/libreqsched_offline-ab9b625bf20b245d.rlib: crates/offline/src/lib.rs crates/offline/src/analysis.rs
+
+/root/repo/target/debug/deps/libreqsched_offline-ab9b625bf20b245d.rmeta: crates/offline/src/lib.rs crates/offline/src/analysis.rs
+
+crates/offline/src/lib.rs:
+crates/offline/src/analysis.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/reqsched_offline-b822cceed0e821ce.d: crates/offline/src/lib.rs crates/offline/src/analysis.rs
+
+/root/repo/target/debug/deps/reqsched_offline-b822cceed0e821ce: crates/offline/src/lib.rs crates/offline/src/analysis.rs
+
+crates/offline/src/lib.rs:
+crates/offline/src/analysis.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reqsched_sim-25717f956c2973e0.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/engine.rs crates/sim/src/strategy.rs crates/sim/src/sweep.rs
+
+/root/repo/target/debug/deps/reqsched_sim-25717f956c2973e0: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/engine.rs crates/sim/src/strategy.rs crates/sim/src/sweep.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/strategy.rs:
+crates/sim/src/sweep.rs:

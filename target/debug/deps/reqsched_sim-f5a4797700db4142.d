@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/reqsched_sim-f5a4797700db4142.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/engine.rs crates/sim/src/strategy.rs crates/sim/src/sweep.rs
+
+/root/repo/target/debug/deps/libreqsched_sim-f5a4797700db4142.rlib: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/engine.rs crates/sim/src/strategy.rs crates/sim/src/sweep.rs
+
+/root/repo/target/debug/deps/libreqsched_sim-f5a4797700db4142.rmeta: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/engine.rs crates/sim/src/strategy.rs crates/sim/src/sweep.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/strategy.rs:
+crates/sim/src/sweep.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/reqsched_stats-4d0ddba89509b720.d: crates/stats/src/lib.rs crates/stats/src/summary.rs crates/stats/src/table.rs crates/stats/src/timeline.rs
+
+/root/repo/target/debug/deps/reqsched_stats-4d0ddba89509b720: crates/stats/src/lib.rs crates/stats/src/summary.rs crates/stats/src/table.rs crates/stats/src/timeline.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:
+crates/stats/src/timeline.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/reqsched_stats-6b0330f17b72b331.d: crates/stats/src/lib.rs crates/stats/src/summary.rs crates/stats/src/table.rs crates/stats/src/timeline.rs
+
+/root/repo/target/debug/deps/libreqsched_stats-6b0330f17b72b331.rlib: crates/stats/src/lib.rs crates/stats/src/summary.rs crates/stats/src/table.rs crates/stats/src/timeline.rs
+
+/root/repo/target/debug/deps/libreqsched_stats-6b0330f17b72b331.rmeta: crates/stats/src/lib.rs crates/stats/src/summary.rs crates/stats/src/table.rs crates/stats/src/timeline.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:
+crates/stats/src/timeline.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/reqsched_workloads-b0ddef070b8260ee.d: crates/workloads/src/lib.rs
+
+/root/repo/target/debug/deps/libreqsched_workloads-b0ddef070b8260ee.rlib: crates/workloads/src/lib.rs
+
+/root/repo/target/debug/deps/libreqsched_workloads-b0ddef070b8260ee.rmeta: crates/workloads/src/lib.rs
+
+crates/workloads/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reqsched_workloads-da39c5bc474bb80a.d: crates/workloads/src/lib.rs
+
+/root/repo/target/debug/deps/reqsched_workloads-da39c5bc474bb80a: crates/workloads/src/lib.rs
+
+crates/workloads/src/lib.rs:

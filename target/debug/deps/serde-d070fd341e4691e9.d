@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-d070fd341e4691e9.d: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-d070fd341e4691e9.rlib: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-d070fd341e4691e9.rmeta: /tmp/vendor/serde/src/lib.rs
+
+/tmp/vendor/serde/src/lib.rs:

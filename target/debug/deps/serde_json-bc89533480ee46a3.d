@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-bc89533480ee46a3.d: /tmp/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-bc89533480ee46a3.rlib: /tmp/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-bc89533480ee46a3.rmeta: /tmp/vendor/serde_json/src/lib.rs
+
+/tmp/vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/structural-97363ae8f3a58d01.d: tests/structural.rs
+
+/root/repo/target/debug/deps/structural-97363ae8f3a58d01: tests/structural.rs
+
+tests/structural.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-9c9656b57a821670.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-9c9656b57a821670: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

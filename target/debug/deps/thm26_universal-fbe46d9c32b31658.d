@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thm26_universal-fbe46d9c32b31658.d: tests/thm26_universal.rs
+
+/root/repo/target/debug/deps/thm26_universal-fbe46d9c32b31658: tests/thm26_universal.rs
+
+tests/thm26_universal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/upper_bounds-8525a59a4bf82252.d: tests/upper_bounds.rs
+
+/root/repo/target/debug/deps/upper_bounds-8525a59a4bf82252: tests/upper_bounds.rs
+
+tests/upper_bounds.rs:

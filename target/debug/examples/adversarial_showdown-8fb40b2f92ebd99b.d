@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adversarial_showdown-8fb40b2f92ebd99b.d: examples/adversarial_showdown.rs
+
+/root/repo/target/debug/examples/adversarial_showdown-8fb40b2f92ebd99b: examples/adversarial_showdown.rs
+
+examples/adversarial_showdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/local_vs_global-1c1f887fa0f61aa7.d: examples/local_vs_global.rs
+
+/root/repo/target/debug/examples/local_vs_global-1c1f887fa0f61aa7: examples/local_vs_global.rs
+
+examples/local_vs_global.rs:

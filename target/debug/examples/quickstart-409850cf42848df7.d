@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-409850cf42848df7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-409850cf42848df7: examples/quickstart.rs
+
+examples/quickstart.rs:

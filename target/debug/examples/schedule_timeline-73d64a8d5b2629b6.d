@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schedule_timeline-73d64a8d5b2629b6.d: examples/schedule_timeline.rs
+
+/root/repo/target/debug/examples/schedule_timeline-73d64a8d5b2629b6: examples/schedule_timeline.rs
+
+examples/schedule_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/video_on_demand-bdac2c9bd64e343c.d: examples/video_on_demand.rs
+
+/root/repo/target/debug/examples/video_on_demand-bdac2c9bd64e343c: examples/video_on_demand.rs
+
+examples/video_on_demand.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-b57cb1c1a3098aba.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-b57cb1c1a3098aba: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-c8b20eb7901e3bbc.d: /tmp/vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-c8b20eb7901e3bbc.rlib: /tmp/vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-c8b20eb7901e3bbc.rmeta: /tmp/vendor/criterion/src/lib.rs
+
+/tmp/vendor/criterion/src/lib.rs:

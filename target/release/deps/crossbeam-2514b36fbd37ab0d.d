@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-2514b36fbd37ab0d.d: /tmp/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-2514b36fbd37ab0d.rlib: /tmp/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-2514b36fbd37ab0d.rmeta: /tmp/vendor/crossbeam/src/lib.rs
+
+/tmp/vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hot_path-c2da2258b32c018c.d: crates/bench/benches/hot_path.rs
+
+/root/repo/target/release/deps/hot_path-c2da2258b32c018c: crates/bench/benches/hot_path.rs
+
+crates/bench/benches/hot_path.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/local_comm-d7ad19f19874f51a.d: crates/bench/src/bin/local_comm.rs
+
+/root/repo/target/release/deps/local_comm-d7ad19f19874f51a: crates/bench/src/bin/local_comm.rs
+
+crates/bench/src/bin/local_comm.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-b56ea57283122b23.d: /tmp/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-b56ea57283122b23.rlib: /tmp/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-b56ea57283122b23.rmeta: /tmp/vendor/parking_lot/src/lib.rs
+
+/tmp/vendor/parking_lot/src/lib.rs:

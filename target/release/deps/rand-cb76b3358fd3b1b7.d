@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-cb76b3358fd3b1b7.d: /tmp/vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-cb76b3358fd3b1b7.rlib: /tmp/vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-cb76b3358fd3b1b7.rmeta: /tmp/vendor/rand/src/lib.rs
+
+/tmp/vendor/rand/src/lib.rs:

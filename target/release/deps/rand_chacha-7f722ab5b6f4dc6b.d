@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-7f722ab5b6f4dc6b.d: /tmp/vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-7f722ab5b6f4dc6b.rlib: /tmp/vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-7f722ab5b6f4dc6b.rmeta: /tmp/vendor/rand_chacha/src/lib.rs
+
+/tmp/vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ratio_curves-95be4f74cf72daa6.d: crates/bench/src/bin/ratio_curves.rs
+
+/root/repo/target/release/deps/ratio_curves-95be4f74cf72daa6: crates/bench/src/bin/ratio_curves.rs
+
+crates/bench/src/bin/ratio_curves.rs:

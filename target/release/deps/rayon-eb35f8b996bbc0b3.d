@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-eb35f8b996bbc0b3.d: /tmp/vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-eb35f8b996bbc0b3.rlib: /tmp/vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-eb35f8b996bbc0b3.rmeta: /tmp/vendor/rayon/src/lib.rs
+
+/tmp/vendor/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/replay-9b827d0bce1b5eda.d: crates/bench/src/bin/replay.rs
+
+/root/repo/target/release/deps/replay-9b827d0bce1b5eda: crates/bench/src/bin/replay.rs
+
+crates/bench/src/bin/replay.rs:

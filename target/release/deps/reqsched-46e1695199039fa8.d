@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/reqsched-46e1695199039fa8.d: src/lib.rs
+
+/root/repo/target/release/deps/libreqsched-46e1695199039fa8.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libreqsched-46e1695199039fa8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/reqsched_adversary-c2aade29e8dd4d75.d: crates/adversary/src/lib.rs crates/adversary/src/edf_worst.rs crates/adversary/src/thm21.rs crates/adversary/src/thm22.rs crates/adversary/src/thm23.rs crates/adversary/src/thm24.rs crates/adversary/src/thm25.rs crates/adversary/src/thm26.rs crates/adversary/src/thm37.rs
+
+/root/repo/target/release/deps/libreqsched_adversary-c2aade29e8dd4d75.rlib: crates/adversary/src/lib.rs crates/adversary/src/edf_worst.rs crates/adversary/src/thm21.rs crates/adversary/src/thm22.rs crates/adversary/src/thm23.rs crates/adversary/src/thm24.rs crates/adversary/src/thm25.rs crates/adversary/src/thm26.rs crates/adversary/src/thm37.rs
+
+/root/repo/target/release/deps/libreqsched_adversary-c2aade29e8dd4d75.rmeta: crates/adversary/src/lib.rs crates/adversary/src/edf_worst.rs crates/adversary/src/thm21.rs crates/adversary/src/thm22.rs crates/adversary/src/thm23.rs crates/adversary/src/thm24.rs crates/adversary/src/thm25.rs crates/adversary/src/thm26.rs crates/adversary/src/thm37.rs
+
+crates/adversary/src/lib.rs:
+crates/adversary/src/edf_worst.rs:
+crates/adversary/src/thm21.rs:
+crates/adversary/src/thm22.rs:
+crates/adversary/src/thm23.rs:
+crates/adversary/src/thm24.rs:
+crates/adversary/src/thm25.rs:
+crates/adversary/src/thm26.rs:
+crates/adversary/src/thm37.rs:

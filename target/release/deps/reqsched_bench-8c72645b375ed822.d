@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/reqsched_bench-8c72645b375ed822.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libreqsched_bench-8c72645b375ed822.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libreqsched_bench-8c72645b375ed822.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

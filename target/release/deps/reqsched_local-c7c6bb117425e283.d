@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/reqsched_local-c7c6bb117425e283.d: crates/local/src/lib.rs crates/local/src/fabric.rs crates/local/src/local_eager.rs crates/local/src/local_fix.rs
+
+/root/repo/target/release/deps/libreqsched_local-c7c6bb117425e283.rlib: crates/local/src/lib.rs crates/local/src/fabric.rs crates/local/src/local_eager.rs crates/local/src/local_fix.rs
+
+/root/repo/target/release/deps/libreqsched_local-c7c6bb117425e283.rmeta: crates/local/src/lib.rs crates/local/src/fabric.rs crates/local/src/local_eager.rs crates/local/src/local_fix.rs
+
+crates/local/src/lib.rs:
+crates/local/src/fabric.rs:
+crates/local/src/local_eager.rs:
+crates/local/src/local_fix.rs:

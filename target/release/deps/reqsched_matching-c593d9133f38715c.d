@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/reqsched_matching-c593d9133f38715c.d: crates/matching/src/lib.rs crates/matching/src/diff.rs crates/matching/src/graph.rs crates/matching/src/hopcroft_karp.rs crates/matching/src/kuhn.rs crates/matching/src/matching.rs crates/matching/src/saturate.rs crates/matching/src/workspace.rs crates/matching/src/brute.rs
+
+/root/repo/target/release/deps/libreqsched_matching-c593d9133f38715c.rlib: crates/matching/src/lib.rs crates/matching/src/diff.rs crates/matching/src/graph.rs crates/matching/src/hopcroft_karp.rs crates/matching/src/kuhn.rs crates/matching/src/matching.rs crates/matching/src/saturate.rs crates/matching/src/workspace.rs crates/matching/src/brute.rs
+
+/root/repo/target/release/deps/libreqsched_matching-c593d9133f38715c.rmeta: crates/matching/src/lib.rs crates/matching/src/diff.rs crates/matching/src/graph.rs crates/matching/src/hopcroft_karp.rs crates/matching/src/kuhn.rs crates/matching/src/matching.rs crates/matching/src/saturate.rs crates/matching/src/workspace.rs crates/matching/src/brute.rs
+
+crates/matching/src/lib.rs:
+crates/matching/src/diff.rs:
+crates/matching/src/graph.rs:
+crates/matching/src/hopcroft_karp.rs:
+crates/matching/src/kuhn.rs:
+crates/matching/src/matching.rs:
+crates/matching/src/saturate.rs:
+crates/matching/src/workspace.rs:
+crates/matching/src/brute.rs:

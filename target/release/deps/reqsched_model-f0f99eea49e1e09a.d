@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/reqsched_model-f0f99eea49e1e09a.d: crates/model/src/lib.rs crates/model/src/ids.rs crates/model/src/instance.rs crates/model/src/request.rs crates/model/src/source.rs crates/model/src/trace.rs
+
+/root/repo/target/release/deps/libreqsched_model-f0f99eea49e1e09a.rlib: crates/model/src/lib.rs crates/model/src/ids.rs crates/model/src/instance.rs crates/model/src/request.rs crates/model/src/source.rs crates/model/src/trace.rs
+
+/root/repo/target/release/deps/libreqsched_model-f0f99eea49e1e09a.rmeta: crates/model/src/lib.rs crates/model/src/ids.rs crates/model/src/instance.rs crates/model/src/request.rs crates/model/src/source.rs crates/model/src/trace.rs
+
+crates/model/src/lib.rs:
+crates/model/src/ids.rs:
+crates/model/src/instance.rs:
+crates/model/src/request.rs:
+crates/model/src/source.rs:
+crates/model/src/trace.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/reqsched_offline-7944344393f29a1a.d: crates/offline/src/lib.rs crates/offline/src/analysis.rs
+
+/root/repo/target/release/deps/libreqsched_offline-7944344393f29a1a.rlib: crates/offline/src/lib.rs crates/offline/src/analysis.rs
+
+/root/repo/target/release/deps/libreqsched_offline-7944344393f29a1a.rmeta: crates/offline/src/lib.rs crates/offline/src/analysis.rs
+
+crates/offline/src/lib.rs:
+crates/offline/src/analysis.rs:

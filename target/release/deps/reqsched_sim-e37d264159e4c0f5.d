@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/reqsched_sim-e37d264159e4c0f5.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/engine.rs crates/sim/src/strategy.rs crates/sim/src/sweep.rs
+
+/root/repo/target/release/deps/libreqsched_sim-e37d264159e4c0f5.rlib: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/engine.rs crates/sim/src/strategy.rs crates/sim/src/sweep.rs
+
+/root/repo/target/release/deps/libreqsched_sim-e37d264159e4c0f5.rmeta: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/engine.rs crates/sim/src/strategy.rs crates/sim/src/sweep.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/strategy.rs:
+crates/sim/src/sweep.rs:

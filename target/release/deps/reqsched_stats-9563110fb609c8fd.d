@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/reqsched_stats-9563110fb609c8fd.d: crates/stats/src/lib.rs crates/stats/src/summary.rs crates/stats/src/table.rs crates/stats/src/timeline.rs
+
+/root/repo/target/release/deps/libreqsched_stats-9563110fb609c8fd.rlib: crates/stats/src/lib.rs crates/stats/src/summary.rs crates/stats/src/table.rs crates/stats/src/timeline.rs
+
+/root/repo/target/release/deps/libreqsched_stats-9563110fb609c8fd.rmeta: crates/stats/src/lib.rs crates/stats/src/summary.rs crates/stats/src/table.rs crates/stats/src/timeline.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:
+crates/stats/src/timeline.rs:

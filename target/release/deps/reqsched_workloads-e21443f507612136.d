@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/reqsched_workloads-e21443f507612136.d: crates/workloads/src/lib.rs
+
+/root/repo/target/release/deps/libreqsched_workloads-e21443f507612136.rlib: crates/workloads/src/lib.rs
+
+/root/repo/target/release/deps/libreqsched_workloads-e21443f507612136.rmeta: crates/workloads/src/lib.rs
+
+crates/workloads/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-b553bf5a5135679d.d: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-b553bf5a5135679d.rlib: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-b553bf5a5135679d.rmeta: /tmp/vendor/serde/src/lib.rs
+
+/tmp/vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-861f2632b0d08aa6.d: /tmp/vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-861f2632b0d08aa6.rlib: /tmp/vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-861f2632b0d08aa6.rmeta: /tmp/vendor/serde_json/src/lib.rs
+
+/tmp/vendor/serde_json/src/lib.rs:

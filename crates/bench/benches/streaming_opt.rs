@@ -1,0 +1,153 @@
+//! Streaming-OPT macro-benchmark: measures the per-prefix ratio-trace
+//! workload (the optimum of *every* prefix of a request stream) computed the
+//! old way — one full `optimal_count` horizon solve per prefix — against the
+//! incremental matching engine, which maintains one maximum matching across
+//! the whole stream at one augmenting search per arrival. Records the
+//! results in `BENCH_PR2.json` at the workspace root.
+//!
+//! Parity is asserted, not sampled: for every workload the streaming
+//! per-prefix optima must equal the full-solve optima on **every** prefix
+//! before any timing is reported.
+//!
+//! Runs under `cargo bench -p reqsched-bench --bench streaming_opt`. Set
+//! `STREAMING_OPT_QUICK=1` for the smoke-test configuration (smaller
+//! horizons).
+
+use criterion::black_box;
+use reqsched_adversary::{thm21, thm24};
+use reqsched_model::Instance;
+use reqsched_offline::{optimal_count, StreamingOpt};
+use std::time::Instant;
+
+struct WorkloadResult {
+    name: String,
+    requests: usize,
+    prefixes: usize,
+    solves_full: u64,
+    solves_streaming: u64,
+    full_ms: f64,
+    streaming_ms: f64,
+    speedup: f64,
+}
+
+/// Compute every prefix optimum of `inst` twice — repeated full solves vs.
+/// one streaming pass — assert exact parity, and time both.
+fn measure(name: &str, inst: &Instance) -> WorkloadResult {
+    use reqsched_model::TraceBuilder;
+
+    // Old way: rebuild the prefix instance and fully re-solve its horizon
+    // graph after every arrival (what ratio traces and phase generators used
+    // to do).
+    let solves_before = reqsched_offline::horizon_solve_count();
+    let t0 = Instant::now();
+    let mut full = Vec::with_capacity(inst.trace.len());
+    let mut b = TraceBuilder::new(inst.d);
+    for req in inst.trace.requests() {
+        b.push_full(
+            req.arrival,
+            req.alternatives.clone(),
+            req.deadline,
+            req.tag,
+            req.hint,
+        );
+        let prefix = Instance::new(inst.n_resources, inst.d, b.clone().build());
+        full.push(black_box(optimal_count(&prefix)) as u32);
+    }
+    let full_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let solves_full = reqsched_offline::horizon_solve_count() - solves_before;
+
+    // New way: one incremental engine across the whole stream.
+    let solves_before = reqsched_offline::horizon_solve_count();
+    let t0 = Instant::now();
+    let mut sopt = StreamingOpt::new(inst.n_resources);
+    let mut streaming = Vec::with_capacity(inst.trace.len());
+    for req in inst.trace.requests() {
+        streaming.push(black_box(sopt.ingest(req)) as u32);
+    }
+    let streaming_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let solves_streaming = reqsched_offline::horizon_solve_count() - solves_before;
+
+    assert_eq!(
+        full, streaming,
+        "{name}: streaming prefix optima diverge from full solves"
+    );
+
+    WorkloadResult {
+        name: name.to_string(),
+        requests: inst.trace.len(),
+        prefixes: full.len(),
+        solves_full,
+        solves_streaming,
+        full_ms,
+        streaming_ms,
+        speedup: full_ms / streaming_ms.max(1e-6),
+    }
+}
+
+fn main() {
+    let quick = std::env::var("STREAMING_OPT_QUICK").is_ok_and(|v| v == "1");
+    // Workload scale: phase counts for the adversarial generators, round
+    // horizons for the random workloads.
+    let (phases, rounds) = if quick { (6u32, 150u64) } else { (24, 600) };
+
+    let workloads: Vec<(String, Instance)> = vec![
+        (
+            format!("thm2.1(d=8, phases={phases})"),
+            thm21::scenario(8, phases).instance,
+        ),
+        (
+            format!("thm2.4(d=6, phases={phases})"),
+            thm24::scenario(6, phases).instance,
+        ),
+        (
+            format!("uniform(n=8, d=4, rate=4, rounds={rounds})"),
+            reqsched_workloads::uniform_two_choice(8, 4, 4, rounds, 7),
+        ),
+        (
+            format!("flash(n=6, d=3, rounds={rounds})"),
+            reqsched_workloads::flash_crowd(6, 3, 3, 12, 10, 8, rounds, 11),
+        ),
+    ];
+
+    let mut results = Vec::new();
+    for (name, inst) in &workloads {
+        let r = measure(name, inst);
+        println!(
+            "{:<38} {:>5} prefixes: {:>9.1} ms full ({} solves) -> {:>7.1} ms streaming ({} solve-equivalents), {:>6.1}x",
+            r.name, r.prefixes, r.full_ms, r.solves_full, r.streaming_ms, r.solves_streaming, r.speedup,
+        );
+        results.push(r);
+    }
+
+    // Headline number: the worst (smallest) speedup across workloads — the
+    // acceptance bar holds for every workload, not just a favourable one.
+    let solve_reduction = results
+        .iter()
+        .map(|r| r.speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!("solve_reduction (worst-case across workloads): {solve_reduction:.1}x");
+    assert!(
+        solve_reduction >= 5.0,
+        "acceptance: expected >= 5x reduction in horizon-solve time, got {solve_reduction:.1}x"
+    );
+
+    // Hand-formatted JSON: the serde stack is not needed for a flat report.
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"streaming_opt\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"parity\": true,\n");
+    out.push_str(&format!("  \"solve_reduction\": {solve_reduction:.2},\n"));
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"requests\": {}, \"prefixes\": {}, \"solves_full\": {}, \"solves_streaming\": {}, \"full_ms\": {:.2}, \"streaming_ms\": {:.2}, \"speedup\": {:.2} }}{sep}\n",
+            r.name, r.requests, r.prefixes, r.solves_full, r.solves_streaming, r.full_ms, r.streaming_ms, r.speedup,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json");
+    std::fs::write(path, out).expect("write BENCH_PR2.json");
+    println!("wrote {path}");
+}

@@ -3,17 +3,55 @@
 //! curves. Emits CSV (columns: strategy, d, measured ratio, paper LB,
 //! paper UB).
 //!
-//! Usage: `cargo run --release -p reqsched-bench --bin ratio_curves [phases]`
+//! Usage: `cargo run --release -p reqsched-bench --bin ratio_curves [phases] [--trace]`
+//!
+//! With `--trace`, additionally dump the per-round live-ratio trace of every
+//! global strategy at `d = 8` (streaming prefix optimum vs. cumulative
+//! services, one row per simulated round) to `results/ratio_trace.csv`.
 
-use reqsched_bench::ratio_curve;
+use reqsched_bench::{ratio_curve, ratio_trace};
 use reqsched_core::StrategyKind;
 use reqsched_stats::render_csv;
 
+/// Write the per-round ratio trace CSV for every global strategy.
+fn dump_trace(phases: u32) -> std::io::Result<()> {
+    const TRACE_D: u32 = 8;
+    let mut rows: Vec<Vec<String>> = vec![vec![
+        "strategy".into(),
+        "d".into(),
+        "round".into(),
+        "opt_prefix".into(),
+        "alg_cum".into(),
+        "ratio".into(),
+    ]];
+    for kind in StrategyKind::GLOBAL {
+        for p in ratio_trace(kind, TRACE_D, phases) {
+            rows.push(vec![
+                kind.name().to_string(),
+                TRACE_D.to_string(),
+                p.round.to_string(),
+                p.opt_prefix.to_string(),
+                p.alg_cum.to_string(),
+                format!("{:.5}", p.ratio),
+            ]);
+        }
+    }
+    std::fs::create_dir_all("results")?;
+    std::fs::write("results/ratio_trace.csv", render_csv(&rows))?;
+    eprintln!("wrote results/ratio_trace.csv ({} rows)", rows.len() - 1);
+    Ok(())
+}
+
 fn main() {
-    let phases: u32 = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let phases: u32 = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
         .and_then(|a| a.parse().ok())
         .unwrap_or(12);
+    if args.iter().any(|a| a == "--trace") {
+        dump_trace(phases).expect("write ratio trace");
+    }
     let ds: Vec<u32> = (2..=16).collect();
     let mut rows: Vec<Vec<String>> = vec![vec![
         "strategy".into(),

@@ -18,7 +18,9 @@ use rayon::prelude::*;
 use reqsched_adversary::{edf_worst, thm21, thm22, thm23, thm24, thm25, thm26, thm37};
 use reqsched_core::{StrategyKind, TieBreak};
 use reqsched_model::{Instance, Round};
-use reqsched_sim::{par_run_with_cache, run_fixed, run_source, AnyStrategy, Job, OptCache};
+use reqsched_sim::{
+    par_run_with_cache, run_fixed_traced, run_source_traced, AnyStrategy, Job, OptCache,
+};
 use std::sync::Arc;
 
 /// One rendered row of the Table-1 reproduction.
@@ -164,7 +166,9 @@ pub fn table1_rows(phases: u32) -> Vec<Table1Row> {
             let (inst, generator) = lb_scenario(kind, d, phases);
             let mut strategy =
                 reqsched_core::build_strategy(kind, inst.n_resources, inst.d, TieBreak::HintGuided);
-            let stats = run_fixed(strategy.as_mut(), &inst);
+            // Traced run: OPT comes from the streaming matching engine, so
+            // the adversarial replay never solves the horizon graph at all.
+            let stats = run_fixed_traced(strategy.as_mut(), &inst);
             let measured_lb = stats.ratio();
             // Upper bound validation: worst ratio across the battery under
             // the natural member.
@@ -208,7 +212,7 @@ pub fn extra_rows(phases: u32) -> Vec<Table1Row> {
         4,
         TieBreak::FirstFit,
     );
-    let stats = run_fixed(edf.as_mut(), &s.instance);
+    let stats = run_fixed_traced(edf.as_mut(), &s.instance);
     rows.push(Table1Row {
         strategy: "EDF".into(),
         d: 4,
@@ -222,7 +226,7 @@ pub fn extra_rows(phases: u32) -> Vec<Table1Row> {
     // Theorem 3.7: A_local_fix.
     let s = thm37::scenario(4, phases);
     let mut lf = AnyStrategy::LocalFix.build(4, 4);
-    let stats = run_fixed(lf.as_mut(), &s.instance);
+    let stats = run_fixed_traced(lf.as_mut(), &s.instance);
     rows.push(Table1Row {
         strategy: "A_local_fix".into(),
         d: 4,
@@ -238,7 +242,7 @@ pub fn extra_rows(phases: u32) -> Vec<Table1Row> {
         .into_iter()
         .map(|(_, inst)| {
             let mut le = AnyStrategy::LocalEager.build(inst.n_resources, inst.d);
-            run_fixed(le.as_mut(), &inst).ratio()
+            run_fixed_traced(le.as_mut(), &inst).ratio()
         })
         .fold(1.0f64, f64::max);
     rows.push(Table1Row {
@@ -257,9 +261,9 @@ pub fn extra_rows(phases: u32) -> Vec<Table1Row> {
     let mut adv = thm26::Thm26Adversary::new(d, 6);
     let mut s = AnyStrategy::Global(StrategyKind::ABalance, TieBreak::FirstFit)
         .build(thm26::N_RESOURCES, d);
-    let (mut stats, trace) = run_source(s.as_mut(), &mut adv, thm26::N_RESOURCES, d);
-    let inst = Instance::new(thm26::N_RESOURCES, d, trace);
-    stats.opt = reqsched_offline::optimal_count(&inst);
+    // The traced run maintains OPT incrementally while the adaptive
+    // adversary reacts, so no post-hoc horizon solve is needed.
+    let (stats, _trace) = run_source_traced(s.as_mut(), &mut adv, thm26::N_RESOURCES, d);
     rows.push(Table1Row {
         strategy: "any online (A)".into(),
         d,
@@ -285,8 +289,50 @@ pub fn ratio_curve(kind: StrategyKind, ds: &[u32], phases: u32) -> Vec<(u32, f64
                 inst.d,
                 TieBreak::HintGuided,
             );
-            let stats = run_fixed(s.as_mut(), &inst);
+            let stats = run_fixed_traced(s.as_mut(), &inst);
             (d, stats.ratio())
+        })
+        .collect()
+}
+
+/// One row of the per-round live ratio trace (see [`ratio_trace`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RatioTracePoint {
+    /// Simulated round.
+    pub round: u64,
+    /// Streaming optimum of everything injected through this round.
+    pub opt_prefix: u32,
+    /// Requests the algorithm has served through this round.
+    pub alg_cum: u32,
+    /// Live competitive ratio `opt_prefix / alg_cum`.
+    pub ratio: f64,
+}
+
+/// Per-round live competitive-ratio trace of one strategy on its adversarial
+/// generator, from a single traced run — the streaming engine maintains the
+/// prefix optimum as the run unfolds, so the whole curve costs one run, not
+/// one horizon solve per round.
+pub fn ratio_trace(kind: StrategyKind, d: u32, phases: u32) -> Vec<RatioTracePoint> {
+    let (inst, _) = lb_scenario(kind, d.max(2), phases);
+    let mut s =
+        reqsched_core::build_strategy(kind, inst.n_resources, inst.d, TieBreak::HintGuided);
+    let stats = run_fixed_traced(s.as_mut(), &inst);
+    let ratios = stats.live_ratios();
+    let mut alg_cum = 0u32;
+    stats
+        .opt_prefix
+        .iter()
+        .zip(&stats.per_round_served)
+        .zip(ratios)
+        .enumerate()
+        .map(|(t, ((&opt, &served), ratio))| {
+            alg_cum += served;
+            RatioTracePoint {
+                round: t as u64,
+                opt_prefix: opt,
+                alg_cum,
+                ratio,
+            }
         })
         .collect()
 }
@@ -310,7 +356,7 @@ pub fn local_comm_profile(
         last_msg = s.messages_total();
     }
     let mut s2 = strat.build(inst.n_resources, inst.d);
-    let stats = run_fixed(s2.as_mut(), inst);
+    let stats = run_fixed_traced(s2.as_mut(), inst);
     (profile, stats.ratio())
 }
 
@@ -364,6 +410,19 @@ mod tests {
         assert_eq!(curve.len(), 3);
         // 2 - 1/d increases with d.
         assert!(curve[0].1 < curve[2].1);
+    }
+
+    #[test]
+    fn ratio_trace_is_consistent() {
+        let trace = ratio_trace(StrategyKind::AFix, 4, 4);
+        assert!(!trace.is_empty());
+        // Rounds are consecutive, the prefix optimum never decreases, and
+        // the final live ratio equals the closed-form run ratio.
+        assert!(trace.iter().enumerate().all(|(i, p)| p.round == i as u64));
+        assert!(trace.windows(2).all(|w| w[0].opt_prefix <= w[1].opt_prefix));
+        assert!(trace.windows(2).all(|w| w[0].alg_cum <= w[1].alg_cum));
+        let last = trace.last().unwrap();
+        assert!((last.ratio - last.opt_prefix as f64 / last.alg_cum as f64).abs() < 1e-12);
     }
 
     #[test]

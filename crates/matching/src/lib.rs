@@ -18,6 +18,9 @@
 //!   scheduled when not all can be).
 //! * [`hopcroft_karp`] — maximum-cardinality matching in `O(E √V)`, used for
 //!   the offline optimum.
+//! * [`IncrementalMatching`] — dynamic maximum matching under left-vertex
+//!   insertion (one augmenting search per arrival), the engine behind the
+//!   streaming per-prefix optimum.
 //! * [`saturate_levels`] — keep cardinality and every matched left vertex
 //!   matched, but rearrange right endpoints to lexicographically maximize
 //!   coverage of right-vertex priority levels. This implements the paper's
@@ -34,6 +37,7 @@
 mod diff;
 mod graph;
 mod hopcroft_karp;
+mod incremental;
 mod kuhn;
 mod matching;
 mod saturate;
@@ -44,6 +48,7 @@ pub mod brute;
 pub use diff::{symmetric_difference, AltComponent, DiffReport};
 pub use graph::{BipartiteGraph, GraphBuilder};
 pub use hopcroft_karp::{hopcroft_karp, hopcroft_karp_reference, hopcroft_karp_with};
+pub use incremental::IncrementalMatching;
 pub use kuhn::{kuhn_augment, kuhn_augment_with, kuhn_in_order, kuhn_in_order_with};
 pub use matching::Matching;
 pub use saturate::{coverage_by_level, saturate_levels, saturate_levels_with};

@@ -116,6 +116,22 @@ impl Matching {
         }
     }
 
+    /// Append a new (free) left vertex, growing the left side by one.
+    /// Returns the new vertex's index. Used by the incremental engine,
+    /// which inserts request vertices as they arrive.
+    pub fn push_left(&mut self) -> u32 {
+        self.l2r.push(NONE);
+        (self.l2r.len() - 1) as u32
+    }
+
+    /// Grow the right side to at least `n_right` vertices (new ones free).
+    /// Never shrinks; existing mates are untouched.
+    pub fn ensure_right(&mut self, n_right: u32) {
+        if self.r2l.len() < n_right as usize {
+            self.r2l.resize(n_right as usize, NONE);
+        }
+    }
+
     /// Iterate over matched `(left, right)` pairs in left-vertex order.
     pub fn pairs(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         self.l2r

@@ -14,9 +14,15 @@
 //! * [`greedy_normalize`] — the paper's proof device from Observation 3.1:
 //!   transform a solution so every request is served as early as possible
 //!   without changing the number of served requests;
-//! * [`optimal_count`] — just the optimum value.
+//! * [`optimal_count`] — just the optimum value;
+//! * [`StreamingOpt`] / [`prefix_optima`] — the optimum of every prefix of a
+//!   growing request stream, maintained incrementally at one augmenting
+//!   search per arrival instead of one full solve per prefix.
 
 pub mod analysis;
+pub mod streaming;
+
+pub use streaming::{prefix_optima, StreamingOpt};
 
 use reqsched_matching::{hopcroft_karp, BipartiteGraph};
 use reqsched_model::{Instance, RequestId, ResourceId, Round};

@@ -1,0 +1,302 @@
+//! Streaming offline optimum: `perf_OPT` of every prefix, one arrival at a
+//! time.
+//!
+//! Ratio curves, adversarial phase generators, and live traces all need the
+//! optimum of a *growing* instance — OPT of the requests revealed so far.
+//! [`optimal_count`](crate::optimal_count) answers that by rebuilding and
+//! re-solving the entire horizon graph, so asking after every arrival costs
+//! `O(R)` full Hopcroft–Karp solves over a run of `R` requests.
+//! [`StreamingOpt`] instead maintains the maximum matching incrementally
+//! ([`IncrementalMatching`]): each arrival triggers exactly one augmenting
+//! search over live state, so the whole prefix curve costs about as much as
+//! the final solve alone.
+//!
+//! Parity is exact, not approximate: after ingesting any prefix of an
+//! instance's requests, [`StreamingOpt::opt`] equals
+//! `optimal_count(&prefix_instance)` — a single maximum matching is
+//! maintained, not an estimate (proptests in `tests/streaming_proptests.rs`
+//! enforce this on random streams).
+//!
+//! Frontier advancement: arrivals must be ingested in nondecreasing arrival
+//! order (the order [`Trace`] guarantees). A request that comes out of its
+//! own insertion search unmatched can never be matched later (augmenting
+//! paths only pass through matched vertices), so its adjacency is retired on
+//! the spot — searches never rescan columns of long-expired rounds except
+//! through genuine alternating paths from live requests.
+
+use crate::{OfflineSolution, HORIZON_SOLVES};
+use reqsched_matching::IncrementalMatching;
+use reqsched_model::{Instance, Request, RequestId, ResourceId, Round, Trace};
+use std::sync::atomic::Ordering;
+
+/// Incrementally maintained offline optimum of a growing request stream.
+///
+/// ```
+/// use reqsched_model::{Instance, TraceBuilder};
+/// use reqsched_offline::{optimal_count, StreamingOpt};
+///
+/// let mut b = TraceBuilder::new(2);
+/// b.push(0u64, 0u32, 1u32);
+/// b.push(1u64, 0u32, 1u32);
+/// let inst = Instance::new(2, 2, b.build());
+///
+/// let mut sopt = StreamingOpt::new(inst.n_resources);
+/// for req in inst.trace.requests() {
+///     sopt.ingest(req);
+/// }
+/// assert_eq!(sopt.opt(), optimal_count(&inst));
+/// ```
+#[derive(Debug)]
+pub struct StreamingOpt {
+    n: u32,
+    inc: IncrementalMatching,
+    /// Arrival round of the last ingested request (frontier watermark).
+    frontier: Round,
+    /// Scratch adjacency buffer, reused across ingests.
+    adj: Vec<u32>,
+}
+
+impl StreamingOpt {
+    /// A fresh engine for an `n`-resource system with no requests yet.
+    pub fn new(n_resources: u32) -> StreamingOpt {
+        assert!(n_resources > 0, "need at least one resource");
+        StreamingOpt {
+            n: n_resources,
+            inc: IncrementalMatching::new(),
+            frontier: Round(0),
+            adj: Vec::new(),
+        }
+    }
+
+    /// Current optimum: the maximum number of servable requests among
+    /// everything ingested so far (`perf_OPT` of the prefix).
+    #[inline]
+    pub fn opt(&self) -> usize {
+        self.inc.size()
+    }
+
+    /// Number of requests ingested so far.
+    #[inline]
+    pub fn ingested(&self) -> usize {
+        self.inc.n_left() as usize
+    }
+
+    /// Arrival round of the latest ingested request.
+    #[inline]
+    pub fn frontier(&self) -> Round {
+        self.frontier
+    }
+
+    /// Total matching edges scanned since construction — the engine's whole
+    /// lifetime cost in the unit a single full solve pays per `O(E)` pass.
+    #[inline]
+    pub fn edges_scanned(&self) -> u64 {
+        self.inc.edges_scanned()
+    }
+
+    /// Feed the next arrival and return the updated optimum.
+    ///
+    /// Requests must arrive in nondecreasing arrival order and must have been
+    /// numbered consecutively (`req.id.index() == self.ingested()`), both of
+    /// which hold for requests drawn in order from a [`Trace`].
+    pub fn ingest(&mut self, req: &Request) -> usize {
+        debug_assert!(
+            req.arrival >= self.frontier,
+            "arrivals must be nondecreasing: got {:?} after frontier {:?}",
+            req.arrival,
+            self.frontier
+        );
+        debug_assert_eq!(
+            req.id.index(),
+            self.ingested(),
+            "requests must be ingested in id order"
+        );
+        self.frontier = req.arrival;
+        self.adj.clear();
+        for round in req.arrival.get()..=req.expiry().get() {
+            for &res in req.alternatives.as_slice() {
+                self.adj.push((round * self.n as u64) as u32 + res.0);
+            }
+        }
+        let l = self.inc.add_left(&self.adj);
+        if self.inc.matching().left_free(l) {
+            // Unmatched after its own insertion search means unmatched
+            // forever; retire the adjacency so the frontier never rescans it.
+            self.inc.retire_left(l);
+        }
+        self.inc.size()
+    }
+
+    /// Ingest every request of a trace in order, recording the optimum after
+    /// each arrival. `prefix[i]` is OPT of the first `i + 1` requests.
+    pub fn ingest_all(&mut self, trace: &Trace) -> Vec<u32> {
+        let mut prefix = Vec::with_capacity(trace.len());
+        for req in trace.requests() {
+            prefix.push(self.ingest(req) as u32);
+        }
+        prefix
+    }
+
+    /// Whether request `id` is served in the maintained optimal schedule.
+    ///
+    /// Individual assignments may churn as later arrivals reroute alternating
+    /// paths, but a served request never becomes unserved.
+    #[inline]
+    pub fn is_served(&self, id: RequestId) -> bool {
+        !self.inc.matching().left_free(id.0)
+    }
+
+    /// Snapshot the maintained matching as a checkable offline solution for
+    /// the requests ingested so far.
+    pub fn solution(&self) -> OfflineSolution {
+        let n = self.n as u64;
+        let assignment = (0..self.inc.n_left())
+            .map(|l| {
+                self.inc.matching().left_mate(l).map(|r| {
+                    let r = r as u64;
+                    (ResourceId((r % n) as u32), Round(r / n))
+                })
+            })
+            .collect();
+        OfflineSolution { assignment }
+    }
+}
+
+/// Per-round prefix optima of a whole instance, computed in one streaming
+/// pass: `out[t]` is `perf_OPT` of the sub-instance containing every request
+/// with `arrival <= t`, for `t` in `0..=service_horizon`.
+///
+/// Equivalent to calling [`optimal_count`](crate::optimal_count) on each of
+/// the `horizon + 1` prefix instances, at roughly the cost of the last call
+/// alone. Counts as a single horizon solve in
+/// [`horizon_solve_count`](crate::horizon_solve_count).
+pub fn prefix_optima(inst: &Instance) -> Vec<u32> {
+    HORIZON_SOLVES.fetch_add(1, Ordering::Relaxed);
+    let horizon = inst.trace.service_horizon().get();
+    let mut sopt = StreamingOpt::new(inst.n_resources);
+    let mut out = Vec::with_capacity(horizon as usize + 1);
+    let mut opt = 0usize;
+    for req in inst.trace.requests() {
+        while (out.len() as u64) < req.arrival.get() {
+            out.push(opt as u32); // rounds with no arrivals keep the optimum
+        }
+        opt = sopt.ingest(req);
+    }
+    while (out.len() as u64) <= horizon {
+        out.push(opt as u32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal_count;
+    use reqsched_model::TraceBuilder;
+
+    /// Ingest a trace request by request and check the running optimum
+    /// against a fresh full solve of each prefix instance.
+    fn check_stream_parity(inst: &Instance) {
+        let mut sopt = StreamingOpt::new(inst.n_resources);
+        let mut b = TraceBuilder::new(1); // deadlines overridden via push_full
+        for req in inst.trace.requests() {
+            let opt = sopt.ingest(req);
+            b.push_full(
+                req.arrival,
+                req.alternatives.clone(),
+                req.deadline,
+                req.tag,
+                req.hint,
+            );
+            let prefix = Instance::new(inst.n_resources, inst.d, b.clone().build());
+            assert_eq!(
+                opt,
+                optimal_count(&prefix),
+                "prefix of {} requests",
+                prefix.trace.len()
+            );
+            sopt.solution().check(&prefix).unwrap();
+        }
+    }
+
+    #[test]
+    fn streaming_matches_full_solve_on_every_prefix() {
+        // Saturated pair: 3d requests on 2 resources, capacity 2/round.
+        let d = 3;
+        let mut b = TraceBuilder::new(d);
+        b.block2(0u64, 0u32, 1u32, 0);
+        b.push_group(0u64, 0u32, 1u32, d, 1, Default::default());
+        check_stream_parity(&Instance::new(2, d, b.build()));
+
+        // Staggered arrivals across rounds and disjoint resource pairs.
+        let mut b = TraceBuilder::new(2);
+        b.push(0u64, 0u32, 1u32);
+        b.push(0u64, 0u32, 1u32);
+        b.push(1u64, 2u32, 3u32);
+        b.push(2u64, 0u32, 2u32);
+        b.push(2u64, 1u32, 3u32);
+        b.push(5u64, 0u32, 1u32);
+        check_stream_parity(&Instance::new(4, 2, b.build()));
+    }
+
+    #[test]
+    fn served_requests_stay_served() {
+        let d = 2;
+        let mut b = TraceBuilder::new(d);
+        b.block2(0u64, 0u32, 1u32, 0);
+        b.push_group(1u64, 0u32, 1u32, d, 1, Default::default());
+        let inst = Instance::new(2, d, b.build());
+        let mut sopt = StreamingOpt::new(inst.n_resources);
+        let mut served: Vec<RequestId> = Vec::new();
+        for req in inst.trace.requests() {
+            sopt.ingest(req);
+            for &id in &served {
+                assert!(sopt.is_served(id), "{id:?} became unserved");
+            }
+            if sopt.is_served(req.id) {
+                served.push(req.id);
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_optima_covers_every_round() {
+        let mut b = TraceBuilder::new(2);
+        b.push(0u64, 0u32, 1u32);
+        b.push(3u64, 0u32, 1u32);
+        b.push(3u64, 0u32, 1u32);
+        let inst = Instance::new(2, 2, b.build());
+        let optima = prefix_optima(&inst);
+        let horizon = inst.trace.service_horizon().get() as usize;
+        assert_eq!(optima.len(), horizon + 1);
+        // Round 0..2 know only the first request; rounds >= 3 know all.
+        assert_eq!(&optima[..3], &[1, 1, 1]);
+        assert!(optima[horizon] == optimal_count(&inst) as u32);
+        // The prefix curve is nondecreasing by construction.
+        assert!(optima.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn prefix_optima_on_empty_instance() {
+        let inst = Instance::new(2, 2, Trace::empty());
+        assert_eq!(prefix_optima(&inst), vec![0]);
+    }
+
+    #[test]
+    fn unmatched_requests_are_retired_not_lost() {
+        // Capacity 1 per round, d = 1: only one of the three simultaneous
+        // single-alternative requests can ever be served.
+        let mut b = TraceBuilder::new(1);
+        for _ in 0..3 {
+            b.push_single(0u64, 0u32);
+        }
+        let inst = Instance::new(1, 1, b.build());
+        let mut sopt = StreamingOpt::new(1);
+        for req in inst.trace.requests() {
+            sopt.ingest(req);
+        }
+        assert_eq!(sopt.opt(), 1);
+        assert_eq!(sopt.ingested(), 3);
+        assert_eq!(sopt.opt(), optimal_count(&inst));
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based parity proof for the streaming OPT engine: on random
+//! request streams, the incrementally maintained optimum must equal a fresh
+//! full `optimal_count` solve on **every** prefix — after each arrival, and
+//! per round via [`prefix_optima`]. This is the non-negotiable acceptance
+//! property of the incremental engine: it is a maximum matching maintained
+//! exactly, never an approximation.
+//!
+//! Shrunk counterexamples persist to
+//! `crates/offline/proptest-regressions/streaming_proptests.txt` and replay
+//! automatically; hand-distilled regressions from shrinking live as plain
+//! `#[test]`s at the bottom.
+
+use proptest::prelude::*;
+use reqsched_model::{Alternatives, Hint, Instance, Round, Trace, TraceBuilder};
+use reqsched_offline::{optimal_count, prefix_optima, StreamingOpt};
+
+/// Generator-side description of one request; mirrors the model-layer
+/// proptest `Spec`, plus single-alternative requests (`b == a`) to cover the
+/// `Alternatives::One` ingestion path.
+#[derive(Clone, Debug)]
+struct Spec {
+    round: u64,
+    a: u32,
+    b: u32,
+    deadline: u32,
+}
+
+const N_RESOURCES: u32 = 7;
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (0u64..16, 0u32..N_RESOURCES, 0u32..N_RESOURCES, 1u32..5).prop_map(
+        |(round, a, b, deadline)| Spec {
+            round,
+            a,
+            b,
+            deadline,
+        },
+    )
+}
+
+fn build(specs: &[Spec]) -> Trace {
+    let mut b = TraceBuilder::new(8);
+    for s in specs {
+        let alts = if s.a == s.b {
+            Alternatives::one(s.a.into())
+        } else {
+            Alternatives::two(s.a.into(), s.b.into())
+        };
+        b.push_full(Round(s.round), alts, s.deadline, 0, Hint::default());
+    }
+    b.build()
+}
+
+/// The core parity property, shared by the proptests and the pinned
+/// regressions: stream the trace one request at a time and compare the
+/// incremental optimum against a fresh full solve of every prefix instance.
+fn assert_prefix_parity(trace: &Trace) {
+    let inst = Instance::new(N_RESOURCES, 8, trace.clone());
+    let mut sopt = StreamingOpt::new(inst.n_resources);
+    let mut b = TraceBuilder::new(inst.d);
+    for req in inst.trace.requests() {
+        let streaming = sopt.ingest(req);
+        b.push_full(
+            req.arrival,
+            req.alternatives.clone(),
+            req.deadline,
+            req.tag,
+            req.hint,
+        );
+        let prefix = Instance::new(inst.n_resources, inst.d, b.clone().build());
+        let full = optimal_count(&prefix);
+        assert_eq!(
+            streaming,
+            full,
+            "prefix of {} requests: streaming {} != full solve {}",
+            prefix.trace.len(),
+            streaming,
+            full
+        );
+        // The maintained matching is a feasible schedule, not just a number.
+        sopt.solution().check(&prefix).unwrap();
+    }
+}
+
+proptest! {
+    /// After every arrival, streaming OPT == full-solve OPT of the prefix.
+    #[test]
+    fn streaming_equals_full_solve_on_every_prefix(
+        specs in proptest::collection::vec(spec(), 1..40),
+    ) {
+        assert_prefix_parity(&build(&specs));
+    }
+
+    /// The per-round curve from one streaming pass equals one full solve per
+    /// round over the round-truncated sub-instances.
+    #[test]
+    fn per_round_prefix_optima_match_full_solves(
+        specs in proptest::collection::vec(spec(), 1..30),
+    ) {
+        let trace = build(&specs);
+        let inst = Instance::new(N_RESOURCES, 8, trace);
+        let optima = prefix_optima(&inst);
+        let horizon = inst.trace.service_horizon().get();
+        prop_assert_eq!(optima.len() as u64, horizon + 1);
+        for t in 0..=horizon {
+            let mut b = TraceBuilder::new(inst.d);
+            for req in inst.trace.requests().iter().filter(|r| r.arrival.get() <= t) {
+                b.push_full(
+                    req.arrival,
+                    req.alternatives.clone(),
+                    req.deadline,
+                    req.tag,
+                    req.hint,
+                );
+            }
+            let prefix = Instance::new(inst.n_resources, inst.d, b.build());
+            prop_assert_eq!(
+                optima[t as usize] as usize,
+                optimal_count(&prefix),
+                "round {} of horizon {}",
+                t,
+                horizon
+            );
+        }
+    }
+
+    /// Structural sanity that needs no reference solver: the prefix curve is
+    /// nondecreasing, grows by at most one per arrival, and never exceeds
+    /// the number of requests ingested.
+    #[test]
+    fn streaming_curve_is_monotone_and_bounded(
+        specs in proptest::collection::vec(spec(), 0..50),
+    ) {
+        let trace = build(&specs);
+        let mut sopt = StreamingOpt::new(N_RESOURCES);
+        let mut prev = 0usize;
+        for (i, req) in trace.requests().iter().enumerate() {
+            let opt = sopt.ingest(req);
+            prop_assert!(opt >= prev, "optimum decreased");
+            prop_assert!(opt <= prev + 1, "optimum jumped by more than one");
+            prop_assert!(opt <= i + 1, "optimum exceeds ingested requests");
+            prev = opt;
+        }
+    }
+}
+
+/// Pinned regressions (hand-shrunk from proptest exploration): saturation
+/// with duplicate demand — the third request must fail to augment without
+/// corrupting the two existing assignments.
+#[test]
+fn regression_duplicate_demand_saturation() {
+    let specs = [
+        Spec { round: 0, a: 0, b: 1, deadline: 1 },
+        Spec { round: 0, a: 0, b: 1, deadline: 1 },
+        Spec { round: 0, a: 0, b: 1, deadline: 1 },
+    ];
+    assert_prefix_parity(&build(&specs));
+}
+
+/// Pinned regression: a late single-alternative arrival forces an augmenting
+/// chain through earlier two-choice requests whose windows straddle rounds.
+#[test]
+fn regression_cross_round_augmenting_chain() {
+    let specs = [
+        Spec { round: 0, a: 0, b: 1, deadline: 2 },
+        Spec { round: 1, a: 1, b: 2, deadline: 2 },
+        Spec { round: 1, a: 0, b: 0, deadline: 1 },
+        Spec { round: 2, a: 1, b: 1, deadline: 1 },
+        Spec { round: 2, a: 2, b: 2, deadline: 1 },
+    ];
+    assert_prefix_parity(&build(&specs));
+}
+
+/// Pinned regression: arrivals in the same round sort stably, so ingestion
+/// order must match trace id order even when deadlines interleave.
+#[test]
+fn regression_same_round_interleaved_deadlines() {
+    let specs = [
+        Spec { round: 3, a: 2, b: 5, deadline: 4 },
+        Spec { round: 3, a: 5, b: 2, deadline: 1 },
+        Spec { round: 3, a: 2, b: 2, deadline: 2 },
+        Spec { round: 5, a: 5, b: 5, deadline: 1 },
+    ];
+    assert_prefix_parity(&build(&specs));
+}

@@ -38,6 +38,11 @@ pub struct RunStats {
     /// algorithm's matching on the horizon graph (e.g. the augmenting-path
     /// order lemmas of the paper's upper-bound proofs).
     pub assignment: Vec<Option<(u32, u64)>>,
+    /// Streaming per-round optimum: `opt_prefix[t]` is `perf_OPT` of the
+    /// requests injected in rounds `0..=t` (full deadline windows included).
+    /// Filled by the traced runs ([`run_source_traced`] and friends), which
+    /// maintain it incrementally; empty for untraced runs.
+    pub opt_prefix: Vec<u32>,
 }
 
 impl RunStats {
@@ -59,6 +64,30 @@ impl RunStats {
         } else {
             self.served as f64 / self.injected as f64
         }
+    }
+
+    /// Live competitive-ratio curve: for each simulated round `t`, the ratio
+    /// of the streaming prefix optimum to the requests served by the
+    /// algorithm through round `t` (`1.0` while the prefix optimum is zero,
+    /// `inf` once there is an optimum but no service yet).
+    ///
+    /// Empty unless the run was traced (see [`RunStats::opt_prefix`]).
+    pub fn live_ratios(&self) -> Vec<f64> {
+        let mut alg_cum = 0u64;
+        self.opt_prefix
+            .iter()
+            .zip(&self.per_round_served)
+            .map(|(&opt, &served)| {
+                alg_cum += served as u64;
+                if opt == 0 {
+                    1.0
+                } else if alg_cum == 0 {
+                    f64::INFINITY
+                } else {
+                    opt as f64 / alg_cum as f64
+                }
+            })
+            .collect()
     }
 }
 
@@ -107,6 +136,33 @@ pub fn run_source(
     n: u32,
     d: u32,
 ) -> (RunStats, Trace) {
+    run_source_impl(strategy, source, n, d, false)
+}
+
+/// Like [`run_source`], but additionally maintain the offline optimum of the
+/// injected prefix *during* the run via the streaming matching engine: the
+/// returned stats carry a filled [`RunStats::opt_prefix`] (one entry per
+/// round) and an exact final [`RunStats::opt`] — without a single full
+/// horizon-graph solve. Per arrival this costs one augmenting-path search,
+/// so the live trace is asymptotically free.
+pub fn run_source_traced(
+    strategy: &mut dyn OnlineScheduler,
+    source: &mut dyn RequestSource,
+    n: u32,
+    d: u32,
+) -> (RunStats, Trace) {
+    run_source_impl(strategy, source, n, d, true)
+}
+
+fn run_source_impl(
+    strategy: &mut dyn OnlineScheduler,
+    source: &mut dyn RequestSource,
+    n: u32,
+    d: u32,
+    traced: bool,
+) -> (RunStats, Trace) {
+    let mut streaming = traced.then(|| reqsched_offline::StreamingOpt::new(n));
+    let mut opt_prefix: Vec<u32> = Vec::new();
     let mut view = EngineView {
         round: Round::ZERO,
         served: Vec::new(),
@@ -170,6 +226,9 @@ pub fn run_source(
                 req.tag,
                 req.hint,
             );
+            if let Some(s) = streaming.as_mut() {
+                s.ingest(req);
+            }
         }
 
         let services = strategy.on_round(round, &arrivals);
@@ -201,6 +260,9 @@ pub fn run_source(
             served += 1;
         }
         per_round_served.push(services.len() as u32);
+        if let Some(s) = streaming.as_ref() {
+            opt_prefix.push(s.opt() as u32);
+        }
         for s in &services {
             resources_used[s.resource.0 as usize] = false;
         }
@@ -237,12 +299,16 @@ pub fn run_source(
         injected,
         served,
         expired,
-        opt: 0,
+        // A traced run already knows the exact optimum: the streaming
+        // matching over the full injected trace. Untraced runs leave 0 for
+        // the caller to fill (run_fixed / run_fixed_cached).
+        opt: streaming.as_ref().map_or(0, |s| s.opt()),
         rounds: round.get(),
         comm_rounds: strategy.comm_rounds_total(),
         messages: strategy.messages_total(),
         per_round_served,
         assignment,
+        opt_prefix,
     };
     (stats, trace.build())
 }
@@ -251,6 +317,16 @@ pub fn run_source(
 pub fn run_fixed(strategy: &mut dyn OnlineScheduler, inst: &Instance) -> RunStats {
     let mut stats = run_fixed_without_opt(strategy, inst);
     stats.opt = reqsched_offline::optimal_count(inst);
+    stats
+}
+
+/// Run a strategy over a fixed instance with the streaming optimum engine:
+/// `opt` and the per-round [`RunStats::opt_prefix`] come from incremental
+/// matching maintenance, so no full horizon solve happens at all.
+pub fn run_fixed_traced(strategy: &mut dyn OnlineScheduler, inst: &Instance) -> RunStats {
+    let mut source = TraceSource::borrowed(&inst.trace);
+    let (stats, trace) = run_source_traced(strategy, &mut source, inst.n_resources, inst.d);
+    debug_assert_eq!(trace.len(), inst.trace.len());
     stats
 }
 
@@ -344,6 +420,45 @@ mod tests {
         let stats = run_fixed(s.as_mut(), &inst);
         assert_eq!(stats.injected, 0);
         assert!((stats.ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traced_run_matches_full_solve() {
+        let d = 3;
+        let mut b = TraceBuilder::new(d);
+        b.block2(0u64, 0u32, 1u32, 0);
+        b.push(1u64, 1u32, 2u32);
+        b.push(4u64, 0u32, 2u32);
+        let inst = Instance::new(3, d, b.build());
+        for kind in StrategyKind::GLOBAL {
+            let mut s = build_strategy(kind, 3, d, TieBreak::FirstFit);
+            let traced = run_fixed_traced(s.as_mut(), &inst);
+            let mut s2 = build_strategy(kind, 3, d, TieBreak::FirstFit);
+            let full = run_fixed(s2.as_mut(), &inst);
+            assert_eq!(traced.opt, full.opt, "{}", traced.strategy);
+            assert_eq!(traced.served, full.served);
+            // One prefix sample per simulated round, ending at the optimum.
+            assert_eq!(traced.opt_prefix.len() as u64, traced.rounds);
+            assert_eq!(*traced.opt_prefix.last().unwrap() as usize, traced.opt);
+            assert!(traced.opt_prefix.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn live_ratio_curve_ends_at_final_ratio() {
+        let inst = tiny_instance();
+        let mut s = build_strategy(StrategyKind::ABalance, 2, 2, TieBreak::FirstFit);
+        let stats = run_fixed_traced(s.as_mut(), &inst);
+        let curve = stats.live_ratios();
+        assert_eq!(curve.len() as u64, stats.rounds);
+        // All requests get served by the end, so the curve settles at the
+        // run's overall ratio.
+        assert!((curve.last().unwrap() - stats.ratio()).abs() < 1e-12);
+        // Untraced runs have no curve.
+        let mut s2 = build_strategy(StrategyKind::ABalance, 2, 2, TieBreak::FirstFit);
+        let plain = run_fixed(s2.as_mut(), &inst);
+        assert!(plain.opt_prefix.is_empty());
+        assert!(plain.live_ratios().is_empty());
     }
 
     #[test]

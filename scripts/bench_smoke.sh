@@ -4,22 +4,49 @@
 #   2. the full test suite,
 #   3. a short Table-1 sweep (exercises the shared OPT cache),
 #   4. the hot-path bench in quick mode (regenerates BENCH_PR1.json and
-#      asserts the >= 5x horizon-solve reduction).
+#      asserts the >= 5x horizon-solve reduction),
+#   5. the streaming-OPT bench in quick mode (regenerates BENCH_PR2.json,
+#      asserts >= 5x incremental-vs-full speedup and exact per-prefix
+#      parity), then checks the report carries the parity and
+#      solve_reduction fields.
 #
 # Usage: scripts/bench_smoke.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Offline dev containers vendor stub crates in /tmp/vendor and have no
+# registry access; route cargo at the directory source there. Everywhere
+# else, plain cargo.
+CARGO=(cargo)
+if [ -d /tmp/vendor ] && ! cargo metadata -q --format-version 1 >/dev/null 2>&1; then
+    CARGO=(cargo
+        --config 'source.crates-io.replace-with="local-stubs"'
+        --config 'source.local-stubs.directory="/tmp/vendor"')
+fi
+
 echo "== release build =="
-cargo build --release --workspace
+"${CARGO[@]}" build --release --workspace
 
 echo "== tests =="
-cargo test -q --workspace
+"${CARGO[@]}" test -q --workspace
 
 echo "== short table1 sweep =="
-cargo run --release -p reqsched-bench --bin table1 -- 4
+"${CARGO[@]}" run --release -p reqsched-bench --bin table1 -- 4
 
 echo "== hot-path bench (quick) =="
-HOT_PATH_QUICK=1 cargo bench -p reqsched-bench --bench hot_path
+HOT_PATH_QUICK=1 "${CARGO[@]}" bench -p reqsched-bench --bench hot_path
+
+echo "== streaming-OPT bench (quick) =="
+STREAMING_OPT_QUICK=1 "${CARGO[@]}" bench -p reqsched-bench --bench streaming_opt
+
+echo "== BENCH_PR2.json sanity =="
+grep -q '"parity": true' BENCH_PR2.json || {
+    echo "BENCH_PR2.json: missing incremental parity" >&2
+    exit 1
+}
+grep -q '"solve_reduction":' BENCH_PR2.json || {
+    echo "BENCH_PR2.json: missing solve_reduction field" >&2
+    exit 1
+}
 
 echo "bench smoke OK"

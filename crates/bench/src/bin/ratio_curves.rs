@@ -3,18 +3,46 @@
 //! curves. Emits CSV (columns: strategy, d, measured ratio, paper LB,
 //! paper UB).
 //!
-//! Usage: `cargo run --release -p reqsched-bench --bin ratio_curves [phases] [--trace]`
+//! Usage: `cargo run --release -p reqsched-bench --bin ratio_curves \
+//!     [phases] [--trace] [--out <path>]`
 //!
-//! With `--trace`, additionally dump the per-round live-ratio trace of every
-//! global strategy at `d = 8` (streaming prefix optimum vs. cumulative
-//! services, one row per simulated round) to `results/ratio_trace.csv`.
+//! The curves CSV is printed to stdout *and* written to `--out` (default:
+//! the repository's `results/ratio_curves.csv`, so a plain run regenerates
+//! the checked-in artifact from any working directory). With `--trace`,
+//! additionally dump the per-round live-ratio trace of every global
+//! strategy at `d = 8` (streaming prefix optimum vs. cumulative services,
+//! one row per simulated round) to `ratio_trace.csv` next to the curves
+//! file.
 
 use reqsched_bench::{ratio_curve, ratio_trace};
 use reqsched_core::StrategyKind;
 use reqsched_stats::render_csv;
+use std::path::{Path, PathBuf};
+
+/// Default output file: `results/ratio_curves.csv` at the workspace root.
+fn default_out() -> PathBuf {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+        .join("results")
+        .join("ratio_curves.csv")
+}
+
+/// Extract `--out <path>` from the argument list, consuming both tokens.
+fn take_out_flag(args: &mut Vec<String>) -> PathBuf {
+    match args.iter().position(|a| a == "--out") {
+        Some(i) if i + 1 < args.len() => {
+            args.remove(i);
+            PathBuf::from(args.remove(i))
+        }
+        Some(_) => {
+            eprintln!("error: --out needs a path");
+            std::process::exit(2);
+        }
+        None => default_out(),
+    }
+}
 
 /// Write the per-round ratio trace CSV for every global strategy.
-fn dump_trace(phases: u32) -> std::io::Result<()> {
+fn dump_trace(phases: u32, out: &Path) -> std::io::Result<()> {
     const TRACE_D: u32 = 8;
     let mut rows: Vec<Vec<String>> = vec![vec![
         "strategy".into(),
@@ -36,21 +64,25 @@ fn dump_trace(phases: u32) -> std::io::Result<()> {
             ]);
         }
     }
-    std::fs::create_dir_all("results")?;
-    std::fs::write("results/ratio_trace.csv", render_csv(&rows))?;
-    eprintln!("wrote results/ratio_trace.csv ({} rows)", rows.len() - 1);
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(out, render_csv(&rows))?;
+    eprintln!("wrote {} ({} rows)", out.display(), rows.len() - 1);
     Ok(())
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let out = take_out_flag(&mut args);
     let phases: u32 = args
         .iter()
         .find(|a| !a.starts_with("--"))
         .and_then(|a| a.parse().ok())
         .unwrap_or(12);
     if args.iter().any(|a| a == "--trace") {
-        dump_trace(phases).expect("write ratio trace");
+        let trace_out = out.with_file_name("ratio_trace.csv");
+        dump_trace(phases, &trace_out).expect("write ratio trace");
     }
     let ds: Vec<u32> = (2..=16).collect();
     let mut rows: Vec<Vec<String>> = vec![vec![
@@ -75,5 +107,11 @@ fn main() {
             ]);
         }
     }
-    print!("{}", render_csv(&rows));
+    let csv = render_csv(&rows);
+    print!("{csv}");
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    std::fs::write(&out, &csv).expect("write ratio curves");
+    eprintln!("wrote {} ({} rows)", out.display(), rows.len() - 1);
 }

@@ -1,14 +1,19 @@
 //! Replay an archived instance (JSON, as produced by serializing
-//! [`Instance`](reqsched_model::Instance)) against any strategy and print
-//! the run statistics plus an ASCII schedule timeline.
+//! [`Instance`]) against any strategy and print the run statistics plus
+//! an ASCII schedule timeline.
 //!
 //! ```text
 //! cargo run --release -p reqsched-bench --bin replay -- <instance.json> \
-//!     [strategy] [tie]
+//!     [strategy] [tie] [--out <path>]
 //! # strategy ∈ {edf, edf-cancel, a_fix, a_current, a_fix_balance, a_eager,
 //! #             a_balance, a_lazy_max, local_fix, local_eager}   (default a_balance)
 //! # tie      ∈ {first-fit, latest-fit, hint, random:<seed>}      (default first-fit)
 //! ```
+//!
+//! The replay report (stats, live-ratio marks, timeline) is printed and
+//! also written to `--out` (default: the repository's `results/replay.txt`,
+//! so a plain run regenerates the checked-in artifact from any working
+//! directory).
 //!
 //! With no arguments, a demo instance (Theorem 2.1, d = 4) is generated,
 //! archived to a temp file, re-loaded and replayed — a self-contained
@@ -18,6 +23,15 @@ use reqsched_core::{StrategyKind, TieBreak};
 use reqsched_model::Instance;
 use reqsched_sim::{run_fixed_traced, AnyStrategy};
 use reqsched_stats::render_timeline;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Default report file: `results/replay.txt` at the workspace root.
+fn default_out() -> PathBuf {
+    std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+        .join("results")
+        .join("replay.txt")
+}
 
 fn parse_strategy(name: &str, tie: TieBreak) -> Option<AnyStrategy> {
     let kind = match name {
@@ -57,10 +71,18 @@ fn parse_tie(s: &str) -> TieBreak {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let fail = |msg: String| -> ! {
         eprintln!("error: {msg}");
         std::process::exit(2);
+    };
+    let out = match args.iter().position(|a| a == "--out") {
+        Some(i) if i + 1 < args.len() => {
+            args.remove(i);
+            PathBuf::from(args.remove(i))
+        }
+        Some(_) => fail("--out needs a path".into()),
+        None => default_out(),
     };
     let inst: Instance = match args.first() {
         Some(path) => {
@@ -107,11 +129,14 @@ fn main() {
     // without a horizon solve.
     let stats = run_fixed_traced(s.as_mut(), &inst);
 
-    println!(
-        "\n{} on n={}, d={}, {} requests",
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "{} on n={}, d={}, {} requests",
         stats.strategy, inst.n_resources, inst.d, stats.injected
     );
-    println!(
+    let _ = writeln!(
+        report,
         "served {} / OPT {}  (ratio {:.4}), {} expired",
         stats.served,
         stats.opt,
@@ -131,10 +156,15 @@ fn main() {
                 format!("round {t}: {r:.4}")
             })
             .collect();
-        println!("live ratio (streaming OPT prefix): {}", marks.join(", "));
+        let _ = writeln!(
+            report,
+            "live ratio (streaming OPT prefix): {}",
+            marks.join(", ")
+        );
     }
     if stats.comm_rounds > 0 {
-        println!(
+        let _ = writeln!(
+            report,
             "communication: {} rounds, {} messages",
             stats.comm_rounds, stats.messages
         );
@@ -142,7 +172,7 @@ fn main() {
     let tags: Vec<u32> = inst.trace.requests().iter().map(|r| r.tag).collect();
     let horizon = inst.trace.service_horizon().get();
     if horizon <= 200 && inst.n_resources <= 32 {
-        println!("\n{}", render_timeline(
+        let _ = writeln!(report, "\n{}", render_timeline(
             inst.n_resources,
             horizon,
             &stats.assignment,
@@ -150,4 +180,10 @@ fn main() {
             true,
         ));
     }
+    println!("\n{report}");
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    std::fs::write(&out, &report).expect("write replay report");
+    eprintln!("wrote {}", out.display());
 }

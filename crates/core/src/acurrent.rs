@@ -9,6 +9,7 @@
 //! Unserved requests stay live until their deadlines expire; nothing is ever
 //! tentatively assigned to a future slot.
 
+use crate::delta::{CurrentDelta, SolveMode};
 use crate::schedule::{ScheduleState, Service};
 use crate::tiebreak::TieBreak;
 use crate::window::{WindowGraph, WindowScratch};
@@ -21,16 +22,29 @@ pub struct ACurrent {
     state: ScheduleState,
     tie: TieBreak,
     scratch: WindowScratch,
+    delta: Option<CurrentDelta>,
 }
 
 impl ACurrent {
     /// Create an `A_current` scheduler for `n` resources and deadline `d`.
     pub fn new(n: u32, d: u32, tie: TieBreak) -> ACurrent {
+        ACurrent::with_mode(n, d, tie, SolveMode::Delta)
+    }
+
+    /// [`ACurrent::new`] with an explicit [`SolveMode`] (the `Fresh` path
+    /// is the from-scratch reference used by parity tests and benchmarks).
+    pub fn with_mode(n: u32, d: u32, tie: TieBreak, mode: SolveMode) -> ACurrent {
         ACurrent {
             state: ScheduleState::new(n, d),
             tie,
             scratch: WindowScratch::new(),
+            delta: mode.delta_active(&tie).then(|| CurrentDelta::new(n)),
         }
+    }
+
+    /// Edges scanned by the delta engine's searches, if it is active.
+    pub fn delta_work(&self) -> Option<u64> {
+        self.delta.as_ref().map(|d| d.edges_scanned())
     }
 
     /// Read-only view of the internal schedule window (observability: used
@@ -48,6 +62,9 @@ impl OnlineScheduler for ACurrent {
     }
 
     fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
+        if let Some(cd) = &mut self.delta {
+            return cd.round(&mut self.state, round, arrivals);
+        }
         assert_eq!(round, self.state.front(), "rounds must be consecutive");
         for req in arrivals {
             self.state.insert(req);

@@ -17,6 +17,7 @@
 //! `A_balance` serves at least as eagerly as `A_eager` and additionally
 //! fills the near future as early (= as balanced) as possible.
 
+use crate::delta::{DeltaWindow, Saturation, SolveMode};
 use crate::eager::AEager;
 use crate::schedule::{ScheduleState, Service};
 use crate::tiebreak::TieBreak;
@@ -29,16 +30,29 @@ pub struct ABalance {
     state: ScheduleState,
     tie: TieBreak,
     scratch: WindowScratch,
+    delta: Option<DeltaWindow>,
 }
 
 impl ABalance {
     /// Create an `A_balance` scheduler for `n` resources and deadline `d`.
     pub fn new(n: u32, d: u32, tie: TieBreak) -> ABalance {
+        ABalance::with_mode(n, d, tie, SolveMode::Delta)
+    }
+
+    /// [`ABalance::new`] with an explicit [`SolveMode`] (the `Fresh` path
+    /// is the from-scratch reference used by parity tests and benchmarks).
+    pub fn with_mode(n: u32, d: u32, tie: TieBreak, mode: SolveMode) -> ABalance {
         ABalance {
             state: ScheduleState::new(n, d),
             tie,
             scratch: WindowScratch::new(),
+            delta: mode.delta_active(&tie).then(|| DeltaWindow::new(n, d)),
         }
+    }
+
+    /// Edges scanned by the delta engine's searches, if it is active.
+    pub fn delta_work(&self) -> Option<u64> {
+        self.delta.as_ref().map(|d| d.edges_scanned())
     }
 
     /// Read-only view of the internal schedule window (observability: used
@@ -56,14 +70,24 @@ impl OnlineScheduler for ABalance {
     }
 
     fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
-        AEager::round_body(
-            &mut self.state,
-            &self.tie,
-            &mut self.scratch,
-            round,
-            arrivals,
-            true,
-        )
+        if let Some(dw) = &mut self.delta {
+            dw.round_reschedulable(
+                &mut self.state,
+                &self.tie,
+                round,
+                arrivals,
+                Saturation::ByRound,
+            )
+        } else {
+            AEager::round_body(
+                &mut self.state,
+                &self.tie,
+                &mut self.scratch,
+                round,
+                arrivals,
+                true,
+            )
+        }
     }
 }
 

@@ -1,0 +1,638 @@
+//! The delta round engine: carry each strategy's matching from round `t` to
+//! `t+1` by applying the round delta instead of rebuilding `G_t` and
+//! re-solving from scratch.
+//!
+//! Consecutive window graphs differ only by the round delta — arrivals in,
+//! slot column `t+d` in, served/expired requests and column `t` out. The
+//! paper's own symmetric-difference machinery (§1.2) bounds how a maximum
+//! matching degrades under each of those changes: one alternating search per
+//! lost matched vertex. [`DeltaWindow`] exploits that via
+//! [`DynamicMatching`], turning the per-round cost from `O(HK(G_t))` into
+//! `O(changes × augmenting-path)`.
+//!
+//! ## Exactness, not approximation
+//!
+//! The delta path is **bit-for-bit equivalent** to the from-scratch path for
+//! the [`TieBreak::FirstFit`] and [`TieBreak::LatestFit`] members, because
+//! for those tie-breaks the from-scratch solve is replayable incrementally:
+//!
+//! * **Frozen adjacency.** A request's feasible slot set is fixed at
+//!   arrival: the window at arrival covers its whole feasible range
+//!   (`expiry ≤ arrival + d − 1`), later rounds only *retire* columns from
+//!   it, and retired edges are skipped during search. First/latest-fit slot
+//!   preference depends only on `(round, alternative position)`, so the
+//!   order frozen at arrival stays correct as the window slides. (The
+//!   `HintGuided` priority pass and `Random`'s per-round reshuffle do not
+//!   have this property — those members keep the from-scratch path.)
+//! * **No-op searches are skipped, not replayed.** The from-scratch path
+//!   re-runs an augmenting search from every still-unmatched request each
+//!   round; at a maximum matching those searches fail without touching the
+//!   matching, and the window only ever *shrinks* for an old request, so a
+//!   failed request stays failed until it expires. The delta path searches
+//!   only from new arrivals — in the same id order the fresh path uses.
+//! * **By-round saturation is a fixpoint across idle rounds.** Sliding the
+//!   window maps level `j+1` exchanges onto level `j` exchanges (relative
+//!   column order is preserved); serving removes both endpoints of every
+//!   front-column pair and expiry removes free vertices only, neither of
+//!   which can create a new improving exchange. So `A_balance`'s pass is
+//!   only needed in rounds with arrivals. `A_eager`'s two-level "current
+//!   first" ranking is *not* shift-invariant (the slide promotes column
+//!   `t+1` into the preferred class), so its pass runs every round — still
+//!   without any graph rebuild.
+//!
+//! Each converted strategy keeps its original body as the *fresh-solve
+//! reference path* (`SolveMode::Fresh`), which the parity tests drive
+//! against the delta path round by round.
+
+use crate::schedule::{RoundOutcome, ScheduleState, Service};
+use crate::tiebreak::TieBreak;
+use crate::window::order_slots;
+use reqsched_matching::DynamicMatching;
+use reqsched_model::{Request, RequestId, ResourceId, Round};
+
+/// How a strategy solves its per-round matching problem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveMode {
+    /// Carry the matching across rounds, repairing by the round delta
+    /// (default). Falls back to `Fresh` for tie-breaks whose member choice
+    /// is not replayable incrementally (`HintGuided`, `Random`).
+    Delta,
+    /// Rebuild the window graph and re-solve from scratch every round — the
+    /// reference path, kept for tests and differential benchmarks.
+    Fresh,
+}
+
+impl SolveMode {
+    /// Whether the delta engine runs for this mode + tie-break combination.
+    pub fn delta_active(self, tie: &TieBreak) -> bool {
+        self == SolveMode::Delta
+            && matches!(tie, TieBreak::FirstFit | TieBreak::LatestFit)
+    }
+}
+
+/// Which lexicographic saturation pass a rescheduling strategy runs after
+/// reaching a maximum matching.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Saturation {
+    /// No exchange pass (`A_lazy_max`).
+    None,
+    /// Two levels: current round ≻ everything later (`A_eager`'s rule 1).
+    CurrentFirst,
+    /// Level = round offset: the full balancing function `F` (`A_balance`,
+    /// and `A_fix_balance` restricted to its new arrivals).
+    ByRound,
+}
+
+/// Sliding-window delta state shared by the full-window strategies
+/// (`A_eager`, `A_balance`, `A_lazy_max`, `A_fix_balance`).
+///
+/// Owns a [`DynamicMatching`] whose columns are the schedule window rounds
+/// `front .. front+d` and whose left vertices are every request ever added
+/// (dead ones stay as tombstones). Absolute right id = `round * n +
+/// resource`, so adjacency frozen at arrival stays valid as the window
+/// slides.
+pub struct DeltaWindow {
+    dm: DynamicMatching,
+    /// Left index → request id (append-only; ids arrive in increasing
+    /// order, so lookup is a binary search).
+    ids: Vec<RequestId>,
+    n: u32,
+    d: u32,
+    started: bool,
+    /// Slot-candidate staging for one request: `(round, alt pos, right)`.
+    slots: Vec<(u64, u32, u32)>,
+    /// Adjacency staging for one request.
+    adj: Vec<u32>,
+    /// Per-column saturation levels.
+    levels: Vec<u32>,
+    /// Drained dirty-left buffer for the state write-back.
+    dirty: Vec<u32>,
+}
+
+impl DeltaWindow {
+    /// A delta window for `n` resources and deadline parameter `d`.
+    pub fn new(n: u32, d: u32) -> DeltaWindow {
+        assert!(n >= 1 && d >= 1);
+        DeltaWindow {
+            dm: DynamicMatching::new(n),
+            ids: Vec::new(),
+            n,
+            d,
+            started: false,
+            slots: Vec::new(),
+            adj: Vec::new(),
+            levels: Vec::new(),
+            dirty: Vec::new(),
+        }
+    }
+
+    /// Total edges scanned by the engine's alternating searches — the
+    /// delta path's solve-work counter.
+    pub fn edges_scanned(&self) -> u64 {
+        self.dm.edges_scanned()
+    }
+
+    /// Repair searches run for displaced partners of retired columns.
+    pub fn repairs(&self) -> u64 {
+        self.dm.repairs()
+    }
+
+    fn begin(&mut self, state: &ScheduleState) {
+        if !self.started {
+            self.started = true;
+            let front = state.front().get();
+            self.dm.set_base(front);
+            self.dm.ensure_cols(front + self.d as u64);
+        }
+    }
+
+    fn left_of(&self, id: RequestId) -> u32 {
+        self.ids
+            .binary_search(&id)
+            .expect("request tracked by the delta window") as u32
+    }
+
+    /// Add a just-inserted request as a new left vertex with its adjacency
+    /// frozen at arrival. `only_free` restricts edges to slots free at the
+    /// start of the round (the `A_fix` family's no-rescheduling graph).
+    fn add_request(
+        &mut self,
+        state: &ScheduleState,
+        req: &Request,
+        tie: &TieBreak,
+        only_free: bool,
+    ) -> u32 {
+        let front = state.front();
+        debug_assert_eq!(req.arrival, front);
+        self.slots.clear();
+        let lo = req.arrival.get();
+        let hi = req.expiry().get().min(front.get() + self.d as u64 - 1);
+        for round in lo..=hi {
+            for (pos, &res) in req.alternatives.as_slice().iter().enumerate() {
+                if only_free && !state.slot_free(res, Round(round)) {
+                    continue;
+                }
+                let right = (round * self.n as u64 + res.0 as u64) as u32;
+                self.slots.push((round, pos as u32, right));
+            }
+        }
+        order_slots(
+            &mut self.slots,
+            req.hint.prefer,
+            req.alternatives.as_slice(),
+            tie,
+            front,
+        );
+        self.adj.clear();
+        self.adj.extend(self.slots.iter().map(|&(_, _, r)| r));
+        let l = self.dm.add_left(&self.adj);
+        debug_assert_eq!(l as usize, self.ids.len());
+        debug_assert!(
+            self.ids.last().is_none_or(|&last| last < req.id),
+            "request ids must arrive in increasing order"
+        );
+        self.ids.push(req.id);
+        l
+    }
+
+    /// Write the matching delta back into the schedule state: every left
+    /// whose mate changed since the last sync is unassigned, then
+    /// re-assigned per its current mate.
+    fn sync(&mut self, state: &mut ScheduleState) {
+        self.dirty.clear();
+        self.dm.take_dirty(&mut self.dirty);
+        // Two passes so a slot freed by one displaced request can be taken
+        // by another in the same delta.
+        for &l in &self.dirty {
+            state.unassign(self.ids[l as usize]);
+        }
+        for &l in &self.dirty {
+            if !self.dm.is_alive(l) {
+                continue;
+            }
+            if let Some(r) = self.dm.left_mate(l) {
+                let round = Round(r as u64 / self.n as u64);
+                let res = ResourceId(r % self.n);
+                state.assign(self.ids[l as usize], res, round);
+            }
+        }
+        debug_assert!(state.check_consistency());
+    }
+
+    /// Apply the end-of-round delta: served and expired requests leave the
+    /// matching, the front column retires, column `front + d` opens.
+    fn advance(&mut self, state: &ScheduleState, outcome: &RoundOutcome) {
+        for s in &outcome.served {
+            self.dm.remove_left(self.left_of(s.request), false);
+        }
+        for &id in &outcome.expired {
+            let l = self.left_of(id);
+            if self.dm.is_alive(l) {
+                self.dm.remove_left(l, false);
+            }
+        }
+        // `finish_round` already advanced the state's front.
+        let front = state.front().get();
+        self.dm.retire_cols(front);
+        self.dm.ensure_cols(front + self.d as u64);
+    }
+
+    /// One round of a rescheduling strategy (`A_eager` / `A_balance` /
+    /// `A_lazy_max`): all live requests participate, previously scheduled
+    /// requests stay scheduled but may move, then the chosen saturation
+    /// pass runs.
+    pub(crate) fn round_reschedulable(
+        &mut self,
+        state: &mut ScheduleState,
+        tie: &TieBreak,
+        round: Round,
+        arrivals: &[Request],
+        sat: Saturation,
+    ) -> Vec<Service> {
+        assert_eq!(round, state.front(), "rounds must be consecutive");
+        self.begin(state);
+        for req in arrivals {
+            state.insert(req);
+        }
+        // Augment from each arrival in id order — exactly the searches the
+        // fresh path's kuhn pass performs that can change the matching
+        // (searches from old still-unmatched requests provably fail).
+        for req in arrivals {
+            let l = self.add_request(state, req, tie, false);
+            self.dm.augment(l);
+        }
+        let DeltaWindow { dm, levels, d, .. } = self;
+        match sat {
+            Saturation::None => {}
+            // The two-level ranking is *not* shift-invariant: sliding the
+            // window promotes column t+1 from "later" to "current", which
+            // can expose an improving exchange even without arrivals — so
+            // A_eager's pass must run every round.
+            Saturation::CurrentFirst => {
+                levels.clear();
+                levels.extend((0..*d).map(|j| u32::from(j != 0)));
+                dm.saturate_columns(levels, 0);
+            }
+            // The full by-round ranking is shift-invariant (relative column
+            // order is preserved; serving removes whole pairs, expiry only
+            // free vertices, the new bottom column starts edge-free), so the
+            // previous fixpoint survives idle rounds (see module docs).
+            Saturation::ByRound => {
+                if !arrivals.is_empty() {
+                    levels.clear();
+                    levels.extend(0..*d);
+                    dm.saturate_columns(levels, 0);
+                }
+            }
+        }
+        self.sync(state);
+        let outcome = state.finish_round();
+        self.advance(state, &outcome);
+        outcome.served
+    }
+
+    /// One round of `A_fix_balance`: only the new arrivals are matched, on
+    /// slots free at the start of the round; old assignments are fixed.
+    /// Arrivals that cannot be scheduled are dropped (they can never be
+    /// scheduled later under the no-rescheduling rule).
+    pub(crate) fn round_fix_balance(
+        &mut self,
+        state: &mut ScheduleState,
+        tie: &TieBreak,
+        round: Round,
+        arrivals: &[Request],
+    ) -> Vec<Service> {
+        assert_eq!(round, state.front(), "rounds must be consecutive");
+        self.begin(state);
+        for req in arrivals {
+            state.insert(req);
+        }
+        if !arrivals.is_empty() {
+            let min_left = self.dm.n_left();
+            // Adjacency for *all* arrivals is clipped to the free slots of
+            // the round start, before any of them is matched.
+            for req in arrivals {
+                self.add_request(state, req, tie, true);
+            }
+            // 1) Maximum number of new requests scheduled…
+            for l in min_left..self.dm.n_left() {
+                self.dm.augment(l);
+            }
+            // 2) …then F-maximal. Old assignments are fixed constants of F
+            // and their slots are not edges here, so restricting the
+            // exchange pass to the new lefts optimizes exactly F.
+            let DeltaWindow { dm, levels, d, .. } = self;
+            levels.clear();
+            levels.extend(0..*d);
+            dm.saturate_columns(levels, min_left);
+            self.sync(state);
+            for l in min_left..self.dm.n_left() {
+                if self.dm.left_mate(l).is_none() {
+                    self.dm.remove_left(l, false);
+                    state.drop_request(self.ids[l as usize]);
+                }
+            }
+        }
+        let outcome = state.finish_round();
+        self.advance(state, &outcome);
+        outcome.served
+    }
+}
+
+/// Delta state for `A_current`: a single fixed slot column (right vertex =
+/// resource id), since the strategy only ever matches the current round.
+///
+/// The matching itself empties every round (everything matched is served
+/// immediately), so the win over the fresh path is skipping the per-round
+/// graph rebuild: adjacency never changes, it is the request's alternative
+/// list in preference order, frozen at arrival.
+pub struct CurrentDelta {
+    dm: DynamicMatching,
+    ids: Vec<RequestId>,
+    /// Alive left indices in id order — the strategy re-matches all of
+    /// them from scratch each round.
+    live: Vec<u32>,
+    n: u32,
+    adj: Vec<u32>,
+    dirty: Vec<u32>,
+}
+
+impl CurrentDelta {
+    /// A current-round delta state for `n` resources.
+    pub fn new(n: u32) -> CurrentDelta {
+        assert!(n >= 1);
+        let mut dm = DynamicMatching::new(n);
+        dm.ensure_cols(1);
+        CurrentDelta {
+            dm,
+            ids: Vec::new(),
+            live: Vec::new(),
+            n,
+            adj: Vec::new(),
+            dirty: Vec::new(),
+        }
+    }
+
+    /// Total edges scanned by the matching searches.
+    pub fn edges_scanned(&self) -> u64 {
+        self.dm.edges_scanned()
+    }
+
+    fn left_of(&self, id: RequestId) -> u32 {
+        self.ids
+            .binary_search(&id)
+            .expect("request tracked by the delta state") as u32
+    }
+
+    /// One `A_current` round: every live request competes for the current
+    /// round's `n` slots, matched ones are served immediately.
+    pub(crate) fn round(
+        &mut self,
+        state: &mut ScheduleState,
+        round: Round,
+        arrivals: &[Request],
+    ) -> Vec<Service> {
+        assert_eq!(round, state.front(), "rounds must be consecutive");
+        for req in arrivals {
+            state.insert(req);
+            // Single-round window: first/latest-fit both reduce to
+            // alternative-position order.
+            self.adj.clear();
+            self.adj
+                .extend(req.alternatives.as_slice().iter().map(|r| r.0));
+            let l = self.dm.add_left(&self.adj);
+            debug_assert_eq!(l as usize, self.ids.len());
+            debug_assert!(
+                self.ids.last().is_none_or(|&last| last < req.id),
+                "request ids must arrive in increasing order"
+            );
+            self.ids.push(req.id);
+            self.live.push(l);
+        }
+        // The matching emptied at the end of the previous round (matched ⇒
+        // served ⇒ removed), so augmenting every live request in id order
+        // replays the fresh path's kuhn pass exactly.
+        for i in 0..self.live.len() {
+            self.dm.augment(self.live[i]);
+        }
+        self.dirty.clear();
+        self.dm.take_dirty(&mut self.dirty);
+        let front = state.front();
+        for &l in &self.dirty {
+            if !self.dm.is_alive(l) {
+                continue; // tombstone from last round's removals
+            }
+            if let Some(r) = self.dm.left_mate(l) {
+                state.assign(self.ids[l as usize], ResourceId(r % self.n), front);
+            }
+        }
+        debug_assert!(state.check_consistency());
+        let outcome = state.finish_round();
+        for s in &outcome.served {
+            self.dm.remove_left(self.left_of(s.request), false);
+        }
+        for &id in &outcome.expired {
+            let l = self.left_of(id);
+            if self.dm.is_alive(l) {
+                self.dm.remove_left(l, false);
+            }
+        }
+        let dm = &self.dm;
+        self.live.retain(|&l| dm.is_alive(l));
+        outcome.served
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        ABalance, ACurrent, AEager, AFixBalance, ALazyMax, OnlineScheduler,
+    };
+    use reqsched_model::{Instance, TraceBuilder};
+
+    /// Deterministic pseudo-random trace: bursts of 2-choice requests with
+    /// mixed deadlines, enough pressure that requests fail, expire and get
+    /// rescheduled.
+    fn scramble_trace(n: u32, d: u32, rounds: u64, seed: u64) -> Instance {
+        let mut b = TraceBuilder::new(d);
+        let mut s = seed | 1;
+        let mut rng = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for t in 0..rounds {
+            let burst = (rng() % (n as u64 + 2)) as u32;
+            for _ in 0..burst {
+                let a = (rng() % n as u64) as u32;
+                let mut bb = (rng() % n as u64) as u32;
+                if bb == a {
+                    bb = (bb + 1) % n;
+                }
+                let deadline = 1 + (rng() % d as u64) as u32;
+                b.push_full(
+                    Round(t),
+                    reqsched_model::Alternatives::two(ResourceId(a), ResourceId(bb)),
+                    deadline,
+                    0,
+                    Default::default(),
+                );
+            }
+        }
+        Instance::new(n, d, b.build())
+    }
+
+    fn assert_round_parity(
+        mut delta: impl FnMut(Round, &[Request]) -> Vec<Service>,
+        fresh: &mut dyn OnlineScheduler,
+        inst: &Instance,
+    ) {
+        for t in 0..inst.horizon().get() + inst.d as u64 {
+            let arrivals = inst.trace.arrivals_at(Round(t));
+            let got = delta(Round(t), arrivals);
+            let want = fresh.on_round(Round(t), arrivals);
+            assert_eq!(got, want, "round {t} diverged");
+        }
+    }
+
+    #[test]
+    fn eager_delta_matches_fresh() {
+        for tie in [TieBreak::FirstFit, TieBreak::LatestFit] {
+            for (n, d, seed) in [(3, 2, 5), (4, 3, 11), (2, 4, 23), (5, 5, 41)] {
+                let inst = scramble_trace(n, d, 40, seed);
+                let mut st = ScheduleState::new(n, d);
+                let mut dw = DeltaWindow::new(n, d);
+                let mut fresh = AEager::with_mode(n, d, tie, SolveMode::Fresh);
+                assert_round_parity(
+                    |r, a| {
+                        dw.round_reschedulable(&mut st, &tie, r, a, Saturation::CurrentFirst)
+                    },
+                    &mut fresh,
+                    &inst,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn balance_delta_matches_fresh() {
+        for tie in [TieBreak::FirstFit, TieBreak::LatestFit] {
+            for (n, d, seed) in [(3, 2, 7), (4, 3, 13), (2, 5, 29)] {
+                let inst = scramble_trace(n, d, 40, seed);
+                let mut st = ScheduleState::new(n, d);
+                let mut dw = DeltaWindow::new(n, d);
+                let mut fresh = ABalance::with_mode(n, d, tie, SolveMode::Fresh);
+                assert_round_parity(
+                    |r, a| dw.round_reschedulable(&mut st, &tie, r, a, Saturation::ByRound),
+                    &mut fresh,
+                    &inst,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_delta_matches_fresh() {
+        for tie in [TieBreak::FirstFit, TieBreak::LatestFit] {
+            for (n, d, seed) in [(3, 3, 17), (4, 2, 19), (2, 4, 31)] {
+                let inst = scramble_trace(n, d, 40, seed);
+                let mut st = ScheduleState::new(n, d);
+                let mut dw = DeltaWindow::new(n, d);
+                let mut fresh = ALazyMax::with_mode(n, d, tie, SolveMode::Fresh);
+                assert_round_parity(
+                    |r, a| dw.round_reschedulable(&mut st, &tie, r, a, Saturation::None),
+                    &mut fresh,
+                    &inst,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fix_balance_delta_matches_fresh() {
+        for tie in [TieBreak::FirstFit, TieBreak::LatestFit] {
+            for (n, d, seed) in [(3, 2, 3), (4, 3, 37), (2, 5, 43), (6, 4, 53)] {
+                let inst = scramble_trace(n, d, 40, seed);
+                let mut st = ScheduleState::new(n, d);
+                let mut dw = DeltaWindow::new(n, d);
+                let mut fresh = AFixBalance::with_mode(n, d, tie, SolveMode::Fresh);
+                assert_round_parity(
+                    |r, a| dw.round_fix_balance(&mut st, &tie, r, a),
+                    &mut fresh,
+                    &inst,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn current_delta_matches_fresh() {
+        for tie in [TieBreak::FirstFit, TieBreak::LatestFit] {
+            for (n, d, seed) in [(3, 2, 9), (4, 3, 15), (2, 4, 27), (5, 1, 61)] {
+                let inst = scramble_trace(n, d, 40, seed);
+                let mut st = ScheduleState::new(n, d);
+                let mut cd = CurrentDelta::new(n);
+                let mut fresh = ACurrent::with_mode(n, d, tie, SolveMode::Fresh);
+                assert_round_parity(|r, a| cd.round(&mut st, r, a), &mut fresh, &inst);
+            }
+        }
+    }
+
+    #[test]
+    fn converted_strategies_default_to_delta_and_agree() {
+        // The public constructors run the delta path for FirstFit; a fresh
+        // twin must produce the identical service sequence.
+        let inst = scramble_trace(4, 3, 60, 71);
+        let pairs: Vec<(Box<dyn OnlineScheduler>, Box<dyn OnlineScheduler>)> = vec![
+            (
+                Box::new(AEager::new(4, 3, TieBreak::FirstFit)),
+                Box::new(AEager::with_mode(4, 3, TieBreak::FirstFit, SolveMode::Fresh)),
+            ),
+            (
+                Box::new(ABalance::new(4, 3, TieBreak::FirstFit)),
+                Box::new(ABalance::with_mode(4, 3, TieBreak::FirstFit, SolveMode::Fresh)),
+            ),
+            (
+                Box::new(ACurrent::new(4, 3, TieBreak::FirstFit)),
+                Box::new(ACurrent::with_mode(4, 3, TieBreak::FirstFit, SolveMode::Fresh)),
+            ),
+            (
+                Box::new(AFixBalance::new(4, 3, TieBreak::FirstFit)),
+                Box::new(AFixBalance::with_mode(
+                    4,
+                    3,
+                    TieBreak::FirstFit,
+                    SolveMode::Fresh,
+                )),
+            ),
+            (
+                Box::new(ALazyMax::new(4, 3, TieBreak::FirstFit)),
+                Box::new(ALazyMax::with_mode(4, 3, TieBreak::FirstFit, SolveMode::Fresh)),
+            ),
+        ];
+        for (mut a, mut b) in pairs {
+            for t in 0..inst.horizon().get() + 3 {
+                let arr = inst.trace.arrivals_at(Round(t));
+                assert_eq!(
+                    a.on_round(Round(t), arr),
+                    b.on_round(Round(t), arr),
+                    "{} round {t}",
+                    a.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hint_guided_and_random_fall_back_to_fresh() {
+        // Non-replayable tie-breaks must not activate the delta engine; the
+        // constructors stay usable and behave like the fresh path trivially.
+        assert!(!SolveMode::Delta.delta_active(&TieBreak::HintGuided));
+        assert!(!SolveMode::Delta.delta_active(&TieBreak::Random(7)));
+        assert!(SolveMode::Delta.delta_active(&TieBreak::FirstFit));
+        assert!(SolveMode::Delta.delta_active(&TieBreak::LatestFit));
+        assert!(!SolveMode::Fresh.delta_active(&TieBreak::FirstFit));
+    }
+}

@@ -16,6 +16,7 @@
 //! two-level priority "current round ≻ everything later" — rule 1 — which
 //! keeps both cardinality and the set of matched requests intact.
 
+use crate::delta::{DeltaWindow, Saturation, SolveMode};
 use crate::schedule::{ScheduleState, Service};
 use crate::tiebreak::TieBreak;
 use crate::window::{WindowGraph, WindowScratch};
@@ -28,16 +29,29 @@ pub struct AEager {
     state: ScheduleState,
     tie: TieBreak,
     scratch: WindowScratch,
+    delta: Option<DeltaWindow>,
 }
 
 impl AEager {
     /// Create an `A_eager` scheduler for `n` resources and deadline `d`.
     pub fn new(n: u32, d: u32, tie: TieBreak) -> AEager {
+        AEager::with_mode(n, d, tie, SolveMode::Delta)
+    }
+
+    /// [`AEager::new`] with an explicit [`SolveMode`] (the `Fresh` path is
+    /// the from-scratch reference used by parity tests and benchmarks).
+    pub fn with_mode(n: u32, d: u32, tie: TieBreak, mode: SolveMode) -> AEager {
         AEager {
             state: ScheduleState::new(n, d),
             tie,
             scratch: WindowScratch::new(),
+            delta: mode.delta_active(&tie).then(|| DeltaWindow::new(n, d)),
         }
+    }
+
+    /// Edges scanned by the delta engine's searches, if it is active.
+    pub fn delta_work(&self) -> Option<u64> {
+        self.delta.as_ref().map(|d| d.edges_scanned())
     }
 
     /// Read-only view of the internal schedule window (observability: used
@@ -107,14 +121,24 @@ impl OnlineScheduler for AEager {
     }
 
     fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
-        AEager::round_body(
-            &mut self.state,
-            &self.tie,
-            &mut self.scratch,
-            round,
-            arrivals,
-            false,
-        )
+        if let Some(dw) = &mut self.delta {
+            dw.round_reschedulable(
+                &mut self.state,
+                &self.tie,
+                round,
+                arrivals,
+                Saturation::CurrentFirst,
+            )
+        } else {
+            AEager::round_body(
+                &mut self.state,
+                &self.tie,
+                &mut self.scratch,
+                round,
+                arrivals,
+                false,
+            )
+        }
     }
 }
 

@@ -2,7 +2,7 @@
 
 use crate::{
     ABalance, ACurrent, AEager, AFix, AFixBalance, EdfSingle, EdfTwoChoice,
-    OnlineScheduler, TieBreak,
+    OnlineScheduler, SolveMode, TieBreak,
 };
 
 /// Identifies one of the paper's strategies.
@@ -132,12 +132,26 @@ impl StrategyKind {
     }
 }
 
-/// Construct a boxed strategy instance.
+/// Construct a boxed strategy instance (delta solve mode, the default).
 pub fn build_strategy(
     kind: StrategyKind,
     n: u32,
     d: u32,
     tie: TieBreak,
+) -> Box<dyn OnlineScheduler> {
+    build_strategy_with_mode(kind, n, d, tie, SolveMode::Delta)
+}
+
+/// [`build_strategy`] with an explicit [`SolveMode`]. `Fresh` selects the
+/// from-scratch reference path on the matching-based strategies (the EDF
+/// strategies have no matching to carry; the mode is ignored for them, and
+/// `A_fix` decides per arrival, so it has no delta path either).
+pub fn build_strategy_with_mode(
+    kind: StrategyKind,
+    n: u32,
+    d: u32,
+    tie: TieBreak,
+    mode: SolveMode,
 ) -> Box<dyn OnlineScheduler> {
     match kind {
         StrategyKind::EdfSingle => Box::new(EdfSingle::new(n)),
@@ -145,11 +159,15 @@ pub fn build_strategy(
             Box::new(EdfTwoChoice::new(n, cancel_sibling))
         }
         StrategyKind::AFix => Box::new(AFix::new(n, d, tie)),
-        StrategyKind::ACurrent => Box::new(ACurrent::new(n, d, tie)),
-        StrategyKind::AFixBalance => Box::new(AFixBalance::new(n, d, tie)),
-        StrategyKind::AEager => Box::new(AEager::new(n, d, tie)),
-        StrategyKind::ABalance => Box::new(ABalance::new(n, d, tie)),
-        StrategyKind::LazyMax => Box::new(crate::ALazyMax::new(n, d, tie)),
+        StrategyKind::ACurrent => Box::new(ACurrent::with_mode(n, d, tie, mode)),
+        StrategyKind::AFixBalance => {
+            Box::new(AFixBalance::with_mode(n, d, tie, mode))
+        }
+        StrategyKind::AEager => Box::new(AEager::with_mode(n, d, tie, mode)),
+        StrategyKind::ABalance => Box::new(ABalance::with_mode(n, d, tie, mode)),
+        StrategyKind::LazyMax => {
+            Box::new(crate::ALazyMax::with_mode(n, d, tie, mode))
+        }
     }
 }
 

@@ -9,6 +9,7 @@
 //! possible"). Bounds: LB `3d/(2d+2)` (Thm 2.3), UB `4/3 | 7/5 | 2−2/d`
 //! (Thm 3.4).
 
+use crate::delta::{DeltaWindow, SolveMode};
 use crate::schedule::{ScheduleState, Service};
 use crate::tiebreak::TieBreak;
 use crate::window::{WindowGraph, WindowScratch};
@@ -21,16 +22,30 @@ pub struct AFixBalance {
     state: ScheduleState,
     tie: TieBreak,
     scratch: WindowScratch,
+    delta: Option<DeltaWindow>,
 }
 
 impl AFixBalance {
     /// Create an `A_fix_balance` scheduler for `n` resources, deadline `d`.
     pub fn new(n: u32, d: u32, tie: TieBreak) -> AFixBalance {
+        AFixBalance::with_mode(n, d, tie, SolveMode::Delta)
+    }
+
+    /// [`AFixBalance::new`] with an explicit [`SolveMode`] (the `Fresh`
+    /// path is the from-scratch reference used by parity tests and
+    /// benchmarks).
+    pub fn with_mode(n: u32, d: u32, tie: TieBreak, mode: SolveMode) -> AFixBalance {
         AFixBalance {
             state: ScheduleState::new(n, d),
             tie,
             scratch: WindowScratch::new(),
+            delta: mode.delta_active(&tie).then(|| DeltaWindow::new(n, d)),
         }
+    }
+
+    /// Edges scanned by the delta engine's searches, if it is active.
+    pub fn delta_work(&self) -> Option<u64> {
+        self.delta.as_ref().map(|d| d.edges_scanned())
     }
 
     /// Read-only view of the internal schedule window (observability: used
@@ -48,6 +63,9 @@ impl OnlineScheduler for AFixBalance {
     }
 
     fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
+        if let Some(dw) = &mut self.delta {
+            return dw.round_fix_balance(&mut self.state, &self.tie, round, arrivals);
+        }
         assert_eq!(round, self.state.front(), "rounds must be consecutive");
         for req in arrivals {
             self.state.insert(req);

@@ -9,6 +9,7 @@
 //! idle, and the capacity wasted that way is gone forever once the window
 //! slides — which is exactly what Theorem 2.4's phases punish.
 
+use crate::delta::{DeltaWindow, Saturation, SolveMode};
 use crate::schedule::{ScheduleState, Service};
 use crate::tiebreak::TieBreak;
 use crate::window::{WindowGraph, WindowScratch};
@@ -21,17 +22,30 @@ pub struct ALazyMax {
     state: ScheduleState,
     tie: TieBreak,
     scratch: WindowScratch,
+    delta: Option<DeltaWindow>,
 }
 
 impl ALazyMax {
     /// Create an `A_lazy_max` scheduler; `TieBreak::LatestFit` gives the
     /// fully procrastinating member.
     pub fn new(n: u32, d: u32, tie: TieBreak) -> ALazyMax {
+        ALazyMax::with_mode(n, d, tie, SolveMode::Delta)
+    }
+
+    /// [`ALazyMax::new`] with an explicit [`SolveMode`] (the `Fresh` path
+    /// is the from-scratch reference used by parity tests and benchmarks).
+    pub fn with_mode(n: u32, d: u32, tie: TieBreak, mode: SolveMode) -> ALazyMax {
         ALazyMax {
             state: ScheduleState::new(n, d),
             tie,
             scratch: WindowScratch::new(),
+            delta: mode.delta_active(&tie).then(|| DeltaWindow::new(n, d)),
         }
+    }
+
+    /// Edges scanned by the delta engine's searches, if it is active.
+    pub fn delta_work(&self) -> Option<u64> {
+        self.delta.as_ref().map(|d| d.edges_scanned())
     }
 
     /// Read-only view of the internal schedule window.
@@ -46,6 +60,15 @@ impl OnlineScheduler for ALazyMax {
     }
 
     fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
+        if let Some(dw) = &mut self.delta {
+            return dw.round_reschedulable(
+                &mut self.state,
+                &self.tie,
+                round,
+                arrivals,
+                Saturation::None,
+            );
+        }
         assert_eq!(round, self.state.front(), "rounds must be consecutive");
         for req in arrivals {
             self.state.insert(req);

@@ -25,6 +25,7 @@
 mod acurrent;
 mod afix;
 mod balance;
+mod delta;
 mod eager;
 mod edf;
 mod factory;
@@ -37,9 +38,10 @@ mod window;
 pub use acurrent::ACurrent;
 pub use afix::AFix;
 pub use balance::ABalance;
+pub use delta::{CurrentDelta, DeltaWindow, SolveMode};
 pub use eager::AEager;
 pub use edf::{EdfSingle, EdfTwoChoice};
-pub use factory::{build_strategy, StrategyKind};
+pub use factory::{build_strategy, build_strategy_with_mode, StrategyKind};
 pub use fix_balance::AFixBalance;
 pub use lazy::ALazyMax;
 pub use schedule::{RoundOutcome, ScheduleState, Service};

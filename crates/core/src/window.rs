@@ -371,8 +371,9 @@ impl WindowGraph {
     }
 }
 
-/// Order slot candidates per tie-break (see [`TieBreak`] docs).
-fn order_slots(
+/// Order slot candidates per tie-break (see [`TieBreak`] docs). Shared with
+/// the delta round engine, which freezes the order at arrival.
+pub(crate) fn order_slots(
     scratch: &mut [(u64, u32, u32)],
     prefer: Option<ResourceId>,
     alts: &[ResourceId],

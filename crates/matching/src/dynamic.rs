@@ -1,0 +1,1091 @@
+//! Dynamic maximum bipartite matching over a sliding slot window.
+//!
+//! [`IncrementalMatching`](crate::IncrementalMatching) handles the *growing*
+//! side of the streaming problem: left vertices arrive one at a time and one
+//! augmenting search per arrival keeps the matching maximum. The online
+//! strategies need the full round delta on top of that:
+//!
+//! * **left removal** — a request is served (its slot leaves with it) or
+//!   expires, or a fix-family strategy rejects it at arrival;
+//! * **right retirement** — slot column `t` leaves the window when the
+//!   simulation advances to round `t + 1`;
+//! * **right extension** — slot column `t + d` enters the window.
+//!
+//! [`DynamicMatching`] maintains a maximum matching across all of these.
+//! The repair rule is the paper's Section 1.2 symmetric-difference argument
+//! run in reverse: deleting one matched vertex degrades a maximum matching
+//! by at most one, and the lost unit is recoverable iff one alternating
+//! search from the freed partner finds an augmenting path. So every delta
+//! costs `O(changes × one augmenting search)` instead of a from-scratch
+//! solve of the whole window graph.
+//!
+//! Right vertices carry *stable absolute ids*: slot `(round, resource)` is
+//! vertex `round * width + resource`, so adjacency recorded at a request's
+//! arrival stays valid for that request's whole life. Window state (mate
+//! array, reverse adjacency, per-column free counts) lives in `VecDeque`s
+//! indexed by `id - rlo`, which makes column retirement a front-pop and
+//! column extension a back-push. Retired ids below `rlo` are skipped during
+//! search, never rescanned.
+//!
+//! The struct also maintains everything the saturation passes of
+//! `A_balance` / `A_eager` need ([`DynamicMatching::saturate_columns`]
+//! mirrors [`saturate_levels_with`](crate::saturate_levels_with) exactly,
+//! with per-*column* levels), plus a dirty-left list so callers can sync an
+//! external view of the assignment in `O(mate changes)` rather than
+//! `O(window)`.
+
+use std::collections::VecDeque;
+
+use crate::workspace::MatchingWorkspace;
+
+const NONE: u32 = u32::MAX;
+
+/// A maximum bipartite matching maintained under left insertion/removal and
+/// right-column retirement/extension over a sliding window of slot columns.
+///
+/// Left vertices are appended with [`DynamicMatching::add_left`] and
+/// numbered consecutively from 0 for the lifetime of the structure (dead
+/// lefts keep their index; they are never scanned again). Right vertices are
+/// the absolute slot ids of the current window
+/// `[col_lo * width, col_hi * width)`.
+#[derive(Debug)]
+pub struct DynamicMatching {
+    /// Rights per column (the paper's `n` resources).
+    width: u32,
+    /// Current window of slot columns: `[col_lo, col_hi)`.
+    col_lo: u64,
+    col_hi: u64,
+    /// First live right id: `col_lo * width`. Edges below it are retired.
+    rlo: u32,
+    /// Per-left adjacency span into `edges` (absolute right ids, frozen at
+    /// insertion). Removed lefts get an empty span.
+    spans: Vec<(u32, u32)>,
+    edges: Vec<u32>,
+    /// Left mate array (absolute right id or `NONE`).
+    l2r: Vec<u32>,
+    /// Lefts still participating; dead lefts are skipped by every scan.
+    alive: Vec<bool>,
+    /// Window-indexed right mate array: `r2l[r - rlo]`.
+    r2l: VecDeque<u32>,
+    /// Window-indexed reverse adjacency: lefts adjacent to each live right,
+    /// in insertion (= id) order. Fuels the saturation BFS and the removal
+    /// repair search.
+    rev: VecDeque<Vec<u32>>,
+    /// Recycled `rev` entries from retired columns.
+    rev_pool: Vec<Vec<u32>>,
+    /// Free rights per window column (seed-existence test for saturation).
+    free_in_col: VecDeque<u32>,
+    size: u32,
+    /// Lefts whose mate changed since the last [`DynamicMatching::take_dirty`]
+    /// (deduplicated via `dirty_mark`; may include since-removed lefts).
+    dirty: Vec<u32>,
+    dirty_mark: Vec<bool>,
+    /// Marks set by the current search, cleared on exit (touched lists keep
+    /// per-delta cost proportional to the explored subgraph).
+    touched_l: Vec<u32>,
+    touched_r: Vec<u32>,
+    /// Rights proven useless for forward augmenting searches. When a search
+    /// fails, its visited set `S` is a closed trap: every right in `S` is
+    /// matched and its mate's whole in-window adjacency lies inside `S`, so
+    /// any later search entering `S` exhausts it and backtracks with nothing
+    /// — skipping `S` outright reaches the *same* path (or failure) as the
+    /// textbook scan. The trap survives free-left insertion (a free left is
+    /// never an interior path vertex), fresh-column extension (edge-free
+    /// rights), and even successful augments (the found path can never pass
+    /// through `S`, so no mate inside changes); it dies when a matched left
+    /// is removed, a column retires, or a saturation pass runs — the clear
+    /// points. Window-indexed like `visited_r`; `dead_list` keeps the
+    /// absolute ids for `O(marks)` clearing.
+    dead_r: Vec<bool>,
+    dead_list: Vec<u32>,
+    repair_scratch: Vec<u32>,
+    ws: MatchingWorkspace,
+    edges_scanned: u64,
+    repairs: u64,
+}
+
+/// The mate arrays plus every piece of bookkeeping a mate change touches,
+/// split out of [`DynamicMatching`] so the search loops can borrow the
+/// adjacency arena and workspace disjointly.
+struct Pairs<'a> {
+    l2r: &'a mut Vec<u32>,
+    r2l: &'a mut VecDeque<u32>,
+    free_in_col: &'a mut VecDeque<u32>,
+    size: &'a mut u32,
+    dirty: &'a mut Vec<u32>,
+    dirty_mark: &'a mut Vec<bool>,
+    rlo: u32,
+    width: u32,
+}
+
+impl Pairs<'_> {
+    #[inline]
+    fn wi(&self, r: u32) -> usize {
+        debug_assert!(r >= self.rlo, "right {r} is retired (rlo={})", self.rlo);
+        (r - self.rlo) as usize
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, l: u32) {
+        if !self.dirty_mark[l as usize] {
+            self.dirty_mark[l as usize] = true;
+            self.dirty.push(l);
+        }
+    }
+
+    fn unset_left(&mut self, l: u32) {
+        let r = self.l2r[l as usize];
+        if r != NONE {
+            let wi = self.wi(r);
+            self.l2r[l as usize] = NONE;
+            self.r2l[wi] = NONE;
+            self.free_in_col[wi / self.width as usize] += 1;
+            *self.size -= 1;
+            self.mark_dirty(l);
+        }
+    }
+
+    fn unset_right(&mut self, r: u32) {
+        let wi = self.wi(r);
+        let l = self.r2l[wi];
+        if l != NONE {
+            self.r2l[wi] = NONE;
+            self.l2r[l as usize] = NONE;
+            self.free_in_col[wi / self.width as usize] += 1;
+            *self.size -= 1;
+            self.mark_dirty(l);
+        }
+    }
+
+    /// Match `l` with `r`, displacing any previous mates of either — the
+    /// same semantics as [`crate::Matching::set`], which the flip walks of
+    /// the search routines rely on.
+    fn set(&mut self, l: u32, r: u32) {
+        self.unset_left(l);
+        self.unset_right(r);
+        let wi = self.wi(r);
+        self.l2r[l as usize] = r;
+        self.r2l[wi] = l;
+        self.free_in_col[wi / self.width as usize] -= 1;
+        *self.size += 1;
+        self.mark_dirty(l);
+    }
+}
+
+/// Flip the alternating path ending at left vertex `end_l`, exactly as the
+/// batch saturation's `apply_flip` does: optionally cut `(end_l, freed)`
+/// first, then re-match each left to the right it was discovered from,
+/// walking `parent_l`/`parent_r` back to the free starting right.
+fn apply_flip(p: &mut Pairs, parent_l: &[u32], parent_r: &[u32], end_l: u32, freed: Option<u32>) {
+    if let Some(r2) = freed {
+        debug_assert_eq!(p.l2r[end_l as usize], r2);
+        p.unset_right(r2);
+    }
+    let mut l = end_l;
+    loop {
+        let r = parent_l[l as usize];
+        debug_assert_ne!(r, NONE);
+        p.set(l, r);
+        let prev_l = parent_r[(r - p.rlo) as usize];
+        if prev_l == NONE {
+            break; // reached the free starting right vertex
+        }
+        l = prev_l;
+    }
+}
+
+impl DynamicMatching {
+    /// An empty matching over zero columns of `width` rights each.
+    pub fn new(width: u32) -> DynamicMatching {
+        assert!(width > 0, "column width must be positive");
+        DynamicMatching {
+            width,
+            col_lo: 0,
+            col_hi: 0,
+            rlo: 0,
+            spans: Vec::new(),
+            edges: Vec::new(),
+            l2r: Vec::new(),
+            alive: Vec::new(),
+            r2l: VecDeque::new(),
+            rev: VecDeque::new(),
+            rev_pool: Vec::new(),
+            free_in_col: VecDeque::new(),
+            size: 0,
+            dirty: Vec::new(),
+            dirty_mark: Vec::new(),
+            touched_l: Vec::new(),
+            touched_r: Vec::new(),
+            dead_r: Vec::new(),
+            dead_list: Vec::new(),
+            repair_scratch: Vec::new(),
+            ws: MatchingWorkspace::new(),
+            edges_scanned: 0,
+            repairs: 0,
+        }
+    }
+
+    /// Rights per column.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Current window `[col_lo, col_hi)` of live slot columns.
+    #[inline]
+    pub fn col_range(&self) -> (u64, u64) {
+        (self.col_lo, self.col_hi)
+    }
+
+    /// Number of left vertices ever inserted (dead ones included).
+    #[inline]
+    pub fn n_left(&self) -> u32 {
+        self.l2r.len() as u32
+    }
+
+    /// Size of the maintained maximum matching.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size as usize
+    }
+
+    /// Whether left vertex `l` is still participating.
+    #[inline]
+    pub fn is_alive(&self, l: u32) -> bool {
+        self.alive[l as usize]
+    }
+
+    /// Mate of left vertex `l` (an absolute right id), if matched.
+    #[inline]
+    pub fn left_mate(&self, l: u32) -> Option<u32> {
+        let r = self.l2r[l as usize];
+        (r != NONE).then_some(r)
+    }
+
+    /// Mate of the live right vertex `r`, if matched.
+    #[inline]
+    pub fn right_mate(&self, r: u32) -> Option<u32> {
+        let l = self.r2l[(r - self.rlo) as usize];
+        (l != NONE).then_some(l)
+    }
+
+    /// Total edges scanned by every search since construction — the
+    /// engine's lifetime solve work, comparable against the per-round
+    /// `O(E)` of a from-scratch solve.
+    #[inline]
+    pub fn edges_scanned(&self) -> u64 {
+        self.edges_scanned
+    }
+
+    /// Number of repair searches run for removals/retirements.
+    #[inline]
+    pub fn repairs(&self) -> u64 {
+        self.repairs
+    }
+
+    /// Place the (still empty) window at column `col`. Must be called
+    /// before any insertion when the simulation does not start at round 0.
+    pub fn set_base(&mut self, col: u64) {
+        assert!(
+            self.l2r.is_empty() && self.col_lo == self.col_hi,
+            "set_base on a populated matching"
+        );
+        Self::check_id_space(col, self.width);
+        self.col_lo = col;
+        self.col_hi = col;
+        self.rlo = (col * self.width as u64) as u32;
+    }
+
+    fn check_id_space(col_hi: u64, width: u32) {
+        assert!(
+            col_hi
+                .checked_mul(width as u64)
+                .is_some_and(|v| v < u32::MAX as u64),
+            "slot id space exhausted at column {col_hi} (width {width})"
+        );
+    }
+
+    /// Extend the window to `[col_lo, new_col_hi)`, adding free columns.
+    pub fn ensure_cols(&mut self, new_col_hi: u64) {
+        if new_col_hi <= self.col_hi {
+            return;
+        }
+        Self::check_id_space(new_col_hi, self.width);
+        while self.col_hi < new_col_hi {
+            for _ in 0..self.width {
+                self.r2l.push_back(NONE);
+                self.rev.push_back(self.rev_pool.pop().unwrap_or_default());
+            }
+            self.free_in_col.push_back(self.width);
+            self.col_hi += 1;
+        }
+        let win = ((self.col_hi - self.col_lo) * self.width as u64) as usize;
+        // visited_r stays all-false between searches, so growth keeps the
+        // invariant; parent_r is only read at indices written by the current
+        // search, so its fill value never matters.
+        if self.ws.visited_r.len() < win {
+            self.ws.visited_r.resize(win, false);
+        }
+        if self.ws.parent_r.len() < win {
+            self.ws.parent_r.resize(win, NONE);
+        }
+        // Fresh columns are edge-free, so existing failure traps stay valid.
+        if self.dead_r.len() < win {
+            self.dead_r.resize(win, false);
+        }
+    }
+
+    /// Forget the accumulated failed-search traps (see `dead_r`). Must run
+    /// *before* `rlo` moves — the marks are window-indexed.
+    fn clear_failure_marks(&mut self) {
+        for r in self.dead_list.drain(..) {
+            if r >= self.rlo {
+                self.dead_r[(r - self.rlo) as usize] = false;
+            }
+        }
+    }
+
+    /// Retire every column below `new_col_lo` (they left the window). Any
+    /// matched right in a retired column frees its (alive) mate; one forward
+    /// augmenting search per freed left restores maximality — the only part
+    /// of the optimum a column retirement can cost is what those searches
+    /// cannot recover.
+    pub fn retire_cols(&mut self, new_col_lo: u64) {
+        assert!(
+            new_col_lo >= self.col_lo && new_col_lo <= self.col_hi,
+            "retire window [{}, {}) to {new_col_lo}",
+            self.col_lo,
+            self.col_hi
+        );
+        self.clear_failure_marks();
+        let mut to_repair = std::mem::take(&mut self.repair_scratch);
+        to_repair.clear();
+        while self.col_lo < new_col_lo {
+            {
+                let mut p = Pairs {
+                    l2r: &mut self.l2r,
+                    r2l: &mut self.r2l,
+                    free_in_col: &mut self.free_in_col,
+                    size: &mut self.size,
+                    dirty: &mut self.dirty,
+                    dirty_mark: &mut self.dirty_mark,
+                    rlo: self.rlo,
+                    width: self.width,
+                };
+                for k in 0..self.width {
+                    let l = p.r2l[k as usize];
+                    if l != NONE {
+                        debug_assert!(self.alive[l as usize]);
+                        p.unset_right(p.rlo + k);
+                        to_repair.push(l);
+                    }
+                }
+            }
+            for _ in 0..self.width {
+                self.r2l.pop_front();
+                let mut v = self.rev.pop_front().expect("window not empty");
+                v.clear();
+                self.rev_pool.push(v);
+            }
+            self.free_in_col.pop_front();
+            self.col_lo += 1;
+            self.rlo = (self.col_lo * self.width as u64) as u32;
+        }
+        for &l in &to_repair {
+            self.repairs += 1;
+            self.augment(l);
+        }
+        self.repair_scratch = to_repair;
+    }
+
+    /// Insert a left vertex adjacent to the absolute right ids `neighbors`
+    /// (all inside the current window), *without* searching — callers decide
+    /// when to [`DynamicMatching::augment`]. Appends the vertex to every
+    /// neighbour's reverse list, so insertion order is reverse-scan order.
+    pub fn add_left(&mut self, neighbors: &[u32]) -> u32 {
+        let l = self.l2r.len() as u32;
+        self.l2r.push(NONE);
+        self.alive.push(true);
+        self.dirty_mark.push(false);
+        let start = self.edges.len() as u32;
+        for &r in neighbors {
+            debug_assert!(
+                r >= self.rlo && ((r - self.rlo) as usize) < self.r2l.len(),
+                "neighbor {r} outside window [{}, {})",
+                self.rlo,
+                self.rlo as u64 + self.r2l.len() as u64
+            );
+            self.edges.push(r);
+            self.rev[(r - self.rlo) as usize].push(l);
+        }
+        self.spans.push((start, self.edges.len() as u32));
+        let nl = self.l2r.len();
+        if self.ws.visited_l.len() < nl {
+            self.ws.visited_l.resize(nl, false);
+        }
+        if self.ws.parent_l.len() < nl {
+            self.ws.parent_l.resize(nl, NONE);
+        }
+        l
+    }
+
+    /// One forward alternating DFS from the free left `root` over its
+    /// frozen adjacency (retired ids skipped); flips the path on success.
+    /// Identical traversal to [`crate::IncrementalMatching`]'s insertion
+    /// search. Returns whether the matching grew.
+    pub fn augment(&mut self, root: u32) -> bool {
+        debug_assert!(self.alive[root as usize], "augment from dead left {root}");
+        debug_assert_eq!(self.l2r[root as usize], NONE, "augment from matched left {root}");
+        let DynamicMatching {
+            width,
+            rlo,
+            spans,
+            edges,
+            l2r,
+            r2l,
+            free_in_col,
+            size,
+            dirty,
+            dirty_mark,
+            touched_r,
+            dead_r,
+            dead_list,
+            ws,
+            edges_scanned,
+            ..
+        } = self;
+        let mut p = Pairs {
+            l2r,
+            r2l,
+            free_in_col,
+            size,
+            dirty,
+            dirty_mark,
+            rlo: *rlo,
+            width: *width,
+        };
+        let MatchingWorkspace {
+            stack, visited_r, ..
+        } = ws;
+        stack.clear();
+        touched_r.clear();
+        stack.push((root, 0));
+        let mut augmented = false;
+        'search: while let Some(&mut (l, ref mut cursor)) = stack.last_mut() {
+            let (lo, hi) = spans[l as usize];
+            let adj = &edges[lo as usize..hi as usize];
+            if (*cursor as usize) < adj.len() {
+                let r = adj[*cursor as usize];
+                *cursor += 1;
+                *edges_scanned += 1;
+                if r < p.rlo {
+                    continue; // retired column
+                }
+                let wi = (r - p.rlo) as usize;
+                if visited_r[wi] || dead_r[wi] {
+                    // Already on this search's path, or inside a known trap:
+                    // the textbook scan would exhaust it and back out empty.
+                    continue;
+                }
+                visited_r[wi] = true;
+                touched_r.push(r);
+                let mate = p.r2l[wi];
+                if mate == NONE {
+                    // Free right: flip deepest first — each parent's chosen
+                    // right is its child's just-vacated old mate.
+                    p.set(l, r);
+                    stack.pop();
+                    while let Some((pl, pcursor)) = stack.pop() {
+                        let plo = spans[pl as usize].0;
+                        let pr = edges[plo as usize + pcursor as usize - 1];
+                        p.set(pl, pr);
+                    }
+                    augmented = true;
+                    break 'search;
+                } else {
+                    stack.push((mate, 0));
+                }
+            } else {
+                stack.pop();
+            }
+        }
+        if augmented {
+            for &r in touched_r.iter() {
+                visited_r[(r - p.rlo) as usize] = false;
+            }
+        } else {
+            // The explored set is a trap (no free right, closed under
+            // mate-adjacency): promote the marks to persistent dead marks so
+            // later searches skip it wholesale instead of re-walking it.
+            for &r in touched_r.iter() {
+                let wi = (r - p.rlo) as usize;
+                visited_r[wi] = false;
+                dead_r[wi] = true;
+                dead_list.push(r);
+            }
+        }
+        augmented
+    }
+
+    /// Remove left vertex `l` (request served, expired, or rejected). If it
+    /// was matched, its slot is freed; with `repair` set, one backward
+    /// alternating search from that slot re-fills it if any alternating path
+    /// can (e.g. through a previously unmatched request), restoring
+    /// maximality. Serving passes `repair = false` because the slot leaves
+    /// the window with the request — removing both endpoints of a matched
+    /// pair cannot create an augmenting path elsewhere.
+    pub fn remove_left(&mut self, l: u32, repair: bool) {
+        assert!(self.alive[l as usize], "double removal of left {l}");
+        self.alive[l as usize] = false;
+        let span = &mut self.spans[l as usize];
+        span.1 = span.0;
+        let r = self.l2r[l as usize];
+        if r == NONE {
+            // A free left leaving only deletes edges; failure traps survive.
+            return;
+        }
+        // Its slot becomes a free right — any trap containing it is stale.
+        self.clear_failure_marks();
+        {
+            let mut p = Pairs {
+                l2r: &mut self.l2r,
+                r2l: &mut self.r2l,
+                free_in_col: &mut self.free_in_col,
+                size: &mut self.size,
+                dirty: &mut self.dirty,
+                dirty_mark: &mut self.dirty_mark,
+                rlo: self.rlo,
+                width: self.width,
+            };
+            p.unset_left(l);
+        }
+        if repair {
+            self.repairs += 1;
+            self.repair_right(r);
+        }
+    }
+
+    /// Backward alternating DFS from the free right `root_r`: follow
+    /// non-matching edges right→left (reverse lists, insertion order) and
+    /// matched edges left→right; a free left completes an augmenting path.
+    fn repair_right(&mut self, root_r: u32) -> bool {
+        let DynamicMatching {
+            width,
+            rlo,
+            l2r,
+            alive,
+            r2l,
+            rev,
+            free_in_col,
+            size,
+            dirty,
+            dirty_mark,
+            touched_l,
+            ws,
+            edges_scanned,
+            ..
+        } = self;
+        let mut p = Pairs {
+            l2r,
+            r2l,
+            free_in_col,
+            size,
+            dirty,
+            dirty_mark,
+            rlo: *rlo,
+            width: *width,
+        };
+        let MatchingWorkspace {
+            stack, visited_l, ..
+        } = ws;
+        stack.clear();
+        touched_l.clear();
+        stack.push((root_r, 0));
+        let mut repaired = false;
+        'search: while let Some(&mut (r, ref mut cursor)) = stack.last_mut() {
+            let list = &rev[(r - p.rlo) as usize];
+            if (*cursor as usize) < list.len() {
+                let l = list[*cursor as usize];
+                *cursor += 1;
+                *edges_scanned += 1;
+                if !alive[l as usize] || visited_l[l as usize] {
+                    continue;
+                }
+                visited_l[l as usize] = true;
+                touched_l.push(l);
+                let mate = p.l2r[l as usize];
+                if mate == NONE {
+                    // Free left: flip deepest first, re-matching each
+                    // traversal left to the right it was reached from.
+                    p.set(l, r);
+                    stack.pop();
+                    while let Some((pr, pcursor)) = stack.pop() {
+                        let pl = rev[(pr - p.rlo) as usize][pcursor as usize - 1];
+                        p.set(pl, pr);
+                    }
+                    repaired = true;
+                    break 'search;
+                } else {
+                    stack.push((mate, 0));
+                }
+            } else {
+                stack.pop();
+            }
+        }
+        for &l in touched_l.iter() {
+            visited_l[l as usize] = false;
+        }
+        repaired
+    }
+
+    /// Lexicographically maximize per-column-level slot coverage, exactly as
+    /// [`saturate_levels_with`](crate::saturate_levels_with) does on the
+    /// freshly built window graph: for each distinct level ascending, repeat
+    /// the improving exchange (alternating path from a free right of that
+    /// level that frees a strictly-lower-priority right) until none exists.
+    ///
+    /// `col_levels[c]` is the level of every slot in window column
+    /// `col_lo + c`. Only lefts `>= min_left` participate (`A_fix_balance`
+    /// rearranges this round's arrivals only; its older assignments are
+    /// fixed). Two exact shortcuts over the batch version: levels with no
+    /// free slot are skipped (no seeds ⇒ no exchange), and the bottom
+    /// priority level is skipped (an exchange from it could only terminate
+    /// by augmenting, impossible at a maximum matching — callers augment
+    /// every participating left before saturating).
+    pub fn saturate_columns(&mut self, col_levels: &[u32], min_left: u32) {
+        let ncols = (self.col_hi - self.col_lo) as usize;
+        assert_eq!(col_levels.len(), ncols, "one level per window column");
+        let mut levels: Vec<u32> = col_levels.to_vec();
+        levels.sort_unstable();
+        levels.dedup();
+        if levels.len() <= 1 {
+            return;
+        }
+        // Improving exchanges rearrange free rights across levels, which
+        // stales any failed-search trap.
+        self.clear_failure_marks();
+        let top = *levels.last().expect("nonempty");
+        for &lvl in &levels {
+            if lvl == top {
+                break;
+            }
+            let any_free = col_levels
+                .iter()
+                .enumerate()
+                .any(|(c, &cl)| cl == lvl && self.free_in_col[c] > 0);
+            if !any_free {
+                continue;
+            }
+            while self.improve_level(col_levels, lvl, min_left) {}
+        }
+    }
+
+    /// One improving exchange for `lvl` — a verbatim port of the batch
+    /// `improve_level` (same seed order, same FIFO BFS over reverse lists in
+    /// left-insertion order, same first-found flip) onto the maintained
+    /// window state. Returns whether an improvement was applied.
+    fn improve_level(&mut self, col_levels: &[u32], lvl: u32, min_left: u32) -> bool {
+        let DynamicMatching {
+            width,
+            rlo,
+            l2r,
+            alive,
+            r2l,
+            rev,
+            free_in_col,
+            size,
+            dirty,
+            dirty_mark,
+            touched_l,
+            touched_r,
+            ws,
+            edges_scanned,
+            ..
+        } = self;
+        let width_us = *width as usize;
+        let mut p = Pairs {
+            l2r,
+            r2l,
+            free_in_col,
+            size,
+            dirty,
+            dirty_mark,
+            rlo: *rlo,
+            width: *width,
+        };
+        let MatchingWorkspace {
+            queue,
+            visited_l,
+            visited_r,
+            parent_l,
+            parent_r,
+            ..
+        } = ws;
+        queue.clear();
+        touched_l.clear();
+        touched_r.clear();
+
+        // Seeds: every free right of level `lvl`, ascending id (ascending
+        // column, ascending resource within the column).
+        for (c, &cl) in col_levels.iter().enumerate() {
+            if cl != lvl || p.free_in_col[c] == 0 {
+                continue;
+            }
+            for k in 0..width_us {
+                let wi = c * width_us + k;
+                if p.r2l[wi] == NONE {
+                    visited_r[wi] = true;
+                    parent_r[wi] = NONE;
+                    let r = p.rlo + wi as u32;
+                    touched_r.push(r);
+                    queue.push(r);
+                }
+            }
+        }
+
+        let mut improved = false;
+        let mut head = 0;
+        'bfs: while head < queue.len() {
+            let r = queue[head];
+            head += 1;
+            let list = &rev[(r - p.rlo) as usize];
+            for &l in list.iter() {
+                *edges_scanned += 1;
+                if !alive[l as usize] || l < min_left || visited_l[l as usize] {
+                    continue;
+                }
+                visited_l[l as usize] = true;
+                parent_l[l as usize] = r;
+                touched_l.push(l);
+                let r2 = p.l2r[l as usize];
+                if r2 == NONE {
+                    // Augmenting path (only reachable when the matching is
+                    // not maximum; kept for exact batch-semantics parity).
+                    apply_flip(&mut p, parent_l, parent_r, l, None);
+                    improved = true;
+                    break 'bfs;
+                }
+                let wi2 = (r2 - p.rlo) as usize;
+                if visited_r[wi2] {
+                    continue;
+                }
+                visited_r[wi2] = true;
+                parent_r[wi2] = l;
+                touched_r.push(r2);
+                if col_levels[wi2 / width_us] > lvl {
+                    // Improving exchange: free r2, flip back along parents.
+                    apply_flip(&mut p, parent_l, parent_r, l, Some(r2));
+                    improved = true;
+                    break 'bfs;
+                }
+                queue.push(r2);
+            }
+        }
+
+        for &l in touched_l.iter() {
+            visited_l[l as usize] = false;
+        }
+        for &r in touched_r.iter() {
+            visited_r[(r - p.rlo) as usize] = false;
+        }
+        improved
+    }
+
+    /// Drain the list of lefts whose mate changed since the last call into
+    /// `out` (order unspecified, each at most once; removed lefts may
+    /// appear — callers skip them). Lets an external assignment view sync
+    /// in `O(mate changes)`.
+    pub fn take_dirty(&mut self, out: &mut Vec<u32>) {
+        for &l in &self.dirty {
+            self.dirty_mark[l as usize] = false;
+        }
+        out.append(&mut self.dirty);
+    }
+
+    /// Whether any alternating search from a free alive left `>= min_left`
+    /// reaches a free right — i.e. the matching is *not* maximum over the
+    /// participating subgraph. Test/diagnostic helper (full scan).
+    pub fn has_augmenting_path(&mut self, min_left: u32) -> bool {
+        let frees: Vec<u32> = (min_left..self.n_left())
+            .filter(|&l| self.alive[l as usize] && self.l2r[l as usize] == NONE)
+            .collect();
+        for l in frees {
+            if self.augment(l) {
+                // Undo is impossible cheaply; callers treat this as a
+                // diagnostic that also fixes the matching.
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Internal consistency check (debug/test): mate arrays agree, matched
+    /// edges exist in live spans, free counts per column are right.
+    pub fn check_consistency(&self) {
+        let mut size = 0u32;
+        for (l, &r) in self.l2r.iter().enumerate() {
+            if r == NONE {
+                continue;
+            }
+            size += 1;
+            assert!(self.alive[l], "dead left {l} still matched");
+            let wi = (r - self.rlo) as usize;
+            assert_eq!(self.r2l[wi], l as u32, "mate arrays disagree at left {l}");
+            let (lo, hi) = self.spans[l];
+            assert!(
+                self.edges[lo as usize..hi as usize].contains(&r),
+                "matched edge ({l}, {r}) not in adjacency"
+            );
+        }
+        assert_eq!(size, self.size, "size counter out of sync");
+        let back = self.r2l.iter().filter(|&&l| l != NONE).count() as u32;
+        assert_eq!(back, self.size, "right mate count out of sync");
+        for c in 0..(self.col_hi - self.col_lo) as usize {
+            let free = (0..self.width as usize)
+                .filter(|&k| self.r2l[c * self.width as usize + k] == NONE)
+                .count() as u32;
+            assert_eq!(free, self.free_in_col[c], "free count wrong in column {c}");
+        }
+        let dead = self.dead_r.iter().filter(|&&b| b).count();
+        assert_eq!(
+            dead,
+            self.dead_list.len(),
+            "failure-trap marks out of sync with their id list"
+        );
+        for &r in &self.dead_list {
+            assert!(
+                self.r2l[(r - self.rlo) as usize] != NONE,
+                "trapped right {r} is free — stale failure mark"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::BipartiteGraph;
+    use crate::hopcroft_karp;
+
+    /// Rebuild the current live graph (compact left indices, window right
+    /// indices) and return its maximum matching size via Hopcroft–Karp.
+    fn fresh_opt(dm: &DynamicMatching) -> usize {
+        let (clo, chi) = dm.col_range();
+        let rlo = (clo * dm.width() as u64) as u32;
+        let nr = ((chi - clo) * dm.width() as u64) as u32;
+        let mut lists: Vec<Vec<u32>> = Vec::new();
+        for l in 0..dm.n_left() {
+            if !dm.is_alive(l) {
+                continue;
+            }
+            let (lo, hi) = dm.spans[l as usize];
+            lists.push(
+                dm.edges[lo as usize..hi as usize]
+                    .iter()
+                    .filter(|&&r| r >= rlo)
+                    .map(|&r| r - rlo)
+                    .collect(),
+            );
+        }
+        let g = BipartiteGraph::from_adjacency(nr, &lists);
+        hopcroft_karp(&g).size()
+    }
+
+    #[test]
+    fn augmentation_rematches_through_chains() {
+        let mut dm = DynamicMatching::new(2);
+        dm.ensure_cols(1); // rights 0, 1
+        let l0 = dm.add_left(&[0, 1]);
+        assert!(dm.augment(l0));
+        let l1 = dm.add_left(&[0]);
+        assert!(dm.augment(l1));
+        assert_eq!(dm.size(), 2);
+        assert_eq!(dm.left_mate(l1), Some(0));
+        assert_eq!(dm.left_mate(l0), Some(1));
+        dm.check_consistency();
+    }
+
+    #[test]
+    fn remove_left_repairs_through_previously_failed_left() {
+        // l0 takes r0; l1 (only r0) fails; removing l0 with repair must
+        // hand r0 to l1.
+        let mut dm = DynamicMatching::new(1);
+        dm.ensure_cols(1);
+        let l0 = dm.add_left(&[0]);
+        assert!(dm.augment(l0));
+        let l1 = dm.add_left(&[0]);
+        assert!(!dm.augment(l1));
+        dm.remove_left(l0, true);
+        assert_eq!(dm.size(), 1);
+        assert_eq!(dm.left_mate(l1), Some(0));
+        dm.check_consistency();
+    }
+
+    #[test]
+    fn remove_without_repair_leaves_hole() {
+        let mut dm = DynamicMatching::new(1);
+        dm.ensure_cols(1);
+        let l0 = dm.add_left(&[0]);
+        assert!(dm.augment(l0));
+        let l1 = dm.add_left(&[0]);
+        assert!(!dm.augment(l1));
+        dm.remove_left(l0, false);
+        assert_eq!(dm.size(), 0);
+        // The hole is still recoverable by an explicit search.
+        assert!(dm.augment(l1));
+        assert_eq!(dm.size(), 1);
+    }
+
+    #[test]
+    fn retire_cols_repairs_displaced_mate() {
+        // Two columns, width 1. l0 matched in column 0 but also adjacent to
+        // column 1; retiring column 0 must re-home l0 to right 1.
+        let mut dm = DynamicMatching::new(1);
+        dm.ensure_cols(2);
+        let l0 = dm.add_left(&[0, 1]);
+        assert!(dm.augment(l0));
+        assert_eq!(dm.left_mate(l0), Some(0));
+        dm.retire_cols(1);
+        assert_eq!(dm.size(), 1);
+        assert_eq!(dm.left_mate(l0), Some(1));
+        assert_eq!(dm.repairs(), 1);
+        dm.check_consistency();
+    }
+
+    #[test]
+    fn retire_cols_drops_unrecoverable_unit() {
+        let mut dm = DynamicMatching::new(1);
+        dm.ensure_cols(2);
+        let l0 = dm.add_left(&[0]);
+        assert!(dm.augment(l0));
+        let l1 = dm.add_left(&[1]);
+        assert!(dm.augment(l1));
+        dm.retire_cols(1);
+        assert_eq!(dm.size(), 1);
+        assert!(dm.left_mate(l0).is_none());
+        assert_eq!(dm.size(), fresh_opt(&dm));
+        dm.check_consistency();
+    }
+
+    #[test]
+    fn sliding_window_tracks_fresh_optimum() {
+        // Slide a width-2, 3-column window across 12 rounds with a fixed
+        // arrival pattern; after every delta the size must equal a fresh
+        // Hopcroft–Karp solve of the live graph.
+        let width = 2u32;
+        let d = 3u64;
+        let mut dm = DynamicMatching::new(width);
+        dm.ensure_cols(d);
+        let mut live: Vec<(u32, u64)> = Vec::new(); // (left, expiry col)
+        for t in 0..12u64 {
+            // Two arrivals per round with deterministic pseudo-random slots.
+            for a in 0..2u64 {
+                let res = ((t * 7 + a * 5 + 3) % width as u64) as u32;
+                let life = 1 + ((t + a) % d);
+                let adj: Vec<u32> = (t..t + life)
+                    .map(|c| (c * width as u64) as u32 + res)
+                    .collect();
+                let l = dm.add_left(&adj);
+                dm.augment(l);
+                live.push((l, t + life));
+            }
+            assert_eq!(dm.size(), fresh_opt(&dm), "round {t} after arrivals");
+            // Serve: remove matched lefts whose slot is in the front column.
+            let rlo = (t * width as u64) as u32;
+            live.retain(|&(l, _)| {
+                if let Some(r) = dm.left_mate(l) {
+                    if r < rlo + width {
+                        dm.remove_left(l, false);
+                        return false;
+                    }
+                }
+                true
+            });
+            // Expire: unmatched lefts at their expiry column.
+            live.retain(|&(l, exp)| {
+                if exp <= t + 1 && dm.is_alive(l) && dm.left_mate(l).is_none() {
+                    dm.remove_left(l, false);
+                    return false;
+                }
+                true
+            });
+            dm.retire_cols(t + 1);
+            dm.ensure_cols(t + 1 + d);
+            assert_eq!(dm.size(), fresh_opt(&dm), "round {t} after advance");
+            dm.check_consistency();
+        }
+    }
+
+    #[test]
+    fn saturate_columns_matches_batch_saturation() {
+        use crate::saturate_levels;
+        // Window of 3 columns, width 2; levels by round offset. Compare the
+        // final per-column coverage against the batch pass on the same
+        // graph, starting from the same maximum matching.
+        let width = 2u32;
+        let mut dm = DynamicMatching::new(width);
+        dm.ensure_cols(3);
+        let lists: Vec<Vec<u32>> = vec![
+            vec![0, 2, 4],
+            vec![0, 1],
+            vec![2, 3, 5],
+            vec![4, 5],
+            vec![1, 3],
+        ];
+        for adj in &lists {
+            let l = dm.add_left(adj);
+            dm.augment(l);
+        }
+        let col_levels = [0u32, 1, 2];
+        dm.saturate_columns(&col_levels, 0);
+        dm.check_consistency();
+
+        let g = BipartiteGraph::from_adjacency(6, &lists);
+        let mut m = hopcroft_karp(&g);
+        let per_right: Vec<u32> = (0..6).map(|r| r / width).collect();
+        saturate_levels(&g, &mut m, &per_right);
+        for c in 0..3usize {
+            let batch = (0..width as usize)
+                .filter(|&k| m.right_mate((c * 2 + k) as u32).is_some())
+                .count() as u32;
+            let dyn_cov = width - dm.free_in_col[c];
+            assert_eq!(dyn_cov, batch, "column {c} coverage");
+        }
+    }
+
+    #[test]
+    fn dirty_list_covers_every_mate_change() {
+        let mut dm = DynamicMatching::new(1);
+        dm.ensure_cols(2);
+        let l0 = dm.add_left(&[0, 1]);
+        dm.augment(l0);
+        let mut dirty = Vec::new();
+        dm.take_dirty(&mut dirty);
+        assert_eq!(dirty, vec![l0]);
+        dirty.clear();
+        // Chain augmentation moves l0: both lefts must be reported.
+        let l1 = dm.add_left(&[0]);
+        dm.augment(l1);
+        dm.take_dirty(&mut dirty);
+        dirty.sort_unstable();
+        assert_eq!(dirty, vec![l0, l1]);
+        // No changes -> nothing reported.
+        dirty.clear();
+        dm.take_dirty(&mut dirty);
+        assert!(dirty.is_empty());
+    }
+
+    #[test]
+    fn set_base_starts_window_mid_stream() {
+        let mut dm = DynamicMatching::new(3);
+        dm.set_base(100);
+        dm.ensure_cols(102);
+        let r = 100 * 3;
+        let l = dm.add_left(&[r, r + 4]);
+        assert!(dm.augment(l));
+        assert_eq!(dm.left_mate(l), Some(r));
+        dm.retire_cols(101);
+        assert_eq!(dm.left_mate(l), Some(r + 4));
+        dm.check_consistency();
+    }
+}

@@ -21,6 +21,10 @@
 //! * [`IncrementalMatching`] — dynamic maximum matching under left-vertex
 //!   insertion (one augmenting search per arrival), the engine behind the
 //!   streaming per-prefix optimum.
+//! * [`DynamicMatching`] — dynamic maximum matching over a sliding slot
+//!   window: left removal, slot-column retirement/extension, and in-place
+//!   level saturation, each repaired by one alternating search. The engine
+//!   behind the strategies' delta round path.
 //! * [`saturate_levels`] — keep cardinality and every matched left vertex
 //!   matched, but rearrange right endpoints to lexicographically maximize
 //!   coverage of right-vertex priority levels. This implements the paper's
@@ -35,6 +39,7 @@
 //!   tests.
 
 mod diff;
+mod dynamic;
 mod graph;
 mod hopcroft_karp;
 mod incremental;
@@ -46,6 +51,7 @@ mod workspace;
 pub mod brute;
 
 pub use diff::{symmetric_difference, AltComponent, DiffReport};
+pub use dynamic::DynamicMatching;
 pub use graph::{BipartiteGraph, GraphBuilder};
 pub use hopcroft_karp::{hopcroft_karp, hopcroft_karp_reference, hopcroft_karp_with};
 pub use incremental::IncrementalMatching;

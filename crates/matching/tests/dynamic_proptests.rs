@@ -1,0 +1,160 @@
+//! Property-based cross-validation of [`DynamicMatching`] against
+//! from-scratch Hopcroft–Karp on random sliding-window op sequences.
+//!
+//! The model mirrors how the delta round engine drives the structure: each
+//! round inserts lefts with frozen in-window adjacency (augmenting after
+//! each), deletes a few lefts with repair, optionally saturates, then
+//! slides the window by one column. After every round the maintained
+//! cardinality must equal an exact solve on the alive subgraph restricted
+//! to the live window, and the internal invariants must hold.
+
+use proptest::prelude::*;
+use reqsched_matching::{hopcroft_karp, BipartiteGraph, DynamicMatching};
+
+/// Slots per window column (resources).
+const W: u32 = 3;
+/// Window depth in columns (deadline d).
+const D: u64 = 3;
+
+/// One simulated round of window activity.
+#[derive(Clone, Debug)]
+struct RoundOps {
+    /// New lefts; each is a list of (column offset, slot) pairs inside the
+    /// current window `[t, t + D)`.
+    adds: Vec<Vec<(u8, u8)>>,
+    /// Picks (mod the live count) of lefts to delete this round.
+    removes: Vec<u8>,
+    /// 0 = no saturation, 1 = two-level (current column preferred, the
+    /// `A_eager` shape), 2 = strictly by round (the `A_balance` shape).
+    saturate: u8,
+}
+
+fn round_ops() -> impl Strategy<Value = RoundOps> {
+    (
+        proptest::collection::vec(
+            proptest::collection::vec((0..D as u8, 0..W as u8), 0..=4),
+            0..=3,
+        ),
+        proptest::collection::vec(0u8..=255, 0..=2),
+        0u8..3,
+    )
+        .prop_map(|(adds, removes, saturate)| RoundOps {
+            adds,
+            removes,
+            saturate,
+        })
+}
+
+/// Replay `rounds` against both the dynamic structure and a from-scratch
+/// exact solver, asserting parity after every round.
+fn check_sequence(rounds: &[RoundOps]) {
+    let mut dm = DynamicMatching::new(W);
+    dm.set_base(0);
+    dm.ensure_cols(D);
+    // Test-side ground truth: frozen absolute adjacency per left, `None`
+    // once deleted (spans are private outside the crate).
+    let mut adj: Vec<Option<Vec<u32>>> = Vec::new();
+
+    for (t, ops) in rounds.iter().enumerate() {
+        let t = t as u64;
+        for spec in &ops.adds {
+            let mut rights: Vec<u32> = spec
+                .iter()
+                .map(|&(off, slot)| {
+                    ((t + off as u64) * W as u64 + slot as u64) as u32
+                })
+                .collect();
+            rights.sort_unstable();
+            rights.dedup();
+            let l = dm.add_left(&rights);
+            assert_eq!(l as usize, adj.len(), "dense left ids");
+            dm.augment(l);
+            adj.push(Some(rights));
+        }
+        for &pick in &ops.removes {
+            let alive: Vec<u32> = (0..adj.len() as u32)
+                .filter(|&l| adj[l as usize].is_some())
+                .collect();
+            if alive.is_empty() {
+                break;
+            }
+            let l = alive[pick as usize % alive.len()];
+            dm.remove_left(l, true);
+            adj[l as usize] = None;
+        }
+        match ops.saturate {
+            1 => dm.saturate_columns(&[0, 1, 1], 0),
+            2 => dm.saturate_columns(&[0, 1, 2], 0),
+            _ => {}
+        }
+
+        dm.check_consistency();
+        // Exact reference on the alive subgraph, rights local to the window.
+        let rlo = (t * W as u64) as u32;
+        let lists: Vec<Vec<u32>> = adj
+            .iter()
+            .flatten()
+            .map(|ns| {
+                ns.iter()
+                    .filter(|&&r| r >= rlo)
+                    .map(|&r| r - rlo)
+                    .collect()
+            })
+            .collect();
+        let g = BipartiteGraph::from_adjacency((D * W as u64) as u32, &lists);
+        assert_eq!(
+            dm.size(),
+            hopcroft_karp(&g).size(),
+            "round {t}: maintained matching is not maximum"
+        );
+        // Mates must be edges the left actually has.
+        for (l, ns) in adj.iter().enumerate() {
+            if let (Some(ns), Some(r)) = (ns, dm.left_mate(l as u32)) {
+                assert!(ns.contains(&r), "round {t}: mate {r} not an edge of {l}");
+            }
+        }
+
+        // Slide: retire column t, open column t + D.
+        dm.retire_cols(t + 1);
+        dm.ensure_cols(t + 1 + D);
+        dm.check_consistency();
+    }
+}
+
+proptest! {
+    #[test]
+    fn dynamic_matching_stays_maximum(ops in proptest::collection::vec(round_ops(), 1..=8)) {
+        check_sequence(&ops);
+    }
+}
+
+/// Hand-distilled regression: a left parked in the last window column while
+/// an earlier column stays free — retirement must repair through the frozen
+/// adjacency, and two-level saturation must not disturb cardinality.
+#[test]
+fn retirement_repairs_through_frozen_adjacency() {
+    let seq = vec![
+        RoundOps {
+            // Three lefts contending for column 0 slot 0; the third is
+            // displaced to column 2 via augmenting paths.
+            adds: vec![vec![(0, 0)], vec![(0, 0), (1, 0)], vec![(0, 0), (1, 0), (2, 0)]],
+            removes: vec![],
+            saturate: 1,
+        },
+        RoundOps { adds: vec![], removes: vec![0], saturate: 2 },
+        RoundOps { adds: vec![vec![(0, 1), (2, 2)]], removes: vec![], saturate: 0 },
+    ];
+    check_sequence(&seq);
+}
+
+/// Hand-distilled regression: deleting a matched left must repair from the
+/// freed slot so a previously-failed left gets in.
+#[test]
+fn removal_repair_revives_failed_left() {
+    let seq = vec![RoundOps {
+        adds: vec![vec![(0, 0)], vec![(0, 0)], vec![(0, 0)]],
+        removes: vec![0, 0],
+        saturate: 0,
+    }];
+    check_sequence(&seq);
+}

@@ -330,6 +330,26 @@ pub fn run_fixed_traced(strategy: &mut dyn OnlineScheduler, inst: &Instance) -> 
     stats
 }
 
+/// Run one strategy kind over a fixed instance in **both** solve modes —
+/// the delta round engine and the from-scratch reference — and return
+/// `(delta, fresh)` stats. The two runs must agree service-for-service for
+/// the replayable tie-breaks; parity tests and the differential benchmark
+/// are the consumers.
+pub fn run_fixed_pair(
+    kind: reqsched_core::StrategyKind,
+    inst: &Instance,
+    tie: reqsched_core::TieBreak,
+) -> (RunStats, RunStats) {
+    use reqsched_core::{build_strategy_with_mode, SolveMode};
+    let mut delta =
+        build_strategy_with_mode(kind, inst.n_resources, inst.d, tie, SolveMode::Delta);
+    let delta_stats = run_fixed_without_opt(delta.as_mut(), inst);
+    let mut fresh =
+        build_strategy_with_mode(kind, inst.n_resources, inst.d, tie, SolveMode::Fresh);
+    let fresh_stats = run_fixed_without_opt(fresh.as_mut(), inst);
+    (delta_stats, fresh_stats)
+}
+
 /// Run a strategy over a fixed instance, filling the optimum from `cache`
 /// so repeated runs on the same (or an equal) instance solve the horizon
 /// graph only once.

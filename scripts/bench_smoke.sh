@@ -8,7 +8,10 @@
 #   5. the streaming-OPT bench in quick mode (regenerates BENCH_PR2.json,
 #      asserts >= 5x incremental-vs-full speedup and exact per-prefix
 #      parity), then checks the report carries the parity and
-#      solve_reduction fields.
+#      solve_reduction fields,
+#   6. the delta-window bench in quick mode (regenerates BENCH_PR3.json,
+#      asserts exact fresh-vs-delta schedule parity and a >= 2x per-round
+#      strategy speedup on every workload), then checks the report.
 #
 # Usage: scripts/bench_smoke.sh
 set -euo pipefail
@@ -48,5 +51,23 @@ grep -q '"solve_reduction":' BENCH_PR2.json || {
     echo "BENCH_PR2.json: missing solve_reduction field" >&2
     exit 1
 }
+
+echo "== delta-window bench (quick) =="
+# The bench itself asserts per-round schedule parity and the >= 2x
+# worst-case speedup; the greps below guard the report format.
+DELTA_WINDOW_QUICK=1 "${CARGO[@]}" bench -p reqsched-bench --bench delta_window
+
+echo "== BENCH_PR3.json sanity =="
+grep -q '"parity": true' BENCH_PR3.json || {
+    echo "BENCH_PR3.json: missing fresh-vs-delta parity" >&2
+    exit 1
+}
+python3 - <<'EOF' || exit 1
+import json, sys
+r = json.load(open("BENCH_PR3.json"))
+bad = [w["name"] for w in r["workloads"] if w["round_speedup"] < 2.0]
+if r["round_speedup"] < 2.0 or bad:
+    sys.exit(f"BENCH_PR3.json: round_speedup below 2x: {bad or r['round_speedup']}")
+EOF
 
 echo "bench smoke OK"

@@ -104,6 +104,52 @@ fn eager_family_leaves_no_order_two_paths() {
 }
 
 #[test]
+fn lemmas_hold_on_delta_path_schedules() {
+    // The delta engine must not weaken the structural guarantees: the same
+    // augmenting-path orders as the from-scratch path, checked explicitly
+    // under both solve modes and both delta-capable tie-breaks (the default
+    // mode may change; this test pins both paths regardless).
+    use reqsched::core::{build_strategy_with_mode, SolveMode};
+    for inst in battery() {
+        let m_opt = solution_matching(&inst, &optimal_schedule(&inst));
+        for (kind, min_required) in [
+            (StrategyKind::ACurrent, 2),
+            (StrategyKind::AFixBalance, 2),
+            (StrategyKind::AEager, 3),
+            (StrategyKind::ABalance, 3),
+        ] {
+            for tie in [TieBreak::FirstFit, TieBreak::LatestFit] {
+                for mode in [SolveMode::Delta, SolveMode::Fresh] {
+                    let mut s = build_strategy_with_mode(
+                        kind,
+                        inst.n_resources,
+                        inst.d,
+                        tie,
+                        mode,
+                    );
+                    let stats = run_fixed(s.as_mut(), &inst);
+                    let m_alg = alg_matching(&inst, &stats);
+                    let report = symmetric_difference(&m_alg, &m_opt);
+                    assert_eq!(
+                        report.n_augmenting(),
+                        stats.opt - stats.served,
+                        "{} {tie:?} {mode:?}: path count vs cardinality gap",
+                        kind.name()
+                    );
+                    if let Some(min) = report.min_order() {
+                        assert!(
+                            min >= min_required,
+                            "{} {tie:?} {mode:?}: augmenting path of order {min}",
+                            kind.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn optimal_schedule_has_no_augmenting_paths_against_itself() {
     let inst = workloads::uniform_two_choice(4, 2, 6, 20, 9);
     let opt = solution_matching(&inst, &optimal_schedule(&inst));

@@ -33,6 +33,7 @@ fn lcm_upto(k: u32) -> u32 {
     for i in 1..=k as u64 {
         l = l / gcd(l, i) * i;
     }
+    // lint: lcm(1..=k) for the k the constructions use fits u32; a caller pushing past it must hear about it loudly
     u32::try_from(l).expect("lcm overflow")
 }
 

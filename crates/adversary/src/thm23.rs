@@ -24,7 +24,10 @@ fn pair(k: u32) -> (ResourceId, ResourceId) {
 /// Build the Theorem 2.3 scenario for even `d ≥ 2` over `phases`
 /// repetitions.
 pub fn scenario(d: u32, phases: u32) -> Scenario {
-    assert!(d >= 2 && d.is_multiple_of(2), "theorem 2.3 needs even d >= 2");
+    assert!(
+        d >= 2 && d.is_multiple_of(2),
+        "theorem 2.3 needs even d >= 2"
+    );
     assert!(phases >= 1);
     let mut b = TraceBuilder::new(d);
     let half = (d / 2) as u64;
@@ -50,8 +53,7 @@ pub fn scenario(d: u32, phases: u32) -> Scenario {
     }
 
     let total = 2 * d as usize + phases as usize * 3 * d as usize;
-    let expected_alg =
-        2 * d as usize + phases as usize * (2 * d as usize + 2);
+    let expected_alg = 2 * d as usize + phases as usize * (2 * d as usize + 2);
     Scenario {
         name: format!("thm2.3(d={d}, phases={phases})"),
         instance: Instance::new(6, d, b.build()),

@@ -19,7 +19,10 @@ use reqsched_model::{Hint, Instance, ResourceId, Round, TraceBuilder};
 /// Build the Theorem 2.4 scenario for even `d ≥ 2` over `phases`
 /// repetitions.
 pub fn scenario(d: u32, phases: u32) -> Scenario {
-    assert!(d >= 2 && d.is_multiple_of(2), "theorem 2.4 needs even d >= 2");
+    assert!(
+        d >= 2 && d.is_multiple_of(2),
+        "theorem 2.4 needs even d >= 2"
+    );
     assert!(phases >= 1);
     let mut b = TraceBuilder::new(d);
     let half = (d / 2) as u64;

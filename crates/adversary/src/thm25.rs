@@ -139,7 +139,13 @@ mod tests {
     #[test]
     fn maintenance_is_all_deadline_one() {
         let s = scenario(2, 1, 1);
-        for r in s.instance.trace.requests().iter().filter(|r| r.tag == u32::MAX) {
+        for r in s
+            .instance
+            .trace
+            .requests()
+            .iter()
+            .filter(|r| r.tag == u32::MAX)
+        {
             assert_eq!(r.deadline, 1);
             assert_eq!(r.hint.priority, 0);
         }

@@ -19,9 +19,7 @@
 //! OPT serves everything (`10d` per interval); any online algorithm misses
 //! at least `⌈8d/9⌉`, forcing `ratio ≥ 10d/(10d − 8d/9) = 45/41`.
 
-use reqsched_model::{
-    Alternatives, Hint, Request, RequestId, RequestSource, Round, StateView,
-};
+use reqsched_model::{Alternatives, Hint, Request, RequestId, RequestSource, Round, StateView};
 
 /// Number of resources the construction uses.
 pub const N_RESOURCES: u32 = 10;
@@ -127,14 +125,9 @@ impl RequestSource for Thm26Adversary {
                     let pair = self.blocked[c as usize];
                     let tag = Self::colour_tag(j as u32, c);
                     for q in 0..per_colour {
-                        let first =
-                            reqsched_model::ResourceId(open_res[(q % 4) as usize]);
+                        let first = reqsched_model::ResourceId(open_res[(q % 4) as usize]);
                         let second = reqsched_model::ResourceId(2 * pair + q % 2);
-                        out.push(self.fresh(
-                            round,
-                            Alternatives::two(first, second),
-                            tag,
-                        ));
+                        out.push(self.fresh(round, Alternatives::two(first, second), tag));
                     }
                 }
                 return out;

@@ -18,8 +18,8 @@
 use criterion::black_box;
 use reqsched_adversary::{thm21, thm25};
 use reqsched_core::{
-    ABalance, ACurrent, AEager, AFixBalance, ALazyMax, OnlineScheduler,
-    Service, SolveMode, StrategyKind, TieBreak,
+    ABalance, ACurrent, AEager, AFixBalance, ALazyMax, OnlineScheduler, Service, SolveMode,
+    StrategyKind, TieBreak,
 };
 use reqsched_model::{Instance, Round};
 use std::time::Instant;
@@ -37,10 +37,7 @@ const KINDS: [StrategyKind; 5] = [
 
 /// Drive one scheduler over the instance (horizon plus drain), returning
 /// the per-round services and the summed `on_round` time in milliseconds.
-fn drive(
-    s: &mut dyn OnlineScheduler,
-    inst: &Instance,
-) -> (Vec<Vec<Service>>, f64) {
+fn drive(s: &mut dyn OnlineScheduler, inst: &Instance) -> (Vec<Vec<Service>>, f64) {
     let rounds = inst.horizon().get() + inst.d as u64;
     let mut services = Vec::with_capacity(rounds as usize);
     let mut total = 0.0;
@@ -57,11 +54,7 @@ fn drive(
 /// Run `kind` in the given mode; also harvest the delta engine's
 /// edge-scan counter (0 on the fresh path, which has no such counter —
 /// its work is the full rebuild + re-solve every round).
-fn run_kind(
-    kind: StrategyKind,
-    inst: &Instance,
-    mode: SolveMode,
-) -> (Vec<Vec<Service>>, f64, u64) {
+fn run_kind(kind: StrategyKind, inst: &Instance, mode: SolveMode) -> (Vec<Vec<Service>>, f64, u64) {
     let (n, d, tie) = (inst.n_resources, inst.d, TieBreak::FirstFit);
     macro_rules! go {
         ($ty:ident) => {{
@@ -189,8 +182,7 @@ fn main() {
         "acceptance: expected >= 2x per-round strategy speedup on every workload, got {round_speedup:.1}x"
     );
 
-    let total_ms: f64 =
-        results.iter().map(|r| r.fresh_ms + r.delta_ms).sum();
+    let total_ms: f64 = results.iter().map(|r| r.fresh_ms + r.delta_ms).sum();
     let baseline = std::env::var("DELTA_PROFILE_BASELINE_MS")
         .ok()
         .and_then(|v| v.parse::<f64>().ok());

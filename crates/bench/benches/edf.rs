@@ -32,23 +32,19 @@ fn bench_edf_two_choice_ablation(c: &mut Criterion) {
     let inst = uniform_two_choice(32, 4, 48, 200, 5);
     g.throughput(Throughput::Elements(inst.total_requests() as u64));
     for cancel in [false, true] {
-        g.bench_with_input(
-            BenchmarkId::new("cancel", cancel),
-            &inst,
-            |b, inst| {
-                b.iter(|| {
-                    let mut s = build_strategy(
-                        StrategyKind::Edf {
-                            cancel_sibling: cancel,
-                        },
-                        inst.n_resources,
-                        inst.d,
-                        TieBreak::FirstFit,
-                    );
-                    run_fixed(s.as_mut(), inst).served
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("cancel", cancel), &inst, |b, inst| {
+            b.iter(|| {
+                let mut s = build_strategy(
+                    StrategyKind::Edf {
+                        cancel_sibling: cancel,
+                    },
+                    inst.n_resources,
+                    inst.d,
+                    TieBreak::FirstFit,
+                );
+                run_fixed(s.as_mut(), inst).served
+            })
+        });
     }
     g.finish();
 }

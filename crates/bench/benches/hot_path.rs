@@ -197,9 +197,7 @@ fn main() {
         "    \"horizon_solves_cached\": {},\n",
         sweep.solves_cached
     ));
-    out.push_str(&format!(
-        "    \"solve_reduction\": {solve_reduction:.2},\n"
-    ));
+    out.push_str(&format!("    \"solve_reduction\": {solve_reduction:.2},\n"));
     out.push_str(&format!(
         "    \"time_fresh_ms\": {:.2},\n",
         sweep.time_fresh_ms

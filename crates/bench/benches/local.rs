@@ -12,16 +12,12 @@ fn bench_local_uniform(c: &mut Criterion) {
         let inst = uniform_two_choice(n, 4, n, 100, 17);
         g.throughput(Throughput::Elements(inst.total_requests() as u64));
         for strat in [AnyStrategy::LocalFix, AnyStrategy::LocalEager] {
-            g.bench_with_input(
-                BenchmarkId::new(strat.name(), n),
-                &inst,
-                |b, inst| {
-                    b.iter(|| {
-                        let mut s = strat.build(inst.n_resources, inst.d);
-                        run_fixed(s.as_mut(), inst).served
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(strat.name(), n), &inst, |b, inst| {
+                b.iter(|| {
+                    let mut s = strat.build(inst.n_resources, inst.d);
+                    run_fixed(s.as_mut(), inst).served
+                })
+            });
         }
     }
     g.finish();

@@ -33,8 +33,7 @@ fn bench_lower_bounds(c: &mut Criterion) {
     g.bench_function("thm2.3/A_fix_balance", |b| {
         b.iter(|| {
             let s = thm23::scenario(8, 10);
-            let mut alg =
-                build_strategy(StrategyKind::AFixBalance, 6, 8, TieBreak::HintGuided);
+            let mut alg = build_strategy(StrategyKind::AFixBalance, 6, 8, TieBreak::HintGuided);
             run_fixed(alg.as_mut(), &s.instance).ratio()
         })
     });

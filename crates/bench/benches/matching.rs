@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::Rng;
 use rand::SeedableRng;
-use reqsched_matching::{
-    hopcroft_karp, kuhn_in_order, saturate_levels, BipartiteGraph, Matching,
-};
+use reqsched_matching::{hopcroft_karp, kuhn_in_order, saturate_levels, BipartiteGraph, Matching};
 
 fn random_graph(nl: u32, nr: u32, degree: usize, seed: u64) -> BipartiteGraph {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);

@@ -14,21 +14,17 @@ fn bench_strategies_by_n(c: &mut Criterion) {
         let inst = uniform_two_choice(n, 4, n, 100, 7);
         g.throughput(Throughput::Elements(inst.total_requests() as u64));
         for kind in StrategyKind::GLOBAL {
-            g.bench_with_input(
-                BenchmarkId::new(kind.name(), n),
-                &inst,
-                |b, inst| {
-                    b.iter(|| {
-                        let mut s = reqsched_core::build_strategy(
-                            kind,
-                            inst.n_resources,
-                            inst.d,
-                            TieBreak::FirstFit,
-                        );
-                        run_fixed(s.as_mut(), inst).served
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(kind.name(), n), &inst, |b, inst| {
+                b.iter(|| {
+                    let mut s = reqsched_core::build_strategy(
+                        kind,
+                        inst.n_resources,
+                        inst.d,
+                        TieBreak::FirstFit,
+                    );
+                    run_fixed(s.as_mut(), inst).served
+                })
+            });
         }
     }
     g.finish();
@@ -40,7 +36,11 @@ fn bench_strategies_by_d(c: &mut Criterion) {
     for d in [2u32, 8, 16] {
         let inst = uniform_two_choice(16, d, 16, 100, 11);
         g.throughput(Throughput::Elements(inst.total_requests() as u64));
-        for kind in [StrategyKind::AFix, StrategyKind::AEager, StrategyKind::ABalance] {
+        for kind in [
+            StrategyKind::AFix,
+            StrategyKind::AEager,
+            StrategyKind::ABalance,
+        ] {
             g.bench_with_input(BenchmarkId::new(kind.name(), d), &inst, |b, inst| {
                 b.iter(|| {
                     let mut s = reqsched_core::build_strategy(

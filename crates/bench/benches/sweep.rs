@@ -38,11 +38,9 @@ fn bench_offline_opt(c: &mut Criterion) {
     for rounds in [50u64, 200, 800] {
         let inst = uniform_two_choice(16, 4, 24, rounds, 37);
         g.throughput(Throughput::Elements(inst.total_requests() as u64));
-        g.bench_with_input(
-            BenchmarkId::from_parameter(rounds),
-            &inst,
-            |b, inst| b.iter(|| optimal_count(inst)),
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(rounds), &inst, |b, inst| {
+            b.iter(|| optimal_count(inst))
+        });
     }
     g.finish();
 }

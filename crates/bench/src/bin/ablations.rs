@@ -31,16 +31,34 @@ fn main() {
     let thm21_inst = Arc::new(thm21::scenario(d, phases).instance);
     let edf_inst = Arc::new(edf_worst::scenario(d, phases).instance);
     let thm37_inst = Arc::new(thm37::scenario(d, phases).instance);
-    let flash = Arc::new(reqsched_workloads::flash_crowd(
-        6, d, 3, 14, 12, 10, 60, 4,
-    ));
+    let flash = Arc::new(reqsched_workloads::flash_crowd(6, d, 3, 14, 12, 10, 60, 4));
 
     let jobs = vec![
         // Serve-now rule.
-        Job::new("thm2.4", Arc::clone(&thm24_inst), StrategyKind::AEager, TieBreak::FirstFit),
-        Job::new("thm2.4", Arc::clone(&thm24_inst), StrategyKind::LazyMax, TieBreak::LatestFit),
-        Job::new("flash", Arc::clone(&flash), StrategyKind::AEager, TieBreak::FirstFit),
-        Job::new("flash", Arc::clone(&flash), StrategyKind::LazyMax, TieBreak::LatestFit),
+        Job::new(
+            "thm2.4",
+            Arc::clone(&thm24_inst),
+            StrategyKind::AEager,
+            TieBreak::FirstFit,
+        ),
+        Job::new(
+            "thm2.4",
+            Arc::clone(&thm24_inst),
+            StrategyKind::LazyMax,
+            TieBreak::LatestFit,
+        ),
+        Job::new(
+            "flash",
+            Arc::clone(&flash),
+            StrategyKind::AEager,
+            TieBreak::FirstFit,
+        ),
+        Job::new(
+            "flash",
+            Arc::clone(&flash),
+            StrategyKind::LazyMax,
+            TieBreak::LatestFit,
+        ),
         // Sibling cancellation.
         Job::new(
             "edf-worst",
@@ -59,9 +77,24 @@ fn main() {
             TieBreak::FirstFit,
         ),
         // Member choice: pessimal vs natural on thm2.1.
-        Job::new("thm2.1", Arc::clone(&thm21_inst), StrategyKind::AFix, TieBreak::HintGuided),
-        Job::new("thm2.1", Arc::clone(&thm21_inst), StrategyKind::AFix, TieBreak::FirstFit),
-        Job::new("thm2.1", Arc::clone(&thm21_inst), StrategyKind::AFix, TieBreak::Random(1)),
+        Job::new(
+            "thm2.1",
+            Arc::clone(&thm21_inst),
+            StrategyKind::AFix,
+            TieBreak::HintGuided,
+        ),
+        Job::new(
+            "thm2.1",
+            Arc::clone(&thm21_inst),
+            StrategyKind::AFix,
+            TieBreak::FirstFit,
+        ),
+        Job::new(
+            "thm2.1",
+            Arc::clone(&thm21_inst),
+            StrategyKind::AFix,
+            TieBreak::Random(1),
+        ),
         // Rival exchange.
         Job::any("thm3.7", Arc::clone(&thm37_inst), AnyStrategy::LocalFix),
         Job::any("thm3.7", Arc::clone(&thm37_inst), AnyStrategy::LocalEager),

@@ -104,7 +104,7 @@ fn main() {
                 // deserializer always errors; keep the demo self-contained
                 // there by replaying the in-memory instance instead. The
                 // reload path is exercised against the real serde stack.
-                Err(e) if serde_json::from_str::<u32>("1").is_err() => {
+                Err(e) if reqsched_testsupport::serde_is_stubbed() => {
                     eprintln!("note: reload skipped (stub serde_json): {e}");
                     inst
                 }
@@ -172,13 +172,11 @@ fn main() {
     let tags: Vec<u32> = inst.trace.requests().iter().map(|r| r.tag).collect();
     let horizon = inst.trace.service_horizon().get();
     if horizon <= 200 && inst.n_resources <= 32 {
-        let _ = writeln!(report, "\n{}", render_timeline(
-            inst.n_resources,
-            horizon,
-            &stats.assignment,
-            &tags,
-            true,
-        ));
+        let _ = writeln!(
+            report,
+            "\n{}",
+            render_timeline(inst.n_resources, horizon, &stats.assignment, &tags, true,)
+        );
     }
     println!("\n{report}");
     if let Some(dir) = out.parent() {

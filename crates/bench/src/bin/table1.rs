@@ -51,12 +51,8 @@ fn main() {
         print!("{}", table.to_csv());
     } else {
         println!("Table 1 reproduction (phases = {phases})");
-        println!(
-            "measured LB: pessimal (hint-guided) member on its theorem's input;"
-        );
-        println!(
-            "worst observed: max ratio across the upper-bound validation battery\n"
-        );
+        println!("measured LB: pessimal (hint-guided) member on its theorem's input;");
+        println!("worst observed: max ratio across the upper-bound validation battery\n");
         print!("{}", table.render());
     }
 }

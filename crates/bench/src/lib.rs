@@ -283,12 +283,8 @@ pub fn ratio_curve(kind: StrategyKind, ds: &[u32], phases: u32) -> Vec<(u32, f64
     ds.par_iter()
         .map(|&d| {
             let (inst, _) = lb_scenario(kind, d.max(2), phases);
-            let mut s = reqsched_core::build_strategy(
-                kind,
-                inst.n_resources,
-                inst.d,
-                TieBreak::HintGuided,
-            );
+            let mut s =
+                reqsched_core::build_strategy(kind, inst.n_resources, inst.d, TieBreak::HintGuided);
             let stats = run_fixed_traced(s.as_mut(), &inst);
             (d, stats.ratio())
         })
@@ -314,8 +310,7 @@ pub struct RatioTracePoint {
 /// one horizon solve per round.
 pub fn ratio_trace(kind: StrategyKind, d: u32, phases: u32) -> Vec<RatioTracePoint> {
     let (inst, _) = lb_scenario(kind, d.max(2), phases);
-    let mut s =
-        reqsched_core::build_strategy(kind, inst.n_resources, inst.d, TieBreak::HintGuided);
+    let mut s = reqsched_core::build_strategy(kind, inst.n_resources, inst.d, TieBreak::HintGuided);
     let stats = run_fixed_traced(s.as_mut(), &inst);
     let ratios = stats.live_ratios();
     let mut alg_cum = 0u32;
@@ -339,10 +334,7 @@ pub fn ratio_trace(kind: StrategyKind, d: u32, phases: u32) -> Vec<RatioTracePoi
 
 /// Communication profile of a local strategy on an instance: per scheduling
 /// round `(comm_rounds, messages)` deltas, plus the final ratio.
-pub fn local_comm_profile(
-    strat: AnyStrategy,
-    inst: &Instance,
-) -> (Vec<(u64, u64)>, f64) {
+pub fn local_comm_profile(strat: AnyStrategy, inst: &Instance) -> (Vec<(u64, u64)>, f64) {
     let mut s = strat.build(inst.n_resources, inst.d);
     let mut profile = Vec::new();
     let (mut last_cr, mut last_msg) = (0u64, 0u64);

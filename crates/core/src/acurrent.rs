@@ -53,7 +53,6 @@ impl ACurrent {
     pub fn schedule(&self) -> &crate::schedule::ScheduleState {
         &self.state
     }
-
 }
 
 impl OnlineScheduler for ACurrent {
@@ -75,16 +74,9 @@ impl OnlineScheduler for ACurrent {
         let mut lefts = self.scratch.take_lefts();
         lefts.extend(self.state.live_iter().map(|l| l.req.id));
         if !lefts.is_empty() {
-            let (wg, mut m) = WindowGraph::build_with(
-                &self.state,
-                lefts,
-                1,
-                false,
-                &self.tie,
-                &mut self.scratch,
-            );
-            let order =
-                wg.left_order(&self.state, 0..wg.graph.n_left(), &self.tie);
+            let (wg, mut m) =
+                WindowGraph::build_with(&self.state, lefts, 1, false, &self.tie, &mut self.scratch);
+            let order = wg.left_order(&self.state, 0..wg.graph.n_left(), &self.tie);
             kuhn_in_order_with(&wg.graph, &mut m, &order, &mut self.scratch.ws);
             debug_assert!(m.is_maximum(&wg.graph));
             wg.apply(&mut self.state, &m);

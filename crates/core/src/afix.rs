@@ -41,7 +41,6 @@ impl AFix {
     pub fn schedule(&self) -> &crate::schedule::ScheduleState {
         &self.state
     }
-
 }
 
 impl OnlineScheduler for AFix {
@@ -70,17 +69,13 @@ impl OnlineScheduler for AFix {
                 &self.tie,
                 &mut self.scratch,
             );
-            let order =
-                wg.left_order(&self.state, 0..wg.graph.n_left(), &self.tie);
+            let order = wg.left_order(&self.state, 0..wg.graph.n_left(), &self.tie);
             kuhn_in_order_with(&wg.graph, &mut m, &order, &mut self.scratch.ws);
             if self.tie.is_hint_guided() {
                 wg.priority_position_pass(&self.state, &mut m);
             }
             // Unmatched arrivals are permanently failed under A_fix.
-            let failed: Vec<RequestId> = m
-                .free_lefts()
-                .map(|l| wg.lefts[l as usize])
-                .collect();
+            let failed: Vec<RequestId> = m.free_lefts().map(|l| wg.lefts[l as usize]).collect();
             wg.apply(&mut self.state, &m);
             for id in failed {
                 self.state.drop_request(id);
@@ -152,10 +147,20 @@ mod tests {
         let d = 2u32;
         let mut b = TraceBuilder::new(d);
         b.block2(0u64, 1u32, 2u32, 0); // S1, S2 busy rounds 0..=1
-        // Round 1: R1 (S0|S1) hinted to S1, R2 (S3|S2) hinted to S2; both
-        // park at round-2 slots of the blocked pair.
-        b.push_hinted(1u64, 0u32, 1u32, Hint::prefer(reqsched_model::ResourceId(1)));
-        b.push_hinted(1u64, 3u32, 2u32, Hint::prefer(reqsched_model::ResourceId(2)));
+                                       // Round 1: R1 (S0|S1) hinted to S1, R2 (S3|S2) hinted to S2; both
+                                       // park at round-2 slots of the blocked pair.
+        b.push_hinted(
+            1u64,
+            0u32,
+            1u32,
+            Hint::prefer(reqsched_model::ResourceId(1)),
+        );
+        b.push_hinted(
+            1u64,
+            3u32,
+            2u32,
+            Hint::prefer(reqsched_model::ResourceId(2)),
+        );
         // Round 2: second block(2, d) on (S1, S2): only 2 of its 4 fit now.
         b.block2(2u64, 1u32, 2u32, 0);
         let inst = Instance::new(4, d, b.build());

@@ -61,7 +61,6 @@ impl ABalance {
     pub fn schedule(&self) -> &crate::schedule::ScheduleState {
         &self.state
     }
-
 }
 
 impl OnlineScheduler for ABalance {
@@ -96,10 +95,7 @@ mod tests {
     use super::*;
     use reqsched_model::{Instance, ResourceId, TraceBuilder};
 
-    fn run_log(
-        strategy: &mut dyn OnlineScheduler,
-        inst: &Instance,
-    ) -> Vec<(u64, Service)> {
+    fn run_log(strategy: &mut dyn OnlineScheduler, inst: &Instance) -> Vec<(u64, Service)> {
         let mut log = Vec::new();
         for t in 0..inst.horizon().get() {
             for s in strategy.on_round(Round(t), inst.trace.arrivals_at(Round(t))) {

@@ -65,8 +65,7 @@ pub enum SolveMode {
 impl SolveMode {
     /// Whether the delta engine runs for this mode + tie-break combination.
     pub fn delta_active(self, tie: &TieBreak) -> bool {
-        self == SolveMode::Delta
-            && matches!(tie, TieBreak::FirstFit | TieBreak::LatestFit)
+        self == SolveMode::Delta && matches!(tie, TieBreak::FirstFit | TieBreak::LatestFit)
     }
 }
 
@@ -149,6 +148,7 @@ impl DeltaWindow {
     fn left_of(&self, id: RequestId) -> u32 {
         self.ids
             .binary_search(&id)
+            // lint: callers only pass ids inserted into `ids`, which is append-only and sorted
             .expect("request tracked by the delta window") as u32
     }
 
@@ -286,6 +286,10 @@ impl DeltaWindow {
             }
         }
         self.sync(state);
+        // The matching must be *maximum* here, not merely consistent — the
+        // competitive guarantees of the rescheduling strategies ride on it.
+        #[cfg(feature = "audit")]
+        self.dm.audit();
         let outcome = state.finish_round();
         self.advance(state, &outcome);
         outcome.served
@@ -333,6 +337,10 @@ impl DeltaWindow {
                 }
             }
         }
+        // After dropping unmatched arrivals every live left is matched, so
+        // the fresh re-solve doubles as a check that no drop was premature.
+        #[cfg(feature = "audit")]
+        self.dm.audit();
         let outcome = state.finish_round();
         self.advance(state, &outcome);
         outcome.served
@@ -381,6 +389,7 @@ impl CurrentDelta {
     fn left_of(&self, id: RequestId) -> u32 {
         self.ids
             .binary_search(&id)
+            // lint: callers only pass ids inserted into `ids`, which is append-only and sorted
             .expect("request tracked by the delta state") as u32
     }
 
@@ -427,6 +436,11 @@ impl CurrentDelta {
             }
         }
         debug_assert!(state.check_consistency());
+        // Audit before serving empties the matching: augmenting every live
+        // request must have produced a maximum matching on the single
+        // current column.
+        #[cfg(feature = "audit")]
+        self.dm.audit();
         let outcome = state.finish_round();
         for s in &outcome.served {
             self.dm.remove_left(self.left_of(s.request), false);
@@ -446,9 +460,7 @@ impl CurrentDelta {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{
-        ABalance, ACurrent, AEager, AFixBalance, ALazyMax, OnlineScheduler,
-    };
+    use crate::{ABalance, ACurrent, AEager, AFixBalance, ALazyMax, OnlineScheduler};
     use reqsched_model::{Instance, TraceBuilder};
 
     /// Deterministic pseudo-random trace: bursts of 2-choice requests with
@@ -506,9 +518,7 @@ mod tests {
                 let mut dw = DeltaWindow::new(n, d);
                 let mut fresh = AEager::with_mode(n, d, tie, SolveMode::Fresh);
                 assert_round_parity(
-                    |r, a| {
-                        dw.round_reschedulable(&mut st, &tie, r, a, Saturation::CurrentFirst)
-                    },
+                    |r, a| dw.round_reschedulable(&mut st, &tie, r, a, Saturation::CurrentFirst),
                     &mut fresh,
                     &inst,
                 );
@@ -588,15 +598,30 @@ mod tests {
         let pairs: Vec<(Box<dyn OnlineScheduler>, Box<dyn OnlineScheduler>)> = vec![
             (
                 Box::new(AEager::new(4, 3, TieBreak::FirstFit)),
-                Box::new(AEager::with_mode(4, 3, TieBreak::FirstFit, SolveMode::Fresh)),
+                Box::new(AEager::with_mode(
+                    4,
+                    3,
+                    TieBreak::FirstFit,
+                    SolveMode::Fresh,
+                )),
             ),
             (
                 Box::new(ABalance::new(4, 3, TieBreak::FirstFit)),
-                Box::new(ABalance::with_mode(4, 3, TieBreak::FirstFit, SolveMode::Fresh)),
+                Box::new(ABalance::with_mode(
+                    4,
+                    3,
+                    TieBreak::FirstFit,
+                    SolveMode::Fresh,
+                )),
             ),
             (
                 Box::new(ACurrent::new(4, 3, TieBreak::FirstFit)),
-                Box::new(ACurrent::with_mode(4, 3, TieBreak::FirstFit, SolveMode::Fresh)),
+                Box::new(ACurrent::with_mode(
+                    4,
+                    3,
+                    TieBreak::FirstFit,
+                    SolveMode::Fresh,
+                )),
             ),
             (
                 Box::new(AFixBalance::new(4, 3, TieBreak::FirstFit)),
@@ -609,7 +634,12 @@ mod tests {
             ),
             (
                 Box::new(ALazyMax::new(4, 3, TieBreak::FirstFit)),
-                Box::new(ALazyMax::with_mode(4, 3, TieBreak::FirstFit, SolveMode::Fresh)),
+                Box::new(ALazyMax::with_mode(
+                    4,
+                    3,
+                    TieBreak::FirstFit,
+                    SolveMode::Fresh,
+                )),
             ),
         ];
         for (mut a, mut b) in pairs {

@@ -61,7 +61,6 @@ impl AEager {
         &self.state
     }
 
-
     /// Shared round body for `A_eager` and `A_balance` (they differ only in
     /// the right-vertex priority levels).
     pub(crate) fn round_body(
@@ -79,14 +78,12 @@ impl AEager {
         let mut lefts = scratch.take_lefts();
         lefts.extend(state.live_iter().map(|l| l.req.id));
         if !lefts.is_empty() {
-            let (wg, mut m) =
-                WindowGraph::build_with(state, lefts, state.d(), true, tie, scratch);
+            let (wg, mut m) = WindowGraph::build_with(state, lefts, state.d(), true, tie, scratch);
             // Rule 2 first: the initial matching is the carried schedule;
             // augmentation keeps all of it matched while reaching a maximum
             // matching of G_t. Unmatched lefts (new arrivals and previously
             // failed-but-alive requests) are tried in tie-break order.
-            let unmatched: Vec<u32> =
-                (0..wg.graph.n_left()).filter(|&l| m.left_free(l)).collect();
+            let unmatched: Vec<u32> = (0..wg.graph.n_left()).filter(|&l| m.left_free(l)).collect();
             let order = wg.left_order(state, unmatched.into_iter(), tie);
             kuhn_in_order_with(&wg.graph, &mut m, &order, &mut scratch.ws);
             debug_assert!(m.is_maximum(&wg.graph));
@@ -166,7 +163,7 @@ mod tests {
         let d = 3u32;
         let mut b = TraceBuilder::new(d);
         b.block2(0u64, 1u32, 2u32, 0); // S1, S2 busy rounds 0..=2
-        // Round 2: hinted requests park on future S1/S2 slots.
+                                       // Round 2: hinted requests park on future S1/S2 slots.
         b.push_hinted(2u64, 0u32, 1u32, Hint::prefer(ResourceId(1)));
         b.push_hinted(2u64, 3u32, 2u32, Hint::prefer(ResourceId(2)));
         // Round 3: second block on the shared pair.

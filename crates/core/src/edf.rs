@@ -19,8 +19,8 @@ use crate::schedule::Service;
 use crate::OnlineScheduler;
 use reqsched_model::{Request, RequestId, ResourceId, Round};
 use std::cmp::Reverse;
+use std::collections::BTreeSet;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 /// Min-heap entry: earliest expiry first, ties by request id (FIFO-ish).
 type Entry = Reverse<(Round, RequestId)>;
@@ -93,7 +93,7 @@ impl OnlineScheduler for EdfSingle {
 /// See module docs.
 pub struct EdfTwoChoice {
     queues: EdfQueues,
-    served: HashSet<RequestId>,
+    served: BTreeSet<RequestId>,
     cancel_sibling: bool,
     wasted_slots: u64,
 }
@@ -108,7 +108,7 @@ impl EdfTwoChoice {
     pub fn new(n: u32, cancel_sibling: bool) -> EdfTwoChoice {
         EdfTwoChoice {
             queues: EdfQueues::new(n),
-            served: HashSet::new(),
+            served: BTreeSet::new(),
             cancel_sibling,
             wasted_slots: 0,
         }

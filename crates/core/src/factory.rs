@@ -1,8 +1,8 @@
 //! Uniform construction of strategies, for sweeps and harnesses.
 
 use crate::{
-    ABalance, ACurrent, AEager, AFix, AFixBalance, EdfSingle, EdfTwoChoice,
-    OnlineScheduler, SolveMode, TieBreak,
+    ABalance, ACurrent, AEager, AFix, AFixBalance, EdfSingle, EdfTwoChoice, OnlineScheduler,
+    SolveMode, TieBreak,
 };
 
 /// Identifies one of the paper's strategies.
@@ -155,19 +155,13 @@ pub fn build_strategy_with_mode(
 ) -> Box<dyn OnlineScheduler> {
     match kind {
         StrategyKind::EdfSingle => Box::new(EdfSingle::new(n)),
-        StrategyKind::Edf { cancel_sibling } => {
-            Box::new(EdfTwoChoice::new(n, cancel_sibling))
-        }
+        StrategyKind::Edf { cancel_sibling } => Box::new(EdfTwoChoice::new(n, cancel_sibling)),
         StrategyKind::AFix => Box::new(AFix::new(n, d, tie)),
         StrategyKind::ACurrent => Box::new(ACurrent::with_mode(n, d, tie, mode)),
-        StrategyKind::AFixBalance => {
-            Box::new(AFixBalance::with_mode(n, d, tie, mode))
-        }
+        StrategyKind::AFixBalance => Box::new(AFixBalance::with_mode(n, d, tie, mode)),
         StrategyKind::AEager => Box::new(AEager::with_mode(n, d, tie, mode)),
         StrategyKind::ABalance => Box::new(ABalance::with_mode(n, d, tie, mode)),
-        StrategyKind::LazyMax => {
-            Box::new(crate::ALazyMax::with_mode(n, d, tie, mode))
-        }
+        StrategyKind::LazyMax => Box::new(crate::ALazyMax::with_mode(n, d, tie, mode)),
     }
 }
 
@@ -209,14 +203,8 @@ mod tests {
     fn lower_bounds_never_exceed_upper_bounds() {
         for kind in StrategyKind::GLOBAL {
             for d in 2..40 {
-                if let (Some(lb), Some(ub)) =
-                    (kind.lower_bound(d), kind.upper_bound(d))
-                {
-                    assert!(
-                        lb <= ub + 1e-12,
-                        "{} d={d}: lb {lb} > ub {ub}",
-                        kind.name()
-                    );
+                if let (Some(lb), Some(ub)) = (kind.lower_bound(d), kind.upper_bound(d)) {
+                    assert!(lb <= ub + 1e-12, "{} d={d}: lb {lb} > ub {ub}", kind.name());
                 }
             }
         }

@@ -54,7 +54,6 @@ impl AFixBalance {
     pub fn schedule(&self) -> &crate::schedule::ScheduleState {
         &self.state
     }
-
 }
 
 impl OnlineScheduler for AFixBalance {
@@ -84,19 +83,22 @@ impl OnlineScheduler for AFixBalance {
                 &mut self.scratch,
             );
             // 1) Maximum number of new requests scheduled…
-            let order =
-                wg.left_order(&self.state, 0..wg.graph.n_left(), &self.tie);
+            let order = wg.left_order(&self.state, 0..wg.graph.n_left(), &self.tie);
             kuhn_in_order_with(&wg.graph, &mut m, &order, &mut self.scratch.ws);
             // 2) …then F-maximal = lexicographically earliest-round-heavy.
             // Old assignments are fixed constants of F, so optimizing the
             // new requests' slot coverage per round is exactly optimizing F.
             wg.write_levels_by_round(&mut self.scratch.levels);
-            saturate_levels_with(&wg.graph, &mut m, &self.scratch.levels, &mut self.scratch.ws);
+            saturate_levels_with(
+                &wg.graph,
+                &mut m,
+                &self.scratch.levels,
+                &mut self.scratch.ws,
+            );
             if self.tie.is_hint_guided() {
                 wg.priority_position_pass(&self.state, &mut m);
             }
-            let failed: Vec<RequestId> =
-                m.free_lefts().map(|l| wg.lefts[l as usize]).collect();
+            let failed: Vec<RequestId> = m.free_lefts().map(|l| wg.lefts[l as usize]).collect();
             wg.apply(&mut self.state, &m);
             for id in failed {
                 self.state.drop_request(id);
@@ -114,10 +116,7 @@ mod tests {
     use super::*;
     use reqsched_model::{Instance, ResourceId, TraceBuilder};
 
-    fn run_with_log(
-        strategy: &mut dyn OnlineScheduler,
-        inst: &Instance,
-    ) -> Vec<(u64, Service)> {
+    fn run_with_log(strategy: &mut dyn OnlineScheduler, inst: &Instance) -> Vec<(u64, Service)> {
         let mut log = Vec::new();
         for t in 0..inst.horizon().get() {
             for s in strategy.on_round(Round(t), inst.trace.arrivals_at(Round(t))) {
@@ -139,8 +138,7 @@ mod tests {
         let log = run_with_log(&mut a, &inst);
         assert_eq!(log.len(), 2);
         assert!(log.iter().all(|(t, _)| *t == 0), "both served in round 0");
-        let mut resources: Vec<ResourceId> =
-            log.iter().map(|(_, s)| s.resource).collect();
+        let mut resources: Vec<ResourceId> = log.iter().map(|(_, s)| s.resource).collect();
         resources.sort();
         assert_eq!(resources, vec![ResourceId(0), ResourceId(1)]);
     }

@@ -84,8 +84,7 @@ impl OnlineScheduler for ALazyMax {
                 &self.tie,
                 &mut self.scratch,
             );
-            let unmatched: Vec<u32> =
-                (0..wg.graph.n_left()).filter(|&l| m.left_free(l)).collect();
+            let unmatched: Vec<u32> = (0..wg.graph.n_left()).filter(|&l| m.left_free(l)).collect();
             let order = wg.left_order(&self.state, unmatched.into_iter(), &self.tie);
             kuhn_in_order_with(&wg.graph, &mut m, &order, &mut self.scratch.ws);
             debug_assert!(m.is_maximum(&wg.graph));

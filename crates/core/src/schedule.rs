@@ -179,6 +179,7 @@ impl ScheduleState {
     pub fn unassign(&mut self, id: RequestId) {
         if let Some(entry) = self.live.get_mut(&id) {
             if let Some((resource, round)) = entry.assigned.take() {
+                // lint: `assigned` rounds are produced by `assign`, which validated the window
                 let j = self.row_index(round).expect("assignment inside window");
                 debug_assert_eq!(self.rows[j][resource.index()], id);
                 self.rows[j][resource.index()] = NO_REQUEST;
@@ -203,9 +204,15 @@ impl ScheduleState {
     /// Returns the services performed in the (just finished) current round
     /// and the requests that expired unserved at its end.
     pub fn finish_round(&mut self) -> RoundOutcome {
+        // Audit builds gate every round boundary on the full window
+        // invariant; finish_round is the one chokepoint every
+        // matching-based strategy passes through each round.
+        #[cfg(feature = "audit")]
+        self.audit();
         // 1. Serve the occupants of the current row, clearing it in place so
         //    it can be recycled as the window's new back row (no per-round
         //    row allocation).
+        // lint: the constructor seeds d rows and finish_round pushes one back per pop
         let mut row = self.rows.pop_front().expect("window is never empty");
         let mut served = Vec::new();
         for (i, occ) in row.iter_mut().enumerate() {
@@ -246,14 +253,80 @@ impl ScheduleState {
     /// later under its no-rescheduling rule). Returns whether it was live.
     pub fn drop_request(&mut self, id: RequestId) -> bool {
         if let Some(entry) = self.live.get(&id) {
-            assert!(
-                entry.assigned.is_none(),
-                "cannot drop an assigned request"
-            );
+            assert!(entry.assigned.is_none(), "cannot drop an assigned request");
             self.live.remove(&id);
             true
         } else {
             false
+        }
+    }
+
+    /// Hard invariant audit (the `audit` feature). Checks, in order:
+    ///
+    /// 1. **slot exclusivity** — no request occupies two window slots;
+    /// 2. **mate-array symmetry** — every occupied slot points at a live
+    ///    request whose `assigned` back-pointer names that exact slot, and
+    ///    vice versa;
+    /// 3. **window feasibility** — every assignment is a slot the request
+    ///    can legally be served in (right resource, within its
+    ///    arrival/deadline window);
+    /// 4. **deadline respect** — no live request has already expired.
+    ///
+    /// [`ScheduleState::finish_round`] runs this at every round boundary
+    /// when the feature is on.
+    ///
+    /// # Panics
+    /// Panics on the first violated invariant, naming it.
+    #[cfg(feature = "audit")]
+    pub fn audit(&self) {
+        let mut seen: std::collections::BTreeSet<RequestId> = std::collections::BTreeSet::new();
+        for (j, row) in self.rows.iter().enumerate() {
+            let round = self.front + j as u64;
+            for (i, &occ) in row.iter().enumerate() {
+                if occ == NO_REQUEST {
+                    continue;
+                }
+                let res = ResourceId(i as u32);
+                assert!(
+                    seen.insert(occ),
+                    "audit: {occ:?} occupies two window slots (second: {res:?}@{round:?})"
+                );
+                let entry = self.live.get(&occ).unwrap_or_else(|| {
+                    panic!("audit: slot {res:?}@{round:?} holds non-live {occ:?}")
+                });
+                assert_eq!(
+                    entry.assigned,
+                    Some((res, round)),
+                    "audit: back-pointer of {occ:?} disagrees with slot {res:?}@{round:?}"
+                );
+                assert!(
+                    entry.req.can_be_served(res, round),
+                    "audit: infeasible assignment {occ:?} -> {res:?}@{round:?} \
+                     (arrival {:?}, deadline {}, alternatives {:?})",
+                    entry.req.arrival,
+                    entry.req.deadline,
+                    entry.req.alternatives.as_slice(),
+                );
+            }
+        }
+        for entry in self.live.values() {
+            let id = entry.req.id;
+            assert!(
+                entry.req.expiry() >= self.front,
+                "audit: {id:?} expired at {:?} but is still live at {:?}",
+                entry.req.expiry(),
+                self.front,
+            );
+            if let Some((res, round)) = entry.assigned {
+                let j = self.row_index(round).unwrap_or_else(|| {
+                    panic!("audit: {id:?} assigned outside the window at {round:?}")
+                });
+                assert_eq!(
+                    self.rows[j][res.index()],
+                    id,
+                    "audit: slot {res:?}@{round:?} does not hold its claimed occupant {id:?}"
+                );
+            }
         }
     }
 
@@ -321,6 +394,21 @@ mod tests {
         assert!(out.expired.is_empty());
         assert_eq!(st.live_count(), 0);
         assert_eq!(st.front(), Round(1));
+    }
+
+    /// The auditor must fire on a corrupted window, not just pass on a
+    /// healthy one (the audit-mode analogue of the lint fixtures).
+    #[cfg(feature = "audit")]
+    #[test]
+    #[should_panic(expected = "audit")]
+    fn audit_catches_dangling_back_pointer() {
+        let mut st = ScheduleState::new(2, 2);
+        let r = req(0, 0, 2, 0, 1);
+        st.insert(&r);
+        st.assign(RequestId(0), ResourceId(0), Round(0));
+        // Corrupt the slot behind the back-pointer's back.
+        st.rows[0][0] = NO_REQUEST;
+        st.audit();
     }
 
     fn req1(id: u32, arrival: u64, d: u32, only: u32) -> Request {

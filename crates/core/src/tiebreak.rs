@@ -75,9 +75,7 @@ impl TieBreak {
             TieBreak::Random(s) => *s,
             _ => 0,
         };
-        ChaCha8Rng::seed_from_u64(
-            seed ^ round.get().wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt,
-        )
+        ChaCha8Rng::seed_from_u64(seed ^ round.get().wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt)
     }
 
     /// Whether slot candidates should be hint-reordered.

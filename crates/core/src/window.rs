@@ -149,7 +149,10 @@ impl WindowGraph {
         let front = state.front();
         let n_right = rows * n;
 
-        debug_assert!(lefts.windows(2).all(|w| w[0] < w[1]), "lefts must be sorted");
+        debug_assert!(
+            lefts.windows(2).all(|w| w[0] < w[1]),
+            "lefts must be sorted"
+        );
         // Membership mask so `include_occupied` can check participation.
         // Participant ids are typically a dense range (arrival order), so a
         // bitmask over the span beats a per-edge binary search.
@@ -170,7 +173,8 @@ impl WindowGraph {
         let mask_base = scratch.mask_base;
         let participating = |id: RequestId| {
             if use_mask {
-                id.0 >= mask_base && ((id.0 - mask_base) as usize) < mask.len()
+                id.0 >= mask_base
+                    && ((id.0 - mask_base) as usize) < mask.len()
                     && mask[(id.0 - mask_base) as usize]
             } else {
                 lefts.binary_search(&id).is_ok()
@@ -181,6 +185,7 @@ impl WindowGraph {
         scratch.init.clear();
 
         for (li, &id) in lefts.iter().enumerate() {
+            // lint: `lefts` is rebuilt from `state` live ids immediately before this call
             let live = state.live(id).expect("participant must be live");
             let req = &live.req;
             scratch.slots.clear();
@@ -205,7 +210,13 @@ impl WindowGraph {
                     }
                 }
             }
-            order_slots(&mut scratch.slots, req.hint.prefer, req.alternatives.as_slice(), tie, front);
+            order_slots(
+                &mut scratch.slots,
+                req.hint.prefer,
+                req.alternatives.as_slice(),
+                tie,
+                front,
+            );
             scratch.adj.clear();
             scratch.adj.extend(scratch.slots.iter().map(|&(_, _, r)| r));
             scratch.builder.add_left(&scratch.adj);
@@ -282,6 +293,7 @@ impl WindowGraph {
             .iter()
             .map(|&li| {
                 let id = self.lefts[li as usize];
+                // lint: `lefts` holds only ids live in `state` for this round
                 let hint = state.live(id).expect("live").req.hint;
                 (id, hint)
             })
@@ -320,6 +332,7 @@ impl WindowGraph {
         prio.extend(
             self.lefts
                 .iter()
+                // lint: `lefts` holds only ids live in `state` for this round
                 .map(|&id| state.live(id).expect("live").req.hint.priority),
         );
         // Bounded bubble pass: each swap strictly decreases the sum of
@@ -440,8 +453,7 @@ mod tests {
         insert(&mut st, 0, 0, 1, Hint::default());
         st.assign(RequestId(0), ResourceId(0), Round(0));
         insert(&mut st, 1, 0, 1, Hint::default());
-        let (wg, _) =
-            WindowGraph::build(&st, vec![RequestId(1)], 2, false, &TieBreak::FirstFit);
+        let (wg, _) = WindowGraph::build(&st, vec![RequestId(1)], 2, false, &TieBreak::FirstFit);
         // Slot (S0, t0) occupied by non-participant r0 -> excluded.
         assert_eq!(wg.graph.neighbors(0), &[1, 2, 3]);
     }
@@ -469,8 +481,7 @@ mod tests {
     fn hint_prefers_resource_over_earliness() {
         let mut st = ScheduleState::new(2, 2);
         insert(&mut st, 0, 0, 1, Hint::prefer(ResourceId(1)));
-        let (wg, _) =
-            WindowGraph::build(&st, vec![RequestId(0)], 2, false, &TieBreak::HintGuided);
+        let (wg, _) = WindowGraph::build(&st, vec![RequestId(0)], 2, false, &TieBreak::HintGuided);
         // S1's slots (indices 1, 3) come before S0's (0, 2).
         assert_eq!(wg.graph.neighbors(0), &[1, 3, 0, 2]);
     }
@@ -568,8 +579,7 @@ mod tests {
                 insert(&mut st, i as u32, 0, 1, Hint::priority(p));
             }
             let lefts: Vec<RequestId> = (0..3).map(RequestId).collect();
-            let (wg, mut m) =
-                WindowGraph::build(&st, lefts, 3, true, &TieBreak::HintGuided);
+            let (wg, mut m) = WindowGraph::build(&st, lefts, 3, true, &TieBreak::HintGuided);
             reqsched_matching::kuhn_in_order(&wg.graph, &mut m, &[0, 1, 2]);
             let mut m_ref = m.clone();
             wg.priority_position_pass(&st, &mut m);

@@ -18,8 +18,8 @@
 
 use proptest::prelude::*;
 use reqsched_core::{
-    ABalance, ACurrent, AEager, AFix, AFixBalance, OnlineScheduler, ScheduleState,
-    TieBreak, WindowGraph,
+    ABalance, ACurrent, AEager, AFix, AFixBalance, OnlineScheduler, ScheduleState, TieBreak,
+    WindowGraph,
 };
 use reqsched_matching::brute;
 use reqsched_model::{Instance, RequestId, ResourceId, Round};
@@ -28,9 +28,7 @@ use reqsched_workloads::uniform_two_choice;
 /// Tiny random instances so brute-force enumeration stays feasible.
 fn tiny_instance() -> impl Strategy<Value = Instance> {
     (2u32..4, 1u32..4, 1u32..4, 3u64..8, 0u64..1_000_000).prop_map(
-        |(n, d, per_round, rounds, seed)| {
-            uniform_two_choice(n, d, per_round, rounds, seed)
-        },
+        |(n, d, per_round, rounds, seed)| uniform_two_choice(n, d, per_round, rounds, seed),
     )
 }
 
@@ -57,8 +55,7 @@ fn oracle_lex(
     if lefts.is_empty() {
         return vec![0; rows as usize];
     }
-    let (wg, _) =
-        WindowGraph::build(&st, lefts, rows, include_occupied, &TieBreak::FirstFit);
+    let (wg, _) = WindowGraph::build(&st, lefts, rows, include_occupied, &TieBreak::FirstFit);
     let levels = if by_round {
         wg.levels_by_round()
     } else {
@@ -88,11 +85,7 @@ fn occupancy(state: &ScheduleState, n: u32, d: u32) -> Vec<usize> {
     (0..d as u64)
         .map(|j| {
             (0..n)
-                .filter(|&i| {
-                    state
-                        .occupant(ResourceId(i), state.front() + j)
-                        .is_some()
-                })
+                .filter(|&i| state.occupant(ResourceId(i), state.front() + j).is_some())
                 .count()
         })
         .collect()

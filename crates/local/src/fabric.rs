@@ -95,8 +95,7 @@ impl CommFabric {
     /// resource. High-priority envelopes are admitted first, then LDF order
     /// (latest expiry first, ties towards earlier request ids).
     pub fn exchange<M: Send>(&mut self, msgs: Vec<Envelope<M>>) -> ExchangeOutcome<M> {
-        let mut per_resource: Vec<Vec<Envelope<M>>> =
-            (0..self.n).map(|_| Vec::new()).collect();
+        let mut per_resource: Vec<Vec<Envelope<M>>> = (0..self.n).map(|_| Vec::new()).collect();
         if msgs.is_empty() {
             return ExchangeOutcome {
                 per_resource,
@@ -132,8 +131,10 @@ impl CommFabric {
                 .then(b.ldf_key.cmp(&a.ldf_key))
                 .then(a.from.cmp(&b.from))
         });
-        while inbox.len() > cap {
-            bounced.push(inbox.pop().expect("nonempty"));
+        // Pop order (worst-first) is part of the bounce protocol; `rev()`
+        // preserves it while avoiding per-element emptiness checks.
+        if inbox.len() > cap {
+            bounced.extend(inbox.drain(cap..).rev());
         }
     }
 
@@ -142,10 +143,7 @@ impl CommFabric {
     /// in serial mode, so outcomes are identical; bounced messages are
     /// gathered per shard and concatenated in resource order to keep
     /// determinism.
-    fn admit_threaded<M: Send>(
-        &self,
-        per_resource: &mut [Vec<Envelope<M>>],
-    ) -> Vec<Envelope<M>> {
+    fn admit_threaded<M: Send>(&self, per_resource: &mut [Vec<Envelope<M>>]) -> Vec<Envelope<M>> {
         let cap = self.cap;
         let shards: Vec<(usize, &mut [Vec<Envelope<M>>])> = {
             let workers = self.workers.min(per_resource.len());
@@ -165,7 +163,7 @@ impl CommFabric {
                 });
             }
         })
-        .expect("fabric worker panicked");
+        .expect("fabric worker panicked"); // lint: re-raise worker panics on the coordinator thread
         let mut results = results.into_inner();
         results.sort_by_key(|&(idx, _)| idx);
         results.into_iter().flat_map(|(_, b)| b).collect()

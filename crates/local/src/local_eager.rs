@@ -68,6 +68,7 @@ impl ALocalEager {
     }
 
     fn alt(&self, id: RequestId, which: usize) -> ResourceId {
+        // lint: ids flow straight from this round's live set
         let req = &self.state.live(id).expect("live").req;
         assert!(
             req.alternatives.len() == 2,
@@ -77,6 +78,7 @@ impl ALocalEager {
     }
 
     fn expiry(&self, id: RequestId) -> Round {
+        // lint: ids flow straight from this round's live set
         self.state.live(id).expect("live").req.expiry()
     }
 
@@ -146,8 +148,10 @@ impl ALocalEager {
             let (old_res, _) = self
                 .state
                 .live(winner)
+                // lint: movers are drawn from assigned live requests this round
                 .expect("live")
                 .assigned
+                // lint: movers are drawn from assigned live requests this round
                 .expect("mover is assigned");
             self.state.unassign(winner);
             self.state.assign(winner, res, front);
@@ -203,6 +207,7 @@ impl ALocalEager {
                         let target = self
                             .state
                             .live(r)
+                            // lint: occupants of window slots are live by ScheduleState's invariant
                             .expect("occupant is live")
                             .req
                             .alternatives
@@ -227,7 +232,7 @@ impl ALocalEager {
     fn take_wave(
         &mut self,
         nominations: Vec<Nomination>,
-        reserved: &mut std::collections::HashSet<(ResourceId, Round)>,
+        reserved: &mut std::collections::BTreeSet<(ResourceId, Round)>,
     ) -> (Vec<PlannedExchange>, Vec<RequestId>) {
         let front = self.state.front();
         let take_msgs: Vec<Envelope<(RequestId, ResourceId, RequestId)>> = nominations
@@ -258,9 +263,7 @@ impl ALocalEager {
                 let mut round = hi;
                 loop {
                     let cand = Round(round);
-                    if self.state.slot_free(target, cand)
-                        && !reserved.contains(&(target, cand))
-                    {
+                    if self.state.slot_free(target, cand) && !reserved.contains(&(target, cand)) {
                         slot = Some(cand);
                         break;
                     }
@@ -348,7 +351,7 @@ impl OnlineScheduler for ALocalEager {
         // CR3: attempt-1 tags *merged with* attempt-2 petitions (the
         // paper's overlap that keeps the total at 9);
         // CR4: attempt-2 take-requests; CR5: attempt-2 tags.
-        let mut reserved = std::collections::HashSet::new();
+        let mut reserved = std::collections::BTreeSet::new();
         let qs = self.state.unassigned();
         if !qs.is_empty() {
             let out = self.fabric.exchange(self.petition_msgs(&qs, 0)); // CR1
@@ -359,9 +362,7 @@ impl OnlineScheduler for ALocalEager {
             losers.dedup();
             let losers: Vec<RequestId> = losers
                 .into_iter()
-                .filter(|&id| {
-                    self.state.live(id).is_some_and(|l| l.assigned.is_none())
-                })
+                .filter(|&id| self.state.live(id).is_some_and(|l| l.assigned.is_none()))
                 .collect();
             if !planned.is_empty() || !losers.is_empty() {
                 let petitions2 = self.petition_msgs(&losers, 1);

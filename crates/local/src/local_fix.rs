@@ -45,6 +45,7 @@ impl ALocalFix {
         let msgs: Vec<Envelope<()>> = ids
             .iter()
             .map(|&id| {
+                // lint: ids flow straight from this round's live set
                 let req = &self.state.live(id).expect("live").req;
                 assert!(
                     req.alternatives.len() == 2,

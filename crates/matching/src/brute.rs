@@ -39,7 +39,7 @@ pub fn best_lex_coverage(g: &BipartiteGraph, level: &[u32]) -> Vec<usize> {
     best.unwrap_or(counts)
 }
 
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // lint: recursion carries the full search state by design
 fn enumerate(
     g: &BipartiteGraph,
     l: u32,

@@ -98,13 +98,7 @@ pub fn symmetric_difference(m1: &Matching, m2: &Matching) -> DiffReport {
             continue;
         }
         let nodes = walk(start, &adj, &mut visited);
-        push_path(
-            nodes,
-            nl,
-            m1,
-            &mut components,
-            &mut augmenting_orders,
-        );
+        push_path(nodes, nl, m1, &mut components, &mut augmenting_orders);
     }
     // Remaining components with degree-2 everywhere are cycles.
     for start in 0..n as u32 {
@@ -177,9 +171,10 @@ fn push_path(
             m1.right_free(v - nl as u32)
         }
     };
-    let augmenting = nodes.len() >= 2
-        && free_in_m1(*nodes.first().unwrap())
-        && free_in_m1(*nodes.last().unwrap());
+    let augmenting = match (nodes.first(), nodes.last()) {
+        (Some(&head), Some(&tail)) if nodes.len() >= 2 => free_in_m1(head) && free_in_m1(tail),
+        _ => false,
+    };
     if augmenting {
         augmenting_orders.push(lefts.len());
     }
@@ -275,10 +270,7 @@ mod tests {
     fn gap_identity_against_maximum() {
         // Any suboptimal matching vs a maximum one: number of augmenting
         // paths equals the cardinality gap.
-        let g = BipartiteGraph::from_adjacency(
-            4,
-            &[vec![0, 1], vec![0], vec![2, 3], vec![2]],
-        );
+        let g = BipartiteGraph::from_adjacency(4, &[vec![0, 1], vec![0], vec![2, 3], vec![2]]);
         let mut m1 = Matching::empty(4, 4);
         m1.set(0, 0); // strands l1
         m1.set(2, 2); // strands l3

@@ -383,6 +383,7 @@ impl DynamicMatching {
             }
             for _ in 0..self.width {
                 self.r2l.pop_front();
+                // lint: r2l and rev are grown in lockstep; the window holds >= width columns here
                 let mut v = self.rev.pop_front().expect("window not empty");
                 v.clear();
                 self.rev_pool.push(v);
@@ -435,7 +436,10 @@ impl DynamicMatching {
     /// search. Returns whether the matching grew.
     pub fn augment(&mut self, root: u32) -> bool {
         debug_assert!(self.alive[root as usize], "augment from dead left {root}");
-        debug_assert_eq!(self.l2r[root as usize], NONE, "augment from matched left {root}");
+        debug_assert_eq!(
+            self.l2r[root as usize], NONE,
+            "augment from matched left {root}"
+        );
         let DynamicMatching {
             width,
             rlo,
@@ -664,7 +668,7 @@ impl DynamicMatching {
         // Improving exchanges rearrange free rights across levels, which
         // stales any failed-search trap.
         self.clear_failure_marks();
-        let top = *levels.last().expect("nonempty");
+        let Some(&top) = levels.last() else { return };
         for &lvl in &levels {
             if lvl == top {
                 break;
@@ -819,6 +823,53 @@ impl DynamicMatching {
         false
     }
 
+    /// Full invariant audit — the `audit` feature's round-boundary hook.
+    ///
+    /// Runs [`DynamicMatching::check_consistency`] and then re-solves the
+    /// live window graph from scratch with Hopcroft–Karp, asserting the
+    /// delta-maintained matching has the same cardinality. Consistency
+    /// alone cannot tell a *maximal* matching from a *maximum* one, and
+    /// every competitive guarantee in the paper rides on maximum.
+    ///
+    /// # Panics
+    /// Panics on the first violated invariant, naming it.
+    #[cfg(feature = "audit")]
+    pub fn audit(&self) {
+        self.check_consistency();
+        let fresh = self.fresh_maximum();
+        assert_eq!(
+            self.size(),
+            fresh,
+            "delta-maintained matching is not maximum: size {} vs fresh re-solve {}",
+            self.size(),
+            fresh,
+        );
+    }
+
+    /// From-scratch maximum-matching size of the current live graph
+    /// (compact left indices, window-relative right indices).
+    #[cfg(feature = "audit")]
+    fn fresh_maximum(&self) -> usize {
+        let rlo = self.rlo;
+        let nr = ((self.col_hi - self.col_lo) * self.width as u64) as u32;
+        let mut lists: Vec<Vec<u32>> = Vec::new();
+        for l in 0..self.n_left() {
+            if !self.alive[l as usize] {
+                continue;
+            }
+            let (lo, hi) = self.spans[l as usize];
+            lists.push(
+                self.edges[lo as usize..hi as usize]
+                    .iter()
+                    .filter(|&&r| r >= rlo)
+                    .map(|&r| r - rlo)
+                    .collect(),
+            );
+        }
+        let g = crate::graph::BipartiteGraph::from_adjacency(nr, &lists);
+        crate::hopcroft_karp(&g).size()
+    }
+
     /// Internal consistency check (debug/test): mate arrays agree, matched
     /// edges exist in live spans, free counts per column are right.
     pub fn check_consistency(&self) {
@@ -889,6 +940,21 @@ mod tests {
         }
         let g = BipartiteGraph::from_adjacency(nr, &lists);
         hopcroft_karp(&g).size()
+    }
+
+    /// The audit must reject a matching that is consistent but not
+    /// maximum — the failure mode `check_consistency` alone cannot see.
+    #[cfg(feature = "audit")]
+    #[test]
+    #[should_panic(expected = "not maximum")]
+    fn audit_catches_non_maximum_matching() {
+        let mut dm = DynamicMatching::new(1);
+        dm.ensure_cols(2);
+        let l0 = dm.add_left(&[0, 1]);
+        let _l1 = dm.add_left(&[0]);
+        assert!(dm.augment(l0));
+        // l1 was never augmented: size 1, but the fresh re-solve finds 2.
+        dm.audit();
     }
 
     #[test]

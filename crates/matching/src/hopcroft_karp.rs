@@ -44,7 +44,8 @@ pub fn hopcroft_karp_with(g: &BipartiteGraph, ws: &mut MatchingWorkspace) -> Mat
         // DFS phase: vertex-disjoint shortest augmenting paths.
         let mut grown = false;
         for l in 0..nl {
-            if m.left_free(l as u32) && dfs_iterative(g, &mut m, &mut ws.dist, &mut ws.stack, l as u32)
+            if m.left_free(l as u32)
+                && dfs_iterative(g, &mut m, &mut ws.dist, &mut ws.stack, l as u32)
             {
                 grown = true;
             }
@@ -73,14 +74,9 @@ fn greedy_warm_start(g: &BipartiteGraph, m: &mut Matching) {
 
 /// BFS phase: layer free left vertices at distance 0. Returns whether any
 /// free right vertex is reachable (i.e. an augmenting path may exist).
-fn bfs_layers(
-    g: &BipartiteGraph,
-    m: &Matching,
-    dist: &mut [u32],
-    queue: &mut Vec<u32>,
-) -> bool {
+fn bfs_layers(g: &BipartiteGraph, m: &Matching, dist: &mut [u32], queue: &mut Vec<u32>) -> bool {
     queue.clear();
-    #[allow(clippy::needless_range_loop)] // l indexes both dist and the matching
+    #[allow(clippy::needless_range_loop)] // lint: l indexes both dist and the matching
     for l in 0..dist.len() {
         if m.left_free(l as u32) {
             dist[l] = 0;
@@ -252,7 +248,10 @@ mod tests {
         // Deterministic battery of small adjacency structures.
         let cases: Vec<(u32, Vec<Vec<u32>>)> = vec![
             (3, vec![vec![0, 1], vec![1, 2], vec![0, 2], vec![1]]),
-            (4, vec![vec![0], vec![0, 1], vec![1, 2], vec![2, 3], vec![3]]),
+            (
+                4,
+                vec![vec![0], vec![0, 1], vec![1, 2], vec![2, 3], vec![3]],
+            ),
             (2, vec![vec![0, 1], vec![0, 1], vec![0, 1]]),
             (5, vec![vec![4], vec![3, 4], vec![2], vec![2, 3]]),
         ];
@@ -270,10 +269,23 @@ mod tests {
     fn iterative_bit_identical_to_reference_battery() {
         let cases: Vec<(u32, Vec<Vec<u32>>)> = vec![
             (3, vec![vec![0, 1], vec![1, 2], vec![0, 2], vec![1]]),
-            (4, vec![vec![0], vec![0, 1], vec![1, 2], vec![2, 3], vec![3]]),
+            (
+                4,
+                vec![vec![0], vec![0, 1], vec![1, 2], vec![2, 3], vec![3]],
+            ),
             (2, vec![vec![0, 1], vec![0, 1], vec![0, 1]]),
             (5, vec![vec![4], vec![3, 4], vec![2], vec![2, 3]]),
-            (6, vec![vec![5, 0], vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 5]]),
+            (
+                6,
+                vec![
+                    vec![5, 0],
+                    vec![0, 1],
+                    vec![1, 2],
+                    vec![2, 3],
+                    vec![3, 4],
+                    vec![4, 5],
+                ],
+            ),
         ];
         let mut ws = MatchingWorkspace::new();
         for (nr, lists) in cases {

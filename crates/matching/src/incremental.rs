@@ -224,11 +224,24 @@ mod tests {
     fn matches_full_solve_on_every_prefix() {
         let cases: Vec<(u32, Vec<Vec<u32>>)> = vec![
             (3, vec![vec![0, 1], vec![1, 2], vec![0, 2], vec![1]]),
-            (4, vec![vec![0], vec![0, 1], vec![1, 2], vec![2, 3], vec![3]]),
+            (
+                4,
+                vec![vec![0], vec![0, 1], vec![1, 2], vec![2, 3], vec![3]],
+            ),
             (2, vec![vec![0, 1], vec![0, 1], vec![0, 1]]),
             (5, vec![vec![4], vec![3, 4], vec![2], vec![2, 3]]),
             (1, vec![vec![0], vec![0], vec![]]),
-            (6, vec![vec![5, 0], vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 5]]),
+            (
+                6,
+                vec![
+                    vec![5, 0],
+                    vec![0, 1],
+                    vec![1, 2],
+                    vec![2, 3],
+                    vec![3, 4],
+                    vec![4, 5],
+                ],
+            ),
         ];
         for (nr, lists) in cases {
             check_prefix_parity(nr, &lists);
@@ -250,8 +263,7 @@ mod tests {
 
     #[test]
     fn matched_vertices_never_become_free() {
-        let lists: Vec<Vec<u32>> =
-            vec![vec![0, 1], vec![0], vec![1, 2], vec![2, 3], vec![0, 3]];
+        let lists: Vec<Vec<u32>> = vec![vec![0, 1], vec![0], vec![1, 2], vec![2, 3], vec![0, 3]];
         let mut inc = IncrementalMatching::new();
         let mut matched_lefts: Vec<u32> = Vec::new();
         for list in &lists {

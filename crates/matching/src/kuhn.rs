@@ -160,10 +160,7 @@ mod tests {
     #[test]
     fn full_order_reaches_maximum() {
         // A graph where greedy strands a vertex but Kuhn does not.
-        let g = BipartiteGraph::from_adjacency(
-            3,
-            &[vec![0, 1], vec![0], vec![1, 2]],
-        );
+        let g = BipartiteGraph::from_adjacency(3, &[vec![0, 1], vec![0], vec![1, 2]]);
         let mut m = Matching::empty(3, 3);
         let grown = kuhn_in_order(&g, &mut m, &[0, 1, 2]);
         assert_eq!(grown, 3);
@@ -173,10 +170,7 @@ mod tests {
 
     #[test]
     fn preserves_previously_matched_lefts() {
-        let g = BipartiteGraph::from_adjacency(
-            3,
-            &[vec![0], vec![0, 1], vec![1, 2]],
-        );
+        let g = BipartiteGraph::from_adjacency(3, &[vec![0], vec![0, 1], vec![1, 2]]);
         let mut m = Matching::empty(3, 3);
         m.set(1, 0);
         m.set(2, 1);
@@ -209,10 +203,7 @@ mod tests {
 
     #[test]
     fn workspace_reuse_matches_fresh_calls() {
-        let g = BipartiteGraph::from_adjacency(
-            3,
-            &[vec![0, 1], vec![0], vec![1, 2], vec![2]],
-        );
+        let g = BipartiteGraph::from_adjacency(3, &[vec![0, 1], vec![0], vec![1, 2], vec![2]]);
         let mut ws = MatchingWorkspace::new();
         let mut m1 = Matching::empty(4, 3);
         kuhn_in_order_with(&g, &mut m1, &[0, 1, 2, 3], &mut ws);

@@ -192,6 +192,30 @@ impl Matching {
     }
 
     /// Whether the matching is maximum in `g` (no augmenting path exists).
+    /// Audit-mode symmetry check: the two mate arrays describe the same
+    /// pairing and the size counter agrees with both.
+    ///
+    /// # Panics
+    /// Panics on the first violated invariant, naming it.
+    #[cfg(feature = "audit")]
+    pub fn audit_symmetric(&self) {
+        let mut size = 0u32;
+        for (l, &r) in self.l2r.iter().enumerate() {
+            if r == NONE {
+                continue;
+            }
+            size += 1;
+            assert_eq!(
+                self.r2l.get(r as usize),
+                Some(&(l as u32)),
+                "mate arrays disagree at left {l}"
+            );
+        }
+        assert_eq!(size, self.size, "size counter out of sync with l2r");
+        let back = self.r2l.iter().filter(|&&l| l != NONE).count() as u32;
+        assert_eq!(back, self.size, "size counter out of sync with r2l");
+    }
+
     pub fn is_maximum(&self, g: &BipartiteGraph) -> bool {
         // BFS over alternating levels from all free left vertices.
         let mut visited_l = vec![false; g.n_left() as usize];

@@ -244,8 +244,16 @@ mod tests {
     fn lexicographic_against_brute_force_battery() {
         let cases: Vec<(u32, Vec<Vec<u32>>, Vec<u32>)> = vec![
             (3, vec![vec![0, 1], vec![1, 2], vec![2]], vec![0, 1, 2]),
-            (4, vec![vec![0, 2], vec![1, 2], vec![2, 3]], vec![0, 0, 1, 1]),
-            (4, vec![vec![3], vec![2, 3], vec![1, 2], vec![0, 1]], vec![0, 1, 0, 1]),
+            (
+                4,
+                vec![vec![0, 2], vec![1, 2], vec![2, 3]],
+                vec![0, 0, 1, 1],
+            ),
+            (
+                4,
+                vec![vec![3], vec![2, 3], vec![1, 2], vec![0, 1]],
+                vec![0, 1, 0, 1],
+            ),
             (
                 5,
                 vec![vec![0, 4], vec![1, 4], vec![2, 3], vec![3, 4], vec![0, 1]],

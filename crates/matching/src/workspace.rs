@@ -124,10 +124,7 @@ mod tests {
 
     #[test]
     fn reverse_adjacency_matches_allocating_version() {
-        let g = BipartiteGraph::from_adjacency(
-            4,
-            &[vec![0, 3], vec![3, 1], vec![1, 2, 3], vec![]],
-        );
+        let g = BipartiteGraph::from_adjacency(4, &[vec![0, 3], vec![3, 1], vec![1, 2, 3], vec![]]);
         let mut ws = MatchingWorkspace::new();
         ws.build_reverse(&g);
         let expect = g.reverse_adjacency();

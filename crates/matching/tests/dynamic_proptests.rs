@@ -60,9 +60,7 @@ fn check_sequence(rounds: &[RoundOps]) {
         for spec in &ops.adds {
             let mut rights: Vec<u32> = spec
                 .iter()
-                .map(|&(off, slot)| {
-                    ((t + off as u64) * W as u64 + slot as u64) as u32
-                })
+                .map(|&(off, slot)| ((t + off as u64) * W as u64 + slot as u64) as u32)
                 .collect();
             rights.sort_unstable();
             rights.dedup();
@@ -94,12 +92,7 @@ fn check_sequence(rounds: &[RoundOps]) {
         let lists: Vec<Vec<u32>> = adj
             .iter()
             .flatten()
-            .map(|ns| {
-                ns.iter()
-                    .filter(|&&r| r >= rlo)
-                    .map(|&r| r - rlo)
-                    .collect()
-            })
+            .map(|ns| ns.iter().filter(|&&r| r >= rlo).map(|&r| r - rlo).collect())
             .collect();
         let g = BipartiteGraph::from_adjacency((D * W as u64) as u32, &lists);
         assert_eq!(
@@ -137,12 +130,24 @@ fn retirement_repairs_through_frozen_adjacency() {
         RoundOps {
             // Three lefts contending for column 0 slot 0; the third is
             // displaced to column 2 via augmenting paths.
-            adds: vec![vec![(0, 0)], vec![(0, 0), (1, 0)], vec![(0, 0), (1, 0), (2, 0)]],
+            adds: vec![
+                vec![(0, 0)],
+                vec![(0, 0), (1, 0)],
+                vec![(0, 0), (1, 0), (2, 0)],
+            ],
             removes: vec![],
             saturate: 1,
         },
-        RoundOps { adds: vec![], removes: vec![0], saturate: 2 },
-        RoundOps { adds: vec![vec![(0, 1), (2, 2)]], removes: vec![], saturate: 0 },
+        RoundOps {
+            adds: vec![],
+            removes: vec![0],
+            saturate: 2,
+        },
+        RoundOps {
+            adds: vec![vec![(0, 1), (2, 2)]],
+            removes: vec![],
+            saturate: 0,
+        },
     ];
     check_sequence(&seq);
 }

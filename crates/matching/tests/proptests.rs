@@ -3,9 +3,9 @@
 
 use proptest::prelude::*;
 use reqsched_matching::{
-    brute, greedy_maximal, hopcroft_karp, hopcroft_karp_with, kuhn_in_order,
-    kuhn_in_order_with, saturate_levels, saturate_levels_with, symmetric_difference,
-    BipartiteGraph, Matching, MatchingWorkspace,
+    brute, greedy_maximal, hopcroft_karp, hopcroft_karp_with, kuhn_in_order, kuhn_in_order_with,
+    saturate_levels, saturate_levels_with, symmetric_difference, BipartiteGraph, Matching,
+    MatchingWorkspace,
 };
 
 /// A small random bipartite graph: up to 7 left and 7 right vertices.

@@ -81,9 +81,7 @@ impl From<u32> for RequestId {
 }
 
 /// A (zero-based) round number of the synchronized system.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Round(pub u64);
 
 impl Round {

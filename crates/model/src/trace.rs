@@ -448,10 +448,7 @@ mod tests {
             for r in chunk {
                 assert_eq!(r.arrival, Round(5));
                 assert_eq!(r.tag, 7);
-                assert_eq!(
-                    r.alternatives,
-                    Alternatives::two(rs[i], rs[(i + 1) % 3])
-                );
+                assert_eq!(r.alternatives, Alternatives::two(rs[i], rs[(i + 1) % 3]));
             }
         }
     }
@@ -508,11 +505,9 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        // Passes against the real serde stack; the offline dev container
-        // vendors a stub serde_json whose deserializer always errors, so
-        // probe and skip the round-trip there.
-        if serde_json::from_str::<u32>("1").is_err() {
-            eprintln!("skipping: serde_json deserialization stubbed out");
+        // Passes against the real serde stack; skipped where the offline
+        // dev container's stub serde_json is linked in.
+        if reqsched_testsupport::skip_if_serde_stubbed("serde round-trip") {
             return;
         }
         let mut b = TraceBuilder::new(3);

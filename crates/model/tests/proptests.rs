@@ -14,21 +14,25 @@ struct Spec {
 }
 
 fn spec() -> impl Strategy<Value = Spec> {
-    (0u64..20, 0u32..6, 0u32..5, 1u32..5, 0u32..4).prop_map(
-        |(round, a, boff, deadline, tag)| Spec {
+    (0u64..20, 0u32..6, 0u32..5, 1u32..5, 0u32..4).prop_map(|(round, a, boff, deadline, tag)| {
+        Spec {
             round,
             a,
             b: (a + 1 + boff) % 7,
             deadline,
             tag,
-        },
-    )
+        }
+    })
 }
 
 fn build(specs: &[Spec]) -> Trace {
     let mut b = TraceBuilder::new(8);
     for s in specs {
-        let (x, y) = if s.a == s.b { (s.a, s.a + 1) } else { (s.a, s.b) };
+        let (x, y) = if s.a == s.b {
+            (s.a, s.a + 1)
+        } else {
+            (s.a, s.b)
+        };
         b.push_full(
             Round(s.round),
             Alternatives::two(x.into(), y.into()),
@@ -83,10 +87,9 @@ proptest! {
 
     #[test]
     fn serde_roundtrip(specs in proptest::collection::vec(spec(), 0..30)) {
-        // Passes against the real serde stack; the offline dev container
-        // vendors a stub serde_json whose deserializer always errors, so
-        // probe and skip the round-trip there.
-        if serde_json::from_str::<u32>("1").is_ok() {
+        // Passes against the real serde stack; skipped where the offline
+        // dev container's stub serde_json is linked in.
+        if !reqsched_testsupport::serde_is_stubbed() {
             let t = build(&specs);
             let json = serde_json::to_string(&t).unwrap();
             let back: Trace = serde_json::from_str(&json).unwrap();

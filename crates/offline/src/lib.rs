@@ -57,9 +57,7 @@ impl OfflineSolution {
 
     /// Whether request `id` is served.
     pub fn is_served(&self, id: RequestId) -> bool {
-        self.assignment
-            .get(id.index())
-            .is_some_and(Option::is_some)
+        self.assignment.get(id.index()).is_some_and(Option::is_some)
     }
 
     /// Validate feasibility against the instance: every assignment uses an
@@ -73,7 +71,7 @@ impl OfflineSolution {
                 inst.trace.len()
             ));
         }
-        let mut used = std::collections::HashSet::new();
+        let mut used = std::collections::BTreeSet::new();
         for (i, slot) in self.assignment.iter().enumerate() {
             let Some((res, round)) = slot else { continue };
             let req = inst.trace.get(RequestId(i as u32));
@@ -117,16 +115,11 @@ pub fn horizon_graph(inst: &Instance) -> BipartiteGraph {
 
 /// Convert a solution into a matching on [`horizon_graph`]'s vertex
 /// numbering (for symmetric-difference analyses against other schedules).
-pub fn solution_matching(
-    inst: &Instance,
-    sol: &OfflineSolution,
-) -> reqsched_matching::Matching {
+pub fn solution_matching(inst: &Instance, sol: &OfflineSolution) -> reqsched_matching::Matching {
     let n = inst.n_resources;
     let horizon = inst.trace.service_horizon().get() + 1;
-    let mut m = reqsched_matching::Matching::empty(
-        inst.trace.len() as u32,
-        (horizon * n as u64) as u32,
-    );
+    let mut m =
+        reqsched_matching::Matching::empty(inst.trace.len() as u32, (horizon * n as u64) as u32);
     for (i, slot) in sol.assignment.iter().enumerate() {
         if let Some((res, round)) = slot {
             m.set(i as u32, (round.get() * n as u64) as u32 + res.0);
@@ -172,8 +165,7 @@ pub fn greedy_normalize(inst: &Instance, sol: &OfflineSolution) -> OfflineSoluti
     let n = inst.n_resources as u64;
     let horizon = inst.trace.service_horizon().get() + 1;
     let mut occupied = vec![false; (horizon * n) as usize];
-    let slot_idx =
-        |res: ResourceId, round: Round| (round.get() * n + res.0 as u64) as usize;
+    let slot_idx = |res: ResourceId, round: Round| (round.get() * n + res.0 as u64) as usize;
     for a in out.assignment.iter().flatten() {
         occupied[slot_idx(a.0, a.1)] = true;
     }

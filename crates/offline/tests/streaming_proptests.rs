@@ -28,14 +28,14 @@ struct Spec {
 const N_RESOURCES: u32 = 7;
 
 fn spec() -> impl Strategy<Value = Spec> {
-    (0u64..16, 0u32..N_RESOURCES, 0u32..N_RESOURCES, 1u32..5).prop_map(
-        |(round, a, b, deadline)| Spec {
+    (0u64..16, 0u32..N_RESOURCES, 0u32..N_RESOURCES, 1u32..5).prop_map(|(round, a, b, deadline)| {
+        Spec {
             round,
             a,
             b,
             deadline,
-        },
-    )
+        }
+    })
 }
 
 fn build(specs: &[Spec]) -> Trace {
@@ -150,9 +150,24 @@ proptest! {
 #[test]
 fn regression_duplicate_demand_saturation() {
     let specs = [
-        Spec { round: 0, a: 0, b: 1, deadline: 1 },
-        Spec { round: 0, a: 0, b: 1, deadline: 1 },
-        Spec { round: 0, a: 0, b: 1, deadline: 1 },
+        Spec {
+            round: 0,
+            a: 0,
+            b: 1,
+            deadline: 1,
+        },
+        Spec {
+            round: 0,
+            a: 0,
+            b: 1,
+            deadline: 1,
+        },
+        Spec {
+            round: 0,
+            a: 0,
+            b: 1,
+            deadline: 1,
+        },
     ];
     assert_prefix_parity(&build(&specs));
 }
@@ -162,11 +177,36 @@ fn regression_duplicate_demand_saturation() {
 #[test]
 fn regression_cross_round_augmenting_chain() {
     let specs = [
-        Spec { round: 0, a: 0, b: 1, deadline: 2 },
-        Spec { round: 1, a: 1, b: 2, deadline: 2 },
-        Spec { round: 1, a: 0, b: 0, deadline: 1 },
-        Spec { round: 2, a: 1, b: 1, deadline: 1 },
-        Spec { round: 2, a: 2, b: 2, deadline: 1 },
+        Spec {
+            round: 0,
+            a: 0,
+            b: 1,
+            deadline: 2,
+        },
+        Spec {
+            round: 1,
+            a: 1,
+            b: 2,
+            deadline: 2,
+        },
+        Spec {
+            round: 1,
+            a: 0,
+            b: 0,
+            deadline: 1,
+        },
+        Spec {
+            round: 2,
+            a: 1,
+            b: 1,
+            deadline: 1,
+        },
+        Spec {
+            round: 2,
+            a: 2,
+            b: 2,
+            deadline: 1,
+        },
     ];
     assert_prefix_parity(&build(&specs));
 }
@@ -176,10 +216,30 @@ fn regression_cross_round_augmenting_chain() {
 #[test]
 fn regression_same_round_interleaved_deadlines() {
     let specs = [
-        Spec { round: 3, a: 2, b: 5, deadline: 4 },
-        Spec { round: 3, a: 5, b: 2, deadline: 1 },
-        Spec { round: 3, a: 2, b: 2, deadline: 2 },
-        Spec { round: 5, a: 5, b: 5, deadline: 1 },
+        Spec {
+            round: 3,
+            a: 2,
+            b: 5,
+            deadline: 4,
+        },
+        Spec {
+            round: 3,
+            a: 5,
+            b: 2,
+            deadline: 1,
+        },
+        Spec {
+            round: 3,
+            a: 2,
+            b: 2,
+            deadline: 2,
+        },
+        Spec {
+            round: 5,
+            a: 5,
+            b: 5,
+            deadline: 1,
+        },
     ];
     assert_prefix_parity(&build(&specs));
 }

@@ -29,24 +29,37 @@
 //! brand-new, different instance, which would then hit the stale cell.)
 
 use reqsched_model::Instance;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// A keyed instance pinned together with its memoized-optimum cell.
+type CachedCell = (Arc<Instance>, Arc<OnceLock<usize>>);
 
 /// Shared cache of exact offline optima, keyed by instance identity with a
 /// content-equality fallback. See the module docs.
+///
+/// Both maps are `BTreeMap`s: lookups are behind a lock anyway, and the
+/// deterministic ordering keeps every observable iteration (debug dumps,
+/// future eviction policies) reproducible across runs.
 #[derive(Debug, Default)]
 pub struct OptCache {
     /// `Arc::as_ptr` fast path to the instance's cell. The stored `Arc`
     /// pins the allocation so the address cannot be recycled for a
     /// different instance while this cache lives.
-    by_ptr: Mutex<HashMap<usize, (Arc<Instance>, Arc<OnceLock<usize>>)>>,
+    by_ptr: Mutex<BTreeMap<usize, CachedCell>>,
     /// Content fingerprint → (instance, cell) buckets; full `==` resolves
     /// fingerprint collisions.
-    by_content: Mutex<HashMap<u64, Vec<(Arc<Instance>, Arc<OnceLock<usize>>)>>>,
+    by_content: Mutex<BTreeMap<u64, Vec<CachedCell>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+}
+
+/// Lock a cache map, ignoring poisoning: every critical section below is a
+/// single map read or insert, which cannot be observed half-done.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl OptCache {
@@ -59,20 +72,14 @@ impl OptCache {
     /// (of this pointer *or* any equal instance) and replaying it after.
     pub fn opt_for(&self, inst: &Arc<Instance>) -> usize {
         let key = Arc::as_ptr(inst) as usize;
-        let cached = self
-            .by_ptr
-            .lock()
-            .unwrap()
+        let cached = lock(&self.by_ptr)
             .get(&key)
             .map(|(_, cell)| Arc::clone(cell));
         let cell = match cached {
             Some(cell) => cell,
             None => {
                 let cell = self.content_cell(inst);
-                self.by_ptr
-                    .lock()
-                    .unwrap()
-                    .insert(key, (Arc::clone(inst), Arc::clone(&cell)));
+                lock(&self.by_ptr).insert(key, (Arc::clone(inst), Arc::clone(&cell)));
                 cell
             }
         };
@@ -92,7 +99,7 @@ impl OptCache {
     /// Find or create the cell for an instance not yet known by pointer.
     fn content_cell(&self, inst: &Arc<Instance>) -> Arc<OnceLock<usize>> {
         let fp = fingerprint(inst);
-        let mut by_content = self.by_content.lock().unwrap();
+        let mut by_content = lock(&self.by_content);
         let bucket = by_content.entry(fp).or_default();
         if let Some((_, cell)) = bucket.iter().find(|(known, _)| **known == **inst) {
             return Arc::clone(cell);
@@ -114,7 +121,7 @@ impl OptCache {
 
     /// Number of distinct instances cached.
     pub fn len(&self) -> usize {
-        self.by_content.lock().unwrap().values().map(Vec::len).sum()
+        lock(&self.by_content).values().map(Vec::len).sum()
     }
 
     /// Whether the cache has seen no instance yet.
@@ -135,7 +142,11 @@ fn fingerprint(inst: &Instance) -> u64 {
         req.deadline.hash(&mut h);
         req.tag.hash(&mut h);
         req.hint.priority.hash(&mut h);
-        req.hint.prefer.map(|r| r.0).unwrap_or(u32::MAX).hash(&mut h);
+        req.hint
+            .prefer
+            .map(|r| r.0)
+            .unwrap_or(u32::MAX)
+            .hash(&mut h);
         for res in req.alternatives.as_slice() {
             res.0.hash(&mut h);
         }

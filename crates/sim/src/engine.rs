@@ -2,11 +2,10 @@
 
 use reqsched_core::OnlineScheduler;
 use reqsched_model::{
-    Instance, Request, RequestId, RequestSource, Round, StateView, Trace,
-    TraceBuilder, TraceSource,
+    Instance, Request, RequestId, RequestSource, Round, StateView, Trace, TraceBuilder, TraceSource,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Result of one simulated run.
 #[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
@@ -95,8 +94,8 @@ impl RunStats {
 struct EngineView {
     round: Round,
     served: Vec<bool>, // indexed by request id
-    served_by_tag: HashMap<u32, usize>,
-    injected_by_tag: HashMap<u32, usize>,
+    served_by_tag: BTreeMap<u32, usize>,
+    injected_by_tag: BTreeMap<u32, usize>,
 }
 
 impl StateView for EngineView {
@@ -166,10 +165,10 @@ fn run_source_impl(
     let mut view = EngineView {
         round: Round::ZERO,
         served: Vec::new(),
-        served_by_tag: HashMap::new(),
-        injected_by_tag: HashMap::new(),
+        served_by_tag: BTreeMap::new(),
+        injected_by_tag: BTreeMap::new(),
     };
-    let mut pending: HashMap<RequestId, Pending> = HashMap::new();
+    let mut pending: BTreeMap<RequestId, Pending> = BTreeMap::new();
     let mut trace = TraceBuilder::new(d);
     let mut next_id = 0u32;
     let mut injected = 0usize;
@@ -180,7 +179,7 @@ fn run_source_impl(
     let mut last_expiry = Round::ZERO;
     let mut round = Round::ZERO;
     // Per-round duplicate-resource check: a reusable bitset instead of a
-    // fresh HashSet per round.
+    // fresh set per round.
     let mut resources_used = vec![false; n as usize];
     // Expiry wheel: pending ids bucketed by `expiry % d`. A request expires
     // at most `d - 1` rounds after arrival, so the bucket due at the end of
@@ -341,11 +340,9 @@ pub fn run_fixed_pair(
     tie: reqsched_core::TieBreak,
 ) -> (RunStats, RunStats) {
     use reqsched_core::{build_strategy_with_mode, SolveMode};
-    let mut delta =
-        build_strategy_with_mode(kind, inst.n_resources, inst.d, tie, SolveMode::Delta);
+    let mut delta = build_strategy_with_mode(kind, inst.n_resources, inst.d, tie, SolveMode::Delta);
     let delta_stats = run_fixed_without_opt(delta.as_mut(), inst);
-    let mut fresh =
-        build_strategy_with_mode(kind, inst.n_resources, inst.d, tie, SolveMode::Fresh);
+    let mut fresh = build_strategy_with_mode(kind, inst.n_resources, inst.d, tie, SolveMode::Fresh);
     let fresh_stats = run_fixed_without_opt(fresh.as_mut(), inst);
     (delta_stats, fresh_stats)
 }
@@ -397,8 +394,14 @@ mod tests {
         assert_eq!(stats.expired, 0);
         assert!((stats.ratio() - 1.0).abs() < 1e-12);
         assert!((stats.goodput() - 1.0).abs() < 1e-12);
-        assert_eq!(stats.served,
-            stats.per_round_served.iter().map(|&x| x as usize).sum::<usize>());
+        assert_eq!(
+            stats.served,
+            stats
+                .per_round_served
+                .iter()
+                .map(|&x| x as usize)
+                .sum::<usize>()
+        );
     }
 
     #[test]

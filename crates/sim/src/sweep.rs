@@ -37,11 +37,7 @@ impl Job {
     }
 
     /// Convenience constructor for any strategy.
-    pub fn any(
-        label: impl Into<String>,
-        instance: Arc<Instance>,
-        strategy: AnyStrategy,
-    ) -> Job {
+    pub fn any(label: impl Into<String>, instance: Arc<Instance>, strategy: AnyStrategy) -> Job {
         Job {
             label: label.into(),
             instance,
@@ -197,12 +193,7 @@ mod tests {
     #[test]
     fn records_expose_ratio() {
         let i = inst();
-        let out = par_run(&[Job::new(
-            "one",
-            i,
-            StrategyKind::AEager,
-            TieBreak::FirstFit,
-        )]);
+        let out = par_run(&[Job::new("one", i, StrategyKind::AEager, TieBreak::FirstFit)]);
         assert!(out[0].ratio >= 1.0);
         assert_eq!(out[0].tie, "first-fit");
     }

@@ -1,0 +1,187 @@
+//! Invariant-audited replays of every adversarial construction and workload
+//! generator (`cargo test -p reqsched-sim --features audit`).
+//!
+//! With the `audit` feature on, every round boundary runs the full invariant
+//! auditor: `ScheduleState::audit` (slot exclusivity, mate-array symmetry,
+//! window feasibility, deadline respect) inside `finish_round`, and
+//! `DynamicMatching::audit` (consistency plus a from-scratch Hopcroft–Karp
+//! re-solve pinning delta-vs-fresh cardinality) inside the delta engines.
+//! These tests contribute no assertions of their own beyond termination and
+//! basic sanity — the auditor inside the hot path is the test. The inputs
+//! are chosen for coverage: the paper's Thm 2.1–2.6 killer sequences stress
+//! exactly the rescheduling machinery the audits guard, and the workload
+//! generators cover the benign-input shapes.
+#![cfg(feature = "audit")]
+
+use reqsched_adversary::{edf_worst, thm21, thm22, thm23, thm24, thm25, thm26, thm37};
+use reqsched_core::{build_strategy, StrategyKind, TieBreak};
+use reqsched_model::Instance;
+use reqsched_sim::{run_fixed, run_source};
+use reqsched_workloads as workloads;
+
+/// Replay `inst` under every global strategy (and two-choice EDF) with the
+/// auditor armed at each round boundary.
+fn audit_all_strategies(inst: &Instance, label: &str) {
+    let n = inst.n_resources;
+    let d = inst.d;
+    for kind in StrategyKind::GLOBAL {
+        for tie in [
+            TieBreak::FirstFit,
+            TieBreak::LatestFit,
+            TieBreak::HintGuided,
+        ] {
+            let mut s = build_strategy(kind, n, d, tie);
+            let stats = run_fixed(s.as_mut(), inst);
+            assert!(
+                stats.served <= stats.injected,
+                "{label}/{kind:?}: served {} of {} injected",
+                stats.served,
+                stats.injected,
+            );
+            assert!(
+                stats.served <= stats.opt,
+                "{label}/{kind:?}: served {} beats the optimum {}",
+                stats.served,
+                stats.opt,
+            );
+        }
+    }
+    let mut edf = build_strategy(
+        StrategyKind::Edf {
+            cancel_sibling: true,
+        },
+        n,
+        d,
+        TieBreak::FirstFit,
+    );
+    let stats = run_fixed(edf.as_mut(), inst);
+    assert!(stats.served <= stats.opt, "{label}/EDF-cancel beat OPT");
+}
+
+#[test]
+fn thm21_scenarios_pass_audit() {
+    for phases in [1, 3, 8] {
+        let s = thm21::scenario(4, phases);
+        audit_all_strategies(&s.instance, &s.name);
+    }
+}
+
+#[test]
+fn thm22_scenarios_pass_audit() {
+    for (l, scale, phases) in [(3, 1, 3), (4, 1, 2), (5, 1, 1)] {
+        let s = thm22::scenario(l, scale, phases);
+        audit_all_strategies(&s.instance, &s.name);
+    }
+}
+
+#[test]
+fn thm23_scenarios_pass_audit() {
+    for d in [2, 4, 6] {
+        let s = thm23::scenario(d, 3);
+        audit_all_strategies(&s.instance, &s.name);
+    }
+}
+
+#[test]
+fn thm24_scenarios_pass_audit() {
+    for phases in [1, 4] {
+        let s = thm24::scenario(2, phases);
+        audit_all_strategies(&s.instance, &s.name);
+    }
+}
+
+#[test]
+fn thm25_scenarios_pass_audit() {
+    for (x, groups, intervals) in [(1, 2, 2), (2, 2, 3)] {
+        let s = thm25::scenario(x, groups, intervals);
+        audit_all_strategies(&s.instance, &s.name);
+    }
+}
+
+/// Theorem 2.6's adversary is adaptive (a [`RequestSource`], not a fixed
+/// trace), so it exercises `run_source`'s round loop under audit.
+///
+/// [`RequestSource`]: reqsched_sim::RequestSource
+#[test]
+fn thm26_adaptive_adversary_passes_audit() {
+    let d = 6;
+    for kind in StrategyKind::GLOBAL {
+        let mut adv = thm26::Thm26Adversary::new(d, 4);
+        let mut s = build_strategy(kind, thm26::N_RESOURCES, d, TieBreak::FirstFit);
+        let (stats, _trace) = run_source(s.as_mut(), &mut adv, thm26::N_RESOURCES, d);
+        assert!(stats.injected > 0, "{kind:?}: adversary emitted nothing");
+    }
+}
+
+#[test]
+fn thm37_and_edf_worst_scenarios_pass_audit() {
+    let s = thm37::scenario(4, 3);
+    audit_all_strategies(&s.instance, &s.name);
+    let s = edf_worst::scenario(4, 3);
+    audit_all_strategies(&s.instance, &s.name);
+}
+
+#[test]
+fn workload_generators_pass_audit() {
+    let cases: Vec<(&str, Instance)> = vec![
+        (
+            "uniform_two_choice",
+            workloads::uniform_two_choice(6, 4, 5, 24, 11),
+        ),
+        (
+            "zipf_replicated",
+            workloads::zipf_replicated(6, 4, 40, 1.1, 5, 24, 12),
+        ),
+        (
+            "flash_crowd",
+            workloads::flash_crowd(6, 4, 2, 12, 8, 4, 24, 13),
+        ),
+        ("c_choice", workloads::c_choice(6, 4, 3, 4, 24, 14)),
+        (
+            "mixed_deadlines",
+            workloads::mixed_deadlines(6, 4, 5, 24, 15),
+        ),
+    ];
+    for (label, inst) in &cases {
+        audit_all_strategies(inst, label);
+    }
+    // Single-alternative load goes through EDF-1, the remaining scheduler.
+    let inst = workloads::single_alternative(6, 4, 5, 24, 16);
+    let mut s = build_strategy(StrategyKind::EdfSingle, 6, 4, TieBreak::FirstFit);
+    let stats = run_fixed(s.as_mut(), &inst);
+    assert!(stats.served <= stats.opt, "EDF-1 beat OPT");
+}
+
+/// Pinned shrunk regressions: instances that historically stressed the
+/// delta engine's repair paths (from the parity proptests' shrinker). Kept
+/// tiny so the audited replay stays fast while still visiting removal
+/// repair, column retirement, and the saturation passes in one window.
+#[test]
+fn pinned_shrunk_regressions_pass_audit() {
+    use reqsched_model::TraceBuilder;
+
+    // Burst then silence: forces serve-removals and column retirement with
+    // a still-populated window.
+    let mut b = TraceBuilder::new(3);
+    b.block2(0u64, 0u32, 1u32, 4);
+    b.push(0u64, 1u32, 2u32);
+    b.push(2u64, 0u32, 2u32);
+    audit_all_strategies(&Instance::new(3, 3, b.build()), "burst-then-silence");
+
+    // Overload on one pair: expiries every round, exercising the
+    // expiry-removal repair search.
+    let mut b = TraceBuilder::new(2);
+    for t in 0..6u64 {
+        b.block2(t, 0u32, 1u32, 0);
+        b.block2(t, 0u32, 1u32, 0);
+    }
+    audit_all_strategies(&Instance::new(2, 2, b.build()), "pair-overload");
+
+    // Deadline-1 stream: every window is a single column, the degenerate
+    // case for retire/extend bookkeeping.
+    let mut b = TraceBuilder::new(1);
+    for t in 0..8u64 {
+        b.push(t, (t % 3) as u32, ((t + 1) % 3) as u32);
+    }
+    audit_all_strategies(&Instance::new(3, 1, b.build()), "deadline-one-stream");
+}

@@ -11,13 +11,11 @@ use std::sync::Arc;
 
 /// A small random instance drawn from the uniform two-choice generator.
 fn small_instance() -> impl Strategy<Value = Arc<Instance>> {
-    (2u32..=5, 2u32..=4, 1u32..=4, 5u64..=20, 0u64..1000).prop_map(
-        |(n, d, rate, rounds, seed)| {
-            Arc::new(reqsched_workloads::uniform_two_choice(
-                n, d, rate, rounds, seed,
-            ))
-        },
-    )
+    (2u32..=5, 2u32..=4, 1u32..=4, 5u64..=20, 0u64..1000).prop_map(|(n, d, rate, rounds, seed)| {
+        Arc::new(reqsched_workloads::uniform_two_choice(
+            n, d, rate, rounds, seed,
+        ))
+    })
 }
 
 proptest! {

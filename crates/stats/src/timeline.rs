@@ -32,7 +32,7 @@ pub fn render_timeline(
     out.push_str("      ");
     for t in 0..cols {
         out.push(if t % 10 == 0 {
-            char::from_digit(((t / 10) % 10) as u32, 10).unwrap()
+            char::from_digit(((t / 10) % 10) as u32, 10).unwrap_or('?')
         } else {
             ' '
         });

@@ -1,0 +1,55 @@
+//! Shared helpers for tests and demos across the reqsched workspace.
+//!
+//! The offline dev container vendors stub versions of the crates.io
+//! dependencies; the stub `serde_json` serializes fine but its deserializer
+//! unconditionally errors. Every test or demo that round-trips through JSON
+//! used to carry its own copy of the runtime probe for this — they now share
+//! [`serde_is_stubbed`] / [`skip_if_serde_stubbed`], so the detection logic
+//! (and its skip message) lives in exactly one place.
+
+/// Whether the `serde_json` linked into this binary is the offline stub
+/// (deserialization always errors). `false` on the real crates.io stack.
+///
+/// The probe is a runtime one — `from_str::<u32>("1")` succeeds on any real
+/// serde_json — because the stub is swapped in at the source-replacement
+/// layer and is invisible to `cfg`.
+#[must_use]
+pub fn serde_is_stubbed() -> bool {
+    serde_json::from_str::<u32>("1").is_err()
+}
+
+/// Probe [`serde_is_stubbed`] and, when only the stub is available, print a
+/// skip note naming `what` and return `true` so the caller can bail out.
+///
+/// ```
+/// if reqsched_testsupport::skip_if_serde_stubbed("serde round-trip") {
+///     return;
+/// }
+/// // ... round-trip through serde_json ...
+/// ```
+#[must_use]
+pub fn skip_if_serde_stubbed(what: &str) -> bool {
+    let stubbed = serde_is_stubbed();
+    if stubbed {
+        eprintln!("skipping {what}: serde_json deserialization is stubbed out in this environment");
+    }
+    stubbed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_agree() {
+        assert_eq!(serde_is_stubbed(), skip_if_serde_stubbed("probe self-test"));
+    }
+
+    #[test]
+    fn serialization_always_works() {
+        // Both the stub and the real crate serialize without error; only
+        // deserialization differs. The probe must not be confused by that
+        // asymmetry, so pin the half the stub does support.
+        assert!(serde_json::to_string(&7u32).is_ok());
+    }
+}

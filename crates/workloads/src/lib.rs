@@ -43,13 +43,7 @@ fn two_distinct(rng: &mut ChaCha8Rng, n: u32) -> (u32, u32) {
 ///
 /// `per_round` requests arrive in each of `rounds` rounds; each names two
 /// distinct uniform resources and carries deadline `d`.
-pub fn uniform_two_choice(
-    n: u32,
-    d: u32,
-    per_round: u32,
-    rounds: u64,
-    seed: u64,
-) -> Instance {
+pub fn uniform_two_choice(n: u32, d: u32, per_round: u32, rounds: u64, seed: u64) -> Instance {
     assert!(n >= 2);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut b = TraceBuilder::new(d);
@@ -120,7 +114,7 @@ pub fn zipf_replicated(
 /// `burst_per_round` requests per round all target the hot item's fixed
 /// disk pair `(0, 1)` (tag 1); background requests (tag 0) are uniform at
 /// `base_per_round` throughout.
-#[allow(clippy::too_many_arguments)] // a workload spec reads best as named scalars
+#[allow(clippy::too_many_arguments)] // lint: a workload spec reads best as named scalars
 pub fn flash_crowd(
     n: u32,
     d: u32,
@@ -163,14 +157,7 @@ pub fn flash_crowd(
 /// Uniform arrivals with `c ≥ 1` distinct alternatives per request (the
 /// paper's EDF remark: with `c` copies per data item EDF is
 /// `c`-competitive; the matching-based strategies handle any `c`).
-pub fn c_choice(
-    n: u32,
-    d: u32,
-    c: u32,
-    per_round: u32,
-    rounds: u64,
-    seed: u64,
-) -> Instance {
+pub fn c_choice(n: u32, d: u32, c: u32, per_round: u32, rounds: u64, seed: u64) -> Instance {
     assert!(c >= 1 && n >= c, "need at least c distinct resources");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut b = TraceBuilder::new(d);
@@ -184,13 +171,7 @@ pub fn c_choice(
             }
             let alts: Vec<reqsched_model::ResourceId> =
                 pool[..c as usize].iter().map(|&r| r.into()).collect();
-            b.push_full(
-                Round(t),
-                Alternatives::new(&alts),
-                d,
-                0,
-                Hint::default(),
-            );
+            b.push_full(Round(t), Alternatives::new(&alts), d, 0, Hint::default());
         }
     }
     Instance::new(n, d, b.build())
@@ -199,13 +180,7 @@ pub fn c_choice(
 /// Two-choice arrivals with per-request deadlines drawn uniformly from
 /// `1..=d_max` (the paper notes its EDF observations and the general model
 /// tolerate heterogeneous deadlines).
-pub fn mixed_deadlines(
-    n: u32,
-    d_max: u32,
-    per_round: u32,
-    rounds: u64,
-    seed: u64,
-) -> Instance {
+pub fn mixed_deadlines(n: u32, d_max: u32, per_round: u32, rounds: u64, seed: u64) -> Instance {
     assert!(n >= 2 && d_max >= 1);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut b = TraceBuilder::new(d_max);
@@ -226,13 +201,7 @@ pub fn mixed_deadlines(
 }
 
 /// Single-alternative uniform arrivals (Observation 3.1's setting).
-pub fn single_alternative(
-    n: u32,
-    d: u32,
-    per_round: u32,
-    rounds: u64,
-    seed: u64,
-) -> Instance {
+pub fn single_alternative(n: u32, d: u32, per_round: u32, rounds: u64, seed: u64) -> Instance {
     assert!(n >= 1);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut b = TraceBuilder::new(d);
@@ -277,7 +246,12 @@ mod tests {
                 .filter(|r| r.tag == item)
                 .count()
         };
-        assert!(count(0) > 5 * count(49).max(1), "{} vs {}", count(0), count(49));
+        assert!(
+            count(0) > 5 * count(49).max(1),
+            "{} vs {}",
+            count(0),
+            count(49)
+        );
         // All requests of one item share the same pair.
         let first: Vec<_> = inst
             .trace
@@ -293,19 +267,16 @@ mod tests {
     fn zipf_alpha_zero_is_uniform_ish() {
         let inst = zipf_replicated(4, 2, 10, 0.0, 20, 50, 3);
         let counts: Vec<usize> = (0..10)
-            .map(|i| {
-                inst.trace
-                    .requests()
-                    .iter()
-                    .filter(|r| r.tag == i)
-                    .count()
-            })
+            .map(|i| inst.trace.requests().iter().filter(|r| r.tag == i).count())
             .collect();
         let (min, max) = (
             counts.iter().min().copied().unwrap(),
             counts.iter().max().copied().unwrap(),
         );
-        assert!(max < 3 * min.max(1), "α=0 should be roughly even: {counts:?}");
+        assert!(
+            max < 3 * min.max(1),
+            "α=0 should be roughly even: {counts:?}"
+        );
     }
 
     #[test]

@@ -39,13 +39,7 @@ fn main() {
         );
         println!(
             "{}",
-            render_timeline(
-                inst.n_resources,
-                horizon,
-                &stats.assignment,
-                &tags,
-                true
-            )
+            render_timeline(inst.n_resources, horizon, &stats.assignment, &tags, true)
         );
     }
 

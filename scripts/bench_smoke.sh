@@ -27,6 +27,12 @@ if [ -d /tmp/vendor ] && ! cargo metadata -q --format-version 1 >/dev/null 2>&1;
         --config 'source.local-stubs.directory="/tmp/vendor"')
 fi
 
+echo "== static analysis (cargo xtask analyze) =="
+# A dirty analyze fails the smoke before anything expensive runs. The
+# source/manifest rules are offline and sub-second; the tool walls inside
+# the command self-skip where the toolchain lacks them.
+"${CARGO[@]}" run --quiet --package xtask -- analyze --json analyze-report.json
+
 echo "== release build =="
 "${CARGO[@]}" build --release --workspace
 

@@ -40,7 +40,10 @@ fn more_choices_help_the_matching_strategies() {
             opt_sum >= prev_opt,
             "replication factor {c} should not reduce the optimum"
         );
-        assert!(served_sum * 10 >= opt_sum * 9, "A_balance stays close to OPT");
+        assert!(
+            served_sum * 10 >= opt_sum * 9,
+            "A_balance stays close to OPT"
+        );
         prev_opt = opt_sum;
     }
 }

@@ -3,7 +3,9 @@
 //! alternatives (tight).
 
 use reqsched::core::{build_strategy, StrategyKind, TieBreak};
-use reqsched::model::{Alternatives, Hint, Instance, Request, RequestId, ResourceId, Round, TraceBuilder};
+use reqsched::model::{
+    Alternatives, Hint, Instance, Request, RequestId, ResourceId, Round, TraceBuilder,
+};
 use reqsched::sim::run_fixed;
 use reqsched::workloads;
 
@@ -49,7 +51,10 @@ fn edf_single_optimal_with_heterogeneous_deadlines() {
         let inst = Instance::new(n, d_max, b.build());
         let mut edf = build_strategy(StrategyKind::EdfSingle, n, d_max, TieBreak::FirstFit);
         let stats = run_fixed(edf.as_mut(), &inst);
-        assert_eq!(stats.served, stats.opt, "mixed-deadline EDF must be optimal");
+        assert_eq!(
+            stats.served, stats.opt,
+            "mixed-deadline EDF must be optimal"
+        );
     }
 }
 
@@ -135,7 +140,10 @@ fn edf_single_rejects_two_choice_requests() {
         let mut edf = build_strategy(StrategyKind::EdfSingle, 2, 2, TieBreak::FirstFit);
         run_fixed(edf.as_mut(), &inst)
     });
-    assert!(result.is_err(), "EdfSingle must refuse multi-alternative input");
+    assert!(
+        result.is_err(),
+        "EdfSingle must refuse multi-alternative input"
+    );
 }
 
 #[test]

@@ -38,18 +38,9 @@ fn local_fix_uses_at_most_two_comm_rounds_per_round() {
 #[test]
 fn local_eager_stays_within_nine_comm_rounds() {
     for (label, inst) in [
-        (
-            "thm3.7",
-            thm37::scenario(4, 6).instance,
-        ),
-        (
-            "uniform",
-            workloads::uniform_two_choice(6, 4, 10, 40, 11),
-        ),
-        (
-            "flash",
-            workloads::flash_crowd(6, 4, 3, 14, 8, 6, 40, 12),
-        ),
+        ("thm3.7", thm37::scenario(4, 6).instance),
+        ("uniform", workloads::uniform_two_choice(6, 4, 10, 40, 11)),
+        ("flash", workloads::flash_crowd(6, 4, 3, 14, 8, 6, 40, 12)),
     ] {
         let mut a = AnyStrategy::LocalEager.build(inst.n_resources, inst.d);
         let mut last = 0u64;

@@ -7,7 +7,10 @@ use reqsched::adversary::{edf_worst, thm21, thm22, thm23, thm24, thm25};
 use reqsched::core::{build_strategy, StrategyKind, TieBreak};
 use reqsched::sim::run_fixed;
 
-fn measure(kind: StrategyKind, scenario: &reqsched::adversary::Scenario) -> reqsched::sim::RunStats {
+fn measure(
+    kind: StrategyKind,
+    scenario: &reqsched::adversary::Scenario,
+) -> reqsched::sim::RunStats {
     let inst = &scenario.instance;
     let mut s = build_strategy(kind, inst.n_resources, inst.d, TieBreak::HintGuided);
     run_fixed(s.as_mut(), inst)

@@ -150,7 +150,11 @@ fn overload_intervals_cover_every_failure_round() {
             let covered = report.intervals.iter().any(|&(r, start, end)| {
                 r == res && start <= ro.round && ro.round + (inst.d as u64 - 1) <= end
             });
-            assert!(covered, "group ({res:?}, {}) not inside any interval", ro.round);
+            assert!(
+                covered,
+                "group ({res:?}, {}) not inside any interval",
+                ro.round
+            );
         }
     }
 }

@@ -8,19 +8,11 @@ use reqsched::model::Instance;
 use reqsched::sim::{par_run, run_fixed, Job, RunStats};
 use std::sync::Arc;
 
-/// The offline dev container vendors a stub `serde_json` whose deserializer
-/// unconditionally errors (`to_string` works, `from_str` does not). The
-/// round-trip tests below pass against the real crates.io serde stack; probe
-/// at runtime and skip them where only the stub is available.
+/// The round-trip tests below pass against the real crates.io serde stack;
+/// the offline dev container vendors a stub `serde_json` whose deserializer
+/// unconditionally errors, so probe at runtime and skip them there.
 fn serde_roundtrip_unavailable() -> bool {
-    let stubbed = serde_json::from_str::<u32>("1").is_err();
-    if stubbed {
-        eprintln!(
-            "skipping serde round-trip: serde_json deserialization is stubbed \
-             out in this environment"
-        );
-    }
-    stubbed
+    reqsched_testsupport::skip_if_serde_stubbed("serde round-trip")
 }
 
 #[test]
@@ -54,12 +46,7 @@ fn run_stats_roundtrip_preserves_everything() {
         return;
     }
     let inst = reqsched::workloads::uniform_two_choice(4, 2, 5, 15, 3);
-    let mut s = reqsched::core::build_strategy(
-        StrategyKind::ABalance,
-        4,
-        2,
-        TieBreak::FirstFit,
-    );
+    let mut s = reqsched::core::build_strategy(StrategyKind::ABalance, 4, 2, TieBreak::FirstFit);
     let stats = run_fixed(s.as_mut(), &inst);
     let json = serde_json::to_string(&stats).unwrap();
     let back: RunStats = serde_json::from_str(&json).unwrap();

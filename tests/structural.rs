@@ -11,15 +11,13 @@
 //! * `A_eager`/`A_balance` leave none of order ≤ 2 (Theorems 3.5/3.6);
 //! * the number of augmenting paths equals `OPT − ALG` (matching theory).
 
+use reqsched::adversary::{thm21, thm23, thm24, thm37};
+use reqsched::core::{StrategyKind, TieBreak};
 use reqsched::matching::symmetric_difference;
 use reqsched::model::Instance;
-use reqsched::offline::{
-    optimal_schedule, solution_matching, OfflineSolution,
-};
+use reqsched::offline::{optimal_schedule, solution_matching, OfflineSolution};
 use reqsched::sim::{run_fixed, AnyStrategy, RunStats};
-use reqsched::core::{StrategyKind, TieBreak};
 use reqsched::workloads;
-use reqsched::adversary::{thm21, thm23, thm24, thm37};
 
 fn alg_matching(inst: &Instance, stats: &RunStats) -> reqsched::matching::Matching {
     let sol = OfflineSolution {
@@ -29,7 +27,8 @@ fn alg_matching(inst: &Instance, stats: &RunStats) -> reqsched::matching::Matchi
             .map(|a| a.map(|(res, round)| (res.into(), round.into())))
             .collect(),
     };
-    sol.check(inst).expect("algorithm schedule must be feasible");
+    sol.check(inst)
+        .expect("algorithm schedule must be feasible");
     solution_matching(inst, &sol)
 }
 
@@ -120,13 +119,7 @@ fn lemmas_hold_on_delta_path_schedules() {
         ] {
             for tie in [TieBreak::FirstFit, TieBreak::LatestFit] {
                 for mode in [SolveMode::Delta, SolveMode::Fresh] {
-                    let mut s = build_strategy_with_mode(
-                        kind,
-                        inst.n_resources,
-                        inst.d,
-                        tie,
-                        mode,
-                    );
+                    let mut s = build_strategy_with_mode(kind, inst.n_resources, inst.d, tie, mode);
                     let stats = run_fixed(s.as_mut(), &inst);
                     let m_alg = alg_matching(&inst, &stats);
                     let report = symmetric_difference(&m_alg, &m_opt);

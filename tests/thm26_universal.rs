@@ -21,8 +21,8 @@ fn opt_serves_everything() {
     // The construction is lossless for the offline optimum.
     let d = 6;
     let mut adv = Thm26Adversary::new(d, 3);
-    let mut s = AnyStrategy::Global(StrategyKind::ABalance, TieBreak::FirstFit)
-        .build(N_RESOURCES, d);
+    let mut s =
+        AnyStrategy::Global(StrategyKind::ABalance, TieBreak::FirstFit).build(N_RESOURCES, d);
     let (_, trace) = run_source(s.as_mut(), &mut adv, N_RESOURCES, d);
     assert_eq!(trace.len(), adv.total_requests());
     let inst = Instance::new(N_RESOURCES, d, trace);
@@ -66,8 +66,11 @@ fn adaptivity_targets_the_weakest_colour() {
     // blocked.
     let d = 9;
     let intervals = 8;
-    let (ratio, served, opt) =
-        measure(AnyStrategy::Global(StrategyKind::ABalance, TieBreak::FirstFit), d, intervals);
+    let (ratio, served, opt) = measure(
+        AnyStrategy::Global(StrategyKind::ABalance, TieBreak::FirstFit),
+        d,
+        intervals,
+    );
     let lost = opt - served;
     let min_lost_per_interval = (8 * d as usize).div_ceil(9);
     assert!(

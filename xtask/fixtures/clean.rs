@@ -1,0 +1,14 @@
+//! Fixture: a file every rule must pass. Mentions of banned tokens in
+//! comments ("HashMap", ".unwrap()", "Instant::now", "thread_rng") and in
+//! strings must not trip the sanitizer-backed matchers.
+
+use std::collections::BTreeMap;
+
+fn deterministic(ids: &[u32]) -> BTreeMap<u32, usize> {
+    let mut counts = BTreeMap::new();
+    for &id in ids {
+        *counts.entry(id).or_insert(0usize) += 1;
+    }
+    let _doc = "HashMap and SystemTime::now inside a string are fine";
+    counts
+}

@@ -1,0 +1,17 @@
+//! Fixture: seeded `nondet-hasher` violations. Scanned as `LibSource` by
+//! `tests/selftest.rs`; never compiled, never walked by `analyze_tree`.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn iteration_order_leaks(ids: &[u32]) -> Vec<u32> {
+    let mut seen = HashSet::new();
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &id in ids {
+        seen.insert(id);
+        *counts.entry(id).or_default() += 1;
+    }
+    // Iteration order of the default hasher varies across processes — the
+    // exact bug class the rule exists to keep out of scheduling code.
+    counts.keys().copied().collect()
+}

@@ -1,0 +1,12 @@
+//! Fixture: seeded `thread-rng` violations. Scanned as `LibSource` (caught)
+//! and as `BenchSource` (exempt) by `tests/selftest.rs`; never compiled.
+
+fn unseeded_tie_break(n: u32) -> u32 {
+    use rand::Rng as _;
+    let mut rng = rand::thread_rng();
+    if rng.gen_bool(0.5) {
+        rand::random::<u32>() % n
+    } else {
+        0
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: seeded `unjustified-allow` violations. Scanned as
+//! `TestOrExample` by `tests/selftest.rs` — the rule applies everywhere.
+
+#[allow(dead_code)]
+fn bare_allow() {}
+
+#[allow(clippy::needless_range_loop)] // lint: fixture waiver — recorded, not flagged
+fn justified_allow(xs: &mut [u32]) {
+    for i in 0..xs.len() {
+        xs[i] += 1;
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture: seeded `unwrap-in-lib` violations, plus the two exemptions the
+//! rule grants (`#[cfg(test)]` regions and `// lint:` waivers). Scanned as
+//! `LibSource` by `tests/selftest.rs`; never compiled.
+
+fn panics_in_library_code(xs: &[u32]) -> u32 {
+    let first = xs.first().unwrap();
+    let last = xs.last().expect("nonempty");
+    first + last
+}
+
+fn waived(xs: &[u32]) -> u32 {
+    // lint: fixture waiver — the self-test asserts this is recorded, not flagged
+    *xs.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let xs = [1u32];
+        assert_eq!(*xs.first().unwrap(), 1);
+    }
+}

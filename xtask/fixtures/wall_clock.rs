@@ -1,0 +1,9 @@
+//! Fixture: seeded `wall-clock` violations. Scanned as `LibSource` (caught)
+//! and as `BenchSource` (exempt) by `tests/selftest.rs`; never compiled.
+
+fn round_budget_from_the_wall() -> u64 {
+    let started = std::time::Instant::now();
+    let epoch = std::time::SystemTime::now();
+    let _ = epoch;
+    started.elapsed().as_millis() as u64
+}

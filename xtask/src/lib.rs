@@ -1,0 +1,461 @@
+//! Repo-specific static analysis for the reqsched workspace.
+//!
+//! The rules enforced here are the written determinism / correctness
+//! contract of the codebase (see `docs/LINTS.md`):
+//!
+//! | rule | what it forbids |
+//! |---|---|
+//! | `nondet-hasher` | `std::collections::HashMap`/`HashSet` (default nondeterministic hasher) in scheduling/matching library code |
+//! | `wall-clock` | `Instant::now` / `SystemTime::now` outside `crates/bench` |
+//! | `thread-rng` | `thread_rng` / `rand::random` (unseeded randomness) outside `crates/bench` |
+//! | `unwrap-in-lib` | `.unwrap()` / `.expect(` in library crate sources outside `#[cfg(test)]` |
+//! | `unjustified-allow` | `#[allow(...)]` without a `// lint:` justification comment |
+//! | `crate-metadata` | placeholder `repository` URL, missing `description`/`keywords` in workspace member manifests |
+//!
+//! Every rule shares one escape hatch: a `// lint: <reason>` comment on the
+//! offending line (or the line directly above it) downgrades the finding to
+//! a recorded *suppression* — visible in the JSON report, never silent.
+//!
+//! The scanner is deliberately line-based and dependency-free: it must run
+//! in offline containers with no registry access, and the rules it encodes
+//! are all expressible as "this token sequence must not appear in this part
+//! of the tree". The per-rule fixtures under `xtask/fixtures/` self-test
+//! every detector (see `xtask/tests/selftest.rs`).
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+pub mod sanitize;
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (see `docs/LINTS.md`).
+    pub rule: &'static str,
+    /// File path relative to the repo root.
+    pub file: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// The offending line, trimmed.
+    pub excerpt: String,
+}
+
+/// A finding waived by a `// lint:` justification comment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Suppression {
+    /// Rule identifier of the suppressed finding.
+    pub rule: &'static str,
+    /// File path relative to the repo root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The text after `// lint:`.
+    pub justification: String,
+}
+
+/// Result of scanning a tree.
+#[derive(Clone, Debug, Default)]
+pub struct ScanReport {
+    /// Violations that gate the exit code.
+    pub findings: Vec<Finding>,
+    /// Justified (waived) occurrences, kept for the report.
+    pub suppressed: Vec<Suppression>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl ScanReport {
+    /// Whether the scan found no gating violations.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    fn merge(&mut self, other: ScanReport) {
+        self.findings.extend(other.findings);
+        self.suppressed.extend(other.suppressed);
+        self.files_scanned += other.files_scanned;
+    }
+}
+
+/// Where a source file sits in the tree — decides which rules apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/` of a library crate on the scheduling/matching path.
+    LibSource,
+    /// `src/` of the bench harness (timing and ad-hoc panics are its job).
+    BenchSource,
+    /// Test, bench, or example code.
+    TestOrExample,
+}
+
+/// Classify `rel` (a path relative to the repo root, `/`-separated).
+pub fn classify(rel: &str) -> FileKind {
+    let in_bench = rel.starts_with("crates/bench/");
+    if in_bench {
+        return FileKind::BenchSource;
+    }
+    let is_src = (rel.starts_with("crates/") && rel.contains("/src/"))
+        || (rel.starts_with("src/") && !rel.starts_with("src/bin/"));
+    if is_src {
+        FileKind::LibSource
+    } else {
+        FileKind::TestOrExample
+    }
+}
+
+/// Scan one Rust source file (already classified) for rule violations.
+pub fn scan_source(rel: &str, text: &str, kind: FileKind) -> ScanReport {
+    let mut report = ScanReport {
+        files_scanned: 1,
+        ..ScanReport::default()
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    let mut san = sanitize::Sanitizer::new();
+    let mut cfg_test = CfgTestTracker::new();
+    // `// lint:` on the previous line waives findings on this one.
+    let mut prev_lint_comment: Option<String> = None;
+
+    for (idx, raw) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let (code, comment) = san.sanitize_line(raw);
+        let in_test = cfg_test.observe(&code);
+
+        let lint_comment = comment
+            .trim()
+            .strip_prefix("lint:")
+            .map(|r| r.trim().to_string());
+        let waiver = lint_comment.clone().or_else(|| prev_lint_comment.take());
+        // A comment-only line carries its waiver forward to the next line.
+        prev_lint_comment = if code.trim().is_empty() {
+            lint_comment.clone()
+        } else {
+            None
+        };
+
+        let mut hit = |rule: &'static str| match &waiver {
+            Some(justification) => report.suppressed.push(Suppression {
+                rule,
+                file: rel.to_string(),
+                line: lineno,
+                justification: justification.clone(),
+            }),
+            None => report.findings.push(Finding {
+                rule,
+                file: rel.to_string(),
+                line: lineno,
+                excerpt: raw.trim().to_string(),
+            }),
+        };
+
+        // nondet-hasher: library sources only; test code may hash freely.
+        if kind == FileKind::LibSource
+            && !in_test
+            && (code.contains("HashMap") || code.contains("HashSet"))
+        {
+            hit("nondet-hasher");
+        }
+
+        // wall-clock / thread-rng: everywhere except the bench harness.
+        if kind != FileKind::BenchSource {
+            if code.contains("Instant::now") || code.contains("SystemTime::now") {
+                hit("wall-clock");
+            }
+            if code.contains("thread_rng") || code.contains("rand::random") {
+                hit("thread-rng");
+            }
+        }
+
+        // unwrap-in-lib: library sources outside #[cfg(test)] modules.
+        if kind == FileKind::LibSource
+            && !in_test
+            && (code.contains(".unwrap()") || code.contains(".expect("))
+        {
+            hit("unwrap-in-lib");
+        }
+
+        // unjustified-allow: everywhere (tests included) — the justification
+        // comment is the allow's documentation, not a soundness waiver.
+        if code.contains("#[allow(") || code.contains("#![allow(") {
+            hit("unjustified-allow");
+        }
+    }
+    report
+}
+
+/// Tracks whether the scanner is inside a `#[cfg(test)]`-gated item.
+struct CfgTestTracker {
+    depth: i64,
+    /// `#[cfg(test)]` seen, waiting for the item it gates.
+    pending: bool,
+    /// Brace depth at which the current test region closes.
+    region_floor: Option<i64>,
+}
+
+impl CfgTestTracker {
+    fn new() -> CfgTestTracker {
+        CfgTestTracker {
+            depth: 0,
+            pending: false,
+            region_floor: None,
+        }
+    }
+
+    /// Feed one sanitized line; returns whether the *line* is test-gated.
+    fn observe(&mut self, code: &str) -> bool {
+        let was_in_region = self.region_floor.is_some();
+        if code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test") {
+            self.pending = true;
+        }
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        let trimmed = code.trim_start();
+        let is_attr_or_blank = trimmed.is_empty() || trimmed.starts_with('#');
+        if self.pending && !is_attr_or_blank {
+            if self.region_floor.is_none() && opens > 0 {
+                self.region_floor = Some(self.depth);
+            }
+            // Attribute gating a braceless item (e.g. `mod tests;`): the
+            // single line itself is test-gated.
+            self.pending = false;
+            self.depth += opens - closes;
+            if let Some(floor) = self.region_floor {
+                if self.depth <= floor {
+                    self.region_floor = None;
+                }
+            }
+            return true;
+        }
+        self.depth += opens - closes;
+        if let Some(floor) = self.region_floor {
+            if self.depth <= floor {
+                self.region_floor = None;
+            }
+        }
+        was_in_region || self.region_floor.is_some()
+    }
+}
+
+/// Scan a workspace member manifest for the metadata contract.
+pub fn scan_manifest(rel: &str, text: &str, is_workspace_root: bool) -> ScanReport {
+    let mut report = ScanReport::default();
+    let mut whole = |rule: &'static str, excerpt: &str| {
+        report.findings.push(Finding {
+            rule,
+            file: rel.to_string(),
+            line: 0,
+            excerpt: excerpt.to_string(),
+        });
+    };
+    if is_workspace_root {
+        for line in text.lines() {
+            if line.trim_start().starts_with("repository")
+                && (line.contains("example.invalid") || line.contains("example.com"))
+            {
+                whole(
+                    "crate-metadata",
+                    "placeholder repository URL in [workspace.package]",
+                );
+            }
+        }
+        return report;
+    }
+    let has_key = |key: &str| {
+        text.lines().any(|l| {
+            let t = l.trim_start();
+            t.strip_prefix(key)
+                .is_some_and(|rest| rest.trim_start().starts_with('=') || rest.starts_with('.'))
+        })
+    };
+    if !has_key("description") {
+        whole("crate-metadata", "missing `description` in [package]");
+    }
+    if !has_key("keywords") {
+        whole("crate-metadata", "missing `keywords` in [package]");
+    }
+    report
+}
+
+/// The directories scanned for Rust sources, relative to the repo root.
+pub const SOURCE_ROOTS: &[&str] = &["crates", "src", "tests", "benches", "examples"];
+
+/// Walk the repo and run every source + manifest rule. Tool walls (clippy,
+/// fmt, doc) are the binary's job — this function is pure and fast, which
+/// is what the self-tests exercise.
+pub fn analyze_tree(root: &Path) -> std::io::Result<ScanReport> {
+    let mut report = ScanReport::default();
+    let mut rs_files: Vec<PathBuf> = Vec::new();
+    for sub in SOURCE_ROOTS {
+        collect_rs(&root.join(sub), &mut rs_files)?;
+    }
+    rs_files.sort();
+    for path in rs_files {
+        let rel = rel_str(root, &path);
+        let text = std::fs::read_to_string(&path)?;
+        report.merge(scan_source(&rel, &text, classify(&rel)));
+    }
+
+    let root_manifest = root.join("Cargo.toml");
+    if root_manifest.is_file() {
+        let text = std::fs::read_to_string(&root_manifest)?;
+        report.merge(scan_manifest("Cargo.toml", &text, true));
+    }
+    let mut manifests: Vec<PathBuf> = Vec::new();
+    for dir in ["crates", "xtask"] {
+        let base = root.join(dir);
+        if dir == "xtask" {
+            let m = base.join("Cargo.toml");
+            if m.is_file() {
+                manifests.push(m);
+            }
+            continue;
+        }
+        if let Ok(entries) = std::fs::read_dir(&base) {
+            for entry in entries.flatten() {
+                let m = entry.path().join("Cargo.toml");
+                if m.is_file() {
+                    manifests.push(m);
+                }
+            }
+        }
+    }
+    manifests.sort();
+    for m in manifests {
+        let rel = rel_str(root, &m);
+        let text = std::fs::read_to_string(&m)?;
+        report.merge(scan_manifest(&rel, &text, false));
+    }
+    Ok(report)
+}
+
+fn rel_str(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)?.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Minimal JSON string escaping for the machine-readable report.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(classify("crates/core/src/delta.rs"), FileKind::LibSource);
+        assert_eq!(classify("src/lib.rs"), FileKind::LibSource);
+        assert_eq!(classify("crates/bench/src/lib.rs"), FileKind::BenchSource);
+        assert_eq!(
+            classify("crates/bench/benches/hot_path.rs"),
+            FileKind::BenchSource
+        );
+        assert_eq!(classify("tests/structural.rs"), FileKind::TestOrExample);
+        assert_eq!(
+            classify("crates/core/tests/compliance.rs"),
+            FileKind::TestOrExample
+        );
+        assert_eq!(classify("examples/quickstart.rs"), FileKind::TestOrExample);
+    }
+
+    #[test]
+    fn unwrap_inside_cfg_test_is_exempt() {
+        let src =
+            "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let r = scan_source("crates/core/src/x.rs", src, FileKind::LibSource);
+        assert!(r.clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn unwrap_after_cfg_test_region_is_caught() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() { x.unwrap(); }\n";
+        let r = scan_source("crates/core/src/x.rs", src, FileKind::LibSource);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "unwrap-in-lib");
+        assert_eq!(r.findings[0].line, 5);
+    }
+
+    #[test]
+    fn lint_comment_suppresses_and_records() {
+        let src = "use std::collections::HashMap; // lint: keyed by ptr, order never observed\n";
+        let r = scan_source("crates/core/src/x.rs", src, FileKind::LibSource);
+        assert!(r.clean());
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.suppressed[0].rule, "nondet-hasher");
+        assert!(r.suppressed[0].justification.contains("ptr"));
+    }
+
+    #[test]
+    fn preceding_line_lint_comment_suppresses() {
+        let src = "// lint: justified above\n#[allow(dead_code)]\nfn f() {}\n";
+        let r = scan_source("tests/x.rs", src, FileKind::TestOrExample);
+        assert!(r.clean(), "{:?}", r.findings);
+        assert_eq!(r.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn mentions_in_comments_and_strings_are_ignored() {
+        let src = "//! HashMap is banned; .unwrap() too\nfn f() { let s = \"Instant::now\"; }\n";
+        let r = scan_source("crates/core/src/x.rs", src, FileKind::LibSource);
+        assert!(r.clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn manifest_missing_keywords_flagged() {
+        let toml = "[package]\nname = \"x\"\ndescription = \"y\"\n";
+        let r = scan_manifest("crates/x/Cargo.toml", toml, false);
+        assert_eq!(r.findings.len(), 1);
+        assert!(r.findings[0].excerpt.contains("keywords"));
+    }
+
+    #[test]
+    fn manifest_workspace_inherited_keys_accepted() {
+        let toml =
+            "[package]\nname = \"x\"\ndescription.workspace = true\nkeywords.workspace = true\n";
+        let r = scan_manifest("crates/x/Cargo.toml", toml, false);
+        assert!(r.clean());
+    }
+
+    #[test]
+    fn placeholder_repository_flagged() {
+        let toml = "[workspace.package]\nrepository = \"https://example.invalid/reqsched\"\n";
+        let r = scan_manifest("Cargo.toml", toml, true);
+        assert_eq!(r.findings.len(), 1);
+    }
+}

@@ -1,0 +1,325 @@
+//! `cargo xtask analyze` — the repo's one-command correctness wall.
+//!
+//! Runs, in order:
+//! 1. the custom source lints (determinism / invariant rules, see
+//!    `docs/LINTS.md` and the library half of this crate),
+//! 2. the manifest metadata checks,
+//! 3. the tool walls: `cargo fmt --check`, `cargo clippy --workspace
+//!    --all-targets -- -D warnings`, and `cargo doc` with warnings denied.
+//!
+//! Exit code 0 iff everything is clean. `--json <path>` additionally
+//! writes a machine-readable report (consumed by CI as an artifact).
+//! `--no-tools` runs only the source/manifest rules — that mode is fully
+//! offline and sub-second, suitable for pre-commit hooks.
+//!
+//! Offline containers (no registry access, stub crates vendored in
+//! `/tmp/vendor`) are auto-detected the same way `scripts/bench_smoke.sh`
+//! does; `cargo clippy` cannot forward `--config` through its re-exec
+//! there, so the wall falls back to driving `clippy-driver` directly via
+//! `RUSTC_WORKSPACE_WRAPPER`.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+use xtask::{analyze_tree, json_escape, ScanReport};
+
+struct ToolResult {
+    name: &'static str,
+    status: &'static str, // "pass" | "fail" | "skipped"
+    detail: String,
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("usage: cargo xtask analyze [--json <path>] [--no-tools] [--root <dir>]");
+        return ExitCode::from(2);
+    };
+    if cmd != "analyze" {
+        eprintln!("unknown xtask command `{cmd}` (try `analyze`)");
+        return ExitCode::from(2);
+    }
+    let mut json_path: Option<PathBuf> = None;
+    let mut run_tools = true;
+    let mut root = default_root();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-tools" => run_tools = false,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    println!("analyzing {}", root.display());
+    let report = match analyze_tree(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print_scan(&report);
+
+    let tools = if run_tools {
+        run_tool_walls(&root)
+    } else {
+        Vec::new()
+    };
+    for t in &tools {
+        println!("tool {:<8} {}{}", t.name, t.status, fmt_detail(&t.detail));
+    }
+
+    let tools_failed = tools.iter().filter(|t| t.status == "fail").count();
+    let clean = report.clean() && tools_failed == 0;
+    if let Some(path) = json_path {
+        match std::fs::write(&path, render_json(&report, &tools, clean)) {
+            Ok(()) => println!("report written to {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    println!(
+        "analyze: {} ({} files, {} findings, {} suppressed, {} tool failures)",
+        if clean { "clean" } else { "DIRTY" },
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed.len(),
+        tools_failed,
+    );
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn default_root() -> PathBuf {
+    // xtask lives at <repo>/xtask, so the repo root is one level up.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask has a parent directory")
+        .to_path_buf()
+}
+
+fn print_scan(report: &ScanReport) {
+    for f in &report.findings {
+        if f.line == 0 {
+            println!("{}: [{}] {}", f.file, f.rule, f.excerpt);
+        } else {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.excerpt);
+        }
+    }
+    for s in &report.suppressed {
+        println!(
+            "{}:{}: [{}] suppressed: {}",
+            s.file, s.line, s.rule, s.justification
+        );
+    }
+}
+
+fn fmt_detail(detail: &str) -> String {
+    if detail.is_empty() {
+        String::new()
+    } else {
+        format!(" ({})", detail.lines().next().unwrap_or(""))
+    }
+}
+
+/// Offline-container detection, mirroring `scripts/bench_smoke.sh`: stub
+/// crates vendored under /tmp/vendor and no reachable registry.
+fn offline_config_args(root: &Path) -> Option<Vec<String>> {
+    if !Path::new("/tmp/vendor").is_dir() {
+        return None;
+    }
+    let plain_ok = Command::new("cargo")
+        .args(["metadata", "-q", "--format-version", "1"])
+        .current_dir(root)
+        .output()
+        .is_ok_and(|o| o.status.success());
+    if plain_ok {
+        return None;
+    }
+    Some(vec![
+        "--config".into(),
+        "source.crates-io.replace-with=\"local-stubs\"".into(),
+        "--config".into(),
+        "source.local-stubs.directory=\"/tmp/vendor\"".into(),
+    ])
+}
+
+fn run_tool_walls(root: &Path) -> Vec<ToolResult> {
+    let offline = offline_config_args(root);
+    let cfg: &[String] = offline.as_deref().unwrap_or(&[]);
+    let mut results = Vec::new();
+
+    results.push(run_tool(
+        "fmt",
+        Command::new("cargo")
+            .args(cfg)
+            .args(["fmt", "--check"])
+            .current_dir(root),
+    ));
+
+    let clippy = if offline.is_none() {
+        run_tool(
+            "clippy",
+            Command::new("cargo")
+                .args([
+                    "clippy",
+                    "--workspace",
+                    "--all-targets",
+                    "--",
+                    "-D",
+                    "warnings",
+                ])
+                .current_dir(root),
+        )
+    } else {
+        // `cargo clippy` re-execs cargo without our `--config` overrides,
+        // which dies resolving the registry offline. Drive the driver
+        // directly instead; CLIPPY_ARGS is how cargo-clippy itself passes
+        // the lint level down.
+        match which("clippy-driver") {
+            Some(driver) => run_tool(
+                "clippy",
+                Command::new("cargo")
+                    .args(cfg)
+                    .args(["check", "--workspace", "--all-targets"])
+                    .env("RUSTC_WORKSPACE_WRAPPER", driver)
+                    .env("CLIPPY_ARGS", "-Dwarnings")
+                    .current_dir(root),
+            ),
+            None => ToolResult {
+                name: "clippy",
+                status: "skipped",
+                detail: "clippy-driver not installed".into(),
+            },
+        }
+    };
+    results.push(clippy);
+
+    results.push(run_tool(
+        "doc",
+        Command::new("cargo")
+            .args(cfg)
+            .args(["doc", "--workspace", "--no-deps"])
+            .env("RUSTDOCFLAGS", "-D warnings")
+            .current_dir(root),
+    ));
+
+    results
+}
+
+fn which(bin: &str) -> Option<PathBuf> {
+    let paths = std::env::var_os("PATH")?;
+    std::env::split_paths(&paths)
+        .map(|p| p.join(bin))
+        .find(|p| p.is_file())
+}
+
+fn run_tool(name: &'static str, cmd: &mut Command) -> ToolResult {
+    match cmd.output() {
+        Ok(out) if out.status.success() => ToolResult {
+            name,
+            status: "pass",
+            detail: String::new(),
+        },
+        Ok(out) => {
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            let mut detail: String = stderr
+                .lines()
+                .chain(stdout.lines())
+                .filter(|l| l.contains("error") || l.contains("Diff in") || l.contains("warning"))
+                .take(20)
+                .collect::<Vec<_>>()
+                .join("\n");
+            if detail.is_empty() {
+                detail = format!("exit {:?}", out.status.code());
+            }
+            ToolResult {
+                name,
+                status: "fail",
+                detail,
+            }
+        }
+        Err(e) => ToolResult {
+            name,
+            status: "skipped",
+            detail: format!("cannot run: {e}"),
+        },
+    }
+}
+
+fn render_json(report: &ScanReport, tools: &[ToolResult], clean: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": 1,\n  \"findings\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"excerpt\": \"{}\"}}{}",
+            json_escape(f.rule),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.excerpt),
+            if i + 1 < report.findings.len() {
+                ","
+            } else {
+                ""
+            },
+        );
+    }
+    out.push_str("  ],\n  \"suppressed\": [\n");
+    for (i, s) in report.suppressed.iter().enumerate() {
+        let _ =
+            writeln!(
+            out,
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"justification\": \"{}\"}}{}",
+            json_escape(s.rule),
+            json_escape(&s.file),
+            s.line,
+            json_escape(&s.justification),
+            if i + 1 < report.suppressed.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  ],\n  \"tools\": [\n");
+    for (i, t) in tools.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"status\": \"{}\", \"detail\": \"{}\"}}{}",
+            json_escape(t.name),
+            json_escape(t.status),
+            json_escape(&t.detail),
+            if i + 1 < tools.len() { "," } else { "" },
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  ],\n  \"summary\": {{\"files_scanned\": {}, \"findings\": {}, \"suppressed\": {}, \"clean\": {}}}\n}}",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed.len(),
+        clean,
+    );
+    out
+}

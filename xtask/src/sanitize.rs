@@ -1,0 +1,186 @@
+//! Line sanitizer: strips comments and string-literal contents so the rule
+//! matchers only ever see code tokens.
+//!
+//! This is not a Rust lexer — it is the minimal state machine the lint
+//! rules need: a doc comment mentioning `.unwrap()` or a panic message
+//! containing `{` must not trip a matcher or the brace-depth tracker.
+//! Handled: `//` line comments (returned separately, for `// lint:`
+//! waivers), `/* */` block comments (nesting, multi-line), `"…"` strings
+//! with escapes, single-line `r"…"` / `r#"…"#` raw strings, and char
+//! literals vs. lifetimes.
+
+/// Carries block-comment state across the lines of one file.
+#[derive(Debug, Default)]
+pub struct Sanitizer {
+    block_comment_depth: u32,
+}
+
+impl Sanitizer {
+    /// A sanitizer at the start of a file.
+    pub fn new() -> Sanitizer {
+        Sanitizer::default()
+    }
+
+    /// Split `line` into (code with strings/comments blanked, trailing `//`
+    /// comment text). String literals are replaced by `""` so delimiters
+    /// stay visible but contents cannot match rules.
+    pub fn sanitize_line(&mut self, line: &str) -> (String, String) {
+        let mut code = String::with_capacity(line.len());
+        let mut comment = String::new();
+        let bytes: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i];
+            if self.block_comment_depth > 0 {
+                if c == '*' && bytes.get(i + 1) == Some(&'/') {
+                    self.block_comment_depth -= 1;
+                    i += 2;
+                } else if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                    self.block_comment_depth += 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            match c {
+                '/' if bytes.get(i + 1) == Some(&'/') => {
+                    comment = bytes[i + 2..].iter().collect();
+                    break;
+                }
+                '/' if bytes.get(i + 1) == Some(&'*') => {
+                    self.block_comment_depth += 1;
+                    i += 2;
+                }
+                '"' => {
+                    code.push_str("\"\"");
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            '\\' => i += 2,
+                            '"' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                }
+                'r' if matches!(bytes.get(i + 1), Some(&'"') | Some(&'#')) => {
+                    // Raw string r"…" or r#"…"#; assume it closes on this
+                    // line (multi-line raw strings are absent from lint
+                    // targets; worst case the rest of the line is blanked).
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) != Some(&'"') {
+                        code.push(c);
+                        i += 1;
+                        continue;
+                    }
+                    code.push_str("\"\"");
+                    j += 1;
+                    'raw: while j < bytes.len() {
+                        if bytes[j] == '"' {
+                            let mut k = 0;
+                            while k < hashes && bytes.get(j + 1 + k) == Some(&'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                    i = j;
+                }
+                '\'' => {
+                    // Char literal ('x', '\n', '\u{..}') vs lifetime ('a).
+                    let next = bytes.get(i + 1);
+                    let is_char = match next {
+                        Some(&'\\') => true,
+                        Some(&nc) => bytes.get(i + 2) == Some(&'\'') && nc != '\'',
+                        None => false,
+                    };
+                    if is_char {
+                        code.push_str("' '");
+                        i += 1;
+                        if bytes.get(i) == Some(&'\\') {
+                            i += 1; // skip the escape selector
+                            if matches!(bytes.get(i), Some(&'u')) {
+                                while i < bytes.len() && bytes[i] != '\'' {
+                                    i += 1;
+                                }
+                                i += 1;
+                                continue;
+                            }
+                        }
+                        i += 1; // the char itself
+                        if bytes.get(i) == Some(&'\'') {
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c); // lifetime tick
+                        i += 1;
+                    }
+                }
+                c => {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+        (code, comment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(line: &str) -> String {
+        Sanitizer::new().sanitize_line(line).0
+    }
+
+    #[test]
+    fn strings_are_blanked() {
+        assert_eq!(code(r#"panic!("{id:?} x.unwrap()")"#), r#"panic!("")"#);
+    }
+
+    #[test]
+    fn line_comment_split_off() {
+        let (c, m) = Sanitizer::new().sanitize_line("let x = 1; // lint: reason");
+        assert_eq!(c, "let x = 1; ");
+        assert_eq!(m.trim(), "lint: reason");
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let mut s = Sanitizer::new();
+        assert_eq!(s.sanitize_line("a /* start").0, "a ");
+        assert_eq!(s.sanitize_line("middle .unwrap()").0, "");
+        assert_eq!(s.sanitize_line("end */ b").0, " b");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        assert_eq!(code("m.matches('{').count()"), "m.matches(' ').count()");
+        assert_eq!(code("fn f<'a>(x: &'a str)"), "fn f<'a>(x: &'a str)");
+        assert_eq!(code(r"let c = '\n';"), "let c = ' ';");
+    }
+
+    #[test]
+    fn raw_strings_blanked() {
+        assert_eq!(code(r##"let s = r#"Instant::now"#;"##), "let s = \"\";");
+        assert_eq!(code(r#"let s = r"x.unwrap()";"#), "let s = \"\";");
+    }
+
+    #[test]
+    fn escaped_quote_stays_inside_string() {
+        assert_eq!(code(r#"let s = "a\"b.unwrap()"; x"#), r#"let s = ""; x"#);
+    }
+}

@@ -1,0 +1,265 @@
+//! Chaos harness: sweep strategies × fault rates under seeded, replayable
+//! fault plans and record how gracefully each strategy degrades.
+//!
+//! For every (strategy, chaos level, seed) cell the harness draws a
+//! [`FaultPlan`] from the level's [`ChaosConfig`], runs the strategy under
+//! the plan with the fault-aware streaming optimum
+//! ([`run_fixed_faulty_traced`]), and emits one CSV row. The optimum sees
+//! the same plan, so the reported ratio compares ALG and OPT on identical
+//! masked feasibility graphs.
+//!
+//! Determinism is asserted, not assumed: the whole sweep runs **twice** from
+//! scratch and the two CSV renderings must be byte-identical before anything
+//! is written. Outputs land in `results/chaos.csv` and `BENCH_PR5.json` at
+//! the workspace root.
+//!
+//! `CHAOS_QUICK=1` shrinks the sweep to a smoke-test size (used by
+//! `scripts/bench_smoke.sh` and CI, where the run is additionally armed with
+//! `--features audit` so every round boundary replays the invariant
+//! auditor).
+
+use reqsched_core::{StrategyKind, TieBreak};
+use reqsched_faults::{ChaosConfig, FaultPlan};
+use reqsched_sim::{run_fixed_faulty_traced, AnyStrategy};
+use std::process::exit;
+use std::sync::Arc;
+
+/// A named fault-intensity level for the sweep.
+struct ChaosLevel {
+    name: &'static str,
+    cfg: ChaosConfig,
+}
+
+/// The swept levels: a fault-free control plus three escalating rates.
+/// `high` adds fabric delay and duplication on top of loss.
+fn levels() -> [ChaosLevel; 4] {
+    [
+        ChaosLevel {
+            name: "none",
+            cfg: ChaosConfig::CALM,
+        },
+        ChaosLevel {
+            name: "low",
+            cfg: ChaosConfig {
+                crash_prob: 0.02,
+                mttr: 3.0,
+                stall_prob: 0.02,
+                loss: 0.02,
+                ..ChaosConfig::CALM
+            },
+        },
+        ChaosLevel {
+            name: "medium",
+            cfg: ChaosConfig {
+                crash_prob: 0.05,
+                mttr: 3.0,
+                stall_prob: 0.05,
+                loss: 0.05,
+                ..ChaosConfig::CALM
+            },
+        },
+        ChaosLevel {
+            name: "high",
+            cfg: ChaosConfig {
+                crash_prob: 0.10,
+                mttr: 3.0,
+                stall_prob: 0.10,
+                loss: 0.10,
+                delay: 0.05,
+                duplication: 0.02,
+            },
+        },
+    ]
+}
+
+/// The strategies under chaos: two matching-based global strategies, EDF,
+/// and both local protocols (whose retry/backoff paths only light up under
+/// fabric faults). The workload is two-choice, which the local strategies
+/// require.
+fn strategies() -> [AnyStrategy; 5] {
+    [
+        AnyStrategy::Global(StrategyKind::ABalance, TieBreak::FirstFit),
+        AnyStrategy::Global(StrategyKind::AEager, TieBreak::FirstFit),
+        AnyStrategy::Global(
+            StrategyKind::Edf {
+                cancel_sibling: false,
+            },
+            TieBreak::FirstFit,
+        ),
+        AnyStrategy::LocalFix,
+        AnyStrategy::LocalEager,
+    ]
+}
+
+struct SweepShape {
+    n: u32,
+    d: u32,
+    per_round: u32,
+    rounds: u64,
+    seeds: &'static [u64],
+}
+
+/// One aggregated cell of the sweep (a strategy at a level, averaged over
+/// seeds), kept for the JSON report.
+struct Cell {
+    strategy: String,
+    level: &'static str,
+    crash_prob: f64,
+    goodput: f64,
+    ratio: f64,
+}
+
+/// Run the full sweep once and render the CSV; also return the per-cell
+/// aggregates. Pure function of the shape — calling it twice must produce
+/// byte-identical CSV text.
+fn sweep(shape: &SweepShape) -> (String, Vec<Cell>) {
+    let mut csv = String::from(
+        "strategy,level,crash_prob,loss,seed,injected,served,expired,opt,ratio,goodput,downtime_frac,comm_rounds,messages\n",
+    );
+    let mut cells = Vec::new();
+    for level in levels() {
+        for strat in strategies() {
+            let (mut goodput_sum, mut ratio_sum) = (0.0, 0.0);
+            for &seed in shape.seeds {
+                let inst = reqsched_workloads::uniform_two_choice(
+                    shape.n,
+                    shape.d,
+                    shape.per_round,
+                    shape.rounds,
+                    seed,
+                );
+                let horizon = shape.rounds + u64::from(shape.d);
+                // One plan per (level, seed): every strategy and the optimum
+                // face the same fault trace.
+                let plan = Arc::new(FaultPlan::random(
+                    shape.n,
+                    horizon,
+                    &level.cfg,
+                    seed ^ 0xC0FF_EE00,
+                ));
+                let mut s = strat.build(shape.n, shape.d);
+                let stats = run_fixed_faulty_traced(s.as_mut(), &inst, &plan);
+                // Floor `served` at 1 so a fully starved run reports a large
+                // finite ratio instead of poisoning the JSON with `inf`.
+                let ratio = stats.opt as f64 / stats.served.max(1) as f64;
+                let goodput = stats.served as f64 / (stats.injected.max(1)) as f64;
+                let downtime =
+                    plan.downtime_slots(horizon) as f64 / (f64::from(shape.n) * horizon as f64);
+                csv.push_str(&format!(
+                    "{},{},{:.3},{:.3},{},{},{},{},{},{:.4},{:.4},{:.4},{},{}\n",
+                    strat.name(),
+                    level.name,
+                    level.cfg.crash_prob,
+                    level.cfg.loss,
+                    seed,
+                    stats.injected,
+                    stats.served,
+                    stats.expired,
+                    stats.opt,
+                    ratio,
+                    goodput,
+                    downtime,
+                    stats.comm_rounds,
+                    stats.messages,
+                ));
+                goodput_sum += goodput;
+                ratio_sum += ratio;
+            }
+            let k = shape.seeds.len() as f64;
+            cells.push(Cell {
+                strategy: strat.name(),
+                level: level.name,
+                crash_prob: level.cfg.crash_prob,
+                goodput: goodput_sum / k,
+                ratio: ratio_sum / k,
+            });
+        }
+    }
+    (csv, cells)
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("chaos: {msg}");
+    exit(2);
+}
+
+fn main() {
+    let quick = std::env::var("CHAOS_QUICK").is_ok_and(|v| v == "1");
+    let shape = if quick {
+        SweepShape {
+            n: 6,
+            d: 3,
+            per_round: 5,
+            rounds: 60,
+            seeds: &[7],
+        }
+    } else {
+        SweepShape {
+            n: 16,
+            d: 6,
+            per_round: 14,
+            rounds: 400,
+            seeds: &[7, 11, 13],
+        }
+    };
+
+    // Determinism gate: two complete, independent sweeps must agree to the
+    // byte before anything is published.
+    let (csv_a, cells) = sweep(&shape);
+    let (csv_b, _) = sweep(&shape);
+    assert_eq!(
+        csv_a, csv_b,
+        "chaos sweep is nondeterministic: two runs from the same seeds disagree"
+    );
+
+    for line in csv_a.lines() {
+        println!("{line}");
+    }
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let results_dir = format!("{root}/results");
+    if let Err(e) = std::fs::create_dir_all(&results_dir) {
+        fail(&format!("cannot create {results_dir}: {e}"));
+    }
+    let csv_path = format!("{results_dir}/chaos.csv");
+    if let Err(e) = std::fs::write(&csv_path, &csv_a) {
+        fail(&format!("cannot write {csv_path}: {e}"));
+    }
+    println!("wrote {csv_path}");
+
+    // Hand-formatted JSON (the serde stack is not needed for a flat report).
+    let level_list = levels();
+    let strat_list = strategies();
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"chaos\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"deterministic\": true,\n");
+    out.push_str(&format!("  \"strategies\": {},\n", strat_list.len()));
+    out.push_str(&format!(
+        "  \"fault_levels\": {},\n",
+        level_list.iter().filter(|l| l.cfg.crash_prob > 0.0).count()
+    ));
+    out.push_str(&format!(
+        "  \"shape\": {{ \"n\": {}, \"d\": {}, \"per_round\": {}, \"rounds\": {}, \"seeds\": {} }},\n",
+        shape.n,
+        shape.d,
+        shape.per_round,
+        shape.rounds,
+        shape.seeds.len(),
+    ));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 == cells.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{ \"strategy\": \"{}\", \"level\": \"{}\", \"crash_prob\": {:.3}, \"goodput\": {:.4}, \"ratio\": {:.4} }}{sep}\n",
+            c.strategy, c.level, c.crash_prob, c.goodput, c.ratio,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    let json_path = format!("{root}/BENCH_PR5.json");
+    if let Err(e) = std::fs::write(&json_path, out) {
+        fail(&format!("cannot write {json_path}: {e}"));
+    }
+    println!("wrote {json_path}");
+}

@@ -26,6 +26,12 @@ fn default_out() -> PathBuf {
         .join("ratio_curves.csv")
 }
 
+fn fail(msg: &str) -> ! {
+    eprintln!("ratio_curves: {msg}");
+    eprintln!("usage: ratio_curves [phases] [--trace] [--out <path>]");
+    std::process::exit(2);
+}
+
 /// Extract `--out <path>` from the argument list, consuming both tokens.
 fn take_out_flag(args: &mut Vec<String>) -> PathBuf {
     match args.iter().position(|a| a == "--out") {
@@ -33,12 +39,39 @@ fn take_out_flag(args: &mut Vec<String>) -> PathBuf {
             args.remove(i);
             PathBuf::from(args.remove(i))
         }
-        Some(_) => {
-            eprintln!("error: --out needs a path");
-            std::process::exit(2);
-        }
+        Some(_) => fail("--out needs a path"),
         None => default_out(),
     }
+}
+
+/// Strict parse of what remains after `--out`: one optional positive
+/// integer (`phases`) and the `--trace` flag. Garbage is rejected with a
+/// nonzero exit, never silently defaulted.
+fn parse_args(args: &[String]) -> (u32, bool) {
+    let mut trace = false;
+    let mut positional: Vec<&str> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--trace" => trace = true,
+            s if s.starts_with("--") => fail(&format!("unknown flag {s:?}")),
+            s => positional.push(s),
+        }
+    }
+    if positional.len() > 1 {
+        fail(&format!(
+            "expected at most one positional argument (phases), got {positional:?}"
+        ));
+    }
+    let phases = match positional.first() {
+        None => 12,
+        Some(p) => match p.parse::<u32>() {
+            Ok(v) if v > 0 => v,
+            _ => fail(&format!(
+                "invalid phases value {p:?}: expected a positive integer"
+            )),
+        },
+    };
+    (phases, trace)
 }
 
 /// Write the per-round ratio trace CSV for every global strategy.
@@ -75,14 +108,12 @@ fn dump_trace(phases: u32, out: &Path) -> std::io::Result<()> {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let out = take_out_flag(&mut args);
-    let phases: u32 = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(12);
-    if args.iter().any(|a| a == "--trace") {
+    let (phases, trace) = parse_args(&args);
+    if trace {
         let trace_out = out.with_file_name("ratio_trace.csv");
-        dump_trace(phases, &trace_out).expect("write ratio trace");
+        if let Err(e) = dump_trace(phases, &trace_out) {
+            fail(&format!("cannot write {}: {e}", trace_out.display()));
+        }
     }
     let ds: Vec<u32> = (2..=16).collect();
     let mut rows: Vec<Vec<String>> = vec![vec![
@@ -110,8 +141,12 @@ fn main() {
     let csv = render_csv(&rows);
     print!("{csv}");
     if let Some(dir) = out.parent() {
-        std::fs::create_dir_all(dir).expect("create output dir");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            fail(&format!("cannot create {}: {e}", dir.display()));
+        }
     }
-    std::fs::write(&out, &csv).expect("write ratio curves");
+    if let Err(e) = std::fs::write(&out, &csv) {
+        fail(&format!("cannot write {}: {e}", out.display()));
+    }
     eprintln!("wrote {} ({} rows)", out.display(), rows.len() - 1);
 }

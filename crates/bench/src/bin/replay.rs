@@ -55,17 +55,19 @@ fn parse_strategy(name: &str, tie: TieBreak) -> Option<AnyStrategy> {
     Some(AnyStrategy::Global(kind, tie))
 }
 
-fn parse_tie(s: &str) -> TieBreak {
+fn parse_tie(s: &str) -> Result<TieBreak, String> {
     match s {
-        "first-fit" => TieBreak::FirstFit,
-        "latest-fit" => TieBreak::LatestFit,
-        "hint" => TieBreak::HintGuided,
+        "first-fit" => Ok(TieBreak::FirstFit),
+        "latest-fit" => Ok(TieBreak::LatestFit),
+        "hint" => Ok(TieBreak::HintGuided),
         other => match other.strip_prefix("random:") {
-            Some(seed) => TieBreak::Random(seed.parse().unwrap_or(0)),
-            None => {
-                eprintln!("unknown tie-break {other:?}; using first-fit");
-                TieBreak::FirstFit
-            }
+            Some(seed) => seed
+                .parse()
+                .map(TieBreak::Random)
+                .map_err(|_| format!("invalid random tie-break seed {seed:?}")),
+            None => Err(format!(
+                "unknown tie-break {other:?} (try: first-fit, latest-fit, hint, random:<seed>)"
+            )),
         },
     }
 }
@@ -84,6 +86,12 @@ fn main() {
         Some(_) => fail("--out needs a path".into()),
         None => default_out(),
     };
+    if args.len() > 3 {
+        fail(format!(
+            "unexpected extra arguments {:?} (usage: replay [instance.json] [strategy] [tie] [--out <path>])",
+            &args[3..]
+        ));
+    }
     let inst: Instance = match args.first() {
         Some(path) => {
             let json = std::fs::read_to_string(path)
@@ -95,10 +103,15 @@ fn main() {
             // Self-contained demo: archive + reload Theorem 2.1's trap.
             let inst = reqsched_adversary::thm21::scenario(4, 2).instance;
             let path = std::env::temp_dir().join("reqsched-demo-instance.json");
-            std::fs::write(&path, serde_json::to_string_pretty(&inst).unwrap())
-                .expect("write demo instance");
+            let json = serde_json::to_string_pretty(&inst)
+                .unwrap_or_else(|e| fail(format!("cannot serialize demo instance: {e}")));
+            if let Err(e) = std::fs::write(&path, json) {
+                fail(format!("cannot write {}: {e}", path.display()));
+            }
             println!("archived demo instance to {}", path.display());
-            match serde_json::from_str(&std::fs::read_to_string(&path).unwrap()) {
+            let reread = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| fail(format!("cannot re-read {}: {e}", path.display())));
+            match serde_json::from_str(&reread) {
                 Ok(reloaded) => reloaded,
                 // Offline dev containers vendor a stub serde_json whose
                 // deserializer always errors; keep the demo self-contained
@@ -113,7 +126,8 @@ fn main() {
         }
     };
 
-    let tie = parse_tie(args.get(2).map(String::as_str).unwrap_or("first-fit"));
+    let tie = parse_tie(args.get(2).map(String::as_str).unwrap_or("first-fit"))
+        .unwrap_or_else(|e| fail(e));
     let strat_name = args.get(1).map(String::as_str).unwrap_or("a_balance");
     let strat = parse_strategy(strat_name, tie).unwrap_or_else(|| {
         fail(format!(
@@ -180,8 +194,12 @@ fn main() {
     }
     println!("\n{report}");
     if let Some(dir) = out.parent() {
-        std::fs::create_dir_all(dir).expect("create output dir");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            fail(format!("cannot create {}: {e}", dir.display()));
+        }
     }
-    std::fs::write(&out, &report).expect("write replay report");
+    if let Err(e) = std::fs::write(&out, &report) {
+        fail(format!("cannot write {}: {e}", out.display()));
+    }
     eprintln!("wrote {}", out.display());
 }

@@ -13,14 +13,44 @@ fn fmt_opt(x: Option<f64>) -> String {
     x.map(|v| format!("{v:.4}")).unwrap_or_else(|| "—".into())
 }
 
+fn fail(msg: &str) -> ! {
+    eprintln!("table1: {msg}");
+    eprintln!("usage: table1 [phases] [--csv]");
+    std::process::exit(2);
+}
+
+/// Strict CLI parse: one optional positive-integer positional (`phases`)
+/// and the `--csv` flag. Anything else is an error, not a silent default.
+fn parse_args(args: &[String]) -> (u32, bool) {
+    let mut csv = false;
+    let mut positional: Vec<&str> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--csv" => csv = true,
+            s if s.starts_with("--") => fail(&format!("unknown flag {s:?}")),
+            s => positional.push(s),
+        }
+    }
+    if positional.len() > 1 {
+        fail(&format!(
+            "expected at most one positional argument (phases), got {positional:?}"
+        ));
+    }
+    let phases = match positional.first() {
+        None => 12,
+        Some(p) => match p.parse::<u32>() {
+            Ok(v) if v > 0 => v,
+            _ => fail(&format!(
+                "invalid phases value {p:?}: expected a positive integer"
+            )),
+        },
+    };
+    (phases, csv)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let phases: u32 = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(12);
-    let csv = args.iter().any(|a| a == "--csv");
+    let (phases, csv) = parse_args(&args);
 
     let mut table = Table::new(&[
         "strategy",

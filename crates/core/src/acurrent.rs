@@ -60,6 +60,18 @@ impl OnlineScheduler for ACurrent {
         "A_current"
     }
 
+    fn set_fault_plan(&mut self, plan: std::sync::Arc<reqsched_faults::FaultPlan>) {
+        // CurrentDelta freezes each request's adjacency once, against a
+        // single reusable "current round" column — that snapshot cannot
+        // express a slot that exists in some rounds and not in others, so
+        // under resource faults A_current falls back to the fresh per-round
+        // solve (which rebuilds the one-column graph with masking applied).
+        if plan.has_resource_faults() {
+            self.delta = None;
+        }
+        self.state.set_fault_plan(plan);
+    }
+
     fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
         if let Some(cd) = &mut self.delta {
             return cd.round(&mut self.state, round, arrivals);

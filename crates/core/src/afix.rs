@@ -48,6 +48,10 @@ impl OnlineScheduler for AFix {
         "A_fix"
     }
 
+    fn set_fault_plan(&mut self, plan: std::sync::Arc<reqsched_faults::FaultPlan>) {
+        self.state.set_fault_plan(plan);
+    }
+
     fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
         assert_eq!(round, self.state.front(), "rounds must be consecutive");
         for req in arrivals {

@@ -68,6 +68,10 @@ impl OnlineScheduler for ABalance {
         "A_balance"
     }
 
+    fn set_fault_plan(&mut self, plan: std::sync::Arc<reqsched_faults::FaultPlan>) {
+        self.state.set_fault_plan(plan);
+    }
+
     fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
         if let Some(dw) = &mut self.delta {
             dw.round_reschedulable(

@@ -169,6 +169,12 @@ impl DeltaWindow {
         let hi = req.expiry().get().min(front.get() + self.d as u64 - 1);
         for round in lo..=hi {
             for (pos, &res) in req.alternatives.as_slice().iter().enumerate() {
+                // The fault plan is static, so masking crashed/stalled slots
+                // at arrival stays exact for the frozen adjacency: a masked
+                // slot never becomes usable for this request again.
+                if !state.slot_usable(res, Round(round)) {
+                    continue;
+                }
                 if only_free && !state.slot_free(res, Round(round)) {
                     continue;
                 }

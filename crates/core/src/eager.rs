@@ -117,6 +117,10 @@ impl OnlineScheduler for AEager {
         "A_eager"
     }
 
+    fn set_fault_plan(&mut self, plan: std::sync::Arc<reqsched_faults::FaultPlan>) {
+        self.state.set_fault_plan(plan);
+    }
+
     fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
         if let Some(dw) = &mut self.delta {
             dw.round_reschedulable(

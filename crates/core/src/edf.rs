@@ -17,10 +17,22 @@
 
 use crate::schedule::Service;
 use crate::OnlineScheduler;
+use reqsched_faults::FaultPlan;
 use reqsched_model::{Request, RequestId, ResourceId, Round};
 use std::cmp::Reverse;
 use std::collections::BTreeSet;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Whether resource `i` may serve in `round` under an optional fault plan.
+/// A crashed or stalled resource keeps its queue (copies still expire from
+/// it naturally) and resumes service on recovery.
+fn resource_serves(faults: &Option<Arc<FaultPlan>>, i: usize, round: Round) -> bool {
+    match faults {
+        Some(plan) => plan.slot_usable(ResourceId(i as u32), round),
+        None => true,
+    }
+}
 
 /// Min-heap entry: earliest expiry first, ties by request id (FIFO-ish).
 type Entry = Reverse<(Round, RequestId)>;
@@ -45,6 +57,7 @@ impl EdfQueues {
 /// EDF for single-alternative requests (Observation 3.1). See module docs.
 pub struct EdfSingle {
     queues: EdfQueues,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl EdfSingle {
@@ -52,6 +65,7 @@ impl EdfSingle {
     pub fn new(n: u32) -> EdfSingle {
         EdfSingle {
             queues: EdfQueues::new(n),
+            faults: None,
         }
     }
 }
@@ -59,6 +73,10 @@ impl EdfSingle {
 impl OnlineScheduler for EdfSingle {
     fn name(&self) -> &str {
         "EDF-1"
+    }
+
+    fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
     }
 
     fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
@@ -73,6 +91,9 @@ impl OnlineScheduler for EdfSingle {
         }
         let mut served = Vec::new();
         for (i, q) in self.queues.queues.iter_mut().enumerate() {
+            if !resource_serves(&self.faults, i, round) {
+                continue; // crashed/stalled: queue intact, serve nothing
+            }
             while let Some(&Reverse((expiry, id))) = q.peek() {
                 q.pop();
                 if expiry < round {
@@ -96,6 +117,7 @@ pub struct EdfTwoChoice {
     served: BTreeSet<RequestId>,
     cancel_sibling: bool,
     wasted_slots: u64,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl EdfTwoChoice {
@@ -111,6 +133,7 @@ impl EdfTwoChoice {
             served: BTreeSet::new(),
             cancel_sibling,
             wasted_slots: 0,
+            faults: None,
         }
     }
 
@@ -129,6 +152,10 @@ impl OnlineScheduler for EdfTwoChoice {
         }
     }
 
+    fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
+    }
+
     fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
         for req in arrivals {
             for &alt in req.alternatives.as_slice() {
@@ -137,6 +164,9 @@ impl OnlineScheduler for EdfTwoChoice {
         }
         let mut out = Vec::new();
         for (i, q) in self.queues.queues.iter_mut().enumerate() {
+            if !resource_serves(&self.faults, i, round) {
+                continue; // crashed/stalled: queue intact, serve nothing
+            }
             while let Some(&Reverse((expiry, id))) = q.peek() {
                 if expiry < round {
                     q.pop();
@@ -267,6 +297,52 @@ mod tests {
         assert_eq!(a.wasted_slots(), 1);
         let s2 = a.on_round(Round(2), &[]);
         assert!(s2.is_empty());
+    }
+
+    #[test]
+    fn crashed_resource_serves_nothing_until_recovery() {
+        // One single-alternative request with a long deadline; its resource
+        // is down for rounds [0, 2). EDF keeps the queue and serves at
+        // recovery time (round 2) instead.
+        let mut b = TraceBuilder::new(4);
+        b.push_full(
+            Round(0),
+            reqsched_model::Alternatives::one(ResourceId(0)),
+            4,
+            0,
+            Default::default(),
+        );
+        let inst = Instance::new(1, 4, b.build());
+        let mut a = EdfSingle::new(1);
+        a.set_fault_plan(Arc::new(FaultPlan::empty(1).with_crash(
+            ResourceId(0),
+            Round(0),
+            Round(2),
+        )));
+        assert!(a
+            .on_round(Round(0), inst.trace.arrivals_at(Round(0)))
+            .is_empty());
+        assert!(a.on_round(Round(1), &[]).is_empty());
+        let s = a.on_round(Round(2), &[]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].request, RequestId(0));
+    }
+
+    #[test]
+    fn two_choice_degrades_to_surviving_replica() {
+        // Request (S0|S1), S0 permanently down: the S1 copy serves it.
+        let mut b = TraceBuilder::new(2);
+        b.push(0u64, 0u32, 1u32);
+        let inst = Instance::new(2, 2, b.build());
+        let mut a = EdfTwoChoice::new(2, true);
+        a.set_fault_plan(Arc::new(FaultPlan::empty(2).with_crash(
+            ResourceId(0),
+            Round(0),
+            Round(u64::MAX),
+        )));
+        let s = a.on_round(Round(0), inst.trace.arrivals_at(Round(0)));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].resource, ResourceId(1));
     }
 
     #[test]

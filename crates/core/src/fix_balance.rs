@@ -61,6 +61,10 @@ impl OnlineScheduler for AFixBalance {
         "A_fix_balance"
     }
 
+    fn set_fault_plan(&mut self, plan: std::sync::Arc<reqsched_faults::FaultPlan>) {
+        self.state.set_fault_plan(plan);
+    }
+
     fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
         if let Some(dw) = &mut self.delta {
             return dw.round_fix_balance(&mut self.state, &self.tie, round, arrivals);

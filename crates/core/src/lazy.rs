@@ -59,6 +59,10 @@ impl OnlineScheduler for ALazyMax {
         "A_lazy_max"
     }
 
+    fn set_fault_plan(&mut self, plan: std::sync::Arc<reqsched_faults::FaultPlan>) {
+        self.state.set_fault_plan(plan);
+    }
+
     fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
         if let Some(dw) = &mut self.delta {
             return dw.round_reschedulable(

@@ -48,6 +48,9 @@ pub use schedule::{RoundOutcome, ScheduleState, Service};
 pub use tiebreak::TieBreak;
 pub use window::{WindowGraph, WindowScratch};
 
+use std::sync::Arc;
+
+use reqsched_faults::FaultPlan;
 use reqsched_model::{Request, Round};
 
 /// A global online scheduling strategy, driven one round at a time.
@@ -76,4 +79,14 @@ pub trait OnlineScheduler {
     fn messages_total(&self) -> u64 {
         0
     }
+
+    /// Install a fault plan before the first round.
+    ///
+    /// A strategy that honors the plan never serves on a crashed or stalled
+    /// slot: the masked slots simply vanish from its feasibility graphs, so
+    /// requests degrade to their surviving replica. The default is a no-op;
+    /// the simulation driver independently validates every service against
+    /// the plan, so a strategy that ignores it fails loudly rather than
+    /// silently cheating.
+    fn set_fault_plan(&mut self, _plan: Arc<FaultPlan>) {}
 }

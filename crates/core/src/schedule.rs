@@ -1,8 +1,10 @@
 //! The schedule window: per-resource slot assignments over `t .. t+d-1`.
 
+use reqsched_faults::FaultPlan;
 use reqsched_model::{Request, RequestId, ResourceId, Round, NO_REQUEST};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// One service performed: `resource` executes `request` in the round the
 /// enclosing [`crate::OnlineScheduler::on_round`] call belongs to.
@@ -48,6 +50,8 @@ pub struct ScheduleState {
     rows: VecDeque<Vec<RequestId>>,
     /// Live requests keyed by id (deterministic iteration order).
     live: BTreeMap<RequestId, LiveReq>,
+    /// Installed fault plan; masked slots don't exist for this window.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl ScheduleState {
@@ -63,6 +67,31 @@ impl ScheduleState {
             front: Round::ZERO,
             rows,
             live: BTreeMap::new(),
+            faults: None,
+        }
+    }
+
+    /// Install a fault plan: crashed/stalled slots vanish from the window.
+    ///
+    /// Must happen before the first round; [`ScheduleState::assign`] rejects
+    /// masked slots from then on, and the graph builders skip them.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        assert_eq!(plan.n(), self.n, "fault plan resource count mismatch");
+        self.faults = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
+    /// Whether the slot `(resource, round)` exists under the fault plan:
+    /// the resource is up and not stalled (trivially true with no plan).
+    #[inline]
+    pub fn slot_usable(&self, resource: ResourceId, round: Round) -> bool {
+        match &self.faults {
+            Some(plan) => plan.slot_usable(resource, round),
+            None => true,
         }
     }
 
@@ -169,6 +198,12 @@ impl ScheduleState {
             entry.req.can_be_served(resource, round),
             "infeasible assignment {id:?} -> {resource:?}@{round:?}"
         );
+        if let Some(plan) = &self.faults {
+            assert!(
+                plan.slot_usable(resource, round),
+                "assignment {id:?} -> {resource:?}@{round:?} lands on a crashed or stalled slot"
+            );
+        }
         let slot = &mut self.rows[j][resource.index()];
         assert_eq!(*slot, NO_REQUEST, "slot {resource:?}@{round:?} occupied");
         *slot = id;
@@ -270,7 +305,9 @@ impl ScheduleState {
     /// 3. **window feasibility** — every assignment is a slot the request
     ///    can legally be served in (right resource, within its
     ///    arrival/deadline window);
-    /// 4. **deadline respect** — no live request has already expired.
+    /// 4. **deadline respect** — no live request has already expired;
+    /// 5. **fault respect** — no assignment lands on a slot the installed
+    ///    fault plan masks (crashed resource or stalled slot).
     ///
     /// [`ScheduleState::finish_round`] runs this at every round boundary
     /// when the feature is on.
@@ -307,6 +344,12 @@ impl ScheduleState {
                     entry.req.deadline,
                     entry.req.alternatives.as_slice(),
                 );
+                if let Some(plan) = &self.faults {
+                    assert!(
+                        plan.slot_usable(res, round),
+                        "audit: {occ:?} assigned to crashed/stalled slot {res:?}@{round:?}"
+                    );
+                }
             }
         }
         for entry in self.live.values() {
@@ -508,6 +551,37 @@ mod tests {
         assert!(st.drop_request(RequestId(0)));
         assert!(!st.drop_request(RequestId(0)));
         assert_eq!(st.live_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "crashed or stalled")]
+    fn assign_on_crashed_slot_panics() {
+        let mut st = ScheduleState::new(2, 2);
+        st.set_fault_plan(Arc::new(FaultPlan::empty(2).with_crash(
+            ResourceId(0),
+            Round(0),
+            Round(4),
+        )));
+        st.insert(&req(0, 0, 2, 0, 1));
+        st.assign(RequestId(0), ResourceId(0), Round(0));
+    }
+
+    #[test]
+    fn fault_plan_masks_slots_but_leaves_survivor() {
+        let mut st = ScheduleState::new(2, 2);
+        st.set_fault_plan(Arc::new(FaultPlan::empty(2).with_crash(
+            ResourceId(0),
+            Round(0),
+            Round(4),
+        )));
+        assert!(!st.slot_usable(ResourceId(0), Round(1)));
+        assert!(st.slot_usable(ResourceId(1), Round(1)));
+        // Degrade to the surviving replica.
+        st.insert(&req(0, 0, 2, 0, 1));
+        st.assign(RequestId(0), ResourceId(1), Round(0));
+        let out = st.finish_round();
+        assert_eq!(out.served.len(), 1);
+        assert_eq!(out.served[0].resource, ResourceId(1));
     }
 
     #[test]

@@ -195,6 +195,12 @@ impl WindowGraph {
                 let j = (round - front.get()) as u32;
                 for (pos, &res) in req.alternatives.as_slice().iter().enumerate() {
                     let slot_round = Round(round);
+                    // A crashed or stalled slot doesn't exist: its edges
+                    // vanish and the request degrades to whatever slots its
+                    // surviving alternative still offers.
+                    if !state.slot_usable(res, slot_round) {
+                        continue;
+                    }
                     let usable = if state.slot_free(res, slot_round) {
                         true
                     } else if include_occupied {

@@ -1,0 +1,121 @@
+//! Per-run envelope fate stream for fabric-level message faults.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::plan::FabricFaults;
+
+/// What happens to one envelope in flight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnvelopeFate {
+    /// Delivered normally.
+    Deliver,
+    /// Silently lost; the sender gets no response this round.
+    Lose,
+    /// Arrives late: demoted behind all on-time traffic, so it only gets
+    /// the bandwidth left after on-time admission.
+    Delay,
+    /// Duplicated in flight; the copy consumes bandwidth too.
+    Duplicate,
+}
+
+/// The seeded RNG stream mapping [`FabricFaults`] rates onto individual
+/// envelope fates.
+///
+/// One draw per non-control envelope, in exchange order — the communication
+/// fabric is driven single-threaded and deterministically, so the stream
+/// replays exactly for a given plan seed.
+#[derive(Clone, Debug)]
+pub struct FabricFaultState {
+    rng: ChaCha8Rng,
+    loss: f64,
+    delay: f64,
+    duplication: f64,
+}
+
+impl FabricFaultState {
+    /// Build the fate stream, or `None` when the rates can never fire
+    /// (so a fault-free fabric skips the draw entirely and stays
+    /// bit-identical to one with no fault plan at all).
+    pub fn new(f: &FabricFaults) -> Option<FabricFaultState> {
+        if f.is_none() {
+            return None;
+        }
+        Some(FabricFaultState {
+            rng: ChaCha8Rng::seed_from_u64(f.seed),
+            loss: f.loss,
+            delay: f.delay,
+            duplication: f.duplication,
+        })
+    }
+
+    /// Draw the fate of the next envelope.
+    pub fn fate(&mut self) -> EnvelopeFate {
+        let u: f64 = self.rng.gen();
+        if u < self.loss {
+            EnvelopeFate::Lose
+        } else if u < self.loss + self.delay {
+            EnvelopeFate::Delay
+        } else if u < self.loss + self.delay + self.duplication {
+            EnvelopeFate::Duplicate
+        } else {
+            EnvelopeFate::Deliver
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_fabric_has_no_state() {
+        assert!(FabricFaultState::new(&FabricFaults::NONE).is_none());
+        let calm = FabricFaults {
+            loss: 0.0,
+            delay: 0.0,
+            duplication: 0.0,
+            seed: 99,
+        };
+        assert!(FabricFaultState::new(&calm).is_none());
+    }
+
+    #[test]
+    fn fate_stream_is_deterministic() {
+        let f = FabricFaults {
+            loss: 0.3,
+            delay: 0.2,
+            duplication: 0.1,
+            seed: 7,
+        };
+        let mut a = FabricFaultState::new(&f).unwrap();
+        let mut b = FabricFaultState::new(&f).unwrap();
+        let fates_a: Vec<_> = (0..256).map(|_| a.fate()).collect();
+        let fates_b: Vec<_> = (0..256).map(|_| b.fate()).collect();
+        assert_eq!(fates_a, fates_b);
+        // All four fates occur at these rates over 256 draws.
+        for want in [
+            EnvelopeFate::Deliver,
+            EnvelopeFate::Lose,
+            EnvelopeFate::Delay,
+            EnvelopeFate::Duplicate,
+        ] {
+            assert!(fates_a.contains(&want), "missing fate {want:?}");
+        }
+    }
+
+    #[test]
+    fn pure_loss_only_loses_or_delivers() {
+        let f = FabricFaults {
+            loss: 0.5,
+            delay: 0.0,
+            duplication: 0.0,
+            seed: 3,
+        };
+        let mut s = FabricFaultState::new(&f).unwrap();
+        for _ in 0..128 {
+            let fate = s.fate();
+            assert!(matches!(fate, EnvelopeFate::Deliver | EnvelopeFate::Lose));
+        }
+    }
+}

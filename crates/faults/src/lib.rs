@@ -1,0 +1,32 @@
+//! Deterministic fault injection for the request-scheduling engine.
+//!
+//! The paper's whole premise is redundancy — every request names two
+//! alternative disks holding its replicas — yet competitive analysis is only
+//! meaningful on a faulty substrate if ALG and OPT are measured against the
+//! *same* fault trace (Zavou & Fernández Anta, "Online Distributed Scheduling
+//! on a Fault-prone Parallel System"). This crate provides that trace as a
+//! first-class, replayable value:
+//!
+//! * [`FaultPlan`] — a fully deterministic schedule of resource crash/recover
+//!   intervals, transient per-round slot stalls, and fabric-level message
+//!   fault rates (loss / delay / duplication). A plan is fixed before the run
+//!   starts, so every consumer (online strategies, the delta engines, the
+//!   streaming OPT, the offline horizon solver) masks exactly the same
+//!   `(resource, round)` slots and the ALG/OPT ratio compares schedules over
+//!   identical feasibility graphs.
+//! * [`ChaosConfig`] + [`FaultPlan::random`] — seeded generators
+//!   (ChaCha8-based; same seed ⇒ same plan, byte for byte).
+//! * [`script`] — a small text format for scripted adversarial fault traces
+//!   (`parse` / `render` round-trip exactly).
+//! * [`FabricFaultState`] — the per-run RNG stream that maps the plan's
+//!   fabric rates onto individual envelope fates.
+//!
+//! Nothing here reads the wall clock or a global RNG: a `FaultPlan` is data,
+//! and replaying it is always bit-exact.
+
+mod fabric;
+mod plan;
+pub mod script;
+
+pub use fabric::{EnvelopeFate, FabricFaultState};
+pub use plan::{ChaosConfig, CrashInterval, FabricFaults, FaultPlan};

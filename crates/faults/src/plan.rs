@@ -1,0 +1,447 @@
+//! The [`FaultPlan`] value: a deterministic, replayable fault trace.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use reqsched_model::{ResourceId, Round};
+
+/// A half-open downtime interval `[down_from, up_at)` of one resource.
+///
+/// The resource serves nothing and accepts no fabric messages during the
+/// interval; it is fully available again from round `up_at` on. `up_at ==
+/// u64::MAX` means the crash is permanent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CrashInterval {
+    /// The crashed resource.
+    pub resource: ResourceId,
+    /// First round of downtime.
+    pub down_from: Round,
+    /// First round the resource is back up (exclusive end).
+    pub up_at: Round,
+}
+
+/// Fabric-level message fault rates.
+///
+/// Each non-control envelope entering an exchange independently draws one
+/// fate from these rates (see [`crate::FabricFaultState`]): lost envelopes
+/// vanish without a response, delayed envelopes lose their admission
+/// priority for the round (they only get leftover bandwidth), duplicated
+/// envelopes consume bandwidth twice. The draw stream is seeded by `seed`,
+/// so a run is replayable.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FabricFaults {
+    /// Probability an envelope is silently lost.
+    pub loss: f64,
+    /// Probability an envelope is delayed (demoted to leftover bandwidth).
+    pub delay: f64,
+    /// Probability an envelope is duplicated in flight.
+    pub duplication: f64,
+    /// Seed of the per-run fate stream.
+    pub seed: u64,
+}
+
+impl FabricFaults {
+    /// A perfectly reliable fabric.
+    pub const NONE: FabricFaults = FabricFaults {
+        loss: 0.0,
+        delay: 0.0,
+        duplication: 0.0,
+        seed: 0,
+    };
+
+    /// True when no message fault can ever fire.
+    pub fn is_none(&self) -> bool {
+        self.loss <= 0.0 && self.delay <= 0.0 && self.duplication <= 0.0
+    }
+}
+
+/// Rates for the seeded random plan generator ([`FaultPlan::random`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChaosConfig {
+    /// Per-resource, per-round probability a healthy resource crashes.
+    pub crash_prob: f64,
+    /// Mean time to repair, in rounds (geometric; always at least one round).
+    pub mttr: f64,
+    /// Per-resource, per-round probability of a transient one-round stall.
+    pub stall_prob: f64,
+    /// Fabric message-loss probability.
+    pub loss: f64,
+    /// Fabric message-delay probability.
+    pub delay: f64,
+    /// Fabric message-duplication probability.
+    pub duplication: f64,
+}
+
+impl ChaosConfig {
+    /// No faults at all; `random` with this config yields an empty plan.
+    pub const CALM: ChaosConfig = ChaosConfig {
+        crash_prob: 0.0,
+        mttr: 1.0,
+        stall_prob: 0.0,
+        loss: 0.0,
+        delay: 0.0,
+        duplication: 0.0,
+    };
+}
+
+/// A deterministic fault trace over `n` resources.
+///
+/// The plan is immutable once handed to a run and is shared (`Arc`) between
+/// the online strategy, the engine's validation layer, and the fault-aware
+/// OPT, so all of them agree on which `(resource, round)` slots exist.
+///
+/// Two kinds of resource fault are distinguished:
+/// * **crashes** ([`FaultPlan::is_up`] is false): the resource serves
+///   nothing and fabric envelopes addressed to it are lost;
+/// * **stalls** ([`FaultPlan::is_stalled`]): the service slot of that single
+///   round is unusable, but the resource stays reachable on the fabric.
+///
+/// [`FaultPlan::slot_usable`] combines both and is the single predicate the
+/// feasibility-graph builders consult.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    n: u32,
+    /// Per-resource sorted, disjoint, merged half-open down intervals.
+    down: Vec<Vec<(u64, u64)>>,
+    /// Per-resource sorted, deduplicated stall rounds.
+    stalls: Vec<Vec<u64>>,
+    fabric: FabricFaults,
+}
+
+impl FaultPlan {
+    /// The empty plan: every resource up forever, a perfect fabric.
+    ///
+    /// Running the engine under the empty plan is bit-identical to running
+    /// it with no plan at all (proptest-enforced in `reqsched-sim`).
+    pub fn empty(n: u32) -> FaultPlan {
+        FaultPlan {
+            n,
+            down: vec![Vec::new(); n as usize],
+            stalls: vec![Vec::new(); n as usize],
+            fabric: FabricFaults::NONE,
+        }
+    }
+
+    /// Number of resources the plan covers.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Add a downtime interval `[down_from, up_at)` for `resource`.
+    ///
+    /// Overlapping or adjacent intervals are merged, so the stored intervals
+    /// stay sorted and disjoint. Empty intervals are ignored.
+    pub fn add_crash(&mut self, resource: ResourceId, down_from: Round, up_at: Round) {
+        assert!(
+            resource.index() < self.n as usize,
+            "crash: resource out of range"
+        );
+        let (from, until) = (down_from.get(), up_at.get());
+        if from >= until {
+            return;
+        }
+        let iv = &mut self.down[resource.index()];
+        iv.push((from, until));
+        iv.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(iv.len());
+        for &(a, b) in iv.iter() {
+            match merged.last_mut() {
+                Some(last) if a <= last.1 => last.1 = last.1.max(b),
+                _ => merged.push((a, b)),
+            }
+        }
+        *iv = merged;
+    }
+
+    /// Mark the single slot `(resource, round)` as stalled.
+    pub fn add_stall(&mut self, resource: ResourceId, round: Round) {
+        assert!(
+            resource.index() < self.n as usize,
+            "stall: resource out of range"
+        );
+        let st = &mut self.stalls[resource.index()];
+        if let Err(pos) = st.binary_search(&round.get()) {
+            st.insert(pos, round.get());
+        }
+    }
+
+    /// Set the fabric fault rates.
+    pub fn set_fabric(&mut self, fabric: FabricFaults) {
+        self.fabric = fabric;
+    }
+
+    /// Chainable [`FaultPlan::add_crash`].
+    pub fn with_crash(mut self, resource: ResourceId, down_from: Round, up_at: Round) -> Self {
+        self.add_crash(resource, down_from, up_at);
+        self
+    }
+
+    /// Chainable [`FaultPlan::add_stall`].
+    pub fn with_stall(mut self, resource: ResourceId, round: Round) -> Self {
+        self.add_stall(resource, round);
+        self
+    }
+
+    /// Chainable [`FaultPlan::set_fabric`].
+    pub fn with_fabric(mut self, fabric: FabricFaults) -> Self {
+        self.set_fabric(fabric);
+        self
+    }
+
+    /// True iff `resource` is not crashed at `round`.
+    #[inline]
+    pub fn is_up(&self, resource: ResourceId, round: Round) -> bool {
+        let iv = &self.down[resource.index()];
+        if iv.is_empty() {
+            return true;
+        }
+        let t = round.get();
+        // Last interval starting at or before t, if any, decides.
+        match iv.partition_point(|&(a, _)| a <= t) {
+            0 => true,
+            p => t >= iv[p - 1].1,
+        }
+    }
+
+    /// True iff the slot `(resource, round)` suffers a transient stall.
+    #[inline]
+    pub fn is_stalled(&self, resource: ResourceId, round: Round) -> bool {
+        let st = &self.stalls[resource.index()];
+        !st.is_empty() && st.binary_search(&round.get()).is_ok()
+    }
+
+    /// True iff the service slot `(resource, round)` exists at all: the
+    /// resource is up and not stalled. This is the single predicate every
+    /// feasibility-graph builder (window graphs, delta adjacency, streaming
+    /// OPT, horizon solves) consults, which is what keeps ALG and OPT on
+    /// identical graphs.
+    #[inline]
+    pub fn slot_usable(&self, resource: ResourceId, round: Round) -> bool {
+        self.is_up(resource, round) && !self.is_stalled(resource, round)
+    }
+
+    /// True iff any crash or stall is scheduled.
+    pub fn has_resource_faults(&self) -> bool {
+        self.down.iter().any(|iv| !iv.is_empty()) || self.stalls.iter().any(|st| !st.is_empty())
+    }
+
+    /// True iff the fabric can lose, delay or duplicate messages.
+    pub fn has_fabric_faults(&self) -> bool {
+        !self.fabric.is_none()
+    }
+
+    /// True iff the plan injects no fault of any kind.
+    pub fn is_empty(&self) -> bool {
+        !self.has_resource_faults() && !self.has_fabric_faults()
+    }
+
+    /// The fabric fault rates.
+    pub fn fabric(&self) -> &FabricFaults {
+        &self.fabric
+    }
+
+    /// All crash intervals, sorted by resource then start round.
+    pub fn crash_intervals(&self) -> Vec<CrashInterval> {
+        let mut out = Vec::new();
+        for (res, iv) in self.down.iter().enumerate() {
+            for &(a, b) in iv {
+                out.push(CrashInterval {
+                    resource: ResourceId(res as u32),
+                    down_from: Round(a),
+                    up_at: Round(b),
+                });
+            }
+        }
+        out
+    }
+
+    /// All stalled slots, sorted by resource then round.
+    pub fn stall_slots(&self) -> Vec<(ResourceId, Round)> {
+        let mut out = Vec::new();
+        for (res, st) in self.stalls.iter().enumerate() {
+            for &t in st {
+                out.push((ResourceId(res as u32), Round(t)));
+            }
+        }
+        out
+    }
+
+    /// Total number of crashed `(resource, round)` slots within the first
+    /// `rounds` rounds (for reporting downtime fractions).
+    pub fn downtime_slots(&self, rounds: u64) -> u64 {
+        let mut total = 0;
+        for iv in &self.down {
+            for &(a, b) in iv {
+                total += b.min(rounds).saturating_sub(a);
+            }
+        }
+        total
+    }
+
+    /// Generate a random plan over `rounds` rounds from seeded chaos rates.
+    ///
+    /// Fully deterministic in `(n, rounds, cfg, seed)`: per resource, a
+    /// healthy round crashes with probability `crash_prob` and repair time
+    /// is geometric with mean `mttr` (at least one round); healthy rounds
+    /// stall with probability `stall_prob`. The fabric rates are copied
+    /// verbatim with a seed derived from `seed`.
+    pub fn random(n: u32, rounds: u64, cfg: &ChaosConfig, seed: u64) -> FaultPlan {
+        let mut plan = FaultPlan::empty(n);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let repair_p = if cfg.mttr > 1.0 { 1.0 / cfg.mttr } else { 1.0 };
+        for res in 0..n {
+            let mut t = 0u64;
+            while t < rounds {
+                if cfg.crash_prob > 0.0 && rng.gen::<f64>() < cfg.crash_prob {
+                    // Geometric repair time with mean mttr, >= 1 round.
+                    let mut dur = 1u64;
+                    while dur < rounds && rng.gen::<f64>() >= repair_p {
+                        dur += 1;
+                    }
+                    plan.add_crash(ResourceId(res), Round(t), Round(t + dur));
+                    t += dur;
+                } else {
+                    if cfg.stall_prob > 0.0 && rng.gen::<f64>() < cfg.stall_prob {
+                        plan.add_stall(ResourceId(res), Round(t));
+                    }
+                    t += 1;
+                }
+            }
+        }
+        if cfg.loss > 0.0 || cfg.delay > 0.0 || cfg.duplication > 0.0 {
+            plan.set_fabric(FabricFaults {
+                loss: cfg.loss,
+                delay: cfg.delay,
+                duplication: cfg.duplication,
+                // Decorrelate the fate stream from the structural draws.
+                seed: seed ^ 0x9E37_79B9_7F4A_7C15,
+            });
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: u32) -> ResourceId {
+        ResourceId(v)
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let p = FaultPlan::empty(4);
+        assert!(p.is_empty());
+        assert!(!p.has_resource_faults());
+        assert!(!p.has_fabric_faults());
+        for res in 0..4 {
+            for t in 0..32 {
+                assert!(p.is_up(r(res), Round(t)));
+                assert!(p.slot_usable(r(res), Round(t)));
+            }
+        }
+    }
+
+    #[test]
+    fn crash_interval_is_half_open() {
+        let p = FaultPlan::empty(2).with_crash(r(1), Round(3), Round(6));
+        assert!(p.is_up(r(1), Round(2)));
+        assert!(!p.is_up(r(1), Round(3)));
+        assert!(!p.is_up(r(1), Round(5)));
+        assert!(p.is_up(r(1), Round(6)));
+        // The other resource is untouched.
+        assert!(p.is_up(r(0), Round(4)));
+        assert!(p.has_resource_faults());
+    }
+
+    #[test]
+    fn overlapping_crashes_merge() {
+        let mut p = FaultPlan::empty(1);
+        p.add_crash(r(0), Round(2), Round(5));
+        p.add_crash(r(0), Round(4), Round(8));
+        p.add_crash(r(0), Round(8), Round(9)); // adjacent: also merged
+        p.add_crash(r(0), Round(20), Round(21));
+        assert_eq!(
+            p.crash_intervals(),
+            vec![
+                CrashInterval {
+                    resource: r(0),
+                    down_from: Round(2),
+                    up_at: Round(9)
+                },
+                CrashInterval {
+                    resource: r(0),
+                    down_from: Round(20),
+                    up_at: Round(21)
+                },
+            ]
+        );
+        assert_eq!(p.downtime_slots(100), 8);
+        assert_eq!(p.downtime_slots(8), 6);
+    }
+
+    #[test]
+    fn empty_interval_ignored() {
+        let mut p = FaultPlan::empty(1);
+        p.add_crash(r(0), Round(5), Round(5));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn stalls_are_single_round_and_leave_resource_up() {
+        let p = FaultPlan::empty(2).with_stall(r(0), Round(7));
+        assert!(p.is_up(r(0), Round(7)));
+        assert!(p.is_stalled(r(0), Round(7)));
+        assert!(!p.slot_usable(r(0), Round(7)));
+        assert!(p.slot_usable(r(0), Round(6)));
+        assert!(p.slot_usable(r(0), Round(8)));
+    }
+
+    #[test]
+    fn stall_dedup() {
+        let mut p = FaultPlan::empty(1);
+        p.add_stall(r(0), Round(3));
+        p.add_stall(r(0), Round(3));
+        p.add_stall(r(0), Round(1));
+        assert_eq!(p.stall_slots(), vec![(r(0), Round(1)), (r(0), Round(3))]);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let cfg = ChaosConfig {
+            crash_prob: 0.05,
+            mttr: 4.0,
+            stall_prob: 0.02,
+            loss: 0.1,
+            delay: 0.05,
+            duplication: 0.01,
+        };
+        let a = FaultPlan::random(8, 200, &cfg, 42);
+        let b = FaultPlan::random(8, 200, &cfg, 42);
+        assert_eq!(a, b);
+        let c = FaultPlan::random(8, 200, &cfg, 43);
+        assert_ne!(a, c);
+        assert!(a.has_resource_faults());
+        assert!(a.has_fabric_faults());
+    }
+
+    #[test]
+    fn calm_config_yields_empty_plan() {
+        let p = FaultPlan::random(8, 200, &ChaosConfig::CALM, 7);
+        assert!(p.is_empty());
+        assert_eq!(p, FaultPlan::empty(8));
+    }
+
+    #[test]
+    fn random_respects_horizon() {
+        let cfg = ChaosConfig {
+            crash_prob: 0.5,
+            mttr: 3.0,
+            ..ChaosConfig::CALM
+        };
+        let p = FaultPlan::random(4, 50, &cfg, 1);
+        for iv in p.crash_intervals() {
+            assert!(iv.down_from.get() < 50);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! A small text format for scripted (adversarial) fault traces.
+//!
+//! ```text
+//! # lines starting with '#' are comments, blank lines are skipped
+//! n 4                                    # number of resources (required, first)
+//! crash 2 5..9                           # resource 2 down in rounds [5, 9)
+//! crash 3 12..                           # resource 3 down permanently from round 12
+//! stall 1 3                              # slot (resource 1, round 3) stalls
+//! fabric loss=0.05 delay=0.02 dup=0.01 seed=99
+//! ```
+//!
+//! [`parse`] and [`render`] round-trip exactly: `parse(&render(&p)) == Ok(p)`
+//! for every normalized plan (rendering normalizes interval order and
+//! merging the same way the builder does).
+
+use std::fmt;
+
+use reqsched_model::{ResourceId, Round};
+
+use crate::plan::{FabricFaults, FaultPlan};
+
+/// A parse failure, with the 1-based line it occurred on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScriptError {
+    /// 1-based line number of the offending line (0 for whole-file errors).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "fault script: {}", self.message)
+        } else {
+            write!(f, "fault script line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ScriptError> {
+    Err(ScriptError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn parse_u64(line: usize, what: &str, tok: &str) -> Result<u64, ScriptError> {
+    match tok.parse::<u64>() {
+        Ok(v) => Ok(v),
+        Err(_) => err(
+            line,
+            format!("invalid {what} '{tok}' (expected an unsigned integer)"),
+        ),
+    }
+}
+
+fn parse_f64(line: usize, what: &str, tok: &str) -> Result<f64, ScriptError> {
+    match tok.parse::<f64>() {
+        Ok(v) if (0.0..=1.0).contains(&v) => Ok(v),
+        Ok(_) => err(line, format!("{what} must be within [0, 1], got '{tok}'")),
+        Err(_) => err(
+            line,
+            format!("invalid {what} '{tok}' (expected a probability)"),
+        ),
+    }
+}
+
+/// Parse a fault script into a [`FaultPlan`].
+pub fn parse(text: &str) -> Result<FaultPlan, ScriptError> {
+    let mut plan: Option<FaultPlan> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let Some(keyword) = toks.next() else { continue };
+        if keyword == "n" {
+            if plan.is_some() {
+                return err(lineno, "duplicate 'n' directive");
+            }
+            let Some(tok) = toks.next() else {
+                return err(lineno, "'n' needs a resource count");
+            };
+            let n = parse_u64(lineno, "resource count", tok)?;
+            if n == 0 || n > u32::MAX as u64 {
+                return err(lineno, format!("resource count {n} out of range"));
+            }
+            plan = Some(FaultPlan::empty(n as u32));
+            continue;
+        }
+        let Some(plan) = plan.as_mut() else {
+            return err(
+                lineno,
+                format!("'{keyword}' before the 'n <resources>' directive"),
+            );
+        };
+        match keyword {
+            "crash" => {
+                let (Some(res_tok), Some(range_tok)) = (toks.next(), toks.next()) else {
+                    return err(lineno, "usage: crash <resource> <from>..<until>");
+                };
+                let res = parse_u64(lineno, "resource", res_tok)?;
+                if res >= plan.n() as u64 {
+                    return err(
+                        lineno,
+                        format!("resource {res} out of range (n = {})", plan.n()),
+                    );
+                }
+                let Some((from_tok, until_tok)) = range_tok.split_once("..") else {
+                    return err(
+                        lineno,
+                        format!(
+                            "invalid interval '{range_tok}' (expected <from>..<until> or <from>..)"
+                        ),
+                    );
+                };
+                let from = parse_u64(lineno, "interval start", from_tok)?;
+                let until = if until_tok.is_empty() {
+                    u64::MAX
+                } else {
+                    parse_u64(lineno, "interval end", until_tok)?
+                };
+                if from >= until {
+                    return err(lineno, format!("empty interval {from}..{until}"));
+                }
+                plan.add_crash(ResourceId(res as u32), Round(from), Round(until));
+            }
+            "stall" => {
+                let (Some(res_tok), Some(round_tok)) = (toks.next(), toks.next()) else {
+                    return err(lineno, "usage: stall <resource> <round>");
+                };
+                let res = parse_u64(lineno, "resource", res_tok)?;
+                if res >= plan.n() as u64 {
+                    return err(
+                        lineno,
+                        format!("resource {res} out of range (n = {})", plan.n()),
+                    );
+                }
+                let round = parse_u64(lineno, "round", round_tok)?;
+                plan.add_stall(ResourceId(res as u32), Round(round));
+            }
+            "fabric" => {
+                let mut fabric = FabricFaults::NONE;
+                for kv in toks {
+                    let Some((key, val)) = kv.split_once('=') else {
+                        return err(
+                            lineno,
+                            format!("invalid fabric setting '{kv}' (expected key=value)"),
+                        );
+                    };
+                    match key {
+                        "loss" => fabric.loss = parse_f64(lineno, "loss rate", val)?,
+                        "delay" => fabric.delay = parse_f64(lineno, "delay rate", val)?,
+                        "dup" => fabric.duplication = parse_f64(lineno, "duplication rate", val)?,
+                        "seed" => fabric.seed = parse_u64(lineno, "fabric seed", val)?,
+                        other => return err(lineno, format!("unknown fabric setting '{other}'")),
+                    }
+                }
+                plan.set_fabric(fabric);
+            }
+            other => return err(lineno, format!("unknown directive '{other}'")),
+        }
+    }
+    match plan {
+        Some(p) => Ok(p),
+        None => err(0, "missing 'n <resources>' directive"),
+    }
+}
+
+/// Render a plan in the script format; [`parse`] inverts it exactly.
+pub fn render(plan: &FaultPlan) -> String {
+    use fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "n {}", plan.n());
+    for iv in plan.crash_intervals() {
+        if iv.up_at.get() == u64::MAX {
+            let _ = writeln!(out, "crash {} {}..", iv.resource.0, iv.down_from.get());
+        } else {
+            let _ = writeln!(
+                out,
+                "crash {} {}..{}",
+                iv.resource.0,
+                iv.down_from.get(),
+                iv.up_at.get()
+            );
+        }
+    }
+    for (res, round) in plan.stall_slots() {
+        let _ = writeln!(out, "stall {} {}", res.0, round.get());
+    }
+    let f = plan.fabric();
+    if !f.is_none() {
+        let _ = writeln!(
+            out,
+            "fabric loss={} delay={} dup={} seed={}",
+            f.loss, f.delay, f.duplication, f.seed
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ChaosConfig;
+
+    #[test]
+    fn parses_documented_example() {
+        let text = "\
+# adversarial trace
+n 4
+crash 2 5..9
+crash 3 12..
+stall 1 3    # transient
+fabric loss=0.05 delay=0.02 dup=0.01 seed=99
+";
+        let p = parse(text).unwrap();
+        assert_eq!(p.n(), 4);
+        assert!(!p.is_up(ResourceId(2), Round(5)));
+        assert!(p.is_up(ResourceId(2), Round(9)));
+        assert!(!p.is_up(ResourceId(3), Round(1_000_000)));
+        assert!(p.is_stalled(ResourceId(1), Round(3)));
+        assert_eq!(p.fabric().loss, 0.05);
+        assert_eq!(p.fabric().seed, 99);
+    }
+
+    #[test]
+    fn roundtrips_exactly() {
+        let cfg = ChaosConfig {
+            crash_prob: 0.08,
+            mttr: 5.0,
+            stall_prob: 0.03,
+            loss: 0.1,
+            delay: 0.05,
+            duplication: 0.02,
+        };
+        let p = FaultPlan::random(6, 120, &cfg, 17);
+        assert_eq!(parse(&render(&p)), Ok(p));
+        let empty = FaultPlan::empty(3);
+        assert_eq!(parse(&render(&empty)), Ok(empty));
+    }
+
+    #[test]
+    fn rejects_bad_input_with_line_numbers() {
+        for (text, want_line) in [
+            ("crash 0 1..2", 1),         // before n
+            ("n 2\ncrash 5 1..2", 2),    // resource out of range
+            ("n 2\ncrash 1 9..3", 2),    // empty interval
+            ("n 2\nstall 0", 2),         // missing round
+            ("n 2\nfabric loss=2.0", 2), // rate out of range
+            ("n 2\nfabric loss", 2),     // not key=value
+            ("n 2\nwarp 0 1", 2),        // unknown directive
+            ("n 2\nn 3", 2),             // duplicate n
+            ("n potato", 1),             // bad count
+        ] {
+            let e = parse(text).unwrap_err();
+            assert_eq!(e.line, want_line, "text: {text:?} -> {e}");
+        }
+        assert_eq!(parse("# nothing\n").unwrap_err().line, 0);
+    }
+
+    #[test]
+    fn error_display_mentions_line() {
+        let e = parse("n 2\nwarp").unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+    }
+}

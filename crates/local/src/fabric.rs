@@ -2,7 +2,9 @@
 //! exchange with LDF admission.
 
 use reqsched_core::ScheduleState;
+use reqsched_faults::{EnvelopeFate, FabricFaultState, FaultPlan};
 use reqsched_model::{RequestId, ResourceId, Round};
+use std::sync::Arc;
 
 /// One message from a request (client) to a resource.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -28,6 +30,11 @@ pub struct ExchangeOutcome<M> {
     /// Messages that exceeded the bandwidth cap; their senders have been
     /// notified of the failure.
     pub bounced: Vec<Envelope<M>>,
+    /// Messages that never arrived: addressed to a crashed resource, or
+    /// eaten by the fabric's loss rate. **No notification reaches the
+    /// sender** — this list exists for the driver, which plays the role of
+    /// each sender's local timeout and feeds retry-with-backoff wrappers.
+    pub lost: Vec<Envelope<M>>,
 }
 
 impl<M> ExchangeOutcome<M> {
@@ -53,6 +60,12 @@ pub struct CommFabric {
     comm_rounds: u64,
     messages: u64,
     workers: usize,
+    /// Fault plan (crashed resources receive nothing), if installed.
+    plan: Option<Arc<FaultPlan>>,
+    /// Seeded per-envelope fate stream for loss/delay/duplication.
+    fate: Option<FabricFaultState>,
+    /// Current scheduling round (for crash lookups), set by `begin_round`.
+    round: Round,
 }
 
 impl CommFabric {
@@ -66,7 +79,24 @@ impl CommFabric {
             comm_rounds: 0,
             messages: 0,
             workers: 1,
+            plan: None,
+            fate: None,
+            round: Round::ZERO,
         }
+    }
+
+    /// Install a fault plan: envelopes to crashed resources are lost, and
+    /// the plan's fabric rates drive per-envelope loss/delay/duplication.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        assert_eq!(plan.n(), self.n, "fault plan resource count mismatch");
+        self.fate = FabricFaultState::new(plan.fabric());
+        self.plan = Some(plan);
+    }
+
+    /// Tell the fabric which scheduling round the next exchanges belong to
+    /// (local strategies call this at the top of every `on_round`).
+    pub fn begin_round(&mut self, round: Round) {
+        self.round = round;
     }
 
     /// Like [`CommFabric::new`], but admission runs on `workers` scoped
@@ -94,20 +124,58 @@ impl CommFabric {
     /// Perform one communication round: deliver up to `cap` messages per
     /// resource. High-priority envelopes are admitted first, then LDF order
     /// (latest expiry first, ties towards earlier request ids).
-    pub fn exchange<M: Send>(&mut self, msgs: Vec<Envelope<M>>) -> ExchangeOutcome<M> {
+    ///
+    /// Under an installed fault plan, envelopes addressed to a crashed
+    /// resource are lost, and every other non-priority envelope draws a
+    /// fate from the plan's fabric rates: lost envelopes vanish silently,
+    /// delayed ones arrive behind all on-time traffic (they only get the
+    /// bandwidth left over), duplicated ones consume bandwidth twice but
+    /// deliver at most once. High-priority envelopes ride the fabric's
+    /// reserved control channel: they are never lost, delayed, duplicated
+    /// — or bounced (see [`ExchangeOutcome::bounced`]).
+    pub fn exchange<M: Send + Clone>(&mut self, msgs: Vec<Envelope<M>>) -> ExchangeOutcome<M> {
         let mut per_resource: Vec<Vec<Envelope<M>>> = (0..self.n).map(|_| Vec::new()).collect();
         if msgs.is_empty() {
             return ExchangeOutcome {
                 per_resource,
                 bounced: Vec::new(),
+                lost: Vec::new(),
             };
         }
         self.comm_rounds += 1;
         self.messages += msgs.len() as u64;
+        let mut lost: Vec<Envelope<M>> = Vec::new();
+        let mut delayed: Vec<Envelope<M>> = Vec::new();
+        let mut duplicated = false;
         for env in msgs {
+            if let Some(plan) = &self.plan {
+                if !plan.is_up(env.to, self.round) {
+                    lost.push(env); // crashed receiver: the message evaporates
+                    continue;
+                }
+            }
+            if !env.high_priority {
+                if let Some(fate) = &mut self.fate {
+                    match fate.fate() {
+                        EnvelopeFate::Deliver => {}
+                        EnvelopeFate::Lose => {
+                            lost.push(env);
+                            continue;
+                        }
+                        EnvelopeFate::Delay => {
+                            delayed.push(env);
+                            continue;
+                        }
+                        EnvelopeFate::Duplicate => {
+                            duplicated = true;
+                            per_resource[env.to.index()].push(env.clone());
+                        }
+                    }
+                }
+            }
             per_resource[env.to.index()].push(env);
         }
-        let bounced = if self.workers <= 1 || per_resource.len() < 2 {
+        let mut bounced = if self.workers <= 1 || per_resource.len() < 2 {
             let mut bounced = Vec::new();
             for inbox in &mut per_resource {
                 Self::admit(inbox, self.cap, &mut bounced);
@@ -116,14 +184,49 @@ impl CommFabric {
         } else {
             self.admit_threaded(&mut per_resource)
         };
+        if !delayed.is_empty() {
+            // Late arrivals compete only for the bandwidth left after
+            // on-time admission; within the late batch the normal LDF
+            // admission order applies.
+            let mut late: Vec<Vec<Envelope<M>>> = (0..self.n).map(|_| Vec::new()).collect();
+            for env in delayed {
+                late[env.to.index()].push(env);
+            }
+            for (inbox, late_inbox) in per_resource.iter_mut().zip(late.iter_mut()) {
+                if late_inbox.is_empty() {
+                    continue;
+                }
+                let room = self.cap.saturating_sub(inbox.len());
+                Self::admit(late_inbox, room, &mut bounced);
+                inbox.append(late_inbox);
+            }
+        }
+        if duplicated {
+            // At most one copy of a duplicated envelope is delivered; the
+            // surplus copy burnt bandwidth during admission but produces no
+            // notification of any kind (the sender only sent once).
+            for inbox in &mut per_resource {
+                let mut seen = std::collections::BTreeSet::new();
+                inbox.retain(|e| seen.insert(e.from));
+            }
+            bounced.retain(|e| !per_resource[e.to.index()].iter().any(|d| d.from == e.from));
+            let mut seen = std::collections::BTreeSet::new();
+            bounced.retain(|e| seen.insert((e.to, e.from)));
+        }
         ExchangeOutcome {
             per_resource,
             bounced,
+            lost,
         }
     }
 
     /// Per-resource admission: priority tag first, then latest deadline
-    /// first, ties by request id; everything past the cap bounces.
+    /// first, ties by request id. Everything past the cap bounces — except
+    /// high-priority envelopes, which are **cap-exempt**: the control tags
+    /// the local protocols hand out must never bounce, so when they alone
+    /// exceed the cap the admission keeps all of them (and no normal
+    /// traffic). With at most `cap` priority envelopes the admitted count
+    /// is exactly `min(len, cap)`, as before.
     fn admit<M>(inbox: &mut Vec<Envelope<M>>, cap: usize, bounced: &mut Vec<Envelope<M>>) {
         inbox.sort_by(|a, b| {
             b.high_priority
@@ -131,10 +234,12 @@ impl CommFabric {
                 .then(b.ldf_key.cmp(&a.ldf_key))
                 .then(a.from.cmp(&b.from))
         });
+        let priority = inbox.iter().take_while(|e| e.high_priority).count();
+        let keep = cap.max(priority);
         // Pop order (worst-first) is part of the bounce protocol; `rev()`
         // preserves it while avoiding per-element emptiness checks.
-        if inbox.len() > cap {
-            bounced.extend(inbox.drain(cap..).rev());
+        if inbox.len() > keep {
+            bounced.extend(inbox.drain(keep..).rev());
         }
     }
 
@@ -192,7 +297,10 @@ pub fn accept_latest_fit(
         let mut placed = false;
         let mut r = hi;
         loop {
-            if state.slot_free(res, Round(r)) {
+            // A crashed or stalled slot is skipped exactly like an occupied
+            // one: the request degrades to an earlier usable slot, or is
+            // rejected (and will fall back to its surviving alternative).
+            if state.slot_free(res, Round(r)) && state.slot_usable(res, Round(r)) {
                 state.assign(id, res, Round(r));
                 accepted.push(id);
                 placed = true;
@@ -213,6 +321,7 @@ pub fn accept_latest_fit(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use reqsched_faults::FabricFaults;
 
     fn env(to: u32, from: u32, expiry: u64) -> Envelope<()> {
         Envelope {
@@ -306,6 +415,176 @@ mod tests {
             assert_eq!(serial.comm_rounds(), threaded.comm_rounds());
             assert_eq!(serial.messages(), threaded.messages());
         }
+    }
+
+    #[test]
+    fn crashed_receiver_loses_every_envelope() {
+        let plan = FaultPlan::empty(2).with_crash(ResourceId(0), Round(0), Round(5));
+        let mut f = CommFabric::new(2, 4);
+        f.set_fault_plan(Arc::new(plan));
+        f.begin_round(Round(1));
+        let mut hp = env(0, 7, 9);
+        hp.high_priority = true; // even priority tags die with the receiver
+        let out = f.exchange(vec![env(0, 1, 3), hp, env(1, 2, 3)]);
+        assert_eq!(out.per_resource[0].len(), 0);
+        assert_eq!(out.per_resource[1].len(), 1);
+        assert!(out.bounced.is_empty(), "loss is silent, not a bounce");
+        let mut lost: Vec<u32> = out.lost.iter().map(|e| e.from.0).collect();
+        lost.sort_unstable();
+        assert_eq!(lost, vec![1, 7]);
+        // After recovery the same fabric delivers again.
+        f.begin_round(Round(5));
+        let out = f.exchange(vec![env(0, 1, 8)]);
+        assert_eq!(out.per_resource[0].len(), 1);
+        assert!(out.lost.is_empty());
+    }
+
+    #[test]
+    fn every_bounced_sender_is_notified_and_reenqueues_next_round() {
+        // Satellite pinning: an over-cap exchange must account for every
+        // envelope — delivered + bounced partitions the batch exactly (no
+        // silent drops), each bounced envelope comes back intact so its
+        // sender can re-enqueue it, and the re-send next round succeeds.
+        let mut f = CommFabric::new(1, 2);
+        let sent: Vec<Envelope<()>> = (0..5).map(|i| env(0, i, 3 + u64::from(i))).collect();
+        let out = f.exchange(sent.clone());
+        assert_eq!(
+            out.delivered_count() + out.bounced.len(),
+            sent.len(),
+            "every envelope is either delivered or bounced back"
+        );
+        assert!(out.lost.is_empty());
+        for b in &out.bounced {
+            let original = sent.iter().find(|e| e.from == b.from);
+            assert_eq!(original, Some(b), "bounce returns the envelope intact");
+        }
+        // The notified senders retry in the next communication round.
+        let retry: Vec<Envelope<()>> = out.bounced.clone();
+        assert_eq!(retry.len(), 3);
+        let out2 = f.exchange(retry);
+        assert_eq!(out2.delivered_count(), 2);
+        assert_eq!(out2.bounced.len(), 1);
+    }
+
+    #[test]
+    fn high_priority_is_never_bounced_even_over_cap() {
+        let mut f = CommFabric::new(1, 2);
+        let mut msgs: Vec<Envelope<()>> = (0..3)
+            .map(|i| {
+                let mut e = env(0, i, 1);
+                e.high_priority = true;
+                e
+            })
+            .collect();
+        msgs.push(env(0, 9, 99)); // best LDF key, but no priority tag
+        let out = f.exchange(msgs);
+        let inbox = &out.per_resource[0];
+        assert_eq!(inbox.len(), 3, "cap-exempt: all priority tags admitted");
+        assert!(inbox.iter().all(|e| e.high_priority));
+        assert_eq!(out.bounced.len(), 1);
+        assert_eq!(out.bounced[0].from, RequestId(9));
+    }
+
+    #[test]
+    fn fabric_loss_spares_priority_and_is_deterministic() {
+        let fabric = FabricFaults {
+            loss: 1.0,
+            delay: 0.0,
+            duplication: 0.0,
+            seed: 11,
+        };
+        let plan = Arc::new(FaultPlan::empty(1).with_fabric(fabric));
+        let mut f = CommFabric::new(1, 8);
+        f.set_fault_plan(Arc::clone(&plan));
+        let mut hp = env(0, 3, 1);
+        hp.high_priority = true;
+        let out = f.exchange(vec![env(0, 0, 5), env(0, 1, 5), hp]);
+        assert_eq!(out.per_resource[0].len(), 1, "only the tag survives");
+        assert!(out.per_resource[0][0].high_priority);
+        assert_eq!(out.lost.len(), 2);
+        // Identical seed + identical traffic => identical fates.
+        let mut g = CommFabric::new(1, 8);
+        g.set_fault_plan(plan);
+        let mut hp = env(0, 3, 1);
+        hp.high_priority = true;
+        let out2 = g.exchange(vec![env(0, 0, 5), env(0, 1, 5), hp]);
+        assert_eq!(out.per_resource, out2.per_resource);
+        assert_eq!(out.lost, out2.lost);
+    }
+
+    #[test]
+    fn delayed_envelopes_only_get_leftover_bandwidth() {
+        let fabric = FabricFaults {
+            loss: 0.0,
+            delay: 1.0,
+            duplication: 0.0,
+            seed: 0,
+        };
+        let mut f = CommFabric::new(1, 2);
+        f.set_fault_plan(Arc::new(FaultPlan::empty(1).with_fabric(fabric)));
+        let mut hp = env(0, 3, 1);
+        hp.high_priority = true;
+        // The on-time tag takes one of the two slots; the delayed pair
+        // competes for the single leftover slot and the better LDF key wins.
+        let out = f.exchange(vec![env(0, 0, 9), env(0, 1, 2), hp]);
+        let inbox = &out.per_resource[0];
+        assert_eq!(inbox.len(), 2);
+        assert_eq!(inbox[0].from, RequestId(3), "on-time traffic first");
+        assert_eq!(inbox[1].from, RequestId(0), "late winner by LDF");
+        assert_eq!(out.bounced.len(), 1);
+        assert_eq!(out.bounced[0].from, RequestId(1));
+        assert!(out.lost.is_empty());
+    }
+
+    #[test]
+    fn duplicated_envelopes_deliver_and_bounce_at_most_once() {
+        let fabric = FabricFaults {
+            loss: 0.0,
+            delay: 0.0,
+            duplication: 1.0,
+            seed: 0,
+        };
+        let mut f = CommFabric::new(1, 2);
+        f.set_fault_plan(Arc::new(FaultPlan::empty(1).with_fabric(fabric)));
+        // Two envelopes, each duplicated: four copies compete for cap 2.
+        // Both admitted copies belong to the LDF winner, which must still be
+        // delivered exactly once; the loser is bounced exactly once.
+        let out = f.exchange(vec![env(0, 0, 9), env(0, 1, 2)]);
+        let inbox = &out.per_resource[0];
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].from, RequestId(0));
+        assert_eq!(out.bounced.len(), 1, "surplus bounce copies are deduped");
+        assert_eq!(out.bounced[0].from, RequestId(1));
+        // With room for everything, duplication is invisible to the outcome.
+        let mut g = CommFabric::new(1, 8);
+        g.set_fault_plan(Arc::new(FaultPlan::empty(1).with_fabric(fabric)));
+        let out = g.exchange(vec![env(0, 0, 9), env(0, 1, 2)]);
+        assert_eq!(out.per_resource[0].len(), 2);
+        assert!(out.bounced.is_empty());
+    }
+
+    #[test]
+    fn accept_latest_fit_degrades_around_masked_slots() {
+        use reqsched_model::{Alternatives, Hint, Request};
+        let mut st = ScheduleState::new(1, 3);
+        st.set_fault_plan(Arc::new(
+            FaultPlan::empty(1).with_stall(ResourceId(0), Round(2)),
+        ));
+        st.insert(&Request {
+            id: RequestId(0),
+            arrival: Round(0),
+            alternatives: Alternatives::one(ResourceId(0)),
+            deadline: 3,
+            tag: 0,
+            hint: Hint::default(),
+        });
+        // Latest fit would pick round 2, but that slot is stalled: the
+        // request degrades to round 1.
+        let delivered = vec![(RequestId(0), Round(2))];
+        let (acc, rej) = accept_latest_fit(&mut st, ResourceId(0), &delivered);
+        assert_eq!(acc, vec![RequestId(0)]);
+        assert!(rej.is_empty());
+        assert_eq!(st.occupant(ResourceId(0), Round(1)), Some(RequestId(0)));
     }
 
     #[test]

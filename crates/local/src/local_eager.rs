@@ -22,10 +22,23 @@
 //! Communication rounds are counted by the [`CommFabric`]; empty waves cost
 //! nothing, so the total is at most 9 per scheduling round (the paper's
 //! figure).
+//!
+//! # Fault handling
+//!
+//! The protocol is synchronous, so a missing response *within the round* is
+//! detectable: a request whose first-alternative probe vanished simply
+//! joins the second-alternative wave (an implicit timeout), and a rival
+//! whose take-request got lost counts as an attempt-1 loser. Everything
+//! else retries for free: phases 1 and 3 re-run every scheduling round for
+//! all still-unscheduled requests, which bounds the retrying by the
+//! request's own deadline. Crashed or stalled current slots are skipped
+//! wherever the protocol would grant them.
 
 use crate::fabric::{accept_latest_fit, CommFabric, Envelope};
 use reqsched_core::{OnlineScheduler, ScheduleState, Service};
+use reqsched_faults::FaultPlan;
 use reqsched_model::{Request, RequestId, ResourceId, Round};
+use std::sync::Arc;
 
 /// The `A_local_eager` strategy. See module docs.
 pub struct ALocalEager {
@@ -82,7 +95,9 @@ impl ALocalEager {
         self.state.live(id).expect("live").req.expiry()
     }
 
-    /// Phase 1 probe wave (same mechanics as `A_local_fix`).
+    /// Phase 1 probe wave (same mechanics as `A_local_fix`). Lost envelopes
+    /// count as failures: the synchronous round structure lets the sender
+    /// treat the missing response as an implicit timeout.
     fn probe_wave(&mut self, ids: &[RequestId], alt: usize) -> Vec<RequestId> {
         let msgs: Vec<Envelope<()>> = ids
             .iter()
@@ -96,6 +111,7 @@ impl ALocalEager {
             .collect();
         let out = self.fabric.exchange(msgs);
         let mut failed: Vec<RequestId> = out.bounced.iter().map(|e| e.from).collect();
+        failed.extend(out.lost.iter().map(|e| e.from));
         for (i, inbox) in out.per_resource.iter().enumerate() {
             if inbox.is_empty() {
                 continue;
@@ -141,7 +157,10 @@ impl ALocalEager {
         let mut cancels: Vec<Envelope<()>> = Vec::new();
         for (i, inbox) in out.per_resource.iter().enumerate() {
             let res = ResourceId(i as u32);
-            if inbox.is_empty() || !self.state.slot_free(res, front) {
+            if inbox.is_empty()
+                || !self.state.slot_free(res, front)
+                || !self.state.slot_usable(res, front)
+            {
                 continue;
             }
             let winner = inbox[0].from;
@@ -190,15 +209,22 @@ impl ALocalEager {
     ) -> (Vec<Nomination>, Vec<RequestId>) {
         let front = self.state.front();
         let mut losers: Vec<RequestId> = out.bounced.iter().map(|e| e.from).collect();
+        // Lost petitions: the implicit timeout makes their senders losers
+        // (tags are never petitions and never lost while their host is up).
+        losers.extend(out.lost.iter().filter(|e| !e.high_priority).map(|e| e.from));
         let mut nominations = Vec::new();
         for (i, inbox) in out.per_resource.iter().enumerate() {
             let host = ResourceId(i as u32);
+            // A crashed host loses its inbox before this point; a *stalled*
+            // current slot still receives petitions but has nothing to
+            // grant, so every petitioner is a loser.
+            let host_usable = self.state.slot_usable(host, front);
             let mut nominated = false;
             for env in inbox {
                 if env.high_priority {
                     continue; // tag messages ride the same wave; not petitions
                 }
-                if nominated {
+                if nominated || !host_usable {
                     losers.push(env.from);
                     continue;
                 }
@@ -252,6 +278,9 @@ impl ALocalEager {
         }
         let out = self.fabric.exchange(take_msgs);
         losers.extend(out.bounced.iter().map(|e| e.from));
+        // A lost take-request aborts the planned exchange: no response
+        // arrives, so q times out and counts itself a loser.
+        losers.extend(out.lost.iter().map(|e| e.from));
         for (i, inbox) in out.per_resource.iter().enumerate() {
             let target = ResourceId(i as u32);
             for env in inbox {
@@ -263,7 +292,10 @@ impl ALocalEager {
                 let mut round = hi;
                 loop {
                     let cand = Round(round);
-                    if self.state.slot_free(target, cand) && !reserved.contains(&(target, cand)) {
+                    if self.state.slot_free(target, cand)
+                        && self.state.slot_usable(target, cand)
+                        && !reserved.contains(&(target, cand))
+                    {
                         slot = Some(cand);
                         break;
                     }
@@ -328,8 +360,14 @@ impl OnlineScheduler for ALocalEager {
         "A_local_eager"
     }
 
+    fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.fabric.set_fault_plan(Arc::clone(&plan));
+        self.state.set_fault_plan(plan);
+    }
+
     fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
         assert_eq!(round, self.state.front(), "rounds must be consecutive");
+        self.fabric.begin_round(round);
         for req in arrivals {
             self.state.insert(req);
         }
@@ -475,6 +513,83 @@ mod tests {
             assert!(used <= 9, "round {t} used {used} comm rounds");
             last = a.comm_rounds_total();
         }
+    }
+
+    #[test]
+    fn crashed_first_alternative_degrades_immediately() {
+        use std::sync::Arc;
+        // S0 down for good: the synchronous timeout folds the lost probe
+        // into the second-alternative wave of the same round, so the
+        // request lands on S1 in its arrival round (latest-fit slot).
+        let mut b = TraceBuilder::new(2);
+        b.push(0u64, 0u32, 1u32);
+        let inst = Instance::new(2, 2, b.build());
+        let mut a = ALocalEager::new(2, 2);
+        let plan = reqsched_faults::FaultPlan::empty(2).with_crash(
+            ResourceId(0),
+            Round(0),
+            Round(u64::MAX),
+        );
+        a.set_fault_plan(Arc::new(plan));
+        let mut services = Vec::new();
+        for t in 0..inst.horizon().get() {
+            services.extend(a.on_round(Round(t), inst.trace.arrivals_at(Round(t))));
+        }
+        assert_eq!(services.len(), 1);
+        assert_eq!(services[0].resource, ResourceId(1));
+    }
+
+    #[test]
+    fn stalled_current_slot_is_never_granted() {
+        use std::sync::Arc;
+        // S1's round-0 slot is stalled: the pull-forward and rival phases
+        // must not grant it, and phase 1's latest-fit must place around it.
+        let mut b = TraceBuilder::new(2);
+        b.push(0u64, 0u32, 1u32);
+        b.push(0u64, 0u32, 1u32);
+        let inst = Instance::new(2, 2, b.build());
+        let mut a = ALocalEager::new(2, 2);
+        let plan = reqsched_faults::FaultPlan::empty(2).with_stall(ResourceId(1), Round(0));
+        a.set_fault_plan(Arc::new(plan));
+        let mut served = 0;
+        for t in 0..inst.horizon().get() {
+            for s in a.on_round(Round(t), inst.trace.arrivals_at(Round(t))) {
+                // Services emitted at round t were served in slot (res, t).
+                assert!(
+                    !(s.resource == ResourceId(1) && t == 0),
+                    "stalled slot was granted"
+                );
+                served += 1;
+            }
+        }
+        assert_eq!(served, 2, "three usable slots remain for two requests");
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        use std::sync::Arc;
+        let d = 4u32;
+        let mut b = TraceBuilder::new(d);
+        for _ in 0..d {
+            b.push(0u64, 0u32, 1u32);
+        }
+        for _ in 0..d {
+            b.push(0u64, 2u32, 3u32);
+        }
+        for _ in 0..2 * d {
+            b.push(0u64, 0u32, 2u32);
+        }
+        let inst = Instance::new(4, d, b.build());
+        let mut plain = ALocalEager::new(4, d);
+        let mut faulty = ALocalEager::new(4, d);
+        faulty.set_fault_plan(Arc::new(reqsched_faults::FaultPlan::empty(4)));
+        for t in 0..inst.horizon().get() {
+            let a = plain.on_round(Round(t), inst.trace.arrivals_at(Round(t)));
+            let b = faulty.on_round(Round(t), inst.trace.arrivals_at(Round(t)));
+            assert_eq!(a, b, "round {t}");
+        }
+        assert_eq!(plain.messages_total(), faulty.messages_total());
+        assert_eq!(plain.comm_rounds_total(), faulty.comm_rounds_total());
     }
 
     #[test]

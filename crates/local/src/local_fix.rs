@@ -12,15 +12,48 @@
 //! Requests failing both rounds are permanently lost, as in `A_fix`: their
 //! feasible slots were all occupied at arrival and assignments are never
 //! revoked.
+//!
+//! # Fault handling
+//!
+//! A bounce or a rejection is an explicit NACK: the protocol reacts to it
+//! immediately (second alternative, then permanent loss), exactly as
+//! before. A **lost** envelope produces no response at all; the sender's
+//! local timeout re-sends it to the same alternative with exponential
+//! backoff (`1, 2, 4` rounds). After [`MAX_PROBE_ATTEMPTS`] silent losses
+//! the alternative is presumed crashed and the request fails over to its
+//! other alternative (fresh backoff); if that one is silent too, the
+//! request is dropped. Without a fault plan no envelope is ever lost and
+//! the strategy is bit-identical to the fault-free implementation.
 
 use crate::fabric::{accept_latest_fit, CommFabric, Envelope};
 use reqsched_core::{OnlineScheduler, ScheduleState, Service};
+use reqsched_faults::FaultPlan;
 use reqsched_model::{Request, RequestId, Round};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Probe re-sends tolerated per alternative before the sender presumes the
+/// resource crashed (fails over, or gives up on the second alternative).
+pub const MAX_PROBE_ATTEMPTS: u32 = 3;
+
+/// A probe whose envelope the fabric lost: the sender's local timeout
+/// re-sends it after an exponential backoff.
+struct Retry {
+    /// Round at which the re-send fires.
+    due: Round,
+    /// The probing request.
+    id: RequestId,
+    /// Which alternative the probe targets.
+    alt: usize,
+    /// How many sends to this alternative have been lost so far.
+    attempt: u32,
+}
 
 /// The `A_local_fix` strategy. See module docs.
 pub struct ALocalFix {
     state: ScheduleState,
     fabric: CommFabric,
+    retries: Vec<Retry>,
 }
 
 impl ALocalFix {
@@ -36,12 +69,15 @@ impl ALocalFix {
         ALocalFix {
             state: ScheduleState::new(n, d),
             fabric,
+            retries: Vec::new(),
         }
     }
 
     /// One probe wave: send each request to `alternatives[alt]`, accept
-    /// per-resource maximal selections. Returns the requests that failed.
-    fn probe_wave(&mut self, ids: &[RequestId], alt: usize) -> Vec<RequestId> {
+    /// per-resource maximal selections. Returns `(failed, lost)`: requests
+    /// that got a NACK (bounced or rejected), and requests whose envelope
+    /// vanished in the fabric (no response of any kind).
+    fn probe_wave(&mut self, ids: &[RequestId], alt: usize) -> (Vec<RequestId>, Vec<RequestId>) {
         let msgs: Vec<Envelope<()>> = ids
             .iter()
             .map(|&id| {
@@ -76,7 +112,62 @@ impl ALocalFix {
             failed.extend(rejected);
         }
         failed.sort_unstable();
-        failed
+        let mut lost: Vec<RequestId> = out.lost.iter().map(|e| e.from).collect();
+        lost.sort_unstable();
+        (failed, lost)
+    }
+
+    /// Schedule backoff re-sends for requests whose probe was lost, failing
+    /// over to the other alternative once `alt` has soaked up
+    /// [`MAX_PROBE_ATTEMPTS`] losses, and dropping requests that are out of
+    /// attempts or out of time.
+    fn schedule_retries(
+        &mut self,
+        round: Round,
+        lost: Vec<RequestId>,
+        alt: usize,
+        attempts: &BTreeMap<RequestId, (usize, u32)>,
+    ) {
+        for id in lost {
+            let Some(live) = self.state.live(id) else {
+                continue;
+            };
+            let expiry = live.req.expiry();
+            // The attempt budget is per alternative: a NACK-driven switch
+            // to the second alternative starts counting afresh.
+            let attempt = match attempts.get(&id) {
+                Some(&(a, k)) if a == alt => k + 1,
+                _ => 1,
+            };
+            if attempt > MAX_PROBE_ATTEMPTS {
+                if alt == 0 {
+                    // The first alternative is presumed crashed: fail over
+                    // to the second one with a fresh backoff budget.
+                    if round.next() <= expiry {
+                        self.retries.push(Retry {
+                            due: round.next(),
+                            id,
+                            alt: 1,
+                            attempt: 0,
+                        });
+                        continue;
+                    }
+                }
+                self.state.drop_request(id);
+                continue;
+            }
+            let due = Round(round.get() + (1u64 << (attempt - 1)));
+            if due > expiry {
+                self.state.drop_request(id); // backoff overshoots the deadline
+            } else {
+                self.retries.push(Retry {
+                    due,
+                    id,
+                    alt,
+                    attempt,
+                });
+            }
+        }
     }
 }
 
@@ -85,17 +176,51 @@ impl OnlineScheduler for ALocalFix {
         "A_local_fix"
     }
 
+    fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.fabric.set_fault_plan(Arc::clone(&plan));
+        self.state.set_fault_plan(plan);
+    }
+
     fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
         assert_eq!(round, self.state.front(), "rounds must be consecutive");
+        self.fabric.begin_round(round);
         for req in arrivals {
             self.state.insert(req);
         }
-        let mut new_ids: Vec<RequestId> = arrivals.iter().map(|r| r.id).collect();
-        new_ids.sort_unstable();
+        let mut wave1: Vec<RequestId> = arrivals.iter().map(|r| r.id).collect();
 
-        if !new_ids.is_empty() {
-            let failed = self.probe_wave(&new_ids, 0); // CR 1
-            let failed = self.probe_wave(&failed, 1); // CR 2
+        // Fire due local timeouts: each maps a request to the alternative it
+        // re-probes and the number of losses that alternative has cost it.
+        let mut attempts: BTreeMap<RequestId, (usize, u32)> = BTreeMap::new();
+        if !self.retries.is_empty() {
+            let mut pending = Vec::new();
+            for r in self.retries.drain(..) {
+                if r.due > round {
+                    pending.push(r);
+                } else if self.state.live(r.id).is_some_and(|l| l.assigned.is_none()) {
+                    attempts.insert(r.id, (r.alt, r.attempt));
+                }
+            }
+            self.retries = pending;
+        }
+        let mut wave2_extra: Vec<RequestId> = Vec::new();
+        for (&id, &(alt, _)) in &attempts {
+            if alt == 0 {
+                wave1.push(id);
+            } else {
+                wave2_extra.push(id);
+            }
+        }
+        wave1.sort_unstable();
+
+        if !wave1.is_empty() || !wave2_extra.is_empty() {
+            let (failed, lost) = self.probe_wave(&wave1, 0); // CR 1
+            self.schedule_retries(round, lost, 0, &attempts);
+            let mut wave2 = failed;
+            wave2.extend(wave2_extra);
+            wave2.sort_unstable();
+            let (failed, lost) = self.probe_wave(&wave2, 1); // CR 2
+            self.schedule_retries(round, lost, 1, &attempts);
             for id in failed {
                 self.state.drop_request(id); // permanently lost, as in A_fix
             }
@@ -167,6 +292,78 @@ mod tests {
         let mut a = ALocalFix::new(2, d);
         let served = run(&mut a, &inst);
         assert_eq!(served, 2 * d as usize, "both resources fill, rest lost");
+    }
+
+    #[test]
+    fn lost_probes_retry_with_exponential_backoff() {
+        use reqsched_faults::FabricFaults;
+        use std::sync::Arc;
+        // Total loss: the lone request's probes all vanish. The initial
+        // send at round 0 is followed by backoff re-sends at rounds 1, 3
+        // and 7; the failover to the second alternative would fire at
+        // round 8, past the deadline (expiry 7), so the request drops.
+        let d = 8u32;
+        let mut b = TraceBuilder::new(d);
+        b.push(0u64, 0u32, 1u32);
+        let inst = Instance::new(2, d, b.build());
+        let mut a = ALocalFix::new(2, d);
+        let plan = reqsched_faults::FaultPlan::empty(2).with_fabric(FabricFaults {
+            loss: 1.0,
+            delay: 0.0,
+            duplication: 0.0,
+            seed: 5,
+        });
+        a.set_fault_plan(Arc::new(plan));
+        let served: usize = (0..u64::from(d) + 1)
+            .map(|t| a.on_round(Round(t), inst.trace.arrivals_at(Round(t))).len())
+            .sum();
+        assert_eq!(served, 0, "a fully lossy fabric serves nothing");
+        // Sends: round 0 (initial), then backoff re-sends at 1, 3, 7.
+        assert_eq!(a.messages_total(), 4);
+    }
+
+    #[test]
+    fn crashed_first_alternative_fails_over_to_the_second() {
+        use std::sync::Arc;
+        // S0 is down for good; the probe envelopes to it are lost (no
+        // NACK). After MAX_PROBE_ATTEMPTS silent losses the request fails
+        // over to S1 and is served there.
+        let d = 12u32;
+        let mut b = TraceBuilder::new(d);
+        b.push(0u64, 0u32, 1u32);
+        let inst = Instance::new(2, d, b.build());
+        let mut a = ALocalFix::new(2, d);
+        let plan = reqsched_faults::FaultPlan::empty(2).with_crash(
+            reqsched_model::ResourceId(0),
+            Round(0),
+            Round(u64::MAX),
+        );
+        a.set_fault_plan(Arc::new(plan));
+        let served: usize = (0..u64::from(d))
+            .map(|t| a.on_round(Round(t), inst.trace.arrivals_at(Round(t))).len())
+            .sum();
+        assert_eq!(served, 1, "request degrades to the surviving replica");
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        use std::sync::Arc;
+        let d = 3u32;
+        let mut b = TraceBuilder::new(d);
+        for _ in 0..3 * d {
+            b.push(0u64, 0u32, 1u32);
+        }
+        let inst = Instance::new(2, d, b.build());
+        let mut plain = ALocalFix::new(2, d);
+        let mut faulty = ALocalFix::new(2, d);
+        faulty.set_fault_plan(Arc::new(reqsched_faults::FaultPlan::empty(2)));
+        for t in 0..inst.horizon().get() {
+            let a = plain.on_round(Round(t), inst.trace.arrivals_at(Round(t)));
+            let b = faulty.on_round(Round(t), inst.trace.arrivals_at(Round(t)));
+            assert_eq!(a, b, "round {t}");
+        }
+        assert_eq!(plain.messages_total(), faulty.messages_total());
+        assert_eq!(plain.comm_rounds_total(), faulty.comm_rounds_total());
     }
 
     #[test]

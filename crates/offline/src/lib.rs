@@ -24,6 +24,7 @@ pub mod streaming;
 
 pub use streaming::{prefix_optima, StreamingOpt};
 
+use reqsched_faults::FaultPlan;
 use reqsched_matching::{hopcroft_karp, BipartiteGraph};
 use reqsched_model::{Instance, RequestId, ResourceId, Round};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -96,6 +97,23 @@ impl OfflineSolution {
 /// Adjacency is ordered earliest-round-first (irrelevant for the optimum's
 /// value, convenient for deterministic output).
 pub fn horizon_graph(inst: &Instance) -> BipartiteGraph {
+    horizon_graph_masked(inst, None)
+}
+
+/// [`horizon_graph`] restricted to the slots a fault plan leaves usable:
+/// edges into crashed or stalled `(resource, round)` slots are omitted, so
+/// the optimum is computed on exactly the substrate the online strategies
+/// ran on.
+pub fn horizon_graph_faulty(inst: &Instance, plan: &FaultPlan) -> BipartiteGraph {
+    assert_eq!(
+        plan.n(),
+        inst.n_resources,
+        "fault plan resource count mismatch"
+    );
+    horizon_graph_masked(inst, Some(plan))
+}
+
+fn horizon_graph_masked(inst: &Instance, plan: Option<&FaultPlan>) -> BipartiteGraph {
     let n = inst.n_resources;
     let horizon = inst.trace.service_horizon().get() + 1; // rounds 0..horizon
     let n_right = (horizon * n as u64) as u32;
@@ -105,6 +123,11 @@ pub fn horizon_graph(inst: &Instance) -> BipartiteGraph {
         adj.clear();
         for round in req.arrival.get()..=req.expiry().get() {
             for &res in req.alternatives.as_slice() {
+                if let Some(plan) = plan {
+                    if !plan.slot_usable(res, Round(round)) {
+                        continue;
+                    }
+                }
                 adj.push((round * n as u64) as u32 + res.0);
             }
         }
@@ -153,6 +176,15 @@ pub fn optimal_schedule(inst: &Instance) -> OfflineSolution {
 pub fn optimal_count(inst: &Instance) -> usize {
     HORIZON_SOLVES.fetch_add(1, Ordering::Relaxed);
     hopcroft_karp(&horizon_graph(inst)).size()
+}
+
+/// The optimum number of servable requests on a faulty substrate: the
+/// maximum matching of [`horizon_graph_faulty`]. This is the denominator's
+/// counterpart for fault-aware competitive ratios — ALG and OPT see the
+/// same masked feasibility graph.
+pub fn optimal_count_faulty(inst: &Instance, plan: &FaultPlan) -> usize {
+    HORIZON_SOLVES.fetch_add(1, Ordering::Relaxed);
+    hopcroft_karp(&horizon_graph_faulty(inst, plan)).size()
 }
 
 /// Normalize a solution into "greedy" form (Observation 3.1's proof device):
@@ -271,6 +303,32 @@ mod tests {
             assignment: vec![Some((ResourceId(0), Round(5)))],
         };
         assert!(sol.check(&inst).is_err());
+    }
+
+    #[test]
+    fn faulty_opt_loses_only_masked_capacity() {
+        // Pair capacity 2/round over d = 3 rounds, 2d requests: OPT = 6.
+        // Crash resource 1 for rounds [0, 2): 2 slots gone -> OPT = 4.
+        let d = 3;
+        let mut b = TraceBuilder::new(d);
+        b.block2(0u64, 0u32, 1u32, 0);
+        let inst = Instance::new(2, d, b.build());
+        assert_eq!(optimal_count(&inst), 6);
+        let plan = FaultPlan::empty(2).with_crash(ResourceId(1), Round(0), Round(2));
+        assert_eq!(optimal_count_faulty(&inst, &plan), 4);
+        // The empty plan changes nothing.
+        assert_eq!(optimal_count_faulty(&inst, &FaultPlan::empty(2)), 6);
+    }
+
+    #[test]
+    fn faulty_opt_degrades_to_surviving_replica() {
+        let mut b = TraceBuilder::new(2);
+        b.push(0u64, 0u32, 1u32);
+        let inst = Instance::new(2, 2, b.build());
+        let plan = FaultPlan::empty(2).with_crash(ResourceId(0), Round(0), Round(u64::MAX));
+        assert_eq!(optimal_count_faulty(&inst, &plan), 1);
+        let both_down = plan.with_crash(ResourceId(1), Round(0), Round(u64::MAX));
+        assert_eq!(optimal_count_faulty(&inst, &both_down), 0);
     }
 
     #[test]

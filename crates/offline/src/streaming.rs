@@ -25,9 +25,11 @@
 //! through genuine alternating paths from live requests.
 
 use crate::{OfflineSolution, HORIZON_SOLVES};
+use reqsched_faults::FaultPlan;
 use reqsched_matching::IncrementalMatching;
 use reqsched_model::{Instance, Request, RequestId, ResourceId, Round, Trace};
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// Incrementally maintained offline optimum of a growing request stream.
 ///
@@ -54,6 +56,8 @@ pub struct StreamingOpt {
     frontier: Round,
     /// Scratch adjacency buffer, reused across ingests.
     adj: Vec<u32>,
+    /// Fault plan masking slots out of the feasibility graph, if any.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl StreamingOpt {
@@ -65,7 +69,24 @@ impl StreamingOpt {
             inc: IncrementalMatching::new(),
             frontier: Round(0),
             adj: Vec::new(),
+            faults: None,
         }
+    }
+
+    /// Install a fault plan: crashed/stalled slots never enter the
+    /// feasibility graph, so the maintained optimum is `perf_OPT` **on the
+    /// same faulty substrate the online strategy runs on** — the only
+    /// setting in which the ALG/OPT ratio is meaningful under faults.
+    ///
+    /// Must be called before the first [`StreamingOpt::ingest`].
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        assert_eq!(plan.n(), self.n, "fault plan resource count mismatch");
+        assert_eq!(
+            self.ingested(),
+            0,
+            "fault plan must be installed before the first ingest"
+        );
+        self.faults = Some(plan);
     }
 
     /// Current optimum: the maximum number of servable requests among
@@ -115,6 +136,11 @@ impl StreamingOpt {
         self.adj.clear();
         for round in req.arrival.get()..=req.expiry().get() {
             for &res in req.alternatives.as_slice() {
+                if let Some(plan) = &self.faults {
+                    if !plan.slot_usable(res, Round(round)) {
+                        continue; // the slot doesn't exist for OPT either
+                    }
+                }
                 self.adj.push((round * self.n as u64) as u32 + res.0);
             }
         }
@@ -280,6 +306,30 @@ mod tests {
     fn prefix_optima_on_empty_instance() {
         let inst = Instance::new(2, 2, Trace::empty());
         assert_eq!(prefix_optima(&inst), vec![0]);
+    }
+
+    #[test]
+    fn streaming_matches_faulty_full_solve() {
+        // Random-ish mixed trace; a plan with a crash window and a stall.
+        let d = 3;
+        let mut b = TraceBuilder::new(d);
+        b.block2(0u64, 0u32, 1u32, 0);
+        b.push(1u64, 2u32, 3u32);
+        b.push(2u64, 0u32, 2u32);
+        b.push(4u64, 1u32, 3u32);
+        let inst = Instance::new(4, d, b.build());
+        let plan = crate::FaultPlan::empty(4)
+            .with_crash(ResourceId(1), Round(0), Round(3))
+            .with_crash(ResourceId(2), Round(2), Round(5))
+            .with_stall(ResourceId(0), Round(1));
+        let mut sopt = StreamingOpt::new(4);
+        sopt.set_fault_plan(Arc::new(plan.clone()));
+        for req in inst.trace.requests() {
+            sopt.ingest(req);
+        }
+        assert_eq!(sopt.opt(), crate::optimal_count_faulty(&inst, &plan));
+        // And strictly fewer than the fault-free optimum here.
+        assert!(sopt.opt() < crate::optimal_count(&inst));
     }
 
     #[test]

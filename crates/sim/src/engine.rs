@@ -1,11 +1,13 @@
 //! Round-driving engine with full feasibility validation.
 
 use reqsched_core::OnlineScheduler;
+use reqsched_faults::FaultPlan;
 use reqsched_model::{
     Instance, Request, RequestId, RequestSource, Round, StateView, Trace, TraceBuilder, TraceSource,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Result of one simulated run.
 #[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
@@ -135,7 +137,38 @@ pub fn run_source(
     n: u32,
     d: u32,
 ) -> (RunStats, Trace) {
-    run_source_impl(strategy, source, n, d, false)
+    run_source_impl(strategy, source, n, d, false, None)
+}
+
+/// Like [`run_source`], but under a [`FaultPlan`]: the plan is installed on
+/// the strategy before the first round, and every service is additionally
+/// validated against it — a strategy that serves a request on a crashed or
+/// stalled slot panics the engine, whether or not the strategy claims fault
+/// awareness. The plan does **not** change what `opt` means; pair this with
+/// [`reqsched_offline::optimal_count_faulty`] (or use the traced variant,
+/// which wires the same plan into the streaming optimum) so ALG and OPT see
+/// identical feasibility graphs.
+pub fn run_source_faulty(
+    strategy: &mut dyn OnlineScheduler,
+    source: &mut dyn RequestSource,
+    n: u32,
+    d: u32,
+    plan: &Arc<FaultPlan>,
+) -> (RunStats, Trace) {
+    run_source_impl(strategy, source, n, d, false, Some(plan))
+}
+
+/// [`run_source_faulty`] with the traced (streaming-optimum) engine: the
+/// fault plan is installed on the [`reqsched_offline::StreamingOpt`] before
+/// any ingest, so `opt` and `opt_prefix` are exact fault-aware optima.
+pub fn run_source_faulty_traced(
+    strategy: &mut dyn OnlineScheduler,
+    source: &mut dyn RequestSource,
+    n: u32,
+    d: u32,
+    plan: &Arc<FaultPlan>,
+) -> (RunStats, Trace) {
+    run_source_impl(strategy, source, n, d, true, Some(plan))
 }
 
 /// Like [`run_source`], but additionally maintain the offline optimum of the
@@ -150,7 +183,7 @@ pub fn run_source_traced(
     n: u32,
     d: u32,
 ) -> (RunStats, Trace) {
-    run_source_impl(strategy, source, n, d, true)
+    run_source_impl(strategy, source, n, d, true, None)
 }
 
 fn run_source_impl(
@@ -159,8 +192,18 @@ fn run_source_impl(
     n: u32,
     d: u32,
     traced: bool,
+    plan: Option<&Arc<FaultPlan>>,
 ) -> (RunStats, Trace) {
-    let mut streaming = traced.then(|| reqsched_offline::StreamingOpt::new(n));
+    let mut streaming = traced.then(|| {
+        let mut s = reqsched_offline::StreamingOpt::new(n);
+        if let Some(p) = plan {
+            s.set_fault_plan(Arc::clone(p)); // OPT sees the same faults as ALG
+        }
+        s
+    });
+    if let Some(p) = plan {
+        strategy.set_fault_plan(Arc::clone(p));
+    }
     let mut opt_prefix: Vec<u32> = Vec::new();
     let mut view = EngineView {
         round: Round::ZERO,
@@ -234,6 +277,17 @@ fn run_source_impl(
 
         for s in &services {
             assert!(s.resource.0 < n, "unknown resource {:?}", s.resource);
+            if let Some(p) = plan {
+                // Independent of any strategy-side checks: no service may
+                // land on a crashed or stalled slot, even from a strategy
+                // that ignored the installed plan.
+                assert!(
+                    p.slot_usable(s.resource, round),
+                    "service by {:?} at {:?} lands on a crashed or stalled slot",
+                    s.resource,
+                    round
+                );
+            }
             assert!(
                 !std::mem::replace(&mut resources_used[s.resource.0 as usize], true),
                 "{:?} used twice in round {:?}",
@@ -329,6 +383,45 @@ pub fn run_fixed_traced(strategy: &mut dyn OnlineScheduler, inst: &Instance) -> 
     stats
 }
 
+/// Run a strategy over a fixed instance under a fault plan, filling `opt`
+/// with the exact fault-aware optimum (both sides see the same masked
+/// feasibility graph, so the ratio stays meaningful under faults).
+pub fn run_fixed_faulty(
+    strategy: &mut dyn OnlineScheduler,
+    inst: &Instance,
+    plan: &Arc<FaultPlan>,
+) -> RunStats {
+    let mut stats = run_fixed_faulty_without_opt(strategy, inst, plan);
+    stats.opt = reqsched_offline::optimal_count_faulty(inst, plan);
+    stats
+}
+
+/// [`run_fixed_faulty`] with the streaming optimum engine: `opt` and
+/// [`RunStats::opt_prefix`] come from the fault-aware incremental matching.
+pub fn run_fixed_faulty_traced(
+    strategy: &mut dyn OnlineScheduler,
+    inst: &Instance,
+    plan: &Arc<FaultPlan>,
+) -> RunStats {
+    let mut source = TraceSource::borrowed(&inst.trace);
+    let (stats, trace) =
+        run_source_faulty_traced(strategy, &mut source, inst.n_resources, inst.d, plan);
+    debug_assert_eq!(trace.len(), inst.trace.len());
+    stats
+}
+
+/// The fault-plan twin of [`run_fixed_without_opt`].
+fn run_fixed_faulty_without_opt(
+    strategy: &mut dyn OnlineScheduler,
+    inst: &Instance,
+    plan: &Arc<FaultPlan>,
+) -> RunStats {
+    let mut source = TraceSource::borrowed(&inst.trace);
+    let (stats, trace) = run_source_faulty(strategy, &mut source, inst.n_resources, inst.d, plan);
+    debug_assert_eq!(trace.len(), inst.trace.len());
+    stats
+}
+
 /// Run one strategy kind over a fixed instance in **both** solve modes —
 /// the delta round engine and the from-scratch reference — and return
 /// `(delta, fresh)` stats. The two runs must agree service-for-service for
@@ -344,6 +437,24 @@ pub fn run_fixed_pair(
     let delta_stats = run_fixed_without_opt(delta.as_mut(), inst);
     let mut fresh = build_strategy_with_mode(kind, inst.n_resources, inst.d, tie, SolveMode::Fresh);
     let fresh_stats = run_fixed_without_opt(fresh.as_mut(), inst);
+    (delta_stats, fresh_stats)
+}
+
+/// [`run_fixed_pair`] under a fault plan: the delta round engine and the
+/// from-scratch reference both run with the plan installed and must agree
+/// service-for-service — the fault-parity check the audit suite and the
+/// chaos harness lean on. Neither side fills `opt`.
+pub fn run_fixed_pair_faulty(
+    kind: reqsched_core::StrategyKind,
+    inst: &Instance,
+    tie: reqsched_core::TieBreak,
+    plan: &Arc<FaultPlan>,
+) -> (RunStats, RunStats) {
+    use reqsched_core::{build_strategy_with_mode, SolveMode};
+    let mut delta = build_strategy_with_mode(kind, inst.n_resources, inst.d, tie, SolveMode::Delta);
+    let delta_stats = run_fixed_faulty_without_opt(delta.as_mut(), inst, plan);
+    let mut fresh = build_strategy_with_mode(kind, inst.n_resources, inst.d, tie, SolveMode::Fresh);
+    let fresh_stats = run_fixed_faulty_without_opt(fresh.as_mut(), inst, plan);
     (delta_stats, fresh_stats)
 }
 

@@ -16,8 +16,9 @@ mod sweep;
 
 pub use cache::OptCache;
 pub use engine::{
-    run_fixed, run_fixed_cached, run_fixed_pair, run_fixed_traced, run_source, run_source_traced,
-    RunStats,
+    run_fixed, run_fixed_cached, run_fixed_faulty, run_fixed_faulty_traced, run_fixed_pair,
+    run_fixed_pair_faulty, run_fixed_traced, run_source, run_source_faulty,
+    run_source_faulty_traced, run_source_traced, RunStats,
 };
 pub use strategy::AnyStrategy;
 pub use sweep::{par_run, par_run_with_cache, Job, RunRecord};

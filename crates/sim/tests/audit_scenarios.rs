@@ -15,9 +15,11 @@
 
 use reqsched_adversary::{edf_worst, thm21, thm22, thm23, thm24, thm25, thm26, thm37};
 use reqsched_core::{build_strategy, StrategyKind, TieBreak};
+use reqsched_faults::{ChaosConfig, FaultPlan};
 use reqsched_model::Instance;
-use reqsched_sim::{run_fixed, run_source};
+use reqsched_sim::{run_fixed, run_fixed_faulty, run_fixed_pair_faulty, run_source};
 use reqsched_workloads as workloads;
+use std::sync::Arc;
 
 /// Replay `inst` under every global strategy (and two-choice EDF) with the
 /// auditor armed at each round boundary.
@@ -150,6 +152,61 @@ fn workload_generators_pass_audit() {
     let mut s = build_strategy(StrategyKind::EdfSingle, 6, 4, TieBreak::FirstFit);
     let stats = run_fixed(s.as_mut(), &inst);
     assert!(stats.served <= stats.opt, "EDF-1 beat OPT");
+}
+
+/// Fault plans under the armed auditor: `ScheduleState::audit` additionally
+/// verifies at every round boundary that no occupied slot is crashed or
+/// stalled, and the delta/fresh twins must stay in lockstep while columns
+/// vanish under them. Scripted and randomly generated plans both replay.
+#[test]
+fn fault_plans_pass_audit() {
+    use reqsched_model::{ResourceId, Round};
+
+    let inst = workloads::uniform_two_choice(5, 4, 5, 24, 21);
+    let plans = [
+        (
+            "scripted-crashes",
+            FaultPlan::empty(5)
+                .with_crash(ResourceId(0), Round(2), Round(9))
+                .with_crash(ResourceId(3), Round(0), Round(4))
+                .with_stall(ResourceId(1), Round(5))
+                .with_stall(ResourceId(1), Round(6)),
+        ),
+        (
+            "random-chaos",
+            FaultPlan::random(
+                5,
+                28,
+                &ChaosConfig {
+                    crash_prob: 0.08,
+                    mttr: 3.0,
+                    stall_prob: 0.05,
+                    ..ChaosConfig::CALM
+                },
+                99,
+            ),
+        ),
+    ];
+    for (label, plan) in plans {
+        let plan = Arc::new(plan);
+        for kind in StrategyKind::GLOBAL {
+            for tie in [TieBreak::FirstFit, TieBreak::LatestFit] {
+                let (delta, fresh) = run_fixed_pair_faulty(kind, &inst, tie, &plan);
+                assert_eq!(
+                    delta, fresh,
+                    "{label}/{kind:?}/{tie:?}: delta diverges under faults"
+                );
+            }
+            let mut s = build_strategy(kind, 5, 4, TieBreak::FirstFit);
+            let stats = run_fixed_faulty(s.as_mut(), &inst, &plan);
+            assert!(
+                stats.served <= stats.opt,
+                "{label}/{kind:?}: served {} beats fault-aware OPT {}",
+                stats.served,
+                stats.opt,
+            );
+        }
+    }
 }
 
 /// Pinned shrunk regressions: instances that historically stressed the

@@ -1,0 +1,226 @@
+//! Fault-injection invariants of the simulation engine.
+//!
+//! Three layers of guarantees are pinned here:
+//!
+//! 1. **The empty plan is free**: running any strategy under
+//!    `FaultPlan::empty(n)` is bit-identical (full `RunStats` equality,
+//!    including the optimum, the per-round curve and the final assignment)
+//!    to running it with no plan installed at all.
+//! 2. **Delta/fresh parity survives faults**: the delta round engine and the
+//!    from-scratch reference agree service-for-service under arbitrary
+//!    crash/stall plans ([`run_fixed_pair_faulty`]).
+//! 3. **ALG and OPT share the feasibility graph**: under any plan, no
+//!    strategy serves more than the fault-aware optimum.
+
+use proptest::prelude::*;
+use reqsched_core::{StrategyKind, TieBreak};
+use reqsched_faults::{ChaosConfig, FaultPlan};
+use reqsched_model::{Instance, ResourceId, Round, TraceBuilder};
+use reqsched_sim::{run_fixed, run_fixed_faulty, run_fixed_pair_faulty, AnyStrategy};
+use reqsched_workloads as workloads;
+use std::sync::Arc;
+
+/// Strategies with a delta path (mirrors `delta_parity_proptests.rs`).
+const CONVERTED: [StrategyKind; 5] = [
+    StrategyKind::ACurrent,
+    StrategyKind::AFixBalance,
+    StrategyKind::AEager,
+    StrategyKind::ABalance,
+    StrategyKind::LazyMax,
+];
+
+const DELTA_TIES: [TieBreak; 2] = [TieBreak::FirstFit, TieBreak::LatestFit];
+
+/// Every strategy the chaos harness can drive: all global kinds plus both
+/// local protocols (the workloads used here are two-choice, which the local
+/// strategies require).
+fn all_strategies() -> Vec<AnyStrategy> {
+    let mut v: Vec<AnyStrategy> = StrategyKind::GLOBAL
+        .into_iter()
+        .map(|k| AnyStrategy::Global(k, TieBreak::FirstFit))
+        .collect();
+    v.push(AnyStrategy::Global(
+        StrategyKind::Edf {
+            cancel_sibling: false,
+        },
+        TieBreak::FirstFit,
+    ));
+    v.push(AnyStrategy::Global(
+        StrategyKind::Edf {
+            cancel_sibling: true,
+        },
+        TieBreak::FirstFit,
+    ));
+    v.push(AnyStrategy::LocalFix);
+    v.push(AnyStrategy::LocalEager);
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Guarantee 1: the empty plan changes no observable bit of a run.
+    #[test]
+    fn empty_plan_run_is_bit_identical(
+        n in 2u32..6,
+        d in 1u32..5,
+        per_round in 1u32..5,
+        seed in 0u64..u64::MAX,
+    ) {
+        let inst = workloads::uniform_two_choice(n, d, per_round, 25, seed);
+        let plan = Arc::new(FaultPlan::empty(n));
+        for s in all_strategies() {
+            let mut plain = s.build(n, d);
+            let baseline = run_fixed(plain.as_mut(), &inst);
+            let mut under_plan = s.build(n, d);
+            let faulty = run_fixed_faulty(under_plan.as_mut(), &inst, &plan);
+            prop_assert_eq!(
+                &baseline, &faulty,
+                "{}: the empty fault plan perturbed the run", s.name()
+            );
+        }
+    }
+
+    /// Guarantee 2: delta == fresh under random crash/stall plans.
+    #[test]
+    fn delta_fresh_parity_under_random_fault_plans(
+        n in 2u32..5,
+        d in 2u32..5,
+        per_round in 1u32..5,
+        seed in 0u64..u64::MAX,
+        crash_permille in 0u32..200,
+        stall_permille in 0u32..200,
+    ) {
+        let inst = workloads::mixed_deadlines(n, d, per_round, 25, seed);
+        let cfg = ChaosConfig {
+            crash_prob: f64::from(crash_permille) / 1000.0,
+            mttr: 3.0,
+            stall_prob: f64::from(stall_permille) / 1000.0,
+            ..ChaosConfig::CALM
+        };
+        let plan = Arc::new(FaultPlan::random(n, 30, &cfg, seed ^ 0xDEAD));
+        for kind in CONVERTED {
+            for tie in DELTA_TIES {
+                let (delta, fresh) = run_fixed_pair_faulty(kind, &inst, tie, &plan);
+                prop_assert_eq!(
+                    &delta, &fresh,
+                    "{} {:?}: delta and fresh diverge under faults", kind.name(), tie
+                );
+            }
+        }
+    }
+
+    /// Guarantee 3: no strategy beats the fault-aware optimum — ALG and OPT
+    /// are judged on the same masked feasibility graph.
+    #[test]
+    fn no_strategy_beats_the_faulty_opt(
+        n in 2u32..5,
+        d in 1u32..5,
+        per_round in 1u32..6,
+        seed in 0u64..u64::MAX,
+        crash_permille in 0u32..300,
+    ) {
+        let inst = workloads::uniform_two_choice(n, d, per_round, 20, seed);
+        let cfg = ChaosConfig {
+            crash_prob: f64::from(crash_permille) / 1000.0,
+            mttr: 2.0,
+            stall_prob: 0.1,
+            ..ChaosConfig::CALM
+        };
+        let plan = Arc::new(FaultPlan::random(n, 25, &cfg, seed ^ 0xBEEF));
+        for s in all_strategies() {
+            let mut strategy = s.build(n, d);
+            let stats = run_fixed_faulty(strategy.as_mut(), &inst, &plan);
+            prop_assert!(
+                stats.served <= stats.opt,
+                "{}: served {} > fault-aware OPT {}", s.name(), stats.served, stats.opt
+            );
+            prop_assert_eq!(stats.served + stats.expired, stats.injected);
+        }
+    }
+}
+
+/// Pinned regression: a crash that begins mid-window. Two requests arrive in
+/// round 0 with the full window `0..3` on their side; S0 goes down for
+/// rounds `1..3`, so only S0@0 and S1's three slots survive. Both requests
+/// must still be served (the plan is static, so no strategy parks anything
+/// on a slot that is about to vanish), and delta must agree with fresh.
+#[test]
+fn crash_during_window_is_masked_up_front() {
+    let mut b = TraceBuilder::new(3);
+    b.push(0u64, 0u32, 1u32);
+    b.push(0u64, 0u32, 1u32);
+    let inst = Instance::new(2, 3, b.build());
+    let plan = Arc::new(FaultPlan::empty(2).with_crash(ResourceId(0), Round(1), Round(3)));
+    for kind in CONVERTED {
+        for tie in DELTA_TIES {
+            let (delta, fresh) = run_fixed_pair_faulty(kind, &inst, tie, &plan);
+            assert_eq!(delta, fresh, "{} {tie:?}", kind.name());
+            assert_eq!(
+                delta.served,
+                2,
+                "{} {tie:?}: a surviving slot was wasted",
+                kind.name()
+            );
+        }
+    }
+}
+
+/// Pinned regression: a one-round crash with recovery in the very next
+/// round. The single-alternative request cannot use S0 in its arrival round
+/// but must be served right after recovery instead of being dropped.
+#[test]
+fn crash_then_recover_next_round_degrades_not_drops() {
+    let mut b = TraceBuilder::new(2);
+    b.push_single(0u64, 0u32);
+    let inst = Instance::new(1, 2, b.build());
+    let plan = Arc::new(FaultPlan::empty(1).with_crash(ResourceId(0), Round(0), Round(1)));
+    for kind in CONVERTED {
+        for tie in DELTA_TIES {
+            let (delta, fresh) = run_fixed_pair_faulty(kind, &inst, tie, &plan);
+            assert_eq!(delta, fresh, "{} {tie:?}", kind.name());
+            assert_eq!(
+                delta.served,
+                1,
+                "{} {tie:?}: request not served after same-window recovery",
+                kind.name()
+            );
+            assert_eq!(delta.assignment[0], Some((0, 1)), "{} {tie:?}", kind.name());
+        }
+    }
+}
+
+/// The engine's plan validation is strategy-independent: a scheduler that
+/// ignores the installed plan and serves on a crashed slot panics the run.
+#[test]
+#[should_panic(expected = "crashed or stalled")]
+fn engine_rejects_service_on_crashed_slot() {
+    use reqsched_core::{OnlineScheduler, Service};
+    use reqsched_model::Request;
+
+    /// Serves every arrival on its first alternative immediately, plan or
+    /// no plan (deliberately fault-oblivious).
+    struct Oblivious;
+    impl OnlineScheduler for Oblivious {
+        fn name(&self) -> &str {
+            "oblivious"
+        }
+        fn on_round(&mut self, _round: Round, arrivals: &[Request]) -> Vec<Service> {
+            arrivals
+                .iter()
+                .map(|r| Service {
+                    request: r.id,
+                    resource: r.alternatives.as_slice()[0],
+                })
+                .collect()
+        }
+    }
+
+    let mut b = TraceBuilder::new(2);
+    b.push_single(0u64, 0u32);
+    let inst = Instance::new(1, 2, b.build());
+    let plan = Arc::new(FaultPlan::empty(1).with_crash(ResourceId(0), Round(0), Round(1)));
+    let mut s = Oblivious;
+    let mut source = reqsched_model::TraceSource::borrowed(&inst.trace);
+    let _ = reqsched_sim::run_source_faulty(&mut s, &mut source, 1, 2, &plan);
+}

@@ -11,7 +11,11 @@
 #      solve_reduction fields,
 #   6. the delta-window bench in quick mode (regenerates BENCH_PR3.json,
 #      asserts exact fresh-vs-delta schedule parity and a >= 2x per-round
-#      strategy speedup on every workload), then checks the report.
+#      strategy speedup on every workload), then checks the report,
+#   7. the chaos harness in quick mode with the invariant auditor armed
+#      (sweeps strategies x fault levels under seeded fault plans, asserts
+#      byte-identical determinism across two sweeps, audits every round
+#      boundary), then checks results/chaos.csv and BENCH_PR5.json.
 #
 # Usage: scripts/bench_smoke.sh
 set -euo pipefail
@@ -74,6 +78,32 @@ r = json.load(open("BENCH_PR3.json"))
 bad = [w["name"] for w in r["workloads"] if w["round_speedup"] < 2.0]
 if r["round_speedup"] < 2.0 or bad:
     sys.exit(f"BENCH_PR3.json: round_speedup below 2x: {bad or r['round_speedup']}")
+EOF
+
+echo "== chaos harness (quick, audit-armed) =="
+# The binary itself asserts determinism (two full sweeps must render
+# byte-identical CSV); --features audit replays the invariant auditor at
+# every round boundary of every cell, including the no-service-on-crashed-
+# slot check and delta-vs-fresh matching parity.
+CHAOS_QUICK=1 "${CARGO[@]}" run --release -p reqsched-bench --features audit --bin chaos
+
+echo "== chaos artifacts sanity =="
+grep -q '"deterministic": true' BENCH_PR5.json || {
+    echo "BENCH_PR5.json: missing determinism assertion" >&2
+    exit 1
+}
+head -1 results/chaos.csv | grep -q '^strategy,level,crash_prob,' || {
+    echo "results/chaos.csv: unexpected header" >&2
+    exit 1
+}
+python3 - <<'EOF' || exit 1
+import json, sys
+r = json.load(open("BENCH_PR5.json"))
+if r["strategies"] < 3 or r["fault_levels"] < 3:
+    sys.exit(f"BENCH_PR5.json: need >= 3 strategies x 3 fault rates, "
+             f"got {r['strategies']} x {r['fault_levels']}")
+if any(c["goodput"] > 1.0 + 1e-9 or c["ratio"] < 1.0 - 1e-9 for c in r["cells"]):
+    sys.exit("BENCH_PR5.json: a cell beats OPT or exceeds unit goodput")
 EOF
 
 echo "bench smoke OK"

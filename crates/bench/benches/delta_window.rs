@@ -10,153 +10,25 @@
 //! in **every** round before any timing is reported.
 //!
 //! Runs under `cargo bench -p reqsched-bench --bench delta_window`. Set
-//! `STREAMING_OPT_QUICK=1` (or `DELTA_WINDOW_QUICK=1`) for the smoke-test
-//! configuration. `DELTA_PROFILE_BASELINE_MS`, when set, is echoed into the
-//! report's `release_profile` section as the pre-LTO baseline total (see
+//! `BENCH_QUICK=1` (or the legacy aliases `STREAMING_OPT_QUICK=1` /
+//! `DELTA_WINDOW_QUICK=1`) for the smoke-test configuration.
+//! `DELTA_PROFILE_BASELINE_MS`, when set, is echoed into the report's
+//! `release_profile` section as the pre-LTO baseline total (see
 //! `scripts/bench_smoke.sh`).
 
-use criterion::black_box;
-use reqsched_adversary::{thm21, thm25};
-use reqsched_core::{
-    ABalance, ACurrent, AEager, AFixBalance, ALazyMax, OnlineScheduler, Service, SolveMode,
-    StrategyKind, TieBreak,
-};
-use reqsched_model::{Instance, Round};
-use std::time::Instant;
-
-/// The strategies with a delta path (`StrategyKind::GLOBAL` minus `A_fix`,
-/// which decides per arrival and never re-solves, plus the lazy-maximum
-/// ablation).
-const KINDS: [StrategyKind; 5] = [
-    StrategyKind::ACurrent,
-    StrategyKind::AFixBalance,
-    StrategyKind::AEager,
-    StrategyKind::ABalance,
-    StrategyKind::LazyMax,
-];
-
-/// Drive one scheduler over the instance (horizon plus drain), returning
-/// the per-round services and the summed `on_round` time in milliseconds.
-fn drive(s: &mut dyn OnlineScheduler, inst: &Instance) -> (Vec<Vec<Service>>, f64) {
-    let rounds = inst.horizon().get() + inst.d as u64;
-    let mut services = Vec::with_capacity(rounds as usize);
-    let mut total = 0.0;
-    for t in 0..rounds {
-        let arrivals = inst.trace.arrivals_at(Round(t));
-        let t0 = Instant::now();
-        let served = black_box(s.on_round(Round(t), arrivals));
-        total += t0.elapsed().as_secs_f64() * 1e3;
-        services.push(served);
-    }
-    (services, total)
-}
-
-/// Run `kind` in the given mode; also harvest the delta engine's
-/// edge-scan counter (0 on the fresh path, which has no such counter —
-/// its work is the full rebuild + re-solve every round).
-fn run_kind(kind: StrategyKind, inst: &Instance, mode: SolveMode) -> (Vec<Vec<Service>>, f64, u64) {
-    let (n, d, tie) = (inst.n_resources, inst.d, TieBreak::FirstFit);
-    macro_rules! go {
-        ($ty:ident) => {{
-            let mut s = $ty::with_mode(n, d, tie, mode);
-            let (sv, ms) = drive(&mut s, inst);
-            (sv, ms, s.delta_work().unwrap_or(0))
-        }};
-    }
-    match kind {
-        StrategyKind::ACurrent => go!(ACurrent),
-        StrategyKind::AFixBalance => go!(AFixBalance),
-        StrategyKind::AEager => go!(AEager),
-        StrategyKind::ABalance => go!(ABalance),
-        StrategyKind::LazyMax => go!(ALazyMax),
-        _ => unreachable!("no delta path for {:?}", kind),
-    }
-}
-
-struct StrategyRow {
-    name: &'static str,
-    fresh_ms: f64,
-    delta_ms: f64,
-    speedup: f64,
-}
-
-struct WorkloadResult {
-    name: String,
-    requests: usize,
-    rounds: u64,
-    fresh_ms: f64,
-    delta_ms: f64,
-    round_speedup: f64,
-    delta_edges: u64,
-    rows: Vec<StrategyRow>,
-}
-
-fn measure(name: &str, inst: &Instance) -> WorkloadResult {
-    let mut rows = Vec::new();
-    let (mut fresh_total, mut delta_total, mut edges_total) = (0.0, 0.0, 0u64);
-    for kind in KINDS {
-        let (sv_fresh, fresh_ms, _) = run_kind(kind, inst, SolveMode::Fresh);
-        let (sv_delta, delta_ms, edges) = run_kind(kind, inst, SolveMode::Delta);
-        assert_eq!(
-            sv_fresh,
-            sv_delta,
-            "{name}: {} delta schedule diverges from fresh",
-            kind.name()
-        );
-        fresh_total += fresh_ms;
-        delta_total += delta_ms;
-        edges_total += edges;
-        rows.push(StrategyRow {
-            name: kind.name(),
-            fresh_ms,
-            delta_ms,
-            speedup: fresh_ms / delta_ms.max(1e-6),
-        });
-    }
-    WorkloadResult {
-        name: name.to_string(),
-        requests: inst.trace.len(),
-        rounds: inst.horizon().get() + inst.d as u64,
-        fresh_ms: fresh_total,
-        delta_ms: delta_total,
-        round_speedup: fresh_total / delta_total.max(1e-6),
-        delta_edges: edges_total,
-        rows,
-    }
-}
+use reqsched_bench::report::{self, workload_row, Obj, Report, Value};
+use reqsched_bench::roundbench::{measure_round_engine, round_engine_workloads};
+use reqsched_model::Instance;
 
 fn main() {
-    let quick = ["STREAMING_OPT_QUICK", "DELTA_WINDOW_QUICK"]
-        .iter()
-        .any(|v| std::env::var(v).is_ok_and(|x| x == "1"));
+    let quick = report::quick_mode(&["STREAMING_OPT_QUICK", "DELTA_WINDOW_QUICK"]);
     let (phases, rounds) = if quick { (6u32, 150u64) } else { (24, 600) };
 
-    let workloads: Vec<(String, Instance)> = vec![
-        (
-            format!("thm2.1(d=40, phases={phases})"),
-            thm21::scenario(40, phases).instance,
-        ),
-        (
-            format!("thm2.5(x=6, groups=8, intervals={phases})"),
-            thm25::scenario(6, 8, phases).instance,
-        ),
-        (
-            format!("uniform-overload(n=32, d=8, rate=64, rounds={rounds})"),
-            reqsched_workloads::uniform_two_choice(32, 8, 64, rounds, 7),
-        ),
-        (
-            format!("zipf(n=32, d=6, alpha=1.5, rate=60, rounds={rounds})"),
-            reqsched_workloads::zipf_replicated(32, 6, 100, 1.5, 60, rounds, 9),
-        ),
-        (
-            format!("flash(n=32, d=6, burst=120, rounds={rounds})"),
-            reqsched_workloads::flash_crowd(32, 6, 10, 120, 30, 60, rounds, 11),
-        ),
-    ];
+    let workloads: Vec<(String, Instance)> = round_engine_workloads(phases, rounds);
 
     let mut results = Vec::new();
     for (name, inst) in &workloads {
-        let r = measure(name, inst);
+        let r = measure_round_engine(name, inst);
         println!(
             "{:<42} {:>5} rounds x5 strategies: {:>8.1} ms fresh -> {:>7.1} ms delta ({} edge scans), {:>5.1}x",
             r.name, r.rounds, r.fresh_ms, r.delta_ms, r.delta_edges, r.round_speedup,
@@ -187,41 +59,58 @@ fn main() {
         .ok()
         .and_then(|v| v.parse::<f64>().ok());
 
-    // Hand-formatted JSON: the serde stack is not needed for a flat report.
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"delta_window\",\n");
-    out.push_str(&format!("  \"quick\": {quick},\n"));
-    out.push_str("  \"parity\": true,\n");
-    out.push_str(&format!("  \"round_speedup\": {round_speedup:.2},\n"));
-    out.push_str("  \"release_profile\": { \"lto\": \"thin\", \"codegen_units\": 1, ");
-    match baseline {
-        Some(b) => out.push_str(&format!(
-            "\"baseline_total_ms\": {b:.2}, \"total_ms\": {total_ms:.2}, \"profile_speedup\": {:.3} }},\n",
-            b / total_ms.max(1e-6),
-        )),
-        None => out.push_str(&format!(
-            "\"baseline_total_ms\": null, \"total_ms\": {total_ms:.2} }},\n"
-        )),
-    }
-    out.push_str("  \"workloads\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        let sep = if i + 1 == results.len() { "" } else { "," };
-        out.push_str(&format!(
-            "    {{ \"name\": \"{}\", \"requests\": {}, \"rounds\": {}, \"fresh_ms\": {:.2}, \"delta_ms\": {:.2}, \"round_speedup\": {:.2}, \"delta_edges\": {},\n      \"strategies\": [\n",
-            r.name, r.requests, r.rounds, r.fresh_ms, r.delta_ms, r.round_speedup, r.delta_edges,
-        ));
-        for (j, row) in r.rows.iter().enumerate() {
-            let rsep = if j + 1 == r.rows.len() { "" } else { "," };
-            out.push_str(&format!(
-                "        {{ \"name\": \"{}\", \"fresh_ms\": {:.2}, \"delta_ms\": {:.2}, \"speedup\": {:.2} }}{rsep}\n",
-                row.name, row.fresh_ms, row.delta_ms, row.speedup,
-            ));
-        }
-        out.push_str(&format!("      ] }}{sep}\n"));
-    }
-    out.push_str("  ]\n}\n");
-
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json");
-    std::fs::write(path, out).expect("write BENCH_PR3.json");
-    println!("wrote {path}");
+    // Shared report schema (the serde stack is stubbed in dev containers).
+    let mut profile = Obj::new()
+        .set("lto", Value::s("thin"))
+        .set("codegen_units", Value::u(1));
+    profile = match baseline {
+        Some(b) => profile
+            .set("baseline_total_ms", Value::f(b, 2))
+            .set("total_ms", Value::f(total_ms, 2))
+            .set("profile_speedup", Value::f(b / total_ms.max(1e-6), 3)),
+        None => profile
+            .set("baseline_total_ms", Value::Null)
+            .set("total_ms", Value::f(total_ms, 2)),
+    };
+    Report::new("delta_window", quick)
+        .set("parity", Value::Bool(true))
+        .set("round_speedup", Value::f(round_speedup, 2))
+        .set("release_profile", Value::Obj(profile))
+        .set(
+            "workloads",
+            Value::Arr(
+                results
+                    .iter()
+                    .map(|r| {
+                        Value::Obj(
+                            workload_row(&r.name, r.fresh_ms, r.delta_ms, r.round_speedup)
+                                .set("requests", Value::u(r.requests as u64))
+                                .set("rounds", Value::u(r.rounds))
+                                .set("fresh_ms", Value::f(r.fresh_ms, 2))
+                                .set("delta_ms", Value::f(r.delta_ms, 2))
+                                .set("round_speedup", Value::f(r.round_speedup, 2))
+                                .set("delta_edges", Value::u(r.delta_edges))
+                                .set(
+                                    "strategies",
+                                    Value::Arr(
+                                        r.rows
+                                            .iter()
+                                            .map(|row| {
+                                                Value::Obj(
+                                                    Obj::new()
+                                                        .set("name", Value::s(row.name))
+                                                        .set("fresh_ms", Value::f(row.fresh_ms, 2))
+                                                        .set("delta_ms", Value::f(row.delta_ms, 2))
+                                                        .set("speedup", Value::f(row.speedup, 2)),
+                                                )
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                        )
+                    })
+                    .collect(),
+            ),
+        )
+        .write("BENCH_PR3.json");
 }

@@ -18,10 +18,11 @@
 //!    recycled scratch path should allocate (amortised) ~zero per round.
 //!
 //! Runs under `cargo bench -p reqsched-bench --bench hot_path`. Set
-//! `HOT_PATH_QUICK=1` for the smoke-test configuration (fewer deadlines,
-//! shorter workload).
+//! `BENCH_QUICK=1` (or the legacy alias `HOT_PATH_QUICK=1`) for the
+//! smoke-test configuration (fewer deadlines, shorter workload).
 
 use criterion::black_box;
+use reqsched_bench::report::{self, Obj, Report, Value};
 use reqsched_bench::{validation_battery, TABLE1_DS};
 use reqsched_core::{StrategyKind, TieBreak};
 use reqsched_model::{Instance, Round};
@@ -154,7 +155,7 @@ fn measure_round_loop(kind: StrategyKind, inst: &Instance, warmup: u64) -> Round
 }
 
 fn main() {
-    let quick = std::env::var("HOT_PATH_QUICK").is_ok_and(|v| v == "1");
+    let quick = report::quick_mode(&["HOT_PATH_QUICK"]);
     let ds: &[u32] = if quick { &TABLE1_DS[..2] } else { &TABLE1_DS };
     let (rounds, rate) = if quick { (200u64, 6u32) } else { (2_000, 6) };
 
@@ -183,45 +184,44 @@ fn main() {
         loops.push((kind.name().to_string(), r));
     }
 
-    // Hand-formatted JSON: the serde stack is not needed for a flat report.
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"hot_path\",\n");
-    out.push_str(&format!("  \"quick\": {quick},\n"));
-    out.push_str("  \"sweep\": {\n");
-    out.push_str(&format!("    \"jobs\": {},\n", sweep.jobs));
-    out.push_str(&format!(
-        "    \"horizon_solves_fresh\": {},\n",
-        sweep.solves_fresh
-    ));
-    out.push_str(&format!(
-        "    \"horizon_solves_cached\": {},\n",
-        sweep.solves_cached
-    ));
-    out.push_str(&format!("    \"solve_reduction\": {solve_reduction:.2},\n"));
-    out.push_str(&format!(
-        "    \"time_fresh_ms\": {:.2},\n",
-        sweep.time_fresh_ms
-    ));
-    out.push_str(&format!(
-        "    \"time_cached_ms\": {:.2}\n",
-        sweep.time_cached_ms
-    ));
-    out.push_str("  },\n");
-    out.push_str("  \"round_loop\": {\n");
-    out.push_str(&format!(
-        "    \"workload\": \"uniform_two_choice(n=16, d=8, rate={rate}, rounds={rounds})\",\n"
-    ));
-    out.push_str("    \"strategies\": {\n");
-    for (i, (name, r)) in loops.iter().enumerate() {
-        let sep = if i + 1 == loops.len() { "" } else { "," };
-        out.push_str(&format!(
-            "      \"{name}\": {{ \"ns_per_round\": {:.0}, \"allocs_per_round\": {:.3}, \"rounds\": {} }}{sep}\n",
-            r.ns_per_round, r.allocs_per_round, r.rounds,
-        ));
+    // Shared report schema (the serde stack is stubbed in dev containers).
+    let mut strategies = Obj::new();
+    for (name, r) in &loops {
+        strategies = strategies.set(
+            name,
+            Value::Obj(
+                Obj::new()
+                    .set("ns_per_round", Value::f(r.ns_per_round, 0))
+                    .set("allocs_per_round", Value::f(r.allocs_per_round, 3))
+                    .set("rounds", Value::u(r.rounds)),
+            ),
+        );
     }
-    out.push_str("    }\n  }\n}\n");
-
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR1.json");
-    std::fs::write(path, out).expect("write BENCH_PR1.json");
-    println!("wrote {path}");
+    Report::new("hot_path", quick)
+        .set(
+            "sweep",
+            Value::Obj(
+                Obj::new()
+                    .set("jobs", Value::u(sweep.jobs as u64))
+                    .set("horizon_solves_fresh", Value::u(sweep.solves_fresh))
+                    .set("horizon_solves_cached", Value::u(sweep.solves_cached))
+                    .set("solve_reduction", Value::f(solve_reduction, 2))
+                    .set("time_fresh_ms", Value::f(sweep.time_fresh_ms, 2))
+                    .set("time_cached_ms", Value::f(sweep.time_cached_ms, 2)),
+            ),
+        )
+        .set(
+            "round_loop",
+            Value::Obj(
+                Obj::new()
+                    .set(
+                        "workload",
+                        Value::s(format!(
+                            "uniform_two_choice(n=16, d=8, rate={rate}, rounds={rounds})"
+                        )),
+                    )
+                    .set("strategies", Value::Obj(strategies)),
+            ),
+        )
+        .write("BENCH_PR1.json");
 }

@@ -10,11 +10,12 @@
 //! before any timing is reported.
 //!
 //! Runs under `cargo bench -p reqsched-bench --bench streaming_opt`. Set
-//! `STREAMING_OPT_QUICK=1` for the smoke-test configuration (smaller
-//! horizons).
+//! `BENCH_QUICK=1` (or the legacy alias `STREAMING_OPT_QUICK=1`) for the
+//! smoke-test configuration (smaller horizons).
 
 use criterion::black_box;
 use reqsched_adversary::{thm21, thm24};
+use reqsched_bench::report::{self, workload_row, Report, Value};
 use reqsched_model::Instance;
 use reqsched_offline::{optimal_count, StreamingOpt};
 use std::time::Instant;
@@ -85,7 +86,7 @@ fn measure(name: &str, inst: &Instance) -> WorkloadResult {
 }
 
 fn main() {
-    let quick = std::env::var("STREAMING_OPT_QUICK").is_ok_and(|v| v == "1");
+    let quick = report::quick_mode(&["STREAMING_OPT_QUICK"]);
     // Workload scale: phase counts for the adversarial generators, round
     // horizons for the random workloads.
     let (phases, rounds) = if quick { (6u32, 150u64) } else { (24, 600) };
@@ -131,23 +132,28 @@ fn main() {
         "acceptance: expected >= 5x reduction in horizon-solve time, got {solve_reduction:.1}x"
     );
 
-    // Hand-formatted JSON: the serde stack is not needed for a flat report.
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"streaming_opt\",\n");
-    out.push_str(&format!("  \"quick\": {quick},\n"));
-    out.push_str("  \"parity\": true,\n");
-    out.push_str(&format!("  \"solve_reduction\": {solve_reduction:.2},\n"));
-    out.push_str("  \"workloads\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        let sep = if i + 1 == results.len() { "" } else { "," };
-        out.push_str(&format!(
-            "    {{ \"name\": \"{}\", \"requests\": {}, \"prefixes\": {}, \"solves_full\": {}, \"solves_streaming\": {}, \"full_ms\": {:.2}, \"streaming_ms\": {:.2}, \"speedup\": {:.2} }}{sep}\n",
-            r.name, r.requests, r.prefixes, r.solves_full, r.solves_streaming, r.full_ms, r.streaming_ms, r.speedup,
-        ));
-    }
-    out.push_str("  ]\n}\n");
-
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json");
-    std::fs::write(path, out).expect("write BENCH_PR2.json");
-    println!("wrote {path}");
+    // Shared report schema (the serde stack is stubbed in dev containers).
+    Report::new("streaming_opt", quick)
+        .set("parity", Value::Bool(true))
+        .set("solve_reduction", Value::f(solve_reduction, 2))
+        .set(
+            "workloads",
+            Value::Arr(
+                results
+                    .iter()
+                    .map(|r| {
+                        Value::Obj(
+                            workload_row(&r.name, r.full_ms, r.streaming_ms, r.speedup)
+                                .set("requests", Value::u(r.requests as u64))
+                                .set("prefixes", Value::u(r.prefixes as u64))
+                                .set("solves_full", Value::u(r.solves_full))
+                                .set("solves_streaming", Value::u(r.solves_streaming))
+                                .set("full_ms", Value::f(r.full_ms, 2))
+                                .set("streaming_ms", Value::f(r.streaming_ms, 2)),
+                        )
+                    })
+                    .collect(),
+            ),
+        )
+        .write("BENCH_PR2.json");
 }

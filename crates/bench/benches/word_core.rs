@@ -1,0 +1,225 @@
+//! Word-parallel-core gate benchmark: measures the round engine on the
+//! struct-of-arrays request arena + u64 bitset adjacency masks, and the
+//! EDF bucket ring against the pre-ring binary-heap round loop. Records
+//! the results in `BENCH_PR6.json` at the workspace root.
+//!
+//! Two measurements:
+//!
+//! 1. **Round engine** — the exact BENCH_PR3 battery (same five workloads,
+//!    same five strategies, same driver, via
+//!    [`reqsched_bench::roundbench`]), fresh rebuild vs. delta-maintained
+//!    matching, now running on the word-parallel core: `ScheduleState`
+//!    keeps live requests in a SoA [`RequestArena`], the window graph's
+//!    participation mask and the matching engines' visited/alive/usable
+//!    sets are u64 `BitSet`s, and delta-column retirement is word-wise.
+//!    The acceptance bar is the BENCH_PR3 bar re-held on the new core:
+//!    ≥ 2× per-round speedup on **every** workload, with exact per-round
+//!    schedule parity asserted before any timing is reported.
+//! 2. **EDF bucket ring** — the branch-free circular-bucket EDF queues
+//!    (`BitMatrix` occupancy + masked `trailing_zeros` scans) against the
+//!    pre-ring `BinaryHeap` round loop, kept here verbatim as the
+//!    baseline. Per-round services and wasted slots must match
+//!    bit-for-bit on every round; deadlines beyond 64 force ring growth.
+//!
+//! Runs under `cargo bench -p reqsched-bench --bench word_core`. Set
+//! `BENCH_QUICK=1` (or the alias `WORD_CORE_QUICK=1`) for the smoke-test
+//! configuration.
+
+use reqsched_bench::report::{self, workload_row, Obj, Report, Value};
+use reqsched_bench::roundbench::{drive, measure_round_engine, round_engine_workloads};
+use reqsched_core::{EdfTwoChoice, OnlineScheduler, Service};
+use reqsched_model::{Instance, Request, RequestId, ResourceId, Round};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+
+/// The pre-ring EDF round loop over plain binary heaps — the baseline the
+/// bucket ring is gated against (same shape as the differential oracle in
+/// `crates/core/src/edf.rs`, minus faults, which this bench doesn't inject).
+struct HeapEdf {
+    queues: Vec<BinaryHeap<Reverse<(Round, RequestId)>>>,
+    served: BTreeSet<RequestId>,
+    cancel_sibling: bool,
+    wasted_slots: u64,
+}
+
+impl HeapEdf {
+    fn new(n: u32, cancel_sibling: bool) -> HeapEdf {
+        HeapEdf {
+            queues: (0..n).map(|_| BinaryHeap::new()).collect(),
+            served: BTreeSet::new(),
+            cancel_sibling,
+            wasted_slots: 0,
+        }
+    }
+}
+
+impl OnlineScheduler for HeapEdf {
+    fn name(&self) -> &str {
+        "EDF(heap)"
+    }
+
+    fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
+        for req in arrivals {
+            for &alt in req.alternatives.as_slice() {
+                self.queues[alt.index()].push(Reverse((req.expiry(), req.id)));
+            }
+        }
+        let mut out = Vec::new();
+        for (i, q) in self.queues.iter_mut().enumerate() {
+            while let Some(&Reverse((expiry, id))) = q.peek() {
+                if expiry < round {
+                    q.pop();
+                    continue;
+                }
+                if self.served.contains(&id) {
+                    q.pop();
+                    if self.cancel_sibling {
+                        continue;
+                    }
+                    self.wasted_slots += 1;
+                    break;
+                }
+                q.pop();
+                self.served.insert(id);
+                out.push(Service {
+                    resource: ResourceId(i as u32),
+                    request: id,
+                });
+                break;
+            }
+        }
+        out
+    }
+}
+
+struct EdfResult {
+    name: String,
+    heap_ms: f64,
+    ring_ms: f64,
+    speedup: f64,
+}
+
+/// Ring vs. heap on one workload, both copy modes, bit-for-bit parity.
+fn measure_edf(name: &str, inst: &Instance) -> EdfResult {
+    let (mut heap_total, mut ring_total) = (0.0, 0.0);
+    for cancel in [false, true] {
+        let mut heap = HeapEdf::new(inst.n_resources, cancel);
+        let (sv_heap, heap_ms) = drive(&mut heap, inst);
+        let mut ring = EdfTwoChoice::new(inst.n_resources, cancel);
+        let (sv_ring, ring_ms) = drive(&mut ring, inst);
+        assert_eq!(
+            sv_heap, sv_ring,
+            "{name}: ring EDF (cancel={cancel}) diverges from the heap baseline"
+        );
+        assert_eq!(
+            heap.wasted_slots,
+            ring.wasted_slots(),
+            "{name}: wasted-slot counters diverge (cancel={cancel})"
+        );
+        heap_total += heap_ms;
+        ring_total += ring_ms;
+    }
+    EdfResult {
+        name: name.to_string(),
+        heap_ms: heap_total,
+        ring_ms: ring_total,
+        speedup: heap_total / ring_total.max(1e-6),
+    }
+}
+
+fn main() {
+    let quick = report::quick_mode(&["WORD_CORE_QUICK"]);
+    let (phases, rounds) = if quick { (6u32, 150u64) } else { (24, 600) };
+
+    // Measurement 1: the BENCH_PR3 battery on the word-parallel core.
+    let mut results = Vec::new();
+    for (name, inst) in &round_engine_workloads(phases, rounds) {
+        let r = measure_round_engine(name, inst);
+        println!(
+            "{:<42} {:>5} rounds x5 strategies: {:>8.1} ms fresh -> {:>7.1} ms delta, {:>5.1}x",
+            r.name, r.rounds, r.fresh_ms, r.delta_ms, r.round_speedup,
+        );
+        results.push(r);
+    }
+    let round_speedup = results
+        .iter()
+        .map(|r| r.round_speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!("round_speedup (worst-case across workloads): {round_speedup:.1}x");
+    assert!(
+        round_speedup >= 2.0,
+        "acceptance: the word-parallel core must re-hold the >= 2x per-round \
+         bar on every BENCH_PR3 workload, got {round_speedup:.1}x"
+    );
+
+    // Measurement 2: EDF bucket ring vs. the heap baseline. The second
+    // workload's deadline (96) exceeds the ring's initial 64-bucket word,
+    // so growth-by-rebuild is on the timed path.
+    let edf_workloads: Vec<(String, Instance)> = vec![
+        (
+            format!("uniform-overload(n=32, d=8, rate=64, rounds={rounds})"),
+            reqsched_workloads::uniform_two_choice(32, 8, 64, rounds, 7),
+        ),
+        (
+            format!("zipf-long-deadline(n=32, d=96, rate=60, rounds={rounds})"),
+            reqsched_workloads::zipf_replicated(32, 96, 100, 1.5, 60, rounds, 9),
+        ),
+    ];
+    let mut edf_results = Vec::new();
+    for (name, inst) in &edf_workloads {
+        let r = measure_edf(name, inst);
+        println!(
+            "edf {:<46} {:>7.2} ms heap -> {:>6.2} ms ring, {:>4.2}x",
+            r.name, r.heap_ms, r.ring_ms, r.speedup,
+        );
+        edf_results.push(r);
+    }
+
+    // Shared report schema (the serde stack is stubbed in dev containers).
+    Report::new("word_core", quick)
+        .set("parity", Value::Bool(true))
+        .set("round_speedup", Value::f(round_speedup, 2))
+        .set(
+            "workloads",
+            Value::Arr(
+                results
+                    .iter()
+                    .map(|r| {
+                        Value::Obj(
+                            workload_row(&r.name, r.fresh_ms, r.delta_ms, r.round_speedup)
+                                .set("requests", Value::u(r.requests as u64))
+                                .set("rounds", Value::u(r.rounds))
+                                .set("round_speedup", Value::f(r.round_speedup, 2))
+                                .set(
+                                    "strategies",
+                                    Value::Arr(
+                                        r.rows
+                                            .iter()
+                                            .map(|row| {
+                                                Value::Obj(
+                                                    Obj::new()
+                                                        .set("name", Value::s(row.name))
+                                                        .set("fresh_ms", Value::f(row.fresh_ms, 2))
+                                                        .set("delta_ms", Value::f(row.delta_ms, 2))
+                                                        .set("speedup", Value::f(row.speedup, 2)),
+                                                )
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                        )
+                    })
+                    .collect(),
+            ),
+        )
+        .set(
+            "edf_ring",
+            Value::Arr(
+                edf_results
+                    .iter()
+                    .map(|r| Value::Obj(workload_row(&r.name, r.heap_ms, r.ring_ms, r.speedup)))
+                    .collect(),
+            ),
+        )
+        .write("BENCH_PR6.json");
+}

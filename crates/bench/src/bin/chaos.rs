@@ -13,11 +13,12 @@
 //! is written. Outputs land in `results/chaos.csv` and `BENCH_PR5.json` at
 //! the workspace root.
 //!
-//! `CHAOS_QUICK=1` shrinks the sweep to a smoke-test size (used by
-//! `scripts/bench_smoke.sh` and CI, where the run is additionally armed with
-//! `--features audit` so every round boundary replays the invariant
-//! auditor).
+//! `BENCH_QUICK=1` (or the legacy alias `CHAOS_QUICK=1`) shrinks the sweep
+//! to a smoke-test size (used by `scripts/bench_smoke.sh` and CI, where the
+//! run is additionally armed with `--features audit` so every round boundary
+//! replays the invariant auditor).
 
+use reqsched_bench::report::{self, Obj, Report, Value};
 use reqsched_core::{StrategyKind, TieBreak};
 use reqsched_faults::{ChaosConfig, FaultPlan};
 use reqsched_sim::{run_fixed_faulty_traced, AnyStrategy};
@@ -184,7 +185,7 @@ fn fail(msg: &str) -> ! {
 }
 
 fn main() {
-    let quick = std::env::var("CHAOS_QUICK").is_ok_and(|v| v == "1");
+    let quick = report::quick_mode(&["CHAOS_QUICK"]);
     let shape = if quick {
         SweepShape {
             n: 6,
@@ -227,39 +228,44 @@ fn main() {
     }
     println!("wrote {csv_path}");
 
-    // Hand-formatted JSON (the serde stack is not needed for a flat report).
+    // Shared report schema (the serde stack is stubbed in dev containers).
     let level_list = levels();
     let strat_list = strategies();
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"chaos\",\n");
-    out.push_str(&format!("  \"quick\": {quick},\n"));
-    out.push_str("  \"deterministic\": true,\n");
-    out.push_str(&format!("  \"strategies\": {},\n", strat_list.len()));
-    out.push_str(&format!(
-        "  \"fault_levels\": {},\n",
-        level_list.iter().filter(|l| l.cfg.crash_prob > 0.0).count()
-    ));
-    out.push_str(&format!(
-        "  \"shape\": {{ \"n\": {}, \"d\": {}, \"per_round\": {}, \"rounds\": {}, \"seeds\": {} }},\n",
-        shape.n,
-        shape.d,
-        shape.per_round,
-        shape.rounds,
-        shape.seeds.len(),
-    ));
-    out.push_str("  \"cells\": [\n");
-    for (i, c) in cells.iter().enumerate() {
-        let sep = if i + 1 == cells.len() { "" } else { "," };
-        out.push_str(&format!(
-            "    {{ \"strategy\": \"{}\", \"level\": \"{}\", \"crash_prob\": {:.3}, \"goodput\": {:.4}, \"ratio\": {:.4} }}{sep}\n",
-            c.strategy, c.level, c.crash_prob, c.goodput, c.ratio,
-        ));
-    }
-    out.push_str("  ]\n}\n");
-
-    let json_path = format!("{root}/BENCH_PR5.json");
-    if let Err(e) = std::fs::write(&json_path, out) {
-        fail(&format!("cannot write {json_path}: {e}"));
-    }
-    println!("wrote {json_path}");
+    Report::new("chaos", quick)
+        .set("deterministic", Value::Bool(true))
+        .set("strategies", Value::u(strat_list.len() as u64))
+        .set(
+            "fault_levels",
+            Value::u(level_list.iter().filter(|l| l.cfg.crash_prob > 0.0).count() as u64),
+        )
+        .set(
+            "shape",
+            Value::Obj(
+                Obj::new()
+                    .set("n", Value::u(shape.n as u64))
+                    .set("d", Value::u(shape.d as u64))
+                    .set("per_round", Value::u(shape.per_round as u64))
+                    .set("rounds", Value::u(shape.rounds as u64))
+                    .set("seeds", Value::u(shape.seeds.len() as u64)),
+            ),
+        )
+        .set(
+            "cells",
+            Value::Arr(
+                cells
+                    .iter()
+                    .map(|c| {
+                        Value::Obj(
+                            Obj::new()
+                                .set("strategy", Value::s(&*c.strategy))
+                                .set("level", Value::s(c.level))
+                                .set("crash_prob", Value::f(c.crash_prob, 3))
+                                .set("goodput", Value::f(c.goodput, 4))
+                                .set("ratio", Value::f(c.ratio, 4)),
+                        )
+                    })
+                    .collect(),
+            ),
+        )
+        .write("BENCH_PR5.json");
 }

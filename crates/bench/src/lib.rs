@@ -14,6 +14,9 @@
 //!
 //! Criterion micro/macro benchmarks live in `benches/`.
 
+pub mod report;
+pub mod roundbench;
+
 use rayon::prelude::*;
 use reqsched_adversary::{edf_worst, thm21, thm22, thm23, thm24, thm25, thm26, thm37};
 use reqsched_core::{StrategyKind, TieBreak};

@@ -1,0 +1,283 @@
+//! Shared schema for the `BENCH_PR*.json` reports.
+//!
+//! Every benchmark that persists a machine-readable report at the workspace
+//! root goes through this module so the artifacts stay structurally uniform:
+//!
+//! * the top level always opens with `"bench"` and `"quick"`;
+//! * workload entries always carry the normalized quartet
+//!   `name` / `baseline_ms` / `measured_ms` / `speedup` (benches may add
+//!   extra keys after it, e.g. per-strategy breakdowns);
+//! * quick-mode detection is unified behind [`quick_mode`]: the single
+//!   `BENCH_QUICK=1` switch covers every bench, while each bench's historic
+//!   variable (`HOT_PATH_QUICK`, `STREAMING_OPT_QUICK`, ...) keeps working
+//!   as an alias.
+//!
+//! The builder is deliberately hand-rolled: the dev containers vendor a
+//! stubbed `serde_json` whose parser always errors, so the reports must be
+//! producible (and are consumed by `scripts/bench_smoke.sh` via `python3`)
+//! without serde. Field order is preserved as inserted, which keeps the
+//! artifacts diffable across regenerations.
+
+use std::fmt::Write as _;
+
+/// Name of the unified quick-mode environment variable.
+pub const BENCH_QUICK: &str = "BENCH_QUICK";
+
+/// The workspace root (where the `BENCH_PR*.json` artifacts live).
+pub fn workspace_root() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../..")
+}
+
+/// `true` when the bench should run its smoke-test configuration.
+///
+/// `BENCH_QUICK=1` switches every bench at once; the per-bench `aliases`
+/// (e.g. `HOT_PATH_QUICK`) are honored for backwards compatibility with
+/// existing scripts and muscle memory.
+pub fn quick_mode(aliases: &[&str]) -> bool {
+    std::iter::once(BENCH_QUICK)
+        .chain(aliases.iter().copied())
+        .any(|var| std::env::var(var).is_ok_and(|v| v == "1"))
+}
+
+/// One JSON value in a report. Numbers are stored pre-formatted so each
+/// bench keeps control of its precision (`{:.2}` vs `{:.3}` vs integer).
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// JSON `null` (e.g. "no baseline recorded").
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A pre-formatted numeric literal (must be valid JSON, e.g. `"3.14"`).
+    Num(String),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Value>),
+    /// An ordered object.
+    Obj(Obj),
+}
+
+impl Value {
+    /// Float with fixed precision.
+    pub fn f(x: f64, precision: usize) -> Value {
+        Value::Num(format!("{x:.precision$}"))
+    }
+
+    /// Unsigned integer.
+    pub fn u(x: u64) -> Value {
+        Value::Num(x.to_string())
+    }
+
+    /// String value.
+    pub fn s(x: impl Into<String>) -> Value {
+        Value::Str(x.into())
+    }
+
+    fn render(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Num(n) => out.push_str(n),
+            Value::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Value::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, indent + 1);
+                    item.render(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            Value::Obj(o) => o.render(out, indent),
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// An insertion-ordered JSON object.
+#[derive(Clone, Debug, Default)]
+pub struct Obj {
+    fields: Vec<(String, Value)>,
+}
+
+impl Obj {
+    /// Empty object.
+    pub fn new() -> Obj {
+        Obj::default()
+    }
+
+    /// Append a field (builder style).
+    pub fn set(mut self, key: &str, value: Value) -> Obj {
+        self.fields.push((key.to_string(), value));
+        self
+    }
+
+    fn render(&self, out: &mut String, indent: usize) {
+        if self.fields.is_empty() {
+            out.push_str("{}");
+            return;
+        }
+        out.push_str("{\n");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            pad(out, indent + 1);
+            let _ = write!(out, "\"{key}\": ");
+            value.render(out, indent + 1);
+            out.push_str(if i + 1 < self.fields.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        pad(out, indent);
+        out.push('}');
+    }
+}
+
+/// The normalized workload quartet every report's `workloads` array leads
+/// with. Extra bench-specific keys append after it via [`Obj::set`].
+pub fn workload_row(name: &str, baseline_ms: f64, measured_ms: f64, speedup: f64) -> Obj {
+    Obj::new()
+        .set("name", Value::s(name))
+        .set("baseline_ms", Value::f(baseline_ms, 3))
+        .set("measured_ms", Value::f(measured_ms, 3))
+        .set("speedup", Value::f(speedup, 2))
+}
+
+/// A `BENCH_PR*.json` report under construction.
+#[derive(Clone, Debug)]
+pub struct Report {
+    root: Obj,
+}
+
+impl Report {
+    /// Start a report; `"bench"` and `"quick"` always lead.
+    pub fn new(bench: &str, quick: bool) -> Report {
+        Report {
+            root: Obj::new()
+                .set("bench", Value::s(bench))
+                .set("quick", Value::Bool(quick)),
+        }
+    }
+
+    /// Append a top-level field.
+    pub fn set(mut self, key: &str, value: Value) -> Report {
+        self.root = self.root.set(key, value);
+        self
+    }
+
+    /// Render to a JSON string (trailing newline included).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.root.render(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Write to `file_name` at the workspace root and echo the path.
+    pub fn write(&self, file_name: &str) {
+        let path = format!("{}/{file_name}", workspace_root());
+        std::fs::write(&path, self.render()).unwrap_or_else(|e| panic!("write {file_name}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_leads_with_bench_and_quick() {
+        let r = Report::new("demo", true)
+            .set("parity", Value::Bool(true))
+            .set("solve_reduction", Value::f(7.25, 2));
+        let json = r.render();
+        assert!(json.starts_with("{\n  \"bench\": \"demo\",\n  \"quick\": true,\n"));
+        // The exact spellings the smoke script greps for.
+        assert!(json.contains("\"parity\": true"));
+        assert!(json.contains("\"solve_reduction\": 7.25"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn workload_rows_carry_the_normalized_quartet() {
+        let row = workload_row("uniform", 12.5, 2.5, 5.0).set("rounds", Value::u(600));
+        let mut out = String::new();
+        row.render(&mut out, 0);
+        for key in [
+            "\"name\"",
+            "\"baseline_ms\"",
+            "\"measured_ms\"",
+            "\"speedup\"",
+        ] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
+        assert!(out.contains("\"speedup\": 5.00"));
+        assert!(out.contains("\"rounds\": 600"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        Value::s("a\"b\\c\nd").render(&mut out, 0);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn nested_arrays_and_objects_render_parseably() {
+        let r = Report::new("nest", false).set(
+            "workloads",
+            Value::Arr(vec![
+                Value::Obj(workload_row("a", 1.0, 0.5, 2.0)),
+                Value::Obj(workload_row("b", 2.0, 0.5, 4.0).set(
+                    "strategies",
+                    Value::Arr(vec![Value::Obj(
+                        Obj::new().set("name", Value::s("EDF")).set("speedup", Value::f(3.0, 2)),
+                    )]),
+                )),
+            ]),
+        );
+        let json = r.render();
+        // Balanced braces/brackets — cheap structural sanity without a parser.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"strategies\": ["));
+    }
+
+    #[test]
+    fn quick_mode_honors_unified_switch_and_aliases() {
+        // Env-var probes use process-global state; exercised with unique
+        // names so parallel tests don't race.
+        std::env::set_var("REPORT_TEST_ALIAS_QUICK", "1");
+        assert!(quick_mode(&["REPORT_TEST_ALIAS_QUICK"]));
+        std::env::set_var("REPORT_TEST_ALIAS_QUICK", "0");
+        assert!(!quick_mode(&["REPORT_TEST_ALIAS_QUICK"]));
+        std::env::remove_var("REPORT_TEST_ALIAS_QUICK");
+        assert!(!quick_mode(&["REPORT_TEST_ALIAS_QUICK"]));
+    }
+}

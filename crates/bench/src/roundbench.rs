@@ -1,0 +1,167 @@
+//! Shared round-engine measurement harness for the `delta_window` and
+//! `word_core` macro-benchmarks.
+//!
+//! Both benches drive the same five workloads (the BENCH_PR3 battery:
+//! two adversarial constructions plus three random generators at overload
+//! rates) through the same five matching-based strategies, fresh-rebuild
+//! vs. delta-maintained, asserting exact per-round schedule parity before
+//! any timing is reported. Keeping the harness here guarantees the
+//! `BENCH_PR6.json` word-core numbers are measured on *identical* inputs
+//! and drivers as the `BENCH_PR3.json` baseline they are compared against.
+
+use reqsched_adversary::{thm21, thm25};
+use reqsched_core::{
+    ABalance, ACurrent, AEager, AFixBalance, ALazyMax, OnlineScheduler, Service, SolveMode,
+    StrategyKind, TieBreak,
+};
+use reqsched_model::{Instance, Round};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The strategies with a delta path (`StrategyKind::GLOBAL` minus `A_fix`,
+/// which decides per arrival and never re-solves, plus the lazy-maximum
+/// ablation).
+pub const KINDS: [StrategyKind; 5] = [
+    StrategyKind::ACurrent,
+    StrategyKind::AFixBalance,
+    StrategyKind::AEager,
+    StrategyKind::ABalance,
+    StrategyKind::LazyMax,
+];
+
+/// The five BENCH_PR3 workloads at the given scale. `quick` scale is
+/// `(6, 150)`, full is `(24, 600)`.
+pub fn round_engine_workloads(phases: u32, rounds: u64) -> Vec<(String, Instance)> {
+    vec![
+        (
+            format!("thm2.1(d=40, phases={phases})"),
+            thm21::scenario(40, phases).instance,
+        ),
+        (
+            format!("thm2.5(x=6, groups=8, intervals={phases})"),
+            thm25::scenario(6, 8, phases).instance,
+        ),
+        (
+            format!("uniform-overload(n=32, d=8, rate=64, rounds={rounds})"),
+            reqsched_workloads::uniform_two_choice(32, 8, 64, rounds, 7),
+        ),
+        (
+            format!("zipf(n=32, d=6, alpha=1.5, rate=60, rounds={rounds})"),
+            reqsched_workloads::zipf_replicated(32, 6, 100, 1.5, 60, rounds, 9),
+        ),
+        (
+            format!("flash(n=32, d=6, burst=120, rounds={rounds})"),
+            reqsched_workloads::flash_crowd(32, 6, 10, 120, 30, 60, rounds, 11),
+        ),
+    ]
+}
+
+/// Drive one scheduler over the instance (horizon plus drain), returning
+/// the per-round services and the summed `on_round` time in milliseconds.
+pub fn drive(s: &mut dyn OnlineScheduler, inst: &Instance) -> (Vec<Vec<Service>>, f64) {
+    let rounds = inst.horizon().get() + inst.d as u64;
+    let mut services = Vec::with_capacity(rounds as usize);
+    let mut total = 0.0;
+    for t in 0..rounds {
+        let arrivals = inst.trace.arrivals_at(Round(t));
+        let t0 = Instant::now();
+        let served = black_box(s.on_round(Round(t), arrivals));
+        total += t0.elapsed().as_secs_f64() * 1e3;
+        services.push(served);
+    }
+    (services, total)
+}
+
+/// Run `kind` in the given mode; also harvest the delta engine's
+/// edge-scan counter (0 on the fresh path, which has no such counter —
+/// its work is the full rebuild + re-solve every round).
+pub fn run_kind(
+    kind: StrategyKind,
+    inst: &Instance,
+    mode: SolveMode,
+) -> (Vec<Vec<Service>>, f64, u64) {
+    let (n, d, tie) = (inst.n_resources, inst.d, TieBreak::FirstFit);
+    macro_rules! go {
+        ($ty:ident) => {{
+            let mut s = $ty::with_mode(n, d, tie, mode);
+            let (sv, ms) = drive(&mut s, inst);
+            (sv, ms, s.delta_work().unwrap_or(0))
+        }};
+    }
+    match kind {
+        StrategyKind::ACurrent => go!(ACurrent),
+        StrategyKind::AFixBalance => go!(AFixBalance),
+        StrategyKind::AEager => go!(AEager),
+        StrategyKind::ABalance => go!(ABalance),
+        StrategyKind::LazyMax => go!(ALazyMax),
+        _ => unreachable!("no delta path for {:?}", kind),
+    }
+}
+
+/// Fresh-vs-delta timing of one strategy on one workload.
+pub struct StrategyRow {
+    /// Strategy name (paper notation).
+    pub name: &'static str,
+    /// Summed `on_round` ms with a fresh window solve every round.
+    pub fresh_ms: f64,
+    /// Summed `on_round` ms with the delta-maintained matching.
+    pub delta_ms: f64,
+    /// `fresh_ms / delta_ms`.
+    pub speedup: f64,
+}
+
+/// Fresh-vs-delta timing of the whole strategy set on one workload.
+pub struct WorkloadResult {
+    /// Workload label (generator + parameters).
+    pub name: String,
+    /// Requests injected over the horizon.
+    pub requests: usize,
+    /// Rounds driven (horizon + drain).
+    pub rounds: u64,
+    /// Summed fresh-path ms across all strategies.
+    pub fresh_ms: f64,
+    /// Summed delta-path ms across all strategies.
+    pub delta_ms: f64,
+    /// `fresh_ms / delta_ms` for the workload.
+    pub round_speedup: f64,
+    /// Delta-engine edge scans summed across strategies.
+    pub delta_edges: u64,
+    /// Per-strategy breakdown.
+    pub rows: Vec<StrategyRow>,
+}
+
+/// Measure every strategy on `inst` fresh vs. delta, asserting exact
+/// per-round schedule parity for each before timing is aggregated.
+pub fn measure_round_engine(name: &str, inst: &Instance) -> WorkloadResult {
+    let mut rows = Vec::new();
+    let (mut fresh_total, mut delta_total, mut edges_total) = (0.0, 0.0, 0u64);
+    for kind in KINDS {
+        let (sv_fresh, fresh_ms, _) = run_kind(kind, inst, SolveMode::Fresh);
+        let (sv_delta, delta_ms, edges) = run_kind(kind, inst, SolveMode::Delta);
+        assert_eq!(
+            sv_fresh,
+            sv_delta,
+            "{name}: {} delta schedule diverges from fresh",
+            kind.name()
+        );
+        fresh_total += fresh_ms;
+        delta_total += delta_ms;
+        edges_total += edges;
+        rows.push(StrategyRow {
+            name: kind.name(),
+            fresh_ms,
+            delta_ms,
+            speedup: fresh_ms / delta_ms.max(1e-6),
+        });
+    }
+    WorkloadResult {
+        name: name.to_string(),
+        requests: inst.trace.len(),
+        rounds: inst.horizon().get() + inst.d as u64,
+        fresh_ms: fresh_total,
+        delta_ms: delta_total,
+        round_speedup: fresh_total / delta_total.max(1e-6),
+        delta_edges: edges_total,
+        rows,
+    }
+}

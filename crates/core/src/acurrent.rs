@@ -84,7 +84,7 @@ impl OnlineScheduler for ACurrent {
         // assignments persist across rounds (matched requests are served
         // immediately), so the matching starts empty every round.
         let mut lefts = self.scratch.take_lefts();
-        lefts.extend(self.state.live_iter().map(|l| l.req.id));
+        lefts.extend(self.state.live_iter().map(|l| l.id()));
         if !lefts.is_empty() {
             let (wg, mut m) =
                 WindowGraph::build_with(&self.state, lefts, 1, false, &self.tie, &mut self.scratch);

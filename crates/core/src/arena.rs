@@ -1,0 +1,373 @@
+//! Struct-of-arrays storage for live requests (the request arena).
+//!
+//! The schedule window used to keep one `LiveReq { req: Request, assigned }`
+//! struct per live request in a `BTreeMap`. Every hot-path consumer touches
+//! only a narrow slice of that struct — the graph builder wants
+//! `(arrival, deadline, alternatives)`, the tie-break passes want `hint`,
+//! the write-back wants `assigned` — yet each access dragged the whole
+//! ~80-byte struct through cache. [`RequestArena`] splits the fields into
+//! parallel columns indexed by a dense slot number, so a scan over one
+//! attribute walks one tightly packed array.
+//!
+//! ## Handles
+//!
+//! Slots are recycled through a free list, so a slot index is only
+//! meaningful while its request is live. Callers outside this module never
+//! see raw slots: lookups go through the id index and hand back a copyable
+//! [`ReqRef`] view whose accessors read the columns. The id index is a
+//! `BTreeMap`, preserving the deterministic id-order iteration the previous
+//! `BTreeMap<RequestId, LiveReq>` gave every strategy and test.
+
+use reqsched_model::{Alternatives, Hint, Request, RequestId, ResourceId, Round};
+use std::collections::BTreeMap;
+
+/// Sentinel in the packed assignment column: "unassigned".
+const NO_RES: u32 = u32::MAX;
+
+/// Columnar store of live requests. See module docs.
+#[derive(Clone, Debug, Default)]
+pub struct RequestArena {
+    ids: Vec<RequestId>,
+    arrivals: Vec<Round>,
+    deadlines: Vec<u32>,
+    alternatives: Vec<Alternatives>,
+    tags: Vec<u32>,
+    hints: Vec<Hint>,
+    /// Assigned resource per slot; [`NO_RES`] = unassigned.
+    assigned_res: Vec<u32>,
+    /// Assigned round per slot; meaningful only when `assigned_res != NO_RES`.
+    assigned_round: Vec<u64>,
+    /// Recycled slots of removed requests.
+    free: Vec<u32>,
+    /// Live id → slot (deterministic id-order iteration).
+    index: BTreeMap<RequestId, u32>,
+}
+
+impl RequestArena {
+    /// An empty arena; columns grow on first use.
+    pub fn new() -> RequestArena {
+        RequestArena::default()
+    }
+
+    /// Number of live requests.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` iff no request is live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Insert `req` unassigned. Returns `false` (and stores nothing) if its
+    /// id is already live.
+    pub fn insert(&mut self, req: &Request) -> bool {
+        if self.index.contains_key(&req.id) {
+            return false;
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let s = slot as usize;
+                self.ids[s] = req.id;
+                self.arrivals[s] = req.arrival;
+                self.deadlines[s] = req.deadline;
+                self.alternatives[s] = req.alternatives.clone();
+                self.tags[s] = req.tag;
+                self.hints[s] = req.hint;
+                self.assigned_res[s] = NO_RES;
+                slot
+            }
+            None => {
+                let slot = self.ids.len() as u32;
+                self.ids.push(req.id);
+                self.arrivals.push(req.arrival);
+                self.deadlines.push(req.deadline);
+                self.alternatives.push(req.alternatives.clone());
+                self.tags.push(req.tag);
+                self.hints.push(req.hint);
+                self.assigned_res.push(NO_RES);
+                self.assigned_round.push(0);
+                slot
+            }
+        };
+        self.index.insert(req.id, slot);
+        true
+    }
+
+    /// The slot of live request `id`, if any.
+    #[inline]
+    pub fn slot_of(&self, id: RequestId) -> Option<u32> {
+        self.index.get(&id).copied()
+    }
+
+    /// A column view of the request in `slot`. The slot must be live.
+    #[inline]
+    pub fn at(&self, slot: u32) -> ReqRef<'_> {
+        debug_assert!((slot as usize) < self.ids.len());
+        ReqRef { arena: self, slot }
+    }
+
+    /// A column view of live request `id`, if any.
+    #[inline]
+    pub fn get(&self, id: RequestId) -> Option<ReqRef<'_>> {
+        self.slot_of(id).map(|slot| self.at(slot))
+    }
+
+    /// Iterate over all live requests in id order.
+    pub fn iter(&self) -> impl Iterator<Item = ReqRef<'_>> {
+        self.index.values().map(|&slot| self.at(slot))
+    }
+
+    /// Remove live request `id`, recycling its slot. Returns whether it was
+    /// live.
+    pub fn remove(&mut self, id: RequestId) -> bool {
+        match self.index.remove(&id) {
+            Some(slot) => {
+                self.assigned_res[slot as usize] = NO_RES;
+                self.free.push(slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Current assignment of the request in `slot`.
+    #[inline]
+    pub fn assigned(&self, slot: u32) -> Option<(ResourceId, Round)> {
+        let res = self.assigned_res[slot as usize];
+        (res != NO_RES).then(|| (ResourceId(res), Round(self.assigned_round[slot as usize])))
+    }
+
+    /// Record the assignment of the request in `slot`.
+    #[inline]
+    pub fn set_assigned(&mut self, slot: u32, resource: ResourceId, round: Round) {
+        debug_assert_ne!(resource.0, NO_RES);
+        self.assigned_res[slot as usize] = resource.0;
+        self.assigned_round[slot as usize] = round.get();
+    }
+
+    /// Clear and return the assignment of the request in `slot`.
+    #[inline]
+    pub fn take_assigned(&mut self, slot: u32) -> Option<(ResourceId, Round)> {
+        let taken = self.assigned(slot);
+        self.assigned_res[slot as usize] = NO_RES;
+        taken
+    }
+
+    /// Unassign every live request — one column fill, no per-request walk
+    /// (free slots hold the sentinel already, so blanket-filling is safe).
+    pub fn clear_assignments(&mut self) {
+        self.assigned_res.fill(NO_RES);
+    }
+
+    /// Remove every live request `f` rejects (in id order), recycling their
+    /// slots.
+    pub fn retain(&mut self, mut f: impl FnMut(ReqRef<'_>) -> bool) {
+        let mut doomed: Vec<RequestId> = Vec::new();
+        for (&id, &slot) in self.index.iter() {
+            if !f(self.at(slot)) {
+                doomed.push(id);
+            }
+        }
+        for id in doomed {
+            self.remove(id);
+        }
+    }
+}
+
+/// Copyable read-only view of one live request's columns.
+///
+/// Accessors read individual arena columns, so e.g. a priority scan touches
+/// only the `hints` array. The view borrows the arena; take plain values
+/// out of it (ids, rounds, hints are all `Copy`) before mutating.
+#[derive(Clone, Copy)]
+pub struct ReqRef<'a> {
+    arena: &'a RequestArena,
+    slot: u32,
+}
+
+impl<'a> ReqRef<'a> {
+    /// The request's id.
+    #[inline]
+    pub fn id(&self) -> RequestId {
+        self.arena.ids[self.slot as usize]
+    }
+
+    /// Arrival round.
+    #[inline]
+    pub fn arrival(&self) -> Round {
+        self.arena.arrivals[self.slot as usize]
+    }
+
+    /// Relative deadline (window length).
+    #[inline]
+    pub fn deadline(&self) -> u32 {
+        self.arena.deadlines[self.slot as usize]
+    }
+
+    /// Last round (inclusive) the request may still be served.
+    #[inline]
+    pub fn expiry(&self) -> Round {
+        self.arrival() + (self.deadline() as u64 - 1)
+    }
+
+    /// Admissible resources (lifetime of the arena, not of this view).
+    #[inline]
+    pub fn alternatives(&self) -> &'a Alternatives {
+        &self.arena.alternatives[self.slot as usize]
+    }
+
+    /// Generator tag.
+    #[inline]
+    pub fn tag(&self) -> u32 {
+        self.arena.tags[self.slot as usize]
+    }
+
+    /// Tie-breaking hint.
+    #[inline]
+    pub fn hint(&self) -> Hint {
+        self.arena.hints[self.slot as usize]
+    }
+
+    /// Current tentative assignment, if any.
+    #[inline]
+    pub fn assigned(&self) -> Option<(ResourceId, Round)> {
+        self.arena.assigned(self.slot)
+    }
+
+    /// Whether the request may be served in `round`.
+    #[inline]
+    pub fn window_contains(&self, round: Round) -> bool {
+        round >= self.arrival() && round <= self.expiry()
+    }
+
+    /// Whether serving this request on `resource` in `round` is feasible.
+    #[inline]
+    pub fn can_be_served(&self, resource: ResourceId, round: Round) -> bool {
+        self.window_contains(round) && self.alternatives().contains(resource)
+    }
+}
+
+impl std::fmt::Debug for ReqRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReqRef")
+            .field("id", &self.id())
+            .field("arrival", &self.arrival())
+            .field("deadline", &self.deadline())
+            .field("alternatives", self.alternatives())
+            .field("tag", &self.tag())
+            .field("hint", &self.hint())
+            .field("assigned", &self.assigned())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u32, arrival: u64, deadline: u32) -> Request {
+        Request {
+            id: RequestId(id),
+            arrival: Round(arrival),
+            alternatives: Alternatives::two(ResourceId(0), ResourceId(1)),
+            deadline,
+            tag: id * 10,
+            hint: Hint::priority(id),
+        }
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut a = RequestArena::new();
+        assert!(a.insert(&req(3, 5, 2)));
+        assert!(!a.insert(&req(3, 5, 2)), "duplicate id rejected");
+        let r = a.get(RequestId(3)).expect("live");
+        assert_eq!(r.id(), RequestId(3));
+        assert_eq!(r.arrival(), Round(5));
+        assert_eq!(r.deadline(), 2);
+        assert_eq!(r.expiry(), Round(6));
+        assert_eq!(r.tag(), 30);
+        assert_eq!(r.hint().priority, 3);
+        assert!(r.assigned().is_none());
+        assert!(r.can_be_served(ResourceId(1), Round(6)));
+        assert!(!r.can_be_served(ResourceId(2), Round(6)));
+        assert!(!r.can_be_served(ResourceId(0), Round(7)));
+    }
+
+    #[test]
+    fn slots_recycle_without_losing_live_entries() {
+        let mut a = RequestArena::new();
+        for i in 0..4 {
+            a.insert(&req(i, 0, 3));
+        }
+        assert!(a.remove(RequestId(1)));
+        assert!(!a.remove(RequestId(1)));
+        a.insert(&req(9, 1, 1));
+        // Slot of the removed request was reused; all live entries intact.
+        let ids: Vec<RequestId> = a.iter().map(|r| r.id()).collect();
+        assert_eq!(
+            ids,
+            vec![RequestId(0), RequestId(2), RequestId(3), RequestId(9)]
+        );
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.get(RequestId(9)).unwrap().arrival(), Round(1));
+    }
+
+    #[test]
+    fn assignment_column_roundtrip() {
+        let mut a = RequestArena::new();
+        a.insert(&req(0, 0, 2));
+        let slot = a.slot_of(RequestId(0)).unwrap();
+        a.set_assigned(slot, ResourceId(1), Round(1));
+        assert_eq!(a.assigned(slot), Some((ResourceId(1), Round(1))));
+        assert_eq!(a.take_assigned(slot), Some((ResourceId(1), Round(1))));
+        assert_eq!(a.assigned(slot), None);
+        assert_eq!(a.take_assigned(slot), None);
+    }
+
+    #[test]
+    fn recycled_slot_starts_unassigned() {
+        let mut a = RequestArena::new();
+        a.insert(&req(0, 0, 2));
+        let slot = a.slot_of(RequestId(0)).unwrap();
+        a.set_assigned(slot, ResourceId(0), Round(0));
+        a.remove(RequestId(0));
+        a.insert(&req(1, 0, 2));
+        let slot2 = a.slot_of(RequestId(1)).unwrap();
+        assert_eq!(slot, slot2, "slot is recycled");
+        assert!(a.assigned(slot2).is_none());
+    }
+
+    #[test]
+    fn clear_assignments_is_blanket() {
+        let mut a = RequestArena::new();
+        for i in 0..3 {
+            a.insert(&req(i, 0, 3));
+            let slot = a.slot_of(RequestId(i)).unwrap();
+            a.set_assigned(slot, ResourceId(0), Round(i as u64));
+        }
+        a.clear_assignments();
+        assert!(a.iter().all(|r| r.assigned().is_none()));
+    }
+
+    #[test]
+    fn retain_removes_in_id_order() {
+        let mut a = RequestArena::new();
+        for i in 0..5 {
+            a.insert(&req(i, i as u64, 1));
+        }
+        let mut dropped = Vec::new();
+        a.retain(|r| {
+            let keep = r.arrival() >= Round(2);
+            if !keep {
+                dropped.push(r.id());
+            }
+            keep
+        });
+        assert_eq!(dropped, vec![RequestId(0), RequestId(1)]);
+        assert_eq!(a.len(), 3);
+    }
+}

@@ -76,7 +76,7 @@ impl AEager {
             state.insert(req);
         }
         let mut lefts = scratch.take_lefts();
-        lefts.extend(state.live_iter().map(|l| l.req.id));
+        lefts.extend(state.live_iter().map(|l| l.id()));
         if !lefts.is_empty() {
             let (wg, mut m) = WindowGraph::build_with(state, lefts, state.d(), true, tie, scratch);
             // Rule 2 first: the initial matching is the carried schedule;

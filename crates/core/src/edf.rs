@@ -18,10 +18,10 @@
 use crate::schedule::Service;
 use crate::OnlineScheduler;
 use reqsched_faults::FaultPlan;
+use reqsched_matching::BitMatrix;
 use reqsched_model::{Request, RequestId, ResourceId, Round};
-use std::cmp::Reverse;
 use std::collections::BTreeSet;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Whether resource `i` may serve in `round` under an optional fault plan.
@@ -34,23 +34,145 @@ fn resource_serves(faults: &Option<Arc<FaultPlan>>, i: usize, round: Round) -> b
     }
 }
 
-/// Min-heap entry: earliest expiry first, ties by request id (FIFO-ish).
-type Entry = Reverse<(Round, RequestId)>;
-
-/// Per-resource EDF queues over request *copies*.
+/// Per-resource EDF queues over request *copies*, stored as a circular
+/// expiry-bucket ring instead of binary heaps.
+///
+/// Bucket `expiry % cap` of a resource holds the ids of its queued copies
+/// with that expiry, in ascending id order; a per-resource occupancy row in
+/// a [`BitMatrix`] has bit `b` set iff bucket `b` is non-empty. All stored
+/// expiries lie in `[base, base + cap)` (the ring grows by rebuild when a
+/// deadline outruns it), so the EDF minimum — the `(expiry, id)`-least
+/// copy the heaps used to surface — is found by one circular
+/// `trailing_zeros` word scan of the occupancy row starting at
+/// `base % cap`, then taking the front of that bucket. No per-entry
+/// compare-and-branch sift; the scan touches `cap / 64` words.
+///
+/// Expired buckets (`expiry < round`) are purged wholesale as `base`
+/// advances — the word-level analogue of the heaps' lazy pop-and-skip, with
+/// the identical served sequence since expired copies are never served.
 struct EdfQueues {
-    queues: Vec<BinaryHeap<Entry>>,
+    n: usize,
+    /// Ring size (power of two); all live expiries fit in `base..base+cap`.
+    cap: usize,
+    /// `buckets[res * cap + expiry % cap]` = queued ids, ascending.
+    buckets: Vec<VecDeque<RequestId>>,
+    /// Row = resource, bit = "bucket non-empty".
+    occ: BitMatrix,
+    /// Lower bound of the ring's expiry span; advanced by `advance_to`.
+    base: u64,
+    started: bool,
 }
 
 impl EdfQueues {
+    const INITIAL_CAP: usize = 64;
+
     fn new(n: u32) -> EdfQueues {
+        let n = n as usize;
         EdfQueues {
-            queues: (0..n).map(|_| BinaryHeap::new()).collect(),
+            n,
+            cap: Self::INITIAL_CAP,
+            buckets: (0..n * Self::INITIAL_CAP)
+                .map(|_| VecDeque::new())
+                .collect(),
+            occ: BitMatrix::new(n, Self::INITIAL_CAP),
+            base: 0,
+            started: false,
         }
     }
 
+    /// Drop every bucket of expiries `< round` (their copies are expired
+    /// everywhere) and move the ring's base up to `round`.
+    fn advance_to(&mut self, round: Round) {
+        let round = round.get();
+        if !self.started {
+            self.started = true;
+            self.base = round;
+            return;
+        }
+        while self.base < round {
+            let col = (self.base % self.cap as u64) as usize;
+            for res in 0..self.n {
+                if self.occ.contains(res, col) {
+                    self.buckets[res * self.cap + col].clear();
+                    self.occ.clear(res, col);
+                }
+            }
+            self.base += 1;
+        }
+    }
+
+    /// Grow the ring (rebuilding bucket positions) until `expiry` fits.
+    fn ensure(&mut self, expiry: u64) {
+        if expiry < self.base + self.cap as u64 {
+            return;
+        }
+        let mut new_cap = self.cap * 2;
+        while expiry >= self.base + new_cap as u64 {
+            new_cap *= 2;
+        }
+        let mut buckets: Vec<VecDeque<RequestId>> =
+            (0..self.n * new_cap).map(|_| VecDeque::new()).collect();
+        let mut occ = BitMatrix::new(self.n, new_cap);
+        for res in 0..self.n {
+            // Walk the old ring in expiry order from its base.
+            for off in 0..self.cap as u64 {
+                let e = self.base + off;
+                let old = std::mem::take(
+                    &mut self.buckets[res * self.cap + (e % self.cap as u64) as usize],
+                );
+                if !old.is_empty() {
+                    occ.set(res, (e % new_cap as u64) as usize);
+                    buckets[res * new_cap + (e % new_cap as u64) as usize] = old;
+                }
+            }
+        }
+        self.cap = new_cap;
+        self.buckets = buckets;
+        self.occ = occ;
+    }
+
     fn push(&mut self, resource: ResourceId, expiry: Round, id: RequestId) {
-        self.queues[resource.index()].push(Reverse((expiry, id)));
+        let expiry = expiry.get();
+        debug_assert!(
+            !self.started || expiry >= self.base,
+            "copies never arrive already expired"
+        );
+        if !self.started {
+            self.started = true;
+            self.base = expiry;
+        }
+        self.ensure(expiry);
+        let res = resource.index();
+        let col = (expiry % self.cap as u64) as usize;
+        let q = &mut self.buckets[res * self.cap + col];
+        match q.back() {
+            // Ids almost always arrive in increasing order (trace order);
+            // fall back to a sorted insert so the `(expiry, id)` pop order
+            // is exact regardless of how the trace was built.
+            Some(&last) if last > id => {
+                let pos = q.iter().position(|&x| x > id).unwrap_or(q.len());
+                q.insert(pos, id);
+            }
+            _ => q.push_back(id),
+        }
+        self.occ.set(res, col);
+    }
+
+    /// Pop the `(expiry, id)`-least unexpired copy of `resource`, if any.
+    /// `advance_to(round)` must have run this round, so every stored copy
+    /// is unexpired and the circular occupancy scan from `base` finds the
+    /// minimum expiry directly.
+    fn pop_min(&mut self, resource: usize) -> Option<(Round, RequestId)> {
+        let from = (self.base % self.cap as u64) as usize;
+        let col = self.occ.first_one_circular(resource, from)?;
+        let expiry = self.base + (col + self.cap - from) as u64 % self.cap as u64;
+        let q = &mut self.buckets[resource * self.cap + col];
+        // lint: the occupancy bit is set iff the bucket is non-empty
+        let id = q.pop_front().expect("occupied bucket");
+        if q.is_empty() {
+            self.occ.clear(resource, col);
+        }
+        Some((Round(expiry), id))
     }
 }
 
@@ -80,6 +202,7 @@ impl OnlineScheduler for EdfSingle {
     }
 
     fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
+        self.queues.advance_to(round);
         for req in arrivals {
             assert_eq!(
                 req.alternatives.len(),
@@ -90,20 +213,17 @@ impl OnlineScheduler for EdfSingle {
                 .push(req.alternatives.first(), req.expiry(), req.id);
         }
         let mut served = Vec::new();
-        for (i, q) in self.queues.queues.iter_mut().enumerate() {
+        for i in 0..self.queues.n {
             if !resource_serves(&self.faults, i, round) {
                 continue; // crashed/stalled: queue intact, serve nothing
             }
-            while let Some(&Reverse((expiry, id))) = q.peek() {
-                q.pop();
-                if expiry < round {
-                    continue; // expired in the queue
-                }
+            // Expired copies were purged by `advance_to`, so the ring
+            // minimum (if any) is served directly.
+            if let Some((_, id)) = self.queues.pop_min(i) {
                 served.push(Service {
                     resource: ResourceId(i as u32),
                     request: id,
                 });
-                break;
             }
         }
         served
@@ -157,23 +277,21 @@ impl OnlineScheduler for EdfTwoChoice {
     }
 
     fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
+        self.queues.advance_to(round);
         for req in arrivals {
             for &alt in req.alternatives.as_slice() {
                 self.queues.push(alt, req.expiry(), req.id);
             }
         }
         let mut out = Vec::new();
-        for (i, q) in self.queues.queues.iter_mut().enumerate() {
+        for i in 0..self.queues.n {
             if !resource_serves(&self.faults, i, round) {
                 continue; // crashed/stalled: queue intact, serve nothing
             }
-            while let Some(&Reverse((expiry, id))) = q.peek() {
-                if expiry < round {
-                    q.pop();
-                    continue;
-                }
+            // Expired copies were purged by `advance_to`; only dead copies
+            // of already-fulfilled requests still need skipping/burning.
+            while let Some((_, id)) = self.queues.pop_min(i) {
                 if self.served.contains(&id) {
-                    q.pop();
                     if self.cancel_sibling {
                         continue; // skip the dead copy, try the next
                     }
@@ -181,7 +299,6 @@ impl OnlineScheduler for EdfTwoChoice {
                     self.wasted_slots += 1;
                     break;
                 }
-                q.pop();
                 self.served.insert(id);
                 out.push(Service {
                     resource: ResourceId(i as u32),
@@ -343,6 +460,165 @@ mod tests {
         let s = a.on_round(Round(0), inst.trace.arrivals_at(Round(0)));
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].resource, ResourceId(1));
+    }
+
+    /// The pre-ring `EdfTwoChoice` round loop over plain binary heaps, kept
+    /// verbatim as a differential oracle for the bucket ring.
+    struct HeapTwoChoice {
+        queues: Vec<std::collections::BinaryHeap<std::cmp::Reverse<(Round, RequestId)>>>,
+        served: BTreeSet<RequestId>,
+        cancel_sibling: bool,
+        wasted_slots: u64,
+        faults: Option<Arc<FaultPlan>>,
+    }
+
+    impl HeapTwoChoice {
+        fn new(n: u32, cancel_sibling: bool) -> HeapTwoChoice {
+            HeapTwoChoice {
+                queues: (0..n).map(|_| Default::default()).collect(),
+                served: BTreeSet::new(),
+                cancel_sibling,
+                wasted_slots: 0,
+                faults: None,
+            }
+        }
+
+        fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
+            use std::cmp::Reverse;
+            for req in arrivals {
+                for &alt in req.alternatives.as_slice() {
+                    self.queues[alt.index()].push(Reverse((req.expiry(), req.id)));
+                }
+            }
+            let mut out = Vec::new();
+            for (i, q) in self.queues.iter_mut().enumerate() {
+                if !resource_serves(&self.faults, i, round) {
+                    continue;
+                }
+                while let Some(&Reverse((expiry, id))) = q.peek() {
+                    if expiry < round {
+                        q.pop();
+                        continue;
+                    }
+                    if self.served.contains(&id) {
+                        q.pop();
+                        if self.cancel_sibling {
+                            continue;
+                        }
+                        self.wasted_slots += 1;
+                        break;
+                    }
+                    q.pop();
+                    self.served.insert(id);
+                    out.push(Service {
+                        resource: ResourceId(i as u32),
+                        request: id,
+                    });
+                    break;
+                }
+            }
+            out
+        }
+    }
+
+    /// The bucket ring must replay the heap's `(expiry, id)` pop order
+    /// bit-for-bit: same services, same wasted slots, both copy modes,
+    /// with and without faults, across deadlines long enough to force the
+    /// ring to grow past its initial 64-bucket word.
+    #[test]
+    fn ring_matches_heap_reference() {
+        for (n, max_d, seed, faulty) in [
+            (3u32, 4u32, 0x5eed1_u64, false),
+            (5, 7, 0x5eed2, false),
+            (2, 3, 0x5eed3, true),
+            (4, 90, 0x5eed4, false), // deadlines beyond INITIAL_CAP
+            (4, 90, 0x5eed5, true),
+        ] {
+            let mut b = TraceBuilder::new(max_d);
+            let mut s = seed | 1;
+            let mut rng = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            let rounds = 120u64;
+            for t in 0..rounds {
+                for _ in 0..rng() % (n as u64 + 1) {
+                    let a = (rng() % n as u64) as u32;
+                    let mut c = (rng() % n as u64) as u32;
+                    if c == a {
+                        c = (c + 1) % n;
+                    }
+                    b.push_full(
+                        Round(t),
+                        reqsched_model::Alternatives::two(ResourceId(a), ResourceId(c)),
+                        1 + (rng() % max_d as u64) as u32,
+                        0,
+                        Default::default(),
+                    );
+                }
+            }
+            let inst = Instance::new(n, max_d, b.build());
+            let plan = faulty.then(|| {
+                Arc::new(
+                    FaultPlan::empty(n)
+                        .with_crash(ResourceId(0), Round(3), Round(20))
+                        .with_stall(ResourceId(n - 1), Round(10))
+                        .with_stall(ResourceId(n - 1), Round(14)),
+                )
+            });
+            for cancel in [false, true] {
+                let mut ring = EdfTwoChoice::new(n, cancel);
+                let mut heap = HeapTwoChoice::new(n, cancel);
+                if let Some(p) = &plan {
+                    ring.set_fault_plan(Arc::clone(p));
+                    heap.faults = Some(Arc::clone(p));
+                }
+                for t in 0..rounds + max_d as u64 {
+                    let arrivals = inst.trace.arrivals_at(Round(t));
+                    assert_eq!(
+                        ring.on_round(Round(t), arrivals),
+                        heap.on_round(Round(t), arrivals),
+                        "n={n} max_d={max_d} cancel={cancel} round {t} diverged"
+                    );
+                }
+                assert_eq!(ring.wasted_slots(), heap.wasted_slots);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_growth_preserves_entries() {
+        // A single queue with expiries straddling several growth steps.
+        let mut q = EdfQueues::new(1);
+        q.advance_to(Round(0));
+        let expiries = [0u64, 63, 64, 65, 200, 1000, 7];
+        for (i, &e) in expiries.iter().enumerate() {
+            q.push(ResourceId(0), Round(e), RequestId(i as u32));
+        }
+        let mut sorted: Vec<(u64, u32)> = expiries
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (e, i as u32))
+            .collect();
+        sorted.sort_unstable();
+        for (e, id) in sorted {
+            assert_eq!(q.pop_min(0), Some((Round(e), RequestId(id))));
+        }
+        assert_eq!(q.pop_min(0), None);
+    }
+
+    #[test]
+    fn same_bucket_pops_in_id_order_even_with_out_of_order_pushes() {
+        let mut q = EdfQueues::new(1);
+        q.advance_to(Round(0));
+        for id in [5u32, 1, 3, 2, 4] {
+            q.push(ResourceId(0), Round(9), RequestId(id));
+        }
+        for want in 1..=5u32 {
+            assert_eq!(q.pop_min(0), Some((Round(9), RequestId(want))));
+        }
     }
 
     #[test]

@@ -78,7 +78,7 @@ impl OnlineScheduler for ALazyMax {
             self.state.insert(req);
         }
         let mut lefts = self.scratch.take_lefts();
-        lefts.extend(self.state.live_iter().map(|l| l.req.id));
+        lefts.extend(self.state.live_iter().map(|l| l.id()));
         if !lefts.is_empty() {
             let (wg, mut m) = WindowGraph::build_with(
                 &self.state,

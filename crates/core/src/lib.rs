@@ -24,6 +24,7 @@
 
 mod acurrent;
 mod afix;
+mod arena;
 mod balance;
 mod delta;
 mod eager;
@@ -37,6 +38,7 @@ mod window;
 
 pub use acurrent::ACurrent;
 pub use afix::AFix;
+pub use arena::{ReqRef, RequestArena};
 pub use balance::ABalance;
 pub use delta::{CurrentDelta, DeltaWindow, SolveMode};
 pub use eager::AEager;

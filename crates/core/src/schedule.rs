@@ -1,8 +1,8 @@
 //! The schedule window: per-resource slot assignments over `t .. t+d-1`.
 
+use crate::arena::{ReqRef, RequestArena};
 use reqsched_faults::FaultPlan;
 use reqsched_model::{Request, RequestId, ResourceId, Round, NO_REQUEST};
-use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -25,15 +25,6 @@ pub struct RoundOutcome {
     pub expired: Vec<RequestId>,
 }
 
-/// A live request tracked by the schedule window.
-#[derive(Clone, Debug)]
-pub struct LiveReq {
-    /// The request (including hints).
-    pub req: Request,
-    /// Current tentative assignment, if any.
-    pub assigned: Option<(ResourceId, Round)>,
-}
-
 /// The mutable scheduling window shared by all matching-based strategies.
 ///
 /// Holds, for the rounds `front .. front+d-1`, which request every resource
@@ -41,6 +32,9 @@ pub struct LiveReq {
 /// unexpired) requests. Strategies differ only in *how* they update the
 /// assignment; the window enforces the physical constraints (one request per
 /// slot, assignments within the request's feasible set).
+///
+/// Live requests are stored columnarly in a [`RequestArena`]; lookups hand
+/// back copyable [`ReqRef`] views instead of per-request structs.
 #[derive(Clone, Debug)]
 pub struct ScheduleState {
     n: u32,
@@ -48,8 +42,8 @@ pub struct ScheduleState {
     front: Round,
     /// `rows[j][i]` = occupant of resource `i` in round `front + j`.
     rows: VecDeque<Vec<RequestId>>,
-    /// Live requests keyed by id (deterministic iteration order).
-    live: BTreeMap<RequestId, LiveReq>,
+    /// Live requests, struct-of-arrays (deterministic id-order iteration).
+    live: RequestArena,
     /// Installed fault plan; masked slots don't exist for this window.
     faults: Option<Arc<FaultPlan>>,
 }
@@ -66,7 +60,7 @@ impl ScheduleState {
             d,
             front: Round::ZERO,
             rows,
-            live: BTreeMap::new(),
+            live: RequestArena::new(),
             faults: None,
         }
     }
@@ -121,32 +115,26 @@ impl ScheduleState {
     pub fn insert(&mut self, req: &Request) {
         assert_eq!(req.arrival, self.front, "arrival must be the current round");
         assert!(req.deadline <= self.d, "deadline exceeds window depth");
-        let prev = self.live.insert(
-            req.id,
-            LiveReq {
-                req: req.clone(),
-                assigned: None,
-            },
-        );
-        assert!(prev.is_none(), "duplicate request id {:?}", req.id);
+        let fresh = self.live.insert(req);
+        assert!(fresh, "duplicate request id {:?}", req.id);
     }
 
     /// The live request with the given id, if present.
-    pub fn live(&self, id: RequestId) -> Option<&LiveReq> {
-        self.live.get(&id)
+    pub fn live(&self, id: RequestId) -> Option<ReqRef<'_>> {
+        self.live.get(id)
     }
 
     /// Iterate over all live requests in id order.
-    pub fn live_iter(&self) -> impl Iterator<Item = &LiveReq> {
-        self.live.values()
+    pub fn live_iter(&self) -> impl Iterator<Item = ReqRef<'_>> {
+        self.live.iter()
     }
 
     /// Ids of live requests currently without an assignment, in id order.
     pub fn unassigned(&self) -> Vec<RequestId> {
         self.live
-            .values()
-            .filter(|l| l.assigned.is_none())
-            .map(|l| l.req.id)
+            .iter()
+            .filter(|l| l.assigned().is_none())
+            .map(|l| l.id())
             .collect()
     }
 
@@ -189,13 +177,14 @@ impl ScheduleState {
         let j = self
             .row_index(round)
             .unwrap_or_else(|| panic!("slot {resource:?}@{round:?} outside window"));
-        let entry = self
+        let arena_slot = self
             .live
-            .get_mut(&id)
+            .slot_of(id)
             .unwrap_or_else(|| panic!("{id:?} is not live"));
-        assert!(entry.assigned.is_none(), "{id:?} already assigned");
+        let entry = self.live.at(arena_slot);
+        assert!(entry.assigned().is_none(), "{id:?} already assigned");
         assert!(
-            entry.req.can_be_served(resource, round),
+            entry.can_be_served(resource, round),
             "infeasible assignment {id:?} -> {resource:?}@{round:?}"
         );
         if let Some(plan) = &self.faults {
@@ -207,13 +196,13 @@ impl ScheduleState {
         let slot = &mut self.rows[j][resource.index()];
         assert_eq!(*slot, NO_REQUEST, "slot {resource:?}@{round:?} occupied");
         *slot = id;
-        entry.assigned = Some((resource, round));
+        self.live.set_assigned(arena_slot, resource, round);
     }
 
     /// Remove the assignment of live request `id` (no-op if unassigned).
     pub fn unassign(&mut self, id: RequestId) {
-        if let Some(entry) = self.live.get_mut(&id) {
-            if let Some((resource, round)) = entry.assigned.take() {
+        if let Some(arena_slot) = self.live.slot_of(id) {
+            if let Some((resource, round)) = self.live.take_assigned(arena_slot) {
                 // lint: `assigned` rounds are produced by `assign`, which validated the window
                 let j = self.row_index(round).expect("assignment inside window");
                 debug_assert_eq!(self.rows[j][resource.index()], id);
@@ -228,9 +217,7 @@ impl ScheduleState {
         for row in &mut self.rows {
             row.fill(NO_REQUEST);
         }
-        for entry in self.live.values_mut() {
-            entry.assigned = None;
-        }
+        self.live.clear_assignments();
     }
 
     /// Serve the current row, advance the window by one round, and expire
@@ -253,8 +240,8 @@ impl ScheduleState {
         for (i, occ) in row.iter_mut().enumerate() {
             let id = std::mem::replace(occ, NO_REQUEST);
             if id != NO_REQUEST {
-                let removed = self.live.remove(&id);
-                debug_assert!(removed.is_some());
+                let removed = self.live.remove(id);
+                debug_assert!(removed);
                 served.push(Service {
                     resource: ResourceId(i as u32),
                     request: id,
@@ -267,14 +254,15 @@ impl ScheduleState {
         // 3. Expire requests whose last usable round has passed.
         let mut expired = Vec::new();
         let front = self.front;
-        self.live.retain(|&id, entry| {
-            if entry.req.expiry() < front {
+        self.live.retain(|entry| {
+            if entry.expiry() < front {
                 debug_assert!(
-                    entry.assigned.is_none(),
-                    "{id:?} expired while assigned to a future slot — strategies \
-                     must never assign outside the request window"
+                    entry.assigned().is_none(),
+                    "{:?} expired while assigned to a future slot — strategies \
+                     must never assign outside the request window",
+                    entry.id()
                 );
-                expired.push(id);
+                expired.push(entry.id());
                 false
             } else {
                 true
@@ -287,9 +275,12 @@ impl ScheduleState {
     /// requests that failed at arrival, as they can never be scheduled
     /// later under its no-rescheduling rule). Returns whether it was live.
     pub fn drop_request(&mut self, id: RequestId) -> bool {
-        if let Some(entry) = self.live.get(&id) {
-            assert!(entry.assigned.is_none(), "cannot drop an assigned request");
-            self.live.remove(&id);
+        if let Some(entry) = self.live.get(id) {
+            assert!(
+                entry.assigned().is_none(),
+                "cannot drop an assigned request"
+            );
+            self.live.remove(id);
             true
         } else {
             false
@@ -328,21 +319,21 @@ impl ScheduleState {
                     seen.insert(occ),
                     "audit: {occ:?} occupies two window slots (second: {res:?}@{round:?})"
                 );
-                let entry = self.live.get(&occ).unwrap_or_else(|| {
+                let entry = self.live.get(occ).unwrap_or_else(|| {
                     panic!("audit: slot {res:?}@{round:?} holds non-live {occ:?}")
                 });
                 assert_eq!(
-                    entry.assigned,
+                    entry.assigned(),
                     Some((res, round)),
                     "audit: back-pointer of {occ:?} disagrees with slot {res:?}@{round:?}"
                 );
                 assert!(
-                    entry.req.can_be_served(res, round),
+                    entry.can_be_served(res, round),
                     "audit: infeasible assignment {occ:?} -> {res:?}@{round:?} \
                      (arrival {:?}, deadline {}, alternatives {:?})",
-                    entry.req.arrival,
-                    entry.req.deadline,
-                    entry.req.alternatives.as_slice(),
+                    entry.arrival(),
+                    entry.deadline(),
+                    entry.alternatives().as_slice(),
                 );
                 if let Some(plan) = &self.faults {
                     assert!(
@@ -352,15 +343,15 @@ impl ScheduleState {
                 }
             }
         }
-        for entry in self.live.values() {
-            let id = entry.req.id;
+        for entry in self.live.iter() {
+            let id = entry.id();
             assert!(
-                entry.req.expiry() >= self.front,
+                entry.expiry() >= self.front,
                 "audit: {id:?} expired at {:?} but is still live at {:?}",
-                entry.req.expiry(),
+                entry.expiry(),
                 self.front,
             );
-            if let Some((res, round)) = entry.assigned {
+            if let Some((res, round)) = entry.assigned() {
                 let j = self.row_index(round).unwrap_or_else(|| {
                     panic!("audit: {id:?} assigned outside the window at {round:?}")
                 });
@@ -380,9 +371,9 @@ impl ScheduleState {
                 if occ == NO_REQUEST {
                     continue;
                 }
-                match self.live.get(&occ) {
+                match self.live.get(occ) {
                     Some(l) => {
-                        if l.assigned != Some((ResourceId(i as u32), self.front + j as u64)) {
+                        if l.assigned() != Some((ResourceId(i as u32), self.front + j as u64)) {
                             return false;
                         }
                     }
@@ -390,11 +381,11 @@ impl ScheduleState {
                 }
             }
         }
-        for l in self.live.values() {
-            if let Some((res, round)) = l.assigned {
+        for l in self.live.iter() {
+            if let Some((res, round)) = l.assigned() {
                 match self.row_index(round) {
                     Some(j) => {
-                        if self.rows[j][res.index()] != l.req.id {
+                        if self.rows[j][res.index()] != l.id() {
                             return false;
                         }
                     }

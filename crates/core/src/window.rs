@@ -4,7 +4,7 @@
 use crate::schedule::ScheduleState;
 use crate::tiebreak::TieBreak;
 use rand::seq::SliceRandom;
-use reqsched_matching::{BipartiteGraph, GraphBuilder, Matching, MatchingWorkspace};
+use reqsched_matching::{BipartiteGraph, BitSet, GraphBuilder, Matching, MatchingWorkspace};
 use reqsched_model::{RequestId, ResourceId, Round};
 
 /// Densest participation-mask span we are willing to pay for, as a multiple
@@ -33,8 +33,9 @@ pub struct WindowScratch {
     adj: Vec<u32>,
     /// Initial matched pairs `(left, right)` from carried assignments.
     init: Vec<(u32, u32)>,
-    /// Participation bitmask over the id span `mask_base ..`.
-    mask: Vec<bool>,
+    /// Participation bitmask over the id span `mask_base ..` (one bit per
+    /// id; membership tests are single word probes).
+    mask: BitSet,
     mask_base: u32,
     /// Recycled matching buffer.
     matching: Matching,
@@ -163,10 +164,9 @@ impl WindowGraph {
         if use_mask {
             scratch.mask_base = lefts[0].0;
             let span = (lefts[lefts.len() - 1].0 - lefts[0].0) as usize + 1;
-            scratch.mask.clear();
-            scratch.mask.resize(span, false);
+            scratch.mask.reset(span);
             for &id in &lefts {
-                scratch.mask[(id.0 - scratch.mask_base) as usize] = true;
+                scratch.mask.set((id.0 - scratch.mask_base) as usize);
             }
         }
         let mask = &scratch.mask;
@@ -175,7 +175,7 @@ impl WindowGraph {
             if use_mask {
                 id.0 >= mask_base
                     && ((id.0 - mask_base) as usize) < mask.len()
-                    && mask[(id.0 - mask_base) as usize]
+                    && mask.contains((id.0 - mask_base) as usize)
             } else {
                 lefts.binary_search(&id).is_ok()
             }
@@ -187,13 +187,12 @@ impl WindowGraph {
         for (li, &id) in lefts.iter().enumerate() {
             // lint: `lefts` is rebuilt from `state` live ids immediately before this call
             let live = state.live(id).expect("participant must be live");
-            let req = &live.req;
             scratch.slots.clear();
-            let lo = req.arrival.get().max(front.get());
-            let hi = req.expiry().get().min(front.get() + rows as u64 - 1);
+            let lo = live.arrival().get().max(front.get());
+            let hi = live.expiry().get().min(front.get() + rows as u64 - 1);
             for round in lo..=hi {
                 let j = (round - front.get()) as u32;
-                for (pos, &res) in req.alternatives.as_slice().iter().enumerate() {
+                for (pos, &res) in live.alternatives().as_slice().iter().enumerate() {
                     let slot_round = Round(round);
                     // A crashed or stalled slot doesn't exist: its edges
                     // vanish and the request degrades to whatever slots its
@@ -218,15 +217,15 @@ impl WindowGraph {
             }
             order_slots(
                 &mut scratch.slots,
-                req.hint.prefer,
-                req.alternatives.as_slice(),
+                live.hint().prefer,
+                live.alternatives().as_slice(),
                 tie,
                 front,
             );
             scratch.adj.clear();
             scratch.adj.extend(scratch.slots.iter().map(|&(_, _, r)| r));
             scratch.builder.add_left(&scratch.adj);
-            if let Some((res, round)) = live.assigned {
+            if let Some((res, round)) = live.assigned() {
                 let j = (round - front) as u32;
                 scratch.init.push((li as u32, j * n + res.0));
             }
@@ -300,7 +299,7 @@ impl WindowGraph {
             .map(|&li| {
                 let id = self.lefts[li as usize];
                 // lint: `lefts` holds only ids live in `state` for this round
-                let hint = state.live(id).expect("live").req.hint;
+                let hint = state.live(id).expect("live").hint();
                 (id, hint)
             })
             .collect();
@@ -339,7 +338,7 @@ impl WindowGraph {
             self.lefts
                 .iter()
                 // lint: `lefts` holds only ids live in `state` for this round
-                .map(|&id| state.live(id).expect("live").req.hint.priority),
+                .map(|&id| state.live(id).expect("live").hint().priority),
         );
         // Bounded bubble pass: each swap strictly decreases the sum of
         // slot-rank × priority, so a fixpoint is reached; cap defensively.
@@ -545,7 +544,7 @@ mod tests {
         let prio: Vec<u32> = wg
             .lefts
             .iter()
-            .map(|&id| state.live(id).expect("live").req.hint.priority)
+            .map(|&id| state.live(id).expect("live").hint().priority)
             .collect();
         for _ in 0..wg.lefts.len().max(4) {
             let mut pairs: Vec<(u32, u32)> = m.pairs().collect();

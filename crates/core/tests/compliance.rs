@@ -50,7 +50,7 @@ fn oracle_lex(
     let lefts: Vec<RequestId> = if only_new {
         inst.trace.arrivals_at(t).iter().map(|r| r.id).collect()
     } else {
-        st.live_iter().map(|l| l.req.id).collect()
+        st.live_iter().map(|l| l.id()).collect()
     };
     if lefts.is_empty() {
         return vec![0; rows as usize];
@@ -111,7 +111,7 @@ proptest! {
                 .count();
             let assigned_new = arrivals
                 .iter()
-                .filter(|&&id| a.schedule().live(id).is_some_and(|l| l.assigned.is_some()))
+                .filter(|&&id| a.schedule().live(id).is_some_and(|l| l.assigned().is_some()))
                 .count();
             prop_assert_eq!(
                 served_new + assigned_new,
@@ -139,7 +139,7 @@ proptest! {
                 + arrivals
                     .iter()
                     .filter(|&&id| {
-                        a.schedule().live(id).is_some_and(|l| l.assigned.is_some())
+                        a.schedule().live(id).is_some_and(|l| l.assigned().is_some())
                     })
                     .count();
             prop_assert_eq!(scheduled_new, expected);

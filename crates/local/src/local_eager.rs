@@ -82,17 +82,17 @@ impl ALocalEager {
 
     fn alt(&self, id: RequestId, which: usize) -> ResourceId {
         // lint: ids flow straight from this round's live set
-        let req = &self.state.live(id).expect("live").req;
+        let req = self.state.live(id).expect("live");
         assert!(
-            req.alternatives.len() == 2,
+            req.alternatives().len() == 2,
             "local strategies need two-choice requests"
         );
-        req.alternatives.as_slice()[which]
+        req.alternatives().as_slice()[which]
     }
 
     fn expiry(&self, id: RequestId) -> Round {
         // lint: ids flow straight from this round's live set
-        self.state.live(id).expect("live").req.expiry()
+        self.state.live(id).expect("live").expiry()
     }
 
     /// Phase 1 probe wave (same mechanics as `A_local_fix`). Lost envelopes
@@ -133,10 +133,8 @@ impl ALocalEager {
         let movers: Vec<(RequestId, ResourceId)> = self
             .state
             .live_iter()
-            .filter_map(|l| match l.assigned {
-                Some((res, round)) if round > front => {
-                    Some((l.req.id, l.req.alternatives.other(res)))
-                }
+            .filter_map(|l| match l.assigned() {
+                Some((res, round)) if round > front => Some((l.id(), l.alternatives().other(res))),
                 _ => None,
             })
             .collect();
@@ -169,7 +167,7 @@ impl ALocalEager {
                 .live(winner)
                 // lint: movers are drawn from assigned live requests this round
                 .expect("live")
-                .assigned
+                .assigned()
                 // lint: movers are drawn from assigned live requests this round
                 .expect("mover is assigned");
             self.state.unassign(winner);
@@ -235,8 +233,7 @@ impl ALocalEager {
                             .live(r)
                             // lint: occupants of window slots are live by ScheduleState's invariant
                             .expect("occupant is live")
-                            .req
-                            .alternatives
+                            .alternatives()
                             .other(host);
                         nominations.push((env.from, host, r, target));
                         nominated = true;
@@ -400,7 +397,7 @@ impl OnlineScheduler for ALocalEager {
             losers.dedup();
             let losers: Vec<RequestId> = losers
                 .into_iter()
-                .filter(|&id| self.state.live(id).is_some_and(|l| l.assigned.is_none()))
+                .filter(|&id| self.state.live(id).is_some_and(|l| l.assigned().is_none()))
                 .collect();
             if !planned.is_empty() || !losers.is_empty() {
                 let petitions2 = self.petition_msgs(&losers, 1);

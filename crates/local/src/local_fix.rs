@@ -82,13 +82,13 @@ impl ALocalFix {
             .iter()
             .map(|&id| {
                 // lint: ids flow straight from this round's live set
-                let req = &self.state.live(id).expect("live").req;
+                let req = self.state.live(id).expect("live");
                 assert!(
-                    req.alternatives.len() == 2,
+                    req.alternatives().len() == 2,
                     "local strategies need two-choice requests"
                 );
                 Envelope {
-                    to: req.alternatives.as_slice()[alt],
+                    to: req.alternatives().as_slice()[alt],
                     from: id,
                     ldf_key: req.expiry(),
                     high_priority: false,
@@ -132,7 +132,7 @@ impl ALocalFix {
             let Some(live) = self.state.live(id) else {
                 continue;
             };
-            let expiry = live.req.expiry();
+            let expiry = live.expiry();
             // The attempt budget is per alternative: a NACK-driven switch
             // to the second alternative starts counting afresh.
             let attempt = match attempts.get(&id) {
@@ -197,7 +197,11 @@ impl OnlineScheduler for ALocalFix {
             for r in self.retries.drain(..) {
                 if r.due > round {
                     pending.push(r);
-                } else if self.state.live(r.id).is_some_and(|l| l.assigned.is_none()) {
+                } else if self
+                    .state
+                    .live(r.id)
+                    .is_some_and(|l| l.assigned().is_none())
+                {
                     attempts.insert(r.id, (r.alt, r.attempt));
                 }
             }

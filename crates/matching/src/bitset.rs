@@ -1,0 +1,394 @@
+//! Word-parallel bit sets for the matching hot path.
+//!
+//! Every augmenting search in this crate tracks "have I seen this vertex
+//! yet?" and the dynamic engine additionally tracks liveness, dirtiness and
+//! failure-trap membership per vertex. Those masks were `Vec<bool>` — one
+//! byte per flag, cleared element-wise. A [`BitSet`] packs them 64 per
+//! `u64` word, so clearing, growing, and the bulk queries the delta engine
+//! performs at column retirement become whole-word operations
+//! (`AND`/`ANDNOT`/`trailing_zeros`) instead of per-slot branches.
+//!
+//! Semantics are exactly those of the `Vec<bool>` they replace: a set is a
+//! fixed-length sequence of bits, all-zero after [`BitSet::reset`], growable
+//! in place with [`BitSet::grow`] (new bits zero, old bits kept). The
+//! matching algorithms only ever need membership tests and single-bit
+//! updates on the search path itself — the word-parallel wins are in the
+//! maintenance operations (mask clears between searches, scans for set
+//! bits at retirement) that used to be `O(len)` byte loops.
+//!
+//! Layout: bit `i` lives in word `i / 64` at position `i % 64` (LSB first),
+//! so [`BitSet::iter_ones`] yields indices in increasing order via
+//! `trailing_zeros` — the same ascending order the previous element-wise
+//! scans produced, which matters because callers use that order for
+//! deterministic tie-breaking.
+
+/// A growable, fixed-semantics bit set over `u64` words. See module docs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    /// Number of addressable bits. Bits `len..` of the last word are zero.
+    len: usize,
+}
+
+const WORD_BITS: usize = 64;
+
+#[inline]
+fn words_for(len: usize) -> usize {
+    len.div_ceil(WORD_BITS)
+}
+
+impl BitSet {
+    /// An empty set; grows on first use.
+    pub fn new() -> BitSet {
+        BitSet::default()
+    }
+
+    /// A set of `len` bits, all zero.
+    pub fn with_len(len: usize) -> BitSet {
+        BitSet {
+            words: vec![0; words_for(len)],
+            len,
+        }
+    }
+
+    /// Number of addressable bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the set addresses no bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Resize to exactly `len` bits, **all zero** (the word-parallel
+    /// equivalent of `buf.clear(); buf.resize(len, false)`).
+    pub fn reset(&mut self, len: usize) {
+        let n = words_for(len);
+        self.words.clear();
+        self.words.resize(n, 0);
+        self.len = len;
+    }
+
+    /// Grow to at least `len` bits, keeping existing bits (the equivalent
+    /// of `buf.resize(len, false)` when `len >= buf.len()`). Shrinking
+    /// requests are ignored.
+    pub fn grow(&mut self, len: usize) {
+        if len > self.len {
+            self.words.resize(words_for(len), 0);
+            self.len = len;
+        }
+    }
+
+    /// Zero every bit, keeping the length.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Membership test for bit `i`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
+    }
+
+    /// Set bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Clear bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Set bit `i`, returning whether it was previously clear — the fused
+    /// `if !visited[i] { visited[i] = true; … }` test the searches run per
+    /// edge.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit {i} out of range {}", self.len);
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        let fresh = *w & mask == 0;
+        *w |= mask;
+        fresh
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Indices of set bits in increasing order (`trailing_zeros` walk).
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The backing words (LSB-first layout; see module docs).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// Iterator over set-bit indices, ascending. See [`BitSet::iter_ones`].
+pub struct IterOnes<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // drop lowest set bit
+        Some(self.word_idx * WORD_BITS + bit)
+    }
+}
+
+/// A dense 2-D bit matrix: `rows` rows of `cols` bits each, every row
+/// starting on a word boundary so per-row scans are word-aligned.
+///
+/// Used for per-resource occupancy masks (e.g. the EDF bucket scan: row =
+/// resource, bit = "bucket non-empty"), where each row is scanned with the
+/// same `trailing_zeros` walk as [`BitSet::iter_ones`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitMatrix {
+    words: Vec<u64>,
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+}
+
+impl BitMatrix {
+    /// A matrix of `rows × cols` bits, all zero.
+    pub fn new(rows: usize, cols: usize) -> BitMatrix {
+        let words_per_row = words_for(cols);
+        BitMatrix {
+            words: vec![0; rows * words_per_row],
+            rows,
+            cols,
+            words_per_row,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (bits per row).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Resize to `rows × cols`, **all zero**.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.words_per_row = words_for(cols);
+        self.rows = rows;
+        self.cols = cols;
+        self.words.clear();
+        self.words.resize(rows * self.words_per_row, 0);
+    }
+
+    #[inline]
+    fn idx(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        debug_assert!(col < self.cols, "col {col} out of range {}", self.cols);
+        row * self.words_per_row + col / WORD_BITS
+    }
+
+    /// Membership test for `(row, col)`.
+    #[inline]
+    pub fn contains(&self, row: usize, col: usize) -> bool {
+        self.words[self.idx(row, col)] & (1u64 << (col % WORD_BITS)) != 0
+    }
+
+    /// Set bit `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize) {
+        let i = self.idx(row, col);
+        self.words[i] |= 1u64 << (col % WORD_BITS);
+    }
+
+    /// Clear bit `(row, col)`.
+    #[inline]
+    pub fn clear(&mut self, row: usize, col: usize) {
+        let i = self.idx(row, col);
+        self.words[i] &= !(1u64 << (col % WORD_BITS));
+    }
+
+    /// The words of one row (word-aligned; see [`BitSet::words`] layout).
+    #[inline]
+    pub fn row_words(&self, row: usize) -> &[u64] {
+        let lo = row * self.words_per_row;
+        &self.words[lo..lo + self.words_per_row]
+    }
+
+    /// Lowest set column of `row` at or after `from`, wrapping to the start
+    /// if nothing is set in `from..cols` — the circular-buffer scan the EDF
+    /// bucket ring performs. Returns `None` if the row is all-zero.
+    ///
+    /// Two masked word walks (the `from..` suffix, then the `..from`
+    /// prefix), each a `trailing_zeros` per non-zero word.
+    pub fn first_one_circular(&self, row: usize, from: usize) -> Option<usize> {
+        debug_assert!(from < self.cols.max(1));
+        let words = self.row_words(row);
+        let start_word = from / WORD_BITS;
+        // Suffix: mask off bits below `from` in the first word.
+        let masked = words[start_word] & (u64::MAX << (from % WORD_BITS));
+        if masked != 0 {
+            return Some(start_word * WORD_BITS + masked.trailing_zeros() as usize);
+        }
+        for (k, &w) in words.iter().enumerate().skip(start_word + 1) {
+            if w != 0 {
+                return Some(k * WORD_BITS + w.trailing_zeros() as usize);
+            }
+        }
+        // Wrap-around prefix: words before `start_word`, then the masked
+        // low bits of the start word itself.
+        for (k, &w) in words.iter().enumerate().take(start_word) {
+            if w != 0 {
+                return Some(k * WORD_BITS + w.trailing_zeros() as usize);
+            }
+        }
+        let low = words[start_word] & !(u64::MAX << (from % WORD_BITS));
+        if low != 0 {
+            return Some(start_word * WORD_BITS + low.trailing_zeros() as usize);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_contains() {
+        let mut b = BitSet::with_len(130);
+        assert!(!b.contains(0));
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(129);
+        assert!(b.contains(0) && b.contains(63) && b.contains(64) && b.contains(129));
+        assert!(!b.contains(1) && !b.contains(65));
+        b.clear(64);
+        assert!(!b.contains(64));
+        assert_eq!(b.count_ones(), 3);
+    }
+
+    #[test]
+    fn insert_reports_freshness() {
+        let mut b = BitSet::with_len(10);
+        assert!(b.insert(3));
+        assert!(!b.insert(3));
+        assert!(b.contains(3));
+    }
+
+    #[test]
+    fn reset_zeroes_and_resizes() {
+        let mut b = BitSet::with_len(100);
+        b.set(70);
+        b.reset(40);
+        assert_eq!(b.len(), 40);
+        assert_eq!(b.count_ones(), 0);
+        b.reset(200);
+        assert_eq!(b.len(), 200);
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn grow_preserves_bits() {
+        let mut b = BitSet::with_len(5);
+        b.set(2);
+        b.grow(300);
+        assert_eq!(b.len(), 300);
+        assert!(b.contains(2));
+        assert!(!b.contains(299));
+        b.grow(10); // shrink request ignored
+        assert_eq!(b.len(), 300);
+    }
+
+    #[test]
+    fn iter_ones_is_ascending_and_matches_vec_bool() {
+        let idxs = [0usize, 1, 63, 64, 65, 127, 128, 190];
+        let mut b = BitSet::with_len(191);
+        let mut v = [false; 191];
+        for &i in &idxs {
+            b.set(i);
+            v[i] = true;
+        }
+        let from_bits: Vec<usize> = b.iter_ones().collect();
+        let from_vec: Vec<usize> = (0..v.len()).filter(|&i| v[i]).collect();
+        assert_eq!(from_bits, from_vec);
+    }
+
+    #[test]
+    fn clear_all_keeps_len() {
+        let mut b = BitSet::with_len(77);
+        b.set(76);
+        b.clear_all();
+        assert_eq!(b.len(), 77);
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn matrix_rows_independent() {
+        let mut m = BitMatrix::new(3, 70);
+        m.set(0, 69);
+        m.set(1, 0);
+        assert!(m.contains(0, 69) && m.contains(1, 0));
+        assert!(!m.contains(2, 0) && !m.contains(0, 0));
+        m.clear(0, 69);
+        assert!(!m.contains(0, 69));
+    }
+
+    #[test]
+    fn matrix_circular_scan() {
+        let mut m = BitMatrix::new(1, 130);
+        assert_eq!(m.first_one_circular(0, 0), None);
+        m.set(0, 10);
+        m.set(0, 120);
+        assert_eq!(m.first_one_circular(0, 0), Some(10));
+        assert_eq!(m.first_one_circular(0, 10), Some(10));
+        assert_eq!(m.first_one_circular(0, 11), Some(120));
+        // Wraps past the end back to the low bit.
+        assert_eq!(m.first_one_circular(0, 121), Some(10));
+        m.clear(0, 10);
+        assert_eq!(m.first_one_circular(0, 121), Some(120));
+    }
+
+    #[test]
+    fn matrix_reset() {
+        let mut m = BitMatrix::new(2, 64);
+        m.set(1, 63);
+        m.reset(4, 100);
+        assert_eq!((m.rows(), m.cols()), (4, 100));
+        assert!(!m.contains(1, 63));
+    }
+}

@@ -36,6 +36,7 @@
 
 use std::collections::VecDeque;
 
+use crate::bitset::BitSet;
 use crate::workspace::MatchingWorkspace;
 
 const NONE: u32 = u32::MAX;
@@ -64,7 +65,7 @@ pub struct DynamicMatching {
     /// Left mate array (absolute right id or `NONE`).
     l2r: Vec<u32>,
     /// Lefts still participating; dead lefts are skipped by every scan.
-    alive: Vec<bool>,
+    alive: BitSet,
     /// Window-indexed right mate array: `r2l[r - rlo]`.
     r2l: VecDeque<u32>,
     /// Window-indexed reverse adjacency: lefts adjacent to each live right,
@@ -79,7 +80,7 @@ pub struct DynamicMatching {
     /// Lefts whose mate changed since the last [`DynamicMatching::take_dirty`]
     /// (deduplicated via `dirty_mark`; may include since-removed lefts).
     dirty: Vec<u32>,
-    dirty_mark: Vec<bool>,
+    dirty_mark: BitSet,
     /// Marks set by the current search, cleared on exit (touched lists keep
     /// per-delta cost proportional to the explored subgraph).
     touched_l: Vec<u32>,
@@ -96,7 +97,7 @@ pub struct DynamicMatching {
     /// is removed, a column retires, or a saturation pass runs — the clear
     /// points. Window-indexed like `visited_r`; `dead_list` keeps the
     /// absolute ids for `O(marks)` clearing.
-    dead_r: Vec<bool>,
+    dead_r: BitSet,
     dead_list: Vec<u32>,
     repair_scratch: Vec<u32>,
     ws: MatchingWorkspace,
@@ -113,7 +114,7 @@ struct Pairs<'a> {
     free_in_col: &'a mut VecDeque<u32>,
     size: &'a mut u32,
     dirty: &'a mut Vec<u32>,
-    dirty_mark: &'a mut Vec<bool>,
+    dirty_mark: &'a mut BitSet,
     rlo: u32,
     width: u32,
 }
@@ -127,8 +128,7 @@ impl Pairs<'_> {
 
     #[inline]
     fn mark_dirty(&mut self, l: u32) {
-        if !self.dirty_mark[l as usize] {
-            self.dirty_mark[l as usize] = true;
+        if self.dirty_mark.insert(l as usize) {
             self.dirty.push(l);
         }
     }
@@ -206,17 +206,17 @@ impl DynamicMatching {
             spans: Vec::new(),
             edges: Vec::new(),
             l2r: Vec::new(),
-            alive: Vec::new(),
+            alive: BitSet::new(),
             r2l: VecDeque::new(),
             rev: VecDeque::new(),
             rev_pool: Vec::new(),
             free_in_col: VecDeque::new(),
             size: 0,
             dirty: Vec::new(),
-            dirty_mark: Vec::new(),
+            dirty_mark: BitSet::new(),
             touched_l: Vec::new(),
             touched_r: Vec::new(),
-            dead_r: Vec::new(),
+            dead_r: BitSet::new(),
             dead_list: Vec::new(),
             repair_scratch: Vec::new(),
             ws: MatchingWorkspace::new(),
@@ -252,7 +252,7 @@ impl DynamicMatching {
     /// Whether left vertex `l` is still participating.
     #[inline]
     pub fn is_alive(&self, l: u32) -> bool {
-        self.alive[l as usize]
+        self.alive.contains(l as usize)
     }
 
     /// Mate of left vertex `l` (an absolute right id), if matched.
@@ -323,16 +323,12 @@ impl DynamicMatching {
         // visited_r stays all-false between searches, so growth keeps the
         // invariant; parent_r is only read at indices written by the current
         // search, so its fill value never matters.
-        if self.ws.visited_r.len() < win {
-            self.ws.visited_r.resize(win, false);
-        }
+        self.ws.visited_r.grow(win);
         if self.ws.parent_r.len() < win {
             self.ws.parent_r.resize(win, NONE);
         }
         // Fresh columns are edge-free, so existing failure traps stay valid.
-        if self.dead_r.len() < win {
-            self.dead_r.resize(win, false);
-        }
+        self.dead_r.grow(win);
     }
 
     /// Forget the accumulated failed-search traps (see `dead_r`). Must run
@@ -340,7 +336,7 @@ impl DynamicMatching {
     fn clear_failure_marks(&mut self) {
         for r in self.dead_list.drain(..) {
             if r >= self.rlo {
-                self.dead_r[(r - self.rlo) as usize] = false;
+                self.dead_r.clear((r - self.rlo) as usize);
             }
         }
     }
@@ -375,7 +371,7 @@ impl DynamicMatching {
                 for k in 0..self.width {
                     let l = p.r2l[k as usize];
                     if l != NONE {
-                        debug_assert!(self.alive[l as usize]);
+                        debug_assert!(self.alive.contains(l as usize));
                         p.unset_right(p.rlo + k);
                         to_repair.push(l);
                     }
@@ -406,8 +402,9 @@ impl DynamicMatching {
     pub fn add_left(&mut self, neighbors: &[u32]) -> u32 {
         let l = self.l2r.len() as u32;
         self.l2r.push(NONE);
-        self.alive.push(true);
-        self.dirty_mark.push(false);
+        self.alive.grow(l as usize + 1);
+        self.alive.set(l as usize);
+        self.dirty_mark.grow(l as usize + 1);
         let start = self.edges.len() as u32;
         for &r in neighbors {
             debug_assert!(
@@ -421,9 +418,7 @@ impl DynamicMatching {
         }
         self.spans.push((start, self.edges.len() as u32));
         let nl = self.l2r.len();
-        if self.ws.visited_l.len() < nl {
-            self.ws.visited_l.resize(nl, false);
-        }
+        self.ws.visited_l.grow(nl);
         if self.ws.parent_l.len() < nl {
             self.ws.parent_l.resize(nl, NONE);
         }
@@ -435,7 +430,10 @@ impl DynamicMatching {
     /// Identical traversal to [`crate::IncrementalMatching`]'s insertion
     /// search. Returns whether the matching grew.
     pub fn augment(&mut self, root: u32) -> bool {
-        debug_assert!(self.alive[root as usize], "augment from dead left {root}");
+        debug_assert!(
+            self.alive.contains(root as usize),
+            "augment from dead left {root}"
+        );
         debug_assert_eq!(
             self.l2r[root as usize], NONE,
             "augment from matched left {root}"
@@ -486,12 +484,12 @@ impl DynamicMatching {
                     continue; // retired column
                 }
                 let wi = (r - p.rlo) as usize;
-                if visited_r[wi] || dead_r[wi] {
+                if visited_r.contains(wi) || dead_r.contains(wi) {
                     // Already on this search's path, or inside a known trap:
                     // the textbook scan would exhaust it and back out empty.
                     continue;
                 }
-                visited_r[wi] = true;
+                visited_r.set(wi);
                 touched_r.push(r);
                 let mate = p.r2l[wi];
                 if mate == NONE {
@@ -515,7 +513,7 @@ impl DynamicMatching {
         }
         if augmented {
             for &r in touched_r.iter() {
-                visited_r[(r - p.rlo) as usize] = false;
+                visited_r.clear((r - p.rlo) as usize);
             }
         } else {
             // The explored set is a trap (no free right, closed under
@@ -523,8 +521,8 @@ impl DynamicMatching {
             // later searches skip it wholesale instead of re-walking it.
             for &r in touched_r.iter() {
                 let wi = (r - p.rlo) as usize;
-                visited_r[wi] = false;
-                dead_r[wi] = true;
+                visited_r.clear(wi);
+                dead_r.set(wi);
                 dead_list.push(r);
             }
         }
@@ -539,8 +537,11 @@ impl DynamicMatching {
     /// the window with the request — removing both endpoints of a matched
     /// pair cannot create an augmenting path elsewhere.
     pub fn remove_left(&mut self, l: u32, repair: bool) {
-        assert!(self.alive[l as usize], "double removal of left {l}");
-        self.alive[l as usize] = false;
+        assert!(
+            self.alive.contains(l as usize),
+            "double removal of left {l}"
+        );
+        self.alive.clear(l as usize);
         let span = &mut self.spans[l as usize];
         span.1 = span.0;
         let r = self.l2r[l as usize];
@@ -612,10 +613,10 @@ impl DynamicMatching {
                 let l = list[*cursor as usize];
                 *cursor += 1;
                 *edges_scanned += 1;
-                if !alive[l as usize] || visited_l[l as usize] {
+                if !alive.contains(l as usize) || visited_l.contains(l as usize) {
                     continue;
                 }
-                visited_l[l as usize] = true;
+                visited_l.set(l as usize);
                 touched_l.push(l);
                 let mate = p.l2r[l as usize];
                 if mate == NONE {
@@ -637,7 +638,7 @@ impl DynamicMatching {
             }
         }
         for &l in touched_l.iter() {
-            visited_l[l as usize] = false;
+            visited_l.clear(l as usize);
         }
         repaired
     }
@@ -738,7 +739,7 @@ impl DynamicMatching {
             for k in 0..width_us {
                 let wi = c * width_us + k;
                 if p.r2l[wi] == NONE {
-                    visited_r[wi] = true;
+                    visited_r.set(wi);
                     parent_r[wi] = NONE;
                     let r = p.rlo + wi as u32;
                     touched_r.push(r);
@@ -755,10 +756,10 @@ impl DynamicMatching {
             let list = &rev[(r - p.rlo) as usize];
             for &l in list.iter() {
                 *edges_scanned += 1;
-                if !alive[l as usize] || l < min_left || visited_l[l as usize] {
+                if !alive.contains(l as usize) || l < min_left || visited_l.contains(l as usize) {
                     continue;
                 }
-                visited_l[l as usize] = true;
+                visited_l.set(l as usize);
                 parent_l[l as usize] = r;
                 touched_l.push(l);
                 let r2 = p.l2r[l as usize];
@@ -770,10 +771,9 @@ impl DynamicMatching {
                     break 'bfs;
                 }
                 let wi2 = (r2 - p.rlo) as usize;
-                if visited_r[wi2] {
+                if !visited_r.insert(wi2) {
                     continue;
                 }
-                visited_r[wi2] = true;
                 parent_r[wi2] = l;
                 touched_r.push(r2);
                 if col_levels[wi2 / width_us] > lvl {
@@ -787,10 +787,10 @@ impl DynamicMatching {
         }
 
         for &l in touched_l.iter() {
-            visited_l[l as usize] = false;
+            visited_l.clear(l as usize);
         }
         for &r in touched_r.iter() {
-            visited_r[(r - p.rlo) as usize] = false;
+            visited_r.clear((r - p.rlo) as usize);
         }
         improved
     }
@@ -801,7 +801,7 @@ impl DynamicMatching {
     /// in `O(mate changes)`.
     pub fn take_dirty(&mut self, out: &mut Vec<u32>) {
         for &l in &self.dirty {
-            self.dirty_mark[l as usize] = false;
+            self.dirty_mark.clear(l as usize);
         }
         out.append(&mut self.dirty);
     }
@@ -811,7 +811,7 @@ impl DynamicMatching {
     /// participating subgraph. Test/diagnostic helper (full scan).
     pub fn has_augmenting_path(&mut self, min_left: u32) -> bool {
         let frees: Vec<u32> = (min_left..self.n_left())
-            .filter(|&l| self.alive[l as usize] && self.l2r[l as usize] == NONE)
+            .filter(|&l| self.alive.contains(l as usize) && self.l2r[l as usize] == NONE)
             .collect();
         for l in frees {
             if self.augment(l) {
@@ -854,7 +854,7 @@ impl DynamicMatching {
         let nr = ((self.col_hi - self.col_lo) * self.width as u64) as u32;
         let mut lists: Vec<Vec<u32>> = Vec::new();
         for l in 0..self.n_left() {
-            if !self.alive[l as usize] {
+            if !self.alive.contains(l as usize) {
                 continue;
             }
             let (lo, hi) = self.spans[l as usize];
@@ -879,7 +879,7 @@ impl DynamicMatching {
                 continue;
             }
             size += 1;
-            assert!(self.alive[l], "dead left {l} still matched");
+            assert!(self.alive.contains(l), "dead left {l} still matched");
             let wi = (r - self.rlo) as usize;
             assert_eq!(self.r2l[wi], l as u32, "mate arrays disagree at left {l}");
             let (lo, hi) = self.spans[l];
@@ -897,7 +897,7 @@ impl DynamicMatching {
                 .count() as u32;
             assert_eq!(free, self.free_in_col[c], "free count wrong in column {c}");
         }
-        let dead = self.dead_r.iter().filter(|&&b| b).count();
+        let dead = self.dead_r.count_ones();
         assert_eq!(
             dead,
             self.dead_list.len(),

@@ -92,7 +92,7 @@ impl IncrementalMatching {
             self.m.ensure_right(n_right);
             // The visited mask must cover every right vertex and stay
             // all-false between searches; growth preserves both.
-            self.ws.visited_r.resize(n_right as usize, false);
+            self.ws.visited_r.grow(n_right as usize);
         }
     }
 
@@ -161,10 +161,9 @@ impl IncrementalMatching {
                 let r = adj[*cursor as usize];
                 *cursor += 1;
                 *edges_scanned += 1;
-                if visited_r[r as usize] {
+                if !visited_r.insert(r as usize) {
                     continue;
                 }
-                visited_r[r as usize] = true;
                 touched.push(r);
                 match m.right_mate(r) {
                     None => {
@@ -191,7 +190,7 @@ impl IncrementalMatching {
         // per-insertion cost proportional to the explored subgraph, not to
         // the ever-growing right vertex set).
         for &r in touched.iter() {
-            visited_r[r as usize] = false;
+            visited_r.clear(r as usize);
         }
         augmented
     }

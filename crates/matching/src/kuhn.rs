@@ -16,6 +16,7 @@
 //! augmenting-path depth off the thread stack; the traversal order is
 //! identical to the recursive textbook version, so results are unchanged.
 
+use crate::bitset::BitSet;
 use crate::graph::BipartiteGraph;
 use crate::matching::Matching;
 use crate::workspace::MatchingWorkspace;
@@ -53,7 +54,7 @@ fn try_grow(
     g: &BipartiteGraph,
     m: &mut Matching,
     start: u32,
-    visited_r: &mut [bool],
+    visited_r: &mut BitSet,
     stack: &mut Vec<(u32, u32)>,
 ) -> bool {
     stack.clear();
@@ -63,10 +64,9 @@ fn try_grow(
         if (*cursor as usize) < neighbors.len() {
             let r = neighbors[*cursor as usize];
             *cursor += 1;
-            if visited_r[r as usize] {
+            if !visited_r.insert(r as usize) {
                 continue;
             }
-            visited_r[r as usize] = true;
             match m.right_mate(r) {
                 None => {
                     m.set(l, r);

@@ -37,7 +37,11 @@
 //!   lemmas like "no augmenting path of order ≤ 2 survives `A_eager`".
 //! * [`brute`] — exponential-time exact solvers for cross-validation in
 //!   tests.
+//! * [`BitSet`] / [`BitMatrix`] — the u64-word visited/liveness masks every
+//!   search above runs on (one bit per vertex, word-parallel clears and
+//!   `trailing_zeros` scans).
 
+mod bitset;
 mod diff;
 mod dynamic;
 mod graph;
@@ -50,6 +54,7 @@ mod workspace;
 
 pub mod brute;
 
+pub use bitset::{BitMatrix, BitSet};
 pub use diff::{symmetric_difference, AltComponent, DiffReport};
 pub use dynamic::DynamicMatching;
 pub use graph::{BipartiteGraph, GraphBuilder};

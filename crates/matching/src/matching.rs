@@ -1,5 +1,6 @@
 //! The matching data structure shared by all algorithms in this crate.
 
+use crate::bitset::BitSet;
 use crate::graph::BipartiteGraph;
 
 const NONE: u32 = u32::MAX;
@@ -218,23 +219,21 @@ impl Matching {
 
     pub fn is_maximum(&self, g: &BipartiteGraph) -> bool {
         // BFS over alternating levels from all free left vertices.
-        let mut visited_l = vec![false; g.n_left() as usize];
-        let mut visited_r = vec![false; g.n_right() as usize];
+        let mut visited_l = BitSet::with_len(g.n_left() as usize);
+        let mut visited_r = BitSet::with_len(g.n_right() as usize);
         let mut queue: Vec<u32> = self.free_lefts().collect();
         for &l in &queue {
-            visited_l[l as usize] = true;
+            visited_l.set(l as usize);
         }
         while let Some(l) = queue.pop() {
             for &r in g.neighbors(l) {
-                if visited_r[r as usize] {
+                if !visited_r.insert(r as usize) {
                     continue;
                 }
-                visited_r[r as usize] = true;
                 match self.right_mate(r) {
                     None => return false, // augmenting path found
                     Some(l2) => {
-                        if !visited_l[l2 as usize] {
-                            visited_l[l2 as usize] = true;
+                        if visited_l.insert(l2 as usize) {
                             queue.push(l2);
                         }
                     }

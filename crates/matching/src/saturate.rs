@@ -91,7 +91,7 @@ fn improve_level(
     // queue holds right vertices to expand.
     for r in 0..nr as u32 {
         if level[r as usize] == lvl && m.right_free(r) {
-            ws.visited_r[r as usize] = true;
+            ws.visited_r.set(r as usize);
             ws.queue.push(r);
         }
     }
@@ -106,10 +106,9 @@ fn improve_level(
         );
         for li in lo..hi {
             let l = ws.rev_adjacency[li];
-            if ws.visited_l[l as usize] {
+            if !ws.visited_l.insert(l as usize) {
                 continue;
             }
-            ws.visited_l[l as usize] = true;
             ws.parent_l[l as usize] = r;
             match m.left_mate(l) {
                 None => {
@@ -118,10 +117,9 @@ fn improve_level(
                     return true;
                 }
                 Some(r2) => {
-                    if ws.visited_r[r2 as usize] {
+                    if !ws.visited_r.insert(r2 as usize) {
                         continue;
                     }
-                    ws.visited_r[r2 as usize] = true;
                     ws.parent_r[r2 as usize] = l;
                     if level[r2 as usize] > lvl {
                         // Improving exchange: free r2, flip back along parents.

@@ -16,6 +16,7 @@
 //! workspace per call and remain the simple entry points for tests and
 //! one-shot callers.
 
+use crate::bitset::BitSet;
 use crate::graph::BipartiteGraph;
 
 /// Reusable working memory for the algorithms in this crate.
@@ -32,9 +33,9 @@ pub struct MatchingWorkspace {
     /// Explicit DFS stack of `(left vertex, neighbour cursor)` frames.
     pub(crate) stack: Vec<(u32, u32)>,
     /// Visited mask over right vertices (Kuhn, saturation).
-    pub(crate) visited_r: Vec<bool>,
+    pub(crate) visited_r: BitSet,
     /// Visited mask over left vertices (saturation).
-    pub(crate) visited_l: Vec<bool>,
+    pub(crate) visited_l: BitSet,
     /// `parent_l[l]` = right vertex `l` was discovered from (saturation).
     pub(crate) parent_l: Vec<u32>,
     /// `parent_r[r]` = left vertex `r` was discovered from (saturation).
@@ -67,14 +68,14 @@ impl MatchingWorkspace {
 
     /// Prepare the Kuhn visited mask for a graph with `nr` right vertices.
     pub(crate) fn prepare_kuhn(&mut self, nr: usize) {
-        Self::refill(&mut self.visited_r, nr, false);
+        self.visited_r.reset(nr);
         self.stack.clear();
     }
 
     /// Prepare the saturation search buffers.
     pub(crate) fn prepare_saturate(&mut self, nl: usize, nr: usize) {
-        Self::refill(&mut self.visited_l, nl, false);
-        Self::refill(&mut self.visited_r, nr, false);
+        self.visited_l.reset(nl);
+        self.visited_r.reset(nr);
         Self::refill(&mut self.parent_l, nl, u32::MAX);
         Self::refill(&mut self.parent_r, nr, u32::MAX);
         self.queue.clear();

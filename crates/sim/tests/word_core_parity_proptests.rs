@@ -1,0 +1,321 @@
+//! Word-parallel-core parity gates: the SoA request arena, the u64 bitset
+//! adjacency masks, and the EDF bucket ring must be behaviourally invisible.
+//!
+//! Three families of twins are pinned at full-[`RunStats`] granularity
+//! (served/expired totals, the optimum, the per-round served curve, and the
+//! complete final assignment — bit-for-bit equality):
+//!
+//! 1. **Delta vs. fresh on the word core** — the delta engine's bitset
+//!    alive/retired columns against a from-scratch window rebuild every
+//!    round, across the theorem-2 adversarial constructions (2.1–2.6,
+//!    with 2.6's adaptive trace captured and replayed), every workload
+//!    generator, and random [`FaultPlan`]s. When the `audit` feature is
+//!    armed (CI's chaos leg arms it workspace-wide) the engine replays
+//!    the invariant auditor at every round boundary of these runs too.
+//! 2. **EDF bucket ring vs. binary heaps** — [`EdfTwoChoice`] (BitMatrix
+//!    occupancy, masked `trailing_zeros` scans, wholesale expiry purges)
+//!    against the pre-ring heap round loop kept here verbatim, both copy
+//!    modes, with and without random fault plans.
+//! 3. **Pinned regressions** — shrunk instances checked in as plain
+//!    `#[test]`s (the vendored proptest stub generates but does not
+//!    shrink or persist, so pins live in code, not in `proptest-regressions`).
+
+use proptest::prelude::*;
+use reqsched_adversary::{thm21, thm22, thm23, thm24, thm25, thm26};
+use reqsched_core::{EdfTwoChoice, OnlineScheduler, Service, StrategyKind, TieBreak};
+use reqsched_faults::{ChaosConfig, FaultPlan};
+use reqsched_model::{Instance, Request, RequestId, ResourceId, Round, TraceBuilder};
+use reqsched_sim::{
+    run_fixed, run_fixed_faulty, run_fixed_pair, run_fixed_pair_faulty, AnyStrategy,
+};
+use reqsched_workloads as workloads;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+use std::sync::Arc;
+
+/// Strategies with a delta path (mirrors `delta_parity_proptests.rs`).
+const CONVERTED: [StrategyKind; 5] = [
+    StrategyKind::ACurrent,
+    StrategyKind::AFixBalance,
+    StrategyKind::AEager,
+    StrategyKind::ABalance,
+    StrategyKind::LazyMax,
+];
+
+const DELTA_TIES: [TieBreak; 2] = [TieBreak::FirstFit, TieBreak::LatestFit];
+
+fn assert_pair_parity(inst: &Instance, label: &str) {
+    for kind in CONVERTED {
+        for tie in DELTA_TIES {
+            let (delta, fresh) = run_fixed_pair(kind, inst, tie);
+            assert_eq!(
+                delta,
+                fresh,
+                "{label}: {} {tie:?}: delta and fresh diverge on the word core",
+                kind.name()
+            );
+        }
+    }
+}
+
+/// The pre-ring EDF round loop over plain binary heaps, fault-aware —
+/// the behavioural twin the bucket ring is pinned against. Reports the
+/// same strategy names as [`EdfTwoChoice`] so whole-`RunStats` equality
+/// (which includes the name) is exact.
+struct HeapEdf {
+    queues: Vec<BinaryHeap<Reverse<(Round, RequestId)>>>,
+    served: BTreeSet<RequestId>,
+    cancel_sibling: bool,
+    faults: Option<Arc<FaultPlan>>,
+}
+
+impl HeapEdf {
+    fn new(n: u32, cancel_sibling: bool) -> HeapEdf {
+        HeapEdf {
+            queues: (0..n).map(|_| BinaryHeap::new()).collect(),
+            served: BTreeSet::new(),
+            cancel_sibling,
+            faults: None,
+        }
+    }
+}
+
+impl OnlineScheduler for HeapEdf {
+    fn name(&self) -> &str {
+        if self.cancel_sibling {
+            "EDF-cancel"
+        } else {
+            "EDF"
+        }
+    }
+
+    fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
+    }
+
+    fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
+        for req in arrivals {
+            for &alt in req.alternatives.as_slice() {
+                self.queues[alt.index()].push(Reverse((req.expiry(), req.id)));
+            }
+        }
+        let mut out = Vec::new();
+        for (i, q) in self.queues.iter_mut().enumerate() {
+            let usable = match &self.faults {
+                Some(plan) => plan.slot_usable(ResourceId(i as u32), round),
+                None => true,
+            };
+            if !usable {
+                continue;
+            }
+            while let Some(&Reverse((expiry, id))) = q.peek() {
+                if expiry < round {
+                    q.pop();
+                    continue;
+                }
+                if self.served.contains(&id) {
+                    q.pop();
+                    if self.cancel_sibling {
+                        continue;
+                    }
+                    break;
+                }
+                q.pop();
+                self.served.insert(id);
+                out.push(Service {
+                    resource: ResourceId(i as u32),
+                    request: id,
+                });
+                break;
+            }
+        }
+        out
+    }
+}
+
+fn assert_edf_parity(inst: &Instance, plan: Option<&Arc<FaultPlan>>, label: &str) {
+    for cancel in [false, true] {
+        let mut heap = HeapEdf::new(inst.n_resources, cancel);
+        let mut ring = EdfTwoChoice::new(inst.n_resources, cancel);
+        let (heap_stats, ring_stats) = match plan {
+            Some(p) => (
+                run_fixed_faulty(&mut heap, inst, p),
+                run_fixed_faulty(&mut ring, inst, p),
+            ),
+            None => (run_fixed(&mut heap, inst), run_fixed(&mut ring, inst)),
+        };
+        assert_eq!(
+            heap_stats, ring_stats,
+            "{label}: EDF bucket ring (cancel={cancel}) diverges from the heap loop"
+        );
+    }
+}
+
+/// Theorems 2.1–2.5 are fixed constructions; 2.6 is adaptive, so its trace
+/// is captured from a live adversary run and replayed as a fixed instance.
+#[test]
+fn parity_on_all_theorem2_constructions() {
+    let scenarios = [
+        thm21::scenario(4, 4),
+        thm22::scenario(3, 2, 3),
+        thm23::scenario(4, 4),
+        thm24::scenario(6, 4),
+        thm25::scenario(2, 3, 3),
+    ];
+    for sc in scenarios {
+        assert_pair_parity(&sc.instance, &sc.name);
+    }
+
+    let d = 6;
+    let mut adv = thm26::Thm26Adversary::new(d, 3);
+    let mut probe = AnyStrategy::Global(StrategyKind::ABalance, TieBreak::FirstFit)
+        .build(thm26::N_RESOURCES, d);
+    let (_, trace) =
+        reqsched_sim::run_source_traced(probe.as_mut(), &mut adv, thm26::N_RESOURCES, d);
+    let inst = Instance::new(thm26::N_RESOURCES, d, trace);
+    assert_pair_parity(&inst, "thm2.6 (captured adaptive trace)");
+}
+
+/// Every workload generator, pair parity and ring parity on each.
+#[test]
+fn parity_on_every_workload_generator() {
+    let insts = [
+        ("uniform", workloads::uniform_two_choice(6, 4, 5, 40, 21)),
+        ("zipf", workloads::zipf_replicated(6, 3, 30, 1.3, 8, 40, 22)),
+        ("flash", workloads::flash_crowd(6, 4, 3, 12, 10, 8, 40, 23)),
+        ("c_choice", workloads::c_choice(7, 3, 3, 6, 40, 24)),
+        ("mixed", workloads::mixed_deadlines(5, 5, 4, 40, 25)),
+        ("single", workloads::single_alternative(4, 3, 5, 40, 26)),
+    ];
+    for (label, inst) in &insts {
+        assert_pair_parity(inst, label);
+        assert_edf_parity(inst, None, label);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// EDF ring == heap loop on random traces, fault-free. Deadlines up to
+    /// 90 force the ring past its initial 64-bucket word (growth on path).
+    #[test]
+    fn edf_ring_matches_heap_on_random_traces(
+        n in 2u32..6,
+        d in 1u32..90,
+        per_round in 1u32..6,
+        seed in 0u64..u64::MAX,
+    ) {
+        let inst = workloads::mixed_deadlines(n, d, per_round, 30, seed);
+        assert_edf_parity(&inst, None, "random mixed-deadline trace");
+    }
+
+    /// EDF ring == heap loop under random crash/stall plans: crashed slots
+    /// leave the queues intact in both implementations, so recovery rounds
+    /// must drain identically.
+    #[test]
+    fn edf_ring_matches_heap_under_random_fault_plans(
+        n in 2u32..5,
+        d in 2u32..70,
+        per_round in 1u32..5,
+        seed in 0u64..u64::MAX,
+        crash_permille in 0u32..250,
+    ) {
+        let inst = workloads::uniform_two_choice(n, d, per_round, 25, seed);
+        let cfg = ChaosConfig {
+            crash_prob: f64::from(crash_permille) / 1000.0,
+            mttr: 3.0,
+            stall_prob: 0.1,
+            ..ChaosConfig::CALM
+        };
+        let plan = Arc::new(FaultPlan::random(n, 30, &cfg, seed ^ 0xF00D));
+        assert_edf_parity(&inst, Some(&plan), "random faulty trace");
+    }
+
+    /// Delta == fresh on the word core under random fault plans, across
+    /// generators beyond the uniform one `fault_proptests.rs` sweeps.
+    #[test]
+    fn word_core_pair_parity_under_faults_across_generators(
+        n in 2u32..5,
+        d in 2u32..5,
+        per_round in 1u32..5,
+        seed in 0u64..u64::MAX,
+        crash_permille in 0u32..200,
+    ) {
+        let insts = [
+            workloads::zipf_replicated(n, d, 20, 1.3, per_round, 25, seed),
+            workloads::flash_crowd(n, d, 2, per_round + 4, 8, u64::from(per_round), 25, seed),
+            workloads::c_choice(n.max(3), d, 3, per_round, 25, seed),
+        ];
+        let cfg = ChaosConfig {
+            crash_prob: f64::from(crash_permille) / 1000.0,
+            mttr: 2.0,
+            stall_prob: 0.15,
+            ..ChaosConfig::CALM
+        };
+        for inst in &insts {
+            let plan = Arc::new(FaultPlan::random(inst.n_resources, 30, &cfg, seed ^ 0xA11E));
+            for kind in CONVERTED {
+                for tie in DELTA_TIES {
+                    let (delta, fresh) = run_fixed_pair_faulty(kind, inst, tie, &plan);
+                    prop_assert_eq!(
+                        &delta, &fresh,
+                        "{} {:?}: word-core delta/fresh diverge under faults",
+                        kind.name(), tie
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Pinned regression: ring growth across a crash. A long-deadline request
+/// (d = 80, beyond the ring's initial 64 buckets) arrives just before its
+/// only resource crashes; the ring must keep the copy queued through the
+/// rebuild that growth triggers and serve it on recovery, exactly like the
+/// heap. Distilled from `edf_ring_matches_heap_under_random_fault_plans`
+/// inputs while the ring's `advance_to` purge raced its `ensure` rebuild.
+#[test]
+fn pinned_ring_growth_across_crash() {
+    let mut b = TraceBuilder::new(80);
+    b.push_single(0u64, 0u32); // long window on S0
+    b.push_single(0u64, 1u32); // sibling load on S1
+    for t in 1..70u64 {
+        b.push_single(t, 1u32); // keep S1 busy while S0 is down
+    }
+    let inst = Instance::new(2, 80, b.build());
+    let plan = Arc::new(
+        FaultPlan::empty(2)
+            .with_crash(ResourceId(0), Round(1), Round(66))
+            .with_stall(ResourceId(1), Round(5)),
+    );
+    assert_edf_parity(&inst, Some(&plan), "pinned ring growth across crash");
+}
+
+/// Pinned regression: same-bucket id ordering. Three requests with the same
+/// expiry land in one bucket out of id order (later arrivals push smaller
+/// alternatives first); the ring's sorted within-bucket insert must replay
+/// the heap's `(expiry, id)` order, not arrival order.
+#[test]
+fn pinned_same_bucket_id_order() {
+    let mut b = TraceBuilder::new(3);
+    // All three expire at round 2; pushed 0, 1, 2 — served in id order.
+    b.push_single(0u64, 0u32);
+    b.push_single(0u64, 0u32);
+    b.push_single(0u64, 0u32);
+    let inst = Instance::new(1, 3, b.build());
+    assert_edf_parity(&inst, None, "pinned same-bucket id order");
+}
+
+/// Pinned regression: a stall on the very round a duplicate copy surfaces.
+/// In independent-copy mode the burnt slot must not be double-counted when
+/// the stalled resource resumes — both implementations must agree on the
+/// full per-round curve, not just totals.
+#[test]
+fn pinned_stall_on_duplicate_surface() {
+    let mut b = TraceBuilder::new(2);
+    b.push(0u64, 0u32, 1u32);
+    b.push(0u64, 0u32, 1u32);
+    let inst = Instance::new(2, 2, b.build());
+    let plan = Arc::new(FaultPlan::empty(2).with_stall(ResourceId(1), Round(0)));
+    assert_edf_parity(&inst, Some(&plan), "pinned stall on duplicate surface");
+}

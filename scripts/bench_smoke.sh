@@ -12,10 +12,18 @@
 #   6. the delta-window bench in quick mode (regenerates BENCH_PR3.json,
 #      asserts exact fresh-vs-delta schedule parity and a >= 2x per-round
 #      strategy speedup on every workload), then checks the report,
-#   7. the chaos harness in quick mode with the invariant auditor armed
+#   7. the word-core bench in quick mode (regenerates BENCH_PR6.json,
+#      asserts the BENCH_PR3 battery re-holds the >= 2x bar on the
+#      SoA-arena + bitset core and that the EDF bucket ring replays the
+#      heap baseline bit-for-bit), then checks the report,
+#   8. the chaos harness in quick mode with the invariant auditor armed
 #      (sweeps strategies x fault levels under seeded fault plans, asserts
 #      byte-identical determinism across two sweeps, audits every round
 #      boundary), then checks results/chaos.csv and BENCH_PR5.json.
+#
+# Every bench honors the single BENCH_QUICK=1 switch (exported below);
+# the historic per-bench variables (HOT_PATH_QUICK, STREAMING_OPT_QUICK,
+# DELTA_WINDOW_QUICK, CHAOS_QUICK, WORD_CORE_QUICK) remain as aliases.
 #
 # Usage: scripts/bench_smoke.sh
 set -euo pipefail
@@ -46,11 +54,14 @@ echo "== tests =="
 echo "== short table1 sweep =="
 "${CARGO[@]}" run --release -p reqsched-bench --bin table1 -- 4
 
+# One switch for every bench below.
+export BENCH_QUICK=1
+
 echo "== hot-path bench (quick) =="
-HOT_PATH_QUICK=1 "${CARGO[@]}" bench -p reqsched-bench --bench hot_path
+"${CARGO[@]}" bench -p reqsched-bench --bench hot_path
 
 echo "== streaming-OPT bench (quick) =="
-STREAMING_OPT_QUICK=1 "${CARGO[@]}" bench -p reqsched-bench --bench streaming_opt
+"${CARGO[@]}" bench -p reqsched-bench --bench streaming_opt
 
 echo "== BENCH_PR2.json sanity =="
 grep -q '"parity": true' BENCH_PR2.json || {
@@ -65,7 +76,7 @@ grep -q '"solve_reduction":' BENCH_PR2.json || {
 echo "== delta-window bench (quick) =="
 # The bench itself asserts per-round schedule parity and the >= 2x
 # worst-case speedup; the greps below guard the report format.
-DELTA_WINDOW_QUICK=1 "${CARGO[@]}" bench -p reqsched-bench --bench delta_window
+"${CARGO[@]}" bench -p reqsched-bench --bench delta_window
 
 echo "== BENCH_PR3.json sanity =="
 grep -q '"parity": true' BENCH_PR3.json || {
@@ -80,12 +91,35 @@ if r["round_speedup"] < 2.0 or bad:
     sys.exit(f"BENCH_PR3.json: round_speedup below 2x: {bad or r['round_speedup']}")
 EOF
 
+echo "== word-core bench (quick) =="
+# The bench itself asserts exact fresh-vs-delta parity on the SoA/bitset
+# core and bit-for-bit ring-vs-heap EDF parity; the checks below guard
+# the report format.
+"${CARGO[@]}" bench -p reqsched-bench --bench word_core
+
+echo "== BENCH_PR6.json sanity =="
+grep -q '"parity": true' BENCH_PR6.json || {
+    echo "BENCH_PR6.json: missing word-core parity" >&2
+    exit 1
+}
+python3 - <<'EOF' || exit 1
+import json, sys
+r = json.load(open("BENCH_PR6.json"))
+bad = [w["name"] for w in r["workloads"] if w["round_speedup"] < 2.0]
+if r["round_speedup"] < 2.0 or bad:
+    sys.exit(f"BENCH_PR6.json: round_speedup below 2x: {bad or r['round_speedup']}")
+for w in r["workloads"] + r["edf_ring"]:
+    for key in ("name", "baseline_ms", "measured_ms", "speedup"):
+        if key not in w:
+            sys.exit(f"BENCH_PR6.json: workload entry missing {key!r}")
+EOF
+
 echo "== chaos harness (quick, audit-armed) =="
 # The binary itself asserts determinism (two full sweeps must render
 # byte-identical CSV); --features audit replays the invariant auditor at
 # every round boundary of every cell, including the no-service-on-crashed-
 # slot check and delta-vs-fresh matching parity.
-CHAOS_QUICK=1 "${CARGO[@]}" run --release -p reqsched-bench --features audit --bin chaos
+"${CARGO[@]}" run --release -p reqsched-bench --features audit --bin chaos
 
 echo "== chaos artifacts sanity =="
 grep -q '"deterministic": true' BENCH_PR5.json || {

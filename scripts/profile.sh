@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Flamegraph hook for the word-parallel core hot path.
+#
+# Profiles one bench target (default: word_core, the BENCH_PR6 gate) and
+# drops a flamegraph SVG under results/. Tooling is probed in order:
+#
+#   1. cargo-flamegraph (`cargo flamegraph`), if installed;
+#   2. plain `perf record` + the flamegraph scripts if both are present
+#      (stackcollapse-perf.pl / flamegraph.pl on PATH);
+#   3. otherwise: skip gracefully with exit 0 — offline containers and CI
+#      runners without perf privileges must not fail on a missing profiler.
+#
+# Usage: scripts/profile.sh [bench-name]   (e.g. word_core, delta_window)
+# The bench runs in quick mode (BENCH_QUICK=1) so a profile costs seconds.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${1:-word_core}"
+export BENCH_QUICK=1
+mkdir -p results
+
+# Offline dev containers vendor stub crates in /tmp/vendor and have no
+# registry access; route cargo at the directory source there. Everywhere
+# else, plain cargo.
+CARGO=(cargo)
+if [ -d /tmp/vendor ] && ! cargo metadata -q --format-version 1 >/dev/null 2>&1; then
+    CARGO=(cargo
+        --config 'source.crates-io.replace-with="local-stubs"'
+        --config 'source.local-stubs.directory="/tmp/vendor"')
+fi
+
+if "${CARGO[@]}" flamegraph --version >/dev/null 2>&1; then
+    echo "== cargo-flamegraph: bench $BENCH =="
+    "${CARGO[@]}" flamegraph --bench "$BENCH" -o "results/flamegraph-$BENCH.svg"
+    echo "wrote results/flamegraph-$BENCH.svg"
+    exit 0
+fi
+
+if command -v perf >/dev/null 2>&1; then
+    echo "== perf fallback: bench $BENCH =="
+    "${CARGO[@]}" bench -p reqsched-bench --bench "$BENCH" --no-run
+    # Resolve the freshly built bench binary (newest matching artifact).
+    BIN=$(ls -t target/release/deps/"$BENCH"-* 2>/dev/null \
+        | grep -v '\.d$' | head -1 || true)
+    if [ -z "$BIN" ]; then
+        echo "profile: no built bench binary for $BENCH; skipping" >&2
+        exit 0
+    fi
+    if ! perf record -g -o results/perf-"$BENCH".data -- "$BIN" \
+        >/dev/null 2>results/perf-"$BENCH".log; then
+        echo "profile: perf record unavailable (privileges?); skipping" >&2
+        exit 0
+    fi
+    if command -v stackcollapse-perf.pl >/dev/null 2>&1 \
+        && command -v flamegraph.pl >/dev/null 2>&1; then
+        perf script -i results/perf-"$BENCH".data \
+            | stackcollapse-perf.pl \
+            | flamegraph.pl > "results/flamegraph-$BENCH.svg"
+        echo "wrote results/flamegraph-$BENCH.svg"
+    else
+        echo "profile: flamegraph scripts not on PATH; raw profile kept at" \
+             "results/perf-$BENCH.data (render with perf report)"
+    fi
+    exit 0
+fi
+
+echo "profile: neither cargo-flamegraph nor perf available; skipping (ok offline)"
+exit 0

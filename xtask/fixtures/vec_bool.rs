@@ -1,0 +1,31 @@
+//! Fixture: seeded `vec-bool` violations. Scanned as `LibSource` under
+//! `crates/matching/src/` and `crates/core/src/` by `tests/selftest.rs`;
+//! never compiled, never walked by `analyze_tree`.
+
+/// A visited mask as a byte-per-flag vector — the allocation pattern the
+/// rule keeps out of the matching/core hot path.
+fn visited_mask(n: usize) -> Vec<bool> {
+    let mut visited: Vec<bool> = vec![false; n];
+    visited[0] = true;
+    visited
+}
+
+// Mentions in comments or strings are not findings: Vec<bool> here is fine,
+// and so is this one:
+fn stringly() -> &'static str {
+    "Vec<bool> in a string literal"
+}
+
+// A justified occurrence is a recorded suppression, not a finding.
+// lint: FFI layout requires byte-per-flag here
+fn waived() -> Vec<bool> {
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may use Vec<bool> freely.
+    fn oracle() -> Vec<bool> {
+        vec![true, false]
+    }
+}

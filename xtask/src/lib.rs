@@ -9,6 +9,7 @@
 //! | `wall-clock` | `Instant::now` / `SystemTime::now` outside `crates/bench` |
 //! | `thread-rng` | `thread_rng` / `rand::random` (unseeded randomness) outside `crates/bench` |
 //! | `unwrap-in-lib` | `.unwrap()` / `.expect(` in library crate sources outside `#[cfg(test)]` |
+//! | `vec-bool` | `Vec<bool>` in `crates/matching` / `crates/core` library sources (use the u64 `BitSet`/`BitMatrix` instead) |
 //! | `unjustified-allow` | `#[allow(...)]` without a `// lint:` justification comment |
 //! | `crate-metadata` | placeholder `repository` URL, missing `description`/`keywords` in workspace member manifests |
 //!
@@ -171,6 +172,19 @@ pub fn scan_source(rel: &str, text: &str, kind: FileKind) -> ScanReport {
             && (code.contains(".unwrap()") || code.contains(".expect("))
         {
             hit("unwrap-in-lib");
+        }
+
+        // vec-bool: the word-parallel core keeps boolean per-vertex state
+        // in u64 bitsets (`reqsched_matching::{BitSet, BitMatrix}`); a
+        // `Vec<bool>` in the matching/core hot-path crates spends a byte
+        // per flag and forfeits the word-wide AND/ANDNOT/trailing_zeros
+        // scans the engines rely on.
+        if kind == FileKind::LibSource
+            && !in_test
+            && (rel.starts_with("crates/matching/") || rel.starts_with("crates/core/"))
+            && code.contains("Vec<bool>")
+        {
+            hit("vec-bool");
         }
 
         // unjustified-allow: everywhere (tests included) — the justification

@@ -147,6 +147,51 @@ fn unjustified_allow_fixture_is_caught() {
 }
 
 #[test]
+fn vec_bool_fixture_is_caught_in_matching_and_core() {
+    for rel in [
+        "crates/matching/src/fixture.rs",
+        "crates/core/src/fixture.rs",
+    ] {
+        let r = scan_source(rel, &fixture("vec_bool.rs"), FileKind::LibSource);
+        let hits: Vec<_> = r.findings.iter().filter(|f| f.rule == "vec-bool").collect();
+        assert_eq!(
+            hits.len(),
+            2,
+            "{rel}: the signature and the construction site, not the \
+             comment/string mentions or the test oracle: {hits:?}"
+        );
+        assert_eq!(r.suppressed.len(), 1, "{rel}: the waiver is recorded");
+        assert!(r.suppressed[0].justification.contains("FFI layout"));
+    }
+}
+
+#[test]
+fn vec_bool_is_scoped_to_the_word_parallel_crates() {
+    // Other library crates may keep Vec<bool> (e.g. the sim engine's
+    // served-by-id column), and test code anywhere is exempt.
+    let elsewhere = scan_source(
+        "crates/sim/src/fixture.rs",
+        &fixture("vec_bool.rs"),
+        FileKind::LibSource,
+    );
+    assert!(
+        !rules_hit(&elsewhere).contains("vec-bool"),
+        "{:?}",
+        elsewhere.findings
+    );
+    let in_tests = scan_source(
+        "crates/core/tests/fixture.rs",
+        &fixture("vec_bool.rs"),
+        FileKind::TestOrExample,
+    );
+    assert!(
+        !rules_hit(&in_tests).contains("vec-bool"),
+        "{:?}",
+        in_tests.findings
+    );
+}
+
+#[test]
 fn clean_fixture_passes_every_rule() {
     for kind in [
         FileKind::LibSource,

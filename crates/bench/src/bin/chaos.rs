@@ -17,11 +17,17 @@
 //! to a smoke-test size (used by `scripts/bench_smoke.sh` and CI, where the
 //! run is additionally armed with `--features audit` so every round boundary
 //! replays the invariant auditor).
+//!
+//! `--shards N` (default 1) routes every supported matching-based global
+//! strategy through the sharded round engine over a hash partition of the
+//! resources; the EDF and local strategies keep the unsharded path. Sharding
+//! is exact, so the CSV rows must not change except for the `shards` column
+//! — the double-sweep determinism gate holds either way.
 
 use reqsched_bench::report::{self, Obj, Report, Value};
-use reqsched_core::{StrategyKind, TieBreak};
+use reqsched_core::{OnlineScheduler, ShardMap, SolveMode, StrategyKind, TieBreak};
 use reqsched_faults::{ChaosConfig, FaultPlan};
-use reqsched_sim::{run_fixed_faulty_traced, AnyStrategy};
+use reqsched_sim::{run_fixed_faulty_traced, AnyStrategy, ShardedScheduler};
 use std::process::exit;
 use std::sync::Arc;
 
@@ -98,6 +104,30 @@ struct SweepShape {
     per_round: u32,
     rounds: u64,
     seeds: &'static [u64],
+    /// Resource shards for the sharded round engine (`--shards N`). With
+    /// `1` (the default) every strategy takes the plain unsharded path.
+    shards: u32,
+}
+
+/// Build the scheduler for one sweep cell. With `shards > 1`, supported
+/// matching-based global strategies run through [`ShardedScheduler`] over a
+/// hash partition; everything else (EDF, local protocols) is unaffected.
+/// Sharding is exact, so only timings — never stats — may differ.
+fn build_cell_scheduler(strat: &AnyStrategy, shape: &SweepShape) -> Box<dyn OnlineScheduler> {
+    if shape.shards > 1 {
+        if let AnyStrategy::Global(kind, tie) = strat {
+            if ShardedScheduler::supported(*kind) {
+                return Box::new(ShardedScheduler::new(
+                    *kind,
+                    shape.d,
+                    *tie,
+                    SolveMode::Delta,
+                    ShardMap::hash(shape.n, shape.shards),
+                ));
+            }
+        }
+    }
+    strat.build(shape.n, shape.d)
 }
 
 /// One aggregated cell of the sweep (a strategy at a level, averaged over
@@ -115,7 +145,7 @@ struct Cell {
 /// byte-identical CSV text.
 fn sweep(shape: &SweepShape) -> (String, Vec<Cell>) {
     let mut csv = String::from(
-        "strategy,level,crash_prob,loss,seed,injected,served,expired,opt,ratio,goodput,downtime_frac,comm_rounds,messages\n",
+        "strategy,level,crash_prob,loss,seed,injected,served,expired,opt,ratio,goodput,downtime_frac,comm_rounds,messages,shards\n",
     );
     let mut cells = Vec::new();
     for level in levels() {
@@ -138,7 +168,7 @@ fn sweep(shape: &SweepShape) -> (String, Vec<Cell>) {
                     &level.cfg,
                     seed ^ 0xC0FF_EE00,
                 ));
-                let mut s = strat.build(shape.n, shape.d);
+                let mut s = build_cell_scheduler(&strat, shape);
                 let stats = run_fixed_faulty_traced(s.as_mut(), &inst, &plan);
                 // Floor `served` at 1 so a fully starved run reports a large
                 // finite ratio instead of poisoning the JSON with `inf`.
@@ -146,8 +176,18 @@ fn sweep(shape: &SweepShape) -> (String, Vec<Cell>) {
                 let goodput = stats.served as f64 / (stats.injected.max(1)) as f64;
                 let downtime =
                     plan.downtime_slots(horizon) as f64 / (f64::from(shape.n) * horizon as f64);
+                // The last column records which engine served the cell: the
+                // shard count for sharded runs, 1 for the unsharded path
+                // (including strategies the sharded engine does not support).
+                let cell_shards = if shape.shards > 1
+                    && matches!(&strat, AnyStrategy::Global(kind, _) if ShardedScheduler::supported(*kind))
+                {
+                    shape.shards
+                } else {
+                    1
+                };
                 csv.push_str(&format!(
-                    "{},{},{:.3},{:.3},{},{},{},{},{},{:.4},{:.4},{:.4},{},{}\n",
+                    "{},{},{:.3},{:.3},{},{},{},{},{},{:.4},{:.4},{:.4},{},{},{}\n",
                     strat.name(),
                     level.name,
                     level.cfg.crash_prob,
@@ -162,6 +202,7 @@ fn sweep(shape: &SweepShape) -> (String, Vec<Cell>) {
                     downtime,
                     stats.comm_rounds,
                     stats.messages,
+                    cell_shards,
                 ));
                 goodput_sum += goodput;
                 ratio_sum += ratio;
@@ -184,7 +225,37 @@ fn fail(msg: &str) -> ! {
     exit(2);
 }
 
+/// Strict CLI parsing: the only recognised flag is `--shards N` (also
+/// `--shards=N`); anything else — unknown flags, a missing or non-positive
+/// value — exits 2, so typos never silently run the default sweep.
+fn parse_args() -> u32 {
+    fn parse_count(v: &str) -> u32 {
+        match v.parse::<u32>() {
+            Ok(s) if s >= 1 => s,
+            _ => fail(&format!("--shards expects a positive integer, got {v:?}")),
+        }
+    }
+    let mut shards = 1;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--shards" {
+            match args.next() {
+                Some(v) => shards = parse_count(&v),
+                None => fail("--shards expects a value"),
+            }
+        } else if let Some(v) = arg.strip_prefix("--shards=") {
+            shards = parse_count(v);
+        } else {
+            fail(&format!(
+                "unknown argument {arg:?} (usage: chaos [--shards N])"
+            ));
+        }
+    }
+    shards
+}
+
 fn main() {
+    let shards = parse_args();
     let quick = report::quick_mode(&["CHAOS_QUICK"]);
     let shape = if quick {
         SweepShape {
@@ -193,6 +264,7 @@ fn main() {
             per_round: 5,
             rounds: 60,
             seeds: &[7],
+            shards,
         }
     } else {
         SweepShape {
@@ -201,6 +273,7 @@ fn main() {
             per_round: 14,
             rounds: 400,
             seeds: &[7, 11, 13],
+            shards,
         }
     };
 
@@ -246,7 +319,8 @@ fn main() {
                     .set("d", Value::u(shape.d as u64))
                     .set("per_round", Value::u(shape.per_round as u64))
                     .set("rounds", Value::u(shape.rounds as u64))
-                    .set("seeds", Value::u(shape.seeds.len() as u64)),
+                    .set("seeds", Value::u(shape.seeds.len() as u64))
+                    .set("shards", Value::u(shape.shards as u64)),
             ),
         )
         .set(

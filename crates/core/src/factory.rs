@@ -165,6 +165,40 @@ pub fn build_strategy_with_mode(
     }
 }
 
+/// [`build_strategy`] returning a `Send` trait object, for drivers that
+/// move strategies across threads (the sharded round engine runs one
+/// strategy instance per shard group under Rayon).
+pub fn build_strategy_send(
+    kind: StrategyKind,
+    n: u32,
+    d: u32,
+    tie: TieBreak,
+) -> Box<dyn OnlineScheduler + Send> {
+    build_strategy_send_with_mode(kind, n, d, tie, SolveMode::Delta)
+}
+
+/// [`build_strategy_with_mode`] returning a `Send` trait object (see
+/// [`build_strategy_send`]). Every concrete strategy is `Send`; only the
+/// trait-object coercion differs from the plain builder.
+pub fn build_strategy_send_with_mode(
+    kind: StrategyKind,
+    n: u32,
+    d: u32,
+    tie: TieBreak,
+    mode: SolveMode,
+) -> Box<dyn OnlineScheduler + Send> {
+    match kind {
+        StrategyKind::EdfSingle => Box::new(EdfSingle::new(n)),
+        StrategyKind::Edf { cancel_sibling } => Box::new(EdfTwoChoice::new(n, cancel_sibling)),
+        StrategyKind::AFix => Box::new(AFix::new(n, d, tie)),
+        StrategyKind::ACurrent => Box::new(ACurrent::with_mode(n, d, tie, mode)),
+        StrategyKind::AFixBalance => Box::new(AFixBalance::with_mode(n, d, tie, mode)),
+        StrategyKind::AEager => Box::new(AEager::with_mode(n, d, tie, mode)),
+        StrategyKind::ABalance => Box::new(ABalance::with_mode(n, d, tie, mode)),
+        StrategyKind::LazyMax => Box::new(crate::ALazyMax::with_mode(n, d, tie, mode)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

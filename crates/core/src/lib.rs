@@ -33,6 +33,7 @@ mod factory;
 mod fix_balance;
 mod lazy;
 mod schedule;
+mod shard;
 mod tiebreak;
 mod window;
 
@@ -43,10 +44,14 @@ pub use balance::ABalance;
 pub use delta::{CurrentDelta, DeltaWindow, SolveMode};
 pub use eager::AEager;
 pub use edf::{EdfSingle, EdfTwoChoice};
-pub use factory::{build_strategy, build_strategy_with_mode, StrategyKind};
+pub use factory::{
+    build_strategy, build_strategy_send, build_strategy_send_with_mode, build_strategy_with_mode,
+    StrategyKind,
+};
 pub use fix_balance::AFixBalance;
 pub use lazy::ALazyMax;
 pub use schedule::{RoundOutcome, ScheduleState, Service};
+pub use shard::{Partitioner, ShardMap};
 pub use tiebreak::TieBreak;
 pub use window::{WindowGraph, WindowScratch};
 

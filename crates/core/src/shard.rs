@@ -1,0 +1,299 @@
+//! Resource sharding for the parallel round engine.
+//!
+//! A [`ShardMap`] assigns every resource to one of `S` shards. The sharded
+//! round driver (in `reqsched-sim`) gives each shard its own schedule state
+//! and matching; a request whose alternatives all land in one shard is
+//! handled entirely inside it, while a **straddler** (alternatives in
+//! different shards) forces the driver to fuse those shards' solver groups.
+//! The partitioner therefore decides how much parallel structure survives:
+//!
+//! * [`Partitioner::Hash`] — placement-oblivious baseline: a fixed bit-mix
+//!   of the resource id. Uniform shard sizes, but correlated replica pairs
+//!   straddle with probability `≈ 1 − 1/S`.
+//! * [`Partitioner::Range`] — contiguous blocks of the id space. Ideal when
+//!   replica pairs are placed near each other (e.g. clustered catalogs laid
+//!   out contiguously), useless when placement is scattered.
+//! * [`Partitioner::PairAffinity`] — correlation-aware: reads a trace,
+//!   counts how often each resource pair is named together, greedily unions
+//!   the heaviest pairs under a balance cap, and packs the resulting
+//!   affinity components onto shards. This is the replica-aware variant
+//!   that drives the straddler fraction towards zero whenever the workload
+//!   has co-access structure to find.
+//!
+//! All three are deterministic: same inputs, same map, on every platform.
+
+use reqsched_model::{ResourceId, Trace};
+use std::collections::BTreeMap;
+
+/// How resources are assigned to shards (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Partitioner {
+    /// Fixed bit-mix of the resource id.
+    Hash,
+    /// Contiguous id-space blocks.
+    Range,
+    /// Trace-driven co-access clustering (needs a trace to learn from).
+    PairAffinity,
+}
+
+impl Partitioner {
+    /// Short label for reports and CSV columns.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Partitioner::Hash => "hash",
+            Partitioner::Range => "range",
+            Partitioner::PairAffinity => "pair-affinity",
+        }
+    }
+}
+
+/// SplitMix64 finalizer: a fixed, platform-independent bit mix.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A deterministic resource → shard assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    n: u32,
+    shards: u32,
+    assign: Vec<u32>, // resource index -> shard
+}
+
+impl ShardMap {
+    /// Hash-partitioned map: shard = bit-mix(resource) mod `shards`.
+    pub fn hash(n: u32, shards: u32) -> ShardMap {
+        Self::build(n, shards, |r| {
+            (mix64(u64::from(r)) % u64::from(shards)) as u32
+        })
+    }
+
+    /// Range-partitioned map: `shards` contiguous blocks of near-equal size.
+    pub fn range(n: u32, shards: u32) -> ShardMap {
+        Self::build(n, shards, |r| {
+            ((u64::from(r) * u64::from(shards)) / u64::from(n)) as u32
+        })
+    }
+
+    /// Correlation-aware map learned from `trace` (see module docs):
+    /// resources frequently requested together are co-located, subject to a
+    /// per-component size cap of `ceil(n / shards)` that keeps any single
+    /// shard from absorbing the whole catalog.
+    pub fn pair_affinity(n: u32, shards: u32, trace: &Trace) -> ShardMap {
+        assert!(n >= 1 && shards >= 1);
+        if shards == 1 {
+            return ShardMap {
+                n,
+                shards,
+                assign: vec![0; n as usize],
+            };
+        }
+        // 1) Pair co-access counts over the trace.
+        let mut counts: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        for req in trace.requests() {
+            let alts = req.alternatives.as_slice();
+            for (i, a) in alts.iter().enumerate() {
+                for b in &alts[i + 1..] {
+                    let key = (a.0.min(b.0), a.0.max(b.0));
+                    *counts.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+        // 2) Heaviest pairs first (ties by pair id for determinism).
+        let mut edges: Vec<((u32, u32), u64)> = counts.into_iter().collect();
+        edges.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        // 3) Union-find under a balance cap.
+        let cap = n.div_ceil(shards) as usize;
+        let mut parent: Vec<u32> = (0..n).collect();
+        let mut size: Vec<u32> = vec![1; n as usize];
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        for ((a, b), _) in &edges {
+            let (ra, rb) = (find(&mut parent, *a), find(&mut parent, *b));
+            if ra == rb {
+                continue;
+            }
+            if (size[ra as usize] + size[rb as usize]) as usize > cap {
+                continue; // keep shard balance: refuse oversized components
+            }
+            // Union by root id (smaller root wins) for determinism.
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            parent[hi as usize] = lo;
+            size[lo as usize] += size[hi as usize];
+        }
+        // 4) Components sorted by (size desc, root asc), packed onto the
+        //    least-loaded shard (ties to the lowest shard index).
+        let mut members: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for r in 0..n {
+            members.entry(find(&mut parent, r)).or_default().push(r);
+        }
+        let mut comps: Vec<Vec<u32>> = members.into_values().collect();
+        comps.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+        let mut load = vec![0usize; shards as usize];
+        let mut assign = vec![0u32; n as usize];
+        for comp in comps {
+            let target = (0..shards as usize)
+                .min_by_key(|&s| (load[s], s))
+                // lint: shards >= 1 is asserted in build(), the range is never empty
+                .expect("at least one shard");
+            load[target] += comp.len();
+            for r in comp {
+                assign[r as usize] = target as u32;
+            }
+        }
+        ShardMap { n, shards, assign }
+    }
+
+    fn build(n: u32, shards: u32, f: impl Fn(u32) -> u32) -> ShardMap {
+        assert!(n >= 1 && shards >= 1);
+        ShardMap {
+            n,
+            shards,
+            assign: (0..n).map(f).collect(),
+        }
+    }
+
+    /// Build with the given partitioner; `PairAffinity` learns from `trace`.
+    pub fn build_with(partitioner: Partitioner, n: u32, shards: u32, trace: &Trace) -> ShardMap {
+        match partitioner {
+            Partitioner::Hash => ShardMap::hash(n, shards),
+            Partitioner::Range => ShardMap::range(n, shards),
+            Partitioner::PairAffinity => ShardMap::pair_affinity(n, shards, trace),
+        }
+    }
+
+    /// Number of resources.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The shard owning `res`.
+    pub fn shard_of(&self, res: ResourceId) -> u32 {
+        self.assign[res.index()]
+    }
+
+    /// The resources of shard `s`, in ascending id order.
+    pub fn members(&self, s: u32) -> Vec<u32> {
+        (0..self.n)
+            .filter(|&r| self.assign[r as usize] == s)
+            .collect()
+    }
+
+    /// True iff the alternatives span more than one shard.
+    pub fn is_straddler(&self, alts: &[ResourceId]) -> bool {
+        alts.iter()
+            .any(|a| self.shard_of(*a) != self.shard_of(alts[0]))
+    }
+
+    /// Fraction of the trace's requests whose alternatives straddle shards.
+    pub fn straddler_fraction(&self, trace: &Trace) -> f64 {
+        let total = trace.len();
+        if total == 0 {
+            return 0.0;
+        }
+        let straddlers = trace
+            .requests()
+            .iter()
+            .filter(|r| self.is_straddler(r.alternatives.as_slice()))
+            .count();
+        straddlers as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reqsched_model::{Round, TraceBuilder};
+
+    #[test]
+    fn hash_and_range_cover_all_shards() {
+        for s in [1u32, 2, 4, 8] {
+            for map in [ShardMap::hash(64, s), ShardMap::range(64, s)] {
+                assert_eq!(map.shards(), s);
+                let hit: std::collections::BTreeSet<u32> =
+                    (0..64).map(|r| map.shard_of(ResourceId(r))).collect();
+                assert_eq!(hit.len(), s as usize, "every shard owns something");
+                assert!(hit.iter().all(|&x| x < s));
+            }
+        }
+    }
+
+    #[test]
+    fn range_blocks_are_contiguous_and_balanced() {
+        let map = ShardMap::range(10, 4);
+        let shards: Vec<u32> = (0..10).map(|r| map.shard_of(ResourceId(r))).collect();
+        assert!(shards.windows(2).all(|w| w[0] <= w[1]), "{shards:?}");
+        for s in 0..4 {
+            let k = map.members(s).len();
+            assert!((2..=3).contains(&k), "shard {s} owns {k}");
+        }
+    }
+
+    #[test]
+    fn maps_are_deterministic() {
+        assert_eq!(ShardMap::hash(100, 4), ShardMap::hash(100, 4));
+        assert_eq!(ShardMap::range(100, 4), ShardMap::range(100, 4));
+    }
+
+    #[test]
+    fn pair_affinity_colocates_hot_pairs() {
+        // Catalog of 8 resources, requests always pair (2i, 2i+1): the
+        // affinity map must put every pair in one shard — zero straddlers —
+        // while the hash map (oblivious) splits some pair.
+        let mut b = TraceBuilder::new(3);
+        for t in 0..20u64 {
+            for i in 0..4u32 {
+                b.push(Round(t), 2 * i, 2 * i + 1);
+            }
+        }
+        let trace = b.build();
+        let affinity = ShardMap::pair_affinity(8, 4, &trace);
+        assert_eq!(affinity.straddler_fraction(&trace), 0.0);
+        // Balance cap respected: no shard owns more than ceil(8/4) = 2.
+        for s in 0..4 {
+            assert!(affinity.members(s).len() <= 2);
+        }
+    }
+
+    #[test]
+    fn pair_affinity_on_scrambled_ids_beats_range() {
+        // Pairs (i, i + 16): contiguous range blocks of 8 split every pair,
+        // the learned map reunites them.
+        let mut b = TraceBuilder::new(3);
+        for t in 0..10u64 {
+            for i in 0..16u32 {
+                b.push(Round(t), i, i + 16);
+            }
+        }
+        let trace = b.build();
+        let range = ShardMap::range(32, 4);
+        let affinity = ShardMap::pair_affinity(32, 4, &trace);
+        assert_eq!(range.straddler_fraction(&trace), 1.0);
+        assert_eq!(affinity.straddler_fraction(&trace), 0.0);
+    }
+
+    #[test]
+    fn straddler_fraction_of_empty_trace_is_zero() {
+        let map = ShardMap::hash(4, 2);
+        assert_eq!(map.straddler_fraction(&Trace::empty()), 0.0);
+    }
+
+    #[test]
+    fn single_shard_never_straddles() {
+        let map = ShardMap::hash(16, 1);
+        assert!(!map.is_straddler(&[ResourceId(0), ResourceId(15)]));
+    }
+}

@@ -32,9 +32,11 @@ use reqsched_model::Instance;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
+// lint: OnceLock cells here live inside an explicitly passed OptCache value, not process globals
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// A keyed instance pinned together with its memoized-optimum cell.
+// lint: per-OptCache cell, owned by the cache value the caller shares deliberately
 type CachedCell = (Arc<Instance>, Arc<OnceLock<usize>>);
 
 /// Shared cache of exact offline optima, keyed by instance identity with a
@@ -97,6 +99,7 @@ impl OptCache {
     }
 
     /// Find or create the cell for an instance not yet known by pointer.
+    // lint: cell type is instance-owned OptCache state, not a process global
     fn content_cell(&self, inst: &Arc<Instance>) -> Arc<OnceLock<usize>> {
         let fp = fingerprint(inst);
         let mut by_content = lock(&self.by_content);
@@ -104,6 +107,7 @@ impl OptCache {
         if let Some((_, cell)) = bucket.iter().find(|(known, _)| **known == **inst) {
             return Arc::clone(cell);
         }
+        // lint: fresh cell stored in this OptCache's own map, not a process global
         let cell = Arc::new(OnceLock::new());
         bucket.push((Arc::clone(inst), Arc::clone(&cell)));
         cell

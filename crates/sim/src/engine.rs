@@ -458,6 +458,69 @@ pub fn run_fixed_pair_faulty(
     (delta_stats, fresh_stats)
 }
 
+/// Run one strategy kind over a fixed instance through the **sharded**
+/// round engine ([`crate::ShardedScheduler`]) over the given partition.
+/// `opt` is left at 0 (parity consumers compare against the unsharded
+/// twin, which also skips the offline solve).
+pub fn run_fixed_sharded(
+    kind: reqsched_core::StrategyKind,
+    inst: &Instance,
+    tie: reqsched_core::TieBreak,
+    mode: reqsched_core::SolveMode,
+    map: reqsched_core::ShardMap,
+) -> RunStats {
+    let mut s = crate::ShardedScheduler::new(kind, inst.d, tie, mode, map);
+    run_fixed_without_opt(&mut s, inst)
+}
+
+/// [`run_fixed_sharded`] under a fault plan (per-shard fault masking: each
+/// group receives the plan's projection onto its owned resources).
+pub fn run_fixed_faulty_sharded(
+    kind: reqsched_core::StrategyKind,
+    inst: &Instance,
+    tie: reqsched_core::TieBreak,
+    mode: reqsched_core::SolveMode,
+    map: reqsched_core::ShardMap,
+    plan: &Arc<FaultPlan>,
+) -> RunStats {
+    let mut s = crate::ShardedScheduler::new(kind, inst.d, tie, mode, map);
+    run_fixed_faulty_without_opt(&mut s, inst, plan)
+}
+
+/// Sharded-vs-unsharded twin runner: the same kind, tie-break and solve
+/// mode driven through the sharded engine and the plain strategy, returning
+/// `(sharded, unsharded)` stats. The whole-`RunStats` equality of the two
+/// is the sharding parity gate. Neither side fills `opt`.
+pub fn run_fixed_pair_sharded(
+    kind: reqsched_core::StrategyKind,
+    inst: &Instance,
+    tie: reqsched_core::TieBreak,
+    mode: reqsched_core::SolveMode,
+    map: reqsched_core::ShardMap,
+) -> (RunStats, RunStats) {
+    let sharded = run_fixed_sharded(kind, inst, tie, mode, map);
+    let mut plain =
+        reqsched_core::build_strategy_with_mode(kind, inst.n_resources, inst.d, tie, mode);
+    let plain_stats = run_fixed_without_opt(plain.as_mut(), inst);
+    (sharded, plain_stats)
+}
+
+/// [`run_fixed_pair_faulty`] routed through the sharded engine: delta and
+/// fresh both run sharded over the same partition and must still agree
+/// service-for-service under the plan. Neither side fills `opt`.
+pub fn run_fixed_pair_faulty_sharded(
+    kind: reqsched_core::StrategyKind,
+    inst: &Instance,
+    tie: reqsched_core::TieBreak,
+    map: reqsched_core::ShardMap,
+    plan: &Arc<FaultPlan>,
+) -> (RunStats, RunStats) {
+    use reqsched_core::SolveMode;
+    let delta = run_fixed_faulty_sharded(kind, inst, tie, SolveMode::Delta, map.clone(), plan);
+    let fresh = run_fixed_faulty_sharded(kind, inst, tie, SolveMode::Fresh, map, plan);
+    (delta, fresh)
+}
+
 /// Run a strategy over a fixed instance, filling the optimum from `cache`
 /// so repeated runs on the same (or an equal) instance solve the horizon
 /// graph only once.

@@ -11,14 +11,17 @@
 
 mod cache;
 mod engine;
+mod sharded;
 mod strategy;
 mod sweep;
 
 pub use cache::OptCache;
 pub use engine::{
-    run_fixed, run_fixed_cached, run_fixed_faulty, run_fixed_faulty_traced, run_fixed_pair,
-    run_fixed_pair_faulty, run_fixed_traced, run_source, run_source_faulty,
+    run_fixed, run_fixed_cached, run_fixed_faulty, run_fixed_faulty_sharded,
+    run_fixed_faulty_traced, run_fixed_pair, run_fixed_pair_faulty, run_fixed_pair_faulty_sharded,
+    run_fixed_pair_sharded, run_fixed_sharded, run_fixed_traced, run_source, run_source_faulty,
     run_source_faulty_traced, run_source_traced, RunStats,
 };
+pub use sharded::ShardedScheduler;
 pub use strategy::AnyStrategy;
 pub use sweep::{par_run, par_run_with_cache, Job, RunRecord};

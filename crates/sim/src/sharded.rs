@@ -1,0 +1,693 @@
+//! The sharded parallel round engine.
+//!
+//! [`ShardedScheduler`] wraps any supported matching-based strategy and runs
+//! it over a resource partition (a [`ShardMap`]): every shard *group* owns
+//! its resources outright — its own [`ScheduleState`](reqsched_core::ScheduleState)
+//! slot rings and request arena, its own `DynamicMatching`, its own window
+//! scratch — and is driven as an independent strategy instance. Per round:
+//!
+//! 1. **Arrival routing** (sequential, request-id order): each arrival goes
+//!    to the group owning its alternatives. A *straddler* — alternatives in
+//!    different groups — triggers the deterministic cross-shard handoff:
+//!    the two groups are **fused** into one (see below) before the request
+//!    is routed, so no request is ever split across solvers.
+//! 2. **Parallel solve** (Rayon): every group steps one round. Groups are
+//!    independent by construction, and results are collected in group-index
+//!    order, so the output is bit-identical regardless of thread count.
+//! 3. **Deterministic merge**: per-group services are mapped back to global
+//!    ids and sorted by resource — exactly the order the unsharded
+//!    `finish_round` emits.
+//!
+//! ## Why this is exact
+//!
+//! The window matchings of the paper's strategies are **component-local**:
+//! augmenting searches, repair augments and saturation exchanges never
+//! leave a connected component of the request/slot graph, and requests in
+//! different groups share no resource, hence no component. Group-local
+//! solves therefore compose to precisely the global solve.
+//!
+//! ## Idle-shard gating (the single-core win)
+//!
+//! A group only *runs* a round when it could matter: it has pending work
+//! (`round < active_until`, tracked from routed arrivals' deadlines) or new
+//! arrivals. Skipped rounds are compressed out of the group's **local
+//! clock** — the inner strategy sees a dense, renumbered round sequence and
+//! never pays the per-round window churn (column retire/open, front-row
+//! recycling) for rounds in which its shard is idle. Because a group always
+//! runs on a *contiguous* global interval per busy episode and its state is
+//! empty between episodes, the compression is behaviour-preserving: the
+//! strategies' decisions depend only on round offsets, never on absolute
+//! round numbers. Two exceptions pin the clock to global time:
+//!
+//! * groups whose [`FaultPlan`] sub-plan contains resource faults (crash and
+//!   stall rounds are absolute), and
+//! * the `Random` tie-break (its per-round RNG is seeded by the absolute
+//!   round), which additionally collapses the partition to a single group.
+//!
+//! ## Cross-shard handoff by replay
+//!
+//! Fusing two groups mid-run rebuilds the union group from scratch and
+//! **replays** the stored per-round global arrival history through the same
+//! gating logic, asserting that the replayed services reproduce both
+//! groups' recorded services round for round. Component-locality makes this
+//! a pure recomputation — the merged solver must agree with what the two
+//! halves already emitted — so the handoff is deterministic and
+//! self-checking. Straddlers are routed (and groups fused) strictly in
+//! request-id order, and at most `S − 1` fusions can ever happen.
+//!
+//! A clean group under a fault plan keeps its delta engine even though the
+//! unsharded reference (whose global plan has resource faults) falls back
+//! to the fresh path: delta and fresh agree on fault-free components, so
+//! `RunStats` parity is preserved — the proptests pin this.
+
+use rayon::prelude::*;
+use reqsched_core::{
+    build_strategy_send_with_mode, OnlineScheduler, Service, ShardMap, SolveMode, StrategyKind,
+    TieBreak,
+};
+use reqsched_faults::FaultPlan;
+use reqsched_model::{Alternatives, Hint, Request, RequestId, ResourceId, Round};
+use std::sync::Arc;
+
+/// One fused shard group: a strategy instance owning a resource subset,
+/// with its own request-id and round renumbering.
+struct Group {
+    /// Owned global resource ids, ascending. Local resource = position.
+    resources: Vec<u32>,
+    /// Local request index → global id (append-only, ascending).
+    ids: Vec<RequestId>,
+    strategy: Box<dyn OnlineScheduler + Send>,
+    /// Next local round to feed (only advanced on non-skipped rounds).
+    local_clock: u64,
+    /// Exclusive upper bound on global rounds where pending work can exist.
+    active_until: u64,
+    /// Pinned to the global clock: never skip a round.
+    never_skip: bool,
+    /// Keep histories for potential future fusions (off once one group
+    /// remains — no further merge can happen).
+    recording: bool,
+    /// This round's routed arrivals (global form, ascending id).
+    pending: Vec<Request>,
+    /// Arrival history per global round (global form), for merge replay.
+    history: Vec<(u64, Vec<Request>)>,
+    /// Non-empty service batches per global round (global form).
+    served_log: Vec<(u64, Vec<Service>)>,
+}
+
+impl Group {
+    fn new(
+        resources: Vec<u32>,
+        kind: StrategyKind,
+        tie: TieBreak,
+        mode: SolveMode,
+        d: u32,
+        never_skip: bool,
+    ) -> Group {
+        debug_assert!(!resources.is_empty());
+        debug_assert!(resources.windows(2).all(|w| w[0] < w[1]));
+        let strategy = build_strategy_send_with_mode(kind, resources.len() as u32, d, tie, mode);
+        Group {
+            resources,
+            ids: Vec::new(),
+            strategy,
+            local_clock: 0,
+            active_until: 0,
+            never_skip,
+            recording: false,
+            pending: Vec::new(),
+            history: Vec::new(),
+            served_log: Vec::new(),
+        }
+    }
+
+    /// Install the group's projection of the global fault plan: owned
+    /// resources' crash intervals and stalls, remapped to local ids at
+    /// their **absolute** rounds — which is why a faulted group never
+    /// skips (its local clock must stay the global clock).
+    fn install_plan(&mut self, full: &FaultPlan) {
+        let mut sub = FaultPlan::empty(self.resources.len() as u32);
+        for ci in full.crash_intervals() {
+            if let Ok(l) = self.resources.binary_search(&ci.resource.0) {
+                sub.add_crash(ResourceId(l as u32), ci.down_from, ci.up_at);
+            }
+        }
+        for (res, round) in full.stall_slots() {
+            if let Ok(l) = self.resources.binary_search(&res.0) {
+                sub.add_stall(ResourceId(l as u32), round);
+            }
+        }
+        if sub.has_resource_faults() {
+            self.never_skip = true;
+        }
+        self.strategy.set_fault_plan(Arc::new(sub));
+    }
+
+    fn local_res(&self, res: ResourceId) -> Option<u32> {
+        self.resources.binary_search(&res.0).ok().map(|i| i as u32)
+    }
+
+    /// Rewrite a routed request into the group's local id spaces.
+    fn localize(&mut self, req: &Request, local_round: Round) -> Request {
+        let id = RequestId(self.ids.len() as u32);
+        debug_assert!(self.ids.last().is_none_or(|&last| last < req.id));
+        self.ids.push(req.id);
+        let alts: Vec<ResourceId> = req
+            .alternatives
+            .as_slice()
+            .iter()
+            .map(|a| {
+                ResourceId(
+                    self.local_res(*a)
+                        // lint: routing guarantees every alternative is owned by this group
+                        .expect("routed request names an owned resource"),
+                )
+            })
+            .collect();
+        Request {
+            id,
+            arrival: local_round,
+            alternatives: Alternatives::new(&alts),
+            deadline: req.deadline,
+            tag: req.tag,
+            hint: Hint {
+                prefer: req
+                    .hint
+                    .prefer
+                    .and_then(|p| self.local_res(p).map(ResourceId)),
+                priority: req.hint.priority,
+            },
+        }
+    }
+
+    /// Whether this group does any work in global round `round`.
+    fn should_run(&self, round: u64) -> bool {
+        self.never_skip || !self.pending.is_empty() || round < self.active_until
+    }
+
+    /// Feed the staged arrivals as one local round and return the services
+    /// mapped back to global ids, ascending by global resource.
+    fn run_round(&mut self) -> Vec<Service> {
+        let local_round = Round(self.local_clock);
+        self.local_clock += 1;
+        let pending = std::mem::take(&mut self.pending);
+        let arrivals: Vec<Request> = pending
+            .iter()
+            .map(|r| self.localize(r, local_round))
+            .collect();
+        let served = self.strategy.on_round(local_round, &arrivals);
+        served
+            .iter()
+            .map(|s| Service {
+                resource: ResourceId(self.resources[s.resource.index()]),
+                request: self.ids[s.request.index()],
+            })
+            .collect()
+    }
+
+    /// One global round: gate, run, log.
+    fn step(&mut self, round: u64) -> Vec<Service> {
+        if !self.should_run(round) {
+            return Vec::new();
+        }
+        let out = self.run_round();
+        if self.recording && !out.is_empty() {
+            self.served_log.push((round, out.clone()));
+        }
+        out
+    }
+
+    /// Drive the merged arrival history through rounds `0..upto` with the
+    /// same gating logic, asserting the replay reproduces `expected` (the
+    /// merged service logs of the two fused halves) round for round.
+    fn replay(
+        &mut self,
+        history: &[(u64, Vec<Request>)],
+        expected: &[(u64, Vec<Service>)],
+        upto: u64,
+    ) {
+        let (mut hi, mut ei) = (0usize, 0usize);
+        for r in 0..upto {
+            if hi < history.len() && history[hi].0 == r {
+                for req in &history[hi].1 {
+                    self.active_until = self.active_until.max(r + u64::from(req.deadline));
+                    self.pending.push(req.clone());
+                }
+                hi += 1;
+            }
+            let want: &[Service] = if ei < expected.len() && expected[ei].0 == r {
+                ei += 1;
+                &expected[ei - 1].1
+            } else {
+                &[]
+            };
+            if !self.should_run(r) {
+                assert!(
+                    want.is_empty(),
+                    "cross-shard handoff: fused group skips round {r} where a half served"
+                );
+                continue;
+            }
+            let out = self.run_round();
+            assert_eq!(
+                out.as_slice(),
+                want,
+                "cross-shard handoff: fused group diverges from its halves at round {r}"
+            );
+        }
+        assert_eq!(ei, expected.len(), "handoff replay left services unmatched");
+    }
+}
+
+/// Run a matching-based strategy over a resource partition, in parallel,
+/// with bit-identical results to the unsharded strategy (see module docs).
+pub struct ShardedScheduler {
+    kind: StrategyKind,
+    name: &'static str,
+    d: u32,
+    tie: TieBreak,
+    mode: SolveMode,
+    map: ShardMap,
+    /// Shard → current group index (fusions re-point entries).
+    group_of_shard: Vec<usize>,
+    /// Groups; fused-away entries become `None`.
+    groups: Vec<Option<Group>>,
+    alive: usize,
+    plan: Option<Arc<FaultPlan>>,
+    round: u64,
+    routed: u64,
+    straddlers: u64,
+    fusions: u64,
+}
+
+impl ShardedScheduler {
+    /// Whether `kind` can run on the sharded engine. The matching-based
+    /// global strategies decompose over resource-disjoint components; the
+    /// EDF variants are left on the unsharded path (their independent-copy
+    /// bookkeeping is already per-resource and gains nothing here).
+    pub fn supported(kind: StrategyKind) -> bool {
+        matches!(
+            kind,
+            StrategyKind::AFix
+                | StrategyKind::ACurrent
+                | StrategyKind::AFixBalance
+                | StrategyKind::AEager
+                | StrategyKind::ABalance
+                | StrategyKind::LazyMax
+        )
+    }
+
+    /// A sharded engine for `kind` over `map`'s partition.
+    ///
+    /// # Panics
+    /// Panics if `kind` is not [`ShardedScheduler::supported`].
+    pub fn new(kind: StrategyKind, d: u32, tie: TieBreak, mode: SolveMode, map: ShardMap) -> Self {
+        assert!(Self::supported(kind), "{} has no sharded port", kind.name());
+        // `Random`'s per-round RNG is seeded by the absolute round: neither
+        // clock compression nor decomposition preserves it, so the engine
+        // degenerates to one never-skipping group — exact by construction.
+        let collapse = tie.is_random();
+        let mut groups: Vec<Option<Group>> = Vec::new();
+        let mut group_of_shard = vec![usize::MAX; map.shards() as usize];
+        if collapse {
+            let all: Vec<u32> = (0..map.n()).collect();
+            groups.push(Some(Group::new(all, kind, tie, mode, d, true)));
+            group_of_shard.fill(0);
+        } else {
+            for s in 0..map.shards() {
+                let members = map.members(s);
+                if members.is_empty() {
+                    continue; // nothing routes here
+                }
+                let idx = groups.len();
+                groups.push(Some(Group::new(members, kind, tie, mode, d, false)));
+                group_of_shard[s as usize] = idx;
+            }
+        }
+        let alive = groups.len();
+        for g in groups.iter_mut().flatten() {
+            g.recording = alive > 1;
+        }
+        ShardedScheduler {
+            kind,
+            name: kind.name(),
+            d,
+            tie,
+            mode,
+            map,
+            group_of_shard,
+            groups,
+            alive,
+            plan: None,
+            round: 0,
+            routed: 0,
+            straddlers: 0,
+            fusions: 0,
+        }
+    }
+
+    /// Requests routed so far.
+    pub fn routed(&self) -> u64 {
+        self.routed
+    }
+
+    /// Requests whose alternatives spanned more than one group at routing
+    /// time (each such request fused groups).
+    pub fn straddlers(&self) -> u64 {
+        self.straddlers
+    }
+
+    /// Cross-shard fusions performed (at most `S − 1` over a run).
+    pub fn fusions(&self) -> u64 {
+        self.fusions
+    }
+
+    /// Currently independent solver groups.
+    pub fn groups_alive(&self) -> usize {
+        self.alive
+    }
+
+    /// Fuse groups `a` and `b` (the deterministic handoff): rebuild the
+    /// union group and replay both histories through it (see module docs).
+    fn fuse(&mut self, a: usize, b: usize, round: u64) -> usize {
+        self.fusions += 1;
+        // lint: route() only passes live group indices
+        let ga = self.groups[a].take().expect("fusing a live group");
+        // lint: route() only passes live group indices
+        let gb = self.groups[b].take().expect("fusing a live group");
+        let mut resources = ga.resources.clone();
+        resources.extend_from_slice(&gb.resources);
+        resources.sort_unstable();
+        let mut fused = Group::new(
+            resources,
+            self.kind,
+            self.tie,
+            self.mode,
+            self.d,
+            ga.never_skip || gb.never_skip,
+        );
+        if let Some(p) = &self.plan {
+            fused.install_plan(p);
+        }
+        let history = merge_by_round(ga.history, gb.history, |v| v.sort_by_key(|r| r.id));
+        let expected = merge_by_round(ga.served_log, gb.served_log, |v| {
+            v.sort_unstable_by_key(|s| s.resource.0)
+        });
+        fused.replay(&history, &expected, round);
+        fused.active_until = fused.active_until.max(ga.active_until).max(gb.active_until);
+        let mut pending = ga.pending;
+        pending.extend(gb.pending);
+        pending.sort_by_key(|r| r.id);
+        fused.pending = pending;
+        self.alive -= 1;
+        fused.recording = self.alive > 1;
+        if fused.recording {
+            fused.history = history;
+            fused.served_log = expected;
+        }
+        let idx = self.groups.len();
+        self.groups.push(Some(fused));
+        for e in &mut self.group_of_shard {
+            if *e == a || *e == b {
+                *e = idx;
+            }
+        }
+        idx
+    }
+
+    /// Route one arrival to its group, fusing groups if it straddles.
+    fn route(&mut self, alts: &[ResourceId], round: u64) -> usize {
+        self.routed += 1;
+        let mut gidx = self.group_of_shard[self.map.shard_of(alts[0]) as usize];
+        let mut straddled = false;
+        for alt in &alts[1..] {
+            let other = self.group_of_shard[self.map.shard_of(*alt) as usize];
+            if other != gidx {
+                straddled = true;
+                gidx = self.fuse(gidx, other, round);
+            }
+        }
+        if straddled {
+            self.straddlers += 1;
+        }
+        gidx
+    }
+}
+
+/// Merge two round-keyed logs; same-round entries are concatenated and
+/// every round's batch is canonicalized by `fix`.
+fn merge_by_round<T>(
+    a: Vec<(u64, Vec<T>)>,
+    b: Vec<(u64, Vec<T>)>,
+    fix: impl Fn(&mut Vec<T>),
+) -> Vec<(u64, Vec<T>)> {
+    let mut merged: std::collections::BTreeMap<u64, Vec<T>> = std::collections::BTreeMap::new();
+    for (r, v) in a.into_iter().chain(b) {
+        merged.entry(r).or_default().extend(v);
+    }
+    merged
+        .into_iter()
+        .map(|(r, mut v)| {
+            fix(&mut v);
+            (r, v)
+        })
+        .collect()
+}
+
+impl OnlineScheduler for ShardedScheduler {
+    fn name(&self) -> &str {
+        // The inner strategy's name: sharding is an execution detail, not a
+        // different strategy, and `RunStats` equality leans on this.
+        self.name
+    }
+
+    fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        assert_eq!(self.round, 0, "fault plans install before the first round");
+        for g in self.groups.iter_mut().flatten() {
+            g.install_plan(&plan);
+        }
+        self.plan = Some(plan);
+    }
+
+    fn on_round(&mut self, round: Round, arrivals: &[Request]) -> Vec<Service> {
+        assert_eq!(round.get(), self.round, "rounds must be consecutive");
+        self.round += 1;
+        let r = round.get();
+        // Phase 1: sequential arrival routing in request-id order (the
+        // deterministic handoff order — fusions happen here).
+        for req in arrivals {
+            let gidx = self.route(req.alternatives.as_slice(), r);
+            // lint: route() returns a live group
+            let g = self.groups[gidx].as_mut().expect("routed to a live group");
+            g.active_until = g.active_until.max(r + u64::from(req.deadline));
+            if g.recording {
+                match g.history.last_mut() {
+                    Some((hr, v)) if *hr == r => v.push(req.clone()),
+                    _ => g.history.push((r, vec![req.clone()])),
+                }
+            }
+            g.pending.push(req.clone());
+        }
+        // Phase 2: parallel per-group solve. The groups vector moves through
+        // the parallel iterator and back (an index-preserving collect), so
+        // results always arrive in group order: thread count and scheduling
+        // cannot reorder anything.
+        let stepped: Vec<(Option<Group>, Vec<Service>)> = std::mem::take(&mut self.groups)
+            .into_par_iter()
+            .map(|g| match g {
+                Some(mut g) => {
+                    let out = g.step(r);
+                    (Some(g), out)
+                }
+                None => (None, Vec::new()),
+            })
+            .collect();
+        let mut per_group: Vec<Vec<Service>> = Vec::with_capacity(stepped.len());
+        for (g, out) in stepped {
+            self.groups.push(g);
+            per_group.push(out);
+        }
+        // Phase 3: deterministic merge — global resource order, exactly the
+        // order the unsharded `finish_round` serves in.
+        let mut out: Vec<Service> = per_group.into_iter().flatten().collect();
+        out.sort_unstable_by_key(|s| s.resource.0);
+        out
+    }
+
+    fn comm_rounds_total(&self) -> u64 {
+        self.groups
+            .iter()
+            .flatten()
+            .map(|g| g.strategy.comm_rounds_total())
+            .sum()
+    }
+
+    fn messages_total(&self) -> u64 {
+        self.groups
+            .iter()
+            .flatten()
+            .map(|g| g.strategy.messages_total())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_fixed_faulty, run_fixed_faulty_sharded, run_fixed_pair_sharded};
+    use reqsched_model::{Instance, TraceBuilder};
+    use reqsched_workloads as workloads;
+
+    const PORTED: [StrategyKind; 6] = [
+        StrategyKind::AFix,
+        StrategyKind::ACurrent,
+        StrategyKind::AFixBalance,
+        StrategyKind::AEager,
+        StrategyKind::ABalance,
+        StrategyKind::LazyMax,
+    ];
+
+    #[test]
+    fn sharded_matches_unsharded_on_mixed_workloads() {
+        let insts = [
+            workloads::uniform_two_choice(6, 4, 5, 30, 91),
+            workloads::zipf_replicated(6, 3, 30, 1.3, 8, 30, 92),
+            workloads::flash_crowd(6, 4, 3, 12, 10, 8, 30, 93),
+        ];
+        for inst in &insts {
+            for kind in PORTED {
+                for tie in [
+                    TieBreak::FirstFit,
+                    TieBreak::LatestFit,
+                    TieBreak::HintGuided,
+                ] {
+                    let map = ShardMap::hash(inst.n_resources, 3);
+                    let (sharded, plain) =
+                        run_fixed_pair_sharded(kind, inst, tie, SolveMode::Delta, map);
+                    assert_eq!(sharded, plain, "{} {tie:?}", kind.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_tie_collapses_to_one_exact_group() {
+        let s = ShardedScheduler::new(
+            StrategyKind::ACurrent,
+            3,
+            TieBreak::Random(7),
+            SolveMode::Delta,
+            ShardMap::hash(8, 4),
+        );
+        assert_eq!(s.groups_alive(), 1);
+        let inst = workloads::uniform_two_choice(8, 3, 6, 25, 94);
+        let (sharded, plain) = run_fixed_pair_sharded(
+            StrategyKind::ACurrent,
+            &inst,
+            TieBreak::Random(7),
+            SolveMode::Delta,
+            ShardMap::hash(8, 4),
+        );
+        assert_eq!(sharded, plain);
+    }
+
+    /// Drive a scheduler over a trace by hand (the engine's validation layer
+    /// is exercised by the pair runners; here we need the counters).
+    fn drive(s: &mut ShardedScheduler, inst: &Instance) -> Vec<Vec<Service>> {
+        let last = inst.trace.service_horizon().get();
+        (0..last)
+            .map(|r| s.on_round(Round(r), inst.trace.arrivals_at(Round(r))))
+            .collect()
+    }
+
+    #[test]
+    fn straddler_fuses_groups_and_stays_exact() {
+        // Range split of 4 resources into {0,1} and {2,3}; local traffic on
+        // both sides, then a straddler (1,2) welds the halves together.
+        let mut b = TraceBuilder::new(3);
+        b.push(0u64, 0u32, 1u32);
+        b.push(0u64, 2u32, 3u32);
+        b.push(1u64, 0u32, 1u32);
+        b.push(2u64, 1u32, 2u32); // straddler
+        b.push(3u64, 0u32, 3u32); // now same group: no further fusion
+        let inst = Instance::new(4, 3, b.build());
+        let map = ShardMap::range(4, 2);
+
+        let mut s = ShardedScheduler::new(
+            StrategyKind::AEager,
+            3,
+            TieBreak::FirstFit,
+            SolveMode::Delta,
+            map.clone(),
+        );
+        assert_eq!(s.groups_alive(), 2);
+        let sharded_rounds = drive(&mut s, &inst);
+        assert_eq!(s.routed(), 5);
+        assert_eq!(s.straddlers(), 1);
+        assert_eq!(s.fusions(), 1);
+        assert_eq!(s.groups_alive(), 1);
+
+        let mut plain =
+            reqsched_core::build_strategy(StrategyKind::AEager, 4, 3, TieBreak::FirstFit);
+        let last = inst.trace.service_horizon().get();
+        for (r, got) in sharded_rounds.iter().enumerate() {
+            let want = plain.on_round(Round(r as u64), inst.trace.arrivals_at(Round(r as u64)));
+            assert_eq!(got, &want, "round {r}");
+        }
+        assert_eq!(last, 5);
+    }
+
+    #[test]
+    fn idle_groups_skip_rounds() {
+        // One early request on the {0,1} side (busy rounds 0..2), steady
+        // traffic on the {2,3} side: the idle group's local clock must stop
+        // while the busy group tracks the global clock.
+        let mut b = TraceBuilder::new(2);
+        b.push(0u64, 0u32, 1u32);
+        for r in 0..20u64 {
+            b.push(r, 2u32, 3u32);
+        }
+        let inst = Instance::new(4, 2, b.build());
+        let mut s = ShardedScheduler::new(
+            StrategyKind::ACurrent,
+            2,
+            TieBreak::FirstFit,
+            SolveMode::Delta,
+            ShardMap::range(4, 2),
+        );
+        let rounds = drive(&mut s, &inst);
+        let clocks: Vec<u64> = s.groups.iter().flatten().map(|g| g.local_clock).collect();
+        assert_eq!(clocks, vec![2, rounds.len() as u64]);
+    }
+
+    #[test]
+    fn faulty_groups_pin_to_global_clock_and_match_unsharded() {
+        // Crash on resource 0 pins the {0,1} group's clock; the {2,3} group
+        // keeps skipping. RunStats must still equal the unsharded run.
+        let inst = workloads::uniform_two_choice(4, 3, 3, 25, 95);
+        let plan = Arc::new(
+            FaultPlan::empty(4)
+                .with_crash(ResourceId(0), Round(2), Round(9))
+                .with_stall(ResourceId(3), Round(4)),
+        );
+        for kind in PORTED {
+            let mut sh = run_fixed_faulty_sharded(
+                kind,
+                &inst,
+                TieBreak::FirstFit,
+                SolveMode::Delta,
+                ShardMap::range(4, 2),
+                &plan,
+            );
+            let pl = run_fixed_faulty(
+                reqsched_core::build_strategy(kind, 4, 3, TieBreak::FirstFit).as_mut(),
+                &inst,
+                &plan,
+            );
+            // The sharded runner leaves the offline optimum unfilled.
+            assert_eq!(sh.opt, 0);
+            sh.opt = pl.opt;
+            sh.opt_prefix = pl.opt_prefix.clone();
+            assert_eq!(sh, pl, "{}", kind.name());
+        }
+    }
+}

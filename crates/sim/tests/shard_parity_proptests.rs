@@ -1,0 +1,359 @@
+//! Sharded-engine parity gates: running a strategy over a resource
+//! partition (any shard count, any partitioner, any thread count) must be
+//! **behaviourally invisible** — whole-[`RunStats`] equality with the
+//! unsharded strategy, bit for bit: served/expired totals, the per-round
+//! served curve, and the complete final assignment.
+//!
+//! Four families of twins:
+//!
+//! 1. **Sharded vs. unsharded** — every ported strategy over the theorem-2
+//!    adversarial constructions (2.1–2.6, with 2.6's adaptive trace
+//!    captured and replayed), every workload generator (including the
+//!    clustered/rotating ones built to stress the partitioners), across
+//!    hash / range / pair-affinity partitions and shard counts.
+//! 2. **Random fault plans** — the same twins under crash/stall chaos;
+//!    each shard group receives the plan's projection onto its resources,
+//!    pins its local clock to the global one, and the unsharded reference
+//!    must still be reproduced exactly. This also pins the asymmetric
+//!    solve-mode case: `A_current`'s fault fallback fires per group on its
+//!    *sub*-plan, so clean groups keep their delta engine while the
+//!    unsharded reference (whose global plan has faults) runs fresh —
+//!    delta and fresh agree on fault-free components, so stats still match.
+//! 3. **Thread-count independence** — the unsharded reference is literally
+//!    a single-threaded run, so sharded == unsharded *is* the
+//!    "1 thread vs. many" witness; repeated sharded runs must also be
+//!    byte-identical to each other regardless of Rayon's scheduling. (The
+//!    dev containers vendor a sequential Rayon stub, where this trivially
+//!    holds; under real Rayon the same assertions exercise the pool.)
+//! 4. **Pinned regressions** — deterministic handoff corner cases checked
+//!    in as plain `#[test]`s (the vendored proptest stub generates but
+//!    does not shrink or persist, so pins live in code).
+
+use proptest::prelude::*;
+use reqsched_adversary::{thm21, thm22, thm23, thm24, thm25, thm26};
+use reqsched_core::{OnlineScheduler, ShardMap, SolveMode, StrategyKind, TieBreak};
+use reqsched_faults::{ChaosConfig, FaultPlan};
+use reqsched_model::{Alternatives, Hint, Instance, ResourceId, Round, TraceBuilder};
+use reqsched_sim::{
+    run_fixed_faulty, run_fixed_faulty_sharded, run_fixed_pair_faulty_sharded,
+    run_fixed_pair_sharded, AnyStrategy, ShardedScheduler,
+};
+use reqsched_workloads as workloads;
+use std::sync::Arc;
+
+/// Every strategy with a sharded port (the matching-based set; EDF stays
+/// on the unsharded path).
+const PORTED: [StrategyKind; 6] = [
+    StrategyKind::AFix,
+    StrategyKind::ACurrent,
+    StrategyKind::AFixBalance,
+    StrategyKind::AEager,
+    StrategyKind::ABalance,
+    StrategyKind::LazyMax,
+];
+
+const TIES: [TieBreak; 3] = [
+    TieBreak::FirstFit,
+    TieBreak::LatestFit,
+    TieBreak::HintGuided,
+];
+
+fn maps_for(inst: &Instance) -> Vec<ShardMap> {
+    let n = inst.n_resources;
+    let mut maps = vec![ShardMap::hash(n, 2), ShardMap::range(n, 3)];
+    if n >= 4 {
+        maps.push(ShardMap::pair_affinity(n, 4, &inst.trace));
+    }
+    maps
+}
+
+/// Whole-`RunStats` sharded == unsharded for every ported strategy, both
+/// solve modes, across partitions of `inst`.
+fn assert_shard_parity(inst: &Instance, label: &str) {
+    for map in maps_for(inst) {
+        for kind in PORTED {
+            for tie in TIES {
+                for mode in [SolveMode::Delta, SolveMode::Fresh] {
+                    let (sharded, plain) =
+                        run_fixed_pair_sharded(kind, inst, tie, mode, map.clone());
+                    assert_eq!(
+                        sharded,
+                        plain,
+                        "{label}: {} {tie:?} {mode:?} S={}: sharded diverges from unsharded",
+                        kind.name(),
+                        map.shards()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Every theorem-2 adversarial construction, including 2.6's adaptive
+/// trace captured against a probe strategy and replayed as a fixed
+/// instance.
+#[test]
+fn shard_parity_on_theorem_scenarios() {
+    let scenarios = [
+        thm21::scenario(4, 4),
+        thm22::scenario(3, 2, 3),
+        thm23::scenario(4, 4),
+        thm24::scenario(6, 4),
+        thm25::scenario(2, 3, 3),
+    ];
+    for sc in scenarios {
+        assert_shard_parity(&sc.instance, &sc.name);
+    }
+
+    let d = 6;
+    let mut adv = thm26::Thm26Adversary::new(d, 3);
+    let mut probe = AnyStrategy::Global(StrategyKind::ABalance, TieBreak::FirstFit)
+        .build(thm26::N_RESOURCES, d);
+    let (_, trace) =
+        reqsched_sim::run_source_traced(probe.as_mut(), &mut adv, thm26::N_RESOURCES, d);
+    let inst = Instance::new(thm26::N_RESOURCES, d, trace);
+    assert_shard_parity(&inst, "thm2.6 (captured adaptive trace)");
+}
+
+/// Every workload generator, including the cluster-structured ones the
+/// partitioners are built for.
+#[test]
+fn shard_parity_on_every_workload_generator() {
+    let insts = [
+        ("uniform", workloads::uniform_two_choice(6, 4, 5, 40, 31)),
+        ("zipf", workloads::zipf_replicated(6, 3, 30, 1.3, 8, 40, 32)),
+        ("flash", workloads::flash_crowd(6, 4, 3, 12, 10, 8, 40, 33)),
+        ("c_choice", workloads::c_choice(7, 3, 3, 6, 40, 34)),
+        ("mixed", workloads::mixed_deadlines(5, 5, 4, 40, 35)),
+        ("single", workloads::single_alternative(4, 3, 5, 40, 36)),
+        (
+            "clustered",
+            workloads::clustered_two_choice(8, 3, 4, 6, 40, 37),
+        ),
+        ("rotating", workloads::rotating_flash(8, 3, 4, 5, 4, 40, 38)),
+    ];
+    for (label, inst) in &insts {
+        assert_shard_parity(inst, label);
+    }
+}
+
+/// The `Random` tie-break collapses the partition to one never-skipping
+/// group; stats must still equal the unsharded run exactly.
+#[test]
+fn shard_parity_with_random_tiebreak() {
+    let inst = workloads::uniform_two_choice(6, 3, 5, 30, 39);
+    for seed in [0u64, 7, 41] {
+        for shards in [2u32, 4] {
+            let (sharded, plain) = run_fixed_pair_sharded(
+                StrategyKind::AEager,
+                &inst,
+                TieBreak::Random(seed),
+                SolveMode::Delta,
+                ShardMap::hash(6, shards),
+            );
+            assert_eq!(sharded, plain, "Random({seed}) S={shards}");
+        }
+    }
+}
+
+/// Thread-count independence: the unsharded reference runs on exactly one
+/// thread, so the pair equality is the "1 vs. many" witness; repeated
+/// sharded runs must also agree with each other byte for byte no matter
+/// how Rayon schedules the per-group solves.
+#[test]
+fn sharded_stats_are_thread_count_independent() {
+    let inst = workloads::clustered_two_choice(8, 4, 4, 6, 35, 40);
+    let map = ShardMap::pair_affinity(8, 4, &inst.trace);
+    let (first, plain) = run_fixed_pair_sharded(
+        StrategyKind::ABalance,
+        &inst,
+        TieBreak::FirstFit,
+        SolveMode::Delta,
+        map.clone(),
+    );
+    assert_eq!(first, plain, "sharded (pooled) != unsharded (1 thread)");
+    for _ in 0..3 {
+        let (again, _) = run_fixed_pair_sharded(
+            StrategyKind::ABalance,
+            &inst,
+            TieBreak::FirstFit,
+            SolveMode::Delta,
+            map.clone(),
+        );
+        assert_eq!(first, again, "repeated sharded runs diverged");
+    }
+}
+
+/// Random fault plans: sharded == unsharded (per-group sub-plans vs. the
+/// global plan), and sharded delta == sharded fresh, for every ported
+/// strategy. The unsharded side fills the offline optimum; the sharded
+/// runners don't, so the comparison patches it in.
+fn assert_faulty_shard_parity(inst: &Instance, plan: &Arc<FaultPlan>, label: &str) {
+    for map in maps_for(inst) {
+        for kind in PORTED {
+            let mut sh = run_fixed_faulty_sharded(
+                kind,
+                inst,
+                TieBreak::FirstFit,
+                SolveMode::Delta,
+                map.clone(),
+                plan,
+            );
+            let pl = run_fixed_faulty(
+                reqsched_core::build_strategy(kind, inst.n_resources, inst.d, TieBreak::FirstFit)
+                    .as_mut(),
+                inst,
+                plan,
+            );
+            assert_eq!(sh.opt, 0, "sharded runners leave opt unfilled");
+            sh.opt = pl.opt;
+            sh.opt_prefix = pl.opt_prefix.clone();
+            assert_eq!(
+                sh,
+                pl,
+                "{label}: {} S={}: sharded diverges under faults",
+                kind.name(),
+                map.shards()
+            );
+            let (delta, fresh) =
+                run_fixed_pair_faulty_sharded(kind, inst, TieBreak::FirstFit, map.clone(), plan);
+            assert_eq!(
+                delta,
+                fresh,
+                "{label}: {} S={}: sharded delta/fresh diverge under faults",
+                kind.name(),
+                map.shards()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sharded == unsharded on random uniform traces across shard counts
+    /// and partitioners.
+    #[test]
+    fn shard_parity_on_random_traces(
+        n in 2u32..8,
+        d in 1u32..6,
+        per_round in 1u32..6,
+        seed in 0u64..u64::MAX,
+        shards in 2u32..6,
+    ) {
+        let inst = workloads::uniform_two_choice(n, d, per_round, 25, seed);
+        let map = match seed % 3 {
+            0 => ShardMap::hash(n, shards),
+            1 => ShardMap::range(n, shards),
+            _ => ShardMap::pair_affinity(n, shards, &inst.trace),
+        };
+        for kind in PORTED {
+            for tie in [TieBreak::FirstFit, TieBreak::LatestFit] {
+                let (sharded, plain) =
+                    run_fixed_pair_sharded(kind, &inst, tie, SolveMode::Delta, map.clone());
+                prop_assert_eq!(
+                    &sharded, &plain,
+                    "{} {:?} S={}: sharded diverges", kind.name(), tie, shards
+                );
+            }
+        }
+    }
+
+    /// Sharded == unsharded under random crash/stall plans, over the
+    /// generators with cluster structure (straddlers and fusions happen)
+    /// and without.
+    #[test]
+    fn shard_parity_under_random_fault_plans(
+        n in 4u32..8,
+        d in 2u32..5,
+        per_round in 1u32..5,
+        seed in 0u64..u64::MAX,
+        crash_permille in 0u32..250,
+    ) {
+        let insts = [
+            workloads::uniform_two_choice(n, d, per_round, 25, seed),
+            workloads::clustered_two_choice(n, d, 2, per_round, 25, seed),
+            workloads::rotating_flash(n, d, 2, 4, per_round, 25, seed),
+        ];
+        let cfg = ChaosConfig {
+            crash_prob: f64::from(crash_permille) / 1000.0,
+            mttr: 3.0,
+            stall_prob: 0.1,
+            ..ChaosConfig::CALM
+        };
+        for inst in &insts {
+            let plan = Arc::new(FaultPlan::random(inst.n_resources, 30, &cfg, seed ^ 0x5A4D));
+            assert_faulty_shard_parity(inst, &plan, "random faulty trace");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pinned handoff corner cases (deterministic; the stub proptest does not
+// shrink or persist, so regressions are pinned in code).
+// ---------------------------------------------------------------------------
+
+/// A single 3-alternative request spanning three groups triggers two
+/// fusions while routing one arrival; the fused group must replay both
+/// halves' histories and keep serving exactly like the unsharded run.
+#[test]
+fn pinned_triple_fusion_from_one_request() {
+    let mut b = TraceBuilder::new(3);
+    b.push(0u64, 0u32, 1u32);
+    b.push(0u64, 2u32, 3u32);
+    b.push(1u64, 4u32, 5u32);
+    b.push_full(
+        Round(2),
+        Alternatives::new(&[ResourceId(0), ResourceId(2), ResourceId(4)]),
+        3,
+        0,
+        Hint::default(),
+    );
+    b.push(3u64, 1u32, 5u32);
+    let inst = Instance::new(6, 3, b.build());
+    let map = ShardMap::range(6, 3);
+    let mut probe = ShardedScheduler::new(
+        StrategyKind::ABalance,
+        3,
+        TieBreak::FirstFit,
+        SolveMode::Delta,
+        map.clone(),
+    );
+    let horizon = inst.trace.service_horizon().get();
+    for r in 0..horizon {
+        probe.on_round(Round(r), inst.trace.arrivals_at(Round(r)));
+    }
+    assert_eq!(probe.straddlers(), 1);
+    assert_eq!(probe.fusions(), 2);
+    assert_eq!(probe.groups_alive(), 1);
+    assert_shard_parity(&inst, "pinned triple fusion");
+}
+
+/// A straddler welds a crash-faulted group (clock pinned to global time)
+/// to a clean, skipping group: the fused group inherits `never_skip` and
+/// the replay must bridge the clean half's compressed idle gap.
+#[test]
+fn pinned_fusion_of_faulted_and_idle_groups() {
+    let mut b = TraceBuilder::new(2);
+    b.push(0u64, 0u32, 1u32); // faulted side
+    b.push(0u64, 2u32, 3u32); // clean side, then idle rounds 2..6
+    b.push(6u64, 1u32, 2u32); // straddler after the gap
+    b.push(7u64, 0u32, 3u32);
+    let inst = Instance::new(4, 2, b.build());
+    let plan = Arc::new(FaultPlan::empty(4).with_crash(ResourceId(0), Round(0), Round(3)));
+    assert_faulty_shard_parity(&inst, &plan, "pinned faulted+idle fusion");
+}
+
+/// Both halves served work before fusing: the replay must reproduce every
+/// recorded service batch of both halves, across an idle gap on each side.
+#[test]
+fn pinned_fusion_replays_both_service_histories() {
+    let mut b = TraceBuilder::new(2);
+    for r in [0u64, 1, 4] {
+        b.push(r, 0u32, 1u32);
+        b.push(r, 2u32, 3u32);
+    }
+    b.push(6u64, 1u32, 2u32); // straddler
+    let inst = Instance::new(4, 2, b.build());
+    assert_shard_parity(&inst, "pinned double-history fusion");
+}

@@ -22,6 +22,13 @@
 //!   the "high correlation" the paper's introduction warns about.
 //! * [`single_alternative`] — every request names one uniformly random disk
 //!   (Observation 3.1's setting, where EDF is optimal).
+//! * [`clustered_two_choice`] — disks form hidden clusters under a seeded
+//!   random id permutation; every request's two choices stay inside one
+//!   cluster. Position-based partitioners cannot see the clusters (most
+//!   requests straddle a range split); correlation-aware ones can.
+//! * [`rotating_flash`] — contiguous clusters take turns: in each episode
+//!   exactly one cluster receives all traffic and the rest are idle — the
+//!   sharded engine's idle-skip showcase.
 
 use rand::Rng;
 use rand::SeedableRng;
@@ -200,6 +207,113 @@ pub fn mixed_deadlines(n: u32, d_max: u32, per_round: u32, rounds: u64, seed: u6
     Instance::new(n, d_max, b.build())
 }
 
+/// Cluster-local two-choice arrivals over a scrambled replica placement.
+///
+/// The `n` disks are split into `clusters` near-equal clusters, but cluster
+/// membership is defined through a seeded random permutation of the ids —
+/// adjacent ids usually belong to different clusters, so a position-based
+/// (range) partition straddles almost every request, while a
+/// correlation-aware partitioner can recover the clusters from the trace's
+/// co-occurrence structure. Each request picks a cluster uniformly and two
+/// distinct members of it; the tag records the cluster.
+pub fn clustered_two_choice(
+    n: u32,
+    d: u32,
+    clusters: u32,
+    per_round: u32,
+    rounds: u64,
+    seed: u64,
+) -> Instance {
+    assert!(
+        clusters >= 1 && n >= 2 * clusters,
+        "need 2 disks per cluster"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Scrambled placement: cluster c owns every permuted id p[i] with
+    // i % clusters == c.
+    let mut perm: Vec<u32> = (0..n).collect();
+    for i in (1..n as usize).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let members: Vec<Vec<u32>> = (0..clusters)
+        .map(|c| {
+            (0..n)
+                .filter(|i| i % clusters == c)
+                .map(|i| perm[i as usize])
+                .collect()
+        })
+        .collect();
+    let mut b = TraceBuilder::new(d);
+    for t in 0..rounds {
+        for _ in 0..per_round {
+            let c = rng.gen_range(0..clusters);
+            let m = &members[c as usize];
+            let a = rng.gen_range(0..m.len());
+            let mut bb = rng.gen_range(0..m.len() - 1);
+            if bb >= a {
+                bb += 1;
+            }
+            b.push_full(
+                Round(t),
+                Alternatives::two(m[a].into(), m[bb].into()),
+                d,
+                c,
+                Hint::default(),
+            );
+        }
+    }
+    Instance::new(n, d, b.build())
+}
+
+/// Episodic flash traffic rotating over contiguous clusters.
+///
+/// The `n` disks split into `clusters` contiguous blocks and time splits
+/// into episodes of `episode_len` rounds; during episode `e` only cluster
+/// `e % clusters` receives traffic — `per_round` two-choice requests per
+/// round between two distinct members of the active block. At any moment
+/// all other clusters are completely idle, so a range-partitioned sharded
+/// run skips `(clusters − 1)/clusters` of all per-shard rounds. The tag
+/// records the active cluster.
+pub fn rotating_flash(
+    n: u32,
+    d: u32,
+    clusters: u32,
+    episode_len: u64,
+    per_round: u32,
+    rounds: u64,
+    seed: u64,
+) -> Instance {
+    assert!(
+        clusters >= 1 && n >= 2 * clusters,
+        "need 2 disks per cluster"
+    );
+    assert!(episode_len >= 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = TraceBuilder::new(d);
+    for t in 0..rounds {
+        let c = (t / episode_len) % u64::from(clusters);
+        let lo = (n as u64 * c / u64::from(clusters)) as u32;
+        let hi = (n as u64 * (c + 1) / u64::from(clusters)) as u32;
+        let width = hi - lo;
+        for _ in 0..per_round {
+            let a = lo + rng.gen_range(0..width);
+            let mut bb = lo + rng.gen_range(0..width - 1);
+            if bb >= a {
+                bb += 1;
+            }
+            b.push_full(
+                Round(t),
+                Alternatives::two(a.into(), bb.into()),
+                d,
+                c as u32,
+                Hint::default(),
+            );
+        }
+    }
+    Instance::new(n, d, b.build())
+}
+
 /// Single-alternative uniform arrivals (Observation 3.1's setting).
 pub fn single_alternative(n: u32, d: u32, per_round: u32, rounds: u64, seed: u64) -> Instance {
     assert!(n >= 1);
@@ -328,6 +442,65 @@ mod tests {
             seen.insert(r.deadline);
         }
         assert!(seen.len() >= 3, "deadlines should actually vary: {seen:?}");
+    }
+
+    #[test]
+    fn clustered_keeps_choices_inside_one_cluster() {
+        let inst = clustered_two_choice(12, 3, 3, 5, 20, 17);
+        assert_eq!(inst.total_requests(), 100);
+        // Rebuild each cluster's member set from the tags; alternatives of
+        // requests with the same tag must never mix across sets.
+        let mut members = vec![std::collections::BTreeSet::new(); 3];
+        for r in inst.trace.requests() {
+            for alt in r.alternatives.as_slice() {
+                members[r.tag as usize].insert(alt.0);
+            }
+        }
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                assert!(
+                    members[a].is_disjoint(&members[b]),
+                    "clusters {a} and {b} share disks"
+                );
+            }
+        }
+        // The placement is scrambled: at least one cluster is not a
+        // contiguous id range.
+        let contiguous = members
+            .iter()
+            .filter(|m| {
+                let (lo, hi) = (m.first().copied(), m.last().copied());
+                matches!((lo, hi), (Some(lo), Some(hi)) if (hi - lo + 1) as usize == m.len())
+            })
+            .count();
+        assert!(contiguous < 3, "permutation left every cluster contiguous");
+        assert_eq!(
+            clustered_two_choice(12, 3, 3, 5, 20, 17),
+            clustered_two_choice(12, 3, 3, 5, 20, 17)
+        );
+    }
+
+    #[test]
+    fn rotating_flash_activates_one_block_per_episode() {
+        let inst = rotating_flash(12, 3, 3, 4, 5, 24, 19);
+        assert_eq!(inst.total_requests(), 120);
+        for r in inst.trace.requests() {
+            let c = (r.arrival.get() / 4) % 3;
+            assert_eq!(u64::from(r.tag), c, "tag tracks the active episode");
+            let (lo, hi) = (4 * c as u32, 4 * (c as u32 + 1));
+            for alt in r.alternatives.as_slice() {
+                assert!(
+                    alt.0 >= lo && alt.0 < hi,
+                    "round {} touched disk {} outside block {lo}..{hi}",
+                    r.arrival.get(),
+                    alt.0
+                );
+            }
+        }
+        assert_eq!(
+            rotating_flash(12, 3, 3, 4, 5, 24, 19),
+            rotating_flash(12, 3, 3, 4, 5, 24, 19)
+        );
     }
 
     #[test]

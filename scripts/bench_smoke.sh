@@ -16,10 +16,16 @@
 #      asserts the BENCH_PR3 battery re-holds the >= 2x bar on the
 #      SoA-arena + bitset core and that the EDF bucket ring replays the
 #      heap baseline bit-for-bit), then checks the report,
-#   8. the chaos harness in quick mode with the invariant auditor armed
-#      (sweeps strategies x fault levels under seeded fault plans, asserts
-#      byte-identical determinism across two sweeps, audits every round
-#      boundary), then checks results/chaos.csv and BENCH_PR5.json.
+#   8. the sharded-round bench in quick mode (regenerates BENCH_PR7.json,
+#      asserts per-round sharded-vs-unsharded schedule parity on every
+#      (workload, shard count) cell and a >= 1.5x S=4 speedup on the
+#      large n >= 100k workload), then checks the report,
+#   9. the chaos harness in quick mode with the invariant auditor armed
+#      and --shards 4 (matching-based global strategies run through the
+#      sharded engine, EDF/local cells stay unsharded; sweeps strategies
+#      x fault levels under seeded fault plans, asserts byte-identical
+#      determinism across two sweeps, audits every round boundary), then
+#      checks results/chaos.csv and BENCH_PR5.json.
 #
 # Every bench honors the single BENCH_QUICK=1 switch (exported below);
 # the historic per-bench variables (HOT_PATH_QUICK, STREAMING_OPT_QUICK,
@@ -114,12 +120,38 @@ for w in r["workloads"] + r["edf_ring"]:
             sys.exit(f"BENCH_PR6.json: workload entry missing {key!r}")
 EOF
 
-echo "== chaos harness (quick, audit-armed) =="
+echo "== sharded-round bench (quick) =="
+# The bench itself asserts sharded-vs-unsharded RunStats parity on every
+# (workload, S) cell and gates S=4 >= 1.5x over S=1 on the largest
+# workload; the checks below guard the report format.
+"${CARGO[@]}" bench -p reqsched-bench --bench sharded_round
+
+echo "== BENCH_PR7.json sanity =="
+grep -q '"parity": true' BENCH_PR7.json || {
+    echo "BENCH_PR7.json: missing sharded-vs-unsharded parity" >&2
+    exit 1
+}
+python3 - <<'EOF' || exit 1
+import json, sys
+r = json.load(open("BENCH_PR7.json"))
+if r["s4_speedup"] < 1.5:
+    sys.exit(f"BENCH_PR7.json: gate s4_speedup below 1.5x: {r['s4_speedup']}")
+for w in r["workloads"]:
+    for s in w["shards"]:
+        for key in ("shards", "ms", "speedup", "straddler_fraction"):
+            if key not in s:
+                sys.exit(f"BENCH_PR7.json: shard row of {w['name']!r} missing {key!r}")
+EOF
+
+echo "== chaos harness (quick, audit-armed, --shards 4) =="
 # The binary itself asserts determinism (two full sweeps must render
 # byte-identical CSV); --features audit replays the invariant auditor at
 # every round boundary of every cell, including the no-service-on-crashed-
-# slot check and delta-vs-fresh matching parity.
-"${CARGO[@]}" run --release -p reqsched-bench --features audit --bin chaos
+# slot check and delta-vs-fresh matching parity. --shards 4 routes the
+# matching-based global strategies through the sharded round engine (the
+# EDF and local cells keep the unsharded path in the same sweep), so the
+# auditor also walks the sharded engine's round boundaries.
+"${CARGO[@]}" run --release -p reqsched-bench --features audit --bin chaos -- --shards 4
 
 echo "== chaos artifacts sanity =="
 grep -q '"deterministic": true' BENCH_PR5.json || {

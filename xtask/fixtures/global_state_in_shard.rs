@@ -1,0 +1,36 @@
+//! Fixture: seeded `global-state-in-shard` violations. Scanned as a
+//! `crates/sim/src/` `LibSource` path by `tests/selftest.rs`; never
+//! compiled, never walked by `analyze_tree`.
+//!
+//! Every pattern here is a channel through which concurrently stepped
+//! shard groups could observe each other outside the recorded round
+//! history: a lazily initialized table, a memo cell, a thread-local
+//! scratch buffer, a mutable static.
+
+use std::sync::{LazyLock, OnceLock};
+
+static TABLE: LazyLock<Vec<u64>> = LazyLock::new(|| vec![0; 64]);
+
+static MEMO: OnceLock<usize> = OnceLock::new();
+
+static mut COUNTER: u64 = 0;
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<Vec<u32>> = std::cell::RefCell::new(Vec::new());
+}
+
+lazy_static! {
+    static ref LOOKUP: Vec<u8> = vec![0; 16];
+}
+
+// lint: fixture waiver — cell owned by a value the caller passes explicitly
+fn waived_cell() -> &'static OnceLock<usize> {
+    &MEMO
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::OnceLock;
+
+    static TEST_MEMO: OnceLock<usize> = OnceLock::new();
+}

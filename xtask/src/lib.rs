@@ -11,6 +11,7 @@
 //! | `unwrap-in-lib` | `.unwrap()` / `.expect(` in library crate sources outside `#[cfg(test)]` |
 //! | `vec-bool` | `Vec<bool>` in `crates/matching` / `crates/core` library sources (use the u64 `BitSet`/`BitMatrix` instead) |
 //! | `unjustified-allow` | `#[allow(...)]` without a `// lint:` justification comment |
+//! | `global-state-in-shard` | process-global mutable state (`OnceLock`, `LazyLock`, `lazy_static!`, `static mut`, `thread_local!`) in the sharded-engine crates (`crates/core`, `crates/matching`, `crates/sim`) |
 //! | `crate-metadata` | placeholder `repository` URL, missing `description`/`keywords` in workspace member manifests |
 //!
 //! Every rule shares one escape hatch: a `// lint: <reason>` comment on the
@@ -185,6 +186,27 @@ pub fn scan_source(rel: &str, text: &str, kind: FileKind) -> ScanReport {
             && code.contains("Vec<bool>")
         {
             hit("vec-bool");
+        }
+
+        // global-state-in-shard: the sharded round engine runs shard groups
+        // concurrently and proves determinism by replay; any process-global
+        // mutable state shared across groups (a memoization cell, a
+        // thread-local scratch buffer, a lazily-initialized table) couples
+        // shards through a channel the replay can't see. Confine the rule to
+        // the crates on the shard execution path; bench/test code is free to
+        // cache.
+        if kind == FileKind::LibSource
+            && !in_test
+            && (rel.starts_with("crates/core/")
+                || rel.starts_with("crates/matching/")
+                || rel.starts_with("crates/sim/"))
+            && (code.contains("OnceLock")
+                || code.contains("LazyLock")
+                || code.contains("lazy_static!")
+                || code.contains("static mut ")
+                || code.contains("thread_local!"))
+        {
+            hit("global-state-in-shard");
         }
 
         // unjustified-allow: everywhere (tests included) — the justification

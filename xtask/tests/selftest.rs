@@ -192,6 +192,61 @@ fn vec_bool_is_scoped_to_the_word_parallel_crates() {
 }
 
 #[test]
+fn global_state_fixture_is_caught_in_shard_crates() {
+    for rel in [
+        "crates/sim/src/fixture.rs",
+        "crates/core/src/fixture.rs",
+        "crates/matching/src/fixture.rs",
+    ] {
+        let r = scan_source(
+            rel,
+            &fixture("global_state_in_shard.rs"),
+            FileKind::LibSource,
+        );
+        let hits: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == "global-state-in-shard")
+            .collect();
+        assert_eq!(
+            hits.len(),
+            6,
+            "{rel}: the use line, both lazy statics, the mutable static, \
+             thread_local! and lazy_static! — not the waived or test-gated \
+             cells: {hits:?}"
+        );
+        assert_eq!(r.suppressed.len(), 1, "{rel}: the waiver is recorded");
+        assert!(r.suppressed[0].justification.contains("fixture waiver"));
+    }
+}
+
+#[test]
+fn global_state_is_scoped_to_the_shard_execution_path() {
+    // Crates off the shard execution path may keep lazy globals (the bench
+    // harness memoizes reference outputs), and test code anywhere is exempt.
+    let elsewhere = scan_source(
+        "crates/workloads/src/fixture.rs",
+        &fixture("global_state_in_shard.rs"),
+        FileKind::LibSource,
+    );
+    assert!(
+        !rules_hit(&elsewhere).contains("global-state-in-shard"),
+        "{:?}",
+        elsewhere.findings
+    );
+    let in_tests = scan_source(
+        "crates/sim/tests/fixture.rs",
+        &fixture("global_state_in_shard.rs"),
+        FileKind::TestOrExample,
+    );
+    assert!(
+        !rules_hit(&in_tests).contains("global-state-in-shard"),
+        "{:?}",
+        in_tests.findings
+    );
+}
+
+#[test]
 fn clean_fixture_passes_every_rule() {
     for kind in [
         FileKind::LibSource,

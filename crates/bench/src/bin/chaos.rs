@@ -22,12 +22,24 @@
 //! strategy through the sharded round engine over a hash partition of the
 //! resources; the EDF and local strategies keep the unsharded path. Sharding
 //! is exact, so the CSV rows must not change except for the `shards` column
-//! — the double-sweep determinism gate holds either way.
+//! — the double-sweep determinism gate holds either way. `--shards auto`
+//! resolves the count with [`ShardMap::auto_shards`] from the sweep's
+//! resource count and a probe trace's straddler fraction (the chaos shapes
+//! sit far below the calibrated shard floor, so `auto` resolves to 1).
+//!
+//! `--parallel-opt` computes every eligible cell's fault-aware optimum on
+//! the pipelined sharded engine ([`run_fixed_pair_parallel_faulty`]) —
+//! and **also** runs the cell's serial path, asserting the two `RunStats`
+//! bit-identical before the row is emitted. The flag therefore cannot
+//! change a byte of `results/chaos.csv`; it exists to prove exactly that,
+//! on top of the double-sweep determinism gate which holds in both modes.
 
 use reqsched_bench::report::{self, Obj, Report, Value};
 use reqsched_core::{OnlineScheduler, ShardMap, SolveMode, StrategyKind, TieBreak};
 use reqsched_faults::{ChaosConfig, FaultPlan};
-use reqsched_sim::{run_fixed_faulty_traced, AnyStrategy, ShardedScheduler};
+use reqsched_sim::{
+    run_fixed_faulty_traced, run_fixed_pair_parallel_faulty, AnyStrategy, ShardedScheduler,
+};
 use std::process::exit;
 use std::sync::Arc;
 
@@ -107,6 +119,9 @@ struct SweepShape {
     /// Resource shards for the sharded round engine (`--shards N`). With
     /// `1` (the default) every strategy takes the plain unsharded path.
     shards: u32,
+    /// `--parallel-opt`: compute eligible cells' optima on the pipelined
+    /// sharded engine, self-checked against the serial path per cell.
+    parallel_opt: bool,
 }
 
 /// Build the scheduler for one sweep cell. With `shards > 1`, supported
@@ -128,6 +143,39 @@ fn build_cell_scheduler(strat: &AnyStrategy, shape: &SweepShape) -> Box<dyn Onli
         }
     }
     strat.build(shape.n, shape.d)
+}
+
+/// Run one sweep cell. Without `--parallel-opt` this is the plain serial
+/// traced run (over whatever engine [`build_cell_scheduler`] picked). With
+/// it, eligible cells (supported matching-based global strategies) run the
+/// fully pipelined ALG∥OPT pair **and** the serial path, and the two stat
+/// blocks must agree bit-for-bit — so the emitted CSV is identical either
+/// way, by construction rather than by hope.
+fn run_cell(
+    strat: &AnyStrategy,
+    shape: &SweepShape,
+    inst: &reqsched_model::Instance,
+    plan: &Arc<FaultPlan>,
+) -> reqsched_sim::RunStats {
+    let mut s = build_cell_scheduler(strat, shape);
+    let serial = run_fixed_faulty_traced(s.as_mut(), inst, plan);
+    if shape.parallel_opt {
+        if let AnyStrategy::Global(kind, tie) = strat {
+            if ShardedScheduler::supported(*kind) {
+                let map = ShardMap::hash(shape.n, shape.shards);
+                let stats =
+                    run_fixed_pair_parallel_faulty(*kind, inst, *tie, SolveMode::Delta, map, plan);
+                assert_eq!(
+                    stats,
+                    serial,
+                    "{}: --parallel-opt cell diverges from the serial path",
+                    strat.name()
+                );
+                return stats;
+            }
+        }
+    }
+    serial
 }
 
 /// One aggregated cell of the sweep (a strategy at a level, averaged over
@@ -168,8 +216,7 @@ fn sweep(shape: &SweepShape) -> (String, Vec<Cell>) {
                     &level.cfg,
                     seed ^ 0xC0FF_EE00,
                 ));
-                let mut s = build_cell_scheduler(&strat, shape);
-                let stats = run_fixed_faulty_traced(s.as_mut(), &inst, &plan);
+                let stats = run_cell(&strat, shape, &inst, &plan);
                 // Floor `served` at 1 so a fully starved run reports a large
                 // finite ratio instead of poisoning the JSON with `inf`.
                 let ratio = stats.opt as f64 / stats.served.max(1) as f64;
@@ -225,17 +272,31 @@ fn fail(msg: &str) -> ! {
     exit(2);
 }
 
-/// Strict CLI parsing: the only recognised flag is `--shards N` (also
-/// `--shards=N`); anything else — unknown flags, a missing or non-positive
-/// value — exits 2, so typos never silently run the default sweep.
-fn parse_args() -> u32 {
-    fn parse_count(v: &str) -> u32 {
+/// `--shards` argument: a fixed count, or `auto` (resolved against the
+/// sweep shape once that is known).
+enum ShardArg {
+    Fixed(u32),
+    Auto,
+}
+
+/// Strict CLI parsing: the recognised flags are `--shards N|auto` (also
+/// `--shards=…`) and `--parallel-opt`; anything else — unknown flags, a
+/// missing or non-positive value — exits 2, so typos never silently run
+/// the default sweep.
+fn parse_args() -> (ShardArg, bool) {
+    fn parse_count(v: &str) -> ShardArg {
+        if v == "auto" {
+            return ShardArg::Auto;
+        }
         match v.parse::<u32>() {
-            Ok(s) if s >= 1 => s,
-            _ => fail(&format!("--shards expects a positive integer, got {v:?}")),
+            Ok(s) if s >= 1 => ShardArg::Fixed(s),
+            _ => fail(&format!(
+                "--shards expects a positive integer or \"auto\", got {v:?}"
+            )),
         }
     }
-    let mut shards = 1;
+    let mut shards = ShardArg::Fixed(1);
+    let mut parallel_opt = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--shards" {
@@ -245,26 +306,29 @@ fn parse_args() -> u32 {
             }
         } else if let Some(v) = arg.strip_prefix("--shards=") {
             shards = parse_count(v);
+        } else if arg == "--parallel-opt" {
+            parallel_opt = true;
         } else {
             fail(&format!(
-                "unknown argument {arg:?} (usage: chaos [--shards N])"
+                "unknown argument {arg:?} (usage: chaos [--shards N|auto] [--parallel-opt])"
             ));
         }
     }
-    shards
+    (shards, parallel_opt)
 }
 
 fn main() {
-    let shards = parse_args();
+    let (shard_arg, parallel_opt) = parse_args();
     let quick = report::quick_mode(&["CHAOS_QUICK"]);
-    let shape = if quick {
+    let mut shape = if quick {
         SweepShape {
             n: 6,
             d: 3,
             per_round: 5,
             rounds: 60,
             seeds: &[7],
-            shards,
+            shards: 1,
+            parallel_opt,
         }
     } else {
         SweepShape {
@@ -273,7 +337,31 @@ fn main() {
             per_round: 14,
             rounds: 400,
             seeds: &[7, 11, 13],
-            shards,
+            shards: 1,
+            parallel_opt,
+        }
+    };
+    shape.shards = match shard_arg {
+        ShardArg::Fixed(s) => s,
+        ShardArg::Auto => {
+            // Resolve against a probe instance from the first seed: same
+            // resource count and hash layout as every cell of the sweep.
+            const AUTO_REQUESTED: u32 = 4;
+            let probe = reqsched_workloads::uniform_two_choice(
+                shape.n,
+                shape.d,
+                shape.per_round,
+                shape.rounds,
+                shape.seeds[0],
+            );
+            let predicted =
+                ShardMap::hash(shape.n, AUTO_REQUESTED).straddler_fraction(&probe.trace);
+            let effective = ShardMap::auto_shards(shape.n, AUTO_REQUESTED, predicted);
+            eprintln!(
+                "--shards auto: n={}, predicted straddler fraction {predicted:.3} -> {effective} shard(s)",
+                shape.n
+            );
+            effective
         }
     };
 
@@ -320,7 +408,8 @@ fn main() {
                     .set("per_round", Value::u(shape.per_round as u64))
                     .set("rounds", Value::u(shape.rounds as u64))
                     .set("seeds", Value::u(shape.seeds.len() as u64))
-                    .set("shards", Value::u(shape.shards as u64)),
+                    .set("shards", Value::u(shape.shards as u64))
+                    .set("parallel_opt", Value::Bool(shape.parallel_opt)),
             ),
         )
         .set(

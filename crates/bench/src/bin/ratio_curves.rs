@@ -4,7 +4,7 @@
 //! paper UB).
 //!
 //! Usage: `cargo run --release -p reqsched-bench --bin ratio_curves \
-//!     [phases] [--trace] [--out <path>]`
+//!     [phases] [--trace] [--parallel-opt] [--out <path>]`
 //!
 //! The curves CSV is printed to stdout *and* written to `--out` (default:
 //! the repository's `results/ratio_curves.csv`, so a plain run regenerates
@@ -13,8 +13,17 @@
 //! strategy at `d = 8` (streaming prefix optimum vs. cumulative services,
 //! one row per simulated round) to `ratio_trace.csv` next to the curves
 //! file.
+//!
+//! With `--parallel-opt`, every traced run computes its prefix optimum on
+//! the pipelined sharded engine instead of the inline serial one — and
+//! **also** runs the serial engine, asserting the two `RunStats` (every
+//! `opt_prefix` entry included) bit-identical before anything is emitted.
+//! The flag therefore cannot change a byte of either CSV; it exists to
+//! prove exactly that on the checked-in artifacts.
 
-use reqsched_bench::{ratio_curve, ratio_trace};
+use reqsched_bench::{
+    ratio_curve, ratio_curve_parallel_opt, ratio_trace, ratio_trace_parallel_opt,
+};
 use reqsched_core::StrategyKind;
 use reqsched_stats::render_csv;
 use std::path::{Path, PathBuf};
@@ -28,7 +37,7 @@ fn default_out() -> PathBuf {
 
 fn fail(msg: &str) -> ! {
     eprintln!("ratio_curves: {msg}");
-    eprintln!("usage: ratio_curves [phases] [--trace] [--out <path>]");
+    eprintln!("usage: ratio_curves [phases] [--trace] [--parallel-opt] [--out <path>]");
     std::process::exit(2);
 }
 
@@ -45,14 +54,16 @@ fn take_out_flag(args: &mut Vec<String>) -> PathBuf {
 }
 
 /// Strict parse of what remains after `--out`: one optional positive
-/// integer (`phases`) and the `--trace` flag. Garbage is rejected with a
-/// nonzero exit, never silently defaulted.
-fn parse_args(args: &[String]) -> (u32, bool) {
+/// integer (`phases`) and the `--trace` / `--parallel-opt` flags. Garbage
+/// is rejected with a nonzero exit, never silently defaulted.
+fn parse_args(args: &[String]) -> (u32, bool, bool) {
     let mut trace = false;
+    let mut parallel_opt = false;
     let mut positional: Vec<&str> = Vec::new();
     for a in args {
         match a.as_str() {
             "--trace" => trace = true,
+            "--parallel-opt" => parallel_opt = true,
             s if s.starts_with("--") => fail(&format!("unknown flag {s:?}")),
             s => positional.push(s),
         }
@@ -71,11 +82,11 @@ fn parse_args(args: &[String]) -> (u32, bool) {
             )),
         },
     };
-    (phases, trace)
+    (phases, trace, parallel_opt)
 }
 
 /// Write the per-round ratio trace CSV for every global strategy.
-fn dump_trace(phases: u32, out: &Path) -> std::io::Result<()> {
+fn dump_trace(phases: u32, parallel_opt: bool, out: &Path) -> std::io::Result<()> {
     const TRACE_D: u32 = 8;
     let mut rows: Vec<Vec<String>> = vec![vec![
         "strategy".into(),
@@ -86,7 +97,12 @@ fn dump_trace(phases: u32, out: &Path) -> std::io::Result<()> {
         "ratio".into(),
     ]];
     for kind in StrategyKind::GLOBAL {
-        for p in ratio_trace(kind, TRACE_D, phases) {
+        let points = if parallel_opt {
+            ratio_trace_parallel_opt(kind, TRACE_D, phases)
+        } else {
+            ratio_trace(kind, TRACE_D, phases)
+        };
+        for p in points {
             rows.push(vec![
                 kind.name().to_string(),
                 TRACE_D.to_string(),
@@ -108,10 +124,10 @@ fn dump_trace(phases: u32, out: &Path) -> std::io::Result<()> {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let out = take_out_flag(&mut args);
-    let (phases, trace) = parse_args(&args);
+    let (phases, trace, parallel_opt) = parse_args(&args);
     if trace {
         let trace_out = out.with_file_name("ratio_trace.csv");
-        if let Err(e) = dump_trace(phases, &trace_out) {
+        if let Err(e) = dump_trace(phases, parallel_opt, &trace_out) {
             fail(&format!("cannot write {}: {e}", trace_out.display()));
         }
     }
@@ -124,7 +140,12 @@ fn main() {
         "paper_ub".into(),
     ]];
     for kind in StrategyKind::GLOBAL {
-        for (d, ratio) in ratio_curve(kind, &ds, phases) {
+        let curve = if parallel_opt {
+            ratio_curve_parallel_opt(kind, &ds, phases)
+        } else {
+            ratio_curve(kind, &ds, phases)
+        };
+        for (d, ratio) in curve {
             rows.push(vec![
                 kind.name().to_string(),
                 d.to_string(),

@@ -19,10 +19,11 @@ pub mod roundbench;
 
 use rayon::prelude::*;
 use reqsched_adversary::{edf_worst, thm21, thm22, thm23, thm24, thm25, thm26, thm37};
-use reqsched_core::{StrategyKind, TieBreak};
+use reqsched_core::{ShardMap, StrategyKind, TieBreak};
 use reqsched_model::{Instance, Round};
 use reqsched_sim::{
-    par_run_with_cache, run_fixed_traced, run_source_traced, AnyStrategy, Job, OptCache,
+    par_run_with_cache, run_fixed_traced, run_fixed_traced_parallel, run_source_traced,
+    AnyStrategy, Job, OptCache, RunStats,
 };
 use std::sync::Arc;
 
@@ -294,6 +295,43 @@ pub fn ratio_curve(kind: StrategyKind, ds: &[u32], phases: u32) -> Vec<(u32, f64
         .collect()
 }
 
+/// Traced run of `kind` on an instance with the **pipelined parallel
+/// optimum** ([`run_fixed_traced_parallel`]), self-checked: the serial run
+/// executes too and the two [`RunStats`] must be bit-identical — every
+/// `opt_prefix` entry included — before the parallel result is returned.
+/// The shard map is [`ShardMap::auto`], so the adversarial scenarios (tiny
+/// `n`) run the sharded engine in its serial-layout fallback while still
+/// exercising the pipelined worker and batched augmentation.
+fn traced_parallel_checked(kind: StrategyKind, inst: &Instance) -> RunStats {
+    let mut serial_s =
+        reqsched_core::build_strategy(kind, inst.n_resources, inst.d, TieBreak::HintGuided);
+    let serial = run_fixed_traced(serial_s.as_mut(), inst);
+    let predicted = ShardMap::range(inst.n_resources, 4).straddler_fraction(&inst.trace);
+    let map = ShardMap::auto(inst.n_resources, 4, predicted);
+    let mut s = reqsched_core::build_strategy(kind, inst.n_resources, inst.d, TieBreak::HintGuided);
+    let stats = run_fixed_traced_parallel(s.as_mut(), inst, &map);
+    assert_eq!(
+        stats,
+        serial,
+        "{}: parallel-opt run diverges from the serial baseline",
+        kind.name()
+    );
+    stats
+}
+
+/// [`ratio_curve`] computed through the parallel optimum, with the serial
+/// run asserted bit-identical at every `d` (the `ratio_curves
+/// --parallel-opt` path — the emitted CSV cannot differ from the serial
+/// one, by construction).
+pub fn ratio_curve_parallel_opt(kind: StrategyKind, ds: &[u32], phases: u32) -> Vec<(u32, f64)> {
+    ds.par_iter()
+        .map(|&d| {
+            let (inst, _) = lb_scenario(kind, d.max(2), phases);
+            (d, traced_parallel_checked(kind, &inst).ratio())
+        })
+        .collect()
+}
+
 /// One row of the per-round live ratio trace (see [`ratio_trace`]).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RatioTracePoint {
@@ -315,6 +353,17 @@ pub fn ratio_trace(kind: StrategyKind, d: u32, phases: u32) -> Vec<RatioTracePoi
     let (inst, _) = lb_scenario(kind, d.max(2), phases);
     let mut s = reqsched_core::build_strategy(kind, inst.n_resources, inst.d, TieBreak::HintGuided);
     let stats = run_fixed_traced(s.as_mut(), &inst);
+    trace_points(&stats)
+}
+
+/// [`ratio_trace`] through the parallel optimum, serial run asserted
+/// bit-identical (the `ratio_curves --trace --parallel-opt` path).
+pub fn ratio_trace_parallel_opt(kind: StrategyKind, d: u32, phases: u32) -> Vec<RatioTracePoint> {
+    let (inst, _) = lb_scenario(kind, d.max(2), phases);
+    trace_points(&traced_parallel_checked(kind, &inst))
+}
+
+fn trace_points(stats: &RunStats) -> Vec<RatioTracePoint> {
     let ratios = stats.live_ratios();
     let mut alg_cum = 0u32;
     stats

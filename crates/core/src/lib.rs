@@ -51,7 +51,7 @@ pub use factory::{
 pub use fix_balance::AFixBalance;
 pub use lazy::ALazyMax;
 pub use schedule::{RoundOutcome, ScheduleState, Service};
-pub use shard::{Partitioner, ShardMap};
+pub use shard::{Partitioner, ShardMap, AUTO_MAX_STRADDLER_FRACTION, AUTO_MIN_RESOURCES};
 pub use tiebreak::TieBreak;
 pub use window::{WindowGraph, WindowScratch};
 

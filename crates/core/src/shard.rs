@@ -55,6 +55,19 @@ fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Smallest catalog for which sharding beats the serial engine.
+///
+/// Calibrated from BENCH_PR7's range-partitioned ladder: at n = 10k, S = 4
+/// was 0.98× (per-shard state too small to amortize the fan-out), while at
+/// n = 100k it was 3.25×. The threshold sits between those measured points.
+pub const AUTO_MIN_RESOURCES: u32 = 32_768;
+
+/// Straddler fraction above which [`ShardMap::auto`] refuses to shard:
+/// beyond this, group fusion collapses the decomposition early enough that
+/// most of the run executes on one fused group anyway, paying the routing
+/// and history-recording overhead for nothing.
+pub const AUTO_MAX_STRADDLER_FRACTION: f64 = 0.25;
+
 /// A deterministic resource → shard assignment.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ShardMap {
@@ -150,6 +163,28 @@ impl ShardMap {
             }
         }
         ShardMap { n, shards, assign }
+    }
+
+    /// Range-partitioned map with an automatic serial fallback: `shards`
+    /// groups when the catalog is big enough and the workload shard-friendly
+    /// enough to profit, otherwise a single group (identical to the serial
+    /// engine, no fan-out cost). `straddler_fraction` is the caller's
+    /// estimate — typically [`ShardMap::straddler_fraction`] of a candidate
+    /// map over the trace, or `0.0` when placement is known-contiguous.
+    pub fn auto(n: u32, shards: u32, straddler_fraction: f64) -> ShardMap {
+        ShardMap::range(n, ShardMap::auto_shards(n, shards, straddler_fraction))
+    }
+
+    /// The effective shard count [`ShardMap::auto`] would pick: `shards`,
+    /// unless `n` is below [`AUTO_MIN_RESOURCES`] or the predicted
+    /// straddler fraction exceeds [`AUTO_MAX_STRADDLER_FRACTION`], in which
+    /// case 1.
+    pub fn auto_shards(n: u32, shards: u32, straddler_fraction: f64) -> u32 {
+        if n < AUTO_MIN_RESOURCES || straddler_fraction > AUTO_MAX_STRADDLER_FRACTION {
+            1
+        } else {
+            shards.max(1)
+        }
     }
 
     fn build(n: u32, shards: u32, f: impl Fn(u32) -> u32) -> ShardMap {
@@ -289,6 +324,31 @@ mod tests {
     fn straddler_fraction_of_empty_trace_is_zero() {
         let map = ShardMap::hash(4, 2);
         assert_eq!(map.straddler_fraction(&Trace::empty()), 0.0);
+    }
+
+    #[test]
+    fn auto_falls_back_to_serial_below_the_calibrated_floor() {
+        // The BENCH_PR7 regression point: 10k resources must NOT shard.
+        assert_eq!(ShardMap::auto(10_000, 4, 0.0).shards(), 1);
+        // The measured win point keeps its requested width.
+        let map = ShardMap::auto(100_000, 4, 0.0);
+        assert_eq!(map.shards(), 4);
+        assert_eq!(map, ShardMap::range(100_000, 4));
+        // Exactly at the floor counts as big enough.
+        assert_eq!(ShardMap::auto(AUTO_MIN_RESOURCES, 4, 0.0).shards(), 4);
+        assert_eq!(ShardMap::auto(AUTO_MIN_RESOURCES - 1, 4, 0.0).shards(), 1);
+    }
+
+    #[test]
+    fn auto_falls_back_when_straddlers_would_fuse_everything() {
+        assert_eq!(ShardMap::auto(100_000, 4, 0.5).shards(), 1);
+        // At the cap is still allowed; only strictly above falls back.
+        assert_eq!(
+            ShardMap::auto(100_000, 4, AUTO_MAX_STRADDLER_FRACTION).shards(),
+            4
+        );
+        assert_eq!(ShardMap::auto_shards(100_000, 8, 0.26), 1);
+        assert_eq!(ShardMap::auto_shards(100_000, 0, 0.0), 1, "clamped up");
     }
 
     #[test]

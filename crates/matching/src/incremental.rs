@@ -27,6 +27,7 @@
 
 use crate::matching::Matching;
 use crate::workspace::MatchingWorkspace;
+use rayon::prelude::*;
 
 /// A maximum matching maintained under left-vertex insertions.
 ///
@@ -45,7 +46,23 @@ pub struct IncrementalMatching {
     ws: MatchingWorkspace,
     /// Total edges scanned by all insertion searches (perf accounting).
     edges_scanned: u64,
+    /// Batch-phase BFS layer per left vertex (`u32::MAX` = unreached).
+    /// Lazily grown and reset via `btouched`, so a batch costs only the
+    /// subgraph it explores, never the full ever-growing left side.
+    bdist: Vec<u32>,
+    /// Left vertices whose `bdist` entry was written this phase.
+    btouched: Vec<u32>,
+    /// Batch-phase BFS queue of left vertices.
+    bqueue: Vec<u32>,
 }
+
+/// Free-right "NIL layer" sentinel for the batch phases.
+const UNREACHED: u32 = u32::MAX;
+
+/// Below this many free batch roots the speculative parallel candidate
+/// pass costs more than it saves; the phase runs the sequential layered
+/// DFS directly.
+const PAR_DFS_MIN_ROOTS: usize = 32;
 
 impl IncrementalMatching {
     /// An empty matching over no vertices.
@@ -133,6 +150,178 @@ impl IncrementalMatching {
         span.1 = span.0;
     }
 
+    /// Insert a whole batch of left vertices at once and restore maximality
+    /// with Hopcroft–Karp-style phases instead of one augmenting search per
+    /// vertex.
+    ///
+    /// The batch is given in CSR form: vertex `i` of the batch is adjacent
+    /// to `neighbors[offsets[i] as usize..offsets[i + 1] as usize]`, so
+    /// `offsets` has one more entry than the batch has vertices (and
+    /// `offsets[0] == 0`). Returns the index of the first inserted vertex;
+    /// the batch occupies consecutive indices from there.
+    ///
+    /// Each phase runs one BFS layering from the batch's still-free
+    /// vertices and then augments along vertex-disjoint shortest paths —
+    /// when many same-round arrivals compete for a saturated region, the
+    /// whole batch shares a single `O(E)` proof of unmatchability instead
+    /// of paying one failed full-component DFS per arrival. On hosts with
+    /// more than one core, large phases additionally compute candidate
+    /// paths for all roots in parallel (speculatively, against the frozen
+    /// phase snapshot) and accept them sequentially in root order, so the
+    /// result is bit-identical at any thread count.
+    ///
+    /// The matching after the batch is maximum, exactly as if each vertex
+    /// had been inserted with [`IncrementalMatching::add_left`] — the two
+    /// paths may pick different mate structures (and even different left
+    /// supports: shortest-path preference vs. insertion-order preference),
+    /// but the **cardinality** — all the streaming optimum ever exposes —
+    /// is identical after every batch, and the monotonicity invariant
+    /// (free after the batch ⇒ free forever) holds for both;
+    /// `tests/batch_proptests.rs` pins this against the serial oracle.
+    pub fn add_left_batch(&mut self, offsets: &[u32], neighbors: &[u32]) -> u32 {
+        assert_eq!(offsets.first(), Some(&0), "CSR offsets start at 0");
+        assert_eq!(
+            offsets.last().copied().unwrap_or(0) as usize,
+            neighbors.len(),
+            "CSR offsets must cover the neighbor buffer"
+        );
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        let first = self.n_left();
+        match offsets.len() - 1 {
+            0 => return first,
+            // A singleton batch is exactly one serial insertion.
+            1 => return self.add_left(neighbors),
+            _ => {}
+        }
+        if let Some(&max) = neighbors.iter().max() {
+            self.ensure_right(max + 1);
+        }
+        for w in offsets.windows(2) {
+            let l = self.m.push_left();
+            debug_assert_eq!(l as usize, self.spans.len());
+            let start = self.edges.len() as u32;
+            self.edges
+                .extend_from_slice(&neighbors[w[0] as usize..w[1] as usize]);
+            self.spans.push((start, self.edges.len() as u32));
+        }
+        self.augment_batch(first);
+        first
+    }
+
+    /// Hopcroft–Karp phase loop over the batch `first..n_left`: BFS-layer
+    /// from the still-free batch vertices, augment along vertex-disjoint
+    /// shortest paths, repeat until no free right vertex is reachable.
+    /// Older free vertices cannot head an augmenting path (monotonicity),
+    /// so seeding only from the batch preserves maximality.
+    fn augment_batch(&mut self, first: u32) {
+        let IncrementalMatching {
+            spans,
+            edges,
+            m,
+            ws,
+            edges_scanned,
+            bdist,
+            btouched,
+            bqueue,
+            ..
+        } = self;
+        let n_left = spans.len();
+        if bdist.len() < n_left {
+            bdist.resize(n_left, UNREACHED);
+        }
+        loop {
+            // --- BFS layering from the batch's still-free vertices. ---
+            bqueue.clear();
+            btouched.clear();
+            for l in first..n_left as u32 {
+                if m.left_free(l) {
+                    bdist[l as usize] = 0;
+                    btouched.push(l);
+                    bqueue.push(l);
+                }
+            }
+            let roots = bqueue.len();
+            if roots == 0 {
+                return; // everything matched
+            }
+            // `dist_free` is the layer of the nearest free right vertex
+            // (the classical dist[NIL]); layers past it never matter.
+            let mut dist_free = UNREACHED;
+            let mut head = 0;
+            while head < bqueue.len() {
+                let l = bqueue[head];
+                head += 1;
+                let dl = bdist[l as usize];
+                if dl + 1 >= dist_free {
+                    continue;
+                }
+                let (lo, hi) = spans[l as usize];
+                for &r in &edges[lo as usize..hi as usize] {
+                    *edges_scanned += 1;
+                    match m.right_mate(r) {
+                        None => dist_free = dist_free.min(dl + 1),
+                        Some(l2) => {
+                            if bdist[l2 as usize] == UNREACHED {
+                                bdist[l2 as usize] = dl + 1;
+                                btouched.push(l2);
+                                bqueue.push(l2);
+                            }
+                        }
+                    }
+                }
+            }
+            if dist_free == UNREACHED {
+                // No augmenting path from any batch vertex: maximum reached.
+                for &l in btouched.iter() {
+                    bdist[l as usize] = UNREACHED;
+                }
+                return;
+            }
+            // --- DFS pass: vertex-disjoint shortest augments. ---
+            let before = m.size();
+            let speculate = roots >= PAR_DFS_MIN_ROOTS
+                && std::thread::available_parallelism().is_ok_and(|p| p.get() > 1);
+            if speculate {
+                // Speculative parallel pass: every root searches a candidate
+                // shortest path against the frozen snapshot (read-only, so
+                // the searches are pure functions and any schedule yields
+                // the same candidates). Acceptance is sequential in root
+                // order; a candidate invalidated by an earlier flip falls
+                // back to the exact sequential search below.
+                let snapshot = &*m;
+                let candidates: Vec<Candidate> = bqueue[..roots]
+                    .par_iter()
+                    .map(|&root| candidate_path(spans, edges, snapshot, bdist, dist_free, root))
+                    .collect();
+                for (i, (cand, scanned)) in candidates.into_iter().enumerate() {
+                    *edges_scanned += scanned;
+                    let root = bqueue[i];
+                    if let Some(path) = cand {
+                        if accept_path(m, &path) {
+                            continue;
+                        }
+                    }
+                    if m.left_free(root) {
+                        phase_dfs(spans, edges, m, bdist, dist_free, ws, edges_scanned, root);
+                    }
+                }
+            } else {
+                for &root in bqueue[..roots].iter() {
+                    if m.left_free(root) {
+                        phase_dfs(spans, edges, m, bdist, dist_free, ws, edges_scanned, root);
+                    }
+                }
+            }
+            assert!(
+                m.size() > before,
+                "a batch phase that saw a reachable free right must augment"
+            );
+            for &l in btouched.iter() {
+                bdist[l as usize] = UNREACHED;
+            }
+        }
+    }
+
     /// One alternating DFS from the (free) vertex `root`; flips the path on
     /// success. Returns whether the matching grew.
     fn augment_from(&mut self, root: u32) -> bool {
@@ -194,6 +383,137 @@ impl IncrementalMatching {
         }
         augmented
     }
+}
+
+/// A speculative root's result: the `(left, chosen right)` steps of one
+/// shortest augmenting path if it found a free right, plus edges scanned.
+type Candidate = (Option<Vec<(u32, u32)>>, u64);
+
+/// Read-only candidate search for the speculative parallel pass: a layered
+/// DFS from `root` over the frozen phase snapshot, returning the
+/// `(left, chosen right)` steps of one shortest augmenting path (ending at
+/// a free right in layer `dist_free`) plus the edges scanned. Pure function
+/// of the snapshot — safe and deterministic under any parallel schedule.
+fn candidate_path(
+    spans: &[(u32, u32)],
+    edges: &[u32],
+    m: &Matching,
+    dist: &[u32],
+    dist_free: u32,
+    root: u32,
+) -> Candidate {
+    let mut scanned = 0u64;
+    // Per-root visited set over right vertices. A shared mask would race
+    // across roots; the ordered set keeps the search O(E log E) worst case
+    // while staying allocation-light for the short paths typical here.
+    let mut visited: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    let mut stack: Vec<(u32, u32)> = vec![(root, 0)];
+    while let Some(&mut (l, ref mut cursor)) = stack.last_mut() {
+        let (lo, hi) = spans[l as usize];
+        let adj = &edges[lo as usize..hi as usize];
+        if (*cursor as usize) >= adj.len() {
+            stack.pop();
+            continue;
+        }
+        let r = adj[*cursor as usize];
+        *cursor += 1;
+        scanned += 1;
+        if !visited.insert(r) {
+            continue;
+        }
+        match m.right_mate(r) {
+            None => {
+                if dist[l as usize] + 1 == dist_free {
+                    let path = stack
+                        .iter()
+                        .map(|&(pl, pc)| {
+                            let plo = spans[pl as usize].0;
+                            (pl, edges[plo as usize + pc as usize - 1])
+                        })
+                        .collect();
+                    return (Some(path), scanned);
+                }
+            }
+            Some(l2) => {
+                if dist[l2 as usize] == dist[l as usize] + 1 {
+                    stack.push((l2, 0));
+                }
+            }
+        }
+    }
+    (None, scanned)
+}
+
+/// Validate a speculative candidate against the *current* matching and flip
+/// it if still intact: the root must still be free, every interior right
+/// must still be mated to the next left on the path, and the terminal right
+/// must still be free. Earlier accepted flips this phase change exactly
+/// those mate relationships, so a stale candidate always fails one check.
+fn accept_path(m: &mut Matching, path: &[(u32, u32)]) -> bool {
+    let ok = m.left_free(path[0].0)
+        && path
+            .windows(2)
+            .all(|w| m.right_mate(w[0].1) == Some(w[1].0))
+        && m.right_mate(path[path.len() - 1].1).is_none();
+    if ok {
+        for &(l, r) in path {
+            m.set(l, r);
+        }
+    }
+    ok
+}
+
+/// The exact sequential phase DFS (textbook Hopcroft–Karp): follow only
+/// layered edges (`dist[mate] == dist[l] + 1`), accept a free right exactly
+/// at the `dist_free` layer, and poison a left's layer on failure so no
+/// later root rescans its subtree this phase. Flips the path on success.
+#[allow(clippy::too_many_arguments)] // lint: split borrows of one struct, not an API
+fn phase_dfs(
+    spans: &[(u32, u32)],
+    edges: &[u32],
+    m: &mut Matching,
+    dist: &mut [u32],
+    dist_free: u32,
+    ws: &mut MatchingWorkspace,
+    edges_scanned: &mut u64,
+    root: u32,
+) -> bool {
+    let stack = &mut ws.stack;
+    stack.clear();
+    stack.push((root, 0));
+    while let Some(&mut (l, ref mut cursor)) = stack.last_mut() {
+        let (lo, hi) = spans[l as usize];
+        let adj = &edges[lo as usize..hi as usize];
+        if (*cursor as usize) >= adj.len() {
+            dist[l as usize] = UNREACHED; // nothing here this phase
+            stack.pop();
+            continue;
+        }
+        let r = adj[*cursor as usize];
+        *cursor += 1;
+        *edges_scanned += 1;
+        match m.right_mate(r) {
+            None => {
+                if dist[l as usize] + 1 == dist_free {
+                    // Flip, deepest first (as in `augment_from`).
+                    m.set(l, r);
+                    stack.pop();
+                    while let Some((pl, pc)) = stack.pop() {
+                        let plo = spans[pl as usize].0;
+                        let pr = edges[plo as usize + pc as usize - 1];
+                        m.set(pl, pr);
+                    }
+                    return true;
+                }
+            }
+            Some(l2) => {
+                if dist[l2 as usize] == dist[l as usize] + 1 {
+                    stack.push((l2, 0));
+                }
+            }
+        }
+    }
+    false
 }
 
 #[cfg(test)]

@@ -1,0 +1,176 @@
+//! Property-based parity of the batched Hopcroft–Karp-phase insertion
+//! ([`IncrementalMatching::add_left_batch`]) against the serial
+//! one-augment-per-vertex oracle ([`IncrementalMatching::add_left`]).
+//!
+//! The promise is **cardinality** parity after every batch, not structural
+//! equality: the two paths may pick different mate sets and even different
+//! left supports (the phase DFS prefers shortest paths, the serial engine
+//! prefers insertion order — both maximum), but the size — which is all the
+//! streaming optimum ever exposes — must agree exactly. Random streams are
+//! chopped into random batch sizes, both engines ingest the same lists, and
+//! parity is asserted after each batch plus against a fresh Hopcroft–Karp
+//! solve of the full prefix.
+
+use proptest::prelude::*;
+use reqsched_matching::{hopcroft_karp, BipartiteGraph, IncrementalMatching};
+
+/// Feed `lists` into both engines, the batched one in chunks given by
+/// `cuts`, asserting size parity after every chunk (against the serial
+/// engine and a fresh exact solve of the prefix graph).
+fn check_batch_parity(n_right: u32, lists: &[Vec<u32>], cuts: &[usize]) {
+    let mut serial = IncrementalMatching::new();
+    let mut batched = IncrementalMatching::new();
+    serial.ensure_right(n_right);
+    batched.ensure_right(n_right);
+    let mut done = 0usize;
+    let mut cut_idx = 0usize;
+    while done < lists.len() {
+        let take = if cut_idx < cuts.len() {
+            cuts[cut_idx].clamp(1, lists.len() - done)
+        } else {
+            lists.len() - done
+        };
+        cut_idx += 1;
+        let chunk = &lists[done..done + take];
+        let mut offsets: Vec<u32> = vec![0];
+        let mut neighbors: Vec<u32> = Vec::new();
+        for list in chunk {
+            serial.add_left(list);
+            neighbors.extend_from_slice(list);
+            offsets.push(neighbors.len() as u32);
+        }
+        let first = batched.add_left_batch(&offsets, &neighbors);
+        assert_eq!(first as usize, done, "batch insertion index");
+        done += take;
+        assert_eq!(
+            batched.size(),
+            serial.size(),
+            "batched vs serial after {done} of {} lists (cuts {cuts:?})",
+            lists.len()
+        );
+        let g = BipartiteGraph::from_adjacency(n_right.max(max_right(lists) + 1), &lists[..done]);
+        assert_eq!(
+            batched.size(),
+            hopcroft_karp(&g).size(),
+            "batched vs fresh solve after {done} lists"
+        );
+        // Both engines leave the same *number* free (supports may differ).
+        let free_of = |inc: &IncrementalMatching| {
+            (0..done as u32)
+                .filter(|&l| inc.matching().left_free(l))
+                .count()
+        };
+        assert_eq!(free_of(&batched), free_of(&serial));
+    }
+}
+
+fn max_right(lists: &[Vec<u32>]) -> u32 {
+    lists
+        .iter()
+        .flat_map(|l| l.iter().copied())
+        .max()
+        .unwrap_or(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random adjacency streams over a small right side (dense collisions)
+    /// chopped at random batch boundaries.
+    #[test]
+    fn batched_matches_serial_on_random_streams(
+        lists in proptest::collection::vec(
+            proptest::collection::vec(0u32..12, 0..=4),
+            1..40,
+        ),
+        cuts in proptest::collection::vec(1usize..8, 0..12),
+    ) {
+        check_batch_parity(12, &lists, &cuts);
+    }
+
+    /// Overload shape: many more vertices than right slots, so most batch
+    /// members are unmatchable — the exact regime the shared BFS proof of
+    /// unmatchability exists for.
+    #[test]
+    fn batched_matches_serial_under_overload(
+        lists in proptest::collection::vec(
+            proptest::collection::vec(0u32..4, 1..=2),
+            1..60,
+        ),
+        cut in 1usize..16,
+    ) {
+        check_batch_parity(4, &lists, &[cut, cut, cut, cut, cut]);
+    }
+}
+
+/// The whole stream as one giant batch equals the serial engine.
+#[test]
+fn one_giant_batch_matches_serial() {
+    let lists: Vec<Vec<u32>> = (0..200u32).map(|i| vec![i % 7, (i * 3) % 7]).collect();
+    check_batch_parity(7, &lists, &[usize::MAX]);
+}
+
+/// Chain graph whose only maximum matching needs a long augmenting path:
+/// the phase loop must keep iterating past the first (short-path) phase.
+#[test]
+fn batch_augments_through_long_chains() {
+    let n: u32 = 500;
+    let mut lists: Vec<Vec<u32>> = (0..n - 1).map(|i| vec![i, i + 1]).collect();
+    lists.push(vec![0]); // forces the full-length alternating chain
+    check_batch_parity(n, &lists, &[usize::MAX]);
+    check_batch_parity(n, &lists, &[7]);
+}
+
+/// Empty adjacency rows inside a batch are inserted (and stay free) without
+/// disturbing anything.
+#[test]
+fn batch_with_empty_rows() {
+    let lists: Vec<Vec<u32>> = vec![vec![0, 1], vec![], vec![1], vec![], vec![0]];
+    check_batch_parity(2, &lists, &[2, 1, 2]);
+}
+
+/// Pinned regression: duplicate right ids inside one adjacency list — the
+/// candidate search and the serial DFS must both skip the revisit rather
+/// than double-match.
+#[test]
+fn batch_with_duplicate_neighbors() {
+    let lists: Vec<Vec<u32>> = vec![vec![0, 0, 1], vec![0, 0], vec![1, 1, 0]];
+    check_batch_parity(2, &lists, &[3]);
+}
+
+/// Pinned regression: a batch whose offsets describe zero vertices is a
+/// no-op, and a singleton batch routes through the serial path.
+#[test]
+fn degenerate_batches() {
+    let mut inc = IncrementalMatching::new();
+    assert_eq!(inc.add_left_batch(&[0], &[]), 0);
+    assert_eq!(inc.n_left(), 0);
+    assert_eq!(inc.add_left_batch(&[0, 2], &[3, 4]), 0);
+    assert_eq!(inc.n_left(), 1);
+    assert_eq!(inc.size(), 1);
+    // Mixing batch and serial insertions keeps the invariant.
+    inc.add_left(&[3]);
+    assert_eq!(inc.size(), 2);
+    // Only rights 3 and 4 exist in this graph, so the new contenders
+    // cannot grow the matching past 2.
+    inc.add_left_batch(&[0, 1, 2], &[4, 3]);
+    assert_eq!(inc.n_left(), 4);
+    assert_eq!(inc.size(), 2);
+}
+
+/// Retirement after a batch behaves like the serial engine: free batch
+/// members can be retired and later insertions still augment correctly.
+#[test]
+fn batch_then_retire_then_insert() {
+    let mut inc = IncrementalMatching::new();
+    // Three vertices contending for one right slot: two stay free.
+    inc.add_left_batch(&[0, 1, 2, 3], &[0, 0, 0]);
+    assert_eq!(inc.size(), 1);
+    let free: Vec<u32> = (0..3).filter(|&l| inc.matching().left_free(l)).collect();
+    assert_eq!(free.len(), 2);
+    for l in free {
+        inc.retire_left(l);
+    }
+    inc.add_left_batch(&[0, 1], &[1]);
+    assert_eq!(inc.size(), 2);
+}

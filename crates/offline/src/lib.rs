@@ -20,8 +20,12 @@
 //!   search per arrival instead of one full solve per prefix.
 
 pub mod analysis;
+pub mod parallel;
 pub mod streaming;
 
+pub use parallel::{
+    prefix_optima_faulty, prefix_optima_sharded, prefix_optima_sharded_faulty, ShardedStreamingOpt,
+};
 pub use streaming::{prefix_optima, StreamingOpt};
 
 use reqsched_faults::FaultPlan;

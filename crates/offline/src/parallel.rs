@@ -1,0 +1,642 @@
+//! Sharded streaming optimum: `perf_OPT` of every prefix, decomposed by
+//! resource group and stepped in parallel.
+//!
+//! The horizon graph of an instance never has an edge between two resources:
+//! every connected component lives inside the resource set its requests
+//! name. Partition the catalog with a [`ShardMap`] and the graph falls apart
+//! into one independent subgraph per shard group, so the maximum matching —
+//! and therefore the streaming optimum of [`StreamingOpt`] — is the **sum of
+//! per-group optima**. [`ShardedStreamingOpt`] maintains one
+//! [`IncrementalMatching`] per group, batches each round's arrivals through
+//! the Hopcroft–Karp-style batch insertion
+//! ([`IncrementalMatching::add_left_batch`]), and steps the groups under
+//! Rayon.
+//!
+//! **Straddlers.** A request whose alternatives span two groups would put an
+//! edge across the decomposition, so the groups are *fused* first — the PR 7
+//! protocol of the sharded ALG engine, replayed on the OPT side: groups
+//! record their ingested arrivals while more than one group is alive; fusion
+//! merges the two histories in global request-id order and replays them into
+//! a fresh group over the merged resource set. Right vertices are numbered
+//! `round * k + rank` with `k` the group's catalog size and `rank` the
+//! resource's index within it, so replay is a pure translation of slot ids —
+//! cardinality is invariant (the fused optimum is asserted equal to the sum
+//! of the halves; see DESIGN.md "OPT shard fusion").
+//!
+//! **Parity.** After any prefix, [`ShardedStreamingOpt::opt`] equals
+//! [`StreamingOpt::opt`] exactly — including under a [`FaultPlan`], which is
+//! consulted by *global* resource id and round, unaffected by the local
+//! renumbering. `tests/parallel_opt_proptests.rs` pins this across theorem
+//! constructions, workload generators, random fault plans and shard counts.
+
+use crate::streaming::StreamingOpt;
+use crate::HORIZON_SOLVES;
+use rayon::prelude::*;
+use reqsched_core::ShardMap;
+use reqsched_faults::FaultPlan;
+use reqsched_matching::IncrementalMatching;
+use reqsched_model::{Instance, Request, Round};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// One resource group's share of the streaming optimum: an independent
+/// incremental matching over the slots of the resources it owns.
+#[derive(Debug)]
+struct OptGroup {
+    /// Global resource ids owned by this group, ascending. A resource's
+    /// `rank` (index in this vector) is its local column; local right
+    /// vertex = `round * len + rank`.
+    resources: Vec<u32>,
+    inc: IncrementalMatching,
+    /// Ingested arrivals in global id order, kept for fusion replay while
+    /// more than one group is alive.
+    history: Vec<Request>,
+    recording: bool,
+    /// The current round's routed arrivals, awaiting [`OptGroup::step`].
+    pending: Vec<Request>,
+    /// Scratch CSR buffers reused across rounds.
+    offsets: Vec<u32>,
+    adj: Vec<u32>,
+    alt_ranks: Vec<u32>,
+}
+
+/// Append the fault-masked adjacency of `req` onto `adj` in local slot ids.
+fn push_edges(
+    resources: &[u32],
+    alt_ranks: &mut Vec<u32>,
+    adj: &mut Vec<u32>,
+    req: &Request,
+    plan: Option<&FaultPlan>,
+) {
+    let k = resources.len() as u64;
+    let alts = req.alternatives.as_slice();
+    alt_ranks.clear();
+    for &res in alts {
+        let rank = resources
+            .binary_search(&res.0)
+            // lint: routing owns every alternative of this request; a miss is a routing bug, not input error
+            .expect("alternative not owned by its routed group");
+        alt_ranks.push(rank as u32);
+    }
+    for round in req.arrival.get()..=req.expiry().get() {
+        for (i, &res) in alts.iter().enumerate() {
+            if let Some(p) = plan {
+                if !p.slot_usable(res, Round(round)) {
+                    continue; // the slot doesn't exist for OPT either
+                }
+            }
+            adj.push((round * k) as u32 + alt_ranks[i]);
+        }
+    }
+}
+
+impl OptGroup {
+    fn new(resources: Vec<u32>, recording: bool) -> OptGroup {
+        debug_assert!(resources.windows(2).all(|w| w[0] < w[1]));
+        OptGroup {
+            resources,
+            inc: IncrementalMatching::new(),
+            history: Vec::new(),
+            recording,
+            pending: Vec::new(),
+            offsets: Vec::new(),
+            adj: Vec::new(),
+            alt_ranks: Vec::new(),
+        }
+    }
+
+    /// Ingest every pending arrival as one batch (Hopcroft–Karp phase when
+    /// the round brought more than one), then retire whatever stayed free —
+    /// the same unmatched-forever argument as the serial engine, batch-wide.
+    fn step(&mut self, plan: Option<&FaultPlan>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut pending = std::mem::take(&mut self.pending);
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.adj.clear();
+        for req in &pending {
+            push_edges(
+                &self.resources,
+                &mut self.alt_ranks,
+                &mut self.adj,
+                req,
+                plan,
+            );
+            self.offsets.push(self.adj.len() as u32);
+        }
+        let first = self.inc.add_left_batch(&self.offsets, &self.adj);
+        for l in first..self.inc.n_left() {
+            if self.inc.matching().left_free(l) {
+                self.inc.retire_left(l);
+            }
+        }
+        if self.recording {
+            self.history.append(&mut pending);
+        } else {
+            pending.clear();
+        }
+        // Hand the emptied buffer back so its capacity is reused.
+        self.pending = pending;
+    }
+
+    /// Fuse two resource-disjoint groups: merge catalogs, replay the merged
+    /// history (global id order, one batch per arrival round) into a fresh
+    /// matching over the translated slot ids. Cardinality is preserved
+    /// exactly — asserted, since max-matching size is additive over the
+    /// disjoint union. Arrivals already staged for the current round (a
+    /// straddler can land mid-batch) are carried over, merged in id order.
+    fn fuse(a: OptGroup, b: OptGroup, plan: Option<&FaultPlan>, recording: bool) -> OptGroup {
+        let before = a.inc.size() + b.inc.size();
+        let mut resources = Vec::with_capacity(a.resources.len() + b.resources.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.resources.len() || j < b.resources.len() {
+            let take_a = j >= b.resources.len()
+                || (i < a.resources.len() && a.resources[i] < b.resources[j]);
+            if take_a {
+                resources.push(a.resources[i]);
+                i += 1;
+            } else {
+                resources.push(b.resources[j]);
+                j += 1;
+            }
+        }
+        let mut fused = OptGroup::new(resources, recording);
+        let history = merge_by_id(a.history, b.history);
+        // Replay in arrival-round batches; arrivals are nondecreasing in id
+        // order, so equal-arrival runs are contiguous.
+        let mut k = 0;
+        while k < history.len() {
+            let round = history[k].arrival;
+            let mut end = k;
+            while end < history.len() && history[end].arrival == round {
+                end += 1;
+            }
+            fused.pending.extend(history[k..end].iter().cloned());
+            fused.step(plan);
+            k = end;
+        }
+        assert_eq!(
+            fused.inc.size(),
+            before,
+            "shard fusion must preserve the optimum (disjoint components are additive)"
+        );
+        fused.pending = merge_by_id(a.pending, b.pending);
+        if recording {
+            fused.history = history;
+        } else {
+            fused.history = Vec::new();
+        }
+        fused.recording = recording;
+        fused
+    }
+}
+
+/// Merge two request sequences sorted by ascending id into one.
+fn merge_by_id(a: Vec<Request>, b: Vec<Request>) -> Vec<Request> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut a = a.into_iter().peekable();
+    let mut b = b.into_iter().peekable();
+    loop {
+        let take_a = match (a.peek(), b.peek()) {
+            (Some(x), Some(y)) => x.id < y.id,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        if take_a {
+            out.extend(a.next());
+        } else {
+            out.extend(b.next());
+        }
+    }
+    out
+}
+
+/// Sharded, batch-augmenting drop-in for [`StreamingOpt`]: same optimum
+/// after every prefix, maintained as independent per-group matchings that a
+/// round's arrivals step in parallel.
+///
+/// ```
+/// use reqsched_core::ShardMap;
+/// use reqsched_model::{Instance, TraceBuilder};
+/// use reqsched_offline::{optimal_count, ShardedStreamingOpt};
+///
+/// let mut b = TraceBuilder::new(2);
+/// b.push(0u64, 0u32, 1u32);
+/// b.push(0u64, 2u32, 3u32);
+/// let inst = Instance::new(4, 2, b.build());
+///
+/// let map = ShardMap::range(4, 2);
+/// let mut sopt = ShardedStreamingOpt::new(4, &map);
+/// sopt.ingest_round(inst.trace.requests());
+/// assert_eq!(sopt.opt(), optimal_count(&inst));
+/// ```
+#[derive(Debug)]
+pub struct ShardedStreamingOpt {
+    n: u32,
+    map: ShardMap,
+    /// Shard index → current group slot (re-pointed by fusion).
+    group_of_shard: Vec<u32>,
+    groups: Vec<Option<OptGroup>>,
+    alive: u32,
+    plan: Option<Arc<FaultPlan>>,
+    frontier: Round,
+    ingested: usize,
+    straddlers: u64,
+    fusions: u64,
+}
+
+impl ShardedStreamingOpt {
+    /// A fresh engine over `map`'s resource groups, no requests yet.
+    pub fn new(n_resources: u32, map: &ShardMap) -> ShardedStreamingOpt {
+        assert!(n_resources > 0, "need at least one resource");
+        assert_eq!(map.n(), n_resources, "shard map resource count mismatch");
+        let s = map.shards();
+        let recording = s > 1;
+        let groups = (0..s)
+            .map(|i| Some(OptGroup::new(map.members(i), recording)))
+            .collect();
+        ShardedStreamingOpt {
+            n: n_resources,
+            map: map.clone(),
+            group_of_shard: (0..s).collect(),
+            groups,
+            alive: s,
+            plan: None,
+            frontier: Round(0),
+            ingested: 0,
+            straddlers: 0,
+            fusions: 0,
+        }
+    }
+
+    /// Install a fault plan (see [`StreamingOpt::set_fault_plan`]); the plan
+    /// is consulted by global resource id, so masking is identical to the
+    /// serial engine's. Must be called before the first ingest.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        assert_eq!(plan.n(), self.n, "fault plan resource count mismatch");
+        assert_eq!(
+            self.ingested, 0,
+            "fault plan must be installed before the first ingest"
+        );
+        self.plan = Some(plan);
+    }
+
+    /// Current optimum: the sum of per-group maximum matchings, equal to the
+    /// serial [`StreamingOpt::opt`] of the same prefix.
+    #[inline]
+    pub fn opt(&self) -> usize {
+        self.groups.iter().flatten().map(|g| g.inc.size()).sum()
+    }
+
+    /// Number of requests ingested so far.
+    #[inline]
+    pub fn ingested(&self) -> usize {
+        self.ingested
+    }
+
+    /// Arrival round of the latest ingested request.
+    #[inline]
+    pub fn frontier(&self) -> Round {
+        self.frontier
+    }
+
+    /// Groups still running independently (decreases once per fusion).
+    #[inline]
+    pub fn alive_groups(&self) -> u32 {
+        self.alive
+    }
+
+    /// Straddler requests routed so far.
+    #[inline]
+    pub fn straddlers(&self) -> u64 {
+        self.straddlers
+    }
+
+    /// Group fusions performed so far (at most `shards - 1` over a run).
+    #[inline]
+    pub fn fusions(&self) -> u64 {
+        self.fusions
+    }
+
+    /// Total matching edges scanned across all groups (cf.
+    /// [`StreamingOpt::edges_scanned`]).
+    pub fn edges_scanned(&self) -> u64 {
+        self.groups
+            .iter()
+            .flatten()
+            .map(|g| g.inc.edges_scanned())
+            .sum()
+    }
+
+    /// Route `req` to the group owning all its alternatives, fusing groups
+    /// when they straddle. Returns the group slot index.
+    fn route(&mut self, req: &Request) -> usize {
+        let alts = req.alternatives.as_slice();
+        let mut target = self.group_of_shard[self.map.shard_of(alts[0]) as usize] as usize;
+        let mut straddled = false;
+        for &alt in &alts[1..] {
+            let other = self.group_of_shard[self.map.shard_of(alt) as usize] as usize;
+            if other != target {
+                straddled = true;
+                target = self.fuse_groups(target, other);
+            }
+        }
+        if straddled {
+            self.straddlers += 1;
+        }
+        target
+    }
+
+    /// Fuse the groups in slots `a` and `b` into `min(a, b)`; re-point every
+    /// shard that mapped to the loser. Returns the surviving slot.
+    fn fuse_groups(&mut self, a: usize, b: usize) -> usize {
+        debug_assert_ne!(a, b);
+        let (lo, hi) = (a.min(b), a.max(b));
+        let ga = self.groups[lo]
+            .take()
+            // lint: group_of_shard only ever points at occupied slots
+            .expect("fusion target slot occupied");
+        let gb = self.groups[hi]
+            .take()
+            // lint: group_of_shard only ever points at occupied slots
+            .expect("fusion source slot occupied");
+        self.alive -= 1;
+        self.fusions += 1;
+        let recording = self.alive > 1;
+        let fused = OptGroup::fuse(ga, gb, self.plan.as_deref(), recording);
+        self.groups[lo] = Some(fused);
+        for s in self.group_of_shard.iter_mut() {
+            if *s == hi as u32 {
+                *s = lo as u32;
+            }
+        }
+        if !recording {
+            // Down to one live solver: no further fusion is possible, so no
+            // group needs to keep (or keep growing) a replay history.
+            for g in self.groups.iter_mut().flatten() {
+                g.recording = false;
+                g.history = Vec::new();
+            }
+        }
+        lo
+    }
+
+    fn note_arrival(&mut self, req: &Request) {
+        debug_assert!(
+            req.arrival >= self.frontier,
+            "arrivals must be nondecreasing: got {:?} after frontier {:?}",
+            req.arrival,
+            self.frontier
+        );
+        debug_assert_eq!(
+            req.id.index(),
+            self.ingested,
+            "requests must be ingested in id order"
+        );
+        self.frontier = req.arrival;
+        self.ingested += 1;
+    }
+
+    /// Feed a single arrival and return the updated optimum. Ordering
+    /// contract as in [`StreamingOpt::ingest`].
+    pub fn ingest(&mut self, req: &Request) -> usize {
+        self.note_arrival(req);
+        let g = self.route(req);
+        let plan = self.plan.clone();
+        let group = self.groups[g]
+            .as_mut()
+            // lint: route() returns an occupied slot by construction
+            .expect("routed group slot occupied");
+        group.pending.push(req.clone());
+        group.step(plan.as_deref());
+        self.opt()
+    }
+
+    /// Feed one round's arrivals (equal `arrival`, ascending ids) and return
+    /// the updated optimum. Routing and fusion run serially in id order —
+    /// the deterministic part — then every group with staged arrivals steps
+    /// its matching in parallel, each as one batched augmentation.
+    pub fn ingest_round(&mut self, reqs: &[Request]) -> usize {
+        for req in reqs {
+            self.note_arrival(req);
+            let g = self.route(req);
+            self.groups[g]
+                .as_mut()
+                // lint: route() returns an occupied slot by construction
+                .expect("routed group slot occupied")
+                .pending
+                .push(req.clone());
+        }
+        let plan = self.plan.clone();
+        let plan_ref = plan.as_deref();
+        // Index-preserving parallel step: order of the vector is the group
+        // identity, so map (not reduce) keeps determinism trivially.
+        let groups = std::mem::take(&mut self.groups);
+        self.groups = groups
+            .into_par_iter()
+            .map(|slot| {
+                slot.map(|mut g| {
+                    g.step(plan_ref);
+                    g
+                })
+            })
+            .collect();
+        self.opt()
+    }
+}
+
+fn prefix_optima_sharded_impl(
+    inst: &Instance,
+    map: &ShardMap,
+    plan: Option<Arc<FaultPlan>>,
+) -> Vec<u32> {
+    HORIZON_SOLVES.fetch_add(1, Ordering::Relaxed);
+    let horizon = inst.trace.service_horizon().get();
+    let mut sopt = ShardedStreamingOpt::new(inst.n_resources, map);
+    if let Some(plan) = plan {
+        sopt.set_fault_plan(plan);
+    }
+    let reqs = inst.trace.requests();
+    let mut out = Vec::with_capacity(horizon as usize + 1);
+    let mut opt = 0usize;
+    let mut i = 0;
+    while i < reqs.len() {
+        let arrival = reqs[i].arrival;
+        while (out.len() as u64) < arrival.get() {
+            out.push(opt as u32); // rounds with no arrivals keep the optimum
+        }
+        let mut j = i;
+        while j < reqs.len() && reqs[j].arrival == arrival {
+            j += 1;
+        }
+        opt = sopt.ingest_round(&reqs[i..j]);
+        i = j;
+    }
+    while (out.len() as u64) <= horizon {
+        out.push(opt as u32);
+    }
+    out
+}
+
+/// Sharded, round-batched [`prefix_optima`](crate::prefix_optima):
+/// bit-identical output, one batched parallel step per round instead of one
+/// augmenting search per arrival. Counts as a single horizon solve.
+pub fn prefix_optima_sharded(inst: &Instance, map: &ShardMap) -> Vec<u32> {
+    prefix_optima_sharded_impl(inst, map, None)
+}
+
+/// [`prefix_optima_sharded`] on a faulty substrate: masked slots never enter
+/// any group's feasibility graph, exactly as in
+/// [`StreamingOpt::set_fault_plan`].
+pub fn prefix_optima_sharded_faulty(
+    inst: &Instance,
+    map: &ShardMap,
+    plan: Arc<FaultPlan>,
+) -> Vec<u32> {
+    prefix_optima_sharded_impl(inst, map, Some(plan))
+}
+
+/// Serial reference for the faulty prefix curve (the plan-aware counterpart
+/// of [`prefix_optima`](crate::prefix_optima)), used by parity tests and the
+/// paired runners' baseline path.
+pub fn prefix_optima_faulty(inst: &Instance, plan: Arc<FaultPlan>) -> Vec<u32> {
+    HORIZON_SOLVES.fetch_add(1, Ordering::Relaxed);
+    let horizon = inst.trace.service_horizon().get();
+    let mut sopt = StreamingOpt::new(inst.n_resources);
+    sopt.set_fault_plan(plan);
+    let mut out = Vec::with_capacity(horizon as usize + 1);
+    let mut opt = 0usize;
+    for req in inst.trace.requests() {
+        while (out.len() as u64) < req.arrival.get() {
+            out.push(opt as u32);
+        }
+        opt = sopt.ingest(req);
+    }
+    while (out.len() as u64) <= horizon {
+        out.push(opt as u32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{optimal_count, optimal_count_faulty, prefix_optima};
+    use reqsched_model::{ResourceId, Trace, TraceBuilder};
+
+    /// A mixed trace over 8 resources: disjoint pairs, reuse, quiet rounds.
+    fn mixed_instance() -> Instance {
+        let mut b = TraceBuilder::new(3);
+        b.push(0u64, 0u32, 1u32);
+        b.push(0u64, 2u32, 3u32);
+        b.push(0u64, 0u32, 1u32);
+        b.push(1u64, 4u32, 5u32);
+        b.push(1u64, 0u32, 1u32);
+        b.push(3u64, 6u32, 7u32);
+        b.push(3u64, 2u32, 3u32);
+        b.push(3u64, 2u32, 3u32);
+        b.push(6u64, 0u32, 1u32);
+        Instance::new(8, 3, b.build())
+    }
+
+    #[test]
+    fn sharded_matches_serial_prefix_optima() {
+        let inst = mixed_instance();
+        let serial = prefix_optima(&inst);
+        for s in [1u32, 2, 4, 8] {
+            for map in [ShardMap::range(8, s), ShardMap::hash(8, s)] {
+                assert_eq!(
+                    prefix_optima_sharded(&inst, &map),
+                    serial,
+                    "shards={s} partitioner differs from serial"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn straddlers_fuse_and_preserve_the_optimum() {
+        // Pairs (i, i+4) straddle every boundary of range(8, 4): all four
+        // groups collapse into one, and parity must survive each fusion.
+        let mut b = TraceBuilder::new(2);
+        for t in 0..4u64 {
+            for i in 0..4u32 {
+                b.push(t, i, i + 4);
+            }
+        }
+        let inst = Instance::new(8, 2, b.build());
+        let map = ShardMap::range(8, 4);
+        let mut sopt = ShardedStreamingOpt::new(8, &map);
+        let mut serial = StreamingOpt::new(8);
+        let reqs = inst.trace.requests();
+        let mut i = 0;
+        while i < reqs.len() {
+            let mut j = i;
+            while j < reqs.len() && reqs[j].arrival == reqs[i].arrival {
+                j += 1;
+            }
+            let got = sopt.ingest_round(&reqs[i..j]);
+            let mut want = 0;
+            for req in &reqs[i..j] {
+                want = serial.ingest(req);
+            }
+            assert_eq!(got, want, "divergence at round {:?}", reqs[i].arrival);
+            i = j;
+        }
+        // Pairs (i, i + 4) weld {0,1}∪{4,5} and {2,3}∪{6,7}: two fusions,
+        // two surviving super-groups.
+        assert_eq!(sopt.fusions(), 2);
+        assert!(sopt.straddlers() > 0);
+        assert_eq!(sopt.alive_groups(), 2);
+        assert_eq!(sopt.opt(), optimal_count(&inst));
+    }
+
+    #[test]
+    fn single_ingest_path_matches_round_path() {
+        let inst = mixed_instance();
+        let map = ShardMap::range(8, 4);
+        let mut one = ShardedStreamingOpt::new(8, &map);
+        for req in inst.trace.requests() {
+            one.ingest(req);
+        }
+        assert_eq!(one.opt(), optimal_count(&inst));
+        assert_eq!(one.ingested(), inst.trace.len());
+    }
+
+    #[test]
+    fn faulty_sharded_matches_faulty_serial() {
+        let inst = mixed_instance();
+        let plan = Arc::new(
+            FaultPlan::empty(8)
+                .with_crash(ResourceId(1), Round(0), Round(4))
+                .with_crash(ResourceId(6), Round(2), Round(9))
+                .with_stall(ResourceId(2), Round(3)),
+        );
+        let serial = prefix_optima_faulty(&inst, plan.clone());
+        for s in [1u32, 2, 4] {
+            let map = ShardMap::range(8, s);
+            assert_eq!(
+                prefix_optima_sharded_faulty(&inst, &map, plan.clone()),
+                serial,
+                "faulty parity at shards={s}"
+            );
+        }
+        assert_eq!(
+            *serial.last().unwrap() as usize,
+            optimal_count_faulty(&inst, &plan)
+        );
+    }
+
+    #[test]
+    fn empty_instance_and_empty_rounds() {
+        let inst = Instance::new(4, 2, Trace::empty());
+        let map = ShardMap::range(4, 2);
+        assert_eq!(prefix_optima_sharded(&inst, &map), vec![0]);
+        let mut sopt = ShardedStreamingOpt::new(4, &map);
+        assert_eq!(sopt.ingest_round(&[]), 0);
+        assert_eq!(sopt.opt(), 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Sharded-OPT parity gates: [`prefix_optima_sharded`] must be
+//! **bit-identical** to the serial [`prefix_optima`] — every entry of the
+//! per-round prefix-optimum curve, not just the final value — across shard
+//! counts, partitioners, theorem constructions, workload generators and
+//! random fault plans.
+//!
+//! The families mirror `crates/sim/tests/shard_parity_proptests.rs` (PR 7's
+//! ALG-side gates):
+//!
+//! 1. **Theorem scenarios** — thm2.1–2.5 constructions plus thm2.6's
+//!    adaptive trace captured against a probe strategy and replayed.
+//! 2. **Every workload generator**, including the cluster-structured ones
+//!    whose straddlers force group fusion mid-run.
+//! 3. **Random fault plans** — the sharded engine masks slots by *global*
+//!    resource id, so the faulty curve must equal the serial faulty curve.
+//! 4. **Thread-count independence** — the serial engine is the one-thread
+//!    witness; repeated sharded runs must also agree with each other
+//!    byte-for-byte. (The dev containers vendor a sequential Rayon stub,
+//!    where this trivially holds; under real Rayon the same assertions
+//!    exercise the pool.)
+//! 5. **Pinned regressions** as plain `#[test]`s (the vendored proptest
+//!    stub generates but does not shrink or persist).
+
+use proptest::prelude::*;
+use reqsched_adversary::{thm21, thm22, thm23, thm24, thm25, thm26};
+use reqsched_core::ShardMap;
+use reqsched_faults::{ChaosConfig, FaultPlan};
+use reqsched_model::{Alternatives, Hint, Instance, ResourceId, Round, TraceBuilder};
+use reqsched_offline::{
+    prefix_optima, prefix_optima_faulty, prefix_optima_sharded, prefix_optima_sharded_faulty,
+    ShardedStreamingOpt, StreamingOpt,
+};
+use reqsched_workloads as workloads;
+use std::sync::Arc;
+
+fn maps_for(inst: &Instance) -> Vec<ShardMap> {
+    let n = inst.n_resources;
+    let mut maps = vec![
+        ShardMap::range(n, 1), // degenerate: sharded engine, serial layout
+        ShardMap::hash(n, 2),
+        ShardMap::range(n, 3),
+    ];
+    if n >= 4 {
+        maps.push(ShardMap::pair_affinity(n, 4, &inst.trace));
+    }
+    maps
+}
+
+/// Sharded == serial prefix curve over every partition of `inst`.
+fn assert_opt_parity(inst: &Instance, label: &str) {
+    let serial = prefix_optima(inst);
+    for map in maps_for(inst) {
+        let sharded = prefix_optima_sharded(inst, &map);
+        assert_eq!(
+            sharded,
+            serial,
+            "{label}: S={} {:?}: sharded prefix_optima diverges",
+            map.shards(),
+            map
+        );
+    }
+}
+
+/// Faulty twin of [`assert_opt_parity`].
+fn assert_faulty_opt_parity(inst: &Instance, plan: &Arc<FaultPlan>, label: &str) {
+    let serial = prefix_optima_faulty(inst, plan.clone());
+    for map in maps_for(inst) {
+        let sharded = prefix_optima_sharded_faulty(inst, &map, plan.clone());
+        assert_eq!(
+            sharded,
+            serial,
+            "{label}: S={}: sharded faulty prefix_optima diverges",
+            map.shards()
+        );
+    }
+}
+
+/// Every theorem-2 adversarial construction, including 2.6's adaptive trace
+/// captured against a probe strategy and replayed as a fixed instance.
+#[test]
+fn sharded_opt_parity_on_theorem_scenarios() {
+    let scenarios = [
+        thm21::scenario(4, 4),
+        thm22::scenario(3, 2, 3),
+        thm23::scenario(4, 4),
+        thm24::scenario(6, 4),
+        thm25::scenario(2, 3, 3),
+    ];
+    for sc in scenarios {
+        assert_opt_parity(&sc.instance, &sc.name);
+    }
+
+    let d = 6;
+    let mut adv = thm26::Thm26Adversary::new(d, 3);
+    let mut probe = reqsched_sim::AnyStrategy::Global(
+        reqsched_core::StrategyKind::ABalance,
+        reqsched_core::TieBreak::FirstFit,
+    )
+    .build(thm26::N_RESOURCES, d);
+    let (_, trace) =
+        reqsched_sim::run_source_traced(probe.as_mut(), &mut adv, thm26::N_RESOURCES, d);
+    let inst = Instance::new(thm26::N_RESOURCES, d, trace);
+    assert_opt_parity(&inst, "thm2.6 (captured adaptive trace)");
+}
+
+/// Every workload generator.
+#[test]
+fn sharded_opt_parity_on_every_workload_generator() {
+    let insts = [
+        ("uniform", workloads::uniform_two_choice(6, 4, 5, 40, 81)),
+        ("zipf", workloads::zipf_replicated(6, 3, 30, 1.3, 8, 40, 82)),
+        ("flash", workloads::flash_crowd(6, 4, 3, 12, 10, 8, 40, 83)),
+        ("c_choice", workloads::c_choice(7, 3, 3, 6, 40, 84)),
+        ("mixed", workloads::mixed_deadlines(5, 5, 4, 40, 85)),
+        ("single", workloads::single_alternative(4, 3, 5, 40, 86)),
+        (
+            "clustered",
+            workloads::clustered_two_choice(8, 3, 4, 6, 40, 87),
+        ),
+        ("rotating", workloads::rotating_flash(8, 3, 4, 5, 4, 40, 88)),
+    ];
+    for (label, inst) in &insts {
+        assert_opt_parity(inst, label);
+    }
+}
+
+/// The serial engine is literally the one-thread run, so parity above is
+/// the "1 vs. many" witness; on top, repeated sharded runs must agree with
+/// each other byte-for-byte regardless of Rayon's scheduling, and the
+/// single-ingest path must match the round-batched one.
+#[test]
+fn sharded_opt_is_thread_count_independent() {
+    let inst = workloads::clustered_two_choice(8, 4, 4, 6, 35, 89);
+    let map = ShardMap::pair_affinity(8, 4, &inst.trace);
+    let first = prefix_optima_sharded(&inst, &map);
+    assert_eq!(first, prefix_optima(&inst));
+    for _ in 0..3 {
+        assert_eq!(
+            first,
+            prefix_optima_sharded(&inst, &map),
+            "repeated sharded runs diverged"
+        );
+    }
+    let mut one_by_one = ShardedStreamingOpt::new(8, &map);
+    let mut serial = StreamingOpt::new(8);
+    for req in inst.trace.requests() {
+        assert_eq!(one_by_one.ingest(req), serial.ingest(req), "{:?}", req.id);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sharded == serial on random uniform traces across shard counts and
+    /// partitioners.
+    #[test]
+    fn sharded_opt_parity_on_random_traces(
+        n in 2u32..8,
+        d in 1u32..6,
+        per_round in 1u32..6,
+        seed in 0u64..u64::MAX,
+        shards in 2u32..6,
+    ) {
+        let inst = workloads::uniform_two_choice(n, d, per_round, 25, seed);
+        let map = match seed % 3 {
+            0 => ShardMap::hash(n, shards),
+            1 => ShardMap::range(n, shards),
+            _ => ShardMap::pair_affinity(n, shards, &inst.trace),
+        };
+        prop_assert_eq!(
+            prefix_optima_sharded(&inst, &map),
+            prefix_optima(&inst),
+            "n={} d={} S={}: sharded prefix_optima diverges", n, d, shards
+        );
+    }
+
+    /// Sharded == serial under random crash/stall plans, over generators
+    /// with cluster structure (straddlers and fusions happen) and without.
+    #[test]
+    fn sharded_opt_parity_under_random_fault_plans(
+        n in 4u32..8,
+        d in 2u32..5,
+        per_round in 1u32..5,
+        seed in 0u64..u64::MAX,
+        crash_permille in 0u32..250,
+    ) {
+        let insts = [
+            workloads::uniform_two_choice(n, d, per_round, 25, seed),
+            workloads::clustered_two_choice(n, d, 2, per_round, 25, seed),
+            workloads::rotating_flash(n, d, 2, 4, per_round, 25, seed),
+        ];
+        let cfg = ChaosConfig {
+            crash_prob: f64::from(crash_permille) / 1000.0,
+            mttr: 3.0,
+            stall_prob: 0.1,
+            ..ChaosConfig::CALM
+        };
+        for inst in &insts {
+            let plan = Arc::new(FaultPlan::random(inst.n_resources, 30, &cfg, seed ^ 0x0957));
+            assert_faulty_opt_parity(inst, &plan, "random faulty trace");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pinned regressions (deterministic; the stub proptest does not shrink or
+// persist, so corner cases are pinned in code).
+// ---------------------------------------------------------------------------
+
+/// Mid-batch fusion: non-straddlers of a round are already staged in their
+/// groups' pending buffers when a later straddler of the *same round* fuses
+/// those groups — the fused group must carry both staged sets over, merged
+/// in id order. (Caught by the initial test run: fusion used to assert the
+/// pending buffers were empty.)
+#[test]
+fn pinned_mid_batch_fusion_carries_staged_arrivals() {
+    let mut b = TraceBuilder::new(2);
+    b.push(0u64, 0u32, 1u32); // stages into group {0,1}
+    b.push(0u64, 2u32, 3u32); // stages into group {2,3}
+    b.push(0u64, 1u32, 2u32); // same-round straddler: fuses with both staged
+    b.push(1u64, 0u32, 3u32);
+    let inst = Instance::new(4, 2, b.build());
+    let map = ShardMap::range(4, 2);
+    let mut sopt = ShardedStreamingOpt::new(4, &map);
+    let reqs = inst.trace.requests();
+    assert_eq!(sopt.ingest_round(&reqs[..3]), 3);
+    assert_eq!(sopt.fusions(), 1);
+    assert_eq!(sopt.ingest_round(&reqs[3..]), 4);
+    assert_opt_parity(&inst, "pinned mid-batch fusion");
+}
+
+/// A single 3-alternative request spanning three groups triggers two
+/// fusions while routing one arrival.
+#[test]
+fn pinned_triple_fusion_from_one_request() {
+    let mut b = TraceBuilder::new(3);
+    b.push(0u64, 0u32, 1u32);
+    b.push(0u64, 2u32, 3u32);
+    b.push(1u64, 4u32, 5u32);
+    b.push_full(
+        Round(2),
+        Alternatives::new(&[ResourceId(0), ResourceId(2), ResourceId(4)]),
+        3,
+        0,
+        Hint::default(),
+    );
+    b.push(3u64, 1u32, 5u32);
+    let inst = Instance::new(6, 3, b.build());
+    let map = ShardMap::range(6, 3);
+    let mut sopt = ShardedStreamingOpt::new(6, &map);
+    for req in inst.trace.requests() {
+        sopt.ingest(req);
+    }
+    assert_eq!(sopt.straddlers(), 1);
+    assert_eq!(sopt.fusions(), 2);
+    assert_eq!(sopt.alive_groups(), 1);
+    assert_opt_parity(&inst, "pinned triple fusion");
+}
+
+/// Fusion after an idle gap on one side, with a fault plan crashing part of
+/// the other: replay must rebuild both histories under the same global
+/// masking.
+#[test]
+fn pinned_faulty_fusion_across_idle_gap() {
+    let mut b = TraceBuilder::new(2);
+    b.push(0u64, 0u32, 1u32); // faulted side
+    b.push(0u64, 2u32, 3u32); // clean side, then idle rounds
+    b.push(6u64, 1u32, 2u32); // straddler after the gap
+    b.push(7u64, 0u32, 3u32);
+    let inst = Instance::new(4, 2, b.build());
+    let plan = Arc::new(FaultPlan::empty(4).with_crash(ResourceId(0), Round(0), Round(3)));
+    assert_faulty_opt_parity(&inst, &plan, "pinned faulted+idle fusion");
+}
+
+/// Overload with duplicate demand: retirement after batch phases (free
+/// batch members pruned) must not disturb later prefixes.
+#[test]
+fn pinned_overload_retirement_keeps_later_prefixes_exact() {
+    let mut b = TraceBuilder::new(1);
+    for _ in 0..4 {
+        b.push(0u64, 0u32, 1u32); // only 2 of 4 servable in round 0
+    }
+    b.push(1u64, 0u32, 1u32);
+    b.push(1u64, 2u32, 3u32);
+    for _ in 0..3 {
+        b.push(2u64, 2u32, 3u32);
+    }
+    let inst = Instance::new(4, 1, b.build());
+    assert_opt_parity(&inst, "pinned overload retirement");
+}

@@ -1,13 +1,35 @@
 //! Round-driving engine with full feasibility validation.
 
-use reqsched_core::OnlineScheduler;
+use reqsched_core::{OnlineScheduler, ShardMap};
 use reqsched_faults::FaultPlan;
 use reqsched_model::{
     Instance, Request, RequestId, RequestSource, Round, StateView, Trace, TraceBuilder, TraceSource,
 };
+use reqsched_offline::ShardedStreamingOpt;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::Arc;
+
+/// Bound of the ALG→OPT round channel in the pipelined paired runners: the
+/// ALG thread may run up to this many rounds ahead of the OPT worker before
+/// blocking, trading a little memory (buffered arrival batches) for
+/// decoupling the two pipelines' per-round jitter.
+const OPT_PIPE_DEPTH: usize = 64;
+
+/// Where a run's streaming optimum is maintained.
+enum OptSink<'a> {
+    /// No optimum during the run (the caller fills [`RunStats::opt`] later).
+    Untraced,
+    /// In-thread serial [`reqsched_offline::StreamingOpt`] — the traced
+    /// engine of PR 2; `opt`/`opt_prefix` filled inline.
+    Serial,
+    /// Decoupled: each round's arrivals (empty rounds included, one message
+    /// per round) are shipped over this bounded channel to a parallel OPT
+    /// worker; the paired runner stitches `opt`/`opt_prefix` back in after
+    /// joining it.
+    Pipe(&'a SyncSender<Vec<Request>>),
+}
 
 /// Result of one simulated run.
 #[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
@@ -137,7 +159,7 @@ pub fn run_source(
     n: u32,
     d: u32,
 ) -> (RunStats, Trace) {
-    run_source_impl(strategy, source, n, d, false, None)
+    run_source_impl(strategy, source, n, d, OptSink::Untraced, None)
 }
 
 /// Like [`run_source`], but under a [`FaultPlan`]: the plan is installed on
@@ -155,7 +177,7 @@ pub fn run_source_faulty(
     d: u32,
     plan: &Arc<FaultPlan>,
 ) -> (RunStats, Trace) {
-    run_source_impl(strategy, source, n, d, false, Some(plan))
+    run_source_impl(strategy, source, n, d, OptSink::Untraced, Some(plan))
 }
 
 /// [`run_source_faulty`] with the traced (streaming-optimum) engine: the
@@ -168,7 +190,7 @@ pub fn run_source_faulty_traced(
     d: u32,
     plan: &Arc<FaultPlan>,
 ) -> (RunStats, Trace) {
-    run_source_impl(strategy, source, n, d, true, Some(plan))
+    run_source_impl(strategy, source, n, d, OptSink::Serial, Some(plan))
 }
 
 /// Like [`run_source`], but additionally maintain the offline optimum of the
@@ -183,7 +205,77 @@ pub fn run_source_traced(
     n: u32,
     d: u32,
 ) -> (RunStats, Trace) {
-    run_source_impl(strategy, source, n, d, true, None)
+    run_source_impl(strategy, source, n, d, OptSink::Serial, None)
+}
+
+/// [`run_source_traced`] with the optimum computed **off the ALG thread**:
+/// arrivals are piped round-by-round to a [`ShardedStreamingOpt`] worker
+/// over `map`, so the strategy never waits for an augmenting search except
+/// at the bounded channel. `opt`, `opt_prefix` and [`RunStats::live_ratios`]
+/// are bit-identical to the serial traced run.
+pub fn run_source_traced_parallel(
+    strategy: &mut dyn OnlineScheduler,
+    source: &mut dyn RequestSource,
+    n: u32,
+    d: u32,
+    map: &ShardMap,
+) -> (RunStats, Trace) {
+    run_source_parallel_impl(strategy, source, n, d, map, None)
+}
+
+/// [`run_source_faulty_traced`] with the pipelined parallel optimum: the
+/// plan masks the same slots out of every OPT group (by global resource id)
+/// that it masks out of the strategy.
+pub fn run_source_faulty_traced_parallel(
+    strategy: &mut dyn OnlineScheduler,
+    source: &mut dyn RequestSource,
+    n: u32,
+    d: u32,
+    map: &ShardMap,
+    plan: &Arc<FaultPlan>,
+) -> (RunStats, Trace) {
+    run_source_parallel_impl(strategy, source, n, d, map, Some(plan))
+}
+
+fn run_source_parallel_impl(
+    strategy: &mut dyn OnlineScheduler,
+    source: &mut dyn RequestSource,
+    n: u32,
+    d: u32,
+    map: &ShardMap,
+    plan: Option<&Arc<FaultPlan>>,
+) -> (RunStats, Trace) {
+    let (tx, rx) = sync_channel::<Vec<Request>>(OPT_PIPE_DEPTH);
+    let worker_plan = plan.map(Arc::clone);
+    std::thread::scope(|scope| {
+        let worker = scope.spawn(move || {
+            let mut sopt = ShardedStreamingOpt::new(n, map);
+            if let Some(p) = worker_plan {
+                sopt.set_fault_plan(p); // OPT sees the same faults as ALG
+            }
+            let mut prefix: Vec<u32> = Vec::new();
+            while let Ok(batch) = rx.recv() {
+                prefix.push(sopt.ingest_round(&batch) as u32);
+            }
+            prefix
+        });
+        let (mut stats, trace) = run_source_impl(strategy, source, n, d, OptSink::Pipe(&tx), plan);
+        drop(tx); // close the round channel so the worker drains and returns
+        let prefix = match worker.join() {
+            Ok(prefix) => prefix,
+            // Re-raise the worker's own panic (e.g. a fusion parity assert)
+            // instead of wrapping it in a second, less informative one.
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        assert_eq!(
+            prefix.len() as u64,
+            stats.rounds,
+            "one optimum sample per simulated round"
+        );
+        stats.opt = prefix.last().map_or(0, |&o| o as usize);
+        stats.opt_prefix = prefix;
+        (stats, trace)
+    })
 }
 
 fn run_source_impl(
@@ -191,10 +283,10 @@ fn run_source_impl(
     source: &mut dyn RequestSource,
     n: u32,
     d: u32,
-    traced: bool,
+    sink: OptSink<'_>,
     plan: Option<&Arc<FaultPlan>>,
 ) -> (RunStats, Trace) {
-    let mut streaming = traced.then(|| {
+    let mut streaming = matches!(sink, OptSink::Serial).then(|| {
         let mut s = reqsched_offline::StreamingOpt::new(n);
         if let Some(p) = plan {
             s.set_fault_plan(Arc::clone(p)); // OPT sees the same faults as ALG
@@ -274,6 +366,14 @@ fn run_source_impl(
         }
 
         let services = strategy.on_round(round, &arrivals);
+
+        if let OptSink::Pipe(tx) = &sink {
+            // One message per round, empty rounds included, so the worker's
+            // prefix indexes line up with per_round_served. A hung-up
+            // receiver means the worker panicked; the paired runner's join
+            // rethrows the original panic, so the error is ignored here.
+            let _ = tx.send(arrivals);
+        }
 
         for s in &services {
             assert!(s.resource.0 < n, "unknown resource {:?}", s.resource);
@@ -408,6 +508,72 @@ pub fn run_fixed_faulty_traced(
         run_source_faulty_traced(strategy, &mut source, inst.n_resources, inst.d, plan);
     debug_assert_eq!(trace.len(), inst.trace.len());
     stats
+}
+
+/// [`run_fixed_traced`] with the pipelined parallel optimum (see
+/// [`run_source_traced_parallel`]): works for **any** strategy — the OPT
+/// side is strategy-independent — and returns bit-identical stats.
+pub fn run_fixed_traced_parallel(
+    strategy: &mut dyn OnlineScheduler,
+    inst: &Instance,
+    map: &ShardMap,
+) -> RunStats {
+    let mut source = TraceSource::borrowed(&inst.trace);
+    let (stats, trace) =
+        run_source_traced_parallel(strategy, &mut source, inst.n_resources, inst.d, map);
+    debug_assert_eq!(trace.len(), inst.trace.len());
+    stats
+}
+
+/// [`run_fixed_faulty_traced`] with the pipelined parallel optimum.
+pub fn run_fixed_faulty_traced_parallel(
+    strategy: &mut dyn OnlineScheduler,
+    inst: &Instance,
+    map: &ShardMap,
+    plan: &Arc<FaultPlan>,
+) -> RunStats {
+    let mut source = TraceSource::borrowed(&inst.trace);
+    let (stats, trace) = run_source_faulty_traced_parallel(
+        strategy,
+        &mut source,
+        inst.n_resources,
+        inst.d,
+        map,
+        plan,
+    );
+    debug_assert_eq!(trace.len(), inst.trace.len());
+    stats
+}
+
+/// The fully parallel paired run: the **sharded ALG engine**
+/// ([`crate::ShardedScheduler`]) on the driving thread and the **sharded
+/// streaming OPT** on a pipelined worker, both decomposed over the same
+/// `map`. This is the ALG∥OPT configuration the BENCH_PR8 gate measures
+/// against [`run_fixed_traced`] of the plain strategy; `opt`, `opt_prefix`
+/// and every service are bit-identical to that serial baseline.
+pub fn run_fixed_pair_parallel(
+    kind: reqsched_core::StrategyKind,
+    inst: &Instance,
+    tie: reqsched_core::TieBreak,
+    mode: reqsched_core::SolveMode,
+    map: ShardMap,
+) -> RunStats {
+    let mut s = crate::ShardedScheduler::new(kind, inst.d, tie, mode, map.clone());
+    run_fixed_traced_parallel(&mut s, inst, &map)
+}
+
+/// [`run_fixed_pair_parallel`] under a fault plan: the plan is installed on
+/// the sharded strategy and the sharded optimum alike.
+pub fn run_fixed_pair_parallel_faulty(
+    kind: reqsched_core::StrategyKind,
+    inst: &Instance,
+    tie: reqsched_core::TieBreak,
+    mode: reqsched_core::SolveMode,
+    map: ShardMap,
+    plan: &Arc<FaultPlan>,
+) -> RunStats {
+    let mut s = crate::ShardedScheduler::new(kind, inst.d, tie, mode, map.clone());
+    run_fixed_faulty_traced_parallel(&mut s, inst, &map, plan)
 }
 
 /// The fault-plan twin of [`run_fixed_without_opt`].
@@ -656,6 +822,75 @@ mod tests {
         let plain = run_fixed(s2.as_mut(), &inst);
         assert!(plain.opt_prefix.is_empty());
         assert!(plain.live_ratios().is_empty());
+    }
+
+    #[test]
+    fn parallel_traced_run_is_bit_identical_to_serial() {
+        let d = 3;
+        let mut b = TraceBuilder::new(d);
+        b.block2(0u64, 0u32, 1u32, 0);
+        b.push(1u64, 1u32, 2u32);
+        b.push(4u64, 0u32, 2u32);
+        b.push(4u64, 3u32, 4u32);
+        let inst = Instance::new(5, d, b.build());
+        for shards in [1u32, 2, 4] {
+            let map = ShardMap::range(5, shards);
+            for kind in StrategyKind::GLOBAL {
+                let mut s = build_strategy(kind, 5, d, TieBreak::FirstFit);
+                let serial = run_fixed_traced(s.as_mut(), &inst);
+                let mut s2 = build_strategy(kind, 5, d, TieBreak::FirstFit);
+                let parallel = run_fixed_traced_parallel(s2.as_mut(), &inst, &map);
+                assert_eq!(serial, parallel, "{} shards={shards}", serial.strategy);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_faulty_traced_run_is_bit_identical_to_serial() {
+        use reqsched_model::ResourceId;
+        let d = 3;
+        let mut b = TraceBuilder::new(d);
+        b.block2(0u64, 0u32, 1u32, 0);
+        b.push(1u64, 2u32, 3u32);
+        b.push(2u64, 0u32, 2u32);
+        let inst = Instance::new(4, d, b.build());
+        let plan = Arc::new(
+            FaultPlan::empty(4)
+                .with_crash(ResourceId(1), Round(0), Round(3))
+                .with_stall(ResourceId(2), Round(2)),
+        );
+        let map = ShardMap::range(4, 2);
+        let mut s = build_strategy(StrategyKind::ABalance, 4, d, TieBreak::FirstFit);
+        let serial = run_fixed_faulty_traced(s.as_mut(), &inst, &plan);
+        let mut s2 = build_strategy(StrategyKind::ABalance, 4, d, TieBreak::FirstFit);
+        let parallel = run_fixed_faulty_traced_parallel(s2.as_mut(), &inst, &map, &plan);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn paired_parallel_run_matches_plain_serial_baseline() {
+        use reqsched_core::{build_strategy_with_mode, SolveMode};
+        let d = 3;
+        let mut b = TraceBuilder::new(d);
+        b.block2(0u64, 0u32, 1u32, 0);
+        b.push(1u64, 2u32, 3u32);
+        b.push(2u64, 4u32, 5u32);
+        b.push(2u64, 0u32, 1u32);
+        let inst = Instance::new(6, d, b.build());
+        let map = ShardMap::range(6, 3);
+        for kind in [StrategyKind::ABalance, StrategyKind::AFixBalance] {
+            let paired = run_fixed_pair_parallel(
+                kind,
+                &inst,
+                TieBreak::FirstFit,
+                SolveMode::Delta,
+                map.clone(),
+            );
+            let mut plain =
+                build_strategy_with_mode(kind, 6, d, TieBreak::FirstFit, SolveMode::Delta);
+            let baseline = run_fixed_traced(plain.as_mut(), &inst);
+            assert_eq!(paired, baseline, "{}", baseline.strategy);
+        }
     }
 
     #[test]

@@ -18,9 +18,11 @@ mod sweep;
 pub use cache::OptCache;
 pub use engine::{
     run_fixed, run_fixed_cached, run_fixed_faulty, run_fixed_faulty_sharded,
-    run_fixed_faulty_traced, run_fixed_pair, run_fixed_pair_faulty, run_fixed_pair_faulty_sharded,
-    run_fixed_pair_sharded, run_fixed_sharded, run_fixed_traced, run_source, run_source_faulty,
-    run_source_faulty_traced, run_source_traced, RunStats,
+    run_fixed_faulty_traced, run_fixed_faulty_traced_parallel, run_fixed_pair,
+    run_fixed_pair_faulty, run_fixed_pair_faulty_sharded, run_fixed_pair_parallel,
+    run_fixed_pair_parallel_faulty, run_fixed_pair_sharded, run_fixed_sharded, run_fixed_traced,
+    run_fixed_traced_parallel, run_source, run_source_faulty, run_source_faulty_traced,
+    run_source_faulty_traced_parallel, run_source_traced, run_source_traced_parallel, RunStats,
 };
 pub use sharded::ShardedScheduler;
 pub use strategy::AnyStrategy;

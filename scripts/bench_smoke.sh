@@ -20,12 +20,19 @@
 #      asserts per-round sharded-vs-unsharded schedule parity on every
 #      (workload, shard count) cell and a >= 1.5x S=4 speedup on the
 #      large n >= 100k workload), then checks the report,
-#   9. the chaos harness in quick mode with the invariant auditor armed
-#      and --shards 4 (matching-based global strategies run through the
-#      sharded engine, EDF/local cells stay unsharded; sweeps strategies
-#      x fault levels under seeded fault plans, asserts byte-identical
-#      determinism across two sweeps, audits every round boundary), then
-#      checks results/chaos.csv and BENCH_PR5.json.
+#   9. the parallel-OPT bench in quick mode (regenerates BENCH_PR8.json,
+#      asserts whole-RunStats parity — every opt_prefix entry — between
+#      the pipelined ALG||OPT paired runner and the serial paired
+#      baseline on every cell, and a >= 2x S=4 speedup on the n >= 100k
+#      gate workload), then checks the report,
+#  10. the chaos harness in quick mode with the invariant auditor armed
+#      and --shards 4 --parallel-opt (matching-based global strategies
+#      run through the sharded engine with the pipelined sharded optimum,
+#      each such cell self-checked bit-identical against its serial path;
+#      EDF/local cells stay unsharded; sweeps strategies x fault levels
+#      under seeded fault plans, asserts byte-identical determinism
+#      across two sweeps, audits every round boundary), then checks
+#      results/chaos.csv and BENCH_PR5.json.
 #
 # Every bench honors the single BENCH_QUICK=1 switch (exported below);
 # the historic per-bench variables (HOT_PATH_QUICK, STREAMING_OPT_QUICK,
@@ -143,15 +150,50 @@ for w in r["workloads"]:
                 sys.exit(f"BENCH_PR7.json: shard row of {w['name']!r} missing {key!r}")
 EOF
 
-echo "== chaos harness (quick, audit-armed, --shards 4) =="
+echo "== parallel-OPT bench (quick) =="
+# The bench itself asserts whole-RunStats equality (services, opt and the
+# complete per-round opt_prefix) between the pipelined parallel pair and
+# the serial paired baseline before any timing counts, gates S=4 >= 2x on
+# the n >= 100k workload, and pins the ShardMap::auto fallback to one
+# shard at n = 10k; the checks below guard the report format.
+"${CARGO[@]}" bench -p reqsched-bench --bench parallel_opt
+
+echo "== BENCH_PR8.json sanity =="
+grep -q '"parity": true' BENCH_PR8.json || {
+    echo "BENCH_PR8.json: missing paired-run parity" >&2
+    exit 1
+}
+python3 - <<'EOF' || exit 1
+import json, sys
+r = json.load(open("BENCH_PR8.json"))
+if r["paired_s4_speedup"] < 2.0:
+    sys.exit(f"BENCH_PR8.json: gate paired_s4_speedup below 2x: {r['paired_s4_speedup']}")
+for w in r["workloads"]:
+    for s in w["shards"]:
+        for key in ("shards", "ms", "speedup", "round_latency_us"):
+            if key not in s:
+                sys.exit(f"BENCH_PR8.json: shard row of {w['name']!r} missing {key!r}")
+for row in r["opt_only"]:
+    for key in ("workload", "serial_ms", "sharded_s4_ms", "speedup"):
+        if key not in row:
+            sys.exit(f"BENCH_PR8.json: opt_only row missing {key!r}")
+if r["auto_shards"]["effective"] != 1:
+    sys.exit(f"BENCH_PR8.json: auto_shards must fall back to 1 at n=10k, "
+             f"got {r['auto_shards']['effective']}")
+EOF
+
+echo "== chaos harness (quick, audit-armed, --shards 4 --parallel-opt) =="
 # The binary itself asserts determinism (two full sweeps must render
 # byte-identical CSV); --features audit replays the invariant auditor at
 # every round boundary of every cell, including the no-service-on-crashed-
 # slot check and delta-vs-fresh matching parity. --shards 4 routes the
 # matching-based global strategies through the sharded round engine (the
 # EDF and local cells keep the unsharded path in the same sweep), so the
-# auditor also walks the sharded engine's round boundaries.
-"${CARGO[@]}" run --release -p reqsched-bench --features audit --bin chaos -- --shards 4
+# auditor also walks the sharded engine's round boundaries. --parallel-opt
+# additionally computes every eligible cell's fault-aware optimum on the
+# pipelined sharded engine and asserts it bit-identical to the serial path
+# before the row is emitted.
+"${CARGO[@]}" run --release -p reqsched-bench --features audit --bin chaos -- --shards 4 --parallel-opt
 
 echo "== chaos artifacts sanity =="
 grep -q '"deterministic": true' BENCH_PR5.json || {

@@ -1,0 +1,52 @@
+//! Seeded violations for the `unordered-par-reduce` detector. Not compiled —
+//! scanned by `xtask/tests/selftest.rs`.
+//!
+//! Mentions in comments are ignored: par_iter().reduce() is the banned shape.
+
+use rayon::prelude::*;
+
+/// Hit 1: single-line parallel reduce — float addition is not associative,
+/// so the sum depends on the join order.
+fn bad_inline(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * 2.0).reduce(|| 0.0, |a, b| a + b)
+}
+
+/// Hits 2 and 3: builder chain puts the reduction on its own line — the
+/// lookback window must still connect it to the parallel introduction.
+fn bad_chained(xs: Vec<u64>) -> u64 {
+    xs.into_par_iter()
+        .fold(|| 0u64, |acc, x| acc.wrapping_sub(x))
+        .reduce(|| 0u64, |a, b| a.wrapping_sub(b))
+}
+
+/// Waived: the justification records why the operator is order-insensitive.
+fn waived(xs: &[u64]) -> u64 {
+    // lint: fixture waiver — u64 wrapping add is associative and commutative
+    xs.par_iter().copied().reduce(|| 0, |a, b| a.wrapping_add(b))
+}
+
+/// Clean: the parallel pipeline ends in an ordered collect; the serial fold
+/// over its result is deterministic.
+fn fine_collect_then_serial_fold(xs: &[u64]) -> u64 {
+    let doubled: Vec<u64> = xs.par_iter().map(|x| x * 2).collect();
+    doubled.iter().fold(0, |a, b| a + b)
+}
+
+/// Clean: a serial fold far away from any parallel introduction.
+fn fine_serial_fold(xs: &[u64]) -> u64 {
+    let mut total = 0u64;
+    total += xs.len() as u64;
+    xs.iter().fold(total, |a, b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test code may reduce in parallel freely (oracles re-sort anyway).
+    #[test]
+    fn exempt_in_tests() {
+        let xs = [1u64, 2, 3];
+        let _ = xs.par_iter().copied().reduce(|| 0, |a, b| a + b);
+    }
+}

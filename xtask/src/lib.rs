@@ -12,6 +12,7 @@
 //! | `vec-bool` | `Vec<bool>` in `crates/matching` / `crates/core` library sources (use the u64 `BitSet`/`BitMatrix` instead) |
 //! | `unjustified-allow` | `#[allow(...)]` without a `// lint:` justification comment |
 //! | `global-state-in-shard` | process-global mutable state (`OnceLock`, `LazyLock`, `lazy_static!`, `static mut`, `thread_local!`) in the sharded-engine crates (`crates/core`, `crates/matching`, `crates/sim`) |
+//! | `unordered-par-reduce` | `.reduce(` / `.fold(` on a Rayon parallel iterator (`par_iter()`, `into_par_iter()`, `par_bridge()`) in the parallel-engine crates (`crates/offline`, `crates/matching`, `crates/sim`) — combination order is scheduling-dependent |
 //! | `crate-metadata` | placeholder `repository` URL, missing `description`/`keywords` in workspace member manifests |
 //!
 //! Every rule shares one escape hatch: a `// lint: <reason>` comment on the
@@ -116,6 +117,11 @@ pub fn scan_source(rel: &str, text: &str, kind: FileKind) -> ScanReport {
     let mut cfg_test = CfgTestTracker::new();
     // `// lint:` on the previous line waives findings on this one.
     let mut prev_lint_comment: Option<String> = None;
+    // unordered-par-reduce lookback: > 0 while a Rayon parallel-iterator
+    // introduction is within the last PAR_LOOKBACK lines (builder chains
+    // put `.reduce(` on its own line). A `.collect(` ends the pipeline.
+    const PAR_LOOKBACK: u8 = 2;
+    let mut par_recent: u8 = 0;
 
     for (idx, raw) in lines.iter().enumerate() {
         let lineno = idx + 1;
@@ -207,6 +213,38 @@ pub fn scan_source(rel: &str, text: &str, kind: FileKind) -> ScanReport {
                 || code.contains("thread_local!"))
         {
             hit("global-state-in-shard");
+        }
+
+        // unordered-par-reduce: Rayon's `reduce`/`fold` combine partial
+        // results in whatever order the work-stealing scheduler joins them;
+        // unless the operator is associative AND commutative the value
+        // varies run to run, which breaks the determinism contract the
+        // parallel engines (sharded OPT, batched augmentation, sharded
+        // rounds) prove by replay. Map into an ordered collection and
+        // combine sequentially instead, or waive with `// lint:` stating
+        // why the operator is order-insensitive.
+        let has_par = code.contains("par_iter()")
+            || code.contains("into_par_iter()")
+            || code.contains("par_bridge()");
+        if has_par {
+            par_recent = PAR_LOOKBACK + 1;
+        }
+        if par_recent > 0
+            && kind == FileKind::LibSource
+            && !in_test
+            && (rel.starts_with("crates/offline/")
+                || rel.starts_with("crates/matching/")
+                || rel.starts_with("crates/sim/"))
+            && (code.contains(".reduce(") || code.contains(".fold("))
+        {
+            hit("unordered-par-reduce");
+        }
+        if code.contains(".collect(") {
+            // An ordered collect terminates the parallel pipeline; a serial
+            // fold over its result is fine.
+            par_recent = 0;
+        } else {
+            par_recent = par_recent.saturating_sub(1);
         }
 
         // unjustified-allow: everywhere (tests included) — the justification

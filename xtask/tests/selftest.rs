@@ -247,6 +247,54 @@ fn global_state_is_scoped_to_the_shard_execution_path() {
 }
 
 #[test]
+fn unordered_par_reduce_fixture_is_caught_in_parallel_crates() {
+    for rel in [
+        "crates/offline/src/fixture.rs",
+        "crates/matching/src/fixture.rs",
+        "crates/sim/src/fixture.rs",
+    ] {
+        let r = scan_source(
+            rel,
+            &fixture("unordered_par_reduce.rs"),
+            FileKind::LibSource,
+        );
+        let hits: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == "unordered-par-reduce")
+            .collect();
+        assert_eq!(
+            hits.len(),
+            3,
+            "{rel}: the inline reduce plus the chained fold and reduce — \
+             not the waived one, the collect-terminated pipeline, the \
+             serial folds or the test-gated reduce: {hits:?}"
+        );
+        assert_eq!(r.suppressed.len(), 1, "{rel}: the waiver is recorded");
+        assert!(r.suppressed[0].justification.contains("fixture waiver"));
+    }
+}
+
+#[test]
+fn unordered_par_reduce_is_scoped_to_the_parallel_engine_crates() {
+    // Other library crates may reduce in parallel (the bench harness
+    // aggregates timing summaries), and test code anywhere is exempt.
+    for (rel, kind) in [
+        ("crates/core/src/fixture.rs", FileKind::LibSource),
+        ("crates/workloads/src/fixture.rs", FileKind::LibSource),
+        ("crates/bench/src/fixture.rs", FileKind::BenchSource),
+        ("crates/offline/tests/fixture.rs", FileKind::TestOrExample),
+    ] {
+        let r = scan_source(rel, &fixture("unordered_par_reduce.rs"), kind);
+        assert!(
+            !rules_hit(&r).contains("unordered-par-reduce"),
+            "{rel}: {:?}",
+            r.findings
+        );
+    }
+}
+
+#[test]
 fn clean_fixture_passes_every_rule() {
     for kind in [
         FileKind::LibSource,

@@ -178,7 +178,7 @@ impl DeltaWindow {
                 if only_free && !state.slot_free(res, Round(round)) {
                     continue;
                 }
-                let right = (round * self.n as u64 + res.0 as u64) as u32;
+                let right = crate::fit_u32(round * self.n as u64 + res.0 as u64);
                 self.slots.push((round, pos as u32, right));
             }
         }

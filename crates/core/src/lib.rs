@@ -60,6 +60,19 @@ use std::sync::Arc;
 use reqsched_faults::FaultPlan;
 use reqsched_model::{Request, Round};
 
+/// Narrow a `u64` produced by round/slot arithmetic to `u32`.
+///
+/// Slot encodings (`round * n + resource`) and window-relative columns
+/// (`round - front`) fit `u32` by the capacity bounds the engines enforce
+/// (window width, shard size, `rounds * n` slot range). This is the one
+/// audited narrowing point: the bound is asserted in debug builds instead
+/// of letting a bare `as` truncate silently.
+#[inline]
+pub fn fit_u32(v: u64) -> u32 {
+    debug_assert!(v <= u64::from(u32::MAX), "value {v} exceeds u32 range");
+    v as u32
+}
+
 /// A global online scheduling strategy, driven one round at a time.
 ///
 /// The driver calls [`OnlineScheduler::on_round`] for consecutive rounds

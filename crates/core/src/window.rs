@@ -157,13 +157,14 @@ impl WindowGraph {
         // Membership mask so `include_occupied` can check participation.
         // Participant ids are typically a dense range (arrival order), so a
         // bitmask over the span beats a per-edge binary search.
+        let id_span = lefts
+            .first()
+            .zip(lefts.last())
+            .map(|(lo, hi)| (hi.0 - lo.0) as usize + 1);
         let use_mask = include_occupied
-            && !lefts.is_empty()
-            && (lefts[lefts.len() - 1].0 - lefts[0].0) as usize
-                <= MASK_DENSITY * lefts.len() + MASK_SLACK;
-        if use_mask {
+            && id_span.is_some_and(|span| span <= MASK_DENSITY * lefts.len() + MASK_SLACK + 1);
+        if let (true, Some(span)) = (use_mask, id_span) {
             scratch.mask_base = lefts[0].0;
-            let span = (lefts[lefts.len() - 1].0 - lefts[0].0) as usize + 1;
             scratch.mask.reset(span);
             for &id in &lefts {
                 scratch.mask.set((id.0 - scratch.mask_base) as usize);
@@ -191,7 +192,7 @@ impl WindowGraph {
             let lo = live.arrival().get().max(front.get());
             let hi = live.expiry().get().min(front.get() + rows as u64 - 1);
             for round in lo..=hi {
-                let j = (round - front.get()) as u32;
+                let j = crate::fit_u32(round - front.get());
                 for (pos, &res) in live.alternatives().as_slice().iter().enumerate() {
                     let slot_round = Round(round);
                     // A crashed or stalled slot doesn't exist: its edges
@@ -226,7 +227,7 @@ impl WindowGraph {
             scratch.adj.extend(scratch.slots.iter().map(|&(_, _, r)| r));
             scratch.builder.add_left(&scratch.adj);
             if let Some((res, round)) = live.assigned() {
-                let j = (round - front) as u32;
+                let j = crate::fit_u32(round - front);
                 scratch.init.push((li as u32, j * n + res.0));
             }
         }

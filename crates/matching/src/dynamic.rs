@@ -41,6 +41,15 @@ use crate::workspace::MatchingWorkspace;
 
 const NONE: u32 = u32::MAX;
 
+/// Window-relative column of absolute right id `r`. Every caller holds the
+/// window invariant `r >= rlo`; the debug assert keeps a violation from
+/// wrapping into a silent out-of-range index.
+#[inline]
+fn rcol(r: u32, rlo: u32) -> usize {
+    debug_assert!(r >= rlo, "right id {r} below window front {rlo}");
+    (r - rlo) as usize
+}
+
 /// A maximum bipartite matching maintained under left insertion/removal and
 /// right-column retirement/extension over a sliding window of slot columns.
 ///
@@ -186,7 +195,7 @@ fn apply_flip(p: &mut Pairs, parent_l: &[u32], parent_r: &[u32], end_l: u32, fre
         let r = parent_l[l as usize];
         debug_assert_ne!(r, NONE);
         p.set(l, r);
-        let prev_l = parent_r[(r - p.rlo) as usize];
+        let prev_l = parent_r[rcol(r, p.rlo)];
         if prev_l == NONE {
             break; // reached the free starting right vertex
         }
@@ -265,7 +274,7 @@ impl DynamicMatching {
     /// Mate of the live right vertex `r`, if matched.
     #[inline]
     pub fn right_mate(&self, r: u32) -> Option<u32> {
-        let l = self.r2l[(r - self.rlo) as usize];
+        let l = self.r2l[rcol(r, self.rlo)];
         (l != NONE).then_some(l)
     }
 
@@ -414,7 +423,7 @@ impl DynamicMatching {
                 self.rlo as u64 + self.r2l.len() as u64
             );
             self.edges.push(r);
-            self.rev[(r - self.rlo) as usize].push(l);
+            self.rev[rcol(r, self.rlo)].push(l);
         }
         self.spans.push((start, self.edges.len() as u32));
         let nl = self.l2r.len();
@@ -499,7 +508,9 @@ impl DynamicMatching {
                     stack.pop();
                     while let Some((pl, pcursor)) = stack.pop() {
                         let plo = spans[pl as usize].0;
-                        let pr = edges[plo as usize + pcursor as usize - 1];
+                        // pcursor was already advanced past the chosen edge.
+                        let taken = plo as usize + pcursor as usize - 1;
+                        let pr = edges[taken];
                         p.set(pl, pr);
                     }
                     augmented = true;
@@ -608,7 +619,7 @@ impl DynamicMatching {
         stack.push((root_r, 0));
         let mut repaired = false;
         'search: while let Some(&mut (r, ref mut cursor)) = stack.last_mut() {
-            let list = &rev[(r - p.rlo) as usize];
+            let list = &rev[rcol(r, p.rlo)];
             if (*cursor as usize) < list.len() {
                 let l = list[*cursor as usize];
                 *cursor += 1;
@@ -625,7 +636,9 @@ impl DynamicMatching {
                     p.set(l, r);
                     stack.pop();
                     while let Some((pr, pcursor)) = stack.pop() {
-                        let pl = rev[(pr - p.rlo) as usize][pcursor as usize - 1];
+                        // pcursor was already advanced past the chosen edge.
+                        let taken = pcursor as usize - 1;
+                        let pl = rev[rcol(pr, p.rlo)][taken];
                         p.set(pl, pr);
                     }
                     repaired = true;
@@ -753,7 +766,7 @@ impl DynamicMatching {
         'bfs: while head < queue.len() {
             let r = queue[head];
             head += 1;
-            let list = &rev[(r - p.rlo) as usize];
+            let list = &rev[rcol(r, p.rlo)];
             for &l in list.iter() {
                 *edges_scanned += 1;
                 if !alive.contains(l as usize) || l < min_left || visited_l.contains(l as usize) {
@@ -905,7 +918,7 @@ impl DynamicMatching {
         );
         for &r in &self.dead_list {
             assert!(
-                self.r2l[(r - self.rlo) as usize] != NONE,
+                self.r2l[rcol(r, self.rlo)] != NONE,
                 "trapped right {r} is free — stale failure mark"
             );
         }

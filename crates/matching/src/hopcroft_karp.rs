@@ -133,7 +133,9 @@ fn dfs_iterative(
                     m.set(l, r);
                     stack.pop();
                     while let Some((pl, pcursor)) = stack.pop() {
-                        let pr = g.neighbors(pl)[pcursor as usize - 1];
+                        // pcursor was already advanced past the chosen edge.
+                        let taken = pcursor as usize - 1;
+                        let pr = g.neighbors(pl)[taken];
                         dist[pl as usize] = INF;
                         m.set(pl, pr);
                     }

@@ -363,7 +363,9 @@ impl IncrementalMatching {
                         stack.pop();
                         while let Some((pl, pcursor)) = stack.pop() {
                             let plo = spans[pl as usize].0;
-                            let pr = edges[plo as usize + pcursor as usize - 1];
+                            // pcursor was already advanced past the edge.
+                            let taken = plo as usize + pcursor as usize - 1;
+                            let pr = edges[taken];
                             m.set(pl, pr);
                         }
                         augmented = true;
@@ -428,7 +430,9 @@ fn candidate_path(
                         .iter()
                         .map(|&(pl, pc)| {
                             let plo = spans[pl as usize].0;
-                            (pl, edges[plo as usize + pc as usize - 1])
+                            // pc was already advanced past the chosen edge.
+                            let taken = plo as usize + pc as usize - 1;
+                            (pl, edges[taken])
                         })
                         .collect();
                     return (Some(path), scanned);
@@ -454,7 +458,7 @@ fn accept_path(m: &mut Matching, path: &[(u32, u32)]) -> bool {
         && path
             .windows(2)
             .all(|w| m.right_mate(w[0].1) == Some(w[1].0))
-        && m.right_mate(path[path.len() - 1].1).is_none();
+        && path.last().is_some_and(|&(_, r)| m.right_mate(r).is_none());
     if ok {
         for &(l, r) in path {
             m.set(l, r);
@@ -500,7 +504,9 @@ fn phase_dfs(
                     stack.pop();
                     while let Some((pl, pc)) = stack.pop() {
                         let plo = spans[pl as usize].0;
-                        let pr = edges[plo as usize + pc as usize - 1];
+                        // pc was already advanced past the chosen edge.
+                        let taken = plo as usize + pc as usize - 1;
+                        let pr = edges[taken];
                         m.set(pl, pr);
                     }
                     return true;

@@ -72,7 +72,9 @@ fn try_grow(
                     m.set(l, r);
                     stack.pop();
                     while let Some((pl, pcursor)) = stack.pop() {
-                        let pr = g.neighbors(pl)[pcursor as usize - 1];
+                        // pcursor was already advanced past the chosen edge.
+                        let taken = pcursor as usize - 1;
+                        let pr = g.neighbors(pl)[taken];
                         m.set(pl, pr);
                     }
                     return true;

@@ -28,6 +28,7 @@ pub use parallel::{
 };
 pub use streaming::{prefix_optima, StreamingOpt};
 
+use reqsched_core::fit_u32;
 use reqsched_faults::FaultPlan;
 use reqsched_matching::{hopcroft_karp, BipartiteGraph};
 use reqsched_model::{Instance, RequestId, ResourceId, Round};
@@ -132,7 +133,7 @@ fn horizon_graph_masked(inst: &Instance, plan: Option<&FaultPlan>) -> BipartiteG
                         continue;
                     }
                 }
-                adj.push((round * n as u64) as u32 + res.0);
+                adj.push(fit_u32(round * n as u64) + res.0);
             }
         }
         builder.add_left(&adj);
@@ -149,7 +150,7 @@ pub fn solution_matching(inst: &Instance, sol: &OfflineSolution) -> reqsched_mat
         reqsched_matching::Matching::empty(inst.trace.len() as u32, (horizon * n as u64) as u32);
     for (i, slot) in sol.assignment.iter().enumerate() {
         if let Some((res, round)) = slot {
-            m.set(i as u32, (round.get() * n as u64) as u32 + res.0);
+            m.set(i as u32, fit_u32(round.get() * n as u64) + res.0);
         }
     }
     m

@@ -32,7 +32,7 @@
 use crate::streaming::StreamingOpt;
 use crate::HORIZON_SOLVES;
 use rayon::prelude::*;
-use reqsched_core::ShardMap;
+use reqsched_core::{fit_u32, ShardMap};
 use reqsched_faults::FaultPlan;
 use reqsched_matching::IncrementalMatching;
 use reqsched_model::{Instance, Request, Round};
@@ -85,7 +85,7 @@ fn push_edges(
                     continue; // the slot doesn't exist for OPT either
                 }
             }
-            adj.push((round * k) as u32 + alt_ranks[i]);
+            adj.push(fit_u32(round * k) + alt_ranks[i]);
         }
     }
 }

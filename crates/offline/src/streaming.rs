@@ -25,6 +25,7 @@
 //! through genuine alternating paths from live requests.
 
 use crate::{OfflineSolution, HORIZON_SOLVES};
+use reqsched_core::fit_u32;
 use reqsched_faults::FaultPlan;
 use reqsched_matching::IncrementalMatching;
 use reqsched_model::{Instance, Request, RequestId, ResourceId, Round, Trace};
@@ -141,7 +142,7 @@ impl StreamingOpt {
                         continue; // the slot doesn't exist for OPT either
                     }
                 }
-                self.adj.push((round * self.n as u64) as u32 + res.0);
+                self.adj.push(fit_u32(round * self.n as u64) + res.0);
             }
         }
         let l = self.inc.add_left(&self.adj);

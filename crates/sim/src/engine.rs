@@ -1,6 +1,6 @@
 //! Round-driving engine with full feasibility validation.
 
-use reqsched_core::{OnlineScheduler, ShardMap};
+use reqsched_core::{fit_u32, OnlineScheduler, ShardMap};
 use reqsched_faults::FaultPlan;
 use reqsched_model::{
     Instance, Request, RequestId, RequestSource, Round, StateView, Trace, TraceBuilder, TraceSource,
@@ -255,7 +255,7 @@ fn run_source_parallel_impl(
             }
             let mut prefix: Vec<u32> = Vec::new();
             while let Ok(batch) = rx.recv() {
-                prefix.push(sopt.ingest_round(&batch) as u32);
+                prefix.push(fit_u32(sopt.ingest_round(&batch) as u64));
             }
             prefix
         });

@@ -234,11 +234,12 @@ impl Group {
                 }
                 hi += 1;
             }
-            let want: &[Service] = if ei < expected.len() && expected[ei].0 == r {
-                ei += 1;
-                &expected[ei - 1].1
-            } else {
-                &[]
+            let want: &[Service] = match expected.get(ei) {
+                Some((er, w)) if *er == r => {
+                    ei += 1;
+                    w
+                }
+                _ => &[],
             };
             if !self.should_run(r) {
                 assert!(

@@ -77,6 +77,7 @@ pub fn par_run_with_cache(jobs: &[Job], cache: &OptCache) -> Vec<RunRecord> {
         .map(|job| {
             let inst = &job.instance;
             let mut strategy = job.strategy.build(inst.n_resources, inst.d);
+            // lint: OptCache sharing is deterministic — every worker computes the same optimum and the OnceLock fill race is value-identical
             let stats = run_fixed_cached(strategy.as_mut(), inst, cache);
             let ratio = stats.ratio();
             let tie = match job.strategy {

@@ -1,5 +1,9 @@
 #!/usr/bin/env bash
 # Smoke-test the performance path end to end:
+#   0. static analysis twice: the offline --no-tools AST pass first
+#      (string + AST rules + stale-waiver wall, sub-second, fails fast),
+#      then the full analyze with the fmt/clippy/doc walls, writing the
+#      JSON and SARIF reports,
 #   1. release build of the whole workspace,
 #   2. the full test suite,
 #   3. a short Table-1 sweep (exercises the shared OPT cache),
@@ -52,11 +56,20 @@ if [ -d /tmp/vendor ] && ! cargo metadata -q --format-version 1 >/dev/null 2>&1;
         --config 'source.local-stubs.directory="/tmp/vendor"')
 fi
 
-echo "== static analysis (cargo xtask analyze) =="
+echo "== static analysis, offline AST pass (cargo xtask analyze --no-tools) =="
 # A dirty analyze fails the smoke before anything expensive runs. The
-# source/manifest rules are offline and sub-second; the tool walls inside
-# the command self-skip where the toolchain lacks them.
-"${CARGO[@]}" run --quiet --package xtask -- analyze --json analyze-report.json
+# --no-tools pass is the offline, sub-second subset: the string rules,
+# the five AST rules (rayon capture audit, float-order-in-par,
+# alias-evading-hasher, lossy-id-cast, panic-path-index) and the
+# stale-waiver wall, with zero parse fallbacks expected on the real tree.
+"${CARGO[@]}" run --quiet --package xtask -- analyze --no-tools
+
+echo "== static analysis, full (cargo xtask analyze) =="
+# Then the full wall: same source pass plus the fmt/clippy/doc tool
+# gates (which self-skip where the toolchain lacks them), emitting the
+# JSON and SARIF reports CI uploads.
+"${CARGO[@]}" run --quiet --package xtask -- analyze \
+    --json analyze-report.json --sarif analyze-report.sarif
 
 echo "== release build =="
 "${CARGO[@]}" build --release --workspace

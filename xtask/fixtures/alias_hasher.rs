@@ -1,0 +1,35 @@
+//! Fixture: hashers renamed out of the string scanner's sight. The only
+//! line containing the substring `HashMap` is the (waived) `use` — every
+//! later use goes through the rename or the alias chain, which only the
+//! crate index resolves. Scanned as `crates/core/src/fixture.rs`.
+
+// lint: fixture waiver — the rename itself is the evasion under test
+use std::collections::HashMap as FastMap;
+type Cache = FastMap<u64, u64>;
+
+/// Hit: construction through the rename.
+pub fn build() -> Cache {
+    FastMap::new()
+}
+
+/// Waived: a deliberate rename use.
+pub fn waived_use() -> usize {
+    // lint: fixture waiver — deliberate rename use under test
+    FastMap::<u64, u64>::new().len()
+}
+
+/// Hit: the alias in a signature.
+pub fn lookup(c: &Cache, k: u64) -> Option<u64> {
+    c.get(&k).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_alias_freely() {
+        let c: Cache = build();
+        assert!(c.is_empty());
+    }
+}

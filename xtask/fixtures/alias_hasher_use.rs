@@ -1,0 +1,14 @@
+//! Fixture: uses a hasher alias declared in a *sibling file* — this file
+//! contains no hasher-like string at all, so the only way to catch it is
+//! the per-crate index built across both files. Scanned as
+//! `crates/core/src/fixture_use.rs` alongside `alias_hasher.rs`.
+
+/// Hit: cross-file alias use.
+pub fn cross_file(c: &Cache) -> usize {
+    c.len()
+}
+
+/// Hit: cross-file construction.
+pub fn fresh() -> Cache {
+    Cache::default()
+}

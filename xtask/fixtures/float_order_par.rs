@@ -1,0 +1,45 @@
+//! Fixture: order-sensitive float accumulation in parallel reductions.
+//! Scanned by the selftests as `crates/offline/src/fixture.rs`.
+
+use rayon::prelude::*;
+
+/// Hit: f64 sum over a work-stealing reduce — the join order leaks.
+pub fn par_mean(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * 2.0).reduce(|| 0.0, |a, b| a + b)
+}
+
+/// Hit: fold with an f32 accumulator.
+pub fn par_energy(xs: &[f32]) -> f32 {
+    xs.par_iter().fold(|| 0.0f32, |acc, x| acc + x).sum()
+}
+
+/// Waived: tolerance-tested aggregate where order is accepted.
+pub fn waived_sum(xs: &[f64]) -> f64 {
+    // lint: fixture waiver — order-insensitive within the test tolerance
+    xs.par_iter().map(|x| x + 1.0).reduce(|| 0.0, |a, b| a + b)
+}
+
+/// Exempt from the float rule: integer reduction is associative. (The
+/// string scanner's own par-reduce rule still wants its ordering note.)
+pub fn par_count(xs: &[u64]) -> u64 {
+    // lint: fixture waiver — integer addition commutes; any schedule sums the same
+    xs.par_iter().map(|x| x & 1).reduce(|| 0, |a, b| a + b)
+}
+
+/// Exempt: serial folds are deterministic whatever the element type.
+pub fn serial_mean(xs: &[f64]) -> f64 {
+    let total = xs.iter().fold(0.0, |a, x| a + x);
+    total / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_reduce_floats() {
+        let xs = [1.0f64, 2.0];
+        let s = xs.par_iter().cloned().reduce(|| 0.0, |a, b| a + b);
+        assert!(s > 0.0);
+    }
+}

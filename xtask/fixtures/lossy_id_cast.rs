@@ -1,0 +1,44 @@
+//! Fixture: silent narrowing of round/slot/id arithmetic. Scanned as
+//! `crates/core/src/fixture.rs`.
+
+/// Hit: a round-derived slot encoding truncated to u32.
+pub fn slot_of(round: u64, n: u64) -> u32 {
+    (round * n) as u32
+}
+
+/// Hit: a window-relative round offset truncated to u32.
+pub fn col_of(arrival_round: u64, front: u64) -> u32 {
+    (arrival_round - front) as u32
+}
+
+/// Hit: a request id narrowed below its domain width.
+pub fn small_id(id: u32) -> u16 {
+    id as u16
+}
+
+/// Waived: the capacity bound is asserted by the caller.
+pub fn waived_slot(round: u64, n: u64) -> u32 {
+    // lint: fixture waiver — capacity bound asserted by the caller
+    (round * n) as u32
+}
+
+/// Exempt: widening casts are always safe.
+pub fn widen(round_idx: u32) -> u64 {
+    round_idx as u64
+}
+
+/// Exempt: ids keep their full u32 width.
+pub fn same_width(id: u32) -> u32 {
+    id as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_narrow() {
+        let small = (7u64 * 3) as u32;
+        assert_eq!(slot_of(7, 3), small);
+    }
+}

@@ -1,0 +1,47 @@
+//! Fixture: subtracting index expressions on hot paths. Scanned as
+//! `crates/matching/src/fixture.rs` (a hot-path crate).
+
+/// Hit: the classic last-element underflow.
+pub fn last_len_minus_one(xs: &[u64]) -> u64 {
+    xs[xs.len() - 1]
+}
+
+/// Hit: cursor walk-back.
+pub fn walk_back(edges: &[u32], cursor: usize) -> u32 {
+    edges[cursor - 1]
+}
+
+/// Waived: the loop invariant keeps the cursor positive.
+pub fn waived_back(edges: &[u32], cursor: usize) -> u32 {
+    // lint: fixture waiver — cursor > 0 by the loop invariant
+    edges[cursor - 1]
+}
+
+/// Exempt: no subtraction in the index expression.
+pub fn plain_index(xs: &[u64], i: usize) -> u64 {
+    xs[i]
+}
+
+/// Exempt: ranges lex as `..`, not subtraction.
+pub fn range_slice(xs: &[u64], i: usize) -> &[u64] {
+    &xs[..i]
+}
+
+/// Exempt: the subtraction happens before the index, where it reads as a
+/// named intent instead of an inline trap.
+pub fn hoisted(edges: &[u32], cursor: usize) -> u32 {
+    let taken = cursor - 1;
+    edges[taken]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_index_freely() {
+        let xs = [1u64, 2];
+        assert_eq!(xs[xs.len() - 1], 2);
+        assert_eq!(last_len_minus_one(&xs), 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! Fixture: shared state reaching Rayon parallel closures. Scanned by the
+//! selftests as `crates/sim/src/fixture.rs` (a parallel-engine crate).
+//! None of these lines contain a string the line scanner knows — only the
+//! AST engine's capture analysis sees the hazard.
+
+use rayon::prelude::*;
+use std::sync::Mutex;
+
+/// A cache-like struct whose interior mutability the crate index marks.
+pub struct SharedCache {
+    inner: Mutex<Vec<u64>>,
+}
+
+/// Hit: the `&Mutex` parameter leaks into the par closure via `.lock()`.
+pub fn lock_in_par(shared: &Mutex<Vec<u64>>, xs: &[u64]) {
+    xs.par_iter().for_each(|x| {
+        if let Ok(mut v) = shared.lock() {
+            v.push(*x);
+        }
+    });
+}
+
+/// Hit: interior mutability hides behind a crate-local struct type.
+pub fn cache_in_par(cache: &SharedCache, xs: &[u64]) -> Vec<u64> {
+    xs.par_iter().map(|x| probe(cache, *x)).collect()
+}
+
+/// Hit: `&mut` capture of an accumulator owned outside the closure.
+pub fn mut_capture(xs: &[u64]) {
+    let mut total = 0u64;
+    xs.par_iter().for_each(|x| bump(&mut total, *x));
+}
+
+/// Waived: a deliberate share whose fill is value-identical.
+pub fn waived_share(cache: &SharedCache, xs: &[u64]) -> Vec<u64> {
+    // lint: fixture waiver — the share is deterministic by construction
+    xs.par_iter().map(|x| probe(cache, *x)).collect()
+}
+
+/// Exempt: the closure touches only its shard-owned item.
+pub fn shard_owned(groups: &mut Vec<SharedCache>) {
+    groups.par_iter_mut().for_each(|g| g.reset());
+}
+
+/// Exempt: closure-local state is born and dies inside one task.
+pub fn closure_local(xs: &[u64]) {
+    xs.par_iter().for_each(|x| {
+        let scratch = Mutex::new(Vec::new());
+        if let Ok(mut v) = scratch.lock() {
+            v.push(*x);
+        }
+    });
+}
+
+/// Exempt: serial iteration may use the cache freely.
+pub fn serial_ok(cache: &SharedCache, xs: &[u64]) -> usize {
+    xs.iter().map(|x| probe(cache, *x)).count()
+}

@@ -1,0 +1,9 @@
+//! Fixture: a `// lint:` waiver that no rule consumes. Stale suppressions
+//! rot — the wall makes the unused comment itself an error. Scanned as
+//! `crates/core/src/fixture.rs`.
+
+/// Nothing in this function fires any rule; the waiver below is dead.
+pub fn innocent(x: u64) -> u64 {
+    // lint: stale — nothing on the next line fires any rule
+    x + 1
+}

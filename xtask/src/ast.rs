@@ -1,0 +1,1397 @@
+//! AST-grade analysis: token trees, the per-crate item index, and the five
+//! deep rules a line scanner cannot express.
+//!
+//! Built on the full-fidelity lexer of [`crate::lex`], this module parses
+//! each source file once into nested token trees, indexes every crate's
+//! items (`use` renames, `type` aliases, interior-mutable structs, statics,
+//! function signatures), and then walks expressions with real context:
+//! `#[cfg(test)]` gating, Rayon parallel-iterator chains, closure capture
+//! scopes, method chains and cast expressions.
+//!
+//! The rules (see `docs/LINTS.md` for rationale):
+//!
+//! | rule | what it catches |
+//! |---|---|
+//! | `rayon-capture-audit` | `&mut` captures and shared interior-mutability (`Mutex`, `RwLock`, `Atomic*`, `RefCell`, `Cell`, …) reachable from a Rayon parallel closure in `crates/{sim,offline,matching}` — unless the state is the shard-owned item the closure receives |
+//! | `float-order-in-par` | `f32`/`f64` accumulation inside a parallel `reduce`/`fold`/`sum`/`product` — float addition is not associative, so the work-stealing join order leaks into the value |
+//! | `alias-evading-hasher` | uses of `HashMap`/`HashSet` reached through `use … as` renames or `type` aliases — invisible to the substring scanner at every use site |
+//! | `lossy-id-cast` | `as` casts that narrow id/round/slot-typed values (`Round` is `u64`; ids are `u32`) below their domain width |
+//! | `panic-path-index` | slice `[expr]` indexing whose index expression subtracts — the classic underflow/off-by-one panic — in the hot-path crates' library sources |
+//!
+//! Every hit honors the same `// lint: <reason>` waiver contract as the
+//! string rules, and consumed waivers feed the stale-waiver wall.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lex::{Delim, LexError, Lexed, Tok, Token};
+use crate::{FileKind, Finding, ScanReport, Suppression};
+
+/// One node of the token tree: a leaf token or a delimited group.
+#[derive(Clone, Debug)]
+pub enum Tt {
+    /// A non-delimiter token.
+    Leaf(Token),
+    /// A `(…)` / `[…]` / `{…}` group.
+    Group {
+        /// Delimiter kind.
+        delim: Delim,
+        /// Line of the opening delimiter.
+        open_line: u32,
+        /// Children.
+        tts: Vec<Tt>,
+    },
+}
+
+impl Tt {
+    fn line(&self) -> u32 {
+        match self {
+            Tt::Leaf(t) => t.line,
+            Tt::Group { open_line, .. } => *open_line,
+        }
+    }
+
+    fn is_punct(&self, c: char) -> bool {
+        matches!(self, Tt::Leaf(Token { tok: Tok::Punct(p), .. }) if *p == c)
+    }
+
+    fn ident(&self) -> Option<&str> {
+        match self {
+            Tt::Leaf(Token {
+                tok: Tok::Ident(s), ..
+            }) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+}
+
+/// Build nested token trees from a flat token stream. Unbalanced
+/// delimiters are a [`LexError`] (the caller falls back to string rules).
+pub fn build_trees(tokens: &[Token]) -> Result<Vec<Tt>, LexError> {
+    let mut stack: Vec<(Delim, u32, Vec<Tt>)> = Vec::new();
+    let mut top: Vec<Tt> = Vec::new();
+    for t in tokens {
+        match &t.tok {
+            Tok::Open(d) => {
+                stack.push((*d, t.line, std::mem::take(&mut top)));
+            }
+            Tok::Close(d) => match stack.pop() {
+                Some((od, oline, parent)) if od == *d => {
+                    let group = Tt::Group {
+                        delim: od,
+                        open_line: oline,
+                        tts: std::mem::replace(&mut top, parent),
+                    };
+                    top.push(group);
+                }
+                _ => {
+                    return Err(LexError {
+                        line: t.line,
+                        msg: "unbalanced delimiter".into(),
+                    })
+                }
+            },
+            _ => top.push(Tt::Leaf(t.clone())),
+        }
+    }
+    if let Some((_, line, _)) = stack.pop() {
+        return Err(LexError {
+            line,
+            msg: "unclosed delimiter".into(),
+        });
+    }
+    Ok(top)
+}
+
+/// Collect every identifier in a subtree, in order.
+fn idents_rec(tts: &[Tt], out: &mut Vec<String>) {
+    for tt in tts {
+        match tt {
+            Tt::Leaf(Token {
+                tok: Tok::Ident(s), ..
+            }) => out.push(s.clone()),
+            Tt::Group { tts, .. } => idents_rec(tts, out),
+            _ => {}
+        }
+    }
+}
+
+/// Interior-mutability seed types: shared-mutable cells whose cross-thread
+/// update order is scheduler-dependent.
+fn is_im_seed(name: &str) -> bool {
+    matches!(
+        name,
+        "Mutex"
+            | "RwLock"
+            | "RefCell"
+            | "Cell"
+            | "OnceCell"
+            | "OnceLock"
+            | "LazyLock"
+            | "UnsafeCell"
+    ) || name.starts_with("Atomic")
+}
+
+/// Per-crate item/fn index, built once from every parsed library source of
+/// the crate. This is what lets the analyzer see through renames and
+/// across files — exactly what the line scanner cannot.
+#[derive(Clone, Debug, Default)]
+pub struct CrateIndex {
+    /// Names that resolve (possibly through chains of `use … as` renames
+    /// and `type` aliases, across files) to `HashMap` or `HashSet`.
+    pub hasher_aliases: BTreeMap<String, &'static str>,
+    /// Crate-local types (structs/enums/aliases) that transitively contain
+    /// interior-mutable state.
+    pub interior_mutable: BTreeSet<String>,
+    /// `static` items whose type is interior-mutable.
+    pub im_statics: BTreeSet<String>,
+}
+
+impl CrateIndex {
+    /// Whether a type-ident set names interior-mutable state (seed types
+    /// or indexed crate-local wrappers).
+    fn type_idents_interior_mutable(&self, idents: &[String]) -> bool {
+        idents
+            .iter()
+            .any(|s| is_im_seed(s) || self.interior_mutable.contains(s))
+    }
+}
+
+/// Build the [`CrateIndex`] from `(rel, trees)` pairs — every parsed
+/// library source file of one crate.
+pub fn index_crate(files: &[(&str, &[Tt])]) -> CrateIndex {
+    // Raw declarations, resolved to fixpoint afterwards so chains
+    // (`use a::HashMap as M; type N = M<u32, u32>;`) and cross-file
+    // ordering don't matter.
+    let mut renames: Vec<(String, String)> = Vec::new(); // alias -> target segment
+    let mut type_rhs: Vec<(String, Vec<String>)> = Vec::new(); // alias -> rhs idents
+    let mut field_idents: Vec<(String, Vec<String>)> = Vec::new(); // struct/enum -> body idents
+    let mut statics: Vec<(String, Vec<String>)> = Vec::new(); // static -> type idents
+
+    for (_, trees) in files {
+        collect_items(
+            trees,
+            &mut renames,
+            &mut type_rhs,
+            &mut field_idents,
+            &mut statics,
+        );
+    }
+
+    let mut idx = CrateIndex::default();
+    // Fixpoint over hasher aliases: a rename or type alias whose target is
+    // HashMap/HashSet (or an already-known alias of one).
+    loop {
+        let mut changed = false;
+        for (alias, target) in &renames {
+            if idx.hasher_aliases.contains_key(alias) {
+                continue;
+            }
+            let base = match target.as_str() {
+                "HashMap" => Some("HashMap"),
+                "HashSet" => Some("HashSet"),
+                other => idx.hasher_aliases.get(other).copied(),
+            };
+            if let Some(base) = base {
+                idx.hasher_aliases.insert(alias.clone(), base);
+                changed = true;
+            }
+        }
+        for (alias, rhs) in &type_rhs {
+            if idx.hasher_aliases.contains_key(alias) {
+                continue;
+            }
+            let base = rhs.iter().find_map(|s| match s.as_str() {
+                "HashMap" => Some("HashMap"),
+                "HashSet" => Some("HashSet"),
+                other => idx.hasher_aliases.get(other).copied(),
+            });
+            if let Some(base) = base {
+                idx.hasher_aliases.insert(alias.clone(), base);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Fixpoint over interior-mutable wrappers.
+    loop {
+        let mut changed = false;
+        for (name, body) in field_idents.iter().chain(type_rhs.iter()) {
+            if idx.interior_mutable.contains(name) {
+                continue;
+            }
+            if body
+                .iter()
+                .any(|s| is_im_seed(s) || idx.interior_mutable.contains(s))
+            {
+                idx.interior_mutable.insert(name.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (name, ty) in &statics {
+        if idx.type_idents_interior_mutable(ty) {
+            idx.im_statics.insert(name.clone());
+        }
+    }
+    idx
+}
+
+/// Recursive item collector for [`index_crate`].
+fn collect_items(
+    tts: &[Tt],
+    renames: &mut Vec<(String, String)>,
+    type_rhs: &mut Vec<(String, Vec<String>)>,
+    field_idents: &mut Vec<(String, Vec<String>)>,
+    statics: &mut Vec<(String, Vec<String>)>,
+) {
+    let mut i = 0;
+    while i < tts.len() {
+        match &tts[i] {
+            t if t.is_ident("use") => {
+                let end = stmt_end(tts, i);
+                collect_use_tree(&tts[i + 1..end], None, renames);
+                i = end;
+                continue;
+            }
+            t if t.is_ident("type") => {
+                // `type Name<…> = RHS;`
+                if let Some(name) = tts.get(i + 1).and_then(|t| t.ident()) {
+                    let end = stmt_end(tts, i);
+                    if let Some(eq) = (i + 2..end).find(|&j| tts[j].is_punct('=')) {
+                        let mut rhs = Vec::new();
+                        idents_rec(&tts[eq + 1..end], &mut rhs);
+                        type_rhs.push((name.to_string(), rhs));
+                    }
+                    i = end;
+                    continue;
+                }
+            }
+            t if t.is_ident("struct") || t.is_ident("enum") || t.is_ident("union") => {
+                if let Some(name) = tts.get(i + 1).and_then(|t| t.ident()) {
+                    // Body is the next brace or paren group before `;`.
+                    let end = item_end(tts, i);
+                    let mut body = Vec::new();
+                    for tt in &tts[i + 2..end] {
+                        if let Tt::Group { tts, .. } = tt {
+                            idents_rec(tts, &mut body);
+                        }
+                    }
+                    field_idents.push((name.to_string(), body));
+                    i = end;
+                    continue;
+                }
+            }
+            t if t.is_ident("static") => {
+                // `static NAME: Type = …;` (skip `static mut` — it has its
+                // own rule already; still index it for capture purposes).
+                let mut j = i + 1;
+                if tts.get(j).is_some_and(|t| t.is_ident("mut")) {
+                    j += 1;
+                }
+                if let Some(name) = tts.get(j).and_then(|t| t.ident()) {
+                    let end = stmt_end(tts, i);
+                    let ty_end = (j + 1..end).find(|&k| tts[k].is_punct('=')).unwrap_or(end);
+                    let mut ty = Vec::new();
+                    idents_rec(&tts[j + 1..ty_end], &mut ty);
+                    statics.push((name.to_string(), ty));
+                    i = end;
+                    continue;
+                }
+            }
+            Tt::Group { tts: inner, .. } => {
+                collect_items(inner, renames, type_rhs, field_idents, statics);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Index just past the terminating `;` of the statement starting at `i`.
+fn stmt_end(tts: &[Tt], i: usize) -> usize {
+    (i..tts.len())
+        .find(|&j| tts[j].is_punct(';'))
+        .map(|j| j + 1)
+        .unwrap_or(tts.len())
+}
+
+/// End of an item: past its brace group or terminating `;`.
+fn item_end(tts: &[Tt], i: usize) -> usize {
+    for j in i..tts.len() {
+        match &tts[j] {
+            Tt::Group {
+                delim: Delim::Brace,
+                ..
+            } => return j + 1,
+            t if t.is_punct(';') => return j + 1,
+            _ => {}
+        }
+    }
+    tts.len()
+}
+
+/// Walk a `use` tree, recording `alias -> final segment` renames.
+/// `last` carries the most recent path segment seen at this level.
+fn collect_use_tree(tts: &[Tt], last: Option<&str>, renames: &mut Vec<(String, String)>) {
+    let mut last: Option<String> = last.map(|s| s.to_string());
+    let mut i = 0;
+    while i < tts.len() {
+        match &tts[i] {
+            t if t.is_ident("as") => {
+                if let (Some(target), Some(alias)) =
+                    (last.clone(), tts.get(i + 1).and_then(|t| t.ident()))
+                {
+                    renames.push((alias.to_string(), target));
+                }
+                i += 2;
+                continue;
+            }
+            Tt::Group { tts: inner, .. } => {
+                collect_use_tree(inner, last.as_deref(), renames);
+            }
+            Tt::Leaf(Token {
+                tok: Tok::Ident(s), ..
+            }) => last = Some(s.clone()),
+            Tt::Leaf(Token {
+                tok: Tok::Punct(','),
+                ..
+            }) => last = None,
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Result of the AST rule pass on one file.
+#[derive(Clone, Debug, Default)]
+pub struct AstScan {
+    /// Findings and suppressions, in the shared report shape.
+    pub report: ScanReport,
+    /// `// lint:` comment lines consumed by suppressions here.
+    pub consumed: BTreeSet<usize>,
+}
+
+/// Rayon parallel-iterator introductions.
+fn is_par_intro(name: &str) -> bool {
+    name == "into_par_iter"
+        || name == "par_bridge"
+        || (name.starts_with("par_") && name != "par_shards")
+}
+
+/// Mutating methods of interior-mutable cells — a call through a captured
+/// binding is shared mutation from inside the pool.
+fn is_im_method(name: &str) -> bool {
+    matches!(
+        name,
+        "lock"
+            | "try_lock"
+            | "borrow_mut"
+            | "fetch_add"
+            | "fetch_sub"
+            | "fetch_and"
+            | "fetch_or"
+            | "fetch_xor"
+            | "compare_exchange"
+            | "compare_exchange_weak"
+            | "get_or_init"
+            | "get_or_try_init"
+    )
+}
+
+/// A lexical scope for capture analysis.
+#[derive(Debug, Default)]
+struct Scope {
+    names: BTreeSet<String>,
+    /// The parameter scope of the *outermost* Rayon closure: names bound
+    /// at or above it are shard-owned; names below it are captures.
+    par_boundary: bool,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Ctx {
+    in_test: bool,
+    /// Inside the body of a closure passed to a parallel-chain call.
+    in_par_closure: bool,
+    /// Directly inside the argument group of a parallel-chain call
+    /// (closures opening here are Rayon closures).
+    par_call_args: bool,
+}
+
+/// The AST rule engine for one file.
+struct Walker<'a> {
+    rel: &'a str,
+    lines: Vec<&'a str>,
+    lexed: &'a Lexed,
+    index: &'a CrateIndex,
+    /// Scope for `rayon-capture-audit` / `float-order-in-par`.
+    par_crate: bool,
+    /// Scope for `panic-path-index`.
+    hot_crate: bool,
+    /// Enclosing-fn parameter types (idents), pushed per `fn`.
+    fn_params: Vec<BTreeMap<String, Vec<String>>>,
+    scopes: Vec<Scope>,
+    out: AstScan,
+}
+
+impl<'a> Walker<'a> {
+    fn excerpt(&self, line: u32) -> String {
+        self.lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+
+    fn hit(&mut self, rule: &'static str, line: u32) {
+        match self.lexed.waiver_for(line) {
+            Some((wline, justification)) => {
+                self.out.consumed.insert(wline as usize);
+                self.out.report.suppressed.push(Suppression {
+                    rule,
+                    file: self.rel.to_string(),
+                    line: line as usize,
+                    justification: justification.to_string(),
+                });
+            }
+            None => self.out.report.findings.push(Finding {
+                rule,
+                file: self.rel.to_string(),
+                line: line as usize,
+                excerpt: self.excerpt(line),
+            }),
+        }
+    }
+
+    /// Whether `name` is bound at or inside the outermost Rayon closure.
+    fn is_par_local(&self, name: &str) -> bool {
+        for s in self.scopes.iter().rev() {
+            if s.names.contains(name) {
+                return true;
+            }
+            if s.par_boundary {
+                return false;
+            }
+        }
+        false
+    }
+
+    fn bind(&mut self, name: &str) {
+        if let Some(s) = self.scopes.last_mut() {
+            s.names.insert(name.to_string());
+        }
+    }
+
+    /// Type idents of an enclosing-fn parameter named `name`, if any.
+    fn param_type(&self, name: &str) -> Option<&Vec<String>> {
+        self.fn_params.iter().rev().find_map(|m| m.get(name))
+    }
+
+    /// Walk one token sequence (an item body, group contents, …).
+    fn walk(&mut self, tts: &[Tt], ctx: Ctx) {
+        let mut pending_test = false;
+        let mut par_active = false;
+        let mut i = 0;
+        while i < tts.len() {
+            let in_test = ctx.in_test || pending_test;
+            match &tts[i] {
+                // ---- attributes: detect #[cfg(test)], then skip. ----
+                t if t.is_punct('#') => {
+                    let mut j = i + 1;
+                    if tts.get(j).is_some_and(|t| t.is_punct('!')) {
+                        j += 1;
+                    }
+                    if let Some(Tt::Group {
+                        delim: Delim::Bracket,
+                        tts: attr,
+                        ..
+                    }) = tts.get(j)
+                    {
+                        if attr_gates_test(attr) {
+                            pending_test = true;
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                // ---- statements the rules skip: use / type aliases. ----
+                t if t.is_ident("use") || t.is_ident("type") => {
+                    i = stmt_end(tts, i);
+                    continue;
+                }
+                // ---- fn items: capture the param type map. ----
+                t if t.is_ident("fn") => {
+                    if let Some(end) = self.walk_fn(tts, i, Ctx { in_test, ..ctx }) {
+                        pending_test = false;
+                        i = end;
+                        continue;
+                    }
+                }
+                // ---- let / for bindings. ----
+                t if t.is_ident("let") => {
+                    let stop = (i + 1..tts.len())
+                        .find(|&j| tts[j].is_punct('=') || tts[j].is_punct(';'))
+                        .unwrap_or(tts.len());
+                    for tt in &tts[i + 1..stop] {
+                        if let Some(name) = tt.ident() {
+                            self.bind(name);
+                        }
+                    }
+                    i += 1;
+                    continue;
+                }
+                t if t.is_ident("for") => {
+                    let stop = (i + 1..tts.len())
+                        .find(|&j| {
+                            tts[j].is_ident("in")
+                                || tts[j].is_punct(';')
+                                || matches!(
+                                    tts[j],
+                                    Tt::Group {
+                                        delim: Delim::Brace,
+                                        ..
+                                    }
+                                )
+                        })
+                        .unwrap_or(tts.len());
+                    for tt in &tts[i + 1..stop] {
+                        if let Some(name) = tt.ident() {
+                            self.bind(name);
+                        }
+                    }
+                    i += 1;
+                    continue;
+                }
+                _ => {}
+            }
+
+            // ---- closures. ----
+            if let Some((params_end, body_end)) = closure_at(tts, i) {
+                let is_par_closure = self.par_crate && (ctx.par_call_args || ctx.in_par_closure);
+                self.scopes.push(Scope {
+                    names: BTreeSet::new(),
+                    par_boundary: is_par_closure && !ctx.in_par_closure,
+                });
+                let pstart = i + 1;
+                for tt in &tts[pstart..params_end] {
+                    if let Some(name) = tt.ident() {
+                        self.bind(name);
+                    }
+                }
+                let body_ctx = Ctx {
+                    in_test,
+                    in_par_closure: ctx.in_par_closure || is_par_closure,
+                    par_call_args: false,
+                };
+                self.walk(&tts[params_end + 1..body_end], body_ctx);
+                self.scopes.pop();
+                i = body_end;
+                continue;
+            }
+
+            // ---- method chains: par context and call-site rules. ----
+            if tts[i].is_punct('.') {
+                if let Some(name) = tts.get(i + 1).and_then(|t| t.ident()) {
+                    // Optional turbofish between name and args group.
+                    let mut j = i + 2;
+                    let turbo_start = j;
+                    if tts.get(j).is_some_and(|t| {
+                        matches!(
+                            t,
+                            Tt::Leaf(Token {
+                                tok: Tok::PathSep,
+                                ..
+                            })
+                        )
+                    }) {
+                        j += 1;
+                        let mut depth = 0i32;
+                        while j < tts.len() {
+                            if tts[j].is_punct('<') {
+                                depth += 1;
+                            } else if tts[j].is_punct('>') {
+                                depth -= 1;
+                                if depth == 0 {
+                                    j += 1;
+                                    break;
+                                }
+                            }
+                            j += 1;
+                        }
+                    }
+                    let args = match tts.get(j) {
+                        Some(Tt::Group {
+                            delim: Delim::Paren,
+                            tts: args,
+                            open_line,
+                        }) => Some((args.as_slice(), *open_line)),
+                        _ => None,
+                    };
+                    if let Some((args, line)) = args {
+                        let was_par = par_active;
+                        if is_par_intro(name) {
+                            par_active = true;
+                        }
+                        if name == "collect" {
+                            par_active = false;
+                        }
+                        // float-order-in-par: a parallel reduction whose
+                        // operands are floats.
+                        if was_par
+                            && self.par_crate
+                            && !in_test
+                            && matches!(name, "reduce" | "fold" | "sum" | "product")
+                        {
+                            let mut toks: Vec<&Tt> = tts[turbo_start..j].iter().collect();
+                            toks.extend(args.iter());
+                            if tokens_mention_float(&toks) {
+                                self.hit("float-order-in-par", line);
+                            }
+                        }
+                        // rayon-capture-audit, method form: mutation of a
+                        // captured cell through `.lock()` & friends.
+                        if ctx.in_par_closure && self.par_crate && !in_test && is_im_method(name) {
+                            if let Some(root) = chain_root(tts, i) {
+                                if !self.is_par_local(&root) {
+                                    self.hit("rayon-capture-audit", line);
+                                }
+                            }
+                        }
+                        // Walk the args: closures inside a par-chain call
+                        // are Rayon closures.
+                        self.walk(
+                            args,
+                            Ctx {
+                                in_test,
+                                in_par_closure: ctx.in_par_closure,
+                                par_call_args: was_par || par_active || ctx.in_par_closure,
+                            },
+                        );
+                        i = j + 1;
+                        continue;
+                    }
+                }
+            }
+
+            // ---- statement separators reset the chain context. ----
+            if tts[i].is_punct(';') || tts[i].is_punct(',') {
+                par_active = false;
+            }
+
+            // ---- `as` casts: lossy-id-cast. ----
+            if tts[i].is_ident("as") && i > 0 {
+                if let Some(target) = tts.get(i + 1).and_then(|t| t.ident()) {
+                    let narrow32 = matches!(target, "u32" | "i32" | "u16" | "i16" | "u8" | "i8");
+                    let narrow16 = matches!(target, "u16" | "i16" | "u8" | "i8");
+                    if narrow32 && !in_test {
+                        let src = cast_source_idents(tts, i);
+                        let round_src = src.iter().any(|s| is_round_ident(s));
+                        let id_src = src.iter().any(|s| is_id_ident(s));
+                        if round_src || (narrow16 && id_src) {
+                            self.hit("lossy-id-cast", tts[i].line());
+                        }
+                    }
+                }
+            }
+
+            // ---- postfix indexing: panic-path-index. ----
+            if self.hot_crate && !in_test && i > 0 {
+                if let Tt::Group {
+                    delim: Delim::Bracket,
+                    tts: idx,
+                    open_line,
+                } = &tts[i]
+                {
+                    let prev_postfix = match &tts[i - 1] {
+                        t if t.ident().is_some() => !is_keywordish(tts[i - 1].ident().unwrap()),
+                        Tt::Group { delim, .. } => *delim != Delim::Brace,
+                        t => t.is_punct('?'),
+                    };
+                    let after_attr_or_macro =
+                        tts.get(i.wrapping_sub(2)).is_some_and(|t| t.is_punct('#'))
+                            || tts[i - 1].is_punct('!');
+                    if prev_postfix && !after_attr_or_macro && contains_minus(idx) {
+                        self.hit("panic-path-index", *open_line);
+                    }
+                }
+            }
+
+            // ---- bare identifiers: alias + capture rules. ----
+            if let Some(name) = tts[i].ident() {
+                if !in_test {
+                    if let Some(base) = self.index.hasher_aliases.get(name) {
+                        let base = *base;
+                        let _ = base;
+                        self.hit("alias-evading-hasher", tts[i].line());
+                    }
+                    if ctx.in_par_closure && self.par_crate {
+                        // &mut capture of a non-shard-owned binding.
+                        if name == "mut" && i > 0 && tts[i - 1].is_punct('&') {
+                            if let Some(target) = tts.get(i + 1).and_then(|t| t.ident()) {
+                                if !self.is_par_local(target) {
+                                    self.hit("rayon-capture-audit", tts[i].line());
+                                }
+                            }
+                        }
+                        // Captured interior-mutable static or IM-typed
+                        // enclosing-fn parameter.
+                        let is_shadowed = self.is_par_local(name);
+                        if !is_shadowed {
+                            if self.index.im_statics.contains(name) {
+                                self.hit("rayon-capture-audit", tts[i].line());
+                            } else if self
+                                .param_type(name)
+                                .is_some_and(|ty| self.index.type_idents_interior_mutable(ty))
+                            {
+                                self.hit("rayon-capture-audit", tts[i].line());
+                            }
+                        }
+                    }
+                }
+            }
+
+            // ---- recurse into remaining groups. ----
+            if let Tt::Group {
+                delim, tts: inner, ..
+            } = &tts[i]
+            {
+                let braces = *delim == Delim::Brace;
+                if braces {
+                    self.scopes.push(Scope::default());
+                }
+                let inner_ctx = Ctx {
+                    in_test: in_test && braces || ctx.in_test || pending_test,
+                    in_par_closure: ctx.in_par_closure,
+                    // A paren group directly in a par chain is handled in
+                    // the method-chain arm above; other groups do not make
+                    // their closures parallel.
+                    par_call_args: false,
+                };
+                self.walk(inner, inner_ctx);
+                if braces {
+                    self.scopes.pop();
+                    if pending_test {
+                        pending_test = false;
+                    }
+                }
+            }
+            if tts[i].is_punct(';') && pending_test {
+                pending_test = false;
+            }
+            i += 1;
+        }
+    }
+
+    /// Walk a `fn` item starting at `tts[i] == fn`; returns the index just
+    /// past the item, or `None` if the shape is unexpected.
+    fn walk_fn(&mut self, tts: &[Tt], i: usize, ctx: Ctx) -> Option<usize> {
+        // fn name <generics>? (params) -> ret where … { body }
+        let params_at = (i + 1..tts.len()).find(|&j| {
+            matches!(
+                tts[j],
+                Tt::Group {
+                    delim: Delim::Paren,
+                    ..
+                }
+            )
+        })?;
+        let Tt::Group { tts: params, .. } = &tts[params_at] else {
+            return None;
+        };
+        let end = item_end(tts, params_at);
+        // Param/return types are not part of the body walk, but an aliased
+        // hasher in a signature is still a use of it — check them here
+        // (stop before the body group: the body walk covers that).
+        let sig_end = match tts.get(end - 1) {
+            Some(Tt::Group {
+                delim: Delim::Brace,
+                ..
+            }) => end - 1,
+            _ => end,
+        };
+        if !ctx.in_test {
+            let mut sig_hits = Vec::new();
+            alias_idents(&tts[params_at..sig_end], self.index, &mut sig_hits);
+            for line in sig_hits {
+                self.hit("alias-evading-hasher", line);
+            }
+        }
+        let mut map = BTreeMap::new();
+        for part in split_top(params, ',') {
+            // `name: Type` / `mut name: Type` / pattern params: take the
+            // idents before the first `:` as names, the rest as the type.
+            let colon = part.iter().position(|t| t.is_punct(':'));
+            let (names, ty) = match colon {
+                Some(c) => (&part[..c], &part[c + 1..]),
+                None => (part.as_slice(), &part[0..0]),
+            };
+            let mut ty_idents = Vec::new();
+            for tt in ty {
+                collect_type_idents(tt, &mut ty_idents);
+            }
+            for tt in names {
+                if let Some(name) = tt.ident() {
+                    if name != "mut" && name != "ref" {
+                        map.insert(name.to_string(), ty_idents.clone());
+                    }
+                }
+            }
+        }
+        // Body (if not a trait-decl `;`).
+        if let Some(Tt::Group {
+            delim: Delim::Brace,
+            tts: body,
+            ..
+        }) = tts.get(end - 1)
+        {
+            self.fn_params.push(map.clone());
+            self.scopes.push(Scope {
+                names: map.keys().cloned().collect(),
+                par_boundary: false,
+            });
+            self.walk(
+                body,
+                Ctx {
+                    in_par_closure: false,
+                    par_call_args: false,
+                    ..ctx
+                },
+            );
+            self.scopes.pop();
+            self.fn_params.pop();
+        }
+        Some(end)
+    }
+}
+
+/// Collect the lines of every leaf identifier (recursively) that resolves
+/// through the crate index to `HashMap`/`HashSet`.
+fn alias_idents(tts: &[Tt], index: &CrateIndex, out: &mut Vec<u32>) {
+    for tt in tts {
+        match tt {
+            Tt::Leaf(_) => {
+                if let Some(name) = tt.ident() {
+                    if index.hasher_aliases.contains_key(name) {
+                        out.push(tt.line());
+                    }
+                }
+            }
+            Tt::Group { tts: inner, .. } => alias_idents(inner, index, out),
+        }
+    }
+}
+
+/// Split a token-tree list on `sep` at the top level, tracking `<`/`>`
+/// depth so commas inside generics (`BTreeMap<u32, u32>`) don't split.
+/// (`->` lexes as [`Tok::RArrow`], so return arrows don't disturb depth.)
+fn split_top(tts: &[Tt], sep: char) -> Vec<Vec<Tt>> {
+    let mut parts = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for tt in tts {
+        if tt.is_punct('<') {
+            angle += 1;
+        } else if tt.is_punct('>') {
+            angle = (angle - 1).max(0);
+        } else if angle == 0 && tt.is_punct(sep) {
+            parts.push(std::mem::take(&mut cur));
+            continue;
+        }
+        cur.push(tt.clone());
+    }
+    if !cur.is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+fn collect_type_idents(tt: &Tt, out: &mut Vec<String>) {
+    match tt {
+        Tt::Leaf(Token {
+            tok: Tok::Ident(s), ..
+        }) => out.push(s.clone()),
+        Tt::Group { tts, .. } => idents_rec(tts, out),
+        _ => {}
+    }
+}
+
+/// Does `#[…]` gate a test build? Matches `cfg(test)` and
+/// `cfg(all(test, …))` precisely — *not* `cfg(not(test))`.
+fn attr_gates_test(attr: &[Tt]) -> bool {
+    if !attr.first().is_some_and(|t| t.is_ident("cfg")) {
+        return false;
+    }
+    let Some(Tt::Group { tts: args, .. }) = attr.get(1) else {
+        return false;
+    };
+    match args.first() {
+        Some(t) if t.is_ident("test") => true,
+        Some(t) if t.is_ident("all") => match args.get(1) {
+            Some(Tt::Group { tts: inner, .. }) => inner.first().is_some_and(|t| t.is_ident("test")),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Keywords that can directly precede a `[`-group without it being an
+/// index expression (`return [..]`, `break [..]`, …).
+fn is_keywordish(name: &str) -> bool {
+    matches!(
+        name,
+        "return"
+            | "break"
+            | "in"
+            | "if"
+            | "else"
+            | "match"
+            | "move"
+            | "mut"
+            | "ref"
+            | "as"
+            | "let"
+            | "where"
+            | "impl"
+            | "dyn"
+            | "const"
+            | "static"
+            | "for"
+            | "while"
+            | "loop"
+    )
+}
+
+/// Detect a closure starting at `tts[i]` (a `|`): returns
+/// `(params_end, body_end)` — indices of the closing `|` and one past the
+/// body — or `None` if this `|` is a binary operator.
+fn closure_at(tts: &[Tt], i: usize) -> Option<(usize, usize)> {
+    if !tts[i].is_punct('|') {
+        return None;
+    }
+    let starts_closure = match i.checked_sub(1).map(|p| &tts[p]) {
+        None => true,
+        Some(prev) => {
+            prev.is_punct(',')
+                || prev.is_punct('=')
+                || prev.is_punct('(')
+                || prev.is_ident("move")
+                || prev.is_ident("return")
+                || prev.is_ident("else")
+                || matches!(
+                    prev,
+                    Tt::Leaf(Token {
+                        tok: Tok::FatArrow,
+                        ..
+                    })
+                )
+        }
+    };
+    if !starts_closure {
+        return None;
+    }
+    // Find the closing `|` at this level.
+    let params_end = (i + 1..tts.len()).find(|&j| tts[j].is_punct('|'))?;
+    // Body: one group, or a token run to the next top-level `,`.
+    let body_start = params_end + 1;
+    if body_start >= tts.len() {
+        return None;
+    }
+    let body_end = match &tts[body_start] {
+        Tt::Group { .. }
+            if body_start + 1 >= tts.len()
+                || tts[body_start + 1].is_punct(',')
+                || tts[body_start + 1].is_punct(';') =>
+        {
+            body_start + 1
+        }
+        _ => (body_start..tts.len())
+            .find(|&j| tts[j].is_punct(',') || tts[j].is_punct(';'))
+            .unwrap_or(tts.len()),
+    };
+    Some((params_end, body_end))
+}
+
+/// Do these tokens (turbofish + call args of a reduction) mention floats?
+fn tokens_mention_float(toks: &[&Tt]) -> bool {
+    fn rec(tt: &Tt) -> bool {
+        match tt {
+            Tt::Leaf(Token {
+                tok: Tok::Ident(s), ..
+            }) => s == "f32" || s == "f64",
+            Tt::Leaf(Token {
+                tok: Tok::LitNum { float },
+                ..
+            }) => *float,
+            Tt::Group { tts, .. } => tts.iter().any(rec),
+            _ => false,
+        }
+    }
+    toks.iter().any(|t| rec(t))
+}
+
+/// Root identifier of the method chain whose `.` sits at `tts[dot]`.
+fn chain_root(tts: &[Tt], dot: usize) -> Option<String> {
+    let mut j = dot;
+    let mut root = None;
+    while j > 0 {
+        j -= 1;
+        match &tts[j] {
+            Tt::Leaf(Token {
+                tok: Tok::Ident(s), ..
+            }) => {
+                root = Some(s.clone());
+                let cont = j > 0
+                    && (tts[j - 1].is_punct('.')
+                        || matches!(
+                            tts[j - 1],
+                            Tt::Leaf(Token {
+                                tok: Tok::PathSep,
+                                ..
+                            })
+                        ));
+                if !cont {
+                    break;
+                }
+            }
+            Tt::Leaf(Token {
+                tok: Tok::LitNum { .. },
+                ..
+            }) if j > 0 && tts[j - 1].is_punct('.') => {}
+            Tt::Group {
+                delim: Delim::Paren | Delim::Bracket,
+                ..
+            } => {}
+            t if t.is_punct('.') || t.is_punct('?') => {}
+            Tt::Leaf(Token {
+                tok: Tok::PathSep, ..
+            }) => {}
+            _ => break,
+        }
+    }
+    root
+}
+
+/// Identifiers of the primary expression being cast at `tts[as_at]`.
+fn cast_source_idents(tts: &[Tt], as_at: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut j = as_at;
+    while j > 0 {
+        j -= 1;
+        match &tts[j] {
+            Tt::Group {
+                delim: Delim::Paren | Delim::Bracket,
+                tts: inner,
+                ..
+            } => {
+                idents_rec(inner, &mut out);
+                // A call's group continues the chain to its callee; a
+                // bare parenthesized expression ends it.
+                let is_call = j > 0
+                    && (tts[j - 1].ident().is_some()
+                        || tts[j - 1].is_punct('.')
+                        || matches!(
+                            tts[j - 1],
+                            Tt::Leaf(Token {
+                                tok: Tok::PathSep,
+                                ..
+                            })
+                        ));
+                if !is_call {
+                    break;
+                }
+            }
+            Tt::Leaf(Token {
+                tok: Tok::Ident(s), ..
+            }) => {
+                if s == "as" || is_keywordish(s) {
+                    break;
+                }
+                out.push(s.clone());
+                let cont = j > 0
+                    && (tts[j - 1].is_punct('.')
+                        || matches!(
+                            tts[j - 1],
+                            Tt::Leaf(Token {
+                                tok: Tok::PathSep,
+                                ..
+                            })
+                        ));
+                if !cont {
+                    break;
+                }
+            }
+            Tt::Leaf(Token {
+                tok: Tok::LitNum { .. },
+                ..
+            }) if j > 0 && tts[j - 1].is_punct('.') => {}
+            t if t.is_punct('.') || t.is_punct('?') => {}
+            Tt::Leaf(Token {
+                tok: Tok::PathSep, ..
+            }) => {}
+            _ => break,
+        }
+    }
+    out
+}
+
+/// Any top-level or nested `-` inside an index expression (`->`/`..` lex
+/// as their own tokens, so arrows and ranges never match).
+fn contains_minus(tts: &[Tt]) -> bool {
+    tts.iter().any(|tt| match tt {
+        t if t.is_punct('-') => true,
+        Tt::Group { tts, .. } => contains_minus(tts),
+        _ => false,
+    })
+}
+
+/// `Round`-typed (u64) value names: casting below 64 bits is lossy.
+fn is_round_ident(s: &str) -> bool {
+    s == "round"
+        || s == "arrival"
+        || s == "Round"
+        || s.ends_with("_round")
+        || s.starts_with("round_")
+}
+
+/// Id/slot-typed (u32) value names: casting below 32 bits is lossy.
+fn is_id_ident(s: &str) -> bool {
+    s == "id"
+        || s == "slot"
+        || s == "RequestId"
+        || s == "ResourceId"
+        || s.ends_with("_id")
+        || s.ends_with("_slot")
+}
+
+/// Crates whose parallel engines the capture/float rules guard.
+fn in_par_crates(rel: &str) -> bool {
+    rel.starts_with("crates/sim/")
+        || rel.starts_with("crates/offline/")
+        || rel.starts_with("crates/matching/")
+}
+
+/// Crates whose library sources count as panic-sensitive hot paths.
+fn in_hot_crates(rel: &str) -> bool {
+    rel.starts_with("crates/core/")
+        || rel.starts_with("crates/matching/")
+        || rel.starts_with("crates/sim/")
+        || rel.starts_with("crates/offline/")
+}
+
+/// Run the five AST rules over one parsed library source file.
+pub fn ast_scan(
+    rel: &str,
+    text: &str,
+    kind: FileKind,
+    trees: &[Tt],
+    lexed: &Lexed,
+    index: &CrateIndex,
+) -> AstScan {
+    if kind != FileKind::LibSource {
+        return AstScan::default();
+    }
+    let mut w = Walker {
+        rel,
+        lines: text.lines().collect(),
+        lexed,
+        index,
+        par_crate: in_par_crates(rel),
+        hot_crate: in_hot_crates(rel),
+        fn_params: Vec::new(),
+        scopes: vec![Scope::default()],
+        out: AstScan::default(),
+    };
+    w.walk(trees, Ctx::default());
+    let mut out = w.out;
+    out.report
+        .findings
+        .sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn scan(rel: &str, src: &str) -> AstScan {
+        let lexed = lex(src).expect("lex");
+        let trees = build_trees(&lexed.tokens).expect("trees");
+        let index = index_crate(&[(rel, trees.as_slice())]);
+        ast_scan(rel, src, FileKind::LibSource, &trees, &lexed, &index)
+    }
+
+    fn rules(scan: &AstScan) -> Vec<&'static str> {
+        scan.report.findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn use_rename_indexed_and_uses_flagged() {
+        let src = "use std::collections::HashMap as FastMap; // lint: t\n\
+                   fn f() { let m: FastMap<u32, u32> = FastMap::new(); }\n";
+        let s = scan("crates/core/src/x.rs", src);
+        assert_eq!(
+            rules(&s),
+            vec!["alias-evading-hasher", "alias-evading-hasher"]
+        );
+    }
+
+    #[test]
+    fn type_alias_chain_resolves_to_fixpoint() {
+        let src = "use std::collections::HashSet as S0; // lint: t\n\
+                   type S1 = S0<u64>; // lint: t\n\
+                   fn g(x: S1) {}\n";
+        let s = scan("crates/core/src/x.rs", src);
+        assert_eq!(rules(&s), vec!["alias-evading-hasher"]);
+        assert_eq!(s.report.findings[0].line, 3);
+    }
+
+    #[test]
+    fn mutex_capture_in_par_closure_flagged() {
+        let src = "use std::sync::Mutex;\n\
+                   fn f(shared: &Mutex<Vec<u64>>, xs: &[u64]) {\n\
+                       xs.par_iter().for_each(|x| {\n\
+                           shared.lock().unwrap().push(*x);\n\
+                       });\n\
+                   }\n";
+        let s = scan("crates/sim/src/x.rs", src);
+        assert!(rules(&s).contains(&"rayon-capture-audit"), "{s:?}");
+    }
+
+    #[test]
+    fn shard_owned_receiver_is_exempt() {
+        let src = "fn f(groups: &mut Vec<G>) {\n\
+                       groups.par_iter_mut().for_each(|g| { g.step(); });\n\
+                       let done: Vec<G> = std::mem::take(groups)\n\
+                           .into_par_iter()\n\
+                           .map(|mut g| { g.step(); g })\n\
+                           .collect();\n\
+                   }\n";
+        let s = scan("crates/sim/src/x.rs", src);
+        assert!(s.report.findings.is_empty(), "{:?}", s.report.findings);
+    }
+
+    #[test]
+    fn mut_capture_in_par_closure_flagged() {
+        let src = "fn f(xs: &[u64]) {\n\
+                       let mut total = 0u64;\n\
+                       xs.par_iter().for_each(|x| push(&mut total, *x));\n\
+                   }\n";
+        let s = scan("crates/offline/src/x.rs", src);
+        assert_eq!(rules(&s), vec!["rayon-capture-audit"]);
+    }
+
+    #[test]
+    fn im_struct_param_capture_flagged_via_index() {
+        let src = "pub struct Cache { inner: Mutex<u64> }\n\
+                   fn f(cache: &Cache, xs: &[u64]) {\n\
+                       xs.par_iter().map(|x| cache.probe(*x)).collect::<Vec<_>>();\n\
+                   }\n";
+        let s = scan("crates/sim/src/x.rs", src);
+        assert_eq!(rules(&s), vec!["rayon-capture-audit"]);
+    }
+
+    #[test]
+    fn float_reduce_in_par_chain_flagged() {
+        let src = "fn f(xs: &[f64]) -> f64 {\n\
+                       xs.par_iter().map(|x| x * 2.0).reduce(|| 0.0, |a, b| a + b)\n\
+                   }\n";
+        let s = scan("crates/offline/src/x.rs", src);
+        assert!(rules(&s).contains(&"float-order-in-par"), "{s:?}");
+    }
+
+    #[test]
+    fn integer_reduce_has_no_float_finding() {
+        let src = "fn f(xs: &[u64]) -> u64 {\n\
+                       xs.par_iter().map(|x| x * 2).reduce(|| 0, |a, b| a + b)\n\
+                   }\n";
+        let s = scan("crates/offline/src/x.rs", src);
+        assert!(!rules(&s).contains(&"float-order-in-par"), "{s:?}");
+    }
+
+    #[test]
+    fn lossy_round_cast_flagged_and_widening_ignored() {
+        let src = "fn f(round: u64, n: u64, res: u32) -> u32 {\n\
+                       let wide = round * n + res as u64;\n\
+                       (round * n) as u32\n\
+                   }\n";
+        let s = scan("crates/core/src/x.rs", src);
+        assert_eq!(rules(&s), vec!["lossy-id-cast"]);
+        assert_eq!(s.report.findings[0].line, 3);
+    }
+
+    #[test]
+    fn id_cast_to_u16_flagged_but_u32_ok() {
+        let src = "fn f(req_id: u32) { let a = req_id as u16; let b = req_id as u64; }\n";
+        let s = scan("crates/core/src/x.rs", src);
+        assert_eq!(rules(&s), vec!["lossy-id-cast"]);
+    }
+
+    #[test]
+    fn subtraction_index_flagged_outside_tests() {
+        let src = "fn f(xs: &[u64], i: usize) -> u64 { xs[i - 1] }\n\
+                   #[cfg(test)]\n\
+                   mod tests { fn g(xs: &[u64], i: usize) -> u64 { xs[i - 1] } }\n";
+        let s = scan("crates/matching/src/x.rs", src);
+        assert_eq!(rules(&s), vec!["panic-path-index"]);
+        assert_eq!(s.report.findings[0].line, 1);
+    }
+
+    #[test]
+    fn array_types_attrs_and_plain_indexing_unflagged() {
+        let src =
+            "fn f(xs: &[u64; 4], i: usize) -> u64 { let a: [u64; 2] = [1, 2]; xs[i] + a[0] }\n";
+        let s = scan("crates/matching/src/x.rs", src);
+        assert!(s.report.findings.is_empty(), "{:?}", s.report.findings);
+    }
+
+    #[test]
+    fn waiver_suppresses_and_records_consumption() {
+        let src = "fn f(xs: &[u64], i: usize) -> u64 {\n\
+                       // lint: i is the successor of a verified occupied slot\n\
+                       xs[i - 1]\n\
+                   }\n";
+        let s = scan("crates/matching/src/x.rs", src);
+        assert!(s.report.findings.is_empty(), "{:?}", s.report.findings);
+        assert_eq!(s.report.suppressed.len(), 1);
+        assert!(s.consumed.contains(&2));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_gated() {
+        let src = "#[cfg(not(test))]\n\
+                   fn f(xs: &[u64], i: usize) -> u64 { xs[i - 1] }\n";
+        let s = scan("crates/matching/src/x.rs", src);
+        assert_eq!(rules(&s), vec!["panic-path-index"]);
+    }
+
+    #[test]
+    fn cross_file_alias_is_seen_via_the_crate_index() {
+        let def = "pub use std::collections::HashMap as SlotMap; // lint: t\n";
+        let usage = "fn f() { let m = SlotMap::new(); }\n";
+        let ldef = lex(def).unwrap();
+        let lusage = lex(usage).unwrap();
+        let tdef = build_trees(&ldef.tokens).unwrap();
+        let tusage = build_trees(&lusage.tokens).unwrap();
+        let index = index_crate(&[
+            ("crates/core/src/a.rs", tdef.as_slice()),
+            ("crates/core/src/b.rs", tusage.as_slice()),
+        ]);
+        let s = ast_scan(
+            "crates/core/src/b.rs",
+            usage,
+            FileKind::LibSource,
+            &tusage,
+            &lusage,
+            &index,
+        );
+        assert_eq!(rules(&s), vec!["alias-evading-hasher"]);
+    }
+}

@@ -1,0 +1,528 @@
+//! Full-fidelity Rust lexer for the AST-grade analyzer.
+//!
+//! Unlike the per-line [`crate::sanitize`] state machine (kept as the
+//! fallback for files that fail to lex), this tokenizer works on the whole
+//! file at once, so multi-line raw strings, nested block comments and
+//! arbitrary `#`-count raw delimiters are exact, and every token carries
+//! its 1-based source line. It also collects the two per-line side tables
+//! the waiver machinery needs: the `// lint:` comment on each line, and
+//! whether a line carries any code token at all (a comment-only `// lint:`
+//! line forwards its waiver to the next line).
+//!
+//! The lexer is deliberately total over the subset of Rust this repo uses;
+//! anything it cannot make sense of (an unterminated string, a stray
+//! delimiter) is a [`LexError`] and the caller falls back to the string
+//! scanner for that file.
+
+use std::collections::BTreeMap;
+
+/// Delimiter kind of a [`Tok::Open`] / [`Tok::Close`] pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Delim {
+    /// `( … )`
+    Paren,
+    /// `[ … ]`
+    Bracket,
+    /// `{ … }`
+    Brace,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (including `_`, `self`, `as`, `mut`, …).
+    Ident(String),
+    /// `'a` — distinguished from char literals.
+    Lifetime(String),
+    /// String/byte/raw-string literal (contents dropped; they must never
+    /// match a rule).
+    LitStr,
+    /// Char or byte literal.
+    LitChar,
+    /// Numeric literal; `float` is true for `1.0`, `1e9`, `2f64`, ….
+    LitNum {
+        /// Whether the literal is a floating-point literal.
+        float: bool,
+    },
+    /// `::`
+    PathSep,
+    /// `->`
+    RArrow,
+    /// `=>`
+    FatArrow,
+    /// `..`, `..=` or `...`
+    DotDot,
+    /// Any other single punctuation character.
+    Punct(char),
+    /// Opening delimiter.
+    Open(Delim),
+    /// Closing delimiter.
+    Close(Delim),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Why a file could not be lexed (caller falls back to the line scanner).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line of the offending construct.
+    pub line: u32,
+    /// Human-readable reason.
+    pub msg: String,
+}
+
+/// Token stream plus the per-line side tables used by waiver handling.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// All tokens in source order.
+    pub tokens: Vec<Token>,
+    /// `// lint: <reason>` comments, keyed by 1-based line.
+    pub lint_comments: BTreeMap<u32, String>,
+    /// Lines that carry at least one code token (not comment-only).
+    pub code_lines: std::collections::BTreeSet<u32>,
+}
+
+impl Lexed {
+    /// The waiver justification applying to `line`, if any: a `// lint:`
+    /// comment on the line itself, or on a comment-only line directly
+    /// above it. Returns the *comment's* line too, so consumption can be
+    /// tracked for the stale-waiver wall.
+    pub fn waiver_for(&self, line: u32) -> Option<(u32, &str)> {
+        if let Some(j) = self.lint_comments.get(&line) {
+            return Some((line, j.as_str()));
+        }
+        let prev = line.checked_sub(1)?;
+        match self.lint_comments.get(&prev) {
+            Some(j) if !self.code_lines.contains(&prev) => Some((prev, j.as_str())),
+            _ => None,
+        }
+    }
+}
+
+/// Lex `text` into a [`Lexed`] stream.
+pub fn lex(text: &str) -> Result<Lexed, LexError> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = Lexed::default();
+    let mut line: u32 = 1;
+    let mut i = 0usize;
+    let n = chars.len();
+
+    macro_rules! push {
+        ($tok:expr, $line:expr) => {{
+            out.code_lines.insert($line);
+            out.tokens.push(Token {
+                tok: $tok,
+                line: $line,
+            });
+        }};
+    }
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                // Line comment; capture `lint:` waivers (doc slashes and
+                // leading `!` are not waiver carriers: `// lint:` exactly,
+                // after optional whitespace).
+                let start = i + 2;
+                let mut j = start;
+                while j < n && chars[j] != '\n' {
+                    j += 1;
+                }
+                let body: String = chars[start..j].iter().collect();
+                if let Some(reason) = body.trim().strip_prefix("lint:") {
+                    out.lint_comments.insert(line, reason.trim().to_string());
+                }
+                i = j;
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let start_line = line;
+                let mut depth = 1u32;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    match chars[j] {
+                        '\n' => {
+                            line += 1;
+                            j += 1;
+                        }
+                        '*' if chars.get(j + 1) == Some(&'/') => {
+                            depth -= 1;
+                            j += 2;
+                        }
+                        '/' if chars.get(j + 1) == Some(&'*') => {
+                            depth += 1;
+                            j += 2;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                if depth > 0 {
+                    return Err(LexError {
+                        line: start_line,
+                        msg: "unterminated block comment".into(),
+                    });
+                }
+                i = j;
+            }
+            '"' => {
+                let l = line;
+                i = lex_string(&chars, i, &mut line)?;
+                push!(Tok::LitStr, l);
+            }
+            '\'' => {
+                // Char literal vs lifetime.
+                let next = chars.get(i + 1);
+                let is_char = match next {
+                    Some(&'\\') => true,
+                    Some(&nc) => chars.get(i + 2) == Some(&'\'') && nc != '\'',
+                    None => false,
+                };
+                if is_char {
+                    let l = line;
+                    i = lex_char(&chars, i, line)?;
+                    push!(Tok::LitChar, l);
+                } else {
+                    // Lifetime: 'ident
+                    let mut j = i + 1;
+                    let mut name = String::new();
+                    while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                        name.push(chars[j]);
+                        j += 1;
+                    }
+                    // `'u{…}'`-style escapes were handled above; a bare
+                    // tick with no ident (pattern like `&'_`) still lexes.
+                    push!(Tok::Lifetime(name), line);
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let l = line;
+                let (j, float) = lex_number(&chars, i);
+                push!(Tok::LitNum { float }, l);
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                let mut name = String::new();
+                while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    name.push(chars[j]);
+                    j += 1;
+                }
+                // Raw/byte string prefixes: r"…", r#"…"#, b"…", br#"…"#, c"…".
+                let is_str_prefix = matches!(name.as_str(), "r" | "b" | "br" | "rb" | "c" | "cr")
+                    && matches!(chars.get(j), Some(&'"') | Some(&'#'));
+                if is_str_prefix {
+                    let l = line;
+                    if name.contains('r') || chars.get(j) == Some(&'#') {
+                        match lex_raw_string(&chars, j, &mut line) {
+                            Some(end) => {
+                                push!(Tok::LitStr, l);
+                                i = end;
+                                continue;
+                            }
+                            None => {
+                                // `r#ident` raw identifier, or `#` not a
+                                // raw string: fall through as ident.
+                            }
+                        }
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        i = lex_string(&chars, j, &mut line)?;
+                        push!(Tok::LitStr, l);
+                        continue;
+                    }
+                }
+                // Byte char b'x'
+                if name == "b" && chars.get(j) == Some(&'\'') {
+                    let l = line;
+                    i = lex_char(&chars, j, line)?;
+                    push!(Tok::LitChar, l);
+                    continue;
+                }
+                push!(Tok::Ident(name), line);
+                i = j;
+            }
+            '(' => {
+                push!(Tok::Open(Delim::Paren), line);
+                i += 1;
+            }
+            ')' => {
+                push!(Tok::Close(Delim::Paren), line);
+                i += 1;
+            }
+            '[' => {
+                push!(Tok::Open(Delim::Bracket), line);
+                i += 1;
+            }
+            ']' => {
+                push!(Tok::Close(Delim::Bracket), line);
+                i += 1;
+            }
+            '{' => {
+                push!(Tok::Open(Delim::Brace), line);
+                i += 1;
+            }
+            '}' => {
+                push!(Tok::Close(Delim::Brace), line);
+                i += 1;
+            }
+            ':' if chars.get(i + 1) == Some(&':') => {
+                push!(Tok::PathSep, line);
+                i += 2;
+            }
+            '-' if chars.get(i + 1) == Some(&'>') => {
+                push!(Tok::RArrow, line);
+                i += 2;
+            }
+            '=' if chars.get(i + 1) == Some(&'>') => {
+                push!(Tok::FatArrow, line);
+                i += 2;
+            }
+            '.' if chars.get(i + 1) == Some(&'.') => {
+                let mut j = i + 2;
+                if matches!(chars.get(j), Some(&'.') | Some(&'=')) {
+                    j += 1;
+                }
+                push!(Tok::DotDot, line);
+                i = j;
+            }
+            c => {
+                push!(Tok::Punct(c), line);
+                i += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Lex a `"…"` string starting at `chars[i] == '"'`; returns the index
+/// past the closing quote, tracking newlines into `line`.
+fn lex_string(chars: &[char], i: usize, line: &mut u32) -> Result<usize, LexError> {
+    let start_line = *line;
+    let mut j = i + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '"' => return Ok(j + 1),
+            _ => j += 1,
+        }
+    }
+    Err(LexError {
+        line: start_line,
+        msg: "unterminated string literal".into(),
+    })
+}
+
+/// Lex a raw string starting at `chars[i]` being `#` or `"` (after the
+/// `r`/`br` prefix). Returns `None` if this isn't actually a raw string
+/// (e.g. `r#ident` raw identifiers).
+fn lex_raw_string(chars: &[char], i: usize, line: &mut u32) -> Option<usize> {
+    let mut hashes = 0usize;
+    let mut j = i;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) != Some(&'"') {
+        return None;
+    }
+    j += 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '"' => {
+                let mut k = 0;
+                while k < hashes && chars.get(j + 1 + k) == Some(&'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    return Some(j + 1 + hashes);
+                }
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    // Unterminated: treat as raw-to-EOF; the delimiter matcher will fail
+    // and route the file to the fallback scanner.
+    Some(chars.len())
+}
+
+/// Lex a char literal starting at `chars[i] == '\''`; returns index past
+/// the closing tick.
+fn lex_char(chars: &[char], i: usize, line: u32) -> Result<usize, LexError> {
+    let mut j = i + 1;
+    if chars.get(j) == Some(&'\\') {
+        j += 1; // escape selector
+        if matches!(chars.get(j), Some(&'u')) {
+            while j < chars.len() && chars[j] != '\'' {
+                j += 1;
+            }
+            return Ok(j + 1);
+        }
+        j += 1;
+    } else {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'\'') {
+        Ok(j + 1)
+    } else {
+        Err(LexError {
+            line,
+            msg: "unterminated char literal".into(),
+        })
+    }
+}
+
+/// Lex a numeric literal starting at a digit; returns (end index, is_float).
+fn lex_number(chars: &[char], i: usize) -> (usize, bool) {
+    let n = chars.len();
+    let mut j = i;
+    let mut text = String::new();
+    while j < n {
+        let c = chars[j];
+        if c.is_ascii_alphanumeric() || c == '_' {
+            text.push(c);
+            j += 1;
+            // Exponent sign: 1e-9 / 1E+9.
+            if (c == 'e' || c == 'E')
+                && !text.starts_with("0x")
+                && !text.starts_with("0b")
+                && !text.starts_with("0o")
+                && matches!(chars.get(j), Some(&'+') | Some(&'-'))
+                && chars.get(j + 1).is_some_and(|d| d.is_ascii_digit())
+            {
+                text.push(chars[j]);
+                j += 1;
+            }
+        } else if c == '.' {
+            // `1.0` continues the literal; `1.max(2)` and `1..n` do not.
+            match chars.get(j + 1) {
+                Some(d) if d.is_ascii_digit() => {
+                    text.push('.');
+                    j += 1;
+                }
+                Some(&'.') => break,
+                Some(d) if d.is_alphabetic() || *d == '_' => break,
+                _ => {
+                    // trailing `1.`
+                    text.push('.');
+                    j += 1;
+                    break;
+                }
+            }
+        } else {
+            break;
+        }
+    }
+    let hexish = text.starts_with("0x") || text.starts_with("0b") || text.starts_with("0o");
+    let float = text.contains('.')
+        || (!hexish && (text.contains('e') || text.contains('E')))
+        || text.ends_with("f32")
+        || text.ends_with("f64");
+    (j, float)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .unwrap()
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multi_line_raw_string_is_one_literal() {
+        let src = "let s = r#\"line one\nHashMap::new()\n\"#; let x = 1;";
+        let l = lex(src).unwrap();
+        assert!(!idents(src).contains(&"HashMap".to_string()));
+        // The `x = 1` after the raw string still lexes, on line 3.
+        let x = l
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("x".into()))
+            .unwrap();
+        assert_eq!(x.line, 3);
+    }
+
+    #[test]
+    fn lint_comments_and_code_lines() {
+        let src = "// lint: standalone reason\nlet a = 1; // lint: inline reason\n";
+        let l = lex(src).unwrap();
+        assert_eq!(l.lint_comments.get(&1).unwrap(), "standalone reason");
+        assert_eq!(l.lint_comments.get(&2).unwrap(), "inline reason");
+        assert!(!l.code_lines.contains(&1));
+        assert!(l.code_lines.contains(&2));
+        // Same-line waiver wins over a standalone one above (mirrors the
+        // string scanner's precedence).
+        assert_eq!(l.waiver_for(2), Some((2, "inline reason")));
+        assert_eq!(l.waiver_for(1), Some((1, "standalone reason")));
+    }
+
+    #[test]
+    fn floats_vs_ints_vs_methods_on_literals() {
+        let l = lex("1.0 + 2 + 3f64 + 1e9 + 0x1f + 4.max(5)").unwrap();
+        let nums: Vec<bool> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match t.tok {
+                Tok::LitNum { float } => Some(float),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec![true, false, true, true, false, false, false]);
+    }
+
+    #[test]
+    fn lifetimes_and_chars() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let t = '\\n'; }").unwrap();
+        assert!(l.tokens.iter().any(|t| t.tok == Tok::Lifetime("a".into())));
+        assert_eq!(l.tokens.iter().filter(|t| t.tok == Tok::LitChar).count(), 2);
+    }
+
+    #[test]
+    fn pathsep_and_arrows() {
+        let l = lex("fn f() -> T { a::b(|x| match x { _ => 0 }) }").unwrap();
+        assert!(l.tokens.iter().any(|t| t.tok == Tok::PathSep));
+        assert!(l.tokens.iter().any(|t| t.tok == Tok::RArrow));
+        assert!(l.tokens.iter().any(|t| t.tok == Tok::FatArrow));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("let s = \"oops").is_err());
+    }
+
+    #[test]
+    fn nested_block_comments_skip_tokens() {
+        let src = "/* outer /* inner HashMap */ still comment */ let ok = 1;";
+        assert_eq!(idents(src), vec!["let", "ok"]);
+    }
+}

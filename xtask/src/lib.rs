@@ -15,20 +15,42 @@
 //! | `unordered-par-reduce` | `.reduce(` / `.fold(` on a Rayon parallel iterator (`par_iter()`, `into_par_iter()`, `par_bridge()`) in the parallel-engine crates (`crates/offline`, `crates/matching`, `crates/sim`) — combination order is scheduling-dependent |
 //! | `crate-metadata` | placeholder `repository` URL, missing `description`/`keywords` in workspace member manifests |
 //!
+//! On top of the line rules, every library source that parses is run
+//! through the AST engine of [`ast`] (token trees from the hand-rolled
+//! lexer of [`lex`], one per-crate item index across files), which adds
+//! the deep rules a substring cannot express:
+//!
+//! | rule | what it forbids |
+//! |---|---|
+//! | `rayon-capture-audit` | `&mut` / shared interior-mutability captures reaching Rayon closures in the parallel-engine crates |
+//! | `float-order-in-par` | `f32`/`f64` accumulation in parallel `reduce`/`fold`/`sum`/`product` |
+//! | `alias-evading-hasher` | `HashMap`/`HashSet` reached through `use … as` renames or `type` aliases |
+//! | `lossy-id-cast` | `as` casts narrowing round/slot/id-typed arithmetic |
+//! | `panic-path-index` | slice `[…]` indexing with inline subtraction in hot-path crates |
+//! | `stale-waiver` | a `// lint:` waiver that no rule (string or AST) consumes |
+//!
 //! Every rule shares one escape hatch: a `// lint: <reason>` comment on the
 //! offending line (or the line directly above it) downgrades the finding to
-//! a recorded *suppression* — visible in the JSON report, never silent.
+//! a recorded *suppression* — visible in the JSON/SARIF reports, never
+//! silent. Both engines report which waivers they consumed; an unconsumed
+//! waiver is itself the `stale-waiver` error, so suppressions cannot rot.
 //!
-//! The scanner is deliberately line-based and dependency-free: it must run
-//! in offline containers with no registry access, and the rules it encodes
-//! are all expressible as "this token sequence must not appear in this part
-//! of the tree". The per-rule fixtures under `xtask/fixtures/` self-test
-//! every detector (see `xtask/tests/selftest.rs`).
+//! The whole analyzer is deliberately dependency-free: it must run in
+//! offline containers with no registry access, so the lexer and token-tree
+//! parser are hand-rolled rather than `syn`. Files the lexer cannot handle
+//! fall back to the string rules alone and are listed in
+//! [`ScanReport::parse_fallbacks`]. The per-rule fixtures under
+//! `xtask/fixtures/` self-test every detector (see
+//! `xtask/tests/selftest.rs`).
 
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
+pub mod ast;
+pub mod lex;
 pub mod sanitize;
+pub mod sarif;
 
 /// One rule violation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -65,6 +87,10 @@ pub struct ScanReport {
     pub suppressed: Vec<Suppression>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Files that failed to lex/parse and were analyzed with the string
+    /// rules only (`"<rel>: <reason>"`). Never gates the exit code — the
+    /// fallback rules still guard those files — but always visible.
+    pub parse_fallbacks: Vec<String>,
 }
 
 impl ScanReport {
@@ -77,6 +103,7 @@ impl ScanReport {
         self.findings.extend(other.findings);
         self.suppressed.extend(other.suppressed);
         self.files_scanned += other.files_scanned;
+        self.parse_fallbacks.extend(other.parse_fallbacks);
     }
 }
 
@@ -108,15 +135,23 @@ pub fn classify(rel: &str) -> FileKind {
 
 /// Scan one Rust source file (already classified) for rule violations.
 pub fn scan_source(rel: &str, text: &str, kind: FileKind) -> ScanReport {
+    scan_source_full(rel, text, kind).0
+}
+
+/// [`scan_source`] plus the set of `// lint:` comment lines whose waivers
+/// were actually consumed by a suppression — the input the stale-waiver
+/// wall needs.
+pub fn scan_source_full(rel: &str, text: &str, kind: FileKind) -> (ScanReport, BTreeSet<usize>) {
     let mut report = ScanReport {
         files_scanned: 1,
         ..ScanReport::default()
     };
+    let mut consumed: BTreeSet<usize> = BTreeSet::new();
     let lines: Vec<&str> = text.lines().collect();
     let mut san = sanitize::Sanitizer::new();
     let mut cfg_test = CfgTestTracker::new();
     // `// lint:` on the previous line waives findings on this one.
-    let mut prev_lint_comment: Option<String> = None;
+    let mut prev_lint_comment: Option<(usize, String)> = None;
     // unordered-par-reduce lookback: > 0 while a Rayon parallel-iterator
     // introduction is within the last PAR_LOOKBACK lines (builder chains
     // put `.reduce(` on its own line). A `.collect(` ends the pipeline.
@@ -132,21 +167,28 @@ pub fn scan_source(rel: &str, text: &str, kind: FileKind) -> ScanReport {
             .trim()
             .strip_prefix("lint:")
             .map(|r| r.trim().to_string());
-        let waiver = lint_comment.clone().or_else(|| prev_lint_comment.take());
+        let waiver = lint_comment
+            .clone()
+            .map(|j| (lineno, j))
+            .or_else(|| prev_lint_comment.take());
         // A comment-only line carries its waiver forward to the next line.
         prev_lint_comment = if code.trim().is_empty() {
-            lint_comment.clone()
+            lint_comment.clone().map(|j| (lineno, j))
         } else {
             None
         };
 
+        let consumed = &mut consumed;
         let mut hit = |rule: &'static str| match &waiver {
-            Some(justification) => report.suppressed.push(Suppression {
-                rule,
-                file: rel.to_string(),
-                line: lineno,
-                justification: justification.clone(),
-            }),
+            Some((src_line, justification)) => {
+                consumed.insert(*src_line);
+                report.suppressed.push(Suppression {
+                    rule,
+                    file: rel.to_string(),
+                    line: lineno,
+                    justification: justification.clone(),
+                })
+            }
             None => report.findings.push(Finding {
                 rule,
                 file: rel.to_string(),
@@ -253,6 +295,56 @@ pub fn scan_source(rel: &str, text: &str, kind: FileKind) -> ScanReport {
             hit("unjustified-allow");
         }
     }
+    (report, consumed)
+}
+
+/// Scan one Rust source file with the full engine: the string rules, the
+/// AST rules (when the file parses — see [`ast`]), and the stale-waiver
+/// wall. `index` is the file's crate index, when it belongs to a crate.
+pub fn scan_file(
+    rel: &str,
+    text: &str,
+    kind: FileKind,
+    index: Option<&ast::CrateIndex>,
+) -> ScanReport {
+    let (mut report, mut consumed) = scan_source_full(rel, text, kind);
+    let parsed = lex::lex(text).and_then(|lexed| {
+        let trees = ast::build_trees(&lexed.tokens)?;
+        Ok((lexed, trees))
+    });
+    match parsed {
+        Ok((lexed, trees)) => {
+            let empty = ast::CrateIndex::default();
+            let scan = ast::ast_scan(rel, text, kind, &trees, &lexed, index.unwrap_or(&empty));
+            report.findings.extend(scan.report.findings);
+            report.suppressed.extend(scan.report.suppressed);
+            consumed.extend(scan.consumed);
+            // Stale-waiver wall: a `// lint:` comment no rule consumed is
+            // itself a violation — suppressions must not outlive what they
+            // suppress. (A waiver cannot waive its own staleness: the
+            // comment *is* the finding.)
+            for (line, reason) in &lexed.lint_comments {
+                if !consumed.contains(&(*line as usize)) {
+                    report.findings.push(Finding {
+                        rule: "stale-waiver",
+                        file: rel.to_string(),
+                        line: *line as usize,
+                        excerpt: format!("// lint: {reason}"),
+                    });
+                }
+            }
+            report
+                .findings
+                .sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+        }
+        Err(e) => {
+            // The stale wall and AST rules need an exact parse; fall back
+            // to the string rules alone and say so.
+            report
+                .parse_fallbacks
+                .push(format!("{rel}: line {}: {}", e.line, e.msg));
+        }
+    }
     report
 }
 
@@ -352,9 +444,31 @@ pub fn scan_manifest(rel: &str, text: &str, is_workspace_root: bool) -> ScanRepo
 /// The directories scanned for Rust sources, relative to the repo root.
 pub const SOURCE_ROOTS: &[&str] = &["crates", "src", "tests", "benches", "examples"];
 
+/// The crate a library source belongs to, for per-crate index grouping.
+/// `crates/<name>/src/…` → `<name>`; the facade `src/…` → `reqsched`.
+pub fn crate_of(rel: &str) -> Option<String> {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let (name, tail) = rest.split_once('/')?;
+        if tail.starts_with("src/") {
+            return Some(name.to_string());
+        }
+        return None;
+    }
+    if rel.starts_with("src/") {
+        return Some("reqsched".to_string());
+    }
+    None
+}
+
 /// Walk the repo and run every source + manifest rule. Tool walls (clippy,
 /// fmt, doc) are the binary's job — this function is pure and fast, which
 /// is what the self-tests exercise.
+///
+/// Two passes: first every library source of each crate is lexed and
+/// parsed once into that crate's [`ast::CrateIndex`] (so `use … as`
+/// renames and `type` aliases resolve across files), then every file is
+/// scanned with [`scan_file`] — string rules, AST rules, stale-waiver
+/// wall.
 pub fn analyze_tree(root: &Path) -> std::io::Result<ScanReport> {
     let mut report = ScanReport::default();
     let mut rs_files: Vec<PathBuf> = Vec::new();
@@ -362,10 +476,47 @@ pub fn analyze_tree(root: &Path) -> std::io::Result<ScanReport> {
         collect_rs(&root.join(sub), &mut rs_files)?;
     }
     rs_files.sort();
-    for path in rs_files {
-        let rel = rel_str(root, &path);
-        let text = std::fs::read_to_string(&path)?;
-        report.merge(scan_source(&rel, &text, classify(&rel)));
+    let files: Vec<(String, String)> = rs_files
+        .iter()
+        .map(|path| {
+            let rel = rel_str(root, path);
+            std::fs::read_to_string(path).map(|text| (rel, text))
+        })
+        .collect::<std::io::Result<_>>()?;
+
+    // Pass 1: per-crate item/fn indexes over the parsed library sources.
+    let mut parsed: Vec<(usize, String, Vec<ast::Tt>)> = Vec::new();
+    for (i, (rel, text)) in files.iter().enumerate() {
+        if classify(rel) != FileKind::LibSource {
+            continue;
+        }
+        let Some(krate) = crate_of(rel) else { continue };
+        if let Ok(lexed) = lex::lex(text) {
+            if let Ok(trees) = ast::build_trees(&lexed.tokens) {
+                parsed.push((i, krate, trees));
+            }
+        }
+    }
+    let mut indexes: std::collections::BTreeMap<String, ast::CrateIndex> =
+        std::collections::BTreeMap::new();
+    {
+        let mut by_crate: std::collections::BTreeMap<&str, Vec<(&str, &[ast::Tt])>> =
+            std::collections::BTreeMap::new();
+        for (i, krate, trees) in &parsed {
+            by_crate
+                .entry(krate.as_str())
+                .or_default()
+                .push((files[*i].0.as_str(), trees.as_slice()));
+        }
+        for (krate, crate_files) in by_crate {
+            indexes.insert(krate.to_string(), ast::index_crate(&crate_files));
+        }
+    }
+
+    // Pass 2: scan every file with its crate's index.
+    for (rel, text) in &files {
+        let index = crate_of(rel).and_then(|k| indexes.get(&k));
+        report.merge(scan_file(rel, text, classify(rel), index));
     }
 
     let root_manifest = root.join("Cargo.toml");

@@ -8,9 +8,12 @@
 //!    --all-targets -- -D warnings`, and `cargo doc` with warnings denied.
 //!
 //! Exit code 0 iff everything is clean. `--json <path>` additionally
-//! writes a machine-readable report (consumed by CI as an artifact).
-//! `--no-tools` runs only the source/manifest rules — that mode is fully
-//! offline and sub-second, suitable for pre-commit hooks.
+//! writes a machine-readable report (consumed by CI as an artifact),
+//! `--sarif <path>` a GitHub-code-scanning-compatible SARIF 2.1.0
+//! document, and `--waivers` prints every active `// lint:` waiver with
+//! rule, file:line, and justification. `--no-tools` runs only the
+//! source/manifest rules — that mode is fully offline and sub-second,
+//! suitable for pre-commit hooks.
 //!
 //! Offline containers (no registry access, stub crates vendored in
 //! `/tmp/vendor`) are auto-detected the same way `scripts/bench_smoke.sh`
@@ -22,7 +25,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
-use xtask::{analyze_tree, json_escape, ScanReport};
+use xtask::{analyze_tree, json_escape, sarif, ScanReport};
 
 struct ToolResult {
     name: &'static str,
@@ -33,7 +36,9 @@ struct ToolResult {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else {
-        eprintln!("usage: cargo xtask analyze [--json <path>] [--no-tools] [--root <dir>]");
+        eprintln!(
+            "usage: cargo xtask analyze [--json <path>] [--sarif <path>] [--waivers] [--no-tools] [--root <dir>]"
+        );
         return ExitCode::from(2);
     };
     if cmd != "analyze" {
@@ -41,6 +46,8 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     let mut json_path: Option<PathBuf> = None;
+    let mut sarif_path: Option<PathBuf> = None;
+    let mut list_waivers = false;
     let mut run_tools = true;
     let mut root = default_root();
     while let Some(arg) = args.next() {
@@ -52,6 +59,14 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--sarif" => match args.next() {
+                Some(p) => sarif_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--sarif needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--waivers" => list_waivers = true,
             "--no-tools" => run_tools = false,
             "--root" => match args.next() {
                 Some(p) => root = PathBuf::from(p),
@@ -76,6 +91,9 @@ fn main() -> ExitCode {
         }
     };
     print_scan(&report);
+    if list_waivers {
+        print_waivers(&report);
+    }
 
     let tools = if run_tools {
         run_tool_walls(&root)
@@ -91,6 +109,15 @@ fn main() -> ExitCode {
     if let Some(path) = json_path {
         match std::fs::write(&path, render_json(&report, &tools, clean)) {
             Ok(()) => println!("report written to {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(path) = sarif_path {
+        match std::fs::write(&path, sarif::render_sarif(&report)) {
+            Ok(()) => println!("sarif written to {}", path.display()),
             Err(e) => {
                 eprintln!("cannot write {}: {e}", path.display());
                 return ExitCode::from(2);
@@ -133,6 +160,19 @@ fn print_scan(report: &ScanReport) {
         println!(
             "{}:{}: [{}] suppressed: {}",
             s.file, s.line, s.rule, s.justification
+        );
+    }
+    for p in &report.parse_fallbacks {
+        println!("parse fallback (string rules only): {p}");
+    }
+}
+
+fn print_waivers(report: &ScanReport) {
+    println!("active waivers: {}", report.suppressed.len());
+    for s in &report.suppressed {
+        println!(
+            "  {:<22} {}:{} — {}",
+            s.rule, s.file, s.line, s.justification
         );
     }
 }
@@ -300,6 +340,19 @@ fn render_json(report: &ScanReport, tools: &[ToolResult], clean: bool) -> String
             s.line,
             json_escape(&s.justification),
             if i + 1 < report.suppressed.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  ],\n  \"parse_fallbacks\": [\n");
+    for (i, p) in report.parse_fallbacks.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    \"{}\"{}",
+            json_escape(p),
+            if i + 1 < report.parse_fallbacks.len() {
+                ","
+            } else {
+                ""
+            },
         );
     }
     out.push_str("  ],\n  \"tools\": [\n");

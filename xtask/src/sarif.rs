@@ -1,0 +1,181 @@
+//! SARIF 2.1.0 rendering for `cargo xtask analyze --sarif <path>`.
+//!
+//! Emits the minimal static-analysis interchange document GitHub code
+//! scanning accepts: one run, one driver (`xtask-analyze`), a rule table
+//! built from whichever rules actually fired, and one `result` per
+//! finding. Suppressed findings are emitted with a `suppressions` entry
+//! (kind `inSource`) so waivers stay visible in the scanning UI instead
+//! of silently vanishing. Hand-rolled JSON, same as the `--json` report —
+//! xtask stays dependency-free so it builds in offline containers.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::{json_escape, ScanReport};
+
+/// One-line rule descriptions for the SARIF rule table. Unknown rules
+/// (future additions) fall back to the rule id itself.
+fn rule_help(rule: &str) -> &'static str {
+    match rule {
+        "nondet-hasher" => "HashMap/HashSet iteration order is nondeterministic; use BTreeMap/BTreeSet or a seeded hasher",
+        "alias-evading-hasher" => "HashMap/HashSet reached through a `use ... as` rename or type alias; aliasing does not make iteration order deterministic",
+        "wall-clock" => "wall-clock time in library code breaks replayability; thread simulated rounds instead",
+        "thread-rng" => "thread_rng/from_entropy is unseeded; all randomness must flow from an explicit seed",
+        "unwrap-in-lib" => "unwrap/expect in library code turns recoverable errors into panics",
+        "vec-bool" => "Vec<bool> on hot paths wastes 7 bits per flag; use the u64 bitset types",
+        "unjustified-allow" => "#[allow(...)] without a `// lint:` justification hides problems silently",
+        "global-state-in-shard" => "mutable global state breaks shard isolation and cross-shard determinism",
+        "unordered-par-reduce" => "parallel reduction without a documented ordering argument",
+        "rayon-capture-audit" => "Rayon closure captures &mut or shared interior-mutable state; route state through the shard-owned receiver instead",
+        "float-order-in-par" => "f32/f64 accumulation in a parallel reduce/fold is order-sensitive; use integer/fixed-point accumulators or a documented deterministic reduction",
+        "lossy-id-cast" => "`as` cast narrows an id/round/slot-typed integer and can silently truncate",
+        "panic-path-index" => "slice `[]` indexing with arithmetic on a library hot path can panic; prefer .last()/.get() or a checked invariant",
+        "stale-waiver" => "a `// lint: <reason>` waiver that no rule consumes is stale and must be removed",
+        "crate-metadata" => "workspace manifest metadata drifted from the conventions",
+        _ => "",
+    }
+}
+
+/// Render a [`ScanReport`] as a SARIF 2.1.0 document.
+pub fn render_sarif(report: &ScanReport) -> String {
+    // Stable rule table: every rule that fired (findings + suppressions),
+    // sorted, with an index so results can point at it.
+    let mut rules: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in &report.findings {
+        let next = rules.len();
+        rules.entry(f.rule).or_insert(next);
+    }
+    for s in &report.suppressed {
+        let next = rules.len();
+        rules.entry(s.rule).or_insert(next);
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"xtask-analyze\",\n");
+    out.push_str(
+        "          \"informationUri\": \"https://example.invalid/reqsched/docs/LINTS.md\",\n",
+    );
+    out.push_str("          \"rules\": [\n");
+    let n_rules = rules.len();
+    for (i, (rule, _)) in rules.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}",
+            json_escape(rule),
+            json_escape(rule_help(rule)),
+            if i + 1 < n_rules { "," } else { "" },
+        );
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+
+    let total = report.findings.len() + report.suppressed.len();
+    let mut emitted = 0usize;
+    let mut push_result = |out: &mut String,
+                           rule: &str,
+                           file: &str,
+                           line: usize,
+                           msg: &str,
+                           waiver: Option<&str>| {
+        emitted += 1;
+        let idx = rules.get(rule).copied().unwrap_or(0);
+        let _ = write!(
+                out,
+                "        {{\"ruleId\": \"{}\", \"ruleIndex\": {}, \"level\": \"{}\", \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]",
+                json_escape(rule),
+                idx,
+                if waiver.is_some() { "note" } else { "error" },
+                json_escape(msg),
+                json_escape(file),
+                line.max(1),
+            );
+        if let Some(reason) = waiver {
+            let _ = write!(
+                out,
+                ", \"suppressions\": [{{\"kind\": \"inSource\", \"justification\": \"{}\"}}]",
+                json_escape(reason),
+            );
+        }
+        let _ = writeln!(out, "}}{}", if emitted < total { "," } else { "" });
+    };
+
+    for f in &report.findings {
+        push_result(&mut out, f.rule, &f.file, f.line, &f.excerpt, None);
+    }
+    for s in &report.suppressed {
+        push_result(
+            &mut out,
+            s.rule,
+            &s.file,
+            s.line,
+            &format!("suppressed: {}", s.justification),
+            Some(&s.justification),
+        );
+    }
+
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Finding, Suppression};
+
+    fn sample() -> ScanReport {
+        let mut r = ScanReport::default();
+        r.files_scanned = 2;
+        r.findings.push(Finding {
+            rule: "nondet-hasher",
+            file: "crates/core/src/x.rs".into(),
+            line: 7,
+            excerpt: "let m: HashMap<u32, u32> = HashMap::new();".into(),
+        });
+        r.suppressed.push(Suppression {
+            rule: "wall-clock",
+            file: "crates/sim/src/y.rs".into(),
+            line: 3,
+            justification: "startup banner only".into(),
+        });
+        r
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_results() {
+        let doc = render_sarif(&sample());
+        assert!(doc.contains("\"version\": \"2.1.0\""));
+        assert!(doc.contains("sarif-schema-2.1.0.json"));
+        assert!(doc.contains("\"id\": \"nondet-hasher\""));
+        assert!(doc.contains("\"id\": \"wall-clock\""));
+        assert!(doc.contains("\"uri\": \"crates/core/src/x.rs\""));
+        assert!(doc.contains("\"startLine\": 7"));
+        // The waived finding carries an inSource suppression, not an error.
+        assert!(doc.contains("\"kind\": \"inSource\""));
+        assert!(doc.contains("\"justification\": \"startup banner only\""));
+    }
+
+    #[test]
+    fn sarif_empty_report_is_wellformed() {
+        let doc = render_sarif(&ScanReport::default());
+        assert!(doc.contains("\"results\": [\n      ]"));
+        assert!(doc.ends_with("}\n"));
+    }
+
+    #[test]
+    fn sarif_escapes_quotes_in_excerpts() {
+        let mut r = ScanReport::default();
+        r.findings.push(Finding {
+            rule: "thread-rng",
+            file: "src/a.rs".into(),
+            line: 1,
+            excerpt: "let s = \"quoted\";".into(),
+        });
+        let doc = render_sarif(&r);
+        assert!(doc.contains("let s = \\\"quoted\\\";"));
+    }
+}

@@ -5,7 +5,9 @@
 
 use std::collections::BTreeSet;
 use std::path::Path;
-use xtask::{analyze_tree, classify, scan_manifest, scan_source, FileKind, ScanReport};
+use xtask::{
+    analyze_tree, ast, classify, lex, scan_file, scan_manifest, scan_source, FileKind, ScanReport,
+};
 
 fn fixture(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -16,6 +18,24 @@ fn fixture(name: &str) -> String {
 
 fn rules_hit(report: &ScanReport) -> BTreeSet<&'static str> {
     report.findings.iter().map(|f| f.rule).collect()
+}
+
+/// Full scan (string rules + AST rules + stale-waiver wall) of one fixture,
+/// with the crate index built from that fixture alone.
+fn scan_full(rel: &str, name: &str) -> ScanReport {
+    let src = fixture(name);
+    let lexed = lex::lex(&src).expect("fixture lexes");
+    let trees = ast::build_trees(&lexed.tokens).expect("fixture parses");
+    let index = ast::index_crate(&[(rel, trees.as_slice())]);
+    scan_file(rel, &src, classify(rel), Some(&index))
+}
+
+fn count_rule(report: &ScanReport, rule: &str) -> usize {
+    report.findings.iter().filter(|f| f.rule == rule).count()
+}
+
+fn suppressed_rule(report: &ScanReport, rule: &str) -> usize {
+    report.suppressed.iter().filter(|s| s.rule == rule).count()
 }
 
 #[test]
@@ -294,6 +314,211 @@ fn unordered_par_reduce_is_scoped_to_the_parallel_engine_crates() {
     }
 }
 
+// ---- AST rules (PR 9): each fixture fires its rule, honors its waiver,
+// and — where the whole point is evasion — provably slips past the string
+// scanner that `scan_source` implements.
+
+#[test]
+fn rayon_capture_fixture_is_caught() {
+    let rel = "crates/sim/src/fixture.rs";
+    let r = scan_full(rel, "rayon_capture.rs");
+    assert!(
+        count_rule(&r, "rayon-capture-audit") >= 3,
+        "the Mutex param, the IM struct param and the &mut capture: {:?}",
+        r.findings
+    );
+    assert_eq!(
+        suppressed_rule(&r, "rayon-capture-audit"),
+        1,
+        "the waived share is recorded: {:?}",
+        r.suppressed
+    );
+    assert_eq!(
+        count_rule(&r, "stale-waiver"),
+        0,
+        "the fixture waiver is consumed: {:?}",
+        r.findings
+    );
+}
+
+/// The acceptance proof for the tentpole: the line scanner has no rule
+/// that can see a `Mutex` flow into a parallel closure — `scan_source`
+/// returns zero findings on the same bytes the AST engine flags.
+#[test]
+fn rayon_capture_fixture_provably_evades_the_line_scanner() {
+    let rel = "crates/sim/src/fixture.rs";
+    let src = fixture("rayon_capture.rs");
+    let line_scan = scan_source(rel, &src, FileKind::LibSource);
+    assert!(
+        line_scan.findings.is_empty(),
+        "the line scanner must miss every capture: {:?}",
+        line_scan.findings
+    );
+    let full = scan_full(rel, "rayon_capture.rs");
+    assert!(count_rule(&full, "rayon-capture-audit") >= 3);
+}
+
+#[test]
+fn rayon_capture_exemptions_hold() {
+    // Shard-owned receivers, closure-local state and serial iteration are
+    // all clean — the rule flags captures, not ownership.
+    let r = scan_full("crates/sim/src/fixture.rs", "rayon_capture.rs");
+    for f in r
+        .findings
+        .iter()
+        .filter(|f| f.rule == "rayon-capture-audit")
+    {
+        assert!(
+            f.line < 40,
+            "hits must stay in the seeded-violation half: {f:?}"
+        );
+    }
+    // Outside the parallel-engine crates the rule does not apply at all.
+    let elsewhere = scan_full("crates/workloads/src/fixture.rs", "rayon_capture.rs");
+    assert_eq!(count_rule(&elsewhere, "rayon-capture-audit"), 0);
+}
+
+#[test]
+fn float_order_fixture_is_caught() {
+    let r = scan_full("crates/offline/src/fixture.rs", "float_order_par.rs");
+    assert_eq!(
+        count_rule(&r, "float-order-in-par"),
+        2,
+        "the f64 reduce and the f32 fold — not the integer reduce, the \
+         serial fold or the test-gated one: {:?}",
+        r.findings
+    );
+    assert_eq!(
+        suppressed_rule(&r, "float-order-in-par"),
+        1,
+        "the waived tolerance-tested sum: {:?}",
+        r.suppressed
+    );
+    assert_eq!(count_rule(&r, "stale-waiver"), 0, "{:?}", r.findings);
+}
+
+#[test]
+fn alias_hasher_fixture_is_caught_and_evades_the_line_scanner() {
+    let rel = "crates/core/src/fixture.rs";
+    let src = fixture("alias_hasher.rs");
+    // The string scanner sees only the (waived) `use` line — every
+    // downstream use of the rename and the alias chain is invisible to it.
+    let line_scan = scan_source(rel, &src, FileKind::LibSource);
+    assert!(
+        line_scan.findings.is_empty(),
+        "the rename hides every later use: {:?}",
+        line_scan.findings
+    );
+    let full = scan_full(rel, "alias_hasher.rs");
+    assert!(
+        count_rule(&full, "alias-evading-hasher") >= 3,
+        "the construction, the return type and the param type: {:?}",
+        full.findings
+    );
+    assert_eq!(
+        suppressed_rule(&full, "alias-evading-hasher"),
+        1,
+        "the waived deliberate rename use: {:?}",
+        full.suppressed
+    );
+    assert_eq!(
+        suppressed_rule(&full, "nondet-hasher"),
+        1,
+        "the string scanner still waives the rename declaration: {:?}",
+        full.suppressed
+    );
+    assert_eq!(count_rule(&full, "stale-waiver"), 0, "{:?}", full.findings);
+}
+
+/// Cross-file resolution: the using file contains no hasher-like string at
+/// all; only an index built over both files catches it.
+#[test]
+fn alias_hasher_cross_file_use_is_caught() {
+    let decl_rel = "crates/core/src/fixture.rs";
+    let use_rel = "crates/core/src/fixture_use.rs";
+    let decl = fixture("alias_hasher.rs");
+    let user = fixture("alias_hasher_use.rs");
+    let decl_lex = lex::lex(&decl).expect("decl lexes");
+    let decl_trees = ast::build_trees(&decl_lex.tokens).expect("decl parses");
+    let use_lex = lex::lex(&user).expect("user lexes");
+    let use_trees = ast::build_trees(&use_lex.tokens).expect("user parses");
+    let index = ast::index_crate(&[
+        (decl_rel, decl_trees.as_slice()),
+        (use_rel, use_trees.as_slice()),
+    ]);
+
+    let line_scan = scan_source(use_rel, &user, FileKind::LibSource);
+    assert!(
+        line_scan.clean(),
+        "no hasher-like string in the using file: {:?}",
+        line_scan.findings
+    );
+    let full = scan_file(use_rel, &user, FileKind::LibSource, Some(&index));
+    assert!(
+        count_rule(&full, "alias-evading-hasher") >= 2,
+        "the param type and the construction: {:?}",
+        full.findings
+    );
+}
+
+#[test]
+fn lossy_id_cast_fixture_is_caught() {
+    let r = scan_full("crates/core/src/fixture.rs", "lossy_id_cast.rs");
+    assert_eq!(
+        count_rule(&r, "lossy-id-cast"),
+        3,
+        "the slot encoding, the round offset and the id narrowing — not \
+         the widening, same-width or test casts: {:?}",
+        r.findings
+    );
+    assert_eq!(
+        suppressed_rule(&r, "lossy-id-cast"),
+        1,
+        "{:?}",
+        r.suppressed
+    );
+    assert_eq!(count_rule(&r, "stale-waiver"), 0, "{:?}", r.findings);
+}
+
+#[test]
+fn panic_index_fixture_is_caught() {
+    let r = scan_full("crates/matching/src/fixture.rs", "panic_index.rs");
+    assert_eq!(
+        count_rule(&r, "panic-path-index"),
+        2,
+        "the len()-1 and cursor-1 indexes — not the plain index, the \
+         range, the hoisted form or the test ones: {:?}",
+        r.findings
+    );
+    assert_eq!(
+        suppressed_rule(&r, "panic-path-index"),
+        1,
+        "{:?}",
+        r.suppressed
+    );
+    // The rule is scoped to hot-path crates.
+    let elsewhere = scan_full("crates/workloads/src/fixture.rs", "panic_index.rs");
+    assert_eq!(count_rule(&elsewhere, "panic-path-index"), 0);
+}
+
+#[test]
+fn stale_waiver_is_an_error() {
+    let r = scan_full("crates/core/src/fixture.rs", "stale_waiver.rs");
+    assert_eq!(
+        count_rule(&r, "stale-waiver"),
+        1,
+        "the unconsumed waiver is itself a finding: {:?}",
+        r.findings
+    );
+    assert!(
+        r.findings
+            .iter()
+            .any(|f| f.rule == "stale-waiver" && f.excerpt.contains("stale")),
+        "the finding carries the dead justification: {:?}",
+        r.findings
+    );
+}
+
 #[test]
 fn clean_fixture_passes_every_rule() {
     for kind in [
@@ -304,6 +529,9 @@ fn clean_fixture_passes_every_rule() {
         let r = scan_source("crates/core/src/fixture.rs", &fixture("clean.rs"), kind);
         assert!(r.clean(), "{kind:?}: {:?}", r.findings);
     }
+    // And under the full engine, including the AST rules and the wall.
+    let r = scan_full("crates/core/src/fixture.rs", "clean.rs");
+    assert!(r.clean(), "full engine: {:?}", r.findings);
 }
 
 #[test]
@@ -344,6 +572,21 @@ fn real_tree_scans_clean() {
         report.findings.is_empty(),
         "tree must be clean, found: {:#?}",
         report.findings
+    );
+    assert!(
+        report.parse_fallbacks.is_empty(),
+        "every real source must take the AST path, not the string fallback: {:?}",
+        report.parse_fallbacks
+    );
+    // The AST rules really ran over the tree: the sweep engine's deliberate
+    // OptCache share is audited and waived, not invisible.
+    assert!(
+        report
+            .suppressed
+            .iter()
+            .any(|s| s.rule == "rayon-capture-audit" && s.file.ends_with("sweep.rs")),
+        "the rayon-capture-audit waiver on the sweep cache is recorded: {:?}",
+        report.suppressed
     );
 }
 
